@@ -1,0 +1,76 @@
+// Command oar-bench runs the reproduction experiment suite of DESIGN.md
+// (E1–E7 and the ablations A1–A2) and prints one table per experiment —
+// the data recorded in EXPERIMENTS.md.
+//
+//	oar-bench            # full suite (a few minutes)
+//	oar-bench -quick     # scaled-down sweep (tens of seconds)
+//	oar-bench -run E2,E5 # a subset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		quick = flag.Bool("quick", false, "scaled-down request counts and sweeps")
+		only  = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+	)
+	flag.Parse()
+	cfg := experiments.Config{Quick: *quick}
+
+	type exp struct {
+		id string
+		fn func(experiments.Config) (experiments.Result, error)
+	}
+	suite := []exp{
+		{"E1", experiments.E1ExternalInconsistency},
+		{"E2", experiments.E2FailureFreeLatency},
+		{"E3", experiments.E3Failover},
+		{"E4", experiments.E4OptUndeliver},
+		{"E5", experiments.E5Throughput},
+		{"E6", experiments.E6EpochGC},
+		{"E7", experiments.E7QuorumRule},
+		{"A1", experiments.A1RelayStrategy},
+		{"A2", experiments.A2UndoThriftiness},
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+
+	start := time.Now()
+	failed := false
+	for _, e := range suite {
+		if len(want) > 0 && !want[e.id] {
+			continue
+		}
+		t0 := time.Now()
+		res, err := e.fn(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.id, err)
+			failed = true
+			continue
+		}
+		fmt.Println(res.String())
+		fmt.Printf("(%s took %v)\n\n", e.id, time.Since(t0).Round(time.Millisecond))
+	}
+	fmt.Printf("suite finished in %v\n", time.Since(start).Round(time.Millisecond))
+	if failed {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,80 @@
+// Command oar-client talks to a TCP-deployed OAR cluster. Commands come
+// from the command line (one invocation) or stdin (one command per line).
+//
+//	oar-client -servers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 set k v
+//	echo -e "set a 1\nget a" | oar-client -servers ...
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+)
+
+import oar "repro"
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		servers = flag.String("servers", "", "comma-separated replica addresses (required)")
+		index   = flag.Int("index", 0, "client index (unique per concurrent client process)")
+		timeout = flag.Duration("timeout", 10*time.Second, "per-request timeout")
+	)
+	flag.Parse()
+	if *servers == "" {
+		fmt.Fprintln(os.Stderr, "oar-client: -servers is required")
+		flag.Usage()
+		return 2
+	}
+
+	cli, err := oar.NewTCPClient(oar.ClientOptions{
+		Servers:     strings.Split(*servers, ","),
+		ClientIndex: *index,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "oar-client: %v\n", err)
+		return 1
+	}
+	defer cli.Close()
+
+	invoke := func(cmd string) bool {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		t0 := time.Now()
+		reply, err := cli.Invoke(ctx, []byte(cmd))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "oar-client: %q: %v\n", cmd, err)
+			return false
+		}
+		fmt.Printf("%s\t(pos %d, weight %d, %v)\n",
+			reply.Result, reply.Pos, reply.Endorsers, time.Since(t0).Round(time.Microsecond))
+		return true
+	}
+
+	if args := flag.Args(); len(args) > 0 {
+		if !invoke(strings.Join(args, " ")) {
+			return 1
+		}
+		return 0
+	}
+	scanner := bufio.NewScanner(os.Stdin)
+	ok := true
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		ok = invoke(line) && ok
+	}
+	if !ok {
+		return 1
+	}
+	return 0
+}

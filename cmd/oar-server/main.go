@@ -1,0 +1,65 @@
+// Command oar-server runs one OAR replica as an OS process over TCP.
+//
+// Start a 3-replica key-value service:
+//
+//	oar-server -rank 0 -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 &
+//	oar-server -rank 1 -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 &
+//	oar-server -rank 2 -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 &
+//
+// then talk to it with oar-client.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	oar "repro"
+	"repro/internal/app"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		rank    = flag.Int("rank", 0, "this replica's index in -peers (0-based)")
+		peers   = flag.String("peers", "", "comma-separated replica addresses, in rank order (required)")
+		listen  = flag.String("listen", "", "local bind address (default: the -peers entry for -rank)")
+		machine = flag.String("machine", "kv", "replicated state machine: "+strings.Join(app.Names(), ", "))
+		fdTO    = flag.Duration("suspicion-timeout", 100*time.Millisecond, "failure-detector (◊S) timeout")
+		gcLimit = flag.Int("epoch-limit", 1024, "force a conservative phase every N requests (0 = never)")
+	)
+	flag.Parse()
+	if *peers == "" {
+		fmt.Fprintln(os.Stderr, "oar-server: -peers is required")
+		flag.Usage()
+		return 2
+	}
+	addrs := strings.Split(*peers, ",")
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Printf("oar-server: replica %d/%d, machine %q, listening on %s\n",
+		*rank, len(addrs), *machine, addrs[*rank])
+	err := oar.ListenAndServe(ctx, oar.ServerOptions{
+		Rank:              *rank,
+		Peers:             addrs,
+		Listen:            *listen,
+		Machine:           *machine,
+		SuspicionTimeout:  *fdTO,
+		EpochRequestLimit: *gcLimit,
+	})
+	if err != nil && ctx.Err() == nil {
+		fmt.Fprintf(os.Stderr, "oar-server: %v\n", err)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,50 @@
+// Package oar is a production-oriented Go implementation of Optimistic
+// Active Replication (Felber & Schiper, ICDCS 2001): active replication over
+// an optimistic, sequencer-based atomic broadcast that falls back to a
+// consensus-based conservative phase when the sequencer is suspected — and,
+// unlike classic sequencer protocols, guarantees that clients never adopt a
+// reply that is later invalidated (external consistency), even though
+// individual replicas may temporarily diverge and roll back.
+//
+// # Quick start
+//
+// Run a replicated service in-process:
+//
+//	cluster, err := oar.NewCluster(oar.ClusterOptions{Replicas: 3, Machine: "kv"})
+//	if err != nil { ... }
+//	defer cluster.Close()
+//
+//	client, err := cluster.NewClient()
+//	if err != nil { ... }
+//	reply, err := client.Invoke(ctx, []byte("set greeting hello"))
+//	fmt.Printf("%s at position %d, endorsed by %d replicas\n",
+//		reply.Result, reply.Pos, reply.Endorsers)
+//
+// Or deploy replicas as separate processes over TCP with ListenAndServe and
+// NewTCPClient (see cmd/oar-server and cmd/oar-client).
+//
+// # Replicated state machines
+//
+// Any deterministic state machine with per-command undo can be replicated
+// (the Machine interface). Built-ins: "kv", "stack", "queue", "counter",
+// "bank" (transactional, per Section 6 of the paper) and "recorder".
+//
+// # Guarantees
+//
+// For up to ⌊(n-1)/2⌋ crash failures among n replicas (plus arbitrary false
+// suspicions), the service provides: validity, at-most-once and
+// at-least-once request handling, total order of request processing, and
+// external consistency of adopted replies — Propositions 1–7 of the paper,
+// all of which are re-verified mechanically on every test run by the
+// internal trace checker.
+//
+// # Architecture
+//
+// The facade wraps the full protocol stack in internal/: the sequence
+// algebra (mseq), wire codec (wire, proto), transports (memnet, tcpnet),
+// reliable multicast (rmcast), failure detectors (fd), Maj-validity
+// consensus (consensus), conservative ordering (cnsvorder), the OAR client
+// and server (core), baselines (baseline/...), and the experiment harness
+// (experiments). See DESIGN.md for the full inventory and EXPERIMENTS.md
+// for the reproduction results.
+package oar

@@ -1,0 +1,68 @@
+// Command failover shows OAR's two phases live: a stream of requests flows
+// through the optimistic sequencer path; mid-stream the sequencer replica is
+// crashed; the survivors suspect it, run the conservative (consensus) phase
+// and continue under the next sequencer. Per-request latency makes the
+// fail-over window visible — and every reply stays consistent.
+//
+//	go run ./examples/failover
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	oar "repro"
+)
+
+func main() {
+	cluster, err := oar.NewCluster(oar.ClusterOptions{
+		Replicas:         3,
+		Machine:          "recorder",
+		SuspicionTimeout: 25 * time.Millisecond,
+		NetworkDelay:     200 * time.Microsecond,
+	})
+	if err != nil {
+		log.Fatalf("start cluster: %v", err)
+	}
+	defer cluster.Close()
+
+	client, err := cluster.NewClient()
+	if err != nil {
+		log.Fatalf("attach client: %v", err)
+	}
+	defer client.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	const total = 20
+	const crashAt = 8
+	fmt.Printf("streaming %d requests; crashing the sequencer after request %d\n\n", total, crashAt)
+	for i := 1; i <= total; i++ {
+		if i == crashAt+1 {
+			cluster.CrashReplica(0)
+			fmt.Println("  *** sequencer p0 crashed ***")
+		}
+		t0 := time.Now()
+		reply, err := client.Invoke(ctx, []byte(fmt.Sprintf("request-%d", i)))
+		if err != nil {
+			log.Fatalf("invoke %d: %v", i, err)
+		}
+		marker := ""
+		if reply.Endorsers == 3 {
+			marker = "  <- conservative delivery (weight = whole group)"
+		}
+		fmt.Printf("  request %2d -> position %2d  latency %8v%s\n",
+			i, reply.Pos, time.Since(t0).Round(100*time.Microsecond), marker)
+		if reply.Pos != uint64(i) {
+			log.Fatalf("position %d for request %d: total order broken", reply.Pos, i)
+		}
+	}
+
+	s := cluster.Stats()
+	fmt.Printf("\nepochs closed: %d, conservative deliveries: %d, rollbacks: %d\n",
+		s.Epochs, s.ADelivered, s.OptUndelivered)
+	fmt.Println("positions stayed dense and ordered across the crash: total order held (Prop. 5).")
+}

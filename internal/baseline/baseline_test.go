@@ -1,0 +1,265 @@
+package baseline_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/cluster"
+	"repro/internal/memnet"
+	"repro/internal/proto"
+)
+
+const testTimeout = 10 * time.Second
+
+func mustCluster(t *testing.T, opts cluster.Options) *cluster.Cluster {
+	t.Helper()
+	c, err := cluster.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+	return c
+}
+
+func invoke(t *testing.T, cli cluster.Invoker, cmd string) proto.Reply {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), testTimeout)
+	defer cancel()
+	reply, err := cli.Invoke(ctx, []byte(cmd))
+	if err != nil {
+		t.Fatalf("invoke %q: %v", cmd, err)
+	}
+	return reply
+}
+
+func TestFixedSeqFailureFree(t *testing.T) {
+	ck := check.New(3)
+	c := mustCluster(t, cluster.Options{Protocol: cluster.FixedSeq, N: 3, FD: cluster.FDNever, Tracer: ck})
+	cli, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 10; i++ {
+		reply := invoke(t, cli, fmt.Sprintf("m%d", i))
+		if reply.Pos != uint64(i) {
+			t.Fatalf("pos = %d, want %d", reply.Pos, i)
+		}
+	}
+	if !cluster.WaitUntil(testTimeout, func() bool { return c.DeliveredTotal() == 30 }) {
+		t.Fatalf("delivered = %d, want 30", c.DeliveredTotal())
+	}
+	for _, v := range ck.Verify() {
+		t.Error(v)
+	}
+}
+
+func TestFixedSeqFailoverWithoutLoss(t *testing.T) {
+	// A benign crash (no in-flight ordering lost) fails over cleanly: this
+	// is why the protocol was considered good enough in practice.
+	ck := check.New(3)
+	c := mustCluster(t, cluster.Options{
+		Protocol: cluster.FixedSeq, N: 3, Tracer: ck,
+		FDTimeout:         15 * time.Millisecond,
+		HeartbeatInterval: 3 * time.Millisecond,
+	})
+	cli, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	invoke(t, cli, "m1")
+	invoke(t, cli, "m2")
+	if !cluster.WaitUntil(testTimeout, func() bool { return c.DeliveredTotal() == 6 }) {
+		t.Fatal("pre-crash deliveries incomplete")
+	}
+	ck.MarkCrashed(proto.NodeID(0))
+	c.Crash(0)
+	for i := 3; i <= 6; i++ {
+		invoke(t, cli, fmt.Sprintf("m%d", i))
+	}
+	if got := c.FixedSeqServer(1).Stats().Views; got == 0 {
+		t.Error("no view change after sequencer crash")
+	}
+	for _, v := range ck.Verify() {
+		t.Error(v)
+	}
+}
+
+// TestFixedSeqFigure1bExternalInconsistency reproduces Figure 1(b): the
+// sequencer replies to the client and crashes before its ordering message
+// reaches the other replicas; the new sequencer orders differently; the
+// client has adopted a reply (first-reply rule) that the surviving replicas
+// contradict. The trace checker must flag an external inconsistency — this
+// is the flaw OAR fixes.
+func TestFixedSeqFigure1bExternalInconsistency(t *testing.T) {
+	ck := check.New(3)
+	c := mustCluster(t, cluster.Options{
+		Protocol: cluster.FixedSeq, N: 3, Tracer: ck,
+		FDTimeout:         15 * time.Millisecond,
+		HeartbeatInterval: 3 * time.Millisecond,
+		Machine:           "stack",
+	})
+	c1, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The stack holds [y] everywhere.
+	invoke(t, c1, "push y")
+	if !cluster.WaitUntil(testTimeout, func() bool { return c.DeliveredTotal() == 3 }) {
+		t.Fatal("push y incomplete")
+	}
+
+	// The sequencer's next ordering messages are lost (crash in flight), and
+	// c1 stops hearing from anyone but the sequencer.
+	c.Net().SetFilter(func(from, to proto.NodeID, payload []byte) memnet.Verdict {
+		if from == proto.NodeID(0) && len(payload) > 0 && proto.Kind(payload[0]) == proto.KindSeqOrder {
+			return memnet.Drop
+		}
+		return memnet.Deliver
+	})
+	// c1's "pop" reaches only the sequencer p0 (links to p1, p2 blocked).
+	c1ID := proto.ClientID(0)
+	c.Net().Block(c1ID, proto.NodeID(1))
+	c.Net().Block(c1ID, proto.NodeID(2))
+
+	// Figure 1(b): the sequencer orders (pop; push x), executes pop -> "y",
+	// replies to the client... and its ordering message never leaves.
+	popReply := invoke(t, c1, "pop")
+	if string(popReply.Result) != "y" {
+		t.Fatalf("sequencer's pop returned %q, want y", popReply.Result)
+	}
+
+	// Now the crash becomes visible; the new sequencer p1 knows only c2's
+	// "push x" and orders (push x; ...); after the client links heal, the
+	// late "pop" executes at position 3 and returns "x".
+	pushReply := invoke(t, c2, "push x")
+	_ = pushReply
+	ck.MarkCrashed(proto.NodeID(0))
+	c.Crash(0)
+	if !cluster.WaitUntil(testTimeout, func() bool {
+		return c.FixedSeqServer(1).Stats().Delivered >= 2 && c.FixedSeqServer(2).Stats().Delivered >= 2
+	}) {
+		t.Fatal("survivors did not deliver push x")
+	}
+	c.Net().Unblock(c1ID, proto.NodeID(1))
+	c.Net().Unblock(c1ID, proto.NodeID(2))
+	if !cluster.WaitUntil(testTimeout, func() bool {
+		return c.FixedSeqServer(1).Stats().Delivered >= 3 && c.FixedSeqServer(2).Stats().Delivered >= 3
+	}) {
+		t.Fatal("survivors never received the pop")
+	}
+
+	// The survivors' stacks agree with each other but contradict the reply
+	// the client already adopted: pop returned y to the client, x here.
+	violations := ck.Verify()
+	var external bool
+	for _, v := range violations {
+		if v.Property == "prop7 external consistency" {
+			external = true
+		}
+	}
+	if !external {
+		t.Fatalf("expected an external-inconsistency violation, got %v", violations)
+	}
+	if got := c.Machine(1).Fingerprint(); got != "" {
+		// Stack after (push y; push x; pop) = [y]: survivors' pop returned x.
+		if got != "y" {
+			t.Fatalf("survivor stack = %q, want y", got)
+		}
+	}
+}
+
+func TestCTabFailureFree(t *testing.T) {
+	ck := check.New(3)
+	c := mustCluster(t, cluster.Options{Protocol: cluster.CTab, N: 3, FD: cluster.FDNever, Tracer: ck})
+	cli, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 10; i++ {
+		reply := invoke(t, cli, fmt.Sprintf("m%d", i))
+		if reply.Pos != uint64(i) {
+			t.Fatalf("pos = %d, want %d", reply.Pos, i)
+		}
+	}
+	if !cluster.WaitUntil(testTimeout, func() bool { return c.DeliveredTotal() == 30 }) {
+		t.Fatalf("delivered = %d, want 30", c.DeliveredTotal())
+	}
+	if got := c.CTabServer(0).Stats().Batches; got == 0 {
+		t.Error("no consensus batches recorded")
+	}
+	for _, v := range ck.Verify() {
+		t.Error(v)
+	}
+}
+
+func TestCTabConcurrentClients(t *testing.T) {
+	ck := check.New(3)
+	c := mustCluster(t, cluster.Options{Protocol: cluster.CTab, N: 3, Machine: "kv", Tracer: ck,
+		FDTimeout: 50 * time.Millisecond})
+	done := make(chan error, 3)
+	for i := 0; i < 3; i++ {
+		cli, err := c.NewClient()
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func(i int, cli cluster.Invoker) {
+			ctx, cancel := context.WithTimeout(context.Background(), testTimeout)
+			defer cancel()
+			for j := 0; j < 10; j++ {
+				if _, err := cli.Invoke(ctx, []byte(fmt.Sprintf("set k%d-%d v", i, j))); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(i, cli)
+	}
+	for i := 0; i < 3; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !cluster.WaitUntil(testTimeout, func() bool { return c.DeliveredTotal() == 90 }) {
+		t.Fatalf("delivered = %d, want 90", c.DeliveredTotal())
+	}
+	if !cluster.WaitUntil(testTimeout, func() bool {
+		ref := c.Machine(0).Fingerprint()
+		return ref == c.Machine(1).Fingerprint() && ref == c.Machine(2).Fingerprint()
+	}) {
+		t.Fatal("ctab replicas diverged")
+	}
+	for _, v := range ck.Verify() {
+		t.Error(v)
+	}
+}
+
+func TestCTabCoordinatorCrash(t *testing.T) {
+	// ctab survives a crash (consensus handles it) — it is slow, not unsafe.
+	ck := check.New(3)
+	c := mustCluster(t, cluster.Options{
+		Protocol: cluster.CTab, N: 3, Tracer: ck,
+		FDTimeout:         15 * time.Millisecond,
+		HeartbeatInterval: 3 * time.Millisecond,
+	})
+	cli, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	invoke(t, cli, "m1")
+	ck.MarkCrashed(proto.NodeID(0))
+	c.Crash(0)
+	for i := 2; i <= 5; i++ {
+		invoke(t, cli, fmt.Sprintf("m%d", i))
+	}
+	for _, v := range ck.Verify() {
+		t.Error(v)
+	}
+}

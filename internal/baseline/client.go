@@ -1,0 +1,142 @@
+// Package baseline provides the classic active-replication client used by
+// both baseline protocols (the Isis-style fixed-sequencer Atomic Broadcast
+// of Section 2.4 and the conservative consensus-based Atomic Broadcast):
+// the client sends its request to all replicas and adopts the FIRST reply
+// (Section 2.1: "The client waits only for the first reply").
+//
+// This first-reply rule is precisely what makes the fixed-sequencer protocol
+// externally inconsistent in the Figure 1(b) scenario — and what the OAR
+// weight-quorum client (Figure 5) fixes.
+package baseline
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/proto"
+	"repro/internal/transport"
+)
+
+// ClientConfig configures a first-reply client.
+type ClientConfig struct {
+	// ID is the client's node ID (proto.ClientID(i)).
+	ID proto.NodeID
+	// Group is the server group Π.
+	Group []proto.NodeID
+	// Node is the client's transport endpoint.
+	Node transport.Node
+	// Tracer records Issue/Adopt events (nil disables tracing).
+	Tracer core.Tracer
+}
+
+// Client is a classic active-replication client: multicast to all, adopt the
+// first reply. Safe for concurrent Invokes.
+type Client struct {
+	cfg    ClientConfig
+	tracer core.Tracer
+
+	mu      sync.Mutex
+	nextSeq uint64
+	pending map[proto.RequestID]chan proto.Reply
+
+	done chan struct{}
+	stop context.CancelFunc
+}
+
+// NewClient validates cfg and creates a client.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if cfg.Node == nil || len(cfg.Group) == 0 {
+		return nil, fmt.Errorf("baseline: Node and Group are required")
+	}
+	if !cfg.ID.IsClient() {
+		return nil, fmt.Errorf("baseline: %v is not a client ID", cfg.ID)
+	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = core.NopTracer()
+	}
+	return &Client{
+		cfg:     cfg,
+		tracer:  cfg.Tracer,
+		pending: make(map[proto.RequestID]chan proto.Reply),
+		done:    make(chan struct{}),
+	}, nil
+}
+
+// Start launches the reply-dispatch loop.
+func (c *Client) Start() {
+	ctx, cancel := context.WithCancel(context.Background())
+	c.stop = cancel
+	go c.loop(ctx)
+}
+
+// Stop terminates the dispatch loop.
+func (c *Client) Stop() {
+	if c.stop != nil {
+		c.stop()
+	}
+	<-c.done
+}
+
+func (c *Client) loop(ctx context.Context) {
+	defer close(c.done)
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case m, ok := <-c.cfg.Node.Recv():
+			if !ok {
+				return
+			}
+			kind, body, err := proto.Unmarshal(m.Payload)
+			if err != nil || kind != proto.KindReply {
+				continue
+			}
+			reply, err := proto.UnmarshalReply(body)
+			if err != nil {
+				continue
+			}
+			c.onReply(reply)
+		}
+	}
+}
+
+func (c *Client) onReply(reply proto.Reply) {
+	c.mu.Lock()
+	ch, ok := c.pending[reply.Req]
+	if ok {
+		delete(c.pending, reply.Req) // first reply wins; the rest are dropped
+	}
+	c.mu.Unlock()
+	if ok {
+		ch <- reply
+		c.tracer.Adopt(c.cfg.ID, reply.Req, reply)
+	}
+}
+
+// Invoke sends cmd to all replicas and returns the first reply.
+func (c *Client) Invoke(ctx context.Context, cmd []byte) (proto.Reply, error) {
+	c.mu.Lock()
+	id := proto.RequestID{Client: c.cfg.ID, Seq: c.nextSeq}
+	c.nextSeq++
+	ch := make(chan proto.Reply, 1)
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	c.tracer.Issue(c.cfg.ID, id, cmd)
+	payload := proto.MarshalRequest(proto.Request{ID: id, Cmd: cmd})
+	for _, p := range c.cfg.Group {
+		_ = c.cfg.Node.Send(p, payload)
+	}
+
+	select {
+	case reply := <-ch:
+		return reply, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return proto.Reply{}, fmt.Errorf("baseline: invoke %v: %w", id, ctx.Err())
+	}
+}

@@ -1,0 +1,309 @@
+// Package ctab implements a conservative, consensus-based Atomic Broadcast
+// in the style of Chandra–Toueg [CT96]: every batch of client requests is
+// ordered by a full consensus instance before any replica processes it.
+//
+// This is the "always safe, never optimistic" end of the paper's
+// latency/consistency trade-off (Section 2.2): no reply ever needs to be
+// invalidated, so the first-reply client rule is sound — but every request
+// pays consensus latency (several message delays) instead of the OAR
+// optimistic phase's single sequencer hop. Experiment E2 measures the gap.
+package ctab
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/app"
+	"repro/internal/consensus"
+	"repro/internal/core"
+	"repro/internal/fd"
+	"repro/internal/mseq"
+	"repro/internal/proto"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Config configures one replica.
+type Config struct {
+	// ID is this replica's rank; Group is Π.
+	ID    proto.NodeID
+	Group []proto.NodeID
+	// Node is the transport endpoint.
+	Node transport.Node
+	// Machine is the deterministic state machine.
+	Machine app.Machine
+	// Detector drives consensus coordinator suspicion.
+	Detector fd.Detector
+	// TickInterval and HeartbeatInterval as in core (same defaults).
+	TickInterval      time.Duration
+	HeartbeatInterval time.Duration
+	// Tracer records deliveries as ADeliver events.
+	Tracer core.Tracer
+}
+
+// Stats are protocol counters.
+type Stats struct {
+	Delivered uint64
+	Batches   uint64 // completed consensus instances
+}
+
+// Server is one conservative-atomic-broadcast replica.
+type Server struct {
+	cfg Config
+	n   int
+
+	buffered  mseq.Seq[proto.RequestID]
+	payloads  map[proto.RequestID]proto.Request
+	delivered map[proto.RequestID]struct{}
+	pos       uint64
+
+	next      uint64 // current consensus instance
+	running   bool
+	instances map[uint64]*consensus.Instance
+	decisions map[uint64]consensus.Decision
+
+	lastHeartbeat time.Time
+	tracer        core.Tracer
+
+	statDelivered atomic.Uint64
+	statBatches   atomic.Uint64
+}
+
+// NewServer validates cfg and creates a replica.
+func NewServer(cfg Config) (*Server, error) {
+	if len(cfg.Group) == 0 || len(cfg.Group) > proto.MaxGroupSize {
+		return nil, fmt.Errorf("ctab: bad group size %d", len(cfg.Group))
+	}
+	if cfg.Node == nil || cfg.Machine == nil || cfg.Detector == nil {
+		return nil, fmt.Errorf("ctab: Node, Machine and Detector are required")
+	}
+	if cfg.TickInterval <= 0 {
+		cfg.TickInterval = core.DefaultTickInterval
+	}
+	if cfg.HeartbeatInterval == 0 {
+		cfg.HeartbeatInterval = core.DefaultHeartbeatInterval
+	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = core.NopTracer()
+	}
+	return &Server{
+		cfg:       cfg,
+		n:         len(cfg.Group),
+		payloads:  make(map[proto.RequestID]proto.Request),
+		delivered: make(map[proto.RequestID]struct{}),
+		instances: make(map[uint64]*consensus.Instance),
+		decisions: make(map[uint64]consensus.Decision),
+		tracer:    cfg.Tracer,
+	}, nil
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Server) Stats() Stats {
+	return Stats{Delivered: s.statDelivered.Load(), Batches: s.statBatches.Load()}
+}
+
+// Run executes the replica loop until ctx ends or the transport closes.
+func (s *Server) Run(ctx context.Context) error {
+	ticker := time.NewTicker(s.cfg.TickInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case m, ok := <-s.cfg.Node.Recv():
+			if !ok {
+				return nil
+			}
+			s.handleMessage(m, time.Now())
+		case now := <-ticker.C:
+			s.tick(now)
+		}
+	}
+}
+
+func (s *Server) handleMessage(m transport.Message, now time.Time) {
+	kind, body, err := proto.Unmarshal(m.Payload)
+	if err != nil {
+		return
+	}
+	switch kind {
+	case proto.KindHeartbeat:
+		s.cfg.Detector.Observe(m.From, now)
+	case proto.KindRequest:
+		req, err := proto.UnmarshalRequest(body)
+		if err != nil {
+			return
+		}
+		if _, known := s.payloads[req.ID]; known {
+			return
+		}
+		s.payloads[req.ID] = req
+		s.buffered = append(s.buffered, req.ID)
+		s.maybeStartBatch()
+	case proto.KindEstimate, proto.KindPropose, proto.KindAck, proto.KindDecide:
+		k, err := consensus.InstanceOf(body)
+		if err != nil || k < s.next {
+			return
+		}
+		_ = s.instance(k).OnMessage(m.From, kind, body)
+		// Seeing traffic for the current instance means the group is
+		// batching; join with whatever we have (possibly nothing).
+		if k == s.next && !s.running {
+			s.startBatch()
+		}
+	default:
+	}
+}
+
+func (s *Server) pending() []proto.Request {
+	var out []proto.Request
+	for _, id := range s.buffered {
+		if _, done := s.delivered[id]; !done {
+			out = append(out, s.payloads[id])
+		}
+	}
+	return out
+}
+
+func (s *Server) maybeStartBatch() {
+	if !s.running && len(s.pending()) > 0 {
+		s.startBatch()
+	}
+}
+
+func (s *Server) startBatch() {
+	s.running = true
+	inst := s.instance(s.next)
+	inst.Start(encodeBatch(s.pending()))
+	if d, ok := s.decisions[s.next]; ok {
+		s.applyDecision(s.next, d)
+	}
+}
+
+func (s *Server) instance(k uint64) *consensus.Instance {
+	if inst, ok := s.instances[k]; ok {
+		return inst
+	}
+	inst := consensus.NewInstance(consensus.Config{
+		Self:     s.cfg.ID,
+		Group:    s.cfg.Group,
+		Instance: k,
+		Send: func(to proto.NodeID, payload []byte) {
+			_ = s.cfg.Node.Send(to, payload)
+		},
+		Detector: s.cfg.Detector,
+		OnDecide: func(d consensus.Decision) { s.onDecide(k, d) },
+	})
+	s.instances[k] = inst
+	return inst
+}
+
+func (s *Server) onDecide(k uint64, d consensus.Decision) {
+	if k == s.next && s.running {
+		s.applyDecision(k, d)
+		return
+	}
+	s.decisions[k] = d
+}
+
+// applyDecision delivers the decided batch: the union of all proposed
+// request sequences, merged in decision order (identical everywhere by
+// consensus agreement), minus what is already delivered.
+func (s *Server) applyDecision(k uint64, d consensus.Decision) {
+	seqs := make([]mseq.Seq[proto.RequestID], 0, len(d))
+	for _, pv := range d {
+		reqs, err := decodeBatch(pv.Val)
+		if err != nil {
+			panic(fmt.Sprintf("ctab server %v: corrupt decision from %v: %v", s.cfg.ID, pv.From, err))
+		}
+		ids := make(mseq.Seq[proto.RequestID], 0, len(reqs))
+		for _, r := range reqs {
+			s.payloads[r.ID] = r
+			if !s.buffered.Contains(r.ID) {
+				s.buffered = append(s.buffered, r.ID)
+			}
+			ids = append(ids, r.ID)
+		}
+		seqs = append(seqs, ids)
+	}
+	batch := mseq.Merge(seqs...)
+	for _, id := range batch {
+		if _, done := s.delivered[id]; done {
+			continue
+		}
+		s.delivered[id] = struct{}{}
+		req := s.payloads[id]
+		result, _ := s.cfg.Machine.Apply(req.Cmd)
+		s.pos++
+		s.statDelivered.Add(1)
+		s.tracer.ADeliver(s.cfg.ID, k, req.ID, s.pos, result)
+		_ = s.cfg.Node.Send(req.ID.Client, proto.MarshalReply(proto.Reply{
+			Req:    req.ID,
+			From:   s.cfg.ID,
+			Epoch:  k,
+			Weight: proto.FullWeight(s.n),
+			Pos:    s.pos,
+			Result: result,
+		}))
+	}
+
+	s.statBatches.Add(1)
+	delete(s.instances, k)
+	delete(s.decisions, k)
+	s.running = false
+	s.next = k + 1
+	// A decision for the next instance may already be waiting.
+	if _, ok := s.decisions[s.next]; ok {
+		s.startBatch()
+		return
+	}
+	s.maybeStartBatch()
+}
+
+func (s *Server) tick(now time.Time) {
+	if s.cfg.HeartbeatInterval > 0 && now.Sub(s.lastHeartbeat) >= s.cfg.HeartbeatInterval {
+		s.lastHeartbeat = now
+		hb := proto.MarshalHeartbeat()
+		for _, p := range s.cfg.Group {
+			if p != s.cfg.ID {
+				_ = s.cfg.Node.Send(p, hb)
+			}
+		}
+	}
+	if s.running {
+		if inst, ok := s.instances[s.next]; ok {
+			inst.Tick(now)
+		}
+	}
+}
+
+// encodeBatch/decodeBatch serialize a request sequence as a consensus value.
+func encodeBatch(reqs []proto.Request) []byte {
+	w := wire.NewWriter(32)
+	w.Uint64(uint64(len(reqs)))
+	for _, r := range reqs {
+		r.Encode(w)
+	}
+	return w.Bytes()
+}
+
+func decodeBatch(b []byte) ([]proto.Request, error) {
+	r := wire.NewReader(b)
+	n := r.Uint64()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if n > uint64(r.Remaining()) {
+		return nil, wire.ErrOverflow
+	}
+	reqs := make([]proto.Request, 0, n)
+	for i := uint64(0); i < n; i++ {
+		reqs = append(reqs, proto.DecodeRequest(r))
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return reqs, nil
+}

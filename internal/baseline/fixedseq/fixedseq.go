@@ -1,0 +1,243 @@
+// Package fixedseq implements the Isis/Amoeba-style sequencer-based Atomic
+// Broadcast of Section 2.4 of the paper [BSS91, KT91], with the naive
+// fail-over that makes it efficient but UNSAFE: on suspicion of the
+// sequencer, the next replica takes over and re-orders every message it has
+// not delivered yet, with no agreement on what the old sequencer already
+// delivered.
+//
+// This is the baseline whose Figure 1(b) run produces an external
+// inconsistency: the crashed sequencer's reply reaches the client (which,
+// per classic active replication, adopts the first reply) while its ordering
+// message is lost, and the new sequencer picks a different order. The OAR
+// protocol (internal/core) exists to close exactly this hole; experiment E1
+// measures it.
+package fixedseq
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/app"
+	"repro/internal/core"
+	"repro/internal/fd"
+	"repro/internal/mseq"
+	"repro/internal/proto"
+	"repro/internal/transport"
+)
+
+// Config configures one fixed-sequencer replica.
+type Config struct {
+	// ID is this replica's rank; Group is Π.
+	ID    proto.NodeID
+	Group []proto.NodeID
+	// Node is the transport endpoint.
+	Node transport.Node
+	// Machine is the deterministic state machine (undo is never used: this
+	// protocol has no rollback — that is its flaw).
+	Machine app.Machine
+	// Detector drives sequencer fail-over.
+	Detector fd.Detector
+	// TickInterval and HeartbeatInterval as in core (same defaults).
+	TickInterval      time.Duration
+	HeartbeatInterval time.Duration
+	// Tracer records deliveries as ADeliver events (they are irrevocable).
+	Tracer core.Tracer
+}
+
+// Stats are protocol counters.
+type Stats struct {
+	Delivered uint64
+	Views     uint64 // fail-overs performed
+}
+
+// Server is one fixed-sequencer replica.
+type Server struct {
+	cfg Config
+	n   int
+
+	view      uint64 // current sequencer = Group[view mod n]
+	buffered  mseq.Seq[proto.RequestID]
+	payloads  map[proto.RequestID]proto.Request
+	delivered map[proto.RequestID]struct{}
+	pos       uint64
+
+	lastHeartbeat time.Time
+	tracer        core.Tracer
+
+	statDelivered atomic.Uint64
+	statViews     atomic.Uint64
+}
+
+// NewServer validates cfg and creates a replica.
+func NewServer(cfg Config) (*Server, error) {
+	if len(cfg.Group) == 0 || len(cfg.Group) > proto.MaxGroupSize {
+		return nil, fmt.Errorf("fixedseq: bad group size %d", len(cfg.Group))
+	}
+	if cfg.Node == nil || cfg.Machine == nil || cfg.Detector == nil {
+		return nil, fmt.Errorf("fixedseq: Node, Machine and Detector are required")
+	}
+	if cfg.TickInterval <= 0 {
+		cfg.TickInterval = core.DefaultTickInterval
+	}
+	if cfg.HeartbeatInterval == 0 {
+		cfg.HeartbeatInterval = core.DefaultHeartbeatInterval
+	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = core.NopTracer()
+	}
+	return &Server{
+		cfg:       cfg,
+		n:         len(cfg.Group),
+		payloads:  make(map[proto.RequestID]proto.Request),
+		delivered: make(map[proto.RequestID]struct{}),
+		tracer:    cfg.Tracer,
+	}, nil
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Server) Stats() Stats {
+	return Stats{Delivered: s.statDelivered.Load(), Views: s.statViews.Load()}
+}
+
+// Run executes the replica loop until ctx ends or the transport closes.
+func (s *Server) Run(ctx context.Context) error {
+	ticker := time.NewTicker(s.cfg.TickInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case m, ok := <-s.cfg.Node.Recv():
+			if !ok {
+				return nil
+			}
+			s.handleMessage(m, time.Now())
+		case now := <-ticker.C:
+			s.tick(now)
+		}
+	}
+}
+
+func (s *Server) sequencer() proto.NodeID {
+	return s.cfg.Group[int(s.view%uint64(s.n))]
+}
+
+func (s *Server) handleMessage(m transport.Message, now time.Time) {
+	kind, body, err := proto.Unmarshal(m.Payload)
+	if err != nil {
+		return
+	}
+	switch kind {
+	case proto.KindHeartbeat:
+		s.cfg.Detector.Observe(m.From, now)
+	case proto.KindRequest:
+		req, err := proto.UnmarshalRequest(body)
+		if err != nil {
+			return
+		}
+		s.buffer(req)
+		s.maybeOrder()
+	case proto.KindSeqOrder:
+		order, err := proto.UnmarshalSeqOrder(body)
+		if err != nil {
+			return
+		}
+		s.handleOrder(order)
+	default:
+	}
+}
+
+func (s *Server) buffer(req proto.Request) {
+	if _, known := s.payloads[req.ID]; known {
+		return
+	}
+	s.payloads[req.ID] = req
+	s.buffered = append(s.buffered, req.ID)
+}
+
+// maybeOrder: the sequencer assigns the order to all undelivered buffered
+// messages, ships it, and delivers immediately.
+func (s *Server) maybeOrder() {
+	if s.sequencer() != s.cfg.ID {
+		return
+	}
+	var pending []proto.Request
+	for _, id := range s.buffered {
+		if _, done := s.delivered[id]; !done {
+			pending = append(pending, s.payloads[id])
+		}
+	}
+	if len(pending) == 0 {
+		return
+	}
+	order := proto.SeqOrder{Epoch: s.view, Reqs: pending}
+	payload := proto.MarshalSeqOrder(order)
+	for _, p := range s.cfg.Group {
+		if p != s.cfg.ID {
+			_ = s.cfg.Node.Send(p, payload)
+		}
+	}
+	s.deliverBatch(order.Reqs)
+}
+
+// handleOrder delivers a sequencer's batch. Orders from newer views move
+// this replica into that view (it may have missed the suspicion); orders
+// from older views are stale and dropped — the root of the protocol's
+// unsafety, faithfully reproduced.
+func (s *Server) handleOrder(order proto.SeqOrder) {
+	if order.Epoch < s.view {
+		return
+	}
+	if order.Epoch > s.view {
+		s.view = order.Epoch
+	}
+	s.deliverBatch(order.Reqs)
+}
+
+func (s *Server) deliverBatch(reqs []proto.Request) {
+	for _, req := range reqs {
+		if _, done := s.delivered[req.ID]; done {
+			continue
+		}
+		s.buffer(req)
+		s.delivered[req.ID] = struct{}{}
+		result, _ := s.cfg.Machine.Apply(req.Cmd)
+		s.pos++
+		s.statDelivered.Add(1)
+		s.tracer.ADeliver(s.cfg.ID, s.view, req.ID, s.pos, result)
+		_ = s.cfg.Node.Send(req.ID.Client, proto.MarshalReply(proto.Reply{
+			Req:    req.ID,
+			From:   s.cfg.ID,
+			Epoch:  s.view,
+			Weight: proto.WeightOf(s.cfg.ID),
+			Pos:    s.pos,
+			Result: result,
+		}))
+	}
+}
+
+func (s *Server) tick(now time.Time) {
+	if s.cfg.HeartbeatInterval > 0 && now.Sub(s.lastHeartbeat) >= s.cfg.HeartbeatInterval {
+		s.lastHeartbeat = now
+		hb := proto.MarshalHeartbeat()
+		for _, p := range s.cfg.Group {
+			if p != s.cfg.ID {
+				_ = s.cfg.Node.Send(p, hb)
+			}
+		}
+	}
+	// Naive fail-over: bump the view past every suspected sequencer; if that
+	// makes us the sequencer, re-order everything we have not delivered.
+	// No agreement, no recovery of the old sequencer's deliveries.
+	bumped := false
+	for s.sequencer() != s.cfg.ID && s.cfg.Detector.Suspected(s.sequencer(), now) {
+		s.view++
+		bumped = true
+		s.statViews.Add(1)
+	}
+	if bumped {
+		s.maybeOrder()
+	}
+}

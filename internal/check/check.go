@@ -1,0 +1,367 @@
+// Package check is the run-time trace checker: it records every protocol
+// event through the core.Tracer interface and mechanically verifies the
+// correctness propositions of the paper (Appendix A) plus the Cnsv-order
+// specification of Section 5.4 on the actual trace of a run.
+//
+// Because the checker validates safety on whatever schedule really happened,
+// tests do not depend on reproducing one exact interleaving: any run that
+// violates Total order, At-most-once, External consistency or the Cnsv-order
+// spec fails loudly.
+//
+// Checked properties:
+//
+//	Prop 1  Validity of request handling  (deliveries only for issued requests)
+//	Prop 2/3 At-most-once request handling (no duplicate definitive delivery;
+//	        undo must match the last optimistic delivery)
+//	Prop 4  At-least-once request handling (quiescent runs: every issued
+//	        request definitively delivered at every correct server)
+//	Prop 5  Total order (definitive logs of correct servers are
+//	        prefix-consistent, with identical positions and results)
+//	Prop 7  External consistency (every adopted reply matches the definitive
+//	        delivery position/result at every correct server)
+//	§5.4    Cnsv-order spec per closed epoch (via cnsvorder.CheckSpec)
+//	§4      Majority guarantee (follows from Prop 5 + §5.4; checked via both)
+package check
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+
+	"repro/internal/cnsvorder"
+	"repro/internal/core"
+	"repro/internal/proto"
+)
+
+// Violation is one detected property violation.
+type Violation struct {
+	Property string
+	Detail   string
+}
+
+// Error implements error.
+func (v *Violation) Error() string { return v.Property + ": " + v.Detail }
+
+// entry is one definitive-log slot at a server.
+type entry struct {
+	req    proto.RequestID
+	pos    uint64
+	result []byte
+	epoch  uint64
+	opt    bool // delivered optimistically (still tentative until epoch close)
+}
+
+type serverLog struct {
+	log        []entry                 // current sequence: committed prefix + tentative suffix
+	tentative  int                     // number of tentative (opt, current-epoch) entries at the tail
+	delivered  map[proto.RequestID]int // definitive deliveries per request (for at-most-once)
+	optPending map[proto.RequestID]struct{}
+}
+
+type epochData struct {
+	inputs  map[proto.NodeID]cnsvorder.Input
+	results map[proto.NodeID]cnsvorder.Result
+}
+
+// Checker records events and verifies properties. It implements
+// core.Tracer and is safe for concurrent use.
+type Checker struct {
+	n int
+
+	mu         sync.Mutex
+	issued     map[proto.RequestID][]byte // req -> cmd
+	servers    map[proto.NodeID]*serverLog
+	epochs     map[uint64]*epochData
+	adoptions  map[proto.RequestID]proto.Reply
+	crashed    map[proto.NodeID]bool
+	violations []*Violation
+
+	undeliveries int
+	optCount     int
+	aCount       int
+}
+
+var _ core.Tracer = (*Checker)(nil)
+
+// New creates a checker for a group of n servers.
+func New(n int) *Checker {
+	return &Checker{
+		n:         n,
+		issued:    make(map[proto.RequestID][]byte),
+		servers:   make(map[proto.NodeID]*serverLog),
+		epochs:    make(map[uint64]*epochData),
+		adoptions: make(map[proto.RequestID]proto.Reply),
+		crashed:   make(map[proto.NodeID]bool),
+	}
+}
+
+func (c *Checker) report(prop, format string, args ...any) {
+	c.violations = append(c.violations, &Violation{Property: prop, Detail: fmt.Sprintf(format, args...)})
+}
+
+func (c *Checker) server(id proto.NodeID) *serverLog {
+	sl, ok := c.servers[id]
+	if !ok {
+		sl = &serverLog{
+			delivered:  make(map[proto.RequestID]int),
+			optPending: make(map[proto.RequestID]struct{}),
+		}
+		c.servers[id] = sl
+	}
+	return sl
+}
+
+// MarkCrashed tells the checker that a server was crashed on purpose; its
+// log is excluded from liveness and cross-server checks from that point on.
+func (c *Checker) MarkCrashed(id proto.NodeID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.crashed[id] = true
+}
+
+// Issue implements core.Tracer.
+func (c *Checker) Issue(_ proto.NodeID, req proto.RequestID, cmd []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.issued[req] = append([]byte(nil), cmd...)
+}
+
+// OptDeliver implements core.Tracer.
+func (c *Checker) OptDeliver(server proto.NodeID, epoch uint64, req proto.RequestID, pos uint64, result []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.optCount++
+	sl := c.server(server)
+	if _, ok := c.issued[req]; !ok {
+		c.report("prop1 validity", "%v Opt-delivered %v which was never issued", server, req)
+	}
+	if n := sl.delivered[req]; n > 0 {
+		c.report("prop3 at-most-once", "%v Opt-delivered %v already definitively delivered", server, req)
+	}
+	if _, pending := sl.optPending[req]; pending {
+		c.report("prop2 at-most-once", "%v Opt-delivered %v twice without undo", server, req)
+	}
+	if want := uint64(len(sl.log)) + 1; pos != want {
+		c.report("position", "%v Opt-delivered %v at pos %d, expected %d", server, req, pos, want)
+	}
+	sl.log = append(sl.log, entry{req: req, pos: pos, result: append([]byte(nil), result...), epoch: epoch, opt: true})
+	sl.tentative++
+	sl.optPending[req] = struct{}{}
+}
+
+// OptUndeliver implements core.Tracer.
+func (c *Checker) OptUndeliver(server proto.NodeID, epoch uint64, req proto.RequestID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.undeliveries++
+	sl := c.server(server)
+	if sl.tentative == 0 || len(sl.log) == 0 {
+		c.report("undo", "%v Opt-undelivered %v with no tentative deliveries", server, req)
+		return
+	}
+	top := sl.log[len(sl.log)-1]
+	if top.req != req {
+		c.report("undo order", "%v Opt-undelivered %v but last delivery was %v (must undo in reverse order)", server, req, top.req)
+	}
+	sl.log = sl.log[:len(sl.log)-1]
+	sl.tentative--
+	delete(sl.optPending, req)
+	_ = epoch
+}
+
+// ADeliver implements core.Tracer.
+func (c *Checker) ADeliver(server proto.NodeID, epoch uint64, req proto.RequestID, pos uint64, result []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.aCount++
+	sl := c.server(server)
+	if _, ok := c.issued[req]; !ok {
+		c.report("prop1 validity", "%v A-delivered %v which was never issued", server, req)
+	}
+	if n := sl.delivered[req]; n > 0 {
+		c.report("prop3 at-most-once", "%v A-delivered %v already definitively delivered", server, req)
+	}
+	if _, pending := sl.optPending[req]; pending {
+		c.report("prop2 at-most-once", "%v A-delivered %v while its optimistic delivery stands (must Opt-undeliver first)", server, req)
+	}
+	if want := uint64(len(sl.log)) + 1; pos != want {
+		c.report("position", "%v A-delivered %v at pos %d, expected %d", server, req, pos, want)
+	}
+	sl.log = append(sl.log, entry{req: req, pos: pos, result: append([]byte(nil), result...), epoch: epoch})
+	sl.delivered[req]++
+}
+
+// EpochClose implements core.Tracer.
+func (c *Checker) EpochClose(server proto.NodeID, epoch uint64, input cnsvorder.Input, result cnsvorder.Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sl := c.server(server)
+	// Every surviving optimistic delivery of the epoch becomes definitive.
+	for i := len(sl.log) - sl.tentative; i < len(sl.log); i++ {
+		e := &sl.log[i]
+		e.opt = false
+		sl.delivered[e.req]++
+		delete(sl.optPending, e.req)
+	}
+	sl.tentative = 0
+
+	ed, ok := c.epochs[epoch]
+	if !ok {
+		ed = &epochData{
+			inputs:  make(map[proto.NodeID]cnsvorder.Input),
+			results: make(map[proto.NodeID]cnsvorder.Result),
+		}
+		c.epochs[epoch] = ed
+	}
+	ed.inputs[server] = input
+	ed.results[server] = result
+}
+
+// Adopt implements core.Tracer.
+func (c *Checker) Adopt(_ proto.NodeID, req proto.RequestID, reply proto.Reply) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if prev, dup := c.adoptions[req]; dup {
+		c.report("client", "request %v adopted twice (%v then %v)", req, prev, reply)
+		return
+	}
+	c.adoptions[req] = reply
+}
+
+// Undeliveries returns how many Opt-undeliver events were recorded.
+func (c *Checker) Undeliveries() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.undeliveries
+}
+
+// Deliveries returns the (optimistic, conservative) delivery counts.
+func (c *Checker) Deliveries() (opt, cons int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.optCount, c.aCount
+}
+
+// Adoptions returns the number of adopted replies.
+func (c *Checker) Adoptions() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.adoptions)
+}
+
+// Verify checks all safety properties over the trace recorded so far and
+// returns the violations (streaming violations recorded during the run
+// included). Call it when the cluster is quiescent.
+func (c *Checker) Verify() []*Violation {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := append([]*Violation(nil), c.violations...)
+	out = append(out, c.verifyTotalOrderLocked()...)
+	out = append(out, c.verifyExternalConsistencyLocked()...)
+	out = append(out, c.verifyEpochSpecsLocked()...)
+	return out
+}
+
+// VerifyLiveness additionally checks Prop 4 (at-least-once): every issued
+// request is definitively delivered at every correct server. Only meaningful
+// once the run is quiescent and all issued requests were given time to
+// complete.
+func (c *Checker) VerifyLiveness() []*Violation {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []*Violation
+	for id, sl := range c.servers {
+		if c.crashed[id] {
+			continue
+		}
+		for req := range c.issued {
+			definitive := sl.delivered[req] > 0
+			if _, pending := sl.optPending[req]; !definitive && !pending {
+				out = append(out, &Violation{
+					Property: "prop4 at-least-once",
+					Detail:   fmt.Sprintf("%v never delivered issued request %v", id, req),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// verifyTotalOrderLocked checks Prop 5: the definitive logs (committed
+// prefix + still-standing optimistic suffix) of correct servers must be
+// prefix-consistent with identical (request, position, result) triples.
+func (c *Checker) verifyTotalOrderLocked() []*Violation {
+	var out []*Violation
+	var ref []entry
+	var refID proto.NodeID
+	have := false
+	for id, sl := range c.servers {
+		if c.crashed[id] {
+			continue
+		}
+		if !have {
+			ref, refID, have = sl.log, id, true
+			continue
+		}
+		a, b := ref, sl.log
+		n := min(len(a), len(b))
+		for i := 0; i < n; i++ {
+			if a[i].req != b[i].req || a[i].pos != b[i].pos || !bytes.Equal(a[i].result, b[i].result) {
+				out = append(out, &Violation{
+					Property: "prop5 total order",
+					Detail: fmt.Sprintf("position %d: %v has (%v,%d,%q) but %v has (%v,%d,%q)",
+						i+1, refID, a[i].req, a[i].pos, a[i].result, id, b[i].req, b[i].pos, b[i].result),
+				})
+				break
+			}
+		}
+		if len(b) > len(a) {
+			ref, refID = b, id
+		}
+	}
+	return out
+}
+
+// verifyExternalConsistencyLocked checks Prop 7: an adopted reply must
+// agree with every correct server's definitive record of that request.
+func (c *Checker) verifyExternalConsistencyLocked() []*Violation {
+	var out []*Violation
+	for req, adopted := range c.adoptions {
+		for id, sl := range c.servers {
+			if c.crashed[id] {
+				continue
+			}
+			for _, e := range sl.log {
+				if e.req != req {
+					continue
+				}
+				if e.pos != adopted.Pos || !bytes.Equal(e.result, adopted.Result) {
+					out = append(out, &Violation{
+						Property: "prop7 external consistency",
+						Detail: fmt.Sprintf("client adopted (%d,%q) for %v but %v delivered it as (%d,%q)",
+							adopted.Pos, adopted.Result, req, id, e.pos, e.result),
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// verifyEpochSpecsLocked re-checks the Cnsv-order specification for every
+// epoch that at least two servers closed.
+func (c *Checker) verifyEpochSpecsLocked() []*Violation {
+	var out []*Violation
+	for epoch, ed := range c.epochs {
+		if len(ed.results) == 0 {
+			continue
+		}
+		for _, v := range cnsvorder.CheckSpec(c.n, ed.inputs, ed.results) {
+			out = append(out, &Violation{
+				Property: "cnsvorder " + v.Property,
+				Detail:   fmt.Sprintf("epoch %d: %s", epoch, v.Detail),
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,215 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cnsvorder"
+	"repro/internal/proto"
+)
+
+func rid(i int) proto.RequestID {
+	return proto.RequestID{Client: proto.ClientID(0), Seq: uint64(i)}
+}
+
+func issue(c *Checker, is ...int) {
+	for _, i := range is {
+		c.Issue(proto.ClientID(0), rid(i), []byte("cmd"))
+	}
+}
+
+func hasViolation(vs []*Violation, prop string) bool {
+	for _, v := range vs {
+		if strings.HasPrefix(v.Property, prop) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCleanOptimisticTrace(t *testing.T) {
+	c := New(3)
+	issue(c, 1, 2)
+	for _, s := range proto.Group(3) {
+		c.OptDeliver(s, 0, rid(1), 1, []byte("a"))
+		c.OptDeliver(s, 0, rid(2), 2, []byte("b"))
+	}
+	c.Adopt(proto.ClientID(0), rid(1), proto.Reply{Req: rid(1), Pos: 1, Result: []byte("a")})
+	if vs := c.Verify(); len(vs) != 0 {
+		t.Fatalf("clean trace flagged: %v", vs)
+	}
+	if vs := c.VerifyLiveness(); len(vs) != 0 {
+		t.Fatalf("pending optimistic deliveries flagged as liveness failures: %v", vs)
+	}
+	if opt, cons := c.Deliveries(); opt != 6 || cons != 0 {
+		t.Errorf("deliveries = %d/%d", opt, cons)
+	}
+}
+
+func TestUnissuedRequestFlagged(t *testing.T) {
+	c := New(3)
+	c.OptDeliver(0, 0, rid(9), 1, nil)
+	if !hasViolation(c.Verify(), "prop1") {
+		t.Fatal("unissued delivery not flagged")
+	}
+	c2 := New(3)
+	c2.ADeliver(0, 0, rid(9), 1, nil)
+	if !hasViolation(c2.Verify(), "prop1") {
+		t.Fatal("unissued A-delivery not flagged")
+	}
+}
+
+func TestDuplicateDeliveryFlagged(t *testing.T) {
+	c := New(3)
+	issue(c, 1)
+	c.OptDeliver(0, 0, rid(1), 1, nil)
+	c.OptDeliver(0, 0, rid(1), 2, nil) // same epoch, no undo in between
+	if !hasViolation(c.Verify(), "prop2") {
+		t.Fatal("duplicate optimistic delivery not flagged")
+	}
+}
+
+func TestADeliverOverStandingOptFlagged(t *testing.T) {
+	c := New(3)
+	issue(c, 1)
+	c.OptDeliver(0, 0, rid(1), 1, nil)
+	c.ADeliver(0, 0, rid(1), 2, nil) // must Opt-undeliver first (Prop 2)
+	if !hasViolation(c.Verify(), "prop2") {
+		t.Fatal("A-delivery over standing optimistic delivery not flagged")
+	}
+}
+
+func TestRedeliveryAfterEpochCloseFlagged(t *testing.T) {
+	c := New(3)
+	issue(c, 1)
+	c.OptDeliver(0, 0, rid(1), 1, nil)
+	c.EpochClose(0, 0, cnsvorder.Input{}, cnsvorder.Result{})
+	c.OptDeliver(0, 1, rid(1), 2, nil) // definitive in epoch 0, redelivered in 1
+	if !hasViolation(c.Verify(), "prop3") {
+		t.Fatal("cross-epoch redelivery not flagged")
+	}
+}
+
+func TestUndoReverseOrderEnforced(t *testing.T) {
+	c := New(3)
+	issue(c, 1, 2)
+	c.OptDeliver(0, 0, rid(1), 1, nil)
+	c.OptDeliver(0, 0, rid(2), 2, nil)
+	c.OptUndeliver(0, 0, rid(1)) // wrong: rid(2) was last
+	if !hasViolation(c.Verify(), "undo order") {
+		t.Fatal("out-of-order undo not flagged")
+	}
+	c2 := New(3)
+	c2.OptUndeliver(0, 0, rid(1)) // nothing delivered at all
+	if !hasViolation(c2.Verify(), "undo") {
+		t.Fatal("undo without delivery not flagged")
+	}
+}
+
+func TestUndoThenRedeliverIsClean(t *testing.T) {
+	c := New(3)
+	issue(c, 1, 2)
+	c.OptDeliver(0, 0, rid(1), 1, nil)
+	c.OptDeliver(0, 0, rid(2), 2, nil)
+	c.OptUndeliver(0, 0, rid(2))
+	c.OptUndeliver(0, 0, rid(1))
+	c.ADeliver(0, 0, rid(2), 1, nil)
+	c.ADeliver(0, 0, rid(1), 2, nil)
+	if vs := c.Verify(); len(vs) != 0 {
+		t.Fatalf("legal undo/redeliver flagged: %v", vs)
+	}
+	if c.Undeliveries() != 2 {
+		t.Errorf("undeliveries = %d", c.Undeliveries())
+	}
+}
+
+func TestPositionGapFlagged(t *testing.T) {
+	c := New(3)
+	issue(c, 1)
+	c.OptDeliver(0, 0, rid(1), 5, nil) // first delivery must be pos 1
+	if !hasViolation(c.Verify(), "position") {
+		t.Fatal("position gap not flagged")
+	}
+}
+
+func TestTotalOrderDivergenceFlagged(t *testing.T) {
+	c := New(2)
+	issue(c, 1, 2)
+	c.OptDeliver(0, 0, rid(1), 1, nil)
+	c.OptDeliver(0, 0, rid(2), 2, nil)
+	c.OptDeliver(1, 0, rid(2), 1, nil) // p1 swapped the order
+	c.OptDeliver(1, 0, rid(1), 2, nil)
+	if !hasViolation(c.Verify(), "prop5") {
+		t.Fatal("order divergence not flagged")
+	}
+}
+
+func TestResultDivergenceFlagged(t *testing.T) {
+	c := New(2)
+	issue(c, 1)
+	c.OptDeliver(0, 0, rid(1), 1, []byte("x"))
+	c.OptDeliver(1, 0, rid(1), 1, []byte("y"))
+	if !hasViolation(c.Verify(), "prop5") {
+		t.Fatal("result divergence not flagged")
+	}
+}
+
+func TestExternalInconsistencyFlagged(t *testing.T) {
+	c := New(2)
+	issue(c, 1)
+	c.Adopt(proto.ClientID(0), rid(1), proto.Reply{Req: rid(1), Pos: 2, Result: []byte("y")})
+	c.OptDeliver(0, 0, rid(1), 1, []byte("x"))
+	if !hasViolation(c.Verify(), "prop7") {
+		t.Fatal("adopted/delivered mismatch not flagged")
+	}
+}
+
+func TestCrashedServerExcluded(t *testing.T) {
+	c := New(2)
+	issue(c, 1, 2)
+	c.OptDeliver(0, 0, rid(1), 1, nil)
+	c.MarkCrashed(0)
+	c.OptDeliver(1, 0, rid(2), 1, nil) // diverges from the crashed p0 — fine
+	if vs := c.Verify(); len(vs) != 0 {
+		t.Fatalf("crashed server's log still checked: %v", vs)
+	}
+	if vs := c.VerifyLiveness(); len(vs) != 1 {
+		// p1 never delivered rid(1): a genuine liveness failure of the test
+		// trace; p0 being crashed must not add a second one.
+		t.Fatalf("liveness = %v", vs)
+	}
+}
+
+func TestDoubleAdoptionFlagged(t *testing.T) {
+	c := New(3)
+	issue(c, 1)
+	r := proto.Reply{Req: rid(1), Pos: 1}
+	c.Adopt(proto.ClientID(0), rid(1), r)
+	c.Adopt(proto.ClientID(0), rid(1), r)
+	if !hasViolation(c.Verify(), "client") {
+		t.Fatal("double adoption not flagged")
+	}
+	if c.Adoptions() != 1 {
+		t.Errorf("adoptions = %d", c.Adoptions())
+	}
+}
+
+func TestEpochSpecChecked(t *testing.T) {
+	// Two servers closing the same epoch with disagreeing final sequences
+	// must trip the Cnsv-order agreement property.
+	c := New(2)
+	issue(c, 1, 2)
+	req := func(i int) proto.Request { return proto.Request{ID: rid(i)} }
+	c.EpochClose(0, 0, cnsvorder.Input{Dlv: []proto.Request{req(1)}}, cnsvorder.Result{Good: []proto.RequestID{rid(1)}})
+	c.EpochClose(1, 0, cnsvorder.Input{Dlv: []proto.Request{req(2)}}, cnsvorder.Result{Good: []proto.RequestID{rid(2)}})
+	if !hasViolation(c.Verify(), "cnsvorder agreement") {
+		t.Fatalf("epoch disagreement not flagged: %v", c.Verify())
+	}
+}
+
+func TestViolationError(t *testing.T) {
+	v := &Violation{Property: "p", Detail: "d"}
+	if v.Error() != "p: d" {
+		t.Errorf("Error() = %q", v.Error())
+	}
+}

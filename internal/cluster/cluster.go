@@ -1,0 +1,422 @@
+// Package cluster boots an OAR replica group plus clients over an in-memory
+// network and provides the fault-injection and observation hooks used by the
+// integration tests, examples, the scenario runner (cmd/oar-sim) and the
+// benchmark harness: crash a server, block links between groups, script
+// oracle suspicions, poll protocol counters, and verify traces.
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/app"
+	"repro/internal/baseline"
+	"repro/internal/baseline/ctab"
+	"repro/internal/baseline/fixedseq"
+	"repro/internal/core"
+	"repro/internal/fd"
+	"repro/internal/memnet"
+	"repro/internal/proto"
+	"repro/internal/rmcast"
+)
+
+// Protocol selects which replication protocol the cluster runs.
+type Protocol int
+
+// Protocols.
+const (
+	// OAR is the paper's optimistic active replication (internal/core).
+	OAR Protocol = iota + 1
+	// FixedSeq is the Isis-style sequencer baseline (unsafe fail-over).
+	FixedSeq
+	// CTab is the conservative consensus-per-batch baseline.
+	CTab
+)
+
+// String implements fmt.Stringer.
+func (p Protocol) String() string {
+	switch p {
+	case OAR:
+		return "oar"
+	case FixedSeq:
+		return "fixedseq"
+	case CTab:
+		return "ctab"
+	default:
+		return fmt.Sprintf("protocol(%d)", int(p))
+	}
+}
+
+// Invoker is the common client surface of all three protocols.
+type Invoker interface {
+	// Invoke submits a command and blocks until a reply is adopted.
+	Invoke(ctx context.Context, cmd []byte) (proto.Reply, error)
+	// Stop shuts the client down.
+	Stop()
+}
+
+// FDMode selects how replicas detect failures.
+type FDMode int
+
+// Failure-detector modes.
+const (
+	// FDHeartbeat uses the heartbeat-timeout ◊S detector.
+	FDHeartbeat FDMode = iota + 1
+	// FDOracle gives every replica a scriptable oracle (tests drive
+	// suspicions explicitly; heartbeats are disabled).
+	FDOracle
+	// FDNever never suspects anyone (pure failure-free benchmarking).
+	FDNever
+)
+
+// Options configures a cluster.
+type Options struct {
+	// Protocol selects the replication protocol (default OAR).
+	Protocol Protocol
+	// N is the number of replicas (1..64).
+	N int
+	// Machine names the replicated state machine (see app.Names). Default
+	// "recorder".
+	Machine string
+	// Net configures the in-memory network.
+	Net memnet.Options
+	// FD selects the failure detector (default FDHeartbeat).
+	FD FDMode
+	// FDTimeout is the heartbeat suspicion timeout (default 25ms).
+	FDTimeout time.Duration
+	// RelayMode selects the reliable-multicast strategy (default Eager).
+	RelayMode rmcast.Mode
+	// EpochRequestLimit forces a PhaseII after that many optimistic
+	// deliveries per epoch (0 = off); see the Section 5.3 Remark.
+	EpochRequestLimit int
+	// TickInterval and HeartbeatInterval tune the server loops (defaults
+	// from core).
+	TickInterval      time.Duration
+	HeartbeatInterval time.Duration
+	// Tracer observes all protocol events (e.g. a *check.Checker).
+	Tracer core.Tracer
+}
+
+// lockedMachine makes an app.Machine safe for the cluster's cross-goroutine
+// observation (the server loop applies; tests poll Fingerprint).
+type lockedMachine struct {
+	mu    sync.Mutex
+	inner app.Machine
+}
+
+var _ app.Machine = (*lockedMachine)(nil)
+
+func (m *lockedMachine) Apply(cmd []byte) ([]byte, func()) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	result, undo := m.inner.Apply(cmd)
+	return result, func() {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		undo()
+	}
+}
+
+func (m *lockedMachine) Fingerprint() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.inner.Fingerprint()
+}
+
+// runner is any replica event loop.
+type runner interface {
+	Run(ctx context.Context) error
+}
+
+// Cluster is a running replica group (OAR or one of the baselines).
+type Cluster struct {
+	opts    Options
+	group   []proto.NodeID
+	net     *memnet.Network
+	servers []*core.Server     // Protocol == OAR
+	fsSrv   []*fixedseq.Server // Protocol == FixedSeq
+	ctSrv   []*ctab.Server     // Protocol == CTab
+	oracles []*fd.Oracle       // non-nil in FDOracle mode
+	mach    []app.Machine
+
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+	clients []Invoker
+	nextCli int
+	mu      sync.Mutex
+}
+
+// New builds and starts a cluster.
+func New(opts Options) (*Cluster, error) {
+	if opts.N <= 0 || opts.N > proto.MaxGroupSize {
+		return nil, fmt.Errorf("cluster: N=%d out of range", opts.N)
+	}
+	if opts.Machine == "" {
+		opts.Machine = "recorder"
+	}
+	if opts.Protocol == 0 {
+		opts.Protocol = OAR
+	}
+	if opts.FD == 0 {
+		opts.FD = FDHeartbeat
+	}
+	if opts.FDTimeout == 0 {
+		opts.FDTimeout = 25 * time.Millisecond
+	}
+
+	c := &Cluster{
+		opts:  opts,
+		group: proto.Group(opts.N),
+		net:   memnet.New(opts.Net),
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	c.cancel = cancel
+
+	start := time.Now()
+	for i := 0; i < opts.N; i++ {
+		inner, err := app.New(opts.Machine)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		machine := app.Machine(&lockedMachine{inner: inner})
+		c.mach = append(c.mach, machine)
+
+		var detector fd.Detector
+		hbInterval := opts.HeartbeatInterval
+		switch opts.FD {
+		case FDHeartbeat:
+			detector = fd.NewTimeout(opts.FDTimeout, c.group, start)
+		case FDOracle:
+			o := fd.NewOracle()
+			c.oracles = append(c.oracles, o)
+			detector = o
+			hbInterval = -1 // oracles ignore heartbeats; skip the traffic
+		case FDNever:
+			detector = fd.Never{}
+			hbInterval = -1
+		default:
+			cancel()
+			return nil, fmt.Errorf("cluster: unknown FD mode %d", opts.FD)
+		}
+
+		var run runner
+		switch opts.Protocol {
+		case OAR:
+			srv, err := core.NewServer(core.ServerConfig{
+				ID:                c.group[i],
+				Group:             c.group,
+				Node:              c.net.Node(c.group[i]),
+				Machine:           machine,
+				Detector:          detector,
+				RelayMode:         opts.RelayMode,
+				TickInterval:      opts.TickInterval,
+				HeartbeatInterval: hbInterval,
+				EpochRequestLimit: opts.EpochRequestLimit,
+				Tracer:            opts.Tracer,
+			})
+			if err != nil {
+				cancel()
+				return nil, err
+			}
+			c.servers = append(c.servers, srv)
+			run = srv
+		case FixedSeq:
+			srv, err := fixedseq.NewServer(fixedseq.Config{
+				ID:                c.group[i],
+				Group:             c.group,
+				Node:              c.net.Node(c.group[i]),
+				Machine:           machine,
+				Detector:          detector,
+				TickInterval:      opts.TickInterval,
+				HeartbeatInterval: hbInterval,
+				Tracer:            opts.Tracer,
+			})
+			if err != nil {
+				cancel()
+				return nil, err
+			}
+			c.fsSrv = append(c.fsSrv, srv)
+			run = srv
+		case CTab:
+			srv, err := ctab.NewServer(ctab.Config{
+				ID:                c.group[i],
+				Group:             c.group,
+				Node:              c.net.Node(c.group[i]),
+				Machine:           machine,
+				Detector:          detector,
+				TickInterval:      opts.TickInterval,
+				HeartbeatInterval: hbInterval,
+				Tracer:            opts.Tracer,
+			})
+			if err != nil {
+				cancel()
+				return nil, err
+			}
+			c.ctSrv = append(c.ctSrv, srv)
+			run = srv
+		default:
+			cancel()
+			return nil, fmt.Errorf("cluster: unknown protocol %v", opts.Protocol)
+		}
+
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			_ = run.Run(ctx)
+		}()
+	}
+	return c, nil
+}
+
+// Net exposes the underlying network for fault injection and stats.
+func (c *Cluster) Net() *memnet.Network { return c.net }
+
+// Group returns Π.
+func (c *Cluster) Group() []proto.NodeID { return c.group }
+
+// Server returns replica i's protocol object (for Stats).
+func (c *Cluster) Server(i int) *core.Server { return c.servers[i] }
+
+// Machine returns replica i's state machine. Only read it (Fingerprint)
+// when the cluster is quiescent.
+func (c *Cluster) Machine(i int) app.Machine { return c.mach[i] }
+
+// Oracle returns replica i's scriptable failure detector (FDOracle mode).
+func (c *Cluster) Oracle(i int) *fd.Oracle { return c.oracles[i] }
+
+// SuspectEverywhere makes every live replica's oracle suspect id.
+func (c *Cluster) SuspectEverywhere(id proto.NodeID) {
+	for _, o := range c.oracles {
+		o.Suspect(id)
+	}
+}
+
+// TrustEverywhere clears suspicion of id at every replica's oracle.
+func (c *Cluster) TrustEverywhere(id proto.NodeID) {
+	for _, o := range c.oracles {
+		o.Trust(id)
+	}
+}
+
+// Crash kills replica i: its endpoint closes and its event loop exits.
+func (c *Cluster) Crash(i int) {
+	c.net.Crash(c.group[i])
+}
+
+// NewClient creates and starts a client matching the cluster's protocol:
+// the weight-quorum client of Figure 5 for OAR, the classic first-reply
+// client for the baselines.
+func (c *Cluster) NewClient() (Invoker, error) {
+	c.mu.Lock()
+	id := proto.ClientID(c.nextCli)
+	c.nextCli++
+	c.mu.Unlock()
+
+	var (
+		cli Invoker
+		err error
+	)
+	if c.opts.Protocol == OAR {
+		var oc *core.Client
+		oc, err = core.NewClient(core.ClientConfig{
+			ID:     id,
+			Group:  c.group,
+			Node:   c.net.Node(id),
+			Tracer: c.opts.Tracer,
+		})
+		if err == nil {
+			oc.Start()
+			cli = oc
+		}
+	} else {
+		var bc *baseline.Client
+		bc, err = baseline.NewClient(baseline.ClientConfig{
+			ID:     id,
+			Group:  c.group,
+			Node:   c.net.Node(id),
+			Tracer: c.opts.Tracer,
+		})
+		if err == nil {
+			bc.Start()
+			cli = bc
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.clients = append(c.clients, cli)
+	c.mu.Unlock()
+	return cli, nil
+}
+
+// FixedSeqServer returns replica i of a FixedSeq cluster.
+func (c *Cluster) FixedSeqServer(i int) *fixedseq.Server { return c.fsSrv[i] }
+
+// CTabServer returns replica i of a CTab cluster.
+func (c *Cluster) CTabServer(i int) *ctab.Server { return c.ctSrv[i] }
+
+// DeliveredTotal sums definitive deliveries across replicas, regardless of
+// protocol (OAR counts optimistic + conservative deliveries).
+func (c *Cluster) DeliveredTotal() uint64 {
+	var total uint64
+	switch c.opts.Protocol {
+	case FixedSeq:
+		for _, s := range c.fsSrv {
+			total += s.Stats().Delivered
+		}
+	case CTab:
+		for _, s := range c.ctSrv {
+			total += s.Stats().Delivered
+		}
+	default:
+		for _, s := range c.servers {
+			st := s.Stats()
+			total += st.OptDelivered + st.ADelivered - st.OptUndelivered
+		}
+	}
+	return total
+}
+
+// TotalStats sums the protocol counters of all replicas.
+func (c *Cluster) TotalStats() core.ServerStats {
+	var total core.ServerStats
+	for _, s := range c.servers {
+		st := s.Stats()
+		total.OptDelivered += st.OptDelivered
+		total.OptUndelivered += st.OptUndelivered
+		total.ADelivered += st.ADelivered
+		total.Epochs += st.Epochs
+		total.SeqOrdersSent += st.SeqOrdersSent
+	}
+	return total
+}
+
+// WaitUntil polls cond every millisecond until it is true or the timeout
+// elapses; it reports whether the condition was met.
+func WaitUntil(timeout time.Duration, cond func() bool) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return cond()
+}
+
+// Stop shuts everything down: clients first, then servers, then the network.
+func (c *Cluster) Stop() {
+	c.mu.Lock()
+	clients := append([]Invoker(nil), c.clients...)
+	c.mu.Unlock()
+	for _, cli := range clients {
+		cli.Stop()
+	}
+	c.cancel()
+	c.net.Close() // closes inboxes, unblocking any server loop still reading
+	c.wg.Wait()
+}

@@ -1,0 +1,110 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/proto"
+)
+
+func TestValidation(t *testing.T) {
+	if _, err := New(Options{N: 0}); err == nil {
+		t.Error("N=0 accepted")
+	}
+	if _, err := New(Options{N: 65}); err == nil {
+		t.Error("N=65 accepted")
+	}
+	if _, err := New(Options{N: 3, Machine: "nope"}); err == nil {
+		t.Error("unknown machine accepted")
+	}
+	if _, err := New(Options{N: 3, FD: FDMode(9)}); err == nil {
+		t.Error("unknown FD mode accepted")
+	}
+	if _, err := New(Options{N: 3, Protocol: Protocol(9)}); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+}
+
+func TestDefaultsAndAccessors(t *testing.T) {
+	c, err := New(Options{N: 3, FD: FDOracle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	if len(c.Group()) != 3 {
+		t.Errorf("group = %v", c.Group())
+	}
+	if c.Server(0) == nil || c.Machine(0) == nil || c.Oracle(0) == nil || c.Net() == nil {
+		t.Error("accessor returned nil")
+	}
+	c.SuspectEverywhere(proto.NodeID(0))
+	if !c.Oracle(1).Suspected(0, time.Now()) {
+		t.Error("SuspectEverywhere did not reach oracle 1")
+	}
+	c.TrustEverywhere(proto.NodeID(0))
+	if c.Oracle(1).Suspected(0, time.Now()) {
+		t.Error("TrustEverywhere did not clear suspicion")
+	}
+}
+
+func TestLockedMachineUndo(t *testing.T) {
+	c, err := New(Options{N: 1, FD: FDNever, Machine: "stack"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	m := c.Machine(0)
+	_, undo := m.Apply([]byte("push a"))
+	if m.Fingerprint() != "a" {
+		t.Fatalf("state = %q", m.Fingerprint())
+	}
+	undo()
+	if m.Fingerprint() != "" {
+		t.Fatalf("undo through wrapper failed: %q", m.Fingerprint())
+	}
+}
+
+func TestEndToEndSmoke(t *testing.T) {
+	c, err := New(Options{N: 3, FD: FDNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	cli, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := cli.Invoke(ctx, []byte("m")); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.DeliveredTotal(); got == 0 {
+		t.Error("DeliveredTotal = 0 after an invoke")
+	}
+	if st := c.TotalStats(); st.SeqOrdersSent == 0 {
+		t.Error("no sequencer orders counted")
+	}
+}
+
+func TestWaitUntil(t *testing.T) {
+	n := 0
+	if !WaitUntil(time.Second, func() bool { n++; return n >= 3 }) {
+		t.Error("condition never satisfied")
+	}
+	if WaitUntil(10*time.Millisecond, func() bool { return false }) {
+		t.Error("false condition reported satisfied")
+	}
+}
+
+func TestStopIdempotentClients(t *testing.T) {
+	c, err := New(Options{N: 3, FD: FDNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.NewClient(); err != nil {
+		t.Fatal(err)
+	}
+	c.Stop() // must stop clients and servers without deadlock
+}

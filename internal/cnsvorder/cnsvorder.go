@@ -1,0 +1,205 @@
+// Package cnsvorder implements the Cnsv-order primitive of the paper
+// (Sections 5.4–5.5): the conservative ordering of epoch k, solved by
+// reduction to Maj-validity consensus.
+//
+//	{Bad; New} ← Cnsv-order(O_delivered, O_notdelivered)
+//
+// Each process proposes the pair (O_delivered, O_notdelivered) for epoch k;
+// the consensus decision D_k is the sequence of pairs proposed by a majority
+// of processes. From D_k, every process deterministically computes (Figure 7)
+//
+//	Bad  — the messages it Opt-delivered in the wrong order (to Opt-undeliver,
+//	       in reverse delivery order),
+//	New  — the messages to A-deliver now,
+//	Good — the prefix it Opt-delivered in the agreed order (kept, and
+//	       committed when the epoch closes).
+//
+// The package also exposes CheckSpec, an executable version of the eight
+// properties of Section 5.4 used by the test suite and the run-time trace
+// checker.
+package cnsvorder
+
+import (
+	"fmt"
+
+	"repro/internal/consensus"
+	"repro/internal/mseq"
+	"repro/internal/proto"
+	"repro/internal/wire"
+)
+
+// Input is one process's proposal to Cnsv-order for an epoch: the sequence
+// it Opt-delivered and the sequence it received but did not deliver yet.
+// Full requests (not just IDs) are carried so that any process can A-deliver
+// a message it never received directly.
+type Input struct {
+	Dlv    []proto.Request
+	NotDlv []proto.Request
+}
+
+// Marshal encodes the input as a consensus initial value.
+func (in Input) Marshal() []byte {
+	w := wire.NewWriter(64)
+	encodeReqs(w, in.Dlv)
+	encodeReqs(w, in.NotDlv)
+	return w.Bytes()
+}
+
+// UnmarshalInput decodes a consensus initial value.
+func UnmarshalInput(b []byte) (Input, error) {
+	r := wire.NewReader(b)
+	var in Input
+	in.Dlv = decodeReqs(r)
+	in.NotDlv = decodeReqs(r)
+	if err := r.Err(); err != nil {
+		return Input{}, fmt.Errorf("cnsvorder: decode input: %w", err)
+	}
+	return in, nil
+}
+
+func encodeReqs(w *wire.Writer, reqs []proto.Request) {
+	w.Uint64(uint64(len(reqs)))
+	for _, req := range reqs {
+		req.Encode(w)
+	}
+}
+
+func decodeReqs(r *wire.Reader) []proto.Request {
+	n := r.Uint64()
+	if r.Err() != nil || n > uint64(r.Remaining()) {
+		return nil
+	}
+	reqs := make([]proto.Request, 0, n)
+	for i := uint64(0); i < n; i++ {
+		reqs = append(reqs, proto.DecodeRequest(r))
+	}
+	return reqs
+}
+
+// Result is the outcome of Cnsv-order at one process.
+type Result struct {
+	// Bad is the sequence of messages Opt-delivered in the wrong order, in
+	// delivery order; the caller must Opt-undeliver them in *reverse* order
+	// (footnote 2 of the paper).
+	Bad []proto.RequestID
+	// New is the sequence of messages to A-deliver now, in order, with full
+	// payloads.
+	New []proto.Request
+	// Good is the prefix of O_delivered confirmed in the agreed order
+	// (O_delivered ⊖ Bad). Transactional applications commit these (§6).
+	Good []proto.RequestID
+}
+
+// ids projects requests onto their identifiers.
+func ids(reqs []proto.Request) mseq.Seq[proto.RequestID] {
+	if len(reqs) == 0 {
+		return nil
+	}
+	out := make(mseq.Seq[proto.RequestID], len(reqs))
+	for i, r := range reqs {
+		out[i] = r.ID
+	}
+	return out
+}
+
+// Compute runs lines 5–19 of Figure 7 on the consensus decision. ownInput
+// must be the exact value this process proposed. The decision's pairs must
+// satisfy Lemma 2 (all dlv_i sequences are prefixes of one another); a
+// violation — impossible unless the sequencer protocol is broken — is
+// reported as an error.
+func Compute(ownInput Input, decision consensus.Decision) (Result, error) {
+	return ComputeOpt(ownInput, decision, true)
+}
+
+// ComputeOpt is Compute with the undo-thriftiness optimization (lines 15–19
+// of Figure 7) made optional — the A2 ablation of DESIGN.md measures how
+// many unnecessary Opt-undelivers the optimization saves. Production code
+// always wants thrifty == true.
+func ComputeOpt(ownInput Input, decision consensus.Decision, thrifty bool) (Result, error) {
+	// Decode every pair in D_k and index payloads.
+	type pair struct {
+		dlv    mseq.Seq[proto.RequestID]
+		notdlv mseq.Seq[proto.RequestID]
+	}
+	pairs := make([]pair, 0, len(decision))
+	payloads := make(map[proto.RequestID]proto.Request)
+	for _, pv := range decision {
+		in, err := UnmarshalInput(pv.Val)
+		if err != nil {
+			return Result{}, fmt.Errorf("cnsvorder: decision entry from %v: %w", pv.From, err)
+		}
+		for _, r := range in.Dlv {
+			payloads[r.ID] = r
+		}
+		for _, r := range in.NotDlv {
+			payloads[r.ID] = r
+		}
+		pairs = append(pairs, pair{dlv: ids(in.Dlv), notdlv: ids(in.NotDlv)})
+	}
+	for _, r := range ownInput.Dlv {
+		payloads[r.ID] = r
+	}
+	for _, r := range ownInput.NotDlv {
+		payloads[r.ID] = r
+	}
+
+	// Line 5: dlvmax ← longest dlv_i in D_k.
+	var dlvmax mseq.Seq[proto.RequestID]
+	for _, p := range pairs {
+		if p.dlv.Len() > dlvmax.Len() {
+			dlvmax = p.dlv
+		}
+	}
+	// Lemma 2 sanity check: every dlv_i must be a prefix of dlvmax.
+	for _, p := range pairs {
+		if !dlvmax.HasPrefix(p.dlv) {
+			return Result{}, fmt.Errorf("cnsvorder: decision violates the prefix property (Lemma 2): %v not a prefix of %v", p.dlv, dlvmax)
+		}
+	}
+
+	oDlv := ids(ownInput.Dlv)
+	var bad, newIDs, good mseq.Seq[proto.RequestID]
+	// Lines 6–11.
+	if dlvmax.HasPrefix(oDlv) {
+		newIDs = mseq.Minus(dlvmax, oDlv)
+		good = oDlv
+	} else {
+		good = mseq.CommonPrefix(oDlv, dlvmax)
+		bad = mseq.Minus(oDlv, good)
+	}
+
+	// Lines 12–14: merge the not-delivered sequences deterministically and
+	// schedule whatever is not already covered by dlvmax.
+	notdlvSeqs := make([]mseq.Seq[proto.RequestID], 0, len(pairs))
+	for _, p := range pairs {
+		notdlvSeqs = append(notdlvSeqs, p.notdlv)
+	}
+	notdlv := mseq.Minus(mseq.Merge(notdlvSeqs...), dlvmax)
+	newIDs = mseq.Concat(newIDs, notdlv)
+
+	// Lines 15–19: undo thriftiness — do not undeliver messages that would
+	// be immediately re-delivered in the same order.
+	if prefix := mseq.CommonPrefix(bad, newIDs); thrifty && !prefix.IsEmpty() {
+		good = mseq.Concat(good, prefix)
+		bad = mseq.Minus(bad, prefix)
+		newIDs = mseq.Minus(newIDs, prefix)
+	}
+
+	// Materialize New with payloads.
+	newReqs := make([]proto.Request, 0, newIDs.Len())
+	for _, id := range newIDs {
+		req, ok := payloads[id]
+		if !ok {
+			return Result{}, fmt.Errorf("cnsvorder: no payload for scheduled message %v", id)
+		}
+		newReqs = append(newReqs, req)
+	}
+	return Result{Bad: bad, New: newReqs, Good: good}, nil
+}
+
+// FinalSequence returns the definitive delivery sequence of the epoch implied
+// by a result: (O_delivered ⊖ Bad) ⊕ New. By the Agreement property it is
+// identical at every correct process.
+func FinalSequence(ownInput Input, res Result) mseq.Seq[proto.RequestID] {
+	return mseq.Concat(mseq.Minus(ids(ownInput.Dlv), mseq.New(res.Bad...)), ids(res.New))
+}

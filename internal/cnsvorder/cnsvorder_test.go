@@ -1,0 +1,337 @@
+package cnsvorder
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/consensus"
+	"repro/internal/mseq"
+	"repro/internal/proto"
+)
+
+// req builds a request with a deterministic ID from a small integer.
+func req(i int) proto.Request {
+	return proto.Request{
+		ID:  proto.RequestID{Client: proto.ClientID(0), Seq: uint64(i)},
+		Cmd: []byte{byte(i)},
+	}
+}
+
+func reqs(is ...int) []proto.Request {
+	out := make([]proto.Request, len(is))
+	for j, i := range is {
+		out[j] = req(i)
+	}
+	return out
+}
+
+func rids(is ...int) []proto.RequestID {
+	out := make([]proto.RequestID, len(is))
+	for j, i := range is {
+		out[j] = req(i).ID
+	}
+	return out
+}
+
+func decisionOf(inputs map[proto.NodeID]Input, members ...proto.NodeID) consensus.Decision {
+	d := make(consensus.Decision, 0, len(members))
+	for _, m := range members {
+		d = append(d, consensus.ProposedValue{From: m, Val: inputs[m].Marshal()})
+	}
+	return d
+}
+
+func idsEqual(a []proto.RequestID, b []proto.RequestID) bool {
+	return mseq.Equal(mseq.New(a...), mseq.New(b...))
+}
+
+func TestInputMarshalRoundTrip(t *testing.T) {
+	in := Input{Dlv: reqs(1, 2), NotDlv: reqs(4, 3)}
+	got, err := UnmarshalInput(in.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !idsEqual(ids(got.Dlv), rids(1, 2)) || !idsEqual(ids(got.NotDlv), rids(4, 3)) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if string(got.Dlv[0].Cmd) != "\x01" {
+		t.Error("payload lost in round trip")
+	}
+	if _, err := UnmarshalInput([]byte{0xFF, 0xFF}); err == nil {
+		t.Error("garbage input accepted")
+	}
+}
+
+// TestFigure3 reproduces the run of Figure 3: three servers; the sequencer
+// p0 crashes after ordering m3, m4; only p1 saw the ordering. A majority
+// (p0, p1) Opt-delivered m3 before m4, so nobody reorders.
+func TestFigure3(t *testing.T) {
+	inputs := map[proto.NodeID]Input{
+		0: {Dlv: reqs(1, 2, 3, 4)},               // crashed sequencer (proposed before crash? no — excluded below)
+		1: {Dlv: reqs(1, 2, 3, 4)},               // received ordering
+		2: {Dlv: reqs(1, 2), NotDlv: reqs(4, 3)}, // never saw the m3,m4 ordering
+	}
+	// Consensus majority: p1 and p2 (the sequencer is dead).
+	d := decisionOf(inputs, 1, 2)
+
+	resP1, err := Compute(inputs[1], d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resP1.Bad) != 0 || len(resP1.New) != 0 {
+		t.Fatalf("p1: Bad=%v New=%v, want both empty", resP1.Bad, resP1.New)
+	}
+	resP2, err := Compute(inputs[2], d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resP2.Bad) != 0 {
+		t.Fatalf("p2: Bad=%v, want empty", resP2.Bad)
+	}
+	if !idsEqual(ids(resP2.New), rids(3, 4)) {
+		t.Fatalf("p2: New=%v, want [m3;m4]", ids(resP2.New))
+	}
+	results := map[proto.NodeID]Result{1: resP1, 2: resP2}
+	if vs := CheckSpec(3, inputs, results); len(vs) != 0 {
+		t.Fatalf("spec violations: %v", vs)
+	}
+	// Majority guarantee: m3 before m4 everywhere.
+	final := FinalSequence(inputs[1], resP1)
+	if final.Index(req(3).ID) > final.Index(req(4).ID) {
+		t.Fatal("majority guarantee violated: m4 ordered before m3")
+	}
+}
+
+// TestFigure4Phenomenon reproduces the Opt-undeliver scenario of Figure 4.
+// With the strictly majority-inclusive Maj-validity consensus that the
+// paper's Proposition 14 relies on, the minimal configuration is five
+// servers: the minority partition {p0 (sequencer), p1} Opt-delivers m3, m4
+// while the majority {p2, p3, p4} completes consensus without them and
+// orders m4 before m3. p1 must then undo m3, m4 and redeliver them as
+// m4, m3 — and the spec still holds.
+func TestFigure4Phenomenon(t *testing.T) {
+	inputs := map[proto.NodeID]Input{
+		0: {Dlv: reqs(1, 2, 3, 4)},               // sequencer, partitioned minority
+		1: {Dlv: reqs(1, 2, 3, 4)},               // received ordering, partitioned minority
+		2: {Dlv: reqs(1, 2), NotDlv: reqs(4, 3)}, // majority side
+		3: {Dlv: reqs(1, 2), NotDlv: reqs(4, 3)},
+		4: {Dlv: reqs(1, 2), NotDlv: reqs(3, 4)},
+	}
+	// The majority {p2,p3,p4} decides alone; deterministic merge order puts
+	// p2's notdlv first: {m4;m3}.
+	d := decisionOf(inputs, 2, 3, 4)
+
+	resP1, err := Compute(inputs[1], d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !idsEqual(resP1.Bad, rids(3, 4)) {
+		t.Fatalf("p1: Bad=%v, want [m3;m4]", resP1.Bad)
+	}
+	if !idsEqual(ids(resP1.New), rids(4, 3)) {
+		t.Fatalf("p1: New=%v, want [m4;m3]", ids(resP1.New))
+	}
+	resP2, err := Compute(inputs[2], d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resP2.Bad) != 0 || !idsEqual(ids(resP2.New), rids(4, 3)) {
+		t.Fatalf("p2: Bad=%v New=%v", resP2.Bad, ids(resP2.New))
+	}
+
+	results := map[proto.NodeID]Result{1: resP1, 2: resP2}
+	for _, p := range []proto.NodeID{3, 4} {
+		r, err := Compute(inputs[p], d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[p] = r
+	}
+	if vs := CheckSpec(5, inputs, results); len(vs) != 0 {
+		t.Fatalf("spec violations: %v", vs)
+	}
+}
+
+// TestUndoThriftiness exercises lines 15–19 of Figure 7: messages whose
+// conservative order happens to match their optimistic order must not be
+// undone even when they fell outside dlvmax.
+func TestUndoThriftiness(t *testing.T) {
+	// p1 delivered [m1;m2;m3]; the majority decided dlvmax=[m1] and the
+	// merged notdlv re-schedules m2, m3 in the same order.
+	inputs := map[proto.NodeID]Input{
+		0: {Dlv: reqs(1, 2, 3)},
+		1: {Dlv: reqs(1), NotDlv: reqs(2, 3)},
+		2: {Dlv: reqs(1), NotDlv: reqs(2, 3)},
+	}
+	d := decisionOf(inputs, 1, 2)
+	res, err := Compute(inputs[0], d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Bad) != 0 {
+		t.Fatalf("thriftiness violated: Bad=%v for an order-preserving redelivery", res.Bad)
+	}
+	if len(res.New) != 0 {
+		t.Fatalf("p0 already delivered everything; New=%v", ids(res.New))
+	}
+	if !idsEqual(res.Good, rids(1, 2, 3)) {
+		t.Fatalf("Good=%v, want [m1;m2;m3]", res.Good)
+	}
+}
+
+// TestPartialThriftiness: only a prefix of Bad matches New; the rest must
+// still be undone.
+func TestPartialThriftiness(t *testing.T) {
+	// p0 delivered [m1;m2;m3]; majority decided dlvmax=ε (nobody in the
+	// decision delivered anything) and merged notdlv = [m1;m3;m2].
+	inputs := map[proto.NodeID]Input{
+		0: {Dlv: reqs(1, 2, 3)},
+		1: {NotDlv: reqs(1, 3, 2)},
+		2: {NotDlv: reqs(1, 3, 2)},
+	}
+	d := decisionOf(inputs, 1, 2)
+	res, err := Compute(inputs[0], d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// m1 survives (same position); m2, m3 are undone and redelivered swapped.
+	if !idsEqual(res.Bad, rids(2, 3)) {
+		t.Fatalf("Bad=%v, want [m2;m3]", res.Bad)
+	}
+	if !idsEqual(ids(res.New), rids(3, 2)) {
+		t.Fatalf("New=%v, want [m3;m2]", ids(res.New))
+	}
+	if !idsEqual(res.Good, rids(1)) {
+		t.Fatalf("Good=%v, want [m1]", res.Good)
+	}
+}
+
+func TestLemma2ViolationRejected(t *testing.T) {
+	inputs := map[proto.NodeID]Input{
+		0: {Dlv: reqs(1, 2)},
+		1: {Dlv: reqs(2, 1)}, // not a prefix of the other — impossible run
+	}
+	d := decisionOf(inputs, 0, 1)
+	if _, err := Compute(inputs[0], d); err == nil {
+		t.Fatal("prefix violation accepted")
+	}
+}
+
+func TestCorruptDecisionEntryRejected(t *testing.T) {
+	d := consensus.Decision{{From: 0, Val: []byte{0xFF, 0xFF}}}
+	if _, err := Compute(Input{}, d); err == nil {
+		t.Fatal("corrupt decision accepted")
+	}
+}
+
+func TestEmptyEpoch(t *testing.T) {
+	inputs := map[proto.NodeID]Input{0: {}, 1: {}, 2: {}}
+	d := decisionOf(inputs, 0, 1)
+	res, err := Compute(inputs[2], d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Bad) != 0 || len(res.New) != 0 || len(res.Good) != 0 {
+		t.Fatalf("empty epoch produced %+v", res)
+	}
+}
+
+func TestNewCarriesPayloads(t *testing.T) {
+	inputs := map[proto.NodeID]Input{
+		0: {},
+		1: {NotDlv: reqs(7)},
+		2: {NotDlv: reqs(7)},
+	}
+	d := decisionOf(inputs, 1, 2)
+	res, err := Compute(inputs[0], d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.New) != 1 || string(res.New[0].Cmd) != "\x07" {
+		t.Fatalf("payload missing from New: %+v", res.New)
+	}
+}
+
+// TestPropRandomScenarios drives Compute + CheckSpec over randomized runs:
+// a random sequencer order, a random prefix delivered per process, random
+// permutations of the remainder as notdlv, and a random majority subset
+// forming the decision. The full Section 5.4 specification must hold every
+// time, and all processes must agree on the final sequence.
+func TestPropRandomScenarios(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			n := 3 + rng.Intn(5)     // 3..7 processes
+			total := rng.Intn(8)     // messages in the epoch
+			order := rng.Perm(total) // the sequencer's order
+
+			inputs := make(map[proto.NodeID]Input, n)
+			for p := 0; p < n; p++ {
+				prefix := rng.Intn(total + 1)
+				var in Input
+				for _, i := range order[:prefix] {
+					in.Dlv = append(in.Dlv, req(i))
+				}
+				// The rest, in random order, partially received.
+				rest := append([]int(nil), order[prefix:]...)
+				rng.Shuffle(len(rest), func(a, b int) { rest[a], rest[b] = rest[b], rest[a] })
+				take := rng.Intn(len(rest) + 1)
+				for _, i := range rest[:take] {
+					in.NotDlv = append(in.NotDlv, req(i))
+				}
+				inputs[proto.NodeID(p)] = in
+			}
+
+			// Random majority subset as the decision.
+			perm := rng.Perm(n)
+			maj := proto.MajoritySize(n)
+			k := maj + rng.Intn(n-maj+1)
+			members := make([]proto.NodeID, 0, k)
+			for _, i := range perm[:k] {
+				members = append(members, proto.NodeID(i))
+			}
+			d := decisionOf(inputs, members...)
+
+			results := make(map[proto.NodeID]Result, n)
+			for p := 0; p < n; p++ {
+				res, err := Compute(inputs[proto.NodeID(p)], d)
+				if err != nil {
+					t.Fatalf("p%d: %v", p, err)
+				}
+				results[proto.NodeID(p)] = res
+			}
+			if vs := CheckSpec(n, inputs, results); len(vs) != 0 {
+				for _, v := range vs {
+					t.Error(v)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkComputeEpoch(b *testing.B) {
+	for _, size := range []int{16, 256, 1024} {
+		b.Run(fmt.Sprintf("msgs=%d", size), func(b *testing.B) {
+			var all []proto.Request
+			for i := 0; i < size; i++ {
+				all = append(all, req(i))
+			}
+			inputs := map[proto.NodeID]Input{
+				0: {Dlv: all},
+				1: {Dlv: all[:size/2], NotDlv: all[size/2:]},
+				2: {Dlv: all[:size/2], NotDlv: all[size/2:]},
+			}
+			d := decisionOf(inputs, 1, 2)
+			own := inputs[0]
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Compute(own, d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

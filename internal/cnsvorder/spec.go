@@ -1,0 +1,130 @@
+package cnsvorder
+
+import (
+	"fmt"
+
+	"repro/internal/mseq"
+	"repro/internal/proto"
+)
+
+// SpecViolation describes a violated Cnsv-order property (Section 5.4).
+type SpecViolation struct {
+	Property string
+	Detail   string
+}
+
+// Error implements the error interface.
+func (v *SpecViolation) Error() string {
+	return fmt.Sprintf("cnsvorder: %s violated: %s", v.Property, v.Detail)
+}
+
+// CheckSpec mechanically verifies the Cnsv-order specification of
+// Section 5.4 over the inputs of *all* processes of Π (allInputs — the
+// test's omniscient knowledge, keyed by process) and the results obtained by
+// the processes that completed the call (results; crashed processes may be
+// absent). groupSize is |Π|. It returns all violations found.
+//
+// Properties checked: Agreement, Unicity, Non-triviality, Validity, Undo
+// legality, Undo consistency and Undo thriftiness. (Termination is checked
+// by the callers' own timeouts.)
+func CheckSpec(groupSize int, allInputs map[proto.NodeID]Input, results map[proto.NodeID]Result) []*SpecViolation {
+	var violations []*SpecViolation
+	report := func(prop, format string, args ...any) {
+		violations = append(violations, &SpecViolation{Property: prop, Detail: fmt.Sprintf(format, args...)})
+	}
+	maj := proto.MajoritySize(groupSize)
+
+	// Agreement: (O_delivered_p ⊖ Bad_p) ⊕ New_p identical for all p.
+	var refSeq mseq.Seq[proto.RequestID]
+	var refID proto.NodeID
+	first := true
+	for p, res := range results {
+		final := FinalSequence(allInputs[p], res)
+		if first {
+			refSeq, refID, first = final, p, false
+			continue
+		}
+		if !mseq.Equal(refSeq, final) {
+			report("agreement", "%v computed %v, %v computed %v", refID, refSeq, p, final)
+		}
+	}
+
+	for p, res := range results {
+		in := allInputs[p]
+		oDlv := ids(in.Dlv)
+		badSeq := mseq.New(res.Bad...)
+		newSeq := ids(res.New)
+		kept := mseq.Minus(oDlv, badSeq)
+
+		// Unicity: New_p ∩ (O_delivered_p ⊖ Bad_p) = ∅.
+		if mseq.Intersects(newSeq, kept) {
+			report("unicity", "%v: New %v intersects kept prefix %v", p, newSeq, kept)
+		}
+
+		// Undo legality: (O_delivered_p ⊖ Bad_p) ⊕ Bad_p = O_delivered_p.
+		if !mseq.Equal(mseq.Concat(kept, badSeq), oDlv) {
+			report("undo legality", "%v: Bad %v is not a suffix of O_delivered %v", p, badSeq, oDlv)
+		}
+
+		// Undo thriftiness: ⊓(Bad_p, New_p) = ε.
+		if !mseq.CommonPrefix(badSeq, newSeq).IsEmpty() {
+			report("undo thriftiness", "%v: Bad %v and New %v share prefix", p, badSeq, newSeq)
+		}
+
+		// Validity: every m ∈ New_p was delivered or received by someone.
+		for _, req := range res.New {
+			found := false
+			for _, qin := range allInputs {
+				if ids(qin.Dlv).Contains(req.ID) || ids(qin.NotDlv).Contains(req.ID) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				report("validity", "%v: New contains %v which nobody proposed", p, req.ID)
+			}
+		}
+
+		// Undo consistency: m ∈ Bad_p ⇒ a majority never Opt-delivered m.
+		for _, id := range res.Bad {
+			notDelivered := 0
+			for _, qin := range allInputs {
+				if !ids(qin.Dlv).Contains(id) {
+					notDelivered++
+				}
+			}
+			notDelivered += groupSize - len(allInputs) // unknown processes delivered nothing
+			if notDelivered < maj {
+				report("undo consistency", "%v: %v undone but only %d of %d processes lack it", p, id, notDelivered, groupSize)
+			}
+		}
+	}
+
+	// Non-triviality: any m known to a majority must be in the final
+	// sequence of every process that completed.
+	counts := make(map[proto.RequestID]int)
+	for _, in := range allInputs {
+		seen := make(map[proto.RequestID]struct{})
+		for _, r := range in.Dlv {
+			seen[r.ID] = struct{}{}
+		}
+		for _, r := range in.NotDlv {
+			seen[r.ID] = struct{}{}
+		}
+		for id := range seen {
+			counts[id]++
+		}
+	}
+	for id, c := range counts {
+		if c < maj {
+			continue
+		}
+		for p, res := range results {
+			if !FinalSequence(allInputs[p], res).Contains(id) {
+				report("non-triviality", "%v: %v known to %d processes but absent from final sequence", p, id, c)
+			}
+		}
+	}
+
+	return violations
+}

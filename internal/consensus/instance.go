@@ -1,0 +1,383 @@
+package consensus
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/fd"
+	"repro/internal/proto"
+)
+
+// Config configures one consensus instance.
+type Config struct {
+	// Self is the owning process.
+	Self proto.NodeID
+	// Group is Π. Must contain Self. Round r's coordinator is
+	// Group[(r-1) mod |Group|].
+	Group []proto.NodeID
+	// Instance is the instance number (the OAR epoch k).
+	Instance uint64
+	// Send transmits a payload to one peer.
+	Send func(to proto.NodeID, payload []byte)
+	// Detector is the ◊S failure detector used to suspect coordinators.
+	Detector fd.Detector
+	// OnDecide is invoked exactly once, with the decided value.
+	OnDecide func(Decision)
+}
+
+// Instance is one execution of Maj-validity consensus. It is owned by a
+// single goroutine: OnMessage and Tick must be called from the owner's event
+// loop only.
+type Instance struct {
+	cfg Config
+	n   int
+	maj int
+
+	started bool
+	init    []byte
+
+	round  uint32
+	acked  bool // this process completed phase 3 of the current round
+	lock   Decision
+	lockTS uint32
+
+	// Coordinator bookkeeping, buffered by round (messages may arrive before
+	// this process enters the round).
+	estimates map[uint32]map[proto.NodeID]estimateMsg
+	replies   map[uint32]map[proto.NodeID]bool
+	proposed  map[uint32]bool // rounds in which we (as coordinator) proposed
+	proposals map[uint32]Decision
+
+	decided       bool
+	decision      Decision
+	relayedDecide bool
+}
+
+// NewInstance creates an idle instance. It processes (buffers) messages
+// immediately but only participates after Start.
+func NewInstance(cfg Config) *Instance {
+	n := len(cfg.Group)
+	return &Instance{
+		cfg:       cfg,
+		n:         n,
+		maj:       proto.MajoritySize(n),
+		estimates: make(map[uint32]map[proto.NodeID]estimateMsg),
+		replies:   make(map[uint32]map[proto.NodeID]bool),
+		proposed:  make(map[uint32]bool),
+		proposals: make(map[uint32]Decision),
+	}
+}
+
+// Decided reports whether this instance has decided, and the decision.
+func (in *Instance) Decided() (Decision, bool) { return in.decision, in.decided }
+
+// Started reports whether Start has been called.
+func (in *Instance) Started() bool { return in.started }
+
+// Round returns the current round (0 before Start).
+func (in *Instance) Round() uint32 { return in.round }
+
+// Start begins participating with the given initial value (propose(v)).
+func (in *Instance) Start(initial []byte) {
+	if in.started || in.decided {
+		return
+	}
+	in.started = true
+	in.init = initial
+	in.enterRound(1)
+}
+
+func (in *Instance) coordinator(round uint32) proto.NodeID {
+	return in.cfg.Group[int(round-1)%in.n]
+}
+
+func (in *Instance) enterRound(r uint32) {
+	if in.decided {
+		return
+	}
+	in.round = r
+	in.acked = false
+	coord := in.coordinator(r)
+
+	// Phase 1: send the estimate to the coordinator.
+	est := estimateMsg{
+		Inst:   in.cfg.Instance,
+		Round:  r,
+		Init:   in.init,
+		LockTS: in.lockTS,
+		Lock:   in.lock,
+	}
+	if coord == in.cfg.Self {
+		in.recordEstimate(in.cfg.Self, est)
+	} else {
+		in.cfg.Send(coord, marshalEstimate(est))
+	}
+
+	// Estimates (and nacks) for this round may have arrived before we got
+	// here; if we are its coordinator, phase 2 may already be satisfiable.
+	if coord == in.cfg.Self {
+		in.maybePropose(r)
+		return
+	}
+	// A proposal for this round may already be buffered.
+	if d, ok := in.proposals[r]; ok {
+		in.handleProposalForCurrentRound(d)
+	}
+}
+
+// OnMessage feeds a consensus message (kind + body of a transport payload)
+// into the instance.
+func (in *Instance) OnMessage(from proto.NodeID, kind proto.Kind, body []byte) error {
+	if in.decided {
+		return nil // late round messages are irrelevant once decided
+	}
+	switch kind {
+	case proto.KindEstimate:
+		m, err := unmarshalEstimate(body)
+		if err != nil {
+			return err
+		}
+		if m.Inst != in.cfg.Instance {
+			return fmt.Errorf("consensus: estimate for instance %d routed to %d", m.Inst, in.cfg.Instance)
+		}
+		in.recordEstimate(from, m)
+	case proto.KindPropose:
+		m, err := unmarshalPropose(body)
+		if err != nil {
+			return err
+		}
+		if m.Inst != in.cfg.Instance {
+			return fmt.Errorf("consensus: propose for instance %d routed to %d", m.Inst, in.cfg.Instance)
+		}
+		in.proposals[m.Round] = m.Val
+		if in.started && m.Round == in.round {
+			in.handleProposalForCurrentRound(m.Val)
+		}
+	case proto.KindAck:
+		m, err := unmarshalAck(body)
+		if err != nil {
+			return err
+		}
+		if m.Inst != in.cfg.Instance {
+			return fmt.Errorf("consensus: ack for instance %d routed to %d", m.Inst, in.cfg.Instance)
+		}
+		in.recordReply(m.Round, from, m.OK)
+	case proto.KindDecide:
+		m, err := unmarshalDecide(body)
+		if err != nil {
+			return err
+		}
+		if m.Inst != in.cfg.Instance {
+			return fmt.Errorf("consensus: decide for instance %d routed to %d", m.Inst, in.cfg.Instance)
+		}
+		in.decide(m.Val)
+	default:
+		return fmt.Errorf("consensus: unexpected kind %v", kind)
+	}
+	return nil
+}
+
+// Tick drives failure-detector-based progress: if this process is waiting
+// for the current round's proposal and suspects the coordinator, it nacks
+// and moves to the next round. Call it periodically (e.g. every few
+// milliseconds) while the instance is undecided.
+func (in *Instance) Tick(now time.Time) {
+	if !in.started || in.decided || in.acked {
+		return
+	}
+	coord := in.coordinator(in.round)
+	if coord == in.cfg.Self {
+		return // the coordinator does not suspect itself
+	}
+	if _, hasProposal := in.proposals[in.round]; hasProposal {
+		return
+	}
+	if in.cfg.Detector.Suspected(coord, now) {
+		// Phase 3, suspicion branch: nack and advance.
+		in.acked = true
+		in.cfg.Send(coord, marshalAck(ackMsg{Inst: in.cfg.Instance, Round: in.round, OK: false}))
+		in.enterRound(in.round + 1)
+	}
+}
+
+func (in *Instance) recordEstimate(from proto.NodeID, m estimateMsg) {
+	if in.decided {
+		return
+	}
+	byRound, ok := in.estimates[m.Round]
+	if !ok {
+		byRound = make(map[proto.NodeID]estimateMsg, in.n)
+		in.estimates[m.Round] = byRound
+	}
+	if _, dup := byRound[from]; dup {
+		return
+	}
+	byRound[from] = m
+	in.maybePropose(m.Round)
+}
+
+// maybePropose runs coordinator phase 2 once a majority of estimates for the
+// round is available.
+func (in *Instance) maybePropose(round uint32) {
+	if !in.started || in.decided || in.proposed[round] {
+		return
+	}
+	if in.coordinator(round) != in.cfg.Self || round > in.round {
+		// Not coordinator, or we have not reached this round ourselves yet
+		// (we propose when we get there; estimates stay buffered).
+		return
+	}
+	ests := in.estimates[round]
+	if len(ests) < in.maj {
+		return
+	}
+	in.proposed[round] = true
+
+	// Maj-validity choice: adopt the highest-timestamp lock if any estimate
+	// carries one; otherwise combine the majority's initial values into a
+	// fresh decision sequence (deterministic order: by process ID).
+	var proposal Decision
+	var bestTS uint32
+	for _, e := range ests {
+		if e.LockTS > bestTS {
+			bestTS = e.LockTS
+			proposal = e.Lock
+		}
+	}
+	if bestTS == 0 {
+		froms := make([]proto.NodeID, 0, len(ests))
+		for from := range ests {
+			froms = append(froms, from)
+		}
+		sort.Slice(froms, func(i, j int) bool { return froms[i] < froms[j] })
+		proposal = make(Decision, 0, len(froms))
+		for _, from := range froms {
+			proposal = append(proposal, ProposedValue{From: from, Val: ests[from].Init})
+		}
+	}
+
+	payload := marshalPropose(proposeMsg{Inst: in.cfg.Instance, Round: round, Val: proposal})
+	for _, p := range in.cfg.Group {
+		if p == in.cfg.Self {
+			continue
+		}
+		in.cfg.Send(p, payload)
+	}
+	// Handle our own proposal locally, then re-check phase 4: nacks from
+	// processes that suspected us may have arrived before we proposed.
+	in.proposals[round] = proposal
+	if round == in.round {
+		in.handleProposalForCurrentRound(proposal)
+	}
+	in.maybeConclude(round)
+}
+
+// handleProposalForCurrentRound runs phase 3's adoption branch.
+func (in *Instance) handleProposalForCurrentRound(d Decision) {
+	if in.decided || in.acked {
+		return
+	}
+	in.acked = true
+	in.lock = d
+	in.lockTS = in.round
+	coord := in.coordinator(in.round)
+	if coord == in.cfg.Self {
+		in.recordReply(in.round, in.cfg.Self, true)
+	} else {
+		in.cfg.Send(coord, marshalAck(ackMsg{Inst: in.cfg.Instance, Round: in.round, OK: true}))
+	}
+	// CT: after phase 3 the process proceeds to the next round (it keeps
+	// cycling until a decide arrives). The coordinator advances after
+	// phase 4 instead, so that it can still collect this round's replies.
+	if coord != in.cfg.Self && !in.decided {
+		in.enterRound(in.round + 1)
+	}
+}
+
+// recordReply runs coordinator phase 4 bookkeeping.
+func (in *Instance) recordReply(round uint32, from proto.NodeID, ok bool) {
+	if in.decided {
+		return
+	}
+	byRound, exists := in.replies[round]
+	if !exists {
+		byRound = make(map[proto.NodeID]bool, in.n)
+		in.replies[round] = byRound
+	}
+	if _, dup := byRound[from]; dup {
+		return
+	}
+	byRound[from] = ok
+	in.maybeConclude(round)
+}
+
+// maybeConclude finishes coordinator phase 4 once a majority of replies is
+// in: all acks => decide; any nack => next round.
+func (in *Instance) maybeConclude(round uint32) {
+	if !in.started || in.decided {
+		return
+	}
+	if in.coordinator(round) != in.cfg.Self || !in.proposed[round] {
+		return
+	}
+	byRound := in.replies[round]
+	if len(byRound) < in.maj {
+		return
+	}
+	allOK := true
+	for _, ok := range byRound {
+		if !ok {
+			allOK = false
+			break
+		}
+	}
+	if allOK {
+		in.broadcastDecide(in.proposals[round])
+		return
+	}
+	if round == in.round {
+		in.enterRound(round + 1)
+	}
+}
+
+func (in *Instance) broadcastDecide(d Decision) {
+	payload := marshalDecide(decideMsg{Inst: in.cfg.Instance, Val: d})
+	for _, p := range in.cfg.Group {
+		if p == in.cfg.Self {
+			continue
+		}
+		in.cfg.Send(p, payload)
+	}
+	in.relayedDecide = true
+	in.decide(d)
+}
+
+// decide records the decision (idempotent) and relays it once
+// (reliable-broadcast pattern) so that all correct processes decide even if
+// the deciding coordinator crashes mid-broadcast.
+func (in *Instance) decide(d Decision) {
+	if in.decided {
+		return
+	}
+	if !in.relayedDecide {
+		payload := marshalDecide(decideMsg{Inst: in.cfg.Instance, Val: d})
+		for _, p := range in.cfg.Group {
+			if p == in.cfg.Self {
+				continue
+			}
+			in.cfg.Send(p, payload)
+		}
+		in.relayedDecide = true
+	}
+	in.decided = true
+	in.decision = d
+	// Free round bookkeeping; the instance is done.
+	in.estimates = nil
+	in.replies = nil
+	in.proposals = nil
+	in.proposed = nil
+	if in.cfg.OnDecide != nil {
+		in.cfg.OnDecide(d)
+	}
+}

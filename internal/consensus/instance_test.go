@@ -1,0 +1,457 @@
+package consensus
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/fd"
+	"repro/internal/proto"
+)
+
+// harness is a deterministic in-memory network for consensus instances:
+// messages queue up and the test decides the delivery order. Crashed nodes
+// neither send nor receive; each node has its own scriptable oracle.
+type harness struct {
+	t       *testing.T
+	group   []proto.NodeID
+	insts   map[proto.NodeID]*Instance
+	oracles map[proto.NodeID]*fd.Oracle
+	queue   []envelope
+	crashed map[proto.NodeID]bool
+	drop    func(from, to proto.NodeID, kind proto.Kind) bool
+	decided map[proto.NodeID]Decision
+}
+
+type envelope struct {
+	from, to proto.NodeID
+	payload  []byte
+}
+
+func newHarness(t *testing.T, n int) *harness {
+	h := &harness{
+		t:       t,
+		group:   proto.Group(n),
+		insts:   make(map[proto.NodeID]*Instance),
+		oracles: make(map[proto.NodeID]*fd.Oracle),
+		crashed: make(map[proto.NodeID]bool),
+		decided: make(map[proto.NodeID]Decision),
+	}
+	for _, id := range h.group {
+		id := id
+		h.oracles[id] = fd.NewOracle()
+		h.insts[id] = NewInstance(Config{
+			Self:     id,
+			Group:    h.group,
+			Instance: 7,
+			Send: func(to proto.NodeID, payload []byte) {
+				if h.crashed[id] {
+					return
+				}
+				h.queue = append(h.queue, envelope{from: id, to: to, payload: payload})
+			},
+			Detector: h.oracles[id],
+			OnDecide: func(d Decision) {
+				if prev, ok := h.decided[id]; ok {
+					t.Errorf("%v decided twice: %v then %v", id, prev, d)
+				}
+				h.decided[id] = d
+			},
+		})
+	}
+	return h
+}
+
+// crash stops a node and makes all other oracles suspect it.
+func (h *harness) crash(id proto.NodeID) {
+	h.crashed[id] = true
+	for other, o := range h.oracles {
+		if other != id {
+			o.Suspect(id)
+		}
+	}
+}
+
+// step delivers the i-th queued message.
+func (h *harness) step(i int) {
+	env := h.queue[i]
+	h.queue = append(h.queue[:i], h.queue[i+1:]...)
+	if h.crashed[env.to] {
+		return
+	}
+	if h.drop != nil {
+		k, _, _ := proto.Unmarshal(env.payload)
+		if h.drop(env.from, env.to, k) {
+			return
+		}
+	}
+	kind, body, err := proto.Unmarshal(env.payload)
+	if err != nil {
+		h.t.Fatalf("bad payload: %v", err)
+	}
+	if err := h.insts[env.to].OnMessage(env.from, kind, body); err != nil {
+		h.t.Fatalf("OnMessage: %v", err)
+	}
+}
+
+// run pumps messages (in rng order if rng != nil, else FIFO) and ticks until
+// all correct nodes decide or the step budget is exhausted.
+func (h *harness) run(rng *rand.Rand, budget int) {
+	now := time.Unix(0, 0)
+	for steps := 0; steps < budget; steps++ {
+		if len(h.queue) == 0 {
+			if h.allCorrectDecided() {
+				return
+			}
+			// Quiescent but undecided: drive suspicion-based progress.
+			now = now.Add(time.Millisecond)
+			for id, inst := range h.insts {
+				if !h.crashed[id] {
+					inst.Tick(now)
+				}
+			}
+			if len(h.queue) == 0 && h.allCorrectDecided() {
+				return
+			}
+			if len(h.queue) == 0 {
+				h.t.Fatalf("quiescent without decision; decided=%d/%d", len(h.decided), h.correctCount())
+			}
+			continue
+		}
+		i := 0
+		if rng != nil {
+			i = rng.Intn(len(h.queue))
+		}
+		h.step(i)
+	}
+	h.t.Fatalf("step budget exhausted; decided=%d/%d, queue=%d", len(h.decided), h.correctCount(), len(h.queue))
+}
+
+func (h *harness) correctCount() int {
+	n := 0
+	for _, id := range h.group {
+		if !h.crashed[id] {
+			n++
+		}
+	}
+	return n
+}
+
+func (h *harness) allCorrectDecided() bool {
+	for _, id := range h.group {
+		if h.crashed[id] {
+			continue
+		}
+		if _, ok := h.decided[id]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// checkAgreementAndValidity verifies Agreement, Maj-validity and Validity of
+// the decisions recorded so far.
+func (h *harness) checkAgreementAndValidity(proposed map[proto.NodeID][]byte) {
+	h.t.Helper()
+	var ref Decision
+	var refID proto.NodeID
+	for id, d := range h.decided {
+		if ref == nil {
+			ref, refID = d, id
+			continue
+		}
+		if !decisionsEqual(ref, d) {
+			h.t.Fatalf("agreement violated: %v decided %v, %v decided %v", refID, ref, id, d)
+		}
+	}
+	if ref == nil {
+		h.t.Fatal("nobody decided")
+	}
+	// Validity: every value in the decision was actually proposed by its
+	// claimed proposer.
+	inDecision := map[proto.NodeID]bool{}
+	for _, pv := range ref {
+		want, ok := proposed[pv.From]
+		if !ok {
+			h.t.Fatalf("decision contains value from %v which never proposed", pv.From)
+		}
+		if string(want) != string(pv.Val) {
+			h.t.Fatalf("decision misattributes %v: got %q want %q", pv.From, pv.Val, want)
+		}
+		inDecision[pv.From] = true
+	}
+	// Maj-validity: the decision contains initial values of a majority.
+	if len(inDecision) < proto.MajoritySize(len(h.group)) {
+		h.t.Fatalf("maj-validity violated: decision covers %d of %d processes", len(inDecision), len(h.group))
+	}
+}
+
+func decisionsEqual(a, b Decision) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].From != b[i].From || string(a[i].Val) != string(b[i].Val) {
+			return false
+		}
+	}
+	return true
+}
+
+func startAll(h *harness, proposed map[proto.NodeID][]byte) {
+	for _, id := range h.group {
+		if !h.crashed[id] {
+			h.insts[id].Start(proposed[id])
+		}
+	}
+}
+
+func proposals(n int) map[proto.NodeID][]byte {
+	m := make(map[proto.NodeID][]byte, n)
+	for i := 0; i < n; i++ {
+		m[proto.NodeID(i)] = []byte(fmt.Sprintf("v%d", i))
+	}
+	return m
+}
+
+func TestFailureFreeDecidesRoundOne(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 7} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			h := newHarness(t, n)
+			props := proposals(n)
+			startAll(h, props)
+			h.run(nil, 100000)
+			h.checkAgreementAndValidity(props)
+			// CT processes advance one round right after acking, so round 2
+			// is the ceiling in a failure-free run (decide lands before any
+			// round-2 proposal can form).
+			for id, inst := range h.insts {
+				if inst.Round() > 2 {
+					t.Errorf("%v needed round %d in a failure-free run", id, inst.Round())
+				}
+			}
+		})
+	}
+}
+
+func TestDecisionIsMajorityOfInitialValues(t *testing.T) {
+	h := newHarness(t, 5)
+	props := proposals(5)
+	startAll(h, props)
+	h.run(nil, 100000)
+	d := h.decided[proto.NodeID(0)]
+	if len(d) < 3 {
+		t.Fatalf("decision has %d values, want >= majority (3)", len(d))
+	}
+}
+
+func TestCoordinatorCrashBeforeProposing(t *testing.T) {
+	h := newHarness(t, 3)
+	props := proposals(3)
+	h.crash(0) // round-1 coordinator dead from the start
+	startAll(h, props)
+	h.run(nil, 100000)
+	h.checkAgreementAndValidity(props)
+	// The decision cannot contain p0's value: it never proposed.
+	for _, pv := range h.decided[proto.NodeID(1)] {
+		if pv.From == proto.NodeID(0) {
+			t.Fatal("dead coordinator's value in decision")
+		}
+	}
+}
+
+func TestCoordinatorCrashAfterPartialPropose(t *testing.T) {
+	// The round-1 coordinator's proposal reaches p1 but not p2; then the
+	// coordinator crashes. p1 has a lock; agreement requires the lock to
+	// prevail in round 2.
+	h := newHarness(t, 3)
+	props := proposals(3)
+	dropped := false
+	h.drop = func(from, to proto.NodeID, kind proto.Kind) bool {
+		if kind == proto.KindPropose && from == 0 && to == 2 {
+			dropped = true
+			return true
+		}
+		// Also kill the coordinator's decide messages: it must not finish.
+		if kind == proto.KindDecide && from == 0 {
+			return true
+		}
+		return false
+	}
+	startAll(h, props)
+	// Pump until p1 has acked round 1 (its lock is set), then crash p0.
+	for i := 0; i < 1000 && !dropped; i++ {
+		if len(h.queue) == 0 {
+			break
+		}
+		h.step(0)
+	}
+	lockRef := h.insts[proto.NodeID(1)].lock
+	h.crash(0)
+	h.run(nil, 100000)
+	h.checkAgreementAndValidity(props)
+	if lockRef != nil && !decisionsEqual(h.decided[proto.NodeID(1)], lockRef) {
+		t.Fatalf("locked value overturned: lock=%v decided=%v", lockRef, h.decided[proto.NodeID(1)])
+	}
+}
+
+func TestDecideRelayedWhenDeciderCrashes(t *testing.T) {
+	// The coordinator's decide reaches only p1; the coordinator then
+	// crashes. p1's relay must bring p2 to a decision.
+	h := newHarness(t, 3)
+	props := proposals(3)
+	h.drop = func(from, to proto.NodeID, kind proto.Kind) bool {
+		return kind == proto.KindDecide && from == 0 && to == 2
+	}
+	startAll(h, props)
+	h.run(nil, 100000)
+	h.checkAgreementAndValidity(props)
+	if _, ok := h.decided[proto.NodeID(2)]; !ok {
+		t.Fatal("p2 never decided despite relay")
+	}
+}
+
+func TestLateStarterStillDecides(t *testing.T) {
+	// p2 starts only after the others are already deep in the protocol;
+	// buffered messages must let it catch up.
+	h := newHarness(t, 3)
+	props := proposals(3)
+	h.insts[proto.NodeID(0)].Start(props[proto.NodeID(0)])
+	h.insts[proto.NodeID(1)].Start(props[proto.NodeID(1)])
+	for i := 0; i < 50 && len(h.queue) > 0; i++ {
+		h.step(0)
+	}
+	h.insts[proto.NodeID(2)].Start(props[proto.NodeID(2)])
+	h.run(nil, 100000)
+	h.checkAgreementAndValidity(props)
+}
+
+func TestWrongSuspicionStillSafe(t *testing.T) {
+	// p2 wrongly suspects the (alive) round-1 coordinator and nacks. The run
+	// must still decide with agreement (possibly in a later round).
+	h := newHarness(t, 3)
+	props := proposals(3)
+	h.oracles[proto.NodeID(2)].Suspect(0)
+	startAll(h, props)
+	h.run(nil, 100000)
+	h.checkAgreementAndValidity(props)
+}
+
+func TestInstanceRouting(t *testing.T) {
+	h := newHarness(t, 3)
+	inst := h.insts[proto.NodeID(0)]
+	est := marshalEstimate(estimateMsg{Inst: 99, Round: 1})
+	kind, body, _ := proto.Unmarshal(est)
+	if err := inst.OnMessage(1, kind, body); err == nil {
+		t.Fatal("wrong-instance message accepted")
+	}
+	if got, err := InstanceOf(body); err != nil || got != 99 {
+		t.Fatalf("InstanceOf = %d, %v", got, err)
+	}
+}
+
+func TestGarbageMessagesRejected(t *testing.T) {
+	h := newHarness(t, 3)
+	inst := h.insts[proto.NodeID(0)]
+	for _, kind := range []proto.Kind{proto.KindEstimate, proto.KindPropose, proto.KindAck, proto.KindDecide} {
+		if err := inst.OnMessage(1, kind, []byte{0xFF}); err == nil {
+			t.Errorf("garbage %v accepted", kind)
+		}
+	}
+	if err := inst.OnMessage(1, proto.KindReply, nil); err == nil {
+		t.Error("non-consensus kind accepted")
+	}
+}
+
+func TestRandomSchedulesWithMinorityCrash(t *testing.T) {
+	// Property: under arbitrary delivery orders and an arbitrary minority of
+	// crash failures (possibly mid-run), all correct processes decide the
+	// same majority-covering value.
+	for seed := int64(0); seed < 30; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			n := 3 + rng.Intn(3)*2 // 3, 5, or 7
+			h := newHarness(t, n)
+			props := proposals(n)
+			startAll(h, props)
+
+			maxCrash := (n - 1) / 2
+			crashes := rng.Intn(maxCrash + 1)
+			crashAfter := map[int]proto.NodeID{}
+			for c := 0; c < crashes; c++ {
+				crashAfter[10+rng.Intn(40)] = proto.NodeID(rng.Intn(n))
+			}
+			now := time.Unix(0, 0)
+			for steps := 0; steps < 200000; steps++ {
+				if id, ok := crashAfter[steps]; ok {
+					h.crash(id)
+				}
+				if len(h.queue) == 0 {
+					if h.allCorrectDecided() {
+						break
+					}
+					now = now.Add(time.Millisecond)
+					for id, inst := range h.insts {
+						if !h.crashed[id] {
+							inst.Tick(now)
+						}
+					}
+					if len(h.queue) == 0 {
+						if h.allCorrectDecided() {
+							break
+						}
+						t.Fatalf("stuck: decided=%d queue empty", len(h.decided))
+					}
+					continue
+				}
+				h.step(rng.Intn(len(h.queue)))
+			}
+			if !h.allCorrectDecided() {
+				t.Fatal("not all correct processes decided")
+			}
+			h.checkAgreementAndValidity(props)
+		})
+	}
+}
+
+func TestStartIdempotent(t *testing.T) {
+	h := newHarness(t, 3)
+	props := proposals(3)
+	startAll(h, props)
+	h.insts[proto.NodeID(0)].Start([]byte("other")) // must be ignored
+	h.run(nil, 100000)
+	h.checkAgreementAndValidity(props)
+}
+
+func TestDecodeRoundTrips(t *testing.T) {
+	d := Decision{{From: 1, Val: []byte("a")}, {From: 2, Val: nil}}
+	est := estimateMsg{Inst: 3, Round: 4, Init: []byte("i"), LockTS: 2, Lock: d}
+	_, body, _ := proto.Unmarshal(marshalEstimate(est))
+	got, err := unmarshalEstimate(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Inst != 3 || got.Round != 4 || string(got.Init) != "i" || got.LockTS != 2 || !decisionsEqual(got.Lock, d) {
+		t.Fatalf("estimate round trip: %+v", got)
+	}
+
+	_, body, _ = proto.Unmarshal(marshalPropose(proposeMsg{Inst: 1, Round: 2, Val: d}))
+	gp, err := unmarshalPropose(body)
+	if err != nil || gp.Inst != 1 || gp.Round != 2 || !decisionsEqual(gp.Val, d) {
+		t.Fatalf("propose round trip: %+v err=%v", gp, err)
+	}
+
+	_, body, _ = proto.Unmarshal(marshalAck(ackMsg{Inst: 5, Round: 6, OK: true}))
+	ga, err := unmarshalAck(body)
+	if err != nil || ga.Inst != 5 || ga.Round != 6 || !ga.OK {
+		t.Fatalf("ack round trip: %+v err=%v", ga, err)
+	}
+
+	_, body, _ = proto.Unmarshal(marshalDecide(decideMsg{Inst: 8, Val: d}))
+	gd, err := unmarshalDecide(body)
+	if err != nil || gd.Inst != 8 || !decisionsEqual(gd.Val, d) {
+		t.Fatalf("decide round trip: %+v err=%v", gd, err)
+	}
+}

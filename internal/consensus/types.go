@@ -1,0 +1,194 @@
+// Package consensus implements the Chandra–Toueg ◊S rotating-coordinator
+// consensus algorithm [CT96] with the Maj-validity modification described in
+// Section 5.5 of the paper (and in [Fel98]):
+//
+//	Maj-validity. If a process executes decide(V), then V is a sequence of
+//	values such that, for a majority of processes pi, if pi has executed
+//	propose(vi), then vi ∈ V.
+//
+// Instead of deciding a single proposed value, the algorithm decides a
+// *sequence of initial values* collected from a majority of processes. This
+// is exactly what Cnsv-order needs: the decision D_k is the list of
+// (O_delivered, O_notdelivered) pairs of a majority.
+//
+// The implementation is event-driven and single-owner: the process event
+// loop feeds messages in via OnMessage, drives timeouts via Tick, and
+// receives the decision via the OnDecide callback. It assumes a majority of
+// correct processes and reliable FIFO channels, per the system model.
+package consensus
+
+import (
+	"fmt"
+
+	"repro/internal/proto"
+	"repro/internal/wire"
+)
+
+// ProposedValue is one process's initial value, as carried in a decision.
+type ProposedValue struct {
+	From proto.NodeID
+	Val  []byte
+}
+
+// Decision is the decided sequence of initial values (Maj-validity: it
+// contains the initial value of at least a majority of processes).
+type Decision []ProposedValue
+
+// encodeDecision appends d to w.
+func encodeDecision(w *wire.Writer, d Decision) {
+	w.Uint64(uint64(len(d)))
+	for _, pv := range d {
+		w.Int64(int64(pv.From))
+		w.BytesField(pv.Val)
+	}
+}
+
+// decodeDecision reads a Decision from r.
+func decodeDecision(r *wire.Reader) Decision {
+	n := r.Uint64()
+	if r.Err() != nil {
+		return nil
+	}
+	if n > uint64(r.Remaining()) { // each entry takes >= 1 byte
+		return nil
+	}
+	d := make(Decision, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var pv ProposedValue
+		pv.From = proto.NodeID(r.Int64())
+		pv.Val = r.BytesField()
+		d = append(d, pv)
+	}
+	return d
+}
+
+// estimateMsg is consensus phase 1: a process's current estimate sent to the
+// round coordinator. Init is the sender's (immutable) initial value; if the
+// sender has adopted a coordinator proposal in an earlier round, Lock/LockTS
+// carry it (LockTS is the round of adoption; zero means no lock).
+type estimateMsg struct {
+	Inst   uint64
+	Round  uint32
+	Init   []byte
+	LockTS uint32
+	Lock   Decision
+}
+
+func marshalEstimate(m estimateMsg) []byte {
+	w := wire.NewWriter(64 + len(m.Init))
+	w.Uint8(byte(proto.KindEstimate))
+	w.Uint64(m.Inst)
+	w.Uint64(uint64(m.Round))
+	w.BytesField(m.Init)
+	w.Uint64(uint64(m.LockTS))
+	encodeDecision(w, m.Lock)
+	return w.Bytes()
+}
+
+func unmarshalEstimate(body []byte) (estimateMsg, error) {
+	r := wire.NewReader(body)
+	var m estimateMsg
+	m.Inst = r.Uint64()
+	m.Round = uint32(r.Uint64())
+	m.Init = r.BytesField()
+	m.LockTS = uint32(r.Uint64())
+	m.Lock = decodeDecision(r)
+	if err := r.Err(); err != nil {
+		return estimateMsg{}, fmt.Errorf("consensus: decode estimate: %w", err)
+	}
+	return m, nil
+}
+
+// proposeMsg is consensus phase 2: the coordinator's proposal for a round.
+type proposeMsg struct {
+	Inst  uint64
+	Round uint32
+	Val   Decision
+}
+
+func marshalPropose(m proposeMsg) []byte {
+	w := wire.NewWriter(64)
+	w.Uint8(byte(proto.KindPropose))
+	w.Uint64(m.Inst)
+	w.Uint64(uint64(m.Round))
+	encodeDecision(w, m.Val)
+	return w.Bytes()
+}
+
+func unmarshalPropose(body []byte) (proposeMsg, error) {
+	r := wire.NewReader(body)
+	var m proposeMsg
+	m.Inst = r.Uint64()
+	m.Round = uint32(r.Uint64())
+	m.Val = decodeDecision(r)
+	if err := r.Err(); err != nil {
+		return proposeMsg{}, fmt.Errorf("consensus: decode propose: %w", err)
+	}
+	return m, nil
+}
+
+// ackMsg is consensus phase 3: ack (OK) or nack (coordinator suspected).
+type ackMsg struct {
+	Inst  uint64
+	Round uint32
+	OK    bool
+}
+
+func marshalAck(m ackMsg) []byte {
+	w := wire.NewWriter(16)
+	w.Uint8(byte(proto.KindAck))
+	w.Uint64(m.Inst)
+	w.Uint64(uint64(m.Round))
+	w.Bool(m.OK)
+	return w.Bytes()
+}
+
+func unmarshalAck(body []byte) (ackMsg, error) {
+	r := wire.NewReader(body)
+	var m ackMsg
+	m.Inst = r.Uint64()
+	m.Round = uint32(r.Uint64())
+	m.OK = r.Bool()
+	if err := r.Err(); err != nil {
+		return ackMsg{}, fmt.Errorf("consensus: decode ack: %w", err)
+	}
+	return m, nil
+}
+
+// decideMsg disseminates the decision (reliable-broadcast style: first
+// receipt is relayed to the whole group before deciding).
+type decideMsg struct {
+	Inst uint64
+	Val  Decision
+}
+
+func marshalDecide(m decideMsg) []byte {
+	w := wire.NewWriter(64)
+	w.Uint8(byte(proto.KindDecide))
+	w.Uint64(m.Inst)
+	encodeDecision(w, m.Val)
+	return w.Bytes()
+}
+
+func unmarshalDecide(body []byte) (decideMsg, error) {
+	r := wire.NewReader(body)
+	var m decideMsg
+	m.Inst = r.Uint64()
+	m.Val = decodeDecision(r)
+	if err := r.Err(); err != nil {
+		return decideMsg{}, fmt.Errorf("consensus: decode decide: %w", err)
+	}
+	return m, nil
+}
+
+// InstanceOf extracts the instance number from any consensus message body
+// (all four kinds lead with it), letting the owner route messages to the
+// right instance without a full decode.
+func InstanceOf(body []byte) (uint64, error) {
+	r := wire.NewReader(body)
+	inst := r.Uint64()
+	if err := r.Err(); err != nil {
+		return 0, fmt.Errorf("consensus: decode instance: %w", err)
+	}
+	return inst, nil
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/proto"
+	"repro/internal/rmcast"
+	"repro/internal/transport"
+)
+
+// ClientConfig configures an OAR client.
+type ClientConfig struct {
+	// ID is the client's node ID (use proto.ClientID(i)).
+	ID proto.NodeID
+	// Group is Π, the server group.
+	Group []proto.NodeID
+	// Node is the client's transport endpoint.
+	Node transport.Node
+	// Tracer observes reply adoptions (nil disables tracing).
+	Tracer Tracer
+}
+
+// Client implements the client side of the OAR algorithm (Figure 5):
+// OAR-multicast the request, wait for a set of same-epoch replies whose
+// combined weight reaches ⌈(|Π|+1)/2⌉, then adopt a reply of maximal
+// individual weight.
+//
+// A Client is safe for concurrent use: multiple goroutines may Invoke at
+// once (each request is tracked independently). Start must be called before
+// Invoke, and Stop when done.
+type Client struct {
+	cfg    ClientConfig
+	n      int
+	tracer Tracer
+
+	mu      sync.Mutex
+	rm      *rmcast.RMcast
+	nextSeq uint64
+	pending map[proto.RequestID]*call
+
+	done chan struct{} // reply-dispatch loop exited
+	stop context.CancelFunc
+}
+
+// call accumulates replies for one outstanding request.
+type call struct {
+	byEpoch map[uint64]*epochReplies
+	result  chan proto.Reply // buffered(1); receives the adopted reply
+	adopted bool
+}
+
+// epochReplies groups the replies of one epoch, per the "for some k" clause
+// of Figure 5 line 3.
+type epochReplies struct {
+	replies []proto.Reply
+	union   proto.Weight
+}
+
+// NewClient validates cfg and creates a client.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if cfg.Node == nil {
+		return nil, fmt.Errorf("core: client Node is required")
+	}
+	if len(cfg.Group) == 0 {
+		return nil, fmt.Errorf("core: client needs a non-empty group")
+	}
+	if !cfg.ID.IsClient() {
+		return nil, fmt.Errorf("core: %v is not a client ID", cfg.ID)
+	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = nopTracer{}
+	}
+	c := &Client{
+		cfg:     cfg,
+		n:       len(cfg.Group),
+		tracer:  cfg.Tracer,
+		pending: make(map[proto.RequestID]*call),
+		done:    make(chan struct{}),
+	}
+	c.rm = rmcast.New(rmcast.Config{
+		Self:  cfg.ID,
+		Group: cfg.Group,
+		Send: func(to proto.NodeID, payload []byte) {
+			_ = cfg.Node.Send(to, payload)
+		},
+	})
+	return c, nil
+}
+
+// Start launches the reply-dispatch loop.
+func (c *Client) Start() {
+	ctx, cancel := context.WithCancel(context.Background())
+	c.stop = cancel
+	go c.loop(ctx)
+}
+
+// Stop terminates the dispatch loop and waits for it to exit. Outstanding
+// Invokes fail with their context (or hang until their context ends), so
+// cancel those first.
+func (c *Client) Stop() {
+	if c.stop != nil {
+		c.stop()
+	}
+	<-c.done
+}
+
+func (c *Client) loop(ctx context.Context) {
+	defer close(c.done)
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case m, ok := <-c.cfg.Node.Recv():
+			if !ok {
+				return
+			}
+			kind, body, err := proto.Unmarshal(m.Payload)
+			if err != nil || kind != proto.KindReply {
+				continue
+			}
+			reply, err := proto.UnmarshalReply(body)
+			if err != nil {
+				continue
+			}
+			c.onReply(reply)
+		}
+	}
+}
+
+// onReply implements lines 3–5 of Figure 5.
+func (c *Client) onReply(reply proto.Reply) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	call, ok := c.pending[reply.Req]
+	if !ok || call.adopted {
+		return
+	}
+	acc, ok := call.byEpoch[reply.Epoch]
+	if !ok {
+		acc = &epochReplies{}
+		call.byEpoch[reply.Epoch] = acc
+	}
+	acc.replies = append(acc.replies, reply)
+	acc.union = acc.union.Union(reply.Weight)
+
+	// Line 3: wait until, for some k, the union weight reaches ⌈(|Π|+1)/2⌉.
+	if !acc.union.IsMajority(c.n) {
+		return
+	}
+	// Lines 4–5: adopt a reply with the largest individual weight.
+	best := acc.replies[0]
+	for _, r := range acc.replies[1:] {
+		if r.Weight.Count() > best.Weight.Count() {
+			best = r
+		}
+	}
+	call.adopted = true
+	call.result <- best
+	delete(c.pending, reply.Req)
+	c.tracer.Adopt(c.cfg.ID, reply.Req, best)
+}
+
+// Invoke performs OAR-multicast(m, Π) and blocks until a reply is adopted or
+// ctx ends. The returned Reply carries the application result, the delivery
+// position and the endorsing weight.
+func (c *Client) Invoke(ctx context.Context, cmd []byte) (proto.Reply, error) {
+	c.mu.Lock()
+	id := proto.RequestID{Client: c.cfg.ID, Seq: c.nextSeq}
+	c.nextSeq++
+	call := &call{
+		byEpoch: make(map[uint64]*epochReplies),
+		result:  make(chan proto.Reply, 1),
+	}
+	c.pending[id] = call
+	c.tracer.Issue(c.cfg.ID, id, cmd)
+	// Line 2: R-multicast (m, Π). The rmcast endpoint is guarded by c.mu.
+	c.rm.Multicast(proto.MarshalRequest(proto.Request{ID: id, Cmd: cmd}))
+	c.mu.Unlock()
+
+	select {
+	case reply := <-call.result:
+		return reply, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return proto.Reply{}, fmt.Errorf("core: invoke %v: %w", id, ctx.Err())
+	}
+}

@@ -1,0 +1,582 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/app"
+	"repro/internal/cnsvorder"
+	"repro/internal/consensus"
+	"repro/internal/fd"
+	"repro/internal/mseq"
+	"repro/internal/proto"
+	"repro/internal/rmcast"
+	"repro/internal/transport"
+)
+
+// Defaults for ServerConfig.
+const (
+	DefaultTickInterval      = time.Millisecond
+	DefaultHeartbeatInterval = 5 * time.Millisecond
+)
+
+// ServerConfig configures one OAR replica.
+type ServerConfig struct {
+	// ID is this replica's rank in Π.
+	ID proto.NodeID
+	// Group is Π. Must contain ID; |Π| ≤ 64.
+	Group []proto.NodeID
+	// Node is the replica's transport endpoint.
+	Node transport.Node
+	// Machine is the deterministic, undoable replicated state machine.
+	Machine app.Machine
+	// Detector is the ◊S failure detector used to suspect the sequencer and
+	// consensus coordinators. Required.
+	Detector fd.Detector
+	// RelayMode selects the reliable-multicast relay strategy (default Eager).
+	RelayMode rmcast.Mode
+	// TickInterval drives Task 1a batching, suspicion sampling, heartbeats
+	// and consensus timeouts. Default DefaultTickInterval.
+	TickInterval time.Duration
+	// HeartbeatInterval is the gap between heartbeats to peers. Default
+	// DefaultHeartbeatInterval. Set negative to disable heartbeats (e.g.
+	// when using an Oracle detector).
+	HeartbeatInterval time.Duration
+	// EpochRequestLimit, when positive, makes the sequencer R-broadcast a
+	// PhaseII after that many optimistic deliveries in one epoch — the
+	// garbage-collection mechanism of the Remark in Section 5.3 that bounds
+	// the O_delivered sequence.
+	EpochRequestLimit int
+	// Tracer observes protocol events (nil disables tracing).
+	Tracer Tracer
+}
+
+// ServerStats are monotonically increasing protocol counters, readable
+// concurrently while the server runs.
+type ServerStats struct {
+	OptDelivered   uint64 // optimistic deliveries (Fig. 6 line 17)
+	OptUndelivered uint64 // undone deliveries (Fig. 6 line 26)
+	ADelivered     uint64 // conservative deliveries (Fig. 6 line 28)
+	Epochs         uint64 // completed phase-2 rounds
+	SeqOrdersSent  uint64 // Task 1a ordering messages sent
+}
+
+// Server is one OAR replica. Create with NewServer, drive with Run.
+type Server struct {
+	cfg ServerConfig
+	n   int
+	rm  *rmcast.RMcast
+
+	// Figure 6 state.
+	rOrder     mseq.Seq[proto.RequestID]         // R_delivered (arrival order)
+	rKnown     map[proto.RequestID]struct{}      // set view of R_delivered
+	payloads   map[proto.RequestID]proto.Request // request bodies by ID
+	aDelivered map[proto.RequestID]struct{}      // A_delivered (set view)
+	oDelivered mseq.Seq[proto.RequestID]         // O_delivered (current epoch)
+	undoStack  []func()                          // undo closures, aligned with oDelivered
+	epoch      uint64                            // k
+	inPhase2   bool
+	pos        uint64 // next delivery position - 1 (reply value of App. A)
+
+	// Epoch/consensus bookkeeping.
+	phase2Sent    map[uint64]struct{} // epochs whose PhaseII we broadcast (Task 1c guard)
+	phase2Started map[uint64]struct{}
+	pendingPhase2 map[uint64]struct{}         // PhaseII(k') for future epochs
+	seqOrderBuf   map[uint64][]proto.SeqOrder // ordering messages for future epochs
+	cons          map[uint64]*consensus.Instance
+	decisions     map[uint64]consensus.Decision // decided, possibly before we start the epoch's phase 2
+	ownInput      cnsvorder.Input               // our proposal for the current epoch's phase 2
+
+	lastHeartbeat time.Time
+	tracer        Tracer
+
+	statOpt    atomic.Uint64
+	statUndo   atomic.Uint64
+	statA      atomic.Uint64
+	statEpochs atomic.Uint64
+	statOrders atomic.Uint64
+}
+
+// NewServer validates cfg and creates a replica.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if len(cfg.Group) == 0 || len(cfg.Group) > proto.MaxGroupSize {
+		return nil, fmt.Errorf("core: group size %d out of range [1,%d]", len(cfg.Group), proto.MaxGroupSize)
+	}
+	member := false
+	for _, p := range cfg.Group {
+		if p == cfg.ID {
+			member = true
+			break
+		}
+	}
+	if !member {
+		return nil, fmt.Errorf("core: server %v not in its own group", cfg.ID)
+	}
+	if cfg.Node == nil || cfg.Machine == nil || cfg.Detector == nil {
+		return nil, fmt.Errorf("core: Node, Machine and Detector are required")
+	}
+	if cfg.TickInterval <= 0 {
+		cfg.TickInterval = DefaultTickInterval
+	}
+	if cfg.HeartbeatInterval == 0 {
+		cfg.HeartbeatInterval = DefaultHeartbeatInterval
+	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = nopTracer{}
+	}
+	s := &Server{
+		cfg:           cfg,
+		n:             len(cfg.Group),
+		rKnown:        make(map[proto.RequestID]struct{}),
+		payloads:      make(map[proto.RequestID]proto.Request),
+		aDelivered:    make(map[proto.RequestID]struct{}),
+		phase2Sent:    make(map[uint64]struct{}),
+		phase2Started: make(map[uint64]struct{}),
+		pendingPhase2: make(map[uint64]struct{}),
+		seqOrderBuf:   make(map[uint64][]proto.SeqOrder),
+		cons:          make(map[uint64]*consensus.Instance),
+		decisions:     make(map[uint64]consensus.Decision),
+		tracer:        cfg.Tracer,
+	}
+	s.rm = rmcast.New(rmcast.Config{
+		Self:  cfg.ID,
+		Group: cfg.Group,
+		Send:  s.send,
+		Mode:  cfg.RelayMode,
+	})
+	return s, nil
+}
+
+// Stats returns a snapshot of the protocol counters. Safe to call
+// concurrently with Run.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		OptDelivered:   s.statOpt.Load(),
+		OptUndelivered: s.statUndo.Load(),
+		ADelivered:     s.statA.Load(),
+		Epochs:         s.statEpochs.Load(),
+		SeqOrdersSent:  s.statOrders.Load(),
+	}
+}
+
+// Run executes the replica event loop until ctx is cancelled or the
+// transport closes (e.g. the process is crashed by fault injection).
+func (s *Server) Run(ctx context.Context) error {
+	ticker := time.NewTicker(s.cfg.TickInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case m, ok := <-s.cfg.Node.Recv():
+			if !ok {
+				return nil
+			}
+			s.handleMessage(m, time.Now())
+		case now := <-ticker.C:
+			s.tick(now)
+		}
+	}
+}
+
+// sequencer returns s, the sequencer of the current epoch: the rotating
+// coordinator s = k mod |Π| (Section 5.3's rotation, since k increments
+// exactly once per phase 2).
+func (s *Server) sequencer() proto.NodeID {
+	return s.cfg.Group[int(s.epoch%uint64(s.n))] //nolint:gosec // n ≤ 64
+}
+
+func (s *Server) send(to proto.NodeID, payload []byte) {
+	// Send errors mean the network or this node is gone; the event loop will
+	// observe the closed inbox and stop. Nothing useful to do here.
+	_ = s.cfg.Node.Send(to, payload)
+}
+
+func (s *Server) sendToPeers(payload []byte) {
+	for _, p := range s.cfg.Group {
+		if p != s.cfg.ID {
+			s.send(p, payload)
+		}
+	}
+}
+
+// handleMessage dispatches one inbound transport message.
+func (s *Server) handleMessage(m transport.Message, now time.Time) {
+	kind, body, err := proto.Unmarshal(m.Payload)
+	if err != nil {
+		return // garbage on the wire; drop
+	}
+	switch kind {
+	case proto.KindHeartbeat:
+		s.cfg.Detector.Observe(m.From, now)
+	case proto.KindRMcast:
+		inner, deliver, err := s.rm.OnMessage(body)
+		if err != nil || !deliver {
+			return
+		}
+		s.handleRDelivery(inner)
+	case proto.KindSeqOrder:
+		order, err := proto.UnmarshalSeqOrder(body)
+		if err != nil {
+			return
+		}
+		s.handleSeqOrder(order)
+	case proto.KindEstimate, proto.KindPropose, proto.KindAck, proto.KindDecide:
+		s.handleConsensus(m.From, kind, body)
+	default:
+		// Replies and baseline traffic are not for servers; drop.
+	}
+}
+
+// handleRDelivery processes an R-delivered inner payload: a client request
+// (Task 0) or a PhaseII notification (start of Task 2).
+func (s *Server) handleRDelivery(inner []byte) {
+	kind, body, err := proto.Unmarshal(inner)
+	if err != nil {
+		return
+	}
+	switch kind {
+	case proto.KindRequest:
+		req, err := proto.UnmarshalRequest(body)
+		if err != nil {
+			return
+		}
+		s.bufferRequest(req)
+		// Low-latency path for Task 1a: the sequencer orders as soon as a
+		// request arrives instead of waiting for the next tick.
+		s.maybeOrder()
+	case proto.KindPhaseII:
+		p2, err := proto.UnmarshalPhaseII(body)
+		if err != nil {
+			return
+		}
+		s.handlePhaseII(p2.Epoch)
+	}
+}
+
+// bufferRequest is Task 0: R_delivered ← R_delivered ⊕ {m}.
+func (s *Server) bufferRequest(req proto.Request) {
+	if _, known := s.rKnown[req.ID]; known {
+		return
+	}
+	s.rKnown[req.ID] = struct{}{}
+	s.payloads[req.ID] = req
+	s.rOrder = append(s.rOrder, req.ID)
+}
+
+// notDelivered computes (R_delivered ⊖ A_delivered) ⊖ O_delivered
+// (Figure 6, lines 9 and 23).
+func (s *Server) notDelivered() mseq.Seq[proto.RequestID] {
+	oSet := s.oDelivered.Set()
+	out := make(mseq.Seq[proto.RequestID], 0)
+	for _, id := range s.rOrder {
+		if _, a := s.aDelivered[id]; a {
+			continue
+		}
+		if _, o := oSet[id]; o {
+			continue
+		}
+		out = append(out, id)
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// maybeOrder is Task 1a: if this replica is the sequencer of the current
+// epoch and there are unordered messages, it orders them and sends the
+// sequence to all — then Opt-delivers immediately itself ("we assume that
+// the sequencer immediately delivers this message").
+func (s *Server) maybeOrder() {
+	if s.inPhase2 || s.sequencer() != s.cfg.ID {
+		return
+	}
+	pending := s.notDelivered()
+	if pending.IsEmpty() {
+		return
+	}
+	reqs := s.materialize(pending)
+	order := proto.SeqOrder{Epoch: s.epoch, Reqs: reqs}
+	s.sendToPeers(proto.MarshalSeqOrder(order))
+	s.statOrders.Add(1)
+	s.optDeliverBatch(order)
+}
+
+func (s *Server) materialize(ids mseq.Seq[proto.RequestID]) []proto.Request {
+	reqs := make([]proto.Request, 0, len(ids))
+	for _, id := range ids {
+		reqs = append(reqs, s.payloads[id])
+	}
+	return reqs
+}
+
+// handleSeqOrder is the receiving half of Task 1b.
+func (s *Server) handleSeqOrder(order proto.SeqOrder) {
+	switch {
+	case order.Epoch < s.epoch:
+		return // stale epoch
+	case order.Epoch > s.epoch:
+		// We lag behind; keep the payloads (Task 0 piggyback) and buffer the
+		// ordering until our phase 2s catch us up.
+		for _, req := range order.Reqs {
+			s.bufferRequest(req)
+		}
+		s.seqOrderBuf[order.Epoch] = append(s.seqOrderBuf[order.Epoch], order)
+		return
+	case s.inPhase2:
+		// Orderings of the current epoch arriving after PhaseII are not
+		// Opt-delivered; their messages stay in R_delivered and will be
+		// re-ordered (by the next sequencer or the consensus merge).
+		for _, req := range order.Reqs {
+			s.bufferRequest(req)
+		}
+		return
+	}
+	s.optDeliverBatch(order)
+}
+
+// optDeliverBatch is Task 1b: Opt-deliver every message of msgSet_k in
+// order, send replies weighted {s} (at the sequencer) or {p, s}.
+func (s *Server) optDeliverBatch(order proto.SeqOrder) {
+	seq := s.sequencer()
+	var weight proto.Weight
+	if s.cfg.ID == seq {
+		weight = proto.WeightOf(seq)
+	} else {
+		weight = proto.WeightOf(s.cfg.ID, seq)
+	}
+	oSet := s.oDelivered.Set()
+	for _, req := range order.Reqs {
+		if _, done := s.aDelivered[req.ID]; done {
+			continue
+		}
+		if _, done := oSet[req.ID]; done {
+			continue
+		}
+		// The ordering message carries full payloads, so we may learn the
+		// request here before its R-multicast copy arrives (dedup in Task 0).
+		s.bufferRequest(req)
+
+		result, undo := s.cfg.Machine.Apply(req.Cmd)
+		s.pos++
+		s.oDelivered = append(s.oDelivered, req.ID)
+		s.undoStack = append(s.undoStack, undo)
+		s.statOpt.Add(1)
+		s.tracer.OptDeliver(s.cfg.ID, s.epoch, req.ID, s.pos, result)
+		s.send(req.ID.Client, proto.MarshalReply(proto.Reply{
+			Req:    req.ID,
+			From:   s.cfg.ID,
+			Epoch:  s.epoch,
+			Weight: weight,
+			Pos:    s.pos,
+			Result: result,
+		}))
+	}
+
+	// Garbage collection (Remark, Section 5.3): the sequencer periodically
+	// forces phase 2 to truncate O_delivered.
+	if s.cfg.EpochRequestLimit > 0 && s.cfg.ID == seq && !s.inPhase2 &&
+		s.oDelivered.Len() >= s.cfg.EpochRequestLimit {
+		s.broadcastPhaseII()
+	}
+}
+
+// broadcastPhaseII is the sending half of Task 1c (also used by the GC
+// path): R-broadcast (k, PhaseII) to all.
+func (s *Server) broadcastPhaseII() {
+	if _, sent := s.phase2Sent[s.epoch]; sent {
+		return
+	}
+	s.phase2Sent[s.epoch] = struct{}{}
+	inner := proto.MarshalPhaseII(proto.PhaseII{Epoch: s.epoch})
+	if local, ok := s.rm.Multicast(inner); ok {
+		s.handleRDelivery(local)
+	}
+}
+
+// handlePhaseII is the start of Task 2 for epoch k.
+func (s *Server) handlePhaseII(k uint64) {
+	if k < s.epoch {
+		return
+	}
+	if k > s.epoch {
+		s.pendingPhase2[k] = struct{}{}
+		return
+	}
+	if _, started := s.phase2Started[k]; started {
+		return
+	}
+	s.phase2Started[k] = struct{}{}
+	s.inPhase2 = true
+
+	// Lazy relay: agreement on buffered R-multicasts matters exactly now.
+	if s.cfg.RelayMode == rmcast.Lazy {
+		s.rm.RelayAll()
+	}
+
+	// Figure 6 lines 23–24: propose (O_delivered, O_notdelivered).
+	s.ownInput = cnsvorder.Input{
+		Dlv:    s.materialize(s.oDelivered),
+		NotDlv: s.materialize(s.notDelivered()),
+	}
+	inst := s.instance(k)
+	inst.Start(s.ownInput.Marshal())
+	// The decision may already be known (we were slow; others decided).
+	if d, ok := s.decisions[k]; ok {
+		s.applyDecision(k, d)
+	}
+}
+
+// instance returns (creating if needed) the consensus instance for epoch k.
+func (s *Server) instance(k uint64) *consensus.Instance {
+	if inst, ok := s.cons[k]; ok {
+		return inst
+	}
+	inst := consensus.NewInstance(consensus.Config{
+		Self:     s.cfg.ID,
+		Group:    s.cfg.Group,
+		Instance: k,
+		Send:     s.send,
+		Detector: s.cfg.Detector,
+		OnDecide: func(d consensus.Decision) { s.onDecide(k, d) },
+	})
+	s.cons[k] = inst
+	return inst
+}
+
+func (s *Server) handleConsensus(from proto.NodeID, kind proto.Kind, body []byte) {
+	k, err := consensus.InstanceOf(body)
+	if err != nil || k < s.epoch {
+		return
+	}
+	inst := s.instance(k)
+	_ = inst.OnMessage(from, kind, body) // malformed messages are dropped
+}
+
+// onDecide runs when consensus for epoch k decides. If we are inside that
+// epoch's phase 2, apply immediately; otherwise remember the decision until
+// we get there.
+func (s *Server) onDecide(k uint64, d consensus.Decision) {
+	if k == s.epoch && s.inPhase2 {
+		s.applyDecision(k, d)
+		return
+	}
+	s.decisions[k] = d
+}
+
+// applyDecision finishes Task 2: Cnsv-order, Opt-undeliver Bad (reverse
+// order), A-deliver New, advance to epoch k+1.
+func (s *Server) applyDecision(k uint64, d consensus.Decision) {
+	res, err := cnsvorder.Compute(s.ownInput, d)
+	if err != nil {
+		// A malformed decision would mean a broken consensus/sequencer
+		// implementation; halting this replica is the only safe response.
+		panic(fmt.Sprintf("oar server %v epoch %d: %v", s.cfg.ID, k, err))
+	}
+
+	// Lines 25–26: Opt-undeliver Bad, last delivered first (footnote 2).
+	// Undo legality guarantees Bad is a suffix of O_delivered.
+	for i := len(res.Bad) - 1; i >= 0; i-- {
+		top := s.oDelivered.Len() - 1
+		if top < 0 || s.oDelivered[top] != res.Bad[i] {
+			panic(fmt.Sprintf("oar server %v epoch %d: Bad %v is not the O_delivered suffix %v",
+				s.cfg.ID, k, res.Bad, s.oDelivered))
+		}
+		s.undoStack[top]()
+		s.undoStack = s.undoStack[:top]
+		s.oDelivered = s.oDelivered[:top]
+		s.pos--
+		s.statUndo.Add(1)
+		s.tracer.OptUndeliver(s.cfg.ID, k, res.Bad[i])
+	}
+
+	// Lines 27–29: A-deliver New, replying with the conservative weight Π.
+	full := proto.FullWeight(s.n)
+	for _, req := range res.New {
+		s.bufferRequest(req) // consensus may carry payloads we never received
+		result, _ := s.cfg.Machine.Apply(req.Cmd)
+		s.pos++
+		s.statA.Add(1)
+		s.tracer.ADeliver(s.cfg.ID, k, req.ID, s.pos, result)
+		s.send(req.ID.Client, proto.MarshalReply(proto.Reply{
+			Req:    req.ID,
+			From:   s.cfg.ID,
+			Epoch:  k,
+			Weight: full,
+			Pos:    s.pos,
+			Result: result,
+		}))
+	}
+
+	// Lines 30–32: commit the epoch.
+	for _, id := range s.oDelivered { // O_delivered ⊖ Bad (Bad already removed)
+		s.aDelivered[id] = struct{}{}
+	}
+	for _, req := range res.New {
+		s.aDelivered[req.ID] = struct{}{}
+	}
+	s.tracer.EpochClose(s.cfg.ID, k, s.ownInput, res)
+	s.oDelivered = nil
+	s.undoStack = nil
+	s.ownInput = cnsvorder.Input{}
+	s.inPhase2 = false
+	s.epoch = k + 1
+	s.statEpochs.Add(1)
+
+	// Drop per-epoch bookkeeping we no longer need.
+	delete(s.cons, k)
+	delete(s.decisions, k)
+	delete(s.phase2Sent, k)
+	delete(s.phase2Started, k)
+	delete(s.pendingPhase2, k)
+	delete(s.seqOrderBuf, k)
+
+	// Catch up with the new epoch: buffered orderings, a pending PhaseII,
+	// or — if we are the new sequencer — leftover unordered requests.
+	if orders, ok := s.seqOrderBuf[s.epoch]; ok {
+		delete(s.seqOrderBuf, s.epoch)
+		for _, o := range orders {
+			s.handleSeqOrder(o)
+		}
+	}
+	if _, ok := s.pendingPhase2[s.epoch]; ok {
+		delete(s.pendingPhase2, s.epoch)
+		s.handlePhaseII(s.epoch)
+		return
+	}
+	s.maybeOrder()
+}
+
+// tick drives the periodic duties: heartbeats, Task 1a batching, Task 1c
+// suspicion, and consensus timeouts.
+func (s *Server) tick(now time.Time) {
+	if s.cfg.HeartbeatInterval > 0 && now.Sub(s.lastHeartbeat) >= s.cfg.HeartbeatInterval {
+		s.lastHeartbeat = now
+		s.sendToPeers(proto.MarshalHeartbeat())
+	}
+
+	if !s.inPhase2 {
+		// Task 1a catch-up (e.g. requests that arrived during phase 2).
+		s.maybeOrder()
+		// Task 1c: when p suspects the sequencer, R-broadcast (k, PhaseII).
+		seq := s.sequencer()
+		if seq != s.cfg.ID && s.cfg.Detector.Suspected(seq, now) {
+			s.broadcastPhaseII()
+		}
+	}
+
+	// Drive the active consensus instance (coordinator suspicion).
+	if s.inPhase2 {
+		if inst, ok := s.cons[s.epoch]; ok {
+			inst.Tick(now)
+		}
+	}
+}
+
+// Epoch returns the current epoch (k). Intended for tests and tools; it is
+// only safe to read when the server is quiescent or from its own tracer
+// callbacks.
+func (s *Server) Epoch() uint64 { return s.epoch }

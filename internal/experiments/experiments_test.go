@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// The experiment suite doubles as a system-level test: every experiment must
+// run to completion in quick mode and produce a well-formed table with the
+// expected qualitative shape.
+
+func quick() Config { return Config{Quick: true} }
+
+func checkShape(t *testing.T, r Result, wantRows int) {
+	t.Helper()
+	if r.ID == "" || r.Title == "" || len(r.Header) == 0 {
+		t.Fatalf("malformed result: %+v", r)
+	}
+	if len(r.Rows) != wantRows {
+		t.Fatalf("%s: %d rows, want %d: %v", r.ID, len(r.Rows), wantRows, r.Rows)
+	}
+	for _, row := range r.Rows {
+		if len(row) != len(r.Header) {
+			t.Fatalf("%s: row width %d != header width %d", r.ID, len(row), len(r.Header))
+		}
+	}
+	if !strings.Contains(r.String(), r.ID) {
+		t.Errorf("%s: String() missing the experiment id", r.ID)
+	}
+}
+
+func TestE1QualitativeShape(t *testing.T) {
+	r, err := E1ExternalInconsistency(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkShape(t, r, 2)
+	// Row 0 is fixedseq, row 1 is oar.
+	if r.Rows[0][2] == "0" {
+		t.Errorf("fixedseq produced no external inconsistency under the Figure 1(b) fault: %v", r.Rows[0])
+	}
+	if r.Rows[1][2] != "0" {
+		t.Errorf("OAR produced external inconsistencies: %v", r.Rows[1])
+	}
+}
+
+func TestE2Shape(t *testing.T) {
+	r, err := E2FailureFreeLatency(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkShape(t, r, 2*3) // 2 sizes x 3 protocols
+}
+
+func TestE3Shape(t *testing.T) {
+	r, err := E3Failover(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkShape(t, r, 2)
+}
+
+func TestE4QualitativeShape(t *testing.T) {
+	r, err := E4OptUndeliver(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkShape(t, r, 2)
+	// Row 0 is oar: exactly 4 undeliveries per run, zero inconsistency.
+	if r.Rows[0][2] != "4" {
+		t.Errorf("OAR undeliveries = %s, want 4", r.Rows[0][2])
+	}
+	if r.Rows[0][3] != "0" || r.Rows[0][4] != "0" {
+		t.Errorf("OAR run was inconsistent: %v", r.Rows[0])
+	}
+	// Row 1 is fixedseq: it must diverge under the same fault.
+	if r.Rows[1][3] == "0" && r.Rows[1][4] == "0" {
+		t.Errorf("fixedseq survived the Figure 4 fault unscathed: %v", r.Rows[1])
+	}
+}
+
+func TestE5Shape(t *testing.T) {
+	r, err := E5Throughput(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkShape(t, r, 2*3)
+}
+
+func TestE6Shape(t *testing.T) {
+	r, err := E6EpochGC(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkShape(t, r, 2)
+	// GC off closes no epochs; GC on closes at least one.
+	if r.Rows[0][1] != "0" {
+		t.Errorf("limit=0 closed %s epochs, want 0", r.Rows[0][1])
+	}
+	if r.Rows[1][1] == "0" {
+		t.Errorf("limit=32 closed no epochs")
+	}
+}
+
+func TestE7Shape(t *testing.T) {
+	r, err := E7QuorumRule(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkShape(t, r, 2)
+}
+
+func TestA1Shape(t *testing.T) {
+	r, err := A1RelayStrategy(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkShape(t, r, 2*2)
+}
+
+func TestA2QualitativeShape(t *testing.T) {
+	r, err := A2UndoThriftiness(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkShape(t, r, 2)
+	if r.Rows[0][3] == "0" {
+		t.Log("thriftiness avoided no undos in this sample (possible but unusual)")
+	}
+}
+
+func TestProtocolsEnumerated(t *testing.T) {
+	if len(protocols) != 3 {
+		t.Fatal("expected 3 protocols under comparison")
+	}
+	seen := map[string]bool{}
+	for _, p := range protocols {
+		seen[p.String()] = true
+	}
+	if !seen["oar"] || !seen["fixedseq"] || !seen["ctab"] {
+		t.Errorf("protocols = %v", seen)
+	}
+	if cluster.Protocol(99).String() == "" {
+		t.Error("unknown protocol has empty name")
+	}
+}

@@ -1,0 +1,138 @@
+// Package fd provides failure detectors for the asynchronous-system-plus-◊S
+// model of Section 3 of the paper.
+//
+// Two implementations:
+//
+//   - Timeout: a heartbeat-timeout detector. Each process periodically sends
+//     heartbeats; a peer unseen for longer than the configured timeout is
+//     suspected, and unsuspected again as soon as a fresh heartbeat arrives.
+//     With eventually-stable links this realizes ◊S in practice (eventual
+//     weak accuracy holds once delays stabilize below the timeout).
+//
+//   - Oracle: a scriptable detector for deterministic scenario tests: the
+//     test decides exactly who is suspected and when, which is how the
+//     Figure 3 and Figure 4 runs are replayed exactly.
+//
+// Detectors are passive: the owning process feeds them heartbeat
+// observations (Observe) and samples suspicion (Suspected). This keeps all
+// protocol state on a single goroutine, as the paper's tasks-in-mutual-
+// exclusion model demands.
+package fd
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/proto"
+)
+
+// Detector answers "do I currently suspect process id?". Implementations
+// must be safe for concurrent use (the Oracle is driven from test
+// goroutines).
+type Detector interface {
+	// Observe records a liveness indication (e.g. heartbeat) from id at time
+	// now.
+	Observe(id proto.NodeID, now time.Time)
+	// Suspected reports whether id is suspected at time now.
+	Suspected(id proto.NodeID, now time.Time) bool
+}
+
+// Timeout is a heartbeat-timeout failure detector. The zero value is not
+// usable; use NewTimeout.
+type Timeout struct {
+	timeout time.Duration
+
+	mu       sync.Mutex
+	lastSeen map[proto.NodeID]time.Time
+}
+
+var _ Detector = (*Timeout)(nil)
+
+// NewTimeout creates a timeout detector. A process is suspected once it has
+// not been observed for longer than timeout. Every peer starts with an
+// implicit observation at start, so freshly booted peers get one full
+// timeout before being suspected.
+func NewTimeout(timeout time.Duration, peers []proto.NodeID, start time.Time) *Timeout {
+	d := &Timeout{
+		timeout:  timeout,
+		lastSeen: make(map[proto.NodeID]time.Time, len(peers)),
+	}
+	for _, p := range peers {
+		d.lastSeen[p] = start
+	}
+	return d
+}
+
+// Observe implements Detector.
+func (d *Timeout) Observe(id proto.NodeID, now time.Time) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if last, ok := d.lastSeen[id]; !ok || now.After(last) {
+		d.lastSeen[id] = now
+	}
+}
+
+// Suspected implements Detector.
+func (d *Timeout) Suspected(id proto.NodeID, now time.Time) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	last, ok := d.lastSeen[id]
+	if !ok {
+		return false // unknown processes are not suspected
+	}
+	return now.Sub(last) > d.timeout
+}
+
+// TimeoutValue returns the configured suspicion timeout.
+func (d *Timeout) TimeoutValue() time.Duration { return d.timeout }
+
+// Oracle is a scriptable failure detector: tests control its verdicts
+// directly. It ignores observations.
+type Oracle struct {
+	mu        sync.Mutex
+	suspected map[proto.NodeID]bool
+}
+
+var _ Detector = (*Oracle)(nil)
+
+// NewOracle creates an oracle that initially suspects nobody.
+func NewOracle() *Oracle {
+	return &Oracle{suspected: make(map[proto.NodeID]bool)}
+}
+
+// Suspect marks id as suspected.
+func (o *Oracle) Suspect(id proto.NodeID) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.suspected[id] = true
+}
+
+// Trust clears the suspicion of id.
+func (o *Oracle) Trust(id proto.NodeID) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	delete(o.suspected, id)
+}
+
+// Observe implements Detector; the oracle ignores heartbeats.
+func (o *Oracle) Observe(proto.NodeID, time.Time) {}
+
+// Suspected implements Detector.
+func (o *Oracle) Suspected(id proto.NodeID, _ time.Time) bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.suspected[id]
+}
+
+// Never is a detector that never suspects anyone — the "perfectly accurate,
+// completely unhelpful" detector. Useful for failure-free benchmark runs
+// where suspicion handling should never trigger.
+type Never struct{}
+
+var _ Detector = Never{}
+
+// Observe implements Detector.
+func (Never) Observe(proto.NodeID, time.Time) {}
+
+// Suspected implements Detector.
+func (Never) Suspected(proto.NodeID, time.Time) bool { return false }

@@ -1,0 +1,119 @@
+package fd
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/proto"
+)
+
+func TestTimeoutSuspectsAfterSilence(t *testing.T) {
+	start := time.Unix(0, 0)
+	d := NewTimeout(100*time.Millisecond, proto.Group(3), start)
+
+	if d.Suspected(1, start.Add(50*time.Millisecond)) {
+		t.Error("suspected within timeout of start")
+	}
+	if !d.Suspected(1, start.Add(150*time.Millisecond)) {
+		t.Error("not suspected after timeout")
+	}
+}
+
+func TestTimeoutHeartbeatRefreshes(t *testing.T) {
+	start := time.Unix(0, 0)
+	d := NewTimeout(100*time.Millisecond, proto.Group(2), start)
+
+	d.Observe(1, start.Add(90*time.Millisecond))
+	if d.Suspected(1, start.Add(150*time.Millisecond)) {
+		t.Error("suspected despite recent heartbeat")
+	}
+	if !d.Suspected(1, start.Add(250*time.Millisecond)) {
+		t.Error("not suspected after heartbeat went stale")
+	}
+}
+
+func TestTimeoutUnsuspectsOnRecovery(t *testing.T) {
+	// ◊S allows wrong suspicions that are later revoked: a late heartbeat
+	// must clear the suspicion.
+	start := time.Unix(0, 0)
+	d := NewTimeout(100*time.Millisecond, proto.Group(2), start)
+	at := start.Add(200 * time.Millisecond)
+	if !d.Suspected(1, at) {
+		t.Fatal("precondition: should be suspected")
+	}
+	d.Observe(1, at)
+	if d.Suspected(1, at.Add(10*time.Millisecond)) {
+		t.Error("still suspected after fresh heartbeat")
+	}
+}
+
+func TestTimeoutIgnoresStaleObservation(t *testing.T) {
+	start := time.Unix(0, 0)
+	d := NewTimeout(100*time.Millisecond, proto.Group(2), start)
+	d.Observe(1, start.Add(500*time.Millisecond))
+	d.Observe(1, start.Add(100*time.Millisecond)) // out-of-order, stale
+	if d.Suspected(1, start.Add(550*time.Millisecond)) {
+		t.Error("stale observation overwrote a fresher one")
+	}
+}
+
+func TestTimeoutUnknownProcessNotSuspected(t *testing.T) {
+	d := NewTimeout(time.Millisecond, nil, time.Unix(0, 0))
+	if d.Suspected(9, time.Unix(100, 0)) {
+		t.Error("unknown process suspected")
+	}
+}
+
+func TestTimeoutValue(t *testing.T) {
+	d := NewTimeout(42*time.Millisecond, nil, time.Time{})
+	if d.TimeoutValue() != 42*time.Millisecond {
+		t.Error("TimeoutValue mismatch")
+	}
+}
+
+func TestOracleScripting(t *testing.T) {
+	o := NewOracle()
+	now := time.Now()
+	if o.Suspected(0, now) {
+		t.Error("fresh oracle suspects someone")
+	}
+	o.Suspect(0)
+	if !o.Suspected(0, now) {
+		t.Error("Suspect did not take effect")
+	}
+	o.Observe(0, now) // must be a no-op
+	if !o.Suspected(0, now) {
+		t.Error("Observe cleared an oracle suspicion")
+	}
+	o.Trust(0)
+	if o.Suspected(0, now) {
+		t.Error("Trust did not clear suspicion")
+	}
+}
+
+func TestOracleConcurrentAccess(t *testing.T) {
+	o := NewOracle()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := proto.NodeID(i % 3)
+			for j := 0; j < 200; j++ {
+				o.Suspect(id)
+				o.Suspected(id, time.Time{})
+				o.Trust(id)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestNever(t *testing.T) {
+	var d Never
+	d.Observe(1, time.Now())
+	if d.Suspected(1, time.Now().Add(time.Hour)) {
+		t.Error("Never suspected someone")
+	}
+}

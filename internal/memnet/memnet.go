@@ -1,0 +1,447 @@
+// Package memnet is an in-process implementation of the transport abstraction
+// with configurable per-message latency, network partitions and fault
+// injection. It implements the system model of Section 3 of the paper:
+// channels are reliable and FIFO. A partition does not lose messages — it
+// holds them until the partition heals (reliable channels merely become slow,
+// which is what makes ◊S suspicions possible without violating the model).
+//
+// Fault injection:
+//   - Crash(id) crashes a process: it stops receiving and further sends fail.
+//   - SetFilter installs a send-time filter that can silently drop specific
+//     messages (used to reproduce the Figure 1(b) scenario where the
+//     sequencer's reply reaches the client but its ordering message is lost
+//     in the crash).
+//   - SetPartitions splits the network into groups; cross-group messages are
+//     held until Heal.
+package memnet
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/proto"
+	"repro/internal/transport"
+)
+
+// Options configures a Network.
+type Options struct {
+	// MinDelay and MaxDelay bound the one-way latency applied to each
+	// message. Delays are sampled uniformly; FIFO order is preserved by
+	// enforcing monotonic delivery times per link. Zero means instant.
+	MinDelay time.Duration
+	MaxDelay time.Duration
+	// Seed seeds the latency sampler. Zero picks a fixed default so runs are
+	// reproducible unless the caller opts into variation.
+	Seed int64
+}
+
+// Verdict is a filter's decision about a message at send time.
+type Verdict int
+
+// Filter verdicts.
+const (
+	// Deliver lets the message proceed normally.
+	Deliver Verdict = iota + 1
+	// Drop silently discards the message (models a crash between sends).
+	Drop
+)
+
+// Filter inspects an outgoing message. It runs on the sender's goroutine
+// before the message enters the network.
+type Filter func(from, to proto.NodeID, payload []byte) Verdict
+
+// Stats aggregates network-wide counters.
+type Stats struct {
+	MessagesSent      uint64
+	MessagesDelivered uint64
+	MessagesDropped   uint64
+	BytesSent         uint64
+}
+
+// Network is an in-memory message bus between nodes.
+type Network struct {
+	opts Options
+
+	mu       sync.Mutex
+	topo     *sync.Cond // broadcast on partition change / close / crash
+	rng      *rand.Rand
+	nodes    map[proto.NodeID]*Node
+	links    map[linkKey]*link
+	group    map[proto.NodeID]int // partition group; empty map = fully connected
+	hasParts bool
+	blocked  map[linkKey]bool // pairwise holds, independent of groups
+	crashed  map[proto.NodeID]bool
+	filter   Filter
+	closed   bool
+	wg       sync.WaitGroup
+
+	sent      atomic.Uint64
+	delivered atomic.Uint64
+	dropped   atomic.Uint64
+	bytes     atomic.Uint64
+	kindCount [256]atomic.Uint64
+}
+
+type linkKey struct {
+	from, to proto.NodeID
+}
+
+// New creates a network.
+func New(opts Options) *Network {
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 42
+	}
+	n := &Network{
+		opts:    opts,
+		rng:     rand.New(rand.NewSource(seed)),
+		nodes:   make(map[proto.NodeID]*Node),
+		links:   make(map[linkKey]*link),
+		group:   make(map[proto.NodeID]int),
+		blocked: make(map[linkKey]bool),
+		crashed: make(map[proto.NodeID]bool),
+	}
+	n.topo = sync.NewCond(&n.mu)
+	return n
+}
+
+// Node returns (creating on first use) the endpoint for id.
+func (n *Network) Node(id proto.NodeID) *Node {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if nd, ok := n.nodes[id]; ok {
+		return nd
+	}
+	nd := &Node{net: n, id: id, inbox: transport.NewQueue()}
+	n.nodes[id] = nd
+	return nd
+}
+
+// SetFilter installs f as the send-time filter (nil removes it).
+func (n *Network) SetFilter(f Filter) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.filter = f
+}
+
+// Crash marks id as crashed: its pending inbox is discarded, future sends
+// from it fail and messages addressed to it are dropped. In-flight messages
+// it already sent are still delivered (they left the process before the
+// crash).
+func (n *Network) Crash(id proto.NodeID) {
+	n.mu.Lock()
+	nd := n.nodes[id]
+	if n.crashed[id] {
+		n.mu.Unlock()
+		return
+	}
+	n.crashed[id] = true
+	n.topo.Broadcast()
+	n.mu.Unlock()
+	if nd != nil {
+		nd.inbox.Close()
+	}
+}
+
+// Crashed reports whether id has crashed.
+func (n *Network) Crashed(id proto.NodeID) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.crashed[id]
+}
+
+// SetPartitions splits the network: only processes within the same group can
+// exchange messages; cross-group messages are held (not lost) until Heal or
+// a new topology permits them. A process not listed in any group is isolated.
+func (n *Network) SetPartitions(groups ...[]proto.NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.group = make(map[proto.NodeID]int)
+	n.hasParts = true
+	for gi, g := range groups {
+		for _, id := range g {
+			n.group[id] = gi + 1
+		}
+	}
+	n.topo.Broadcast()
+}
+
+// Heal removes all partitions and pairwise blocks; held messages resume
+// delivery in order.
+func (n *Network) Heal() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.group = make(map[proto.NodeID]int)
+	n.hasParts = false
+	n.blocked = make(map[linkKey]bool)
+	n.topo.Broadcast()
+}
+
+// Block holds all traffic between a and b, in both directions, until
+// Unblock or Heal. Unlike a partition it affects only this pair. Messages
+// are held, not lost (reliable channels).
+func (n *Network) Block(a, b proto.NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.blocked[linkKey{from: a, to: b}] = true
+	n.blocked[linkKey{from: b, to: a}] = true
+	n.topo.Broadcast()
+}
+
+// BlockGroups blocks every pair (a, b) with a ∈ as and b ∈ bs, both
+// directions — a convenience for scripting minority partitions while
+// leaving other connectivity (e.g. clients) intact.
+func (n *Network) BlockGroups(as, bs []proto.NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, a := range as {
+		for _, b := range bs {
+			n.blocked[linkKey{from: a, to: b}] = true
+			n.blocked[linkKey{from: b, to: a}] = true
+		}
+	}
+	n.topo.Broadcast()
+}
+
+// Unblock removes the pairwise hold between a and b.
+func (n *Network) Unblock(a, b proto.NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.blocked, linkKey{from: a, to: b})
+	delete(n.blocked, linkKey{from: b, to: a})
+	n.topo.Broadcast()
+}
+
+// Stats returns a snapshot of network counters.
+func (n *Network) Stats() Stats {
+	return Stats{
+		MessagesSent:      n.sent.Load(),
+		MessagesDelivered: n.delivered.Load(),
+		MessagesDropped:   n.dropped.Load(),
+		BytesSent:         n.bytes.Load(),
+	}
+}
+
+// KindCount returns how many messages with the given leading kind byte were
+// sent. Protocol payloads are kind-tagged, so this gives per-message-type
+// traffic counts for the experiments.
+func (n *Network) KindCount(k proto.Kind) uint64 {
+	return n.kindCount[byte(k)].Load()
+}
+
+// ResetStats zeroes all counters (used between benchmark phases).
+func (n *Network) ResetStats() {
+	n.sent.Store(0)
+	n.delivered.Store(0)
+	n.dropped.Store(0)
+	n.bytes.Store(0)
+	for i := range n.kindCount {
+		n.kindCount[i].Store(0)
+	}
+}
+
+// Close shuts the network down: all links stop and all node inboxes close.
+func (n *Network) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	nodes := make([]*Node, 0, len(n.nodes))
+	for _, nd := range n.nodes {
+		nodes = append(nodes, nd)
+	}
+	links := make([]*link, 0, len(n.links))
+	for _, l := range n.links {
+		links = append(links, l)
+	}
+	n.topo.Broadcast()
+	n.mu.Unlock()
+
+	for _, l := range links {
+		l.close()
+	}
+	n.wg.Wait()
+	for _, nd := range nodes {
+		nd.inbox.Close()
+	}
+}
+
+// blockedLocked reports whether from->to traffic is currently held.
+// Caller must hold n.mu.
+func (n *Network) blockedLocked(from, to proto.NodeID) bool {
+	if n.blocked[linkKey{from: from, to: to}] {
+		return true
+	}
+	if !n.hasParts {
+		return false
+	}
+	gf, okf := n.group[from]
+	gt, okt := n.group[to]
+	return !okf || !okt || gf != gt
+}
+
+// sampleDelayLocked draws a one-way latency. Caller must hold n.mu.
+func (n *Network) sampleDelayLocked() time.Duration {
+	lo, hi := n.opts.MinDelay, n.opts.MaxDelay
+	if hi <= lo {
+		return lo
+	}
+	return lo + time.Duration(n.rng.Int63n(int64(hi-lo)))
+}
+
+// Node is one process's endpoint on a Network.
+type Node struct {
+	net   *Network
+	id    proto.NodeID
+	inbox *transport.Queue
+}
+
+var _ transport.Node = (*Node)(nil)
+
+// ID implements transport.Node.
+func (nd *Node) ID() proto.NodeID { return nd.id }
+
+// Recv implements transport.Node.
+func (nd *Node) Recv() <-chan transport.Message { return nd.inbox.Out() }
+
+// Close implements transport.Node. It only closes this endpoint's inbox; the
+// network keeps running for other nodes.
+func (nd *Node) Close() error {
+	nd.inbox.Close()
+	return nil
+}
+
+// Send implements transport.Node.
+func (nd *Node) Send(to proto.NodeID, payload []byte) error {
+	n := nd.net
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return transport.ErrClosed
+	}
+	if n.crashed[nd.id] {
+		n.mu.Unlock()
+		return fmt.Errorf("send from %v: %w", nd.id, transport.ErrCrashed)
+	}
+	filter := n.filter
+	n.mu.Unlock()
+
+	if filter != nil && filter(nd.id, to, payload) == Drop {
+		n.dropped.Add(1)
+		return nil // a dropped message is indistinguishable from a slow one
+	}
+
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return transport.ErrClosed
+	}
+	key := linkKey{from: nd.id, to: to}
+	l, ok := n.links[key]
+	if !ok {
+		l = newLink(n, key)
+		n.links[key] = l
+		n.wg.Add(1)
+		go l.run()
+	}
+	delay := n.sampleDelayLocked()
+	n.mu.Unlock()
+
+	n.sent.Add(1)
+	n.bytes.Add(uint64(len(payload)))
+	if len(payload) > 0 {
+		n.kindCount[payload[0]].Add(1)
+	}
+	l.push(payload, delay)
+	return nil
+}
+
+// link is a FIFO channel from one process to another with latency and
+// hold-on-partition semantics. A single goroutine per link preserves order.
+type link struct {
+	net *Network
+	key linkKey
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []inflight
+	lastAt  time.Time
+	closing bool
+}
+
+type inflight struct {
+	payload   []byte
+	deliverAt time.Time
+}
+
+func newLink(n *Network, key linkKey) *link {
+	l := &link{net: n, key: key}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+func (l *link) push(payload []byte, delay time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closing {
+		return
+	}
+	at := time.Now().Add(delay)
+	if at.Before(l.lastAt) {
+		at = l.lastAt // keep delivery times monotonic => FIFO
+	}
+	l.lastAt = at
+	l.queue = append(l.queue, inflight{payload: payload, deliverAt: at})
+	l.cond.Signal()
+}
+
+func (l *link) close() {
+	l.mu.Lock()
+	l.closing = true
+	l.cond.Signal()
+	l.mu.Unlock()
+}
+
+func (l *link) run() {
+	n := l.net
+	defer n.wg.Done()
+	for {
+		l.mu.Lock()
+		for len(l.queue) == 0 && !l.closing {
+			l.cond.Wait()
+		}
+		if l.closing {
+			l.mu.Unlock()
+			return
+		}
+		item := l.queue[0]
+		l.queue = l.queue[1:]
+		l.mu.Unlock()
+
+		if d := time.Until(item.deliverAt); d > 0 {
+			time.Sleep(d)
+		}
+
+		// Hold while the destination is unreachable (partition). Reliable
+		// channels: the message waits, it is not lost.
+		n.mu.Lock()
+		for n.blockedLocked(l.key.from, l.key.to) && !n.closed && !n.crashed[l.key.to] {
+			n.topo.Wait()
+		}
+		dead := n.closed || n.crashed[l.key.to]
+		dest := n.nodes[l.key.to]
+		n.mu.Unlock()
+
+		if dead || dest == nil {
+			n.dropped.Add(1)
+			continue
+		}
+		dest.inbox.Push(transport.Message{From: l.key.from, Payload: item.payload})
+		n.delivered.Add(1)
+	}
+}

@@ -1,0 +1,290 @@
+package memnet
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/proto"
+	"repro/internal/transport"
+)
+
+func recvOne(t *testing.T, nd *Node, timeout time.Duration) transport.Message {
+	t.Helper()
+	select {
+	case m, ok := <-nd.Recv():
+		if !ok {
+			t.Fatal("inbox closed")
+		}
+		return m
+	case <-time.After(timeout):
+		t.Fatal("timed out waiting for message")
+	}
+	return transport.Message{}
+}
+
+func TestBasicDelivery(t *testing.T) {
+	net := New(Options{})
+	defer net.Close()
+	a, b := net.Node(0), net.Node(1)
+	if err := a.Send(1, []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	m := recvOne(t, b, time.Second)
+	if m.From != 0 || string(m.Payload) != "hi" {
+		t.Fatalf("got %+v", m)
+	}
+}
+
+func TestFIFOPerLink(t *testing.T) {
+	net := New(Options{MinDelay: 0, MaxDelay: 2 * time.Millisecond, Seed: 9})
+	defer net.Close()
+	a, b := net.Node(0), net.Node(1)
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := a.Send(1, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		m := recvOne(t, b, 2*time.Second)
+		if m.Payload[0] != byte(i) {
+			t.Fatalf("FIFO violated at %d: got %d", i, m.Payload[0])
+		}
+	}
+}
+
+func TestLatencyApplied(t *testing.T) {
+	net := New(Options{MinDelay: 30 * time.Millisecond, MaxDelay: 31 * time.Millisecond})
+	defer net.Close()
+	a, b := net.Node(0), net.Node(1)
+	start := time.Now()
+	if err := a.Send(1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	recvOne(t, b, time.Second)
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Errorf("message arrived after %v, want >= ~30ms", elapsed)
+	}
+}
+
+func TestCrashStopsSendAndReceive(t *testing.T) {
+	net := New(Options{})
+	defer net.Close()
+	a, b := net.Node(0), net.Node(1)
+	net.Crash(1)
+	if !net.Crashed(1) {
+		t.Fatal("Crashed(1) = false")
+	}
+	// Sends to a crashed node vanish.
+	if err := a.Send(1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// The crashed node's inbox closes.
+	select {
+	case _, ok := <-b.Recv():
+		if ok {
+			t.Fatal("crashed node received a message")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("inbox of crashed node not closed")
+	}
+	// Sends from a crashed node fail.
+	if err := b.Send(0, []byte("y")); !errors.Is(err, transport.ErrCrashed) {
+		t.Fatalf("err = %v, want ErrCrashed", err)
+	}
+}
+
+func TestPartitionHoldsThenHeals(t *testing.T) {
+	net := New(Options{})
+	defer net.Close()
+	a, b := net.Node(0), net.Node(1)
+	net.SetPartitions([]proto.NodeID{0}, []proto.NodeID{1})
+
+	if err := a.Send(1, []byte("held")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-b.Recv():
+		t.Fatal("message crossed a partition")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	net.Heal()
+	m := recvOne(t, b, time.Second)
+	if string(m.Payload) != "held" {
+		t.Fatalf("got %q", m.Payload)
+	}
+}
+
+func TestPartitionIntraGroupStillWorks(t *testing.T) {
+	net := New(Options{})
+	defer net.Close()
+	a, b, c := net.Node(0), net.Node(1), net.Node(2)
+	net.SetPartitions([]proto.NodeID{0, 1}, []proto.NodeID{2})
+	if err := a.Send(1, []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	recvOne(t, b, time.Second)
+	if err := a.Send(2, []byte("blocked")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-c.Recv():
+		t.Fatal("cross-partition delivery")
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestUnlistedNodeIsIsolated(t *testing.T) {
+	net := New(Options{})
+	defer net.Close()
+	a, c := net.Node(0), net.Node(2)
+	net.SetPartitions([]proto.NodeID{0, 1}) // node 2 not listed
+	if err := a.Send(2, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-c.Recv():
+		t.Fatal("isolated node received a message")
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestFilterDrop(t *testing.T) {
+	net := New(Options{})
+	defer net.Close()
+	a, b := net.Node(0), net.Node(1)
+	net.SetFilter(func(from, to proto.NodeID, payload []byte) Verdict {
+		if string(payload) == "drop-me" {
+			return Drop
+		}
+		return Deliver
+	})
+	if err := a.Send(1, []byte("drop-me")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(1, []byte("keep")); err != nil {
+		t.Fatal(err)
+	}
+	m := recvOne(t, b, time.Second)
+	if string(m.Payload) != "keep" {
+		t.Fatalf("got %q, want the non-dropped message", m.Payload)
+	}
+	if s := net.Stats(); s.MessagesDropped == 0 {
+		t.Error("dropped counter not incremented")
+	}
+}
+
+func TestStatsAndKindCount(t *testing.T) {
+	net := New(Options{})
+	defer net.Close()
+	a, b := net.Node(0), net.Node(1)
+	payload := proto.Marshal(proto.KindReply, []byte("r"))
+	if err := a.Send(1, payload); err != nil {
+		t.Fatal(err)
+	}
+	recvOne(t, b, time.Second)
+	s := net.Stats()
+	if s.MessagesSent != 1 || s.MessagesDelivered != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.BytesSent != uint64(len(payload)) {
+		t.Errorf("bytes = %d, want %d", s.BytesSent, len(payload))
+	}
+	if net.KindCount(proto.KindReply) != 1 {
+		t.Error("kind count missing")
+	}
+	net.ResetStats()
+	if s := net.Stats(); s.MessagesSent != 0 {
+		t.Error("ResetStats did not zero counters")
+	}
+}
+
+func TestSendAfterClose(t *testing.T) {
+	net := New(Options{})
+	a := net.Node(0)
+	net.Node(1)
+	net.Close()
+	if err := a.Send(1, []byte("x")); !errors.Is(err, transport.ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	net.Close() // idempotent
+}
+
+func TestCloseUnblocksPartitionedLinks(t *testing.T) {
+	net := New(Options{})
+	a := net.Node(0)
+	net.Node(1)
+	net.SetPartitions([]proto.NodeID{0}, []proto.NodeID{1})
+	if err := a.Send(1, []byte("held")); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond) // let the link goroutine block on topo
+	done := make(chan struct{})
+	go func() {
+		net.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close deadlocked on a partition-held link")
+	}
+}
+
+func TestConcurrentSendersManyNodes(t *testing.T) {
+	net := New(Options{MaxDelay: time.Millisecond, Seed: 3})
+	defer net.Close()
+	const nodes = 6
+	const msgs = 100
+	for i := 0; i < nodes; i++ {
+		net.Node(proto.NodeID(i))
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < nodes; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			nd := net.Node(proto.NodeID(i))
+			for j := 0; j < msgs; j++ {
+				for k := 0; k < nodes; k++ {
+					if k == i {
+						continue
+					}
+					if err := nd.Send(proto.NodeID(k), []byte{byte(i), byte(j)}); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	// Drain all inboxes; per-sender FIFO must hold at each receiver.
+	var recvWG sync.WaitGroup
+	for i := 0; i < nodes; i++ {
+		recvWG.Add(1)
+		go func(i int) {
+			defer recvWG.Done()
+			nd := net.Node(proto.NodeID(i))
+			next := map[byte]byte{}
+			for c := 0; c < msgs*(nodes-1); c++ {
+				select {
+				case m := <-nd.Recv():
+					from, seq := m.Payload[0], m.Payload[1]
+					if seq != next[from] {
+						t.Errorf("node %d: from %d got seq %d want %d", i, from, seq, next[from])
+						return
+					}
+					next[from]++
+				case <-time.After(5 * time.Second):
+					t.Errorf("node %d: timed out after %d messages", i, c)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	recvWG.Wait()
+}

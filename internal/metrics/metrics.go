@@ -1,0 +1,206 @@
+// Package metrics provides the latency histogram and counters used by the
+// benchmark harness. The histogram uses logarithmically spaced buckets
+// (HDR-style: ~4% relative resolution) so that p50/p99/max queries are O(1)
+// memory regardless of sample count, and recording is lock-protected but
+// cheap enough for closed-loop workloads.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// bucketsPerDecade controls histogram resolution: 64 buckets per 10x range
+// gives ~3.7% relative error, plenty for latency shapes.
+const bucketsPerDecade = 64
+
+// minTrackable is the smallest distinguishable latency (100 ns).
+const minTrackable = 100 * time.Nanosecond
+
+// Histogram is a log-bucketed latency histogram. The zero value is ready to
+// use; it is safe for concurrent use.
+type Histogram struct {
+	mu      sync.Mutex
+	buckets map[int]uint64
+	count   uint64
+	sum     time.Duration
+	min     time.Duration
+	max     time.Duration
+}
+
+// NewHistogram creates an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{buckets: make(map[int]uint64)}
+}
+
+func bucketOf(d time.Duration) int {
+	if d < minTrackable {
+		d = minTrackable
+	}
+	return int(math.Floor(math.Log10(float64(d)/float64(minTrackable)) * bucketsPerDecade))
+}
+
+func bucketValue(b int) time.Duration {
+	return time.Duration(float64(minTrackable) * math.Pow(10, (float64(b)+0.5)/bucketsPerDecade))
+}
+
+// Record adds one latency sample.
+func (h *Histogram) Record(d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.buckets == nil {
+		h.buckets = make(map[int]uint64)
+	}
+	h.buckets[bucketOf(d)]++
+	h.count++
+	h.sum += d
+	if h.count == 1 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean returns the average latency (0 when empty).
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.count)
+}
+
+// Min and Max return the observed extremes.
+func (h *Histogram) Min() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.min
+}
+
+// Max returns the largest sample.
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Quantile returns the latency at quantile q ∈ [0, 1] (0 when empty). The
+// result carries the bucket's ~4% resolution, clamped to [Min, Max].
+func (h *Histogram) Quantile(q float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	keys := make([]int, 0, len(h.buckets))
+	for b := range h.buckets {
+		keys = append(keys, b)
+	}
+	sort.Ints(keys)
+	target := uint64(math.Ceil(q * float64(h.count)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for _, b := range keys {
+		cum += h.buckets[b]
+		if cum >= target {
+			v := bucketValue(b)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// Snapshot summarizes the histogram.
+type Snapshot struct {
+	Count uint64
+	Mean  time.Duration
+	P50   time.Duration
+	P90   time.Duration
+	P99   time.Duration
+	Min   time.Duration
+	Max   time.Duration
+}
+
+// Snapshot returns a consistent summary.
+func (h *Histogram) Snapshot() Snapshot {
+	return Snapshot{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+		Min:   h.Min(),
+		Max:   h.Max(),
+	}
+}
+
+// String renders the snapshot compactly.
+func (s Snapshot) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p90=%v p99=%v max=%v",
+		s.Count, round(s.Mean), round(s.P50), round(s.P90), round(s.P99), round(s.Max))
+}
+
+func round(d time.Duration) time.Duration { return d.Round(time.Microsecond) }
+
+// Table formats rows of labelled snapshots as an aligned text table — the
+// output format of the benchmark harness.
+func Table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,129 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestEmptyHistogram(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("empty histogram returns non-zero values")
+	}
+}
+
+func TestSingleSample(t *testing.T) {
+	h := NewHistogram()
+	h.Record(time.Millisecond)
+	s := h.Snapshot()
+	if s.Count != 1 || s.Min != time.Millisecond || s.Max != time.Millisecond {
+		t.Errorf("snapshot = %+v", s)
+	}
+	if s.P50 != time.Millisecond {
+		t.Errorf("p50 = %v, want exactly the single sample (clamped)", s.P50)
+	}
+}
+
+func TestQuantileAccuracy(t *testing.T) {
+	h := NewHistogram()
+	rng := rand.New(rand.NewSource(1))
+	samples := make([]time.Duration, 10000)
+	for i := range samples {
+		samples[i] = time.Duration(rng.Intn(10_000_000)) * time.Nanosecond
+		h.Record(samples[i])
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		exact := samples[int(q*float64(len(samples)))-1]
+		got := h.Quantile(q)
+		relErr := float64(got-exact) / float64(exact)
+		if relErr < -0.08 || relErr > 0.08 {
+			t.Errorf("q=%.2f: got %v, exact %v (rel err %.3f)", q, got, exact, relErr)
+		}
+	}
+}
+
+func TestQuantileBounds(t *testing.T) {
+	h := NewHistogram()
+	h.Record(time.Millisecond)
+	h.Record(2 * time.Millisecond)
+	if got := h.Quantile(-1); got != time.Millisecond {
+		t.Errorf("q<0 = %v", got)
+	}
+	if got := h.Quantile(2); got != 2*time.Millisecond {
+		t.Errorf("q>1 = %v", got)
+	}
+}
+
+func TestMeanMinMax(t *testing.T) {
+	h := NewHistogram()
+	h.Record(1 * time.Millisecond)
+	h.Record(3 * time.Millisecond)
+	if h.Mean() != 2*time.Millisecond {
+		t.Errorf("mean = %v", h.Mean())
+	}
+	if h.Min() != time.Millisecond || h.Max() != 3*time.Millisecond {
+		t.Errorf("min/max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestSubMinimumSample(t *testing.T) {
+	h := NewHistogram()
+	h.Record(time.Nanosecond) // below minTrackable; must not panic
+	if h.Count() != 1 {
+		t.Error("sample lost")
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				h.Record(time.Duration(j+1) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Errorf("count = %d, want 8000", h.Count())
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var h Histogram
+	h.Record(time.Millisecond)
+	if h.Count() != 1 {
+		t.Error("zero-value histogram unusable")
+	}
+}
+
+func TestTable(t *testing.T) {
+	out := Table([]string{"proto", "p50"}, [][]string{{"oar", "1ms"}, {"fixedseq", "900µs"}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines: %q", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "proto") || !strings.Contains(lines[0], "p50") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[2], "oar") {
+		t.Errorf("row = %q", lines[2])
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	h := NewHistogram()
+	h.Record(time.Millisecond)
+	s := h.Snapshot().String()
+	if !strings.Contains(s, "n=1") || !strings.Contains(s, "p50=") {
+		t.Errorf("snapshot string = %q", s)
+	}
+}

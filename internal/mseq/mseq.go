@@ -1,0 +1,244 @@
+// Package mseq implements the message-sequence algebra of Section 5.1 of
+// "Optimistic Active Replication" (Felber & Schiper, ICDCS 2001).
+//
+// The paper manipulates sequences of messages with four operators:
+//
+//	seq1 ⊕ seq2   concatenation                      -> Concat
+//	seq1 ⊖ seq2   elements of seq1 not in seq2       -> Minus
+//	⊓(seq1,...)   longest common prefix              -> CommonPrefix
+//	⊎(seq1,...)   append-all, removing duplicates    -> Merge
+//
+// Sequences are generic over any comparable element type; the OAR protocol
+// instantiates them with message identifiers. All operations are
+// non-destructive: they return fresh slices and never alias their inputs,
+// so a Seq stored in protocol state cannot be mutated through a result.
+package mseq
+
+// Seq is an ordered sequence of distinct elements. The zero value (nil) is
+// the empty sequence ε and is ready to use. Protocol code maintains the
+// invariant that a Seq contains no duplicates; the operations in this
+// package preserve that invariant (and Merge enforces it).
+type Seq[T comparable] []T
+
+// New returns a sequence containing the given elements in order.
+func New[T comparable](elems ...T) Seq[T] {
+	if len(elems) == 0 {
+		return nil
+	}
+	s := make(Seq[T], len(elems))
+	copy(s, elems)
+	return s
+}
+
+// Clone returns an independent copy of s.
+func (s Seq[T]) Clone() Seq[T] {
+	if len(s) == 0 {
+		return nil
+	}
+	out := make(Seq[T], len(s))
+	copy(out, s)
+	return out
+}
+
+// IsEmpty reports whether s is the empty sequence ε.
+func (s Seq[T]) IsEmpty() bool { return len(s) == 0 }
+
+// Len returns the number of elements in s.
+func (s Seq[T]) Len() int { return len(s) }
+
+// Contains reports whether x is an element of s.
+func (s Seq[T]) Contains(x T) bool {
+	for _, e := range s {
+		if e == x {
+			return true
+		}
+	}
+	return false
+}
+
+// Index returns the zero-based position of x in s, or -1 if absent.
+func (s Seq[T]) Index(x T) int {
+	for i, e := range s {
+		if e == x {
+			return i
+		}
+	}
+	return -1
+}
+
+// Set returns the elements of s as a set, implementing the paper's implicit
+// sequence-to-set conversion used with the ∩, ∪, ∈ operators.
+func (s Seq[T]) Set() map[T]struct{} {
+	set := make(map[T]struct{}, len(s))
+	for _, e := range s {
+		set[e] = struct{}{}
+	}
+	return set
+}
+
+// Concat returns s ⊕ t: all elements of s followed by all elements of t.
+func Concat[T comparable](s, t Seq[T]) Seq[T] {
+	if len(s) == 0 {
+		return t.Clone()
+	}
+	if len(t) == 0 {
+		return s.Clone()
+	}
+	out := make(Seq[T], 0, len(s)+len(t))
+	out = append(out, s...)
+	out = append(out, t...)
+	return out
+}
+
+// Minus returns s ⊖ t: the elements of s, in order, that do not appear in t.
+func Minus[T comparable](s, t Seq[T]) Seq[T] {
+	if len(s) == 0 {
+		return nil
+	}
+	if len(t) == 0 {
+		return s.Clone()
+	}
+	exclude := t.Set()
+	out := make(Seq[T], 0, len(s))
+	for _, e := range s {
+		if _, ok := exclude[e]; !ok {
+			out = append(out, e)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// CommonPrefix returns ⊓(seqs...): the longest sequence that is a common
+// prefix of every argument. With no arguments it returns ε.
+func CommonPrefix[T comparable](seqs ...Seq[T]) Seq[T] {
+	if len(seqs) == 0 {
+		return nil
+	}
+	prefix := seqs[0]
+	for _, s := range seqs[1:] {
+		n := min(len(prefix), len(s))
+		i := 0
+		for i < n && prefix[i] == s[i] {
+			i++
+		}
+		prefix = prefix[:i]
+		if len(prefix) == 0 {
+			return nil
+		}
+	}
+	return prefix.Clone()
+}
+
+// Merge returns ⊎(seqs...): the concatenation of all sequences with
+// duplicates removed, keeping the first occurrence of each element. This is
+// the paper's recursive definition
+//
+//	⊎(s1) = s1
+//	⊎(s1,...,si+1) = ⊎(s1,...,si) ⊕ (si+1 ⊖ ⊎(s1,...,si))
+//
+// computed iteratively.
+func Merge[T comparable](seqs ...Seq[T]) Seq[T] {
+	total := 0
+	for _, s := range seqs {
+		total += len(s)
+	}
+	if total == 0 {
+		return nil
+	}
+	seen := make(map[T]struct{}, total)
+	out := make(Seq[T], 0, total)
+	for _, s := range seqs {
+		for _, e := range s {
+			if _, ok := seen[e]; ok {
+				continue
+			}
+			seen[e] = struct{}{}
+			out = append(out, e)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// HasPrefix reports whether p is a prefix of s.
+func (s Seq[T]) HasPrefix(p Seq[T]) bool {
+	if len(p) > len(s) {
+		return false
+	}
+	for i, e := range p {
+		if s[i] != e {
+			return false
+		}
+	}
+	return true
+}
+
+// HasSuffix reports whether p is a suffix of s.
+func (s Seq[T]) HasSuffix(p Seq[T]) bool {
+	if len(p) > len(s) {
+		return false
+	}
+	off := len(s) - len(p)
+	for i, e := range p {
+		if s[off+i] != e {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether s and t contain the same elements in the same order.
+func Equal[T comparable](s, t Seq[T]) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for i := range s {
+		if s[i] != t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether s ∩ t ≠ ∅ under the implicit set conversion.
+func Intersects[T comparable](s, t Seq[T]) bool {
+	if len(s) == 0 || len(t) == 0 {
+		return false
+	}
+	small, large := s, t
+	if len(small) > len(large) {
+		small, large = large, small
+	}
+	set := small.Set()
+	for _, e := range large {
+		if _, ok := set[e]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Append returns s with x appended (s ⊕ {x}), as a fresh sequence.
+func (s Seq[T]) Append(x T) Seq[T] {
+	out := make(Seq[T], 0, len(s)+1)
+	out = append(out, s...)
+	out = append(out, x)
+	return out
+}
+
+// NoDuplicates reports whether every element of s occurs exactly once.
+func (s Seq[T]) NoDuplicates() bool {
+	seen := make(map[T]struct{}, len(s))
+	for _, e := range s {
+		if _, ok := seen[e]; ok {
+			return false
+		}
+		seen[e] = struct{}{}
+	}
+	return true
+}

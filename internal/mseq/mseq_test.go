@@ -1,0 +1,365 @@
+package mseq
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func seq(xs ...int) Seq[int] { return New(xs...) }
+
+func TestNewAndClone(t *testing.T) {
+	s := seq(1, 2, 3)
+	c := s.Clone()
+	if !Equal(s, c) {
+		t.Fatalf("clone mismatch: %v vs %v", s, c)
+	}
+	c[0] = 99
+	if s[0] != 1 {
+		t.Fatal("Clone aliases the original")
+	}
+	if New[int]() != nil {
+		t.Fatal("New() should be nil (empty sequence)")
+	}
+	if Seq[int](nil).Clone() != nil {
+		t.Fatal("Clone of empty should be nil")
+	}
+}
+
+func TestConcat(t *testing.T) {
+	tests := []struct {
+		name    string
+		a, b, w Seq[int]
+	}{
+		{"both empty", nil, nil, nil},
+		{"left empty", nil, seq(1, 2), seq(1, 2)},
+		{"right empty", seq(1, 2), nil, seq(1, 2)},
+		{"disjoint", seq(1, 2), seq(3, 4), seq(1, 2, 3, 4)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Concat(tt.a, tt.b); !Equal(got, tt.w) {
+				t.Errorf("Concat(%v,%v) = %v, want %v", tt.a, tt.b, got, tt.w)
+			}
+		})
+	}
+}
+
+func TestConcatDoesNotAlias(t *testing.T) {
+	a := seq(1, 2)
+	got := Concat(a, nil)
+	got[0] = 42
+	if a[0] != 1 {
+		t.Fatal("Concat result aliases input")
+	}
+}
+
+func TestMinus(t *testing.T) {
+	tests := []struct {
+		name    string
+		a, b, w Seq[int]
+	}{
+		{"empty minus empty", nil, nil, nil},
+		{"empty minus any", nil, seq(1), nil},
+		{"any minus empty", seq(1, 2), nil, seq(1, 2)},
+		{"remove middle", seq(1, 2, 3), seq(2), seq(1, 3)},
+		{"remove all", seq(1, 2), seq(2, 1), nil},
+		{"remove none", seq(1, 2), seq(3, 4), seq(1, 2)},
+		{"order preserved", seq(5, 4, 3, 2, 1), seq(4, 2), seq(5, 3, 1)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Minus(tt.a, tt.b); !Equal(got, tt.w) {
+				t.Errorf("Minus(%v,%v) = %v, want %v", tt.a, tt.b, got, tt.w)
+			}
+		})
+	}
+}
+
+func TestCommonPrefix(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []Seq[int]
+		want Seq[int]
+	}{
+		{"no args", nil, nil},
+		{"single", []Seq[int]{seq(1, 2)}, seq(1, 2)},
+		{"identical", []Seq[int]{seq(1, 2), seq(1, 2)}, seq(1, 2)},
+		{"prefix pair", []Seq[int]{seq(1, 2, 3), seq(1, 2)}, seq(1, 2)},
+		{"diverge", []Seq[int]{seq(1, 2, 3), seq(1, 9, 3)}, seq(1)},
+		{"nothing common", []Seq[int]{seq(1), seq(2)}, nil},
+		{"three way", []Seq[int]{seq(1, 2, 3, 4), seq(1, 2, 9), seq(1, 2, 3)}, seq(1, 2)},
+		{"with empty", []Seq[int]{seq(1, 2), nil}, nil},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := CommonPrefix(tt.in...); !Equal(got, tt.want) {
+				t.Errorf("CommonPrefix(%v) = %v, want %v", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestMerge(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []Seq[int]
+		want Seq[int]
+	}{
+		{"none", nil, nil},
+		{"single", []Seq[int]{seq(1, 2)}, seq(1, 2)},
+		{"disjoint", []Seq[int]{seq(1), seq(2)}, seq(1, 2)},
+		{"overlap keeps first", []Seq[int]{seq(1, 2), seq(2, 3)}, seq(1, 2, 3)},
+		{"paper recursive def", []Seq[int]{seq(3, 1), seq(1, 2), seq(2, 4)}, seq(3, 1, 2, 4)},
+		{"all duplicate", []Seq[int]{seq(1), seq(1), seq(1)}, seq(1)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Merge(tt.in...); !Equal(got, tt.want) {
+				t.Errorf("Merge(%v) = %v, want %v", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestPrefixSuffix(t *testing.T) {
+	s := seq(1, 2, 3, 4)
+	if !s.HasPrefix(nil) || !s.HasPrefix(seq(1, 2)) || !s.HasPrefix(s) {
+		t.Error("HasPrefix false negatives")
+	}
+	if s.HasPrefix(seq(2)) || s.HasPrefix(seq(1, 2, 3, 4, 5)) {
+		t.Error("HasPrefix false positives")
+	}
+	if !s.HasSuffix(nil) || !s.HasSuffix(seq(3, 4)) || !s.HasSuffix(s) {
+		t.Error("HasSuffix false negatives")
+	}
+	if s.HasSuffix(seq(1)) || s.HasSuffix(seq(0, 1, 2, 3, 4)) {
+		t.Error("HasSuffix false positives")
+	}
+}
+
+func TestContainsIndexSet(t *testing.T) {
+	s := seq(10, 20, 30)
+	if !s.Contains(20) || s.Contains(99) {
+		t.Error("Contains wrong")
+	}
+	if s.Index(30) != 2 || s.Index(99) != -1 {
+		t.Error("Index wrong")
+	}
+	set := s.Set()
+	if len(set) != 3 {
+		t.Errorf("Set size = %d, want 3", len(set))
+	}
+}
+
+func TestIntersects(t *testing.T) {
+	if Intersects(seq(1, 2), seq(3, 4)) {
+		t.Error("disjoint sequences reported as intersecting")
+	}
+	if !Intersects(seq(1, 2), seq(2, 3)) {
+		t.Error("overlapping sequences reported as disjoint")
+	}
+	if Intersects[int](nil, seq(1)) || Intersects(seq(1), nil) {
+		t.Error("empty sequence intersects something")
+	}
+}
+
+func TestAppendNoAlias(t *testing.T) {
+	s := seq(1, 2)
+	a := s.Append(3)
+	b := s.Append(4)
+	if !Equal(a, seq(1, 2, 3)) || !Equal(b, seq(1, 2, 4)) {
+		t.Fatalf("Append aliasing: a=%v b=%v", a, b)
+	}
+}
+
+func TestNoDuplicates(t *testing.T) {
+	if !seq(1, 2, 3).NoDuplicates() {
+		t.Error("distinct sequence reported duplicated")
+	}
+	if seq(1, 2, 1).NoDuplicates() {
+		t.Error("duplicate not detected")
+	}
+	if !Seq[int](nil).NoDuplicates() {
+		t.Error("empty sequence reported duplicated")
+	}
+}
+
+// --- property-based tests (testing/quick) ---
+
+// genSeq builds a duplicate-free random sequence from a small alphabet so
+// that overlaps are common.
+func genSeq(r *rand.Rand) Seq[int] {
+	perm := r.Perm(12)
+	n := r.Intn(len(perm) + 1)
+	return New(perm[:n]...)
+}
+
+func quickCfg() *quick.Config {
+	return &quick.Config{
+		MaxCount: 500,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			for i := range vals {
+				vals[i] = reflect.ValueOf(genSeq(r))
+			}
+		},
+	}
+}
+
+func TestPropMinusThenConcatPartition(t *testing.T) {
+	// (s ⊖ t) ⊕ (s ∩-order t) is a permutation-free partition of s:
+	// every element of s is in exactly one part, order preserved per part.
+	prop := func(s, x Seq[int]) bool {
+		kept := Minus(s, x)
+		removed := Minus(s, kept)
+		if kept.Len()+removed.Len() != s.Len() {
+			return false
+		}
+		for _, e := range kept {
+			if x.Contains(e) {
+				return false
+			}
+		}
+		for _, e := range removed {
+			if !x.Contains(e) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropUndoLegalityShape(t *testing.T) {
+	// The Cnsv-order undo-legality identity: for any s and any prefix cut,
+	// (s ⊖ bad) ⊕ bad == s when bad is a suffix of s.
+	prop := func(s Seq[int]) bool {
+		for cut := 0; cut <= s.Len(); cut++ {
+			bad := s[cut:].Clone()
+			if !Equal(Concat(Minus(s, bad), bad), s) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropCommonPrefixIsPrefix(t *testing.T) {
+	prop := func(a, b Seq[int]) bool {
+		p := CommonPrefix(a, b)
+		return a.HasPrefix(p) && b.HasPrefix(p)
+	}
+	if err := quick.Check(prop, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropCommonPrefixMaximal(t *testing.T) {
+	prop := func(a, b Seq[int]) bool {
+		p := CommonPrefix(a, b)
+		n := p.Len()
+		// One longer must not be a common prefix.
+		if n < a.Len() && n < b.Len() && a[n] == b[n] {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropMergeNoDuplicates(t *testing.T) {
+	prop := func(a, b, c Seq[int]) bool {
+		return Merge(a, b, c).NoDuplicates()
+	}
+	if err := quick.Check(prop, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropMergeContainsAll(t *testing.T) {
+	prop := func(a, b Seq[int]) bool {
+		m := Merge(a, b)
+		for _, e := range a {
+			if !m.Contains(e) {
+				return false
+			}
+		}
+		for _, e := range b {
+			if !m.Contains(e) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropMergeMatchesRecursiveDefinition(t *testing.T) {
+	// ⊎(s1,...,si+1) = ⊎(s1,...,si) ⊕ (si+1 ⊖ ⊎(s1,...,si))
+	prop := func(a, b, c Seq[int]) bool {
+		recursive := Concat(Merge(a, b), Minus(c, Merge(a, b)))
+		return Equal(Merge(a, b, c), recursive)
+	}
+	if err := quick.Check(prop, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropMinusIdempotent(t *testing.T) {
+	prop := func(a, b Seq[int]) bool {
+		once := Minus(a, b)
+		return Equal(once, Minus(once, b))
+	}
+	if err := quick.Check(prop, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropConcatAssociative(t *testing.T) {
+	prop := func(a, b, c Seq[int]) bool {
+		return Equal(Concat(Concat(a, b), c), Concat(a, Concat(b, c)))
+	}
+	if err := quick.Check(prop, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMinus(b *testing.B) {
+	s := make(Seq[int], 1024)
+	for i := range s {
+		s[i] = i
+	}
+	x := make(Seq[int], 512)
+	for i := range x {
+		x[i] = i * 2
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Minus(s, x)
+	}
+}
+
+func BenchmarkMerge(b *testing.B) {
+	var seqs []Seq[int]
+	for j := 0; j < 8; j++ {
+		s := make(Seq[int], 256)
+		for i := range s {
+			s[i] = i + j*128
+		}
+		seqs = append(seqs, s)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Merge(seqs...)
+	}
+}

@@ -1,0 +1,235 @@
+package proto
+
+import (
+	"fmt"
+
+	"repro/internal/wire"
+)
+
+// Kind tags every payload exchanged over the transport. The first byte of a
+// transport payload is its Kind; the remainder is the kind-specific body.
+type Kind uint8
+
+// Message kinds. Kinds are stable wire constants; do not reorder.
+const (
+	// KindRMcast wraps an inner payload in the reliable-multicast header.
+	KindRMcast Kind = iota + 1
+	// KindRequest is a client request (always carried inside KindRMcast).
+	KindRequest
+	// KindPhaseII tells servers to proceed to the conservative phase of an
+	// epoch (always carried inside KindRMcast, i.e. R-broadcast).
+	KindPhaseII
+	// KindSeqOrder is the sequencer's ordering message (k, msgSet_k).
+	KindSeqOrder
+	// KindReply is a server reply to a client.
+	KindReply
+	// KindHeartbeat is a failure-detector heartbeat.
+	KindHeartbeat
+	// KindEstimate is consensus phase 1 (process -> coordinator).
+	KindEstimate
+	// KindPropose is consensus phase 2 (coordinator -> all).
+	KindPropose
+	// KindAck is consensus phase 3 (process -> coordinator; OK or nack).
+	KindAck
+	// KindDecide disseminates a consensus decision (reliable-broadcast style).
+	KindDecide
+	// KindBaseline carries a baseline-protocol-specific payload; the baseline
+	// packages define their own sub-kinds inside the body.
+	KindBaseline
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindRMcast:
+		return "rmcast"
+	case KindRequest:
+		return "request"
+	case KindPhaseII:
+		return "phase2"
+	case KindSeqOrder:
+		return "seqorder"
+	case KindReply:
+		return "reply"
+	case KindHeartbeat:
+		return "heartbeat"
+	case KindEstimate:
+		return "estimate"
+	case KindPropose:
+		return "propose"
+	case KindAck:
+		return "ack"
+	case KindDecide:
+		return "decide"
+	case KindBaseline:
+		return "baseline"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Marshal prefixes body with its kind tag.
+func Marshal(k Kind, body []byte) []byte {
+	out := make([]byte, 0, 1+len(body))
+	out = append(out, byte(k))
+	out = append(out, body...)
+	return out
+}
+
+// Unmarshal splits a transport payload into kind and body. The body aliases
+// the input.
+func Unmarshal(payload []byte) (Kind, []byte, error) {
+	if len(payload) == 0 {
+		return 0, nil, fmt.Errorf("proto: empty payload: %w", wire.ErrTruncated)
+	}
+	return Kind(payload[0]), payload[1:], nil
+}
+
+// --- reliable multicast wrapper ---
+
+// RMcastMsg is the reliable-multicast header: a globally unique (Origin, Seq)
+// identifier plus the wrapped inner payload (itself kind-tagged).
+type RMcastMsg struct {
+	Origin NodeID
+	Seq    uint64
+	Inner  []byte
+}
+
+// MarshalRMcast encodes m as a kind-tagged payload.
+func MarshalRMcast(m RMcastMsg) []byte {
+	w := wire.NewWriter(16 + len(m.Inner))
+	w.Uint8(byte(KindRMcast))
+	w.Int64(int64(m.Origin))
+	w.Uint64(m.Seq)
+	w.BytesField(m.Inner)
+	return w.Bytes()
+}
+
+// UnmarshalRMcast decodes the body of a KindRMcast payload.
+func UnmarshalRMcast(body []byte) (RMcastMsg, error) {
+	r := wire.NewReader(body)
+	var m RMcastMsg
+	m.Origin = NodeID(r.Int64())
+	m.Seq = r.Uint64()
+	m.Inner = r.BytesField()
+	if err := r.Err(); err != nil {
+		return RMcastMsg{}, fmt.Errorf("proto: decode rmcast: %w", err)
+	}
+	return m, nil
+}
+
+// --- client request ---
+
+// MarshalRequest encodes a Request as a kind-tagged payload.
+func MarshalRequest(req Request) []byte {
+	w := wire.NewWriter(24 + len(req.Cmd))
+	w.Uint8(byte(KindRequest))
+	req.Encode(w)
+	return w.Bytes()
+}
+
+// UnmarshalRequest decodes the body of a KindRequest payload.
+func UnmarshalRequest(body []byte) (Request, error) {
+	r := wire.NewReader(body)
+	req := DecodeRequest(r)
+	if err := r.Err(); err != nil {
+		return Request{}, fmt.Errorf("proto: decode request: %w", err)
+	}
+	return req, nil
+}
+
+// --- sequencer ordering message (Task 1a -> Task 1b) ---
+
+// SeqOrder is the sequencer's ordering message for epoch k. It carries the
+// full requests (not just identifiers) so that a replica can Opt-deliver a
+// request whose R-multicast copy has not reached it yet; integrity is
+// preserved by ID-based deduplication at the receiver.
+type SeqOrder struct {
+	Epoch uint64
+	Reqs  []Request
+}
+
+// MarshalSeqOrder encodes m as a kind-tagged payload.
+func MarshalSeqOrder(m SeqOrder) []byte {
+	w := wire.NewWriter(64)
+	w.Uint8(byte(KindSeqOrder))
+	w.Uint64(m.Epoch)
+	w.Uint64(uint64(len(m.Reqs)))
+	for _, req := range m.Reqs {
+		req.Encode(w)
+	}
+	return w.Bytes()
+}
+
+// UnmarshalSeqOrder decodes the body of a KindSeqOrder payload.
+func UnmarshalSeqOrder(body []byte) (SeqOrder, error) {
+	r := wire.NewReader(body)
+	var m SeqOrder
+	m.Epoch = r.Uint64()
+	n := r.Uint64()
+	if err := r.Err(); err != nil {
+		return SeqOrder{}, fmt.Errorf("proto: decode seqorder: %w", err)
+	}
+	if n > uint64(r.Remaining()) { // each request takes >= 1 byte
+		return SeqOrder{}, fmt.Errorf("proto: decode seqorder: %w", wire.ErrOverflow)
+	}
+	m.Reqs = make([]Request, 0, n)
+	for i := uint64(0); i < n; i++ {
+		m.Reqs = append(m.Reqs, DecodeRequest(r))
+	}
+	if err := r.Err(); err != nil {
+		return SeqOrder{}, fmt.Errorf("proto: decode seqorder: %w", err)
+	}
+	return m, nil
+}
+
+// --- phase II trigger ---
+
+// PhaseII asks all servers to run the conservative phase of epoch k. It is
+// R-broadcast so that either all correct servers enter phase 2 or none does.
+type PhaseII struct {
+	Epoch uint64
+}
+
+// MarshalPhaseII encodes m as a kind-tagged payload.
+func MarshalPhaseII(m PhaseII) []byte {
+	w := wire.NewWriter(12)
+	w.Uint8(byte(KindPhaseII))
+	w.Uint64(m.Epoch)
+	return w.Bytes()
+}
+
+// UnmarshalPhaseII decodes the body of a KindPhaseII payload.
+func UnmarshalPhaseII(body []byte) (PhaseII, error) {
+	r := wire.NewReader(body)
+	m := PhaseII{Epoch: r.Uint64()}
+	if err := r.Err(); err != nil {
+		return PhaseII{}, fmt.Errorf("proto: decode phase2: %w", err)
+	}
+	return m, nil
+}
+
+// --- reply ---
+
+// MarshalReply encodes a Reply as a kind-tagged payload.
+func MarshalReply(p Reply) []byte {
+	w := wire.NewWriter(48 + len(p.Result))
+	w.Uint8(byte(KindReply))
+	p.Encode(w)
+	return w.Bytes()
+}
+
+// UnmarshalReply decodes the body of a KindReply payload.
+func UnmarshalReply(body []byte) (Reply, error) {
+	r := wire.NewReader(body)
+	p := DecodeReply(r)
+	if err := r.Err(); err != nil {
+		return Reply{}, fmt.Errorf("proto: decode reply: %w", err)
+	}
+	return p, nil
+}
+
+// --- heartbeat ---
+
+// MarshalHeartbeat encodes a heartbeat payload.
+func MarshalHeartbeat() []byte { return []byte{byte(KindHeartbeat)} }

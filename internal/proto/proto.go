@@ -1,0 +1,188 @@
+// Package proto defines the identities, requests, replies, weights and wire
+// messages shared by every protocol in this repository (the OAR protocol of
+// Felber & Schiper, the fixed-sequencer baseline, the conservative
+// consensus-based baseline, reliable multicast, the failure detector and the
+// consensus engine).
+//
+// Terminology follows the paper: the replicated service is run by server
+// processes Π = {p0, ..., pn-1}; clients are outside Π. A reply carries a
+// weight — the set of servers known to endorse that reply — encoded as a
+// bitmask over server ranks.
+package proto
+
+import (
+	"fmt"
+
+	"repro/internal/wire"
+)
+
+// NodeID identifies a process (server or client) in the system. Server
+// processes use their rank in Π (0..n-1); clients use IDs ≥ ClientIDBase.
+type NodeID int32
+
+// ClientIDBase is the first NodeID used for client processes. Server ranks
+// are always below it.
+const ClientIDBase NodeID = 1 << 16
+
+// IsClient reports whether id denotes a client process.
+func (id NodeID) IsClient() bool { return id >= ClientIDBase }
+
+// String returns "p<rank>" for servers and "c<index>" for clients, matching
+// the paper's notation.
+func (id NodeID) String() string {
+	if id.IsClient() {
+		return fmt.Sprintf("c%d", int32(id-ClientIDBase))
+	}
+	return fmt.Sprintf("p%d", int32(id))
+}
+
+// ClientID returns the NodeID of the i-th client.
+func ClientID(i int) NodeID { return ClientIDBase + NodeID(i) }
+
+// Group returns the server group Π = {p0, ..., pn-1}.
+func Group(n int) []NodeID {
+	g := make([]NodeID, n)
+	for i := range g {
+		g[i] = NodeID(i)
+	}
+	return g
+}
+
+// MajoritySize returns ⌈(n+1)/2⌉, the quorum size used throughout the paper
+// (client weight quorum, consensus majority, Cnsv-order majority).
+func MajoritySize(n int) int { return (n + 2) / 2 }
+
+// Weight is the set of servers endorsing a reply, as a bitmask over server
+// ranks (|Π| ≤ 64). An optimistic reply from server p carries {p, s} (or {s}
+// if p is the sequencer s); a conservative reply carries all of Π.
+type Weight uint64
+
+// MaxGroupSize is the largest supported |Π|, bounded by the Weight bitmask.
+const MaxGroupSize = 64
+
+// WeightOf returns the weight containing exactly the given servers.
+func WeightOf(servers ...NodeID) Weight {
+	var w Weight
+	for _, s := range servers {
+		w = w.Add(s)
+	}
+	return w
+}
+
+// FullWeight returns the weight Π for a group of n servers.
+func FullWeight(n int) Weight {
+	if n >= MaxGroupSize {
+		return ^Weight(0)
+	}
+	return Weight(1)<<uint(n) - 1
+}
+
+// Add returns w ∪ {server}.
+func (w Weight) Add(server NodeID) Weight { return w | 1<<uint(server) }
+
+// Has reports whether server ∈ w.
+func (w Weight) Has(server NodeID) bool { return w&(1<<uint(server)) != 0 }
+
+// Union returns w ∪ x.
+func (w Weight) Union(x Weight) Weight { return w | x }
+
+// Count returns |w|.
+func (w Weight) Count() int {
+	n := 0
+	for x := w; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+// IsMajority reports whether |w| ≥ ⌈(n+1)/2⌉ for a group of n servers.
+func (w Weight) IsMajority(n int) bool { return w.Count() >= MajoritySize(n) }
+
+// String renders the weight as a set of server names.
+func (w Weight) String() string {
+	out := "{"
+	first := true
+	for i := 0; i < MaxGroupSize; i++ {
+		if w.Has(NodeID(i)) {
+			if !first {
+				out += ","
+			}
+			out += NodeID(i).String()
+			first = false
+		}
+	}
+	return out + "}"
+}
+
+// RequestID uniquely identifies a client request across the whole system:
+// the issuing client plus a client-local sequence number.
+type RequestID struct {
+	Client NodeID
+	Seq    uint64
+}
+
+// String implements fmt.Stringer.
+func (r RequestID) String() string {
+	return fmt.Sprintf("%s#%d", r.Client, r.Seq)
+}
+
+// Request is a client request: a unique ID plus an opaque command for the
+// replicated state machine.
+type Request struct {
+	ID  RequestID
+	Cmd []byte
+}
+
+// Encode appends the request to w.
+func (r Request) Encode(w *wire.Writer) {
+	w.Int64(int64(r.ID.Client))
+	w.Uint64(r.ID.Seq)
+	w.BytesField(r.Cmd)
+}
+
+// DecodeRequest reads a Request from r.
+func DecodeRequest(r *wire.Reader) Request {
+	var req Request
+	req.ID.Client = NodeID(r.Int64())
+	req.ID.Seq = r.Uint64()
+	req.Cmd = r.BytesField()
+	return req
+}
+
+// Reply is a server's response to a client request. Pos is the position at
+// which the request was processed in the server's delivery order (the proofs
+// in Appendix A use exactly this as the reply value); Result is the
+// application-level result. Epoch and Weight implement the client adoption
+// rule of Figure 5.
+type Reply struct {
+	Req    RequestID
+	From   NodeID
+	Epoch  uint64
+	Weight Weight
+	Pos    uint64
+	Result []byte
+}
+
+// Encode appends the reply to w.
+func (p Reply) Encode(w *wire.Writer) {
+	w.Int64(int64(p.Req.Client))
+	w.Uint64(p.Req.Seq)
+	w.Int64(int64(p.From))
+	w.Uint64(p.Epoch)
+	w.Uint64(uint64(p.Weight))
+	w.Uint64(p.Pos)
+	w.BytesField(p.Result)
+}
+
+// DecodeReply reads a Reply from r.
+func DecodeReply(r *wire.Reader) Reply {
+	var p Reply
+	p.Req.Client = NodeID(r.Int64())
+	p.Req.Seq = r.Uint64()
+	p.From = NodeID(r.Int64())
+	p.Epoch = r.Uint64()
+	p.Weight = Weight(r.Uint64())
+	p.Pos = r.Uint64()
+	p.Result = r.BytesField()
+	return p
+}

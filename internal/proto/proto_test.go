@@ -1,0 +1,285 @@
+package proto
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestNodeIDStringAndKind(t *testing.T) {
+	if got := NodeID(2).String(); got != "p2" {
+		t.Errorf("server id = %q, want p2", got)
+	}
+	if got := ClientID(0).String(); got != "c0" {
+		t.Errorf("client id = %q, want c0", got)
+	}
+	if NodeID(3).IsClient() {
+		t.Error("server classified as client")
+	}
+	if !ClientID(7).IsClient() {
+		t.Error("client classified as server")
+	}
+}
+
+func TestGroup(t *testing.T) {
+	g := Group(3)
+	want := []NodeID{0, 1, 2}
+	if !reflect.DeepEqual(g, want) {
+		t.Errorf("Group(3) = %v, want %v", g, want)
+	}
+}
+
+func TestMajoritySize(t *testing.T) {
+	// ⌈(n+1)/2⌉ per the paper.
+	cases := map[int]int{1: 1, 2: 2, 3: 2, 4: 3, 5: 3, 6: 4, 7: 4}
+	for n, want := range cases {
+		if got := MajoritySize(n); got != want {
+			t.Errorf("MajoritySize(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestWeightBasics(t *testing.T) {
+	w := WeightOf(0, 2)
+	if !w.Has(0) || !w.Has(2) || w.Has(1) {
+		t.Error("WeightOf membership wrong")
+	}
+	if w.Count() != 2 {
+		t.Errorf("Count = %d, want 2", w.Count())
+	}
+	u := w.Union(WeightOf(1))
+	if u.Count() != 3 {
+		t.Errorf("Union count = %d, want 3", u.Count())
+	}
+	if got := FullWeight(3); got != WeightOf(0, 1, 2) {
+		t.Errorf("FullWeight(3) = %v", got)
+	}
+	if FullWeight(64) != ^Weight(0) {
+		t.Error("FullWeight(64) should be all ones")
+	}
+}
+
+func TestWeightMajority(t *testing.T) {
+	// n=3: {p,s} (2 servers) is a majority; {s} alone is not.
+	if WeightOf(0).IsMajority(3) {
+		t.Error("singleton weight should not be a majority of 3")
+	}
+	if !WeightOf(0, 1).IsMajority(3) {
+		t.Error("two of three should be a majority")
+	}
+	// n=4: majority is 3.
+	if WeightOf(0, 1).IsMajority(4) {
+		t.Error("two of four should not be a majority")
+	}
+	if !WeightOf(0, 1, 2).IsMajority(4) {
+		t.Error("three of four should be a majority")
+	}
+}
+
+func TestWeightString(t *testing.T) {
+	if got := WeightOf(0, 2).String(); got != "{p0,p2}" {
+		t.Errorf("String = %q", got)
+	}
+	if got := Weight(0).String(); got != "{}" {
+		t.Errorf("empty weight String = %q", got)
+	}
+}
+
+func TestMarshalUnmarshalKinds(t *testing.T) {
+	payload := Marshal(KindReply, []byte{1, 2, 3})
+	k, body, err := Unmarshal(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != KindReply || !bytes.Equal(body, []byte{1, 2, 3}) {
+		t.Errorf("got kind=%v body=%v", k, body)
+	}
+	if _, _, err := Unmarshal(nil); err == nil {
+		t.Error("Unmarshal(nil) should fail")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	kinds := []Kind{KindRMcast, KindRequest, KindPhaseII, KindSeqOrder, KindReply,
+		KindHeartbeat, KindEstimate, KindPropose, KindAck, KindDecide, KindBaseline}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Errorf("kind %d has empty or duplicate name %q", k, s)
+		}
+		seen[s] = true
+	}
+	if Kind(200).String() != "kind(200)" {
+		t.Error("unknown kind String wrong")
+	}
+}
+
+func TestRMcastRoundTrip(t *testing.T) {
+	m := RMcastMsg{Origin: ClientID(3), Seq: 42, Inner: []byte("inner")}
+	payload := MarshalRMcast(m)
+	k, body, err := Unmarshal(payload)
+	if err != nil || k != KindRMcast {
+		t.Fatalf("kind=%v err=%v", k, err)
+	}
+	got, err := UnmarshalRMcast(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Origin != m.Origin || got.Seq != m.Seq || !bytes.Equal(got.Inner, m.Inner) {
+		t.Errorf("round trip mismatch: %+v vs %+v", got, m)
+	}
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	req := Request{ID: RequestID{Client: ClientID(1), Seq: 9}, Cmd: []byte("push x")}
+	k, body, err := Unmarshal(MarshalRequest(req))
+	if err != nil || k != KindRequest {
+		t.Fatalf("kind=%v err=%v", k, err)
+	}
+	got, err := UnmarshalRequest(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != req.ID || !bytes.Equal(got.Cmd, req.Cmd) {
+		t.Errorf("round trip mismatch: %+v vs %+v", got, req)
+	}
+}
+
+func TestSeqOrderRoundTrip(t *testing.T) {
+	m := SeqOrder{
+		Epoch: 7,
+		Reqs: []Request{
+			{ID: RequestID{Client: ClientID(0), Seq: 1}, Cmd: []byte("a")},
+			{ID: RequestID{Client: ClientID(1), Seq: 2}, Cmd: nil},
+		},
+	}
+	k, body, err := Unmarshal(MarshalSeqOrder(m))
+	if err != nil || k != KindSeqOrder {
+		t.Fatalf("kind=%v err=%v", k, err)
+	}
+	got, err := UnmarshalSeqOrder(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != 7 || len(got.Reqs) != 2 {
+		t.Fatalf("decoded %+v", got)
+	}
+	if got.Reqs[0].ID != m.Reqs[0].ID || !bytes.Equal(got.Reqs[0].Cmd, []byte("a")) {
+		t.Error("first request mismatch")
+	}
+	if got.Reqs[1].ID != m.Reqs[1].ID || got.Reqs[1].Cmd != nil {
+		t.Error("second request mismatch")
+	}
+}
+
+func TestSeqOrderEmptyAndCorrupt(t *testing.T) {
+	m := SeqOrder{Epoch: 0}
+	_, body, _ := Unmarshal(MarshalSeqOrder(m))
+	got, err := UnmarshalSeqOrder(body)
+	if err != nil || len(got.Reqs) != 0 {
+		t.Fatalf("empty seqorder: %+v err=%v", got, err)
+	}
+	// A count far larger than the remaining bytes must be rejected, not OOM.
+	if _, err := UnmarshalSeqOrder([]byte{1, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F}); err == nil {
+		t.Error("corrupt seqorder accepted")
+	}
+}
+
+func TestPhaseIIRoundTrip(t *testing.T) {
+	k, body, err := Unmarshal(MarshalPhaseII(PhaseII{Epoch: 11}))
+	if err != nil || k != KindPhaseII {
+		t.Fatalf("kind=%v err=%v", k, err)
+	}
+	got, err := UnmarshalPhaseII(body)
+	if err != nil || got.Epoch != 11 {
+		t.Fatalf("got %+v err=%v", got, err)
+	}
+}
+
+func TestReplyRoundTrip(t *testing.T) {
+	p := Reply{
+		Req:    RequestID{Client: ClientID(2), Seq: 5},
+		From:   NodeID(1),
+		Epoch:  3,
+		Weight: WeightOf(0, 1),
+		Pos:    17,
+		Result: []byte("y"),
+	}
+	k, body, err := Unmarshal(MarshalReply(p))
+	if err != nil || k != KindReply {
+		t.Fatalf("kind=%v err=%v", k, err)
+	}
+	got, err := UnmarshalReply(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Req != p.Req || got.From != p.From || got.Epoch != p.Epoch ||
+		got.Weight != p.Weight || got.Pos != p.Pos || !bytes.Equal(got.Result, p.Result) {
+		t.Errorf("round trip mismatch: %+v vs %+v", got, p)
+	}
+}
+
+func TestHeartbeat(t *testing.T) {
+	k, body, err := Unmarshal(MarshalHeartbeat())
+	if err != nil || k != KindHeartbeat || len(body) != 0 {
+		t.Fatalf("heartbeat decode: kind=%v body=%v err=%v", k, body, err)
+	}
+}
+
+func TestDecodersRejectGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		b := make([]byte, rng.Intn(40))
+		rng.Read(b)
+		// None of these may panic; errors are fine.
+		_, _ = UnmarshalRMcast(b)
+		_, _ = UnmarshalRequest(b)
+		_, _ = UnmarshalSeqOrder(b)
+		_, _ = UnmarshalPhaseII(b)
+		_, _ = UnmarshalReply(b)
+	}
+}
+
+func TestPropWeightCountMatchesNaive(t *testing.T) {
+	prop := func(w uint64) bool {
+		n := 0
+		for i := 0; i < 64; i++ {
+			if w&(1<<uint(i)) != 0 {
+				n++
+			}
+		}
+		return Weight(w).Count() == n
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropReplyRoundTrip(t *testing.T) {
+	prop := func(client uint16, seq uint64, from uint8, epoch uint64, weight uint64, pos uint64, result []byte) bool {
+		p := Reply{
+			Req:    RequestID{Client: ClientID(int(client)), Seq: seq},
+			From:   NodeID(from % 64),
+			Epoch:  epoch,
+			Weight: Weight(weight),
+			Pos:    pos,
+			Result: result,
+		}
+		_, body, err := Unmarshal(MarshalReply(p))
+		if err != nil {
+			return false
+		}
+		got, err := UnmarshalReply(body)
+		if err != nil {
+			return false
+		}
+		return got.Req == p.Req && got.From == p.From && got.Epoch == p.Epoch &&
+			got.Weight == p.Weight && got.Pos == p.Pos && bytes.Equal(got.Result, p.Result)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,175 @@
+// Package rmcast implements the Reliable Multicast primitive of Section 3 of
+// the paper, R-multicast(m, Π), with the three properties:
+//
+//	Validity:  if a correct process R-multicasts m, every correct process in
+//	           Π eventually R-delivers m.
+//	Agreement: if a correct process R-delivers m, all correct processes in Π
+//	           eventually R-deliver m.
+//	Integrity: every process R-delivers m at most once, and only if m was
+//	           previously R-multicast.
+//
+// Two relay strategies are provided (ablation A1 in DESIGN.md):
+//
+//   - Eager: every group member forwards each message to the whole group on
+//     first delivery. Agreement holds unconditionally at the cost of O(n²)
+//     messages per multicast.
+//   - Lazy: members buffer delivered messages and only re-forward them when
+//     the owner explicitly asks (RelayAll) — the OAR server does so when
+//     entering the conservative phase, i.e. exactly when failures are
+//     suspected. Failure-free runs then cost O(n) messages per multicast.
+//
+// An RMcast instance is owned by a single goroutine (the process event loop)
+// and is not safe for concurrent use, in line with the paper's
+// tasks-in-mutual-exclusion execution model.
+package rmcast
+
+import (
+	"fmt"
+
+	"repro/internal/proto"
+)
+
+// Mode selects the relay strategy.
+type Mode int
+
+// Relay strategies.
+const (
+	// Eager relays every message on first delivery.
+	Eager Mode = iota + 1
+	// Lazy relays only on explicit RelayAll calls.
+	Lazy
+)
+
+// DefaultBufferLimit bounds the lazy-relay buffer.
+const DefaultBufferLimit = 4096
+
+// Key uniquely identifies a reliable-multicast message.
+type Key struct {
+	Origin proto.NodeID
+	Seq    uint64
+}
+
+// Config configures an RMcast endpoint.
+type Config struct {
+	// Self is the owning process.
+	Self proto.NodeID
+	// Group is Π, the set of relay participants (the servers). Self may or
+	// may not be a member: clients multicast into a group they do not belong
+	// to.
+	Group []proto.NodeID
+	// Send is the reliable FIFO unicast primitive of the transport layer.
+	Send func(to proto.NodeID, payload []byte)
+	// Mode selects Eager or Lazy relay. Zero defaults to Eager.
+	Mode Mode
+	// BufferLimit bounds the lazy relay buffer; zero means
+	// DefaultBufferLimit.
+	BufferLimit int
+}
+
+// RMcast is one process's reliable-multicast endpoint.
+type RMcast struct {
+	cfg       Config
+	inGroup   bool
+	nextSeq   uint64
+	delivered map[Key]struct{}
+	buffer    []buffered // lazy mode: wrappers eligible for re-relay
+}
+
+type buffered struct {
+	key     Key
+	payload []byte // full KindRMcast payload, ready to resend
+}
+
+// New creates an endpoint.
+func New(cfg Config) *RMcast {
+	if cfg.Mode == 0 {
+		cfg.Mode = Eager
+	}
+	if cfg.BufferLimit == 0 {
+		cfg.BufferLimit = DefaultBufferLimit
+	}
+	r := &RMcast{
+		cfg:       cfg,
+		delivered: make(map[Key]struct{}),
+	}
+	for _, p := range cfg.Group {
+		if p == cfg.Self {
+			r.inGroup = true
+			break
+		}
+	}
+	return r
+}
+
+// Multicast R-multicasts inner (a kind-tagged payload) to the group. If the
+// caller itself belongs to the group, the message is locally R-delivered
+// immediately and Multicast returns (inner, true); otherwise it returns
+// (nil, false).
+func (r *RMcast) Multicast(inner []byte) (local []byte, deliverLocal bool) {
+	key := Key{Origin: r.cfg.Self, Seq: r.nextSeq}
+	r.nextSeq++
+	payload := proto.MarshalRMcast(proto.RMcastMsg{Origin: key.Origin, Seq: key.Seq, Inner: inner})
+	for _, p := range r.cfg.Group {
+		if p == r.cfg.Self {
+			continue
+		}
+		r.cfg.Send(p, payload)
+	}
+	if !r.inGroup {
+		return nil, false
+	}
+	r.markDelivered(key, payload)
+	return inner, true
+}
+
+// OnMessage processes the body of a received KindRMcast payload. It returns
+// the inner payload exactly once per message (Integrity); duplicates return
+// (nil, false, nil).
+func (r *RMcast) OnMessage(body []byte) (inner []byte, deliver bool, err error) {
+	m, err := proto.UnmarshalRMcast(body)
+	if err != nil {
+		return nil, false, fmt.Errorf("rmcast: %w", err)
+	}
+	key := Key{Origin: m.Origin, Seq: m.Seq}
+	if _, dup := r.delivered[key]; dup {
+		return nil, false, nil
+	}
+	payload := proto.MarshalRMcast(m)
+	r.markDelivered(key, payload)
+	if r.cfg.Mode == Eager {
+		r.relay(key, payload)
+	}
+	return m.Inner, true, nil
+}
+
+// RelayAll re-forwards every buffered message to the whole group. In Lazy
+// mode the OAR server calls this when entering phase 2 — the only time
+// agreement is actually at risk — restoring the Agreement property at the
+// moment it is needed.
+func (r *RMcast) RelayAll() {
+	for _, b := range r.buffer {
+		r.relay(b.key, b.payload)
+	}
+}
+
+// DeliveredCount returns the number of distinct messages R-delivered so far.
+func (r *RMcast) DeliveredCount() int { return len(r.delivered) }
+
+func (r *RMcast) markDelivered(key Key, payload []byte) {
+	r.delivered[key] = struct{}{}
+	if r.cfg.Mode == Lazy && r.inGroup {
+		r.buffer = append(r.buffer, buffered{key: key, payload: payload})
+		if len(r.buffer) > r.cfg.BufferLimit {
+			r.buffer = r.buffer[len(r.buffer)-r.cfg.BufferLimit:]
+		}
+	}
+}
+
+func (r *RMcast) relay(key Key, payload []byte) {
+	for _, p := range r.cfg.Group {
+		if p == r.cfg.Self || p == key.Origin {
+			continue
+		}
+		r.cfg.Send(p, payload)
+	}
+}

@@ -1,0 +1,385 @@
+// Package tcpnet implements the transport abstraction over TCP, for running
+// replicas and clients as separate OS processes (cmd/oar-server,
+// cmd/oar-client).
+//
+// Wire format: a connection starts with a handshake — the sender's NodeID
+// (8 bytes, big-endian two's complement) and its listen address (2-byte
+// length + bytes; empty if none) — followed by length-prefixed frames
+// (4-byte big-endian length, then payload). The advertised listen address
+// lets a server dial back clients it has never been configured with (replies
+// go to the request's originating NodeID). One outgoing connection per destination
+// preserves the FIFO property of the model; dialing is lazy with
+// exponential backoff, and frames queue unboundedly while a peer is down —
+// matching the reliable-channel abstraction for crash-stop runs (frames in
+// flight during a genuine TCP reset can be lost; the protocols above tolerate
+// this exactly the way they tolerate a slow channel, via relays and
+// consensus).
+package tcpnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/proto"
+	"repro/internal/transport"
+)
+
+// MaxFrame bounds a single message (16 MiB), protecting against corrupt
+// length prefixes.
+const MaxFrame = 16 << 20
+
+// Config configures a TCP node.
+type Config struct {
+	// ID is this process's node ID.
+	ID proto.NodeID
+	// Listen is the local listen address, e.g. ":7000". Empty means
+	// client-only (no inbound connections are accepted; suitable for
+	// clients, which only receive replies over their outgoing dials... and
+	// therefore must set Listen too in practice — replies are sent to the
+	// client's listen address).
+	Listen string
+	// Peers maps node IDs to "host:port" addresses for outgoing traffic.
+	// Additional peers are learned dynamically from inbound handshakes.
+	Peers map[proto.NodeID]string
+	// Advertise is the address announced in outbound handshakes so peers can
+	// dial back (e.g. the externally visible form of Listen). Empty defaults
+	// to the bound listen address.
+	Advertise string
+	// DialTimeout bounds one connection attempt (default 2s).
+	DialTimeout time.Duration
+	// RetryMax bounds the reconnect backoff (default 1s).
+	RetryMax time.Duration
+}
+
+// Node is a TCP transport endpoint.
+type Node struct {
+	cfg   Config
+	ln    net.Listener
+	inbox *transport.Queue
+
+	mu      sync.Mutex
+	outs    map[proto.NodeID]*outgoing
+	inbound map[net.Conn]struct{}
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+var _ transport.Node = (*Node)(nil)
+
+// outgoing is a per-destination sender: an unbounded frame queue drained by
+// one goroutine that (re)dials as needed, preserving FIFO order.
+type outgoing struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  [][]byte
+	closed bool
+}
+
+// New creates a node and starts listening (if configured).
+func New(cfg Config) (*Node, error) {
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 2 * time.Second
+	}
+	if cfg.RetryMax <= 0 {
+		cfg.RetryMax = time.Second
+	}
+	n := &Node{
+		cfg:     cfg,
+		inbox:   transport.NewQueue(),
+		outs:    make(map[proto.NodeID]*outgoing),
+		inbound: make(map[net.Conn]struct{}),
+	}
+	if cfg.Listen != "" {
+		ln, err := net.Listen("tcp", cfg.Listen)
+		if err != nil {
+			return nil, fmt.Errorf("tcpnet: listen %s: %w", cfg.Listen, err)
+		}
+		n.ln = ln
+		n.wg.Add(1)
+		go n.acceptLoop()
+	}
+	return n, nil
+}
+
+// Addr returns the bound listen address (nil without a listener).
+func (n *Node) Addr() net.Addr {
+	if n.ln == nil {
+		return nil
+	}
+	return n.ln.Addr()
+}
+
+// ID implements transport.Node.
+func (n *Node) ID() proto.NodeID { return n.cfg.ID }
+
+// Recv implements transport.Node.
+func (n *Node) Recv() <-chan transport.Message { return n.inbox.Out() }
+
+// SetPeer adds or updates a peer address (e.g. when a client learns its
+// reply-to address dynamically). Safe to call concurrently.
+func (n *Node) SetPeer(id proto.NodeID, addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.cfg.Peers == nil {
+		n.cfg.Peers = make(map[proto.NodeID]string)
+	}
+	n.cfg.Peers[id] = addr
+}
+
+// Send implements transport.Node.
+func (n *Node) Send(to proto.NodeID, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("tcpnet: frame of %d bytes exceeds limit", len(payload))
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return transport.ErrClosed
+	}
+	out, ok := n.outs[to]
+	if !ok {
+		out = &outgoing{}
+		out.cond = sync.NewCond(&out.mu)
+		n.outs[to] = out
+		n.wg.Add(1)
+		go n.sendLoop(to, out)
+	}
+	n.mu.Unlock()
+
+	buf := make([]byte, len(payload))
+	copy(buf, payload)
+	out.mu.Lock()
+	defer out.mu.Unlock()
+	if out.closed {
+		return transport.ErrClosed
+	}
+	out.queue = append(out.queue, buf)
+	out.cond.Signal()
+	return nil
+}
+
+// Close shuts the node down: listener, inbox and all senders.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	outs := make([]*outgoing, 0, len(n.outs))
+	for _, o := range n.outs {
+		outs = append(outs, o)
+	}
+	conns := make([]net.Conn, 0, len(n.inbound))
+	for c := range n.inbound {
+		conns = append(conns, c)
+	}
+	n.mu.Unlock()
+
+	if n.ln != nil {
+		_ = n.ln.Close()
+	}
+	for _, c := range conns {
+		_ = c.Close() // unblocks readLoops
+	}
+	for _, o := range outs {
+		o.mu.Lock()
+		o.closed = true
+		o.cond.Signal()
+		o.mu.Unlock()
+	}
+	n.wg.Wait()
+	n.inbox.Close()
+	return nil
+}
+
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			conn.Close()
+			return
+		}
+		n.inbound[conn] = struct{}{}
+		n.mu.Unlock()
+		n.wg.Add(1)
+		go n.readLoop(conn)
+	}
+}
+
+// readLoop consumes one inbound connection: handshake, then frames.
+func (n *Node) readLoop(conn net.Conn) {
+	defer n.wg.Done()
+	defer func() {
+		conn.Close()
+		n.mu.Lock()
+		delete(n.inbound, conn)
+		n.mu.Unlock()
+	}()
+	var idBuf [8]byte
+	if _, err := io.ReadFull(conn, idBuf[:]); err != nil {
+		return
+	}
+	from := proto.NodeID(int32(binary.BigEndian.Uint64(idBuf[:]))) //nolint:gosec // truncation is the inverse of the handshake encoding
+	var addrLen [2]byte
+	if _, err := io.ReadFull(conn, addrLen[:]); err != nil {
+		return
+	}
+	if size := binary.BigEndian.Uint16(addrLen[:]); size > 0 {
+		addr := make([]byte, size)
+		if _, err := io.ReadFull(conn, addr); err != nil {
+			return
+		}
+		// Learn the peer's dial-back address unless statically configured.
+		n.mu.Lock()
+		if n.cfg.Peers == nil {
+			n.cfg.Peers = make(map[proto.NodeID]string)
+		}
+		if _, ok := n.cfg.Peers[from]; !ok {
+			n.cfg.Peers[from] = string(addr)
+		}
+		n.mu.Unlock()
+	}
+
+	var lenBuf [4]byte
+	for {
+		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+			return
+		}
+		size := binary.BigEndian.Uint32(lenBuf[:])
+		if size > MaxFrame {
+			return // corrupt stream; drop the connection
+		}
+		payload := make([]byte, size)
+		if _, err := io.ReadFull(conn, payload); err != nil {
+			return
+		}
+		n.inbox.Push(transport.Message{From: from, Payload: payload})
+	}
+}
+
+// sendLoop drains one destination queue over a (re)dialed connection.
+func (n *Node) sendLoop(to proto.NodeID, out *outgoing) {
+	defer n.wg.Done()
+	var conn net.Conn
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	backoff := 10 * time.Millisecond
+
+	for {
+		out.mu.Lock()
+		for len(out.queue) == 0 && !out.closed {
+			out.cond.Wait()
+		}
+		if out.closed {
+			out.mu.Unlock()
+			return
+		}
+		frame := out.queue[0]
+		out.queue = out.queue[1:]
+		out.mu.Unlock()
+
+		for {
+			if out.isClosed() {
+				return
+			}
+			if conn == nil {
+				c, err := n.dial(to)
+				if err != nil {
+					time.Sleep(backoff)
+					backoff = min(backoff*2, n.cfg.RetryMax)
+					continue
+				}
+				conn = c
+				backoff = 10 * time.Millisecond
+			}
+			if err := writeFrame(conn, frame); err != nil {
+				conn.Close()
+				conn = nil
+				continue // the frame is retried on a fresh connection
+			}
+			break
+		}
+	}
+}
+
+func (o *outgoing) isClosed() bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.closed
+}
+
+func (n *Node) dial(to proto.NodeID) (net.Conn, error) {
+	n.mu.Lock()
+	addr, ok := n.cfg.Peers[to]
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("tcpnet: no address for %v: %w", to, errUnknownPeer)
+	}
+	conn, err := net.DialTimeout("tcp", addr, n.cfg.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	var idBuf [8]byte
+	binary.BigEndian.PutUint64(idBuf[:], uint64(int64(n.cfg.ID)))
+	if err := writeAll(conn, idBuf[:]); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	advertise := n.cfg.Advertise
+	if advertise == "" && n.ln != nil {
+		advertise = n.ln.Addr().String()
+	}
+	if len(advertise) > 0xFFFF {
+		advertise = ""
+	}
+	var addrLen [2]byte
+	binary.BigEndian.PutUint16(addrLen[:], uint16(len(advertise)))
+	if err := writeAll(conn, addrLen[:]); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if advertise != "" {
+		if err := writeAll(conn, []byte(advertise)); err != nil {
+			conn.Close()
+			return nil, err
+		}
+	}
+	return conn, nil
+}
+
+var errUnknownPeer = errors.New("unknown peer")
+
+func writeFrame(conn net.Conn, payload []byte) error {
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(payload))) //nolint:gosec // length checked in Send
+	if err := writeAll(conn, lenBuf[:]); err != nil {
+		return err
+	}
+	return writeAll(conn, payload)
+}
+
+func writeAll(conn net.Conn, b []byte) error {
+	for len(b) > 0 {
+		m, err := conn.Write(b)
+		if err != nil {
+			return err
+		}
+		b = b[m:]
+	}
+	return nil
+}

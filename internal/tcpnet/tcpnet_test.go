@@ -1,0 +1,221 @@
+package tcpnet
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/app"
+	"repro/internal/core"
+	"repro/internal/fd"
+	"repro/internal/proto"
+	"repro/internal/transport"
+)
+
+func newNode(t *testing.T, id proto.NodeID) *Node {
+	t.Helper()
+	n, err := New(Config{ID: id, Listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { n.Close() })
+	return n
+}
+
+func connect(nodes ...*Node) {
+	for _, a := range nodes {
+		for _, b := range nodes {
+			if a != b {
+				a.SetPeer(b.ID(), b.Addr().String())
+			}
+		}
+	}
+}
+
+func recvOne(t *testing.T, n *Node, timeout time.Duration) transport.Message {
+	t.Helper()
+	select {
+	case m, ok := <-n.Recv():
+		if !ok {
+			t.Fatal("inbox closed")
+		}
+		return m
+	case <-time.After(timeout):
+		t.Fatal("timed out")
+	}
+	return transport.Message{}
+}
+
+func TestSendReceive(t *testing.T) {
+	a, b := newNode(t, 0), newNode(t, 1)
+	connect(a, b)
+	if err := a.Send(1, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	m := recvOne(t, b, 5*time.Second)
+	if m.From != 0 || string(m.Payload) != "hello" {
+		t.Fatalf("got %+v", m)
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	a, b := newNode(t, 0), newNode(t, 1)
+	connect(a, b)
+	const count = 500
+	for i := 0; i < count; i++ {
+		if err := a.Send(1, []byte{byte(i), byte(i >> 8)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < count; i++ {
+		m := recvOne(t, b, 5*time.Second)
+		got := int(m.Payload[0]) | int(m.Payload[1])<<8
+		if got != i {
+			t.Fatalf("message %d arrived as %d", i, got)
+		}
+	}
+}
+
+func TestBidirectional(t *testing.T) {
+	a, b := newNode(t, 0), newNode(t, 1)
+	connect(a, b)
+	if err := a.Send(1, []byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	recvOne(t, b, 5*time.Second)
+	if err := b.Send(0, []byte("pong")); err != nil {
+		t.Fatal(err)
+	}
+	m := recvOne(t, a, 5*time.Second)
+	if string(m.Payload) != "pong" {
+		t.Fatalf("got %q", m.Payload)
+	}
+}
+
+func TestClientIDsSurviveHandshake(t *testing.T) {
+	a, b := newNode(t, proto.ClientID(3)), newNode(t, 1)
+	connect(a, b)
+	if err := a.Send(1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	m := recvOne(t, b, 5*time.Second)
+	if m.From != proto.ClientID(3) {
+		t.Fatalf("from = %v, want %v", m.From, proto.ClientID(3))
+	}
+}
+
+func TestSendToUnknownPeerQueues(t *testing.T) {
+	a := newNode(t, 0)
+	// No address for node 1: Send must not fail (frames wait), and once the
+	// peer appears, they flow.
+	if err := a.Send(1, []byte("early")); err != nil {
+		t.Fatal(err)
+	}
+	b := newNode(t, 1)
+	a.SetPeer(1, b.Addr().String())
+	m := recvOne(t, b, 5*time.Second)
+	if string(m.Payload) != "early" {
+		t.Fatalf("got %q", m.Payload)
+	}
+}
+
+func TestOversizeFrameRejected(t *testing.T) {
+	a := newNode(t, 0)
+	if err := a.Send(1, make([]byte, MaxFrame+1)); err == nil {
+		t.Fatal("oversize frame accepted")
+	}
+}
+
+func TestSendAfterClose(t *testing.T) {
+	a, err := New(Config{ID: 0, Listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	if err := a.Send(1, []byte("x")); err == nil {
+		t.Fatal("send after close succeeded")
+	}
+	a.Close() // idempotent
+}
+
+// TestOARClusterOverTCP runs the full protocol over real sockets: three
+// replicas + one client, a handful of requests, position-consistent replies.
+func TestOARClusterOverTCP(t *testing.T) {
+	group := proto.Group(3)
+	nodes := make([]*Node, 3)
+	for i := range nodes {
+		nodes[i] = newNode(t, group[i])
+	}
+	cliNode := newNode(t, proto.ClientID(0))
+	all := append(append([]*Node(nil), nodes...), cliNode)
+	connect(all...)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	start := time.Now()
+	for i := range nodes {
+		machine, _ := app.New("recorder")
+		srv, err := core.NewServer(core.ServerConfig{
+			ID:       group[i],
+			Group:    group,
+			Node:     nodes[i],
+			Machine:  machine,
+			Detector: fd.NewTimeout(200*time.Millisecond, group, start),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() { _ = srv.Run(ctx) }()
+	}
+
+	cli, err := core.NewClient(core.ClientConfig{
+		ID:    proto.ClientID(0),
+		Group: group,
+		Node:  cliNode,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli.Start()
+	defer func() {
+		cancel()
+		cli.Stop()
+	}()
+
+	for i := 1; i <= 5; i++ {
+		ictx, icancel := context.WithTimeout(context.Background(), 10*time.Second)
+		reply, err := cli.Invoke(ictx, []byte(fmt.Sprintf("m%d", i)))
+		icancel()
+		if err != nil {
+			t.Fatalf("invoke m%d over TCP: %v", i, err)
+		}
+		if reply.Pos != uint64(i) {
+			t.Fatalf("m%d at pos %d", i, reply.Pos)
+		}
+	}
+}
+
+// TestDialBackViaHandshake: a server with no static peer entry for the
+// client must learn the client's address from the handshake and reply.
+func TestDialBackViaHandshake(t *testing.T) {
+	srv := newNode(t, 0)
+	cli := newNode(t, proto.ClientID(0))
+	cli.SetPeer(0, srv.Addr().String()) // only the client knows the server
+
+	if err := cli.Send(0, []byte("request")); err != nil {
+		t.Fatal(err)
+	}
+	m := recvOne(t, srv, 5*time.Second)
+	if m.From != proto.ClientID(0) {
+		t.Fatalf("from = %v", m.From)
+	}
+	// The server can now reach the client without any SetPeer call.
+	if err := srv.Send(proto.ClientID(0), []byte("reply")); err != nil {
+		t.Fatal(err)
+	}
+	r := recvOne(t, cli, 5*time.Second)
+	if string(r.Payload) != "reply" {
+		t.Fatalf("got %q", r.Payload)
+	}
+}

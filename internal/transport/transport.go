@@ -1,0 +1,131 @@
+// Package transport defines the point-to-point messaging abstraction used by
+// every protocol in this repository, matching the system model of Section 3
+// of the paper: processes communicate over reliable FIFO channels via the two
+// primitives send and receive.
+//
+// Two implementations exist: memnet (in-process, with configurable latency,
+// partitions and fault injection — used by tests, examples and benchmarks)
+// and tcpnet (real TCP, used by the cmd/ tools).
+package transport
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/proto"
+)
+
+// ErrClosed is returned by Send after the node or network has been closed.
+var ErrClosed = errors.New("transport: closed")
+
+// ErrCrashed is returned by Send on a node that has been crashed by fault
+// injection.
+var ErrCrashed = errors.New("transport: node crashed")
+
+// Message is a payload delivered to a node, tagged with its sender.
+type Message struct {
+	From    proto.NodeID
+	Payload []byte
+}
+
+// Node is one process's endpoint. Send is asynchronous, non-blocking and
+// reliable FIFO per destination: two messages sent to the same destination
+// are delivered in send order. Implementations must make Send safe for
+// concurrent use.
+type Node interface {
+	// ID returns this node's process identifier.
+	ID() proto.NodeID
+	// Send enqueues payload for delivery to the destination. It never blocks
+	// on the receiver.
+	Send(to proto.NodeID, payload []byte) error
+	// Recv returns the channel of inbound messages. The channel is closed
+	// when the node is closed or crashed.
+	Recv() <-chan Message
+	// Close releases the node's resources.
+	Close() error
+}
+
+// Queue is an unbounded FIFO of messages feeding an output channel. It
+// decouples senders from receivers so that an event-loop process can never
+// deadlock by sending while its own inbox is full. Close is idempotent.
+type Queue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []Message
+	closed bool
+
+	out    chan Message
+	notify chan struct{} // closed by Close; unblocks the pump's send
+	done   chan struct{} // pump goroutine exited
+}
+
+// NewQueue creates a queue and starts its delivery pump.
+func NewQueue() *Queue {
+	q := &Queue{
+		out:    make(chan Message),
+		notify: make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	q.cond = sync.NewCond(&q.mu)
+	go q.pump()
+	return q
+}
+
+// Push enqueues m. Pushes after Close are dropped.
+func (q *Queue) Push(m Message) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.items = append(q.items, m)
+	q.cond.Signal()
+}
+
+// Out returns the delivery channel. It is closed after Close once the pump
+// has stopped; messages not yet consumed are discarded.
+func (q *Queue) Out() <-chan Message { return q.out }
+
+// Len returns the number of queued (not yet delivered) messages.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// Close stops the queue. Messages not yet handed to the consumer are
+// discarded. Close is idempotent and blocks until the pump has exited.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	if !q.closed {
+		q.closed = true
+		close(q.notify)
+		q.cond.Signal()
+	}
+	q.mu.Unlock()
+	<-q.done
+}
+
+func (q *Queue) pump() {
+	defer close(q.done)
+	defer close(q.out)
+	for {
+		q.mu.Lock()
+		for len(q.items) == 0 && !q.closed {
+			q.cond.Wait()
+		}
+		if q.closed {
+			q.mu.Unlock()
+			return
+		}
+		m := q.items[0]
+		q.items = q.items[1:]
+		q.mu.Unlock()
+
+		select {
+		case q.out <- m:
+		case <-q.notify:
+			return
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripScalars(t *testing.T) {
+	w := NewWriter(64)
+	w.Uint64(0)
+	w.Uint64(1)
+	w.Uint64(math.MaxUint64)
+	w.Int64(-1)
+	w.Int64(math.MinInt64)
+	w.Int64(math.MaxInt64)
+	w.Uint8(0xAB)
+	w.Bool(true)
+	w.Bool(false)
+
+	r := NewReader(w.Bytes())
+	if got := r.Uint64(); got != 0 {
+		t.Errorf("Uint64 = %d, want 0", got)
+	}
+	if got := r.Uint64(); got != 1 {
+		t.Errorf("Uint64 = %d, want 1", got)
+	}
+	if got := r.Uint64(); got != math.MaxUint64 {
+		t.Errorf("Uint64 = %d, want max", got)
+	}
+	if got := r.Int64(); got != -1 {
+		t.Errorf("Int64 = %d, want -1", got)
+	}
+	if got := r.Int64(); got != math.MinInt64 {
+		t.Errorf("Int64 = %d, want min", got)
+	}
+	if got := r.Int64(); got != math.MaxInt64 {
+		t.Errorf("Int64 = %d, want max", got)
+	}
+	if got := r.Uint8(); got != 0xAB {
+		t.Errorf("Uint8 = %x, want ab", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Error("Bool round trip failed")
+	}
+	if err := r.Err(); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if r.Remaining() != 0 {
+		t.Errorf("Remaining = %d, want 0", r.Remaining())
+	}
+}
+
+func TestRoundTripBytesAndString(t *testing.T) {
+	w := NewWriter(0)
+	w.BytesField(nil)
+	w.BytesField([]byte{1, 2, 3})
+	w.String("")
+	w.String("héllo")
+
+	r := NewReader(w.Bytes())
+	if got := r.BytesField(); got != nil {
+		t.Errorf("empty bytes = %v, want nil", got)
+	}
+	if got := r.BytesField(); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Errorf("bytes = %v", got)
+	}
+	if got := r.String(); got != "" {
+		t.Errorf("empty string = %q", got)
+	}
+	if got := r.String(); got != "héllo" {
+		t.Errorf("string = %q", got)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestBytesFieldDoesNotAliasInput(t *testing.T) {
+	w := NewWriter(0)
+	w.BytesField([]byte{9, 9, 9})
+	buf := w.Bytes()
+	r := NewReader(buf)
+	got := r.BytesField()
+	buf[1] = 0 // corrupt the underlying buffer after decode
+	if got[0] != 9 {
+		t.Fatal("decoded bytes alias the input buffer")
+	}
+}
+
+func TestTruncatedInputs(t *testing.T) {
+	w := NewWriter(0)
+	w.Uint64(300)
+	w.BytesField([]byte("abcdef"))
+	full := w.Bytes()
+
+	for cut := 0; cut < len(full); cut++ {
+		r := NewReader(full[:cut])
+		r.Uint64()
+		r.BytesField()
+		if r.Err() == nil {
+			t.Errorf("cut=%d: expected error on truncated input", cut)
+		}
+	}
+}
+
+func TestStickyError(t *testing.T) {
+	r := NewReader(nil)
+	if r.Uint64() != 0 {
+		t.Error("read after end should return zero")
+	}
+	if !errors.Is(r.Err(), ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", r.Err())
+	}
+	// All subsequent reads must keep returning zero values, not panic.
+	if r.Uint8() != 0 || r.Bool() || r.BytesField() != nil || r.String() != "" || r.Int64() != 0 {
+		t.Error("sticky error reader returned non-zero values")
+	}
+}
+
+func TestOverflowLengthPrefix(t *testing.T) {
+	w := NewWriter(0)
+	w.Uint64(uint64(MaxBytesLen) + 1)
+	r := NewReader(w.Bytes())
+	if got := r.BytesField(); got != nil {
+		t.Errorf("got %v, want nil", got)
+	}
+	if !errors.Is(r.Err(), ErrOverflow) {
+		t.Fatalf("err = %v, want ErrOverflow", r.Err())
+	}
+}
+
+func TestLengthLongerThanInput(t *testing.T) {
+	w := NewWriter(0)
+	w.Uint64(10) // claims 10 bytes follow
+	w.Raw([]byte{1, 2})
+	r := NewReader(w.Bytes())
+	if got := r.BytesField(); got != nil {
+		t.Errorf("got %v, want nil", got)
+	}
+	if !errors.Is(r.Err(), ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", r.Err())
+	}
+}
+
+func TestWriterReset(t *testing.T) {
+	w := NewWriter(8)
+	w.Uint64(42)
+	if w.Len() == 0 {
+		t.Fatal("writer empty after append")
+	}
+	w.Reset()
+	if w.Len() != 0 {
+		t.Fatal("writer not empty after Reset")
+	}
+	w.Uint64(7)
+	r := NewReader(w.Bytes())
+	if r.Uint64() != 7 {
+		t.Fatal("reuse after Reset failed")
+	}
+}
+
+func TestDecoderNeverPanicsOnRandomBytes(t *testing.T) {
+	// A decoder must survive arbitrary input without panicking.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		b := make([]byte, rng.Intn(64))
+		rng.Read(b)
+		r := NewReader(b)
+		for r.Err() == nil && r.Remaining() > 0 {
+			switch rng.Intn(4) {
+			case 0:
+				r.Uint64()
+			case 1:
+				r.Int64()
+			case 2:
+				r.BytesField()
+			case 3:
+				r.Uint8()
+			}
+		}
+	}
+}
+
+func TestPropRoundTripRandomRecords(t *testing.T) {
+	prop := func(a uint64, b int64, c []byte, d string, e bool) bool {
+		w := NewWriter(0)
+		w.Uint64(a)
+		w.Int64(b)
+		w.BytesField(c)
+		w.String(d)
+		w.Bool(e)
+
+		r := NewReader(w.Bytes())
+		ga, gb, gc, gd, ge := r.Uint64(), r.Int64(), r.BytesField(), r.String(), r.Bool()
+		if r.Err() != nil || r.Remaining() != 0 {
+			return false
+		}
+		return ga == a && gb == b && bytes.Equal(gc, c) && gd == d && ge == e
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEncodeSmallRecord(b *testing.B) {
+	payload := make([]byte, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w := NewWriter(96)
+		w.Uint64(uint64(i))
+		w.Uint64(12345)
+		w.BytesField(payload)
+	}
+}
+
+func BenchmarkDecodeSmallRecord(b *testing.B) {
+	w := NewWriter(96)
+	w.Uint64(7)
+	w.Uint64(12345)
+	w.BytesField(make([]byte, 64))
+	buf := w.Bytes()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := NewReader(buf)
+		r.Uint64()
+		r.Uint64()
+		r.BytesField()
+		if r.Err() != nil {
+			b.Fatal(r.Err())
+		}
+	}
+}

@@ -1,0 +1,284 @@
+package oar
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/app"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/fd"
+	"repro/internal/memnet"
+	"repro/internal/proto"
+	"repro/internal/tcpnet"
+)
+
+// Reply is the outcome of a replicated invocation, as adopted by the client
+// under the weight-quorum rule of the paper (Figure 5).
+type Reply struct {
+	// Result is the state machine's output for the command.
+	Result []byte
+	// Pos is the position at which the command was processed in the total
+	// order — identical at every correct replica.
+	Pos uint64
+	// Epoch is the protocol epoch that served the request.
+	Epoch uint64
+	// Endorsers is the number of replicas known to endorse this reply at
+	// adoption time (|W| of the paper; n for conservatively delivered
+	// requests).
+	Endorsers int
+}
+
+func toReply(r proto.Reply) Reply {
+	return Reply{
+		Result:    r.Result,
+		Pos:       r.Pos,
+		Epoch:     r.Epoch,
+		Endorsers: r.Weight.Count(),
+	}
+}
+
+// Client invokes commands on a replicated service.
+type Client struct {
+	inner cluster.Invoker
+}
+
+// Invoke submits a command and blocks until a consistent reply is adopted
+// or ctx ends.
+func (c *Client) Invoke(ctx context.Context, cmd []byte) (Reply, error) {
+	r, err := c.inner.Invoke(ctx, cmd)
+	if err != nil {
+		return Reply{}, err
+	}
+	return toReply(r), nil
+}
+
+// Close shuts the client down.
+func (c *Client) Close() { c.inner.Stop() }
+
+// Machines lists the built-in replicated state machines.
+func Machines() []string { return app.Names() }
+
+// ClusterOptions configures an in-process cluster.
+type ClusterOptions struct {
+	// Replicas is the group size n (1..64). At most ⌊(n-1)/2⌋ crash
+	// failures are tolerated.
+	Replicas int
+	// Machine names the replicated state machine (see Machines); default
+	// "kv".
+	Machine string
+	// SuspicionTimeout is the ◊S heartbeat timeout (default 25ms). Lower
+	// values give faster fail-over and more false suspicions — the paper's
+	// central trade-off; false suspicions cost performance, never
+	// consistency.
+	SuspicionTimeout time.Duration
+	// NetworkDelay adds a simulated one-way latency to every message
+	// (default 0: in-memory speed).
+	NetworkDelay time.Duration
+	// EpochRequestLimit bounds the optimistic epoch length (Section 5.3
+	// Remark); 0 disables periodic garbage collection.
+	EpochRequestLimit int
+}
+
+// Cluster is an in-process replica group, for embedding a replicated
+// service in one binary or for testing.
+type Cluster struct {
+	inner *cluster.Cluster
+}
+
+// NewCluster boots an in-process OAR cluster.
+func NewCluster(opts ClusterOptions) (*Cluster, error) {
+	if opts.Replicas <= 0 {
+		return nil, fmt.Errorf("oar: Replicas must be positive")
+	}
+	if opts.Machine == "" {
+		opts.Machine = "kv"
+	}
+	inner, err := cluster.New(cluster.Options{
+		N:                 opts.Replicas,
+		Machine:           opts.Machine,
+		FDTimeout:         opts.SuspicionTimeout,
+		EpochRequestLimit: opts.EpochRequestLimit,
+		Net: memnet.Options{
+			MinDelay: opts.NetworkDelay,
+			MaxDelay: opts.NetworkDelay,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{inner: inner}, nil
+}
+
+// NewClient attaches a new client to the cluster.
+func (c *Cluster) NewClient() (*Client, error) {
+	cli, err := c.inner.NewClient()
+	if err != nil {
+		return nil, err
+	}
+	return &Client{inner: cli}, nil
+}
+
+// CrashReplica fault-injects a crash of replica i (for testing fail-over).
+func (c *Cluster) CrashReplica(i int) { c.inner.Crash(i) }
+
+// Stats summarizes protocol activity across all replicas.
+type Stats struct {
+	// OptDelivered counts optimistic deliveries (the fast path).
+	OptDelivered uint64
+	// OptUndelivered counts rolled-back deliveries.
+	OptUndelivered uint64
+	// ADelivered counts conservative (consensus-ordered) deliveries.
+	ADelivered uint64
+	// Epochs counts completed conservative phases.
+	Epochs uint64
+}
+
+// Stats returns cluster-wide protocol counters.
+func (c *Cluster) Stats() Stats {
+	s := c.inner.TotalStats()
+	return Stats{
+		OptDelivered:   s.OptDelivered,
+		OptUndelivered: s.OptUndelivered,
+		ADelivered:     s.ADelivered,
+		Epochs:         s.Epochs,
+	}
+}
+
+// Close stops all replicas and clients.
+func (c *Cluster) Close() { c.inner.Stop() }
+
+// ServerOptions configures one TCP replica process.
+type ServerOptions struct {
+	// Rank is this replica's index in Peers (0-based).
+	Rank int
+	// Peers lists the listen addresses of ALL replicas, in rank order.
+	Peers []string
+	// Listen is the local bind address; defaults to Peers[Rank].
+	Listen string
+	// Machine names the replicated state machine (default "kv").
+	Machine string
+	// SuspicionTimeout is the ◊S heartbeat timeout (default 100ms — WAN-ish
+	// safety margin; tune down on a LAN).
+	SuspicionTimeout time.Duration
+	// EpochRequestLimit as in ClusterOptions.
+	EpochRequestLimit int
+}
+
+// ListenAndServe runs one OAR replica over TCP until ctx is cancelled.
+func ListenAndServe(ctx context.Context, opts ServerOptions) error {
+	n := len(opts.Peers)
+	if n == 0 || opts.Rank < 0 || opts.Rank >= n {
+		return fmt.Errorf("oar: rank %d out of range for %d peers", opts.Rank, n)
+	}
+	if opts.Machine == "" {
+		opts.Machine = "kv"
+	}
+	if opts.SuspicionTimeout <= 0 {
+		opts.SuspicionTimeout = 100 * time.Millisecond
+	}
+	listen := opts.Listen
+	if listen == "" {
+		listen = opts.Peers[opts.Rank]
+	}
+	group := proto.Group(n)
+	peers := make(map[proto.NodeID]string, n)
+	for i, addr := range opts.Peers {
+		if i != opts.Rank {
+			peers[group[i]] = addr
+		}
+	}
+	node, err := tcpnet.New(tcpnet.Config{
+		ID:        group[opts.Rank],
+		Listen:    listen,
+		Peers:     peers,
+		Advertise: opts.Peers[opts.Rank],
+	})
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+
+	machine, err := app.New(opts.Machine)
+	if err != nil {
+		return err
+	}
+	srv, err := core.NewServer(core.ServerConfig{
+		ID:                group[opts.Rank],
+		Group:             group,
+		Node:              node,
+		Machine:           machine,
+		Detector:          fd.NewTimeout(opts.SuspicionTimeout, group, time.Now()),
+		HeartbeatInterval: opts.SuspicionTimeout / 4,
+		EpochRequestLimit: opts.EpochRequestLimit,
+	})
+	if err != nil {
+		return err
+	}
+	err = srv.Run(ctx)
+	if err == context.Canceled {
+		return nil
+	}
+	return err
+}
+
+// ClientOptions configures a TCP client.
+type ClientOptions struct {
+	// Servers lists the replicas' addresses in rank order.
+	Servers []string
+	// Listen is the local address for receiving replies (default
+	// "127.0.0.1:0"; servers learn it from the connection handshake).
+	Listen string
+	// ClientIndex distinguishes concurrent client processes (default 0).
+	// Two live clients must not share an index.
+	ClientIndex int
+}
+
+// TCPClient is a client talking to a TCP-deployed cluster.
+type TCPClient struct {
+	node  *tcpnet.Node
+	inner *core.Client
+}
+
+// NewTCPClient connects a client to a TCP cluster.
+func NewTCPClient(opts ClientOptions) (*TCPClient, error) {
+	if len(opts.Servers) == 0 {
+		return nil, fmt.Errorf("oar: no servers given")
+	}
+	if opts.Listen == "" {
+		opts.Listen = "127.0.0.1:0"
+	}
+	group := proto.Group(len(opts.Servers))
+	id := proto.ClientID(opts.ClientIndex)
+	peers := make(map[proto.NodeID]string, len(opts.Servers))
+	for i, addr := range opts.Servers {
+		peers[group[i]] = addr
+	}
+	node, err := tcpnet.New(tcpnet.Config{ID: id, Listen: opts.Listen, Peers: peers})
+	if err != nil {
+		return nil, err
+	}
+	inner, err := core.NewClient(core.ClientConfig{ID: id, Group: group, Node: node})
+	if err != nil {
+		node.Close()
+		return nil, err
+	}
+	inner.Start()
+	return &TCPClient{node: node, inner: inner}, nil
+}
+
+// Invoke submits a command and blocks until a consistent reply is adopted.
+func (c *TCPClient) Invoke(ctx context.Context, cmd []byte) (Reply, error) {
+	r, err := c.inner.Invoke(ctx, cmd)
+	if err != nil {
+		return Reply{}, err
+	}
+	return toReply(r), nil
+}
+
+// Close shuts the client down.
+func (c *TCPClient) Close() {
+	c.inner.Stop()
+	c.node.Close()
+}

@@ -1,0 +1,135 @@
+package oar_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	oar "repro"
+)
+
+func TestClusterQuickstart(t *testing.T) {
+	c, err := oar.NewCluster(oar.ClusterOptions{Replicas: 3, Machine: "kv"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	cli, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	if _, err := cli.Invoke(ctx, []byte("set greeting hello")); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := cli.Invoke(ctx, []byte("get greeting"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(reply.Result) != "hello" {
+		t.Fatalf("get = %q", reply.Result)
+	}
+	if reply.Pos != 2 {
+		t.Fatalf("pos = %d, want 2", reply.Pos)
+	}
+	if reply.Endorsers < 2 {
+		t.Fatalf("endorsers = %d, want >= majority", reply.Endorsers)
+	}
+	if s := c.Stats(); s.OptDelivered == 0 {
+		t.Error("no optimistic deliveries recorded")
+	}
+}
+
+func TestClusterFailover(t *testing.T) {
+	c, err := oar.NewCluster(oar.ClusterOptions{
+		Replicas:         3,
+		Machine:          "counter",
+		SuspicionTimeout: 15 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cli, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	if _, err := cli.Invoke(ctx, []byte("add 1")); err != nil {
+		t.Fatal(err)
+	}
+	c.CrashReplica(0)
+	reply, err := cli.Invoke(ctx, []byte("add 1"))
+	if err != nil {
+		t.Fatalf("invoke after crash: %v", err)
+	}
+	if string(reply.Result) != "2" {
+		t.Fatalf("counter = %q, want 2", reply.Result)
+	}
+	if s := c.Stats(); s.Epochs == 0 {
+		t.Error("fail-over closed no epochs")
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := oar.NewCluster(oar.ClusterOptions{}); err == nil {
+		t.Error("zero replicas accepted")
+	}
+	if _, err := oar.NewCluster(oar.ClusterOptions{Replicas: 3, Machine: "nope"}); err == nil {
+		t.Error("unknown machine accepted")
+	}
+	if len(oar.Machines()) == 0 {
+		t.Error("no machines listed")
+	}
+}
+
+func TestTCPDeployment(t *testing.T) {
+	// Three replica "processes" over real sockets plus a TCP client.
+	addrs := []string{"127.0.0.1:39551", "127.0.0.1:39552", "127.0.0.1:39553"}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for rank := range addrs {
+		rank := rank
+		go func() {
+			_ = oar.ListenAndServe(ctx, oar.ServerOptions{
+				Rank:             rank,
+				Peers:            addrs,
+				Machine:          "kv",
+				SuspicionTimeout: 200 * time.Millisecond,
+			})
+		}()
+	}
+
+	cli, err := oar.NewTCPClient(oar.ClientOptions{Servers: addrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	ictx, icancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer icancel()
+	for i := 1; i <= 3; i++ {
+		reply, err := cli.Invoke(ictx, []byte(fmt.Sprintf("set k%d v%d", i, i)))
+		if err != nil {
+			t.Fatalf("tcp invoke %d: %v", i, err)
+		}
+		if reply.Pos != uint64(i) {
+			t.Fatalf("pos = %d, want %d", reply.Pos, i)
+		}
+	}
+}
+
+func TestServerOptionsValidation(t *testing.T) {
+	if err := oar.ListenAndServe(context.Background(), oar.ServerOptions{}); err == nil {
+		t.Error("empty server options accepted")
+	}
+	if _, err := oar.NewTCPClient(oar.ClientOptions{}); err == nil {
+		t.Error("empty client options accepted")
+	}
+}
