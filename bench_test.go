@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -237,6 +238,72 @@ func BenchmarkE7QuorumRule(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkE8BatchedThroughput: the message-batching layer on the optimistic
+// hot path. b.N requests from 8 clients with 16 pipelined invokes each, on
+// the instant in-memory network where protocol CPU and message count are the
+// bottleneck; ns/op ≈ 1/throughput. "unbatched" disables the batching layer
+// (one SeqOrder and one frame per message, the pre-batching behavior),
+// "batched" uses the adaptive default, "ctab" is the consensus baseline.
+func BenchmarkE8BatchedThroughput(b *testing.B) {
+	modes := []struct {
+		name        string
+		protocol    cluster.Protocol
+		batchWindow time.Duration
+		maxBatch    int
+	}{
+		{"unbatched", cluster.OAR, -1, 1},
+		{"batched", cluster.OAR, 0, 0},
+		{"ctab", cluster.CTab, 0, 0},
+	}
+	for _, m := range modes {
+		b.Run(m.name, func(b *testing.B) {
+			c, err := cluster.New(cluster.Options{
+				Protocol: m.protocol, N: 3, FD: cluster.FDNever,
+				Net:         memnet.Options{Seed: 17}, // instant delivery
+				BatchWindow: m.batchWindow, MaxBatch: m.maxBatch,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(c.Stop)
+			const clients, outstanding = 8, 16
+			workers := make([]cluster.Invoker, clients)
+			for i := range workers {
+				cli, err := c.NewClient()
+				if err != nil {
+					b.Fatal(err)
+				}
+				workers[i] = cli
+			}
+			ctx := context.Background()
+			c.Net().ResetStats()
+			var next atomic.Int64
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for w := 0; w < clients*outstanding; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					cli := workers[w%clients]
+					for {
+						i := next.Add(1)
+						if i > int64(b.N) {
+							return
+						}
+						if _, err := cli.Invoke(ctx, []byte(fmt.Sprintf("m%d", i))); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			b.StopTimer()
+			b.ReportMetric(float64(c.Net().Stats().MessagesSent)/float64(b.N), "frames/req")
+		})
 	}
 }
 

@@ -23,11 +23,13 @@ func main() {
 
 func run() int {
 	var (
-		quick = flag.Bool("quick", false, "scaled-down request counts and sweeps")
-		only  = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+		quick       = flag.Bool("quick", false, "scaled-down request counts and sweeps")
+		only        = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+		batchWindow = flag.Duration("batch-window", 0, "sequencer batch window for E8's batched rows (0 = adaptive)")
+		maxBatch    = flag.Int("max-batch", 0, "max requests per ordering message for E8's batched rows (0 = default)")
 	)
 	flag.Parse()
-	cfg := experiments.Config{Quick: *quick}
+	cfg := experiments.Config{Quick: *quick, BatchWindow: *batchWindow, MaxBatch: *maxBatch}
 
 	type exp struct {
 		id string
@@ -41,6 +43,7 @@ func run() int {
 		{"E5", experiments.E5Throughput},
 		{"E6", experiments.E6EpochGC},
 		{"E7", experiments.E7QuorumRule},
+		{"E8", experiments.E8Batching},
 		{"A1", experiments.A1RelayStrategy},
 		{"A2", experiments.A2UndoThriftiness},
 	}

@@ -23,6 +23,23 @@
 // Or deploy replicas as separate processes over TCP with ListenAndServe and
 // NewTCPClient (see cmd/oar-server and cmd/oar-client).
 //
+// # Message batching
+//
+// The optimistic hot path is batched end-to-end: each replica coalesces the
+// messages of one event-loop round (ordering messages, relays, replies,
+// consensus traffic) into one frame per destination, clients coalesce
+// concurrent invocations per server, and the TCP transport writes frames
+// through a buffered writer that flushes on idle. Two knobs tune the
+// sequencer's ordering batches (ClusterOptions/ServerOptions):
+//
+//   - BatchWindow: 0 (default) batches adaptively with no added latency —
+//     whatever one round accumulated is ordered as one message. A positive
+//     window holds small batches back to grow them, trading latency for
+//     throughput. A negative window disables the batching layer (the
+//     benchmark control).
+//   - MaxBatch: caps requests per ordering message (0 = a generous default,
+//     1 = one ordering message per request).
+//
 // # Replicated state machines
 //
 // Any deterministic state machine with per-command undo can be replicated

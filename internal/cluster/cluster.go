@@ -91,6 +91,11 @@ type Options struct {
 	// EpochRequestLimit forces a PhaseII after that many optimistic
 	// deliveries per epoch (0 = off); see the Section 5.3 Remark.
 	EpochRequestLimit int
+	// BatchWindow and MaxBatch tune the sequencer's ordering batches (OAR
+	// only); see core.ServerConfig. MaxBatch=1 reproduces the unbatched
+	// one-SeqOrder-per-request behavior.
+	BatchWindow time.Duration
+	MaxBatch    int
 	// TickInterval and HeartbeatInterval tune the server loops (defaults
 	// from core).
 	TickInterval      time.Duration
@@ -215,6 +220,8 @@ func New(opts Options) (*Cluster, error) {
 				TickInterval:      opts.TickInterval,
 				HeartbeatInterval: hbInterval,
 				EpochRequestLimit: opts.EpochRequestLimit,
+				BatchWindow:       opts.BatchWindow,
+				MaxBatch:          opts.MaxBatch,
 				Tracer:            opts.Tracer,
 			})
 			if err != nil {
@@ -322,10 +329,11 @@ func (c *Cluster) NewClient() (Invoker, error) {
 	if c.opts.Protocol == OAR {
 		var oc *core.Client
 		oc, err = core.NewClient(core.ClientConfig{
-			ID:     id,
-			Group:  c.group,
-			Node:   c.net.Node(id),
-			Tracer: c.opts.Tracer,
+			ID:        id,
+			Group:     c.group,
+			Node:      c.net.Node(id),
+			Tracer:    c.opts.Tracer,
+			Unbatched: c.opts.BatchWindow < 0,
 		})
 		if err == nil {
 			oc.Start()

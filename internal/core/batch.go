@@ -1,0 +1,75 @@
+package core
+
+import (
+	"encoding/binary"
+
+	"repro/internal/proto"
+	"repro/internal/transport"
+)
+
+// sendBuf accumulates one destination's outbound messages as a proto.Batch
+// envelope under construction: [KindBatch][len][msg][len][msg]... The buffer
+// is reused across flushes.
+type sendBuf struct {
+	buf   []byte
+	count int
+}
+
+// sendBufMaxIdle caps the capacity a reusable send buffer may retain after a
+// flush, so one exceptional burst does not pin memory forever.
+const sendBufMaxIdle = 64 << 10
+
+// batcher coalesces the sends of one batching round per destination. It is
+// owned by a single goroutine (the server event loop, or the client's sender
+// loop). FIFO per destination is preserved because frames are appended in
+// send order and rounds never interleave.
+type batcher struct {
+	node  transport.Node
+	bufs  map[proto.NodeID]*sendBuf
+	order []proto.NodeID // destinations with buffered sends, in first-send order
+}
+
+func newBatcher(node transport.Node) *batcher {
+	return &batcher{node: node, bufs: make(map[proto.NodeID]*sendBuf)}
+}
+
+// add appends one kind-tagged message to to's envelope buffer.
+func (b *batcher) add(to proto.NodeID, frame []byte) {
+	sb, ok := b.bufs[to]
+	if !ok {
+		sb = &sendBuf{}
+		b.bufs[to] = sb
+	}
+	if sb.count == 0 {
+		b.order = append(b.order, to)
+		sb.buf = append(sb.buf[:0], byte(proto.KindBatch))
+	}
+	sb.buf = binary.AppendUvarint(sb.buf, uint64(len(frame)))
+	sb.buf = append(sb.buf, frame...)
+	sb.count++
+}
+
+// flush ships every buffered send: one owned frame per destination — the
+// batch envelope, or the bare inner message when the round produced just one
+// (so single-message traffic is byte-identical to the unbatched wire). Send
+// errors mean the network or this node is gone; the caller's receive side
+// will observe the closed inbox. Nothing useful to do here.
+func (b *batcher) flush() {
+	for _, to := range b.order {
+		sb := b.bufs[to]
+		raw := sb.buf
+		if sb.count == 1 {
+			// Unwrap [KindBatch][len][msg] to the bare message.
+			_, n := binary.Uvarint(raw[1:])
+			raw = raw[1+n:]
+		}
+		frame := make([]byte, len(raw))
+		copy(frame, raw)
+		_ = b.node.Send(to, frame)
+		sb.count = 0
+		if cap(sb.buf) > sendBufMaxIdle {
+			sb.buf = nil
+		}
+	}
+	b.order = b.order[:0]
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 
 	"repro/internal/proto"
@@ -20,6 +21,12 @@ type ClientConfig struct {
 	Node transport.Node
 	// Tracer observes reply adoptions (nil disables tracing).
 	Tracer Tracer
+	// Unbatched disables the adaptive request-batching sender: each
+	// R-multicast copy goes out as its own frame from the invoking
+	// goroutine, the pre-batching behavior. By default concurrent Invokes
+	// are coalesced per server into proto.Batch frames by a sender loop,
+	// with no added latency when the client is idle.
+	Unbatched bool
 }
 
 // Client implements the client side of the OAR algorithm (Figure 5):
@@ -40,8 +47,22 @@ type Client struct {
 	nextSeq uint64
 	pending map[proto.RequestID]*call
 
-	done chan struct{} // reply-dispatch loop exited
-	stop context.CancelFunc
+	// Request batching: Invokes enqueue their outbound frames here and a
+	// sender loop coalesces whatever has accumulated per server into one
+	// proto.Batch frame per drain round (nil when cfg.Unbatched).
+	sendCh chan sendJob
+
+	done       chan struct{} // reply-dispatch loop exited
+	senderDone chan struct{} // sender loop exited (closed immediately if unbatched)
+	stop       context.CancelFunc
+	stopOnce   sync.Once
+	stopped    chan struct{} // closed by Stop; unblocks enqueues
+}
+
+// sendJob is one frame bound for one server.
+type sendJob struct {
+	to      proto.NodeID
+	payload []byte
 }
 
 // call accumulates replies for one outstanding request.
@@ -73,37 +94,104 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		cfg.Tracer = nopTracer{}
 	}
 	c := &Client{
-		cfg:     cfg,
-		n:       len(cfg.Group),
-		tracer:  cfg.Tracer,
-		pending: make(map[proto.RequestID]*call),
-		done:    make(chan struct{}),
+		cfg:        cfg,
+		n:          len(cfg.Group),
+		tracer:     cfg.Tracer,
+		pending:    make(map[proto.RequestID]*call),
+		done:       make(chan struct{}),
+		senderDone: make(chan struct{}),
+		stopped:    make(chan struct{}),
+	}
+	send := func(to proto.NodeID, payload []byte) {
+		_ = cfg.Node.Send(to, payload)
+	}
+	if !cfg.Unbatched {
+		c.sendCh = make(chan sendJob, 256)
+		send = c.enqueue
 	}
 	c.rm = rmcast.New(rmcast.Config{
 		Self:  cfg.ID,
 		Group: cfg.Group,
-		Send: func(to proto.NodeID, payload []byte) {
-			_ = cfg.Node.Send(to, payload)
-		},
+		Send:  send,
 	})
 	return c, nil
 }
 
-// Start launches the reply-dispatch loop.
+// enqueue hands one outbound frame to the sender loop. After Stop the frame
+// is dropped — outstanding Invokes are failing with their contexts anyway.
+func (c *Client) enqueue(to proto.NodeID, payload []byte) {
+	select {
+	case c.sendCh <- sendJob{to: to, payload: payload}:
+	case <-c.stopped:
+	}
+}
+
+// clientFlushSpins is how many consecutive empty-queue scheduler yields the
+// sender tolerates before flushing a round. Concurrent Invokes serialize on
+// the client mutex, so the goroutine that will enqueue the next frames is
+// often runnable-but-not-yet-run when the queue looks empty; yielding lets it
+// contribute to the current round. An idle client pays only the yields.
+const clientFlushSpins = 2
+
+// sendLoop drains queued frames and flushes them per destination, coalescing
+// the sends of concurrent Invokes into one frame per server per round.
+func (c *Client) sendLoop(ctx context.Context) {
+	defer close(c.senderDone)
+	out := newBatcher(c.cfg.Node)
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case job := <-c.sendCh:
+			out.add(job.to, job.payload)
+			// A flooded queue stops lingering at maxDrain frames so the
+			// flush always runs.
+			absorbed := 1
+		linger:
+			for spins := 0; spins < clientFlushSpins; spins++ {
+			drain:
+				for absorbed < maxDrain {
+					select {
+					case job = <-c.sendCh:
+						out.add(job.to, job.payload)
+						absorbed++
+						spins = -1 // progress: restart the linger
+					default:
+						break drain
+					}
+				}
+				if absorbed >= maxDrain {
+					break linger // round full: flush now
+				}
+				runtime.Gosched()
+			}
+			out.flush()
+		}
+	}
+}
+
+// Start launches the reply-dispatch loop (and the batching sender loop).
 func (c *Client) Start() {
 	ctx, cancel := context.WithCancel(context.Background())
 	c.stop = cancel
 	go c.loop(ctx)
+	if c.sendCh != nil {
+		go c.sendLoop(ctx)
+	} else {
+		close(c.senderDone)
+	}
 }
 
-// Stop terminates the dispatch loop and waits for it to exit. Outstanding
-// Invokes fail with their context (or hang until their context ends), so
-// cancel those first.
+// Stop terminates the dispatch and sender loops and waits for them to exit.
+// Outstanding Invokes fail with their context (or hang until their context
+// ends), so cancel those first.
 func (c *Client) Stop() {
 	if c.stop != nil {
 		c.stop()
 	}
+	c.stopOnce.Do(func() { close(c.stopped) })
 	<-c.done
+	<-c.senderDone
 }
 
 func (c *Client) loop(ctx context.Context) {
@@ -116,23 +204,43 @@ func (c *Client) loop(ctx context.Context) {
 			if !ok {
 				return
 			}
-			kind, body, err := proto.Unmarshal(m.Payload)
-			if err != nil || kind != proto.KindReply {
-				continue
+			// Servers coalesce the replies of one delivery round into a
+			// proto.Batch frame; expand it (a non-batch message passes
+			// through unchanged), decode the inner replies, and process the
+			// whole frame under one lock.
+			msgs, _ := transport.ExpandBatch(m)
+			replies := make([]proto.Reply, 0, len(msgs))
+			for _, inner := range msgs {
+				kind, body, err := proto.Unmarshal(inner.Payload)
+				if err != nil || kind != proto.KindReply {
+					continue
+				}
+				reply, err := proto.UnmarshalReply(body)
+				if err != nil {
+					continue
+				}
+				replies = append(replies, reply)
 			}
-			reply, err := proto.UnmarshalReply(body)
-			if err != nil {
-				continue
-			}
-			c.onReply(reply)
+			c.onReplies(replies)
 		}
 	}
 }
 
-// onReply implements lines 3–5 of Figure 5.
-func (c *Client) onReply(reply proto.Reply) {
+// onReplies runs lines 3–5 of Figure 5 for every reply of one received
+// frame, holding the client lock once rather than per reply.
+func (c *Client) onReplies(replies []proto.Reply) {
+	if len(replies) == 0 {
+		return
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	for _, reply := range replies {
+		c.onReplyLocked(reply)
+	}
+}
+
+// onReplyLocked implements lines 3–5 of Figure 5. Caller holds c.mu.
+func (c *Client) onReplyLocked(reply proto.Reply) {
 	call, ok := c.pending[reply.Req]
 	if !ok || call.adopted {
 		return

@@ -1,0 +1,64 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/cluster"
+)
+
+// TestBookkeepingBoundedByEpochGC is the regression test for the unbounded
+// per-request state growth: before the fix, rOrder and payloads kept every
+// request ever R-delivered, forever. With epoch GC on (EpochRequestLimit),
+// everything a replica buffers for a request must be released once the
+// request is A-delivered, so the live footprint after a long run stays
+// bounded by the in-flight window rather than the run length.
+func TestBookkeepingBoundedByEpochGC(t *testing.T) {
+	const (
+		limit    = 8
+		requests = 240
+	)
+	ck := check.New(3)
+	c := mustCluster(t, cluster.Options{
+		N: 3, FD: cluster.FDNever, Tracer: ck,
+		EpochRequestLimit: limit,
+	})
+	cli, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < requests; i++ {
+		invoke(t, cli, fmt.Sprintf("m%d", i))
+	}
+
+	// Every request definitively delivered everywhere, and the live tables
+	// drained: nothing is pending and only the tail epoch's requests (not
+	// yet forced through phase 2 by the limit) may still be buffered.
+	maxLive := 3 * limit
+	settled := func() bool {
+		for i := 0; i < 3; i++ {
+			fp := c.Server(i).Footprint()
+			if fp.ADelivered < requests-limit || fp.Payloads > maxLive || fp.Pending != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if !cluster.WaitUntil(testTimeout, settled) {
+		for i := 0; i < 3; i++ {
+			t.Logf("p%d footprint: %+v", i, c.Server(i).Footprint())
+		}
+		t.Fatal("per-request bookkeeping did not drain after A-delivery")
+	}
+	for i := 0; i < 3; i++ {
+		fp := c.Server(i).Footprint()
+		if fp.ROrder > maxLive || fp.Payloads > maxLive || fp.ODelivered > maxLive {
+			t.Errorf("p%d: live footprint not bounded by the epoch limit: %+v", i, fp)
+		}
+		if fp.ROrder >= requests/2 {
+			t.Errorf("p%d: rOrder grew with the run length: %+v", i, fp)
+		}
+	}
+	verifyAll(t, ck, true)
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync/atomic"
 	"time"
 
@@ -14,13 +15,25 @@ import (
 	"repro/internal/proto"
 	"repro/internal/rmcast"
 	"repro/internal/transport"
+	"repro/internal/wire"
 )
 
 // Defaults for ServerConfig.
 const (
 	DefaultTickInterval      = time.Millisecond
 	DefaultHeartbeatInterval = 5 * time.Millisecond
+	// DefaultMaxBatch is the ordering batch size used when MaxBatch is zero.
+	DefaultMaxBatch = 512
 )
+
+// maxDrain bounds how many backlogged messages one event-loop round absorbs
+// before running the deferred ordering flush, so a flooded replica still
+// orders (and heartbeats) regularly.
+const maxDrain = 1024
+
+// serverFlushSpins is how many consecutive empty-inbox scheduler yields a
+// batching replica tolerates before closing its round (see Run).
+const serverFlushSpins = 2
 
 // ServerConfig configures one OAR replica.
 type ServerConfig struct {
@@ -49,6 +62,22 @@ type ServerConfig struct {
 	// garbage-collection mechanism of the Remark in Section 5.3 that bounds
 	// the O_delivered sequence.
 	EpochRequestLimit int
+	// BatchWindow is how long the sequencer may hold pending requests to
+	// grow an ordering batch. Zero (the default) is adaptive batching with no
+	// added latency: each event-loop round first drains the inbox backlog and
+	// then orders everything that arrived in one SeqOrder, so batches form
+	// exactly when there is load. A positive window additionally delays
+	// ordering until the oldest pending request is that old (or MaxBatch is
+	// reached), trading latency for larger batches; its precision is bounded
+	// by TickInterval. A negative window disables the batching layer
+	// entirely — per-message sends and one ordering round per request, the
+	// pre-batching behavior — which is the control in experiment E8.
+	BatchWindow time.Duration
+	// MaxBatch caps the number of requests per SeqOrder message (larger
+	// pending sets are ordered as several messages in one round). Zero means
+	// DefaultMaxBatch; 1 reproduces the unbatched one-SeqOrder-per-request
+	// behavior.
+	MaxBatch int
 	// Tracer observes protocol events (nil disables tracing).
 	Tracer Tracer
 }
@@ -69,16 +98,26 @@ type Server struct {
 	n   int
 	rm  *rmcast.RMcast
 
-	// Figure 6 state.
-	rOrder     mseq.Seq[proto.RequestID]         // R_delivered (arrival order)
-	rKnown     map[proto.RequestID]struct{}      // set view of R_delivered
-	payloads   map[proto.RequestID]proto.Request // request bodies by ID
+	// Figure 6 state. rOrder holds only live requests: entries are pruned
+	// (with rKnown and payloads) once a request is A-delivered, so the
+	// per-request footprint is bounded by the in-flight window, not the run
+	// length. pending and oSet are incremental views kept in sync with it:
+	// pending == (rOrder ⊖ aDelivered) ⊖ oDelivered and oSet == set(oDelivered),
+	// replacing the per-call full scans of the original implementation.
+	rOrder     mseq.Seq[proto.RequestID]         // R_delivered, not yet A-delivered (arrival order)
+	payloads   map[proto.RequestID]proto.Request // request bodies by ID; doubles as the set view of rOrder
 	aDelivered map[proto.RequestID]struct{}      // A_delivered (set view)
 	oDelivered mseq.Seq[proto.RequestID]         // O_delivered (current epoch)
+	oSet       map[proto.RequestID]struct{}      // set view of oDelivered
+	pending    mseq.Seq[proto.RequestID]         // unordered live requests, arrival order
 	undoStack  []func()                          // undo closures, aligned with oDelivered
 	epoch      uint64                            // k
 	inPhase2   bool
 	pos        uint64 // next delivery position - 1 (reply value of App. A)
+
+	// Batching state (Task 1a flush control).
+	orderDirty     bool      // pending grew since the last flush decision
+	firstPendingAt time.Time // arrival of the oldest pending request
 
 	// Epoch/consensus bookkeeping.
 	phase2Sent    map[uint64]struct{} // epochs whose PhaseII we broadcast (Task 1c guard)
@@ -91,6 +130,15 @@ type Server struct {
 
 	lastHeartbeat time.Time
 	tracer        Tracer
+
+	// Per-round outbound coalescing: every send of one event-loop round is
+	// appended to a per-destination envelope buffer and flushed as one
+	// proto.Batch frame at the end of the round (relays, ordering messages,
+	// replies and consensus traffic share frames). The buffers are reused
+	// across rounds, so the steady-state send path allocates only the one
+	// owned frame handed to the transport.
+	out     *batcher
+	scratch *wire.Writer // reusable encoder for replies
 
 	statOpt    atomic.Uint64
 	statUndo   atomic.Uint64
@@ -129,9 +177,11 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	s := &Server{
 		cfg:           cfg,
 		n:             len(cfg.Group),
-		rKnown:        make(map[proto.RequestID]struct{}),
 		payloads:      make(map[proto.RequestID]proto.Request),
 		aDelivered:    make(map[proto.RequestID]struct{}),
+		oSet:          make(map[proto.RequestID]struct{}),
+		out:           newBatcher(cfg.Node),
+		scratch:       wire.NewWriter(256),
 		phase2Sent:    make(map[uint64]struct{}),
 		phase2Started: make(map[uint64]struct{}),
 		pendingPhase2: make(map[uint64]struct{}),
@@ -163,20 +213,60 @@ func (s *Server) Stats() ServerStats {
 
 // Run executes the replica event loop until ctx is cancelled or the
 // transport closes (e.g. the process is crashed by fault injection).
+//
+// Each round handles one inbound message, then opportunistically drains the
+// backlog that has already arrived before running the deferred ordering
+// flush. Under load this is what forms ordering batches: the sequencer
+// coalesces every request of the round into one SeqOrder instead of one per
+// request, with zero added latency when the inbox is empty.
 func (s *Server) Run(ctx context.Context) error {
 	ticker := time.NewTicker(s.cfg.TickInterval)
 	defer ticker.Stop()
+	inbox := s.cfg.Node.Recv()
 	for {
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
-		case m, ok := <-s.cfg.Node.Recv():
+		case m, ok := <-inbox:
 			if !ok {
 				return nil
 			}
-			s.handleMessage(m, time.Now())
+			now := time.Now()
+			s.handleMessage(m, now)
+			// Linger over an empty inbox for a couple of scheduler yields:
+			// companion messages of this round (relayed copies, the other
+			// replicas' traffic) are frequently in flight on runnable
+			// goroutines, and absorbing them now makes the ordering batch —
+			// and every coalesced outbound frame — correspondingly larger.
+			// An idle replica pays only the yields; a flooded one stops at
+			// maxDrain messages so the flush below always runs.
+			absorbed := 1
+		linger:
+			for spins := 0; s.batching() && spins < serverFlushSpins; spins++ {
+			drain:
+				for absorbed < maxDrain {
+					select {
+					case m, ok := <-inbox:
+						if !ok {
+							return nil
+						}
+						s.handleMessage(m, now)
+						absorbed++
+						spins = -1 // progress: restart the linger
+					default:
+						break drain
+					}
+				}
+				if absorbed >= maxDrain {
+					break linger // round full: flush now, the backlog stays hot
+				}
+				runtime.Gosched()
+			}
+			s.flushOrder(time.Now())
+			s.flushSends()
 		case now := <-ticker.C:
 			s.tick(now)
+			s.flushSends()
 		}
 	}
 }
@@ -188,10 +278,36 @@ func (s *Server) sequencer() proto.NodeID {
 	return s.cfg.Group[int(s.epoch%uint64(s.n))] //nolint:gosec // n ≤ 64
 }
 
+// batching reports whether the message-batching layer is enabled.
+func (s *Server) batching() bool { return s.cfg.BatchWindow >= 0 }
+
 func (s *Server) send(to proto.NodeID, payload []byte) {
-	// Send errors mean the network or this node is gone; the event loop will
-	// observe the closed inbox and stop. Nothing useful to do here.
-	_ = s.cfg.Node.Send(to, payload)
+	if !s.batching() {
+		// Send errors mean the network or this node is gone; the event loop
+		// will observe the closed inbox and stop.
+		_ = s.cfg.Node.Send(to, payload)
+		return
+	}
+	s.out.add(to, payload)
+}
+
+// sendReply encodes and sends a reply. On the batching path the reply is
+// encoded straight into the destination's envelope buffer via a reusable
+// scratch writer — no per-reply allocation.
+func (s *Server) sendReply(to proto.NodeID, reply proto.Reply) {
+	if !s.batching() {
+		_ = s.cfg.Node.Send(to, proto.MarshalReply(reply))
+		return
+	}
+	s.scratch.Reset()
+	s.scratch.Uint8(byte(proto.KindReply))
+	reply.Encode(s.scratch)
+	s.out.add(to, s.scratch.Bytes())
+}
+
+// flushSends ships every send the current round buffered.
+func (s *Server) flushSends() {
+	s.out.flush()
 }
 
 func (s *Server) sendToPeers(payload []byte) {
@@ -225,6 +341,15 @@ func (s *Server) handleMessage(m transport.Message, now time.Time) {
 		s.handleSeqOrder(order)
 	case proto.KindEstimate, proto.KindPropose, proto.KindAck, proto.KindDecide:
 		s.handleConsensus(m.From, kind, body)
+	case proto.KindBatch:
+		batch, err := proto.UnmarshalBatch(body)
+		if err != nil {
+			return // corrupt envelope; drop
+		}
+		// UnmarshalBatch rejects nested batches, so this recursion is flat.
+		for _, inner := range batch.Msgs {
+			s.handleMessage(transport.Message{From: m.From, Payload: inner}, now)
+		}
 	default:
 		// Replies and baseline traffic are not for servers; drop.
 	}
@@ -243,10 +368,14 @@ func (s *Server) handleRDelivery(inner []byte) {
 		if err != nil {
 			return
 		}
+		// Ordering is deferred to the event loop's flushOrder, which runs
+		// after the inbox backlog is drained — the low-latency path when the
+		// replica is idle, and the batch-forming path when it is not. With
+		// batching disabled, order immediately as the original code did.
 		s.bufferRequest(req)
-		// Low-latency path for Task 1a: the sequencer orders as soon as a
-		// request arrives instead of waiting for the next tick.
-		s.maybeOrder()
+		if !s.batching() {
+			s.maybeOrder()
+		}
 	case proto.KindPhaseII:
 		p2, err := proto.UnmarshalPhaseII(body)
 		if err != nil {
@@ -256,53 +385,78 @@ func (s *Server) handleRDelivery(inner []byte) {
 	}
 }
 
-// bufferRequest is Task 0: R_delivered ← R_delivered ⊕ {m}.
+// bufferRequest is Task 0: R_delivered ← R_delivered ⊕ {m}. Requests that
+// already reached A_delivered (whose live bookkeeping has been pruned) are
+// ignored, preserving at-most-once across the garbage collection.
 func (s *Server) bufferRequest(req proto.Request) {
-	if _, known := s.rKnown[req.ID]; known {
+	if _, done := s.aDelivered[req.ID]; done {
 		return
 	}
-	s.rKnown[req.ID] = struct{}{}
+	if _, known := s.payloads[req.ID]; known {
+		return
+	}
 	s.payloads[req.ID] = req
 	s.rOrder = append(s.rOrder, req.ID)
+	if s.cfg.BatchWindow > 0 && s.pending.IsEmpty() {
+		s.firstPendingAt = time.Now() // only the windowed mode reads this
+	}
+	s.pending = append(s.pending, req.ID)
+	s.orderDirty = true
 }
 
-// notDelivered computes (R_delivered ⊖ A_delivered) ⊖ O_delivered
-// (Figure 6, lines 9 and 23).
+// notDelivered is (R_delivered ⊖ A_delivered) ⊖ O_delivered (Figure 6, lines
+// 9 and 23). It is maintained incrementally — appended in bufferRequest,
+// shrunk as requests are Opt-delivered, rebuilt at epoch close — so reading
+// it costs O(1) instead of the original O(|R_delivered|) scan with a full
+// O_delivered set rebuild per call.
 func (s *Server) notDelivered() mseq.Seq[proto.RequestID] {
-	oSet := s.oDelivered.Set()
-	out := make(mseq.Seq[proto.RequestID], 0)
-	for _, id := range s.rOrder {
-		if _, a := s.aDelivered[id]; a {
-			continue
-		}
-		if _, o := oSet[id]; o {
-			continue
-		}
-		out = append(out, id)
+	return s.pending
+}
+
+// maxBatch returns the effective per-SeqOrder request cap.
+func (s *Server) maxBatch() int {
+	if s.cfg.MaxBatch > 0 {
+		return s.cfg.MaxBatch
 	}
-	if len(out) == 0 {
-		return nil
+	return DefaultMaxBatch
+}
+
+// flushOrder decides whether Task 1a runs now. With no BatchWindow it orders
+// whatever the current event-loop round accumulated; with a window it holds
+// small batches until the oldest pending request has waited long enough.
+func (s *Server) flushOrder(now time.Time) {
+	if !s.orderDirty || s.inPhase2 || s.sequencer() != s.cfg.ID {
+		return
 	}
-	return out
+	if s.pending.IsEmpty() {
+		s.orderDirty = false
+		return
+	}
+	if s.cfg.BatchWindow > 0 && s.pending.Len() < s.maxBatch() &&
+		now.Sub(s.firstPendingAt) < s.cfg.BatchWindow {
+		return // keep accumulating; a later message or tick flushes
+	}
+	s.orderDirty = false
+	s.maybeOrder()
 }
 
 // maybeOrder is Task 1a: if this replica is the sequencer of the current
-// epoch and there are unordered messages, it orders them and sends the
-// sequence to all — then Opt-delivers immediately itself ("we assume that
-// the sequencer immediately delivers this message").
+// epoch and there are unordered messages, it orders them — in batches of at
+// most MaxBatch — and sends each sequence to all, then Opt-delivers it
+// immediately itself ("we assume that the sequencer immediately delivers
+// this message"). Delivering each batch before emitting the next keeps that
+// assumption intact when a delivery triggers the epoch-limit PhaseII.
 func (s *Server) maybeOrder() {
-	if s.inPhase2 || s.sequencer() != s.cfg.ID {
-		return
+	for !s.inPhase2 && s.sequencer() == s.cfg.ID && !s.pending.IsEmpty() {
+		chunk := s.pending
+		if limit := s.maxBatch(); len(chunk) > limit {
+			chunk = chunk[:limit]
+		}
+		order := proto.SeqOrder{Epoch: s.epoch, Reqs: s.materialize(chunk)}
+		s.sendToPeers(proto.MarshalSeqOrder(order))
+		s.statOrders.Add(1)
+		s.optDeliverBatch(order) // removes the chunk from pending
 	}
-	pending := s.notDelivered()
-	if pending.IsEmpty() {
-		return
-	}
-	reqs := s.materialize(pending)
-	order := proto.SeqOrder{Epoch: s.epoch, Reqs: reqs}
-	s.sendToPeers(proto.MarshalSeqOrder(order))
-	s.statOrders.Add(1)
-	s.optDeliverBatch(order)
 }
 
 func (s *Server) materialize(ids mseq.Seq[proto.RequestID]) []proto.Request {
@@ -339,7 +493,9 @@ func (s *Server) handleSeqOrder(order proto.SeqOrder) {
 }
 
 // optDeliverBatch is Task 1b: Opt-deliver every message of msgSet_k in
-// order, send replies weighted {s} (at the sequencer) or {p, s}.
+// order, send replies weighted {s} (at the sequencer) or {p, s}. Replies go
+// through the round's per-destination send buffer, so a round that serves
+// many requests of one client costs one frame.
 func (s *Server) optDeliverBatch(order proto.SeqOrder) {
 	seq := s.sequencer()
 	var weight proto.Weight
@@ -348,12 +504,12 @@ func (s *Server) optDeliverBatch(order proto.SeqOrder) {
 	} else {
 		weight = proto.WeightOf(s.cfg.ID, seq)
 	}
-	oSet := s.oDelivered.Set()
+	var delivered mseq.Seq[proto.RequestID]
 	for _, req := range order.Reqs {
 		if _, done := s.aDelivered[req.ID]; done {
 			continue
 		}
-		if _, done := oSet[req.ID]; done {
+		if _, done := s.oSet[req.ID]; done {
 			continue
 		}
 		// The ordering message carries full payloads, so we may learn the
@@ -363,17 +519,29 @@ func (s *Server) optDeliverBatch(order proto.SeqOrder) {
 		result, undo := s.cfg.Machine.Apply(req.Cmd)
 		s.pos++
 		s.oDelivered = append(s.oDelivered, req.ID)
+		s.oSet[req.ID] = struct{}{}
 		s.undoStack = append(s.undoStack, undo)
+		delivered = append(delivered, req.ID)
 		s.statOpt.Add(1)
 		s.tracer.OptDeliver(s.cfg.ID, s.epoch, req.ID, s.pos, result)
-		s.send(req.ID.Client, proto.MarshalReply(proto.Reply{
+		s.sendReply(req.ID.Client, proto.Reply{
 			Req:    req.ID,
 			From:   s.cfg.ID,
 			Epoch:  s.epoch,
 			Weight: weight,
 			Pos:    s.pos,
 			Result: result,
-		}))
+		})
+	}
+	if !delivered.IsEmpty() {
+		// Fast path: at the sequencer (and usually at replicas, which see
+		// orders in arrival order) the delivered batch is exactly a prefix
+		// of pending, so the subtraction is a slice-off instead of a scan.
+		if s.pending.HasPrefix(delivered) {
+			s.pending = s.pending[len(delivered):].Clone()
+		} else {
+			s.pending = mseq.Minus(s.pending, delivered)
+		}
 	}
 
 	// Garbage collection (Remark, Section 5.3): the sequencer periodically
@@ -487,6 +655,7 @@ func (s *Server) applyDecision(k uint64, d consensus.Decision) {
 		}
 		s.undoStack[top]()
 		s.undoStack = s.undoStack[:top]
+		delete(s.oSet, s.oDelivered[top])
 		s.oDelivered = s.oDelivered[:top]
 		s.pos--
 		s.statUndo.Add(1)
@@ -494,6 +663,7 @@ func (s *Server) applyDecision(k uint64, d consensus.Decision) {
 	}
 
 	// Lines 27–29: A-deliver New, replying with the conservative weight Π.
+	// (Replies share the round's per-destination batch frames.)
 	full := proto.FullWeight(s.n)
 	for _, req := range res.New {
 		s.bufferRequest(req) // consensus may carry payloads we never received
@@ -501,14 +671,14 @@ func (s *Server) applyDecision(k uint64, d consensus.Decision) {
 		s.pos++
 		s.statA.Add(1)
 		s.tracer.ADeliver(s.cfg.ID, k, req.ID, s.pos, result)
-		s.send(req.ID.Client, proto.MarshalReply(proto.Reply{
+		s.sendReply(req.ID.Client, proto.Reply{
 			Req:    req.ID,
 			From:   s.cfg.ID,
 			Epoch:  k,
 			Weight: full,
 			Pos:    s.pos,
 			Result: result,
-		}))
+		})
 	}
 
 	// Lines 30–32: commit the epoch.
@@ -519,7 +689,28 @@ func (s *Server) applyDecision(k uint64, d consensus.Decision) {
 		s.aDelivered[req.ID] = struct{}{}
 	}
 	s.tracer.EpochClose(s.cfg.ID, k, s.ownInput, res)
+
+	// Garbage-collect the per-request bookkeeping of everything that just
+	// became definitive: the payloads and rOrder slots of A-delivered
+	// requests are never needed again (re-arrivals are rejected by the
+	// aDelivered guard in bufferRequest). What survives the compaction —
+	// exactly the live, unordered requests — is the next epoch's pending
+	// sequence.
+	live := s.rOrder[:0]
+	for _, id := range s.rOrder {
+		if _, done := s.aDelivered[id]; done {
+			delete(s.payloads, id)
+			continue
+		}
+		live = append(live, id)
+	}
+	s.rOrder = live
+	s.pending = live.Clone()
+	s.orderDirty = !s.pending.IsEmpty()
+	s.firstPendingAt = time.Time{} // leftovers have waited a whole phase 2
+
 	s.oDelivered = nil
+	s.oSet = make(map[proto.RequestID]struct{})
 	s.undoStack = nil
 	s.ownInput = cnsvorder.Input{}
 	s.inPhase2 = false
@@ -559,8 +750,9 @@ func (s *Server) tick(now time.Time) {
 	}
 
 	if !s.inPhase2 {
-		// Task 1a catch-up (e.g. requests that arrived during phase 2).
-		s.maybeOrder()
+		// Task 1a catch-up (e.g. a BatchWindow that expired with no further
+		// traffic, or requests that arrived during phase 2).
+		s.flushOrder(now)
 		// Task 1c: when p suspects the sequencer, R-broadcast (k, PhaseII).
 		seq := s.sequencer()
 		if seq != s.cfg.ID && s.cfg.Detector.Suspected(seq, now) {
@@ -580,3 +772,29 @@ func (s *Server) tick(now time.Time) {
 // only safe to read when the server is quiescent or from its own tracer
 // callbacks.
 func (s *Server) Epoch() uint64 { return s.epoch }
+
+// Footprint reports the sizes of the replica's per-request bookkeeping
+// structures. Payloads, ROrder and Pending cover only live requests and stay
+// bounded by the in-flight window when epoch GC is on
+// (EpochRequestLimit > 0); ADelivered is the at-most-once filter and grows
+// with the number of distinct requests ever completed. Like Epoch, it is only
+// safe to read when the server is quiescent or from its own tracer callbacks.
+type Footprint struct {
+	Payloads   int // buffered request bodies (doubles as the R_delivered dedup set)
+	ROrder     int // live R_delivered sequence
+	Pending    int // live unordered requests
+	ODelivered int // current epoch's optimistic deliveries
+	ADelivered int // definitive-delivery filter (grows with history)
+}
+
+// Footprint returns the current bookkeeping sizes; see type Footprint for
+// the read-safety caveat.
+func (s *Server) Footprint() Footprint {
+	return Footprint{
+		Payloads:   len(s.payloads),
+		ROrder:     s.rOrder.Len(),
+		Pending:    s.pending.Len(),
+		ODelivered: s.oDelivered.Len(),
+		ADelivered: len(s.aDelivered),
+	}
+}

@@ -48,6 +48,10 @@ func (r Result) String() string {
 type Config struct {
 	// Quick shrinks request counts and sweep ranges (used by `go test`).
 	Quick bool
+	// BatchWindow and MaxBatch are the sequencer batching knobs applied to
+	// the "batched" rows of E8 (zero values use the core defaults).
+	BatchWindow time.Duration
+	MaxBatch    int
 }
 
 func (c Config) requests(full int) int {

@@ -146,3 +146,18 @@ func TestProtocolsEnumerated(t *testing.T) {
 		t.Error("unknown protocol has empty name")
 	}
 }
+
+func TestE8QualitativeShape(t *testing.T) {
+	r, err := E8Batching(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkShape(t, r, 3)
+	// Row 0 is unbatched OAR, row 1 batched OAR: both must hold Propositions
+	// 1-7 under the checker (violations column is last).
+	for _, row := range r.Rows[:2] {
+		if row[len(row)-1] != "0" {
+			t.Errorf("%s: trace checker saw violations: %v", row[0], row)
+		}
+	}
+}

@@ -423,6 +423,7 @@ func All(cfg Config) ([]Result, error) {
 		{"E5", E5Throughput},
 		{"E6", E6EpochGC},
 		{"E7", E7QuorumRule},
+		{"E8", E8Batching},
 		{"A1", A1RelayStrategy},
 		{"A2", A2UndoThriftiness},
 	}

@@ -331,10 +331,52 @@ func (nd *Node) Send(to proto.NodeID, payload []byte) error {
 	filter := n.filter
 	n.mu.Unlock()
 
-	if filter != nil && filter(nd.id, to, payload) == Drop {
-		n.dropped.Add(1)
-		return nil // a dropped message is indistinguishable from a slow one
+	if filter != nil {
+		payload, ok := applyFilter(filter, nd.id, to, payload)
+		if !ok {
+			n.dropped.Add(1)
+			return nil // a dropped message is indistinguishable from a slow one
+		}
+		return nd.sendFiltered(to, payload)
 	}
+	return nd.sendFiltered(to, payload)
+}
+
+// applyFilter runs the send-time filter. Filters are batch-aware: for a
+// proto.Batch frame the filter judges each inner message individually and the
+// envelope is rebuilt from the survivors, so fault-injection scripts written
+// against single messages (e.g. "drop the sequencer's ordering messages")
+// keep working when the hot path coalesces frames. Returns ok=false when the
+// whole payload is dropped.
+func applyFilter(filter Filter, from, to proto.NodeID, payload []byte) ([]byte, bool) {
+	if len(payload) == 0 || proto.Kind(payload[0]) != proto.KindBatch {
+		return payload, filter(from, to, payload) == Deliver
+	}
+	batch, err := proto.UnmarshalBatch(payload[1:])
+	if err != nil {
+		return payload, filter(from, to, payload) == Deliver
+	}
+	kept := make([][]byte, 0, len(batch.Msgs))
+	for _, inner := range batch.Msgs {
+		if filter(from, to, inner) == Deliver {
+			kept = append(kept, inner)
+		}
+	}
+	switch len(kept) {
+	case 0:
+		return nil, false
+	case len(batch.Msgs):
+		return payload, true // nothing dropped; keep the original envelope
+	case 1:
+		return kept[0], true
+	default:
+		return proto.MarshalBatch(kept), true
+	}
+}
+
+// sendFiltered enqueues a payload that has passed the filter stage.
+func (nd *Node) sendFiltered(to proto.NodeID, payload []byte) error {
+	n := nd.net
 
 	n.mu.Lock()
 	if n.closed {
@@ -356,6 +398,16 @@ func (nd *Node) Send(to proto.NodeID, payload []byte) error {
 	n.bytes.Add(uint64(len(payload)))
 	if len(payload) > 0 {
 		n.kindCount[payload[0]].Add(1)
+		// Batch-aware accounting: a KindBatch frame also counts its inner
+		// messages under their own kinds, so per-message-type experiment
+		// counters stay meaningful when the hot path coalesces frames.
+		if proto.Kind(payload[0]) == proto.KindBatch {
+			if batch, err := proto.UnmarshalBatch(payload[1:]); err == nil {
+				for _, inner := range batch.Msgs {
+					n.kindCount[inner[0]].Add(1)
+				}
+			}
+		}
 	}
 	l.push(payload, delay)
 	return nil

@@ -1,0 +1,117 @@
+package proto
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+func TestBatchRoundTrip(t *testing.T) {
+	msgs := [][]byte{
+		MarshalHeartbeat(),
+		MarshalRequest(Request{ID: RequestID{Client: ClientID(3), Seq: 9}, Cmd: []byte("set k v")}),
+		MarshalReply(Reply{Req: RequestID{Client: ClientID(3), Seq: 9}, From: 1, Epoch: 4, Weight: WeightOf(0, 1), Pos: 17, Result: []byte("ok")}),
+	}
+	payload := MarshalBatch(msgs)
+	kind, body, err := Unmarshal(payload)
+	if err != nil || kind != KindBatch {
+		t.Fatalf("outer kind %v err %v", kind, err)
+	}
+	batch, err := UnmarshalBatch(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Msgs) != len(msgs) {
+		t.Fatalf("got %d inner messages, want %d", len(batch.Msgs), len(msgs))
+	}
+	for i, m := range batch.Msgs {
+		if !bytes.Equal(m, msgs[i]) {
+			t.Errorf("inner %d: got %x want %x", i, m, msgs[i])
+		}
+	}
+}
+
+func TestBatchSingleMessage(t *testing.T) {
+	msgs := [][]byte{MarshalPhaseII(PhaseII{Epoch: 7})}
+	batch, err := UnmarshalBatch(MarshalBatch(msgs)[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Msgs) != 1 || !bytes.Equal(batch.Msgs[0], msgs[0]) {
+		t.Fatalf("got %v", batch.Msgs)
+	}
+}
+
+func TestBatchRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty batch":      {},
+		"truncated length": {0x05, 'a'},
+		"huge length":      {0xff, 0xff, 0xff, 0xff, 0x7f},
+		"empty inner":      {0x00},
+		"nested batch":     MarshalBatch([][]byte{MarshalBatch([][]byte{MarshalHeartbeat()})})[1:],
+	}
+	for name, body := range cases {
+		if _, err := UnmarshalBatch(body); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+func TestBatchInnerAliasesInput(t *testing.T) {
+	payload := MarshalBatch([][]byte{MarshalHeartbeat(), MarshalHeartbeat()})
+	batch, err := UnmarshalBatch(payload[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The contract is aliasing (zero-copy); consumers decode inner messages
+	// before the buffer can be reused.
+	payload[2] = 0xEE
+	if batch.Msgs[0][0] != 0xEE {
+		t.Error("inner message does not alias the envelope buffer")
+	}
+}
+
+func FuzzUnmarshalBatch(f *testing.F) {
+	f.Add(MarshalBatch([][]byte{MarshalHeartbeat()})[1:])
+	f.Add(MarshalBatch([][]byte{MarshalPhaseII(PhaseII{Epoch: 1}), MarshalHeartbeat()})[1:])
+	f.Add([]byte{0x00})
+	f.Add([]byte{0xff, 0x01})
+	f.Fuzz(func(t *testing.T, body []byte) {
+		batch, err := UnmarshalBatch(body) // must never panic
+		if err != nil {
+			return
+		}
+		for _, m := range batch.Msgs {
+			if len(m) == 0 {
+				t.Fatal("decoded batch contains an empty inner message")
+			}
+			if Kind(m[0]) == KindBatch {
+				t.Fatal("decoded batch contains a nested batch")
+			}
+		}
+		// A decoded batch must re-encode to an equivalent envelope.
+		again, err := UnmarshalBatch(MarshalBatch(batch.Msgs)[1:])
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if len(again.Msgs) != len(batch.Msgs) {
+			t.Fatalf("re-encode changed message count: %d != %d", len(again.Msgs), len(batch.Msgs))
+		}
+	})
+}
+
+func TestFrameListWriterReaderRoundTrip(t *testing.T) {
+	frames := [][]byte{[]byte("a"), []byte("bb"), {0x01, 0x02, 0x03}}
+	w := wire.NewWriter(32)
+	w.FrameList(frames)
+	got := wire.NewReader(w.Bytes()).FrameList()
+	if len(got) != len(frames) {
+		t.Fatalf("got %d frames, want %d", len(got), len(frames))
+	}
+	for i := range frames {
+		if !bytes.Equal(got[i], frames[i]) {
+			t.Errorf("frame %d: %x != %x", i, got[i], frames[i])
+		}
+	}
+}

@@ -36,6 +36,10 @@ const (
 	// KindBaseline carries a baseline-protocol-specific payload; the baseline
 	// packages define their own sub-kinds inside the body.
 	KindBaseline
+	// KindBatch is an envelope coalescing several kind-tagged messages into
+	// one transport frame (one syscall / one channel hop instead of many).
+	// Batches do not nest.
+	KindBatch
 )
 
 // String implements fmt.Stringer.
@@ -63,6 +67,8 @@ func (k Kind) String() string {
 		return "decide"
 	case KindBaseline:
 		return "baseline"
+	case KindBatch:
+		return "batch"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -105,13 +111,16 @@ func MarshalRMcast(m RMcastMsg) []byte {
 	return w.Bytes()
 }
 
-// UnmarshalRMcast decodes the body of a KindRMcast payload.
+// UnmarshalRMcast decodes the body of a KindRMcast payload. Inner aliases
+// body: the wrapper is unwrapped exactly where the inner message is
+// processed, and whatever outlives that processing (request payloads, relay
+// buffers) is copied into owned state by its consumer.
 func UnmarshalRMcast(body []byte) (RMcastMsg, error) {
 	r := wire.NewReader(body)
 	var m RMcastMsg
 	m.Origin = NodeID(r.Int64())
 	m.Seq = r.Uint64()
-	m.Inner = r.BytesField()
+	m.Inner = r.BytesFieldRef()
 	if err := r.Err(); err != nil {
 		return RMcastMsg{}, fmt.Errorf("proto: decode rmcast: %w", err)
 	}
@@ -233,3 +242,51 @@ func UnmarshalReply(body []byte) (Reply, error) {
 
 // MarshalHeartbeat encodes a heartbeat payload.
 func MarshalHeartbeat() []byte { return []byte{byte(KindHeartbeat)} }
+
+// --- batch envelope ---
+
+// Batch is an envelope carrying several complete kind-tagged messages as one
+// transport frame. Senders use it to coalesce the optimistic hot path (many
+// replies to one client, many ordering messages to one peer) into a single
+// send; receivers unwrap it and process the inner messages in order. Inner
+// messages must not themselves be batches.
+type Batch struct {
+	Msgs [][]byte
+}
+
+// MarshalBatch encodes the given kind-tagged messages as one KindBatch
+// payload. The caller guarantees none of the messages is itself a batch.
+func MarshalBatch(msgs [][]byte) []byte {
+	size := 16
+	for _, m := range msgs {
+		size += len(m) + 4
+	}
+	w := wire.NewWriter(size)
+	w.Uint8(byte(KindBatch))
+	w.FrameList(msgs)
+	return w.Bytes()
+}
+
+// UnmarshalBatch decodes the body of a KindBatch payload. It rejects empty
+// batches, empty inner messages and nested batches, so a decoded batch always
+// expands into processable kind-tagged messages and recursion cannot occur.
+// The inner messages alias body.
+func UnmarshalBatch(body []byte) (Batch, error) {
+	r := wire.NewReader(body)
+	msgs := r.FrameList()
+	if err := r.Err(); err != nil {
+		return Batch{}, fmt.Errorf("proto: decode batch: %w", err)
+	}
+	if len(msgs) == 0 {
+		return Batch{}, fmt.Errorf("proto: decode batch: empty: %w", wire.ErrTruncated)
+	}
+	for _, m := range msgs {
+		if len(m) == 0 {
+			return Batch{}, fmt.Errorf("proto: decode batch: empty inner message: %w", wire.ErrTruncated)
+		}
+		if Kind(m[0]) == KindBatch {
+			return Batch{}, fmt.Errorf("proto: decode batch: nested batch: %w", wire.ErrOverflow)
+		}
+	}
+	return Batch{Msgs: msgs}, nil
+}

@@ -174,7 +174,9 @@ func (p Reply) Encode(w *wire.Writer) {
 	w.BytesField(p.Result)
 }
 
-// DecodeReply reads a Reply from r.
+// DecodeReply reads a Reply from r. Result aliases the reader's input (reply
+// frames are immutable once received, so sharing is safe and saves a copy on
+// the client's hot path).
 func DecodeReply(r *wire.Reader) Reply {
 	var p Reply
 	p.Req.Client = NodeID(r.Int64())
@@ -183,6 +185,6 @@ func DecodeReply(r *wire.Reader) Reply {
 	p.Epoch = r.Uint64()
 	p.Weight = Weight(r.Uint64())
 	p.Pos = r.Uint64()
-	p.Result = r.BytesField()
+	p.Result = r.BytesFieldRef()
 	return p
 }

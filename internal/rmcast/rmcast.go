@@ -134,7 +134,12 @@ func (r *RMcast) OnMessage(body []byte) (inner []byte, deliver bool, err error) 
 	if _, dup := r.delivered[key]; dup {
 		return nil, false, nil
 	}
-	payload := proto.MarshalRMcast(m)
+	// Rebuild the relayable payload by re-tagging the received body instead
+	// of re-encoding the message — the body already is the canonical
+	// encoding, and this copy runs once per delivered message on the hot path.
+	payload := make([]byte, 1+len(body))
+	payload[0] = byte(proto.KindRMcast)
+	copy(payload[1:], body)
 	r.markDelivered(key, payload)
 	if r.cfg.Mode == Eager {
 		r.relay(key, payload)

@@ -219,3 +219,62 @@ func TestDialBackViaHandshake(t *testing.T) {
 		t.Fatalf("got %q", r.Payload)
 	}
 }
+
+// TestBatchFrameDeliversInnerInOrder sends a proto.Batch envelope between
+// nodes and checks the receiver can expand it to the inner messages in the
+// original order (the contract the replicas rely on when coalescing the hot
+// path over TCP).
+func TestBatchFrameDeliversInnerInOrder(t *testing.T) {
+	a, b := newNode(t, 0), newNode(t, 1)
+	connect(a, b)
+	inner := make([][]byte, 50)
+	for i := range inner {
+		inner[i] = []byte(fmt.Sprintf("msg-%03d", i))
+	}
+	if err := transport.SendBatch(a, 1, inner); err != nil {
+		t.Fatal(err)
+	}
+	m := recvOne(t, b, 5*time.Second)
+	msgs, ok := transport.ExpandBatch(m)
+	if !ok {
+		t.Fatalf("expected a batch frame, got %q", m.Payload)
+	}
+	if len(msgs) != len(inner) {
+		t.Fatalf("got %d inner messages, want %d", len(msgs), len(inner))
+	}
+	for i, mm := range msgs {
+		if string(mm.Payload) != string(inner[i]) {
+			t.Fatalf("inner %d: got %q want %q", i, mm.Payload, inner[i])
+		}
+		if mm.From != 0 {
+			t.Fatalf("inner %d: from %v", i, mm.From)
+		}
+	}
+}
+
+// TestFlushWindowCoalescesAndPreservesOrder floods one destination queue
+// while a FlushWindow is configured and verifies every frame arrives, in
+// order — the buffered writer must not drop or reorder across flush
+// boundaries or reconnects.
+func TestFlushWindowCoalescesAndPreservesOrder(t *testing.T) {
+	a, err := New(Config{ID: 0, Listen: "127.0.0.1:0", FlushWindow: 200 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	b := newNode(t, 1)
+	connect(a, b)
+
+	const frames = 500
+	for i := 0; i < frames; i++ {
+		if err := a.Send(1, []byte(fmt.Sprintf("f%04d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < frames; i++ {
+		m := recvOne(t, b, 5*time.Second)
+		if want := fmt.Sprintf("f%04d", i); string(m.Payload) != want {
+			t.Fatalf("frame %d: got %q want %q", i, m.Payload, want)
+		}
+	}
+}

@@ -45,6 +45,41 @@ type Node interface {
 	Close() error
 }
 
+// SendBatch delivers several kind-tagged payloads to one destination as a
+// single frame: one payload is sent as-is, several are coalesced into a
+// proto.Batch envelope (one syscall on tcpnet, one link hop on memnet). The
+// receiver unwraps the envelope with ExpandBatch, preserving order.
+func SendBatch(n Node, to proto.NodeID, payloads [][]byte) error {
+	switch len(payloads) {
+	case 0:
+		return nil
+	case 1:
+		return n.Send(to, payloads[0])
+	default:
+		return n.Send(to, proto.MarshalBatch(payloads))
+	}
+}
+
+// ExpandBatch splits a received message into its inner messages if it is a
+// proto.Batch envelope, preserving the sender and the inner order. Non-batch
+// messages (and malformed batches, which are dropped like any other garbage)
+// are returned unchanged as a single-element slice with ok=false.
+func ExpandBatch(m Message) (msgs []Message, ok bool) {
+	kind, body, err := proto.Unmarshal(m.Payload)
+	if err != nil || kind != proto.KindBatch {
+		return []Message{m}, false
+	}
+	batch, err := proto.UnmarshalBatch(body)
+	if err != nil {
+		return nil, true // corrupt batch: drop it wholesale
+	}
+	out := make([]Message, len(batch.Msgs))
+	for i, inner := range batch.Msgs {
+		out[i] = Message{From: m.From, Payload: inner}
+	}
+	return out, true
+}
+
 // Queue is an unbounded FIFO of messages feeding an output channel. It
 // decouples senders from receivers so that an event-loop process can never
 // deadlock by sending while its own inbox is full. Close is idempotent.
@@ -59,10 +94,16 @@ type Queue struct {
 	done   chan struct{} // pump goroutine exited
 }
 
+// outBuffer is the capacity of a queue's delivery channel. A buffered
+// channel lets the pump stay ahead of the consumer, so an event loop that
+// drains its inbox opportunistically (the batching path in core.Server.Run)
+// actually observes the backlog instead of one message per goroutine switch.
+const outBuffer = 256
+
 // NewQueue creates a queue and starts its delivery pump.
 func NewQueue() *Queue {
 	q := &Queue{
-		out:    make(chan Message),
+		out:    make(chan Message, outBuffer),
 		notify: make(chan struct{}),
 		done:   make(chan struct{}),
 	}

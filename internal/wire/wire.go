@@ -80,6 +80,17 @@ func (w *Writer) String(s string) {
 	w.buf = append(w.buf, s...)
 }
 
+// FrameList appends a list of length-prefixed byte strings — the envelope
+// format of batched messages: each frame as a BytesField, running to the end
+// of the payload with no count prefix. The count-less format is what lets
+// senders build an envelope incrementally, appending frames to a reusable
+// buffer as they are produced.
+func (w *Writer) FrameList(frames [][]byte) {
+	for _, f := range frames {
+		w.BytesField(f)
+	}
+}
+
 // Raw appends b verbatim, without a length prefix.
 func (w *Writer) Raw(b []byte) {
 	w.buf = append(w.buf, b...)
@@ -158,6 +169,21 @@ func (r *Reader) Bool() bool { return r.Uint8() != 0 }
 // BytesField decodes a length-prefixed byte string. The result is a copy and
 // does not alias the input buffer.
 func (r *Reader) BytesField() []byte {
+	ref := r.BytesFieldRef()
+	if len(ref) == 0 {
+		return nil
+	}
+	out := make([]byte, len(ref))
+	copy(out, ref)
+	return out
+}
+
+// BytesFieldRef decodes a length-prefixed byte string without copying: the
+// result aliases the reader's input. Use it on hot paths where the decoded
+// value is consumed (or re-copied into owned state) before the input buffer
+// can be reused — e.g. expanding a batch envelope whose inner messages are
+// decoded immediately.
+func (r *Reader) BytesFieldRef() []byte {
 	n := r.Uint64()
 	if r.err != nil {
 		return nil
@@ -169,8 +195,7 @@ func (r *Reader) BytesField() []byte {
 	if n == 0 {
 		return nil
 	}
-	out := make([]byte, n)
-	copy(out, r.buf[r.off:r.off+int(n)])
+	out := r.buf[r.off : r.off+int(n) : r.off+int(n)]
 	r.off += int(n)
 	return out
 }
@@ -178,6 +203,23 @@ func (r *Reader) BytesField() []byte {
 // String decodes a length-prefixed string.
 func (r *Reader) String() string {
 	return string(r.BytesField())
+}
+
+// FrameList decodes a list written by Writer.FrameList: length-prefixed
+// frames until the input is exhausted. Each frame's length prefix is
+// validated against the remaining input before any allocation, so corrupt
+// prefixes cannot trigger huge allocations. The returned frames alias the
+// reader's input (see BytesFieldRef): an envelope is decoded exactly where
+// its content is consumed.
+func (r *Reader) FrameList() [][]byte {
+	var frames [][]byte
+	for r.Remaining() > 0 {
+		frames = append(frames, r.BytesFieldRef())
+		if r.err != nil {
+			return nil
+		}
+	}
+	return frames
 }
 
 func errOverflowOrTruncated(n uint64, remaining int) error {

@@ -234,3 +234,52 @@ func BenchmarkDecodeSmallRecord(b *testing.B) {
 		}
 	}
 }
+
+func TestFrameListRoundTrip(t *testing.T) {
+	frames := [][]byte{[]byte("x"), []byte("yz"), bytes.Repeat([]byte{7}, 300)}
+	w := NewWriter(16)
+	w.FrameList(frames)
+	r := NewReader(w.Bytes())
+	got := r.FrameList()
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+	if len(got) != len(frames) {
+		t.Fatalf("got %d frames, want %d", len(got), len(frames))
+	}
+	for i := range frames {
+		if !bytes.Equal(got[i], frames[i]) {
+			t.Errorf("frame %d mismatch", i)
+		}
+	}
+	if r.Remaining() != 0 {
+		t.Errorf("%d bytes left over", r.Remaining())
+	}
+}
+
+func TestFrameListTruncatedAndOverflow(t *testing.T) {
+	// A frame length running past the end of the input must fail cleanly,
+	// without large allocations or panics.
+	for _, in := range [][]byte{
+		{0x05, 'a'},                // frame claims 5 bytes, 1 present
+		{0xff, 0xff, 0xff, 0x7f},   // absurd length prefix
+		{0x01, 'a', 0x02, 'b'},     // second frame truncated
+		append([]byte{0x80}, 0x80), // unterminated varint
+	} {
+		r := NewReader(in)
+		if got := r.FrameList(); got != nil || r.Err() == nil {
+			t.Errorf("input %x: frames=%v err=%v, want failure", in, got, r.Err())
+		}
+	}
+}
+
+func TestBytesFieldRefAliasesInput(t *testing.T) {
+	w := NewWriter(8)
+	w.BytesField([]byte("abc"))
+	in := w.Bytes()
+	ref := NewReader(in).BytesFieldRef()
+	in[1] = 'Z'
+	if string(ref) != "Zbc" {
+		t.Errorf("BytesFieldRef does not alias its input: %q", ref)
+	}
+}

@@ -79,6 +79,14 @@ type ClusterOptions struct {
 	// EpochRequestLimit bounds the optimistic epoch length (Section 5.3
 	// Remark); 0 disables periodic garbage collection.
 	EpochRequestLimit int
+	// BatchWindow is how long the sequencer may hold pending requests to
+	// grow an ordering batch. 0 (default) batches adaptively with no added
+	// latency: everything that arrived in one event-loop round is ordered as
+	// one message. A positive window trades latency for larger batches.
+	BatchWindow time.Duration
+	// MaxBatch caps requests per ordering message (0 = a generous default;
+	// 1 = one ordering message per request, the unbatched behavior).
+	MaxBatch int
 }
 
 // Cluster is an in-process replica group, for embedding a replicated
@@ -100,6 +108,8 @@ func NewCluster(opts ClusterOptions) (*Cluster, error) {
 		Machine:           opts.Machine,
 		FDTimeout:         opts.SuspicionTimeout,
 		EpochRequestLimit: opts.EpochRequestLimit,
+		BatchWindow:       opts.BatchWindow,
+		MaxBatch:          opts.MaxBatch,
 		Net: memnet.Options{
 			MinDelay: opts.NetworkDelay,
 			MaxDelay: opts.NetworkDelay,
@@ -164,6 +174,9 @@ type ServerOptions struct {
 	SuspicionTimeout time.Duration
 	// EpochRequestLimit as in ClusterOptions.
 	EpochRequestLimit int
+	// BatchWindow and MaxBatch as in ClusterOptions.
+	BatchWindow time.Duration
+	MaxBatch    int
 }
 
 // ListenAndServe runs one OAR replica over TCP until ctx is cancelled.
@@ -212,6 +225,8 @@ func ListenAndServe(ctx context.Context, opts ServerOptions) error {
 		Detector:          fd.NewTimeout(opts.SuspicionTimeout, group, time.Now()),
 		HeartbeatInterval: opts.SuspicionTimeout / 4,
 		EpochRequestLimit: opts.EpochRequestLimit,
+		BatchWindow:       opts.BatchWindow,
+		MaxBatch:          opts.MaxBatch,
 	})
 	if err != nil {
 		return err
