@@ -307,6 +307,62 @@ func BenchmarkE8BatchedThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkE9ShardScaling: throughput at 1/2/4 independent OAR groups with
+// key-hash routing, on the instant in-memory network. b.N requests (each
+// with its own key, so load spreads uniformly) from 8 clients with 16
+// pipelined invokes each; ns/op ≈ 1/throughput, so the 4-shard/1-shard
+// ns/op ratio is the scaling factor. Scaling requires cores: each shard adds
+// three replica event loops that want a CPU of their own.
+func BenchmarkE9ShardScaling(b *testing.B) {
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			c, err := cluster.New(cluster.Options{
+				N: 3, Shards: shards, FD: cluster.FDNever,
+				Net: memnet.Options{Seed: 29}, // instant delivery
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(c.Stop)
+			const clients, outstanding = 8, 16
+			workers := make([]cluster.Invoker, clients)
+			for i := range workers {
+				cli, err := c.NewClient()
+				if err != nil {
+					b.Fatal(err)
+				}
+				workers[i] = cli
+			}
+			ctx := context.Background()
+			c.ResetNetStats()
+			var next atomic.Int64
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for w := 0; w < clients*outstanding; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					cli := workers[w%clients]
+					for {
+						i := next.Add(1)
+						if i > int64(b.N) {
+							return
+						}
+						if _, err := cli.Invoke(ctx, []byte(fmt.Sprintf("k%d m", i))); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			b.StopTimer()
+			b.ReportMetric(float64(shards), "shards")
+			b.ReportMetric(float64(c.NetTotal().MessagesSent)/float64(b.N), "frames/req")
+		})
+	}
+}
+
 // BenchmarkA1RelayStrategy: eager vs lazy reliable-multicast relaying.
 func BenchmarkA1RelayStrategy(b *testing.B) {
 	for _, mode := range []rmcast.Mode{rmcast.Eager, rmcast.Lazy} {

@@ -1,5 +1,5 @@
 // Command oar-bench runs the reproduction experiment suite of DESIGN.md
-// (E1–E7 and the ablations A1–A2) and prints one table per experiment —
+// (E1–E9 and the ablations A1–A2) and prints one table per experiment —
 // the data recorded in EXPERIMENTS.md.
 //
 //	oar-bench            # full suite (a few minutes)
@@ -27,9 +27,10 @@ func run() int {
 		only        = flag.String("run", "", "comma-separated experiment IDs (default: all)")
 		batchWindow = flag.Duration("batch-window", 0, "sequencer batch window for E8's batched rows (0 = adaptive)")
 		maxBatch    = flag.Int("max-batch", 0, "max requests per ordering message for E8's batched rows (0 = default)")
+		shards      = flag.Int("shards", 0, "largest shard count E9 sweeps to, in powers of two (0 = the 1/2/4 default)")
 	)
 	flag.Parse()
-	cfg := experiments.Config{Quick: *quick, BatchWindow: *batchWindow, MaxBatch: *maxBatch}
+	cfg := experiments.Config{Quick: *quick, BatchWindow: *batchWindow, MaxBatch: *maxBatch, Shards: *shards}
 
 	type exp struct {
 		id string
@@ -44,6 +45,7 @@ func run() int {
 		{"E6", experiments.E6EpochGC},
 		{"E7", experiments.E7QuorumRule},
 		{"E8", experiments.E8Batching},
+		{"E9", experiments.E9ShardScaling},
 		{"A1", experiments.A1RelayStrategy},
 		{"A2", experiments.A2UndoThriftiness},
 	}

@@ -25,6 +25,7 @@ func run() int {
 	var (
 		servers = flag.String("servers", "", "comma-separated replica addresses (required)")
 		index   = flag.Int("index", 0, "client index (unique per concurrent client process)")
+		group   = flag.Int("group", 0, "ordering group (shard) the listed servers belong to")
 		timeout = flag.Duration("timeout", 10*time.Second, "per-request timeout")
 	)
 	flag.Parse()
@@ -37,6 +38,7 @@ func run() int {
 	cli, err := oar.NewTCPClient(oar.ClientOptions{
 		Servers:     strings.Split(*servers, ","),
 		ClientIndex: *index,
+		GroupID:     *group,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "oar-client: %v\n", err)

@@ -35,6 +35,7 @@ func run() int {
 		machine = flag.String("machine", "kv", "replicated state machine: "+strings.Join(app.Names(), ", "))
 		fdTO    = flag.Duration("suspicion-timeout", 100*time.Millisecond, "failure-detector (◊S) timeout")
 		gcLimit = flag.Int("epoch-limit", 1024, "force a conservative phase every N requests (0 = never)")
+		group   = flag.Int("group", 0, "ordering group (shard) this replica serves; peers and clients must match")
 	)
 	flag.Parse()
 	if *peers == "" {
@@ -54,6 +55,7 @@ func run() int {
 		Peers:             addrs,
 		Listen:            *listen,
 		Machine:           *machine,
+		GroupID:           *group,
 		SuspicionTimeout:  *fdTO,
 		EpochRequestLimit: *gcLimit,
 	})

@@ -40,6 +40,18 @@
 //   - MaxBatch: caps requests per ordering message (0 = a generous default,
 //     1 = one ordering message per request).
 //
+// # Keyspace sharding
+//
+// One ordering group's throughput is capped by its sequencer, so the
+// keyspace can be partitioned over several independent groups
+// (ClusterOptions.Shards): each shard is a complete Replicas-sized OAR
+// group, and clients route every command to the group owning its key (an
+// FNV hash of the command's key token — the kv/bank key, else the first
+// token). Ordering and Propositions 1–7 hold per group — exactly the
+// contract of a key-partitioned service — and group identity is explicit on
+// the wire, so misrouted traffic is dropped rather than misordered. Crash
+// failures stall only the affected group until its detector fires.
+//
 // # Replicated state machines
 //
 // Any deterministic state machine with per-command undo can be replicated

@@ -89,7 +89,7 @@ func (c *Client) loop(ctx context.Context) {
 			if !ok {
 				return
 			}
-			kind, body, err := proto.Unmarshal(m.Payload)
+			kind, _, body, err := proto.Unmarshal(m.Payload)
 			if err != nil || kind != proto.KindReply {
 				continue
 			}

@@ -124,7 +124,7 @@ func (s *Server) Run(ctx context.Context) error {
 }
 
 func (s *Server) handleMessage(m transport.Message, now time.Time) {
-	kind, body, err := proto.Unmarshal(m.Payload)
+	kind, _, body, err := proto.Unmarshal(m.Payload)
 	if err != nil {
 		return
 	}
@@ -265,7 +265,7 @@ func (s *Server) applyDecision(k uint64, d consensus.Decision) {
 func (s *Server) tick(now time.Time) {
 	if s.cfg.HeartbeatInterval > 0 && now.Sub(s.lastHeartbeat) >= s.cfg.HeartbeatInterval {
 		s.lastHeartbeat = now
-		hb := proto.MarshalHeartbeat()
+		hb := proto.MarshalHeartbeat(0)
 		for _, p := range s.cfg.Group {
 			if p != s.cfg.ID {
 				_ = s.cfg.Node.Send(p, hb)

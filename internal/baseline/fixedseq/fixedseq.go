@@ -125,7 +125,7 @@ func (s *Server) sequencer() proto.NodeID {
 }
 
 func (s *Server) handleMessage(m transport.Message, now time.Time) {
-	kind, body, err := proto.Unmarshal(m.Payload)
+	kind, _, body, err := proto.Unmarshal(m.Payload)
 	if err != nil {
 		return
 	}
@@ -173,7 +173,7 @@ func (s *Server) maybeOrder() {
 		return
 	}
 	order := proto.SeqOrder{Epoch: s.view, Reqs: pending}
-	payload := proto.MarshalSeqOrder(order)
+	payload := proto.MarshalSeqOrder(0, order)
 	for _, p := range s.cfg.Group {
 		if p != s.cfg.ID {
 			_ = s.cfg.Node.Send(p, payload)
@@ -221,7 +221,7 @@ func (s *Server) deliverBatch(reqs []proto.Request) {
 func (s *Server) tick(now time.Time) {
 	if s.cfg.HeartbeatInterval > 0 && now.Sub(s.lastHeartbeat) >= s.cfg.HeartbeatInterval {
 		s.lastHeartbeat = now
-		hb := proto.MarshalHeartbeat()
+		hb := proto.MarshalHeartbeat(0)
 		for _, p := range s.cfg.Group {
 			if p != s.cfg.ID {
 				_ = s.cfg.Node.Send(p, hb)

@@ -1,8 +1,16 @@
-// Package cluster boots an OAR replica group plus clients over an in-memory
-// network and provides the fault-injection and observation hooks used by the
-// integration tests, examples, the scenario runner (cmd/oar-sim) and the
-// benchmark harness: crash a server, block links between groups, script
-// oracle suspicions, poll protocol counters, and verify traces.
+// Package cluster boots one or more OAR replica groups plus clients over
+// in-memory networks and provides the fault-injection and observation hooks
+// used by the integration tests, examples, the scenario runner (cmd/oar-sim)
+// and the benchmark harness: crash a server, block links between groups,
+// script oracle suspicions, poll protocol counters, and verify traces.
+//
+// A cluster is group-parameterized: Options.Shards runs that many
+// independent ordering groups side by side (each with its own network,
+// failure detectors and tracer) and NewClient returns a key-hash-routing
+// client spanning all of them. Shards=1 — the default — is the paper's
+// single-group system, and every single-group accessor (Net, Server, Crash,
+// ...) operates on shard 0, so existing tests and scenarios are the
+// degenerate case rather than a separate code path.
 package cluster
 
 import (
@@ -20,6 +28,7 @@ import (
 	"repro/internal/memnet"
 	"repro/internal/proto"
 	"repro/internal/rmcast"
+	"repro/internal/shard"
 )
 
 // Protocol selects which replication protocol the cluster runs.
@@ -49,7 +58,8 @@ func (p Protocol) String() string {
 	}
 }
 
-// Invoker is the common client surface of all three protocols.
+// Invoker is the common client surface of all three protocols (and of the
+// sharded client).
 type Invoker interface {
 	// Invoke submits a command and blocks until a reply is adopted.
 	Invoke(ctx context.Context, cmd []byte) (proto.Reply, error)
@@ -75,12 +85,19 @@ const (
 type Options struct {
 	// Protocol selects the replication protocol (default OAR).
 	Protocol Protocol
-	// N is the number of replicas (1..64).
+	// N is the number of replicas per ordering group (1..64).
 	N int
+	// Shards is the number of independent ordering groups (default 1). Each
+	// shard is a complete N-replica OAR group on its own in-memory network;
+	// clients route commands by key hash. Shards > 1 requires Protocol OAR.
+	Shards int
+	// ShardKey extracts the routing key of a command (default: the
+	// conventional extractor for Machine, shard.MachineKey).
+	ShardKey shard.KeyFunc
 	// Machine names the replicated state machine (see app.Names). Default
 	// "recorder".
 	Machine string
-	// Net configures the in-memory network.
+	// Net configures each shard's in-memory network.
 	Net memnet.Options
 	// FD selects the failure detector (default FDHeartbeat).
 	FD FDMode
@@ -100,8 +117,13 @@ type Options struct {
 	// from core).
 	TickInterval      time.Duration
 	HeartbeatInterval time.Duration
-	// Tracer observes all protocol events (e.g. a *check.Checker).
+	// Tracer observes all protocol events (e.g. a *check.Checker). With
+	// Shards > 1 prefer TracerFor: each group has its own independent total
+	// order, so one checker must never observe two groups.
 	Tracer core.Tracer
+	// TracerFor, when non-nil, supplies the tracer for each shard and
+	// overrides Tracer.
+	TracerFor func(s int) core.Tracer
 }
 
 // lockedMachine makes an app.Machine safe for the cluster's cross-goroutine
@@ -135,16 +157,25 @@ type runner interface {
 	Run(ctx context.Context) error
 }
 
-// Cluster is a running replica group (OAR or one of the baselines).
-type Cluster struct {
-	opts    Options
-	group   []proto.NodeID
+// shardGroup is the runtime of one ordering group: its network, replicas,
+// machines and scripted detectors.
+type shardGroup struct {
+	id      proto.GroupID
 	net     *memnet.Network
 	servers []*core.Server     // Protocol == OAR
 	fsSrv   []*fixedseq.Server // Protocol == FixedSeq
 	ctSrv   []*ctab.Server     // Protocol == CTab
 	oracles []*fd.Oracle       // non-nil in FDOracle mode
 	mach    []app.Machine
+	tracer  core.Tracer
+}
+
+// Cluster is a running set of replica groups (OAR or one of the baselines).
+type Cluster struct {
+	opts   Options
+	group  []proto.NodeID
+	shards []*shardGroup
+	router *shard.Router
 
 	cancel  context.CancelFunc
 	wg      sync.WaitGroup
@@ -158,11 +189,20 @@ func New(opts Options) (*Cluster, error) {
 	if opts.N <= 0 || opts.N > proto.MaxGroupSize {
 		return nil, fmt.Errorf("cluster: N=%d out of range", opts.N)
 	}
+	if opts.Shards == 0 {
+		opts.Shards = 1
+	}
+	if opts.Shards < 0 {
+		return nil, fmt.Errorf("cluster: Shards=%d out of range", opts.Shards)
+	}
 	if opts.Machine == "" {
 		opts.Machine = "recorder"
 	}
 	if opts.Protocol == 0 {
 		opts.Protocol = OAR
+	}
+	if opts.Shards > 1 && opts.Protocol != OAR {
+		return nil, fmt.Errorf("cluster: sharding requires the OAR protocol, got %v", opts.Protocol)
 	}
 	if opts.FD == 0 {
 		opts.FD = FDHeartbeat
@@ -170,24 +210,60 @@ func New(opts Options) (*Cluster, error) {
 	if opts.FDTimeout == 0 {
 		opts.FDTimeout = 25 * time.Millisecond
 	}
+	if opts.ShardKey == nil {
+		opts.ShardKey = shard.MachineKey(opts.Machine)
+	}
+	router, err := shard.NewRouter(opts.Shards, opts.ShardKey)
+	if err != nil {
+		return nil, err
+	}
 
 	c := &Cluster{
-		opts:  opts,
-		group: proto.Group(opts.N),
-		net:   memnet.New(opts.Net),
+		opts:   opts,
+		group:  proto.Group(opts.N),
+		router: router,
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	c.cancel = cancel
 
+	for s := 0; s < opts.Shards; s++ {
+		sg, err := c.bootShard(ctx, s)
+		if err != nil {
+			cancel()
+			for _, prev := range c.shards {
+				prev.net.Close()
+			}
+			return nil, err
+		}
+		c.shards = append(c.shards, sg)
+	}
+	return c, nil
+}
+
+// tracerFor resolves the tracer of shard s from the options.
+func (c *Cluster) tracerFor(s int) core.Tracer {
+	if c.opts.TracerFor != nil {
+		return c.opts.TracerFor(s)
+	}
+	return c.opts.Tracer
+}
+
+// bootShard builds and starts ordering group s.
+func (c *Cluster) bootShard(ctx context.Context, s int) (*shardGroup, error) {
+	opts := c.opts
+	sg := &shardGroup{
+		id:     proto.GroupID(s), //nolint:gosec // bounded by Options validation
+		net:    memnet.New(opts.Net),
+		tracer: c.tracerFor(s),
+	}
 	start := time.Now()
 	for i := 0; i < opts.N; i++ {
 		inner, err := app.New(opts.Machine)
 		if err != nil {
-			cancel()
 			return nil, err
 		}
 		machine := app.Machine(&lockedMachine{inner: inner})
-		c.mach = append(c.mach, machine)
+		sg.mach = append(sg.mach, machine)
 
 		var detector fd.Detector
 		hbInterval := opts.HeartbeatInterval
@@ -196,14 +272,13 @@ func New(opts Options) (*Cluster, error) {
 			detector = fd.NewTimeout(opts.FDTimeout, c.group, start)
 		case FDOracle:
 			o := fd.NewOracle()
-			c.oracles = append(c.oracles, o)
+			sg.oracles = append(sg.oracles, o)
 			detector = o
 			hbInterval = -1 // oracles ignore heartbeats; skip the traffic
 		case FDNever:
 			detector = fd.Never{}
 			hbInterval = -1
 		default:
-			cancel()
 			return nil, fmt.Errorf("cluster: unknown FD mode %d", opts.FD)
 		}
 
@@ -213,7 +288,8 @@ func New(opts Options) (*Cluster, error) {
 			srv, err := core.NewServer(core.ServerConfig{
 				ID:                c.group[i],
 				Group:             c.group,
-				Node:              c.net.Node(c.group[i]),
+				GroupID:           sg.id,
+				Node:              sg.net.Node(c.group[i]),
 				Machine:           machine,
 				Detector:          detector,
 				RelayMode:         opts.RelayMode,
@@ -222,50 +298,46 @@ func New(opts Options) (*Cluster, error) {
 				EpochRequestLimit: opts.EpochRequestLimit,
 				BatchWindow:       opts.BatchWindow,
 				MaxBatch:          opts.MaxBatch,
-				Tracer:            opts.Tracer,
+				Tracer:            sg.tracer,
 			})
 			if err != nil {
-				cancel()
 				return nil, err
 			}
-			c.servers = append(c.servers, srv)
+			sg.servers = append(sg.servers, srv)
 			run = srv
 		case FixedSeq:
 			srv, err := fixedseq.NewServer(fixedseq.Config{
 				ID:                c.group[i],
 				Group:             c.group,
-				Node:              c.net.Node(c.group[i]),
+				Node:              sg.net.Node(c.group[i]),
 				Machine:           machine,
 				Detector:          detector,
 				TickInterval:      opts.TickInterval,
 				HeartbeatInterval: hbInterval,
-				Tracer:            opts.Tracer,
+				Tracer:            sg.tracer,
 			})
 			if err != nil {
-				cancel()
 				return nil, err
 			}
-			c.fsSrv = append(c.fsSrv, srv)
+			sg.fsSrv = append(sg.fsSrv, srv)
 			run = srv
 		case CTab:
 			srv, err := ctab.NewServer(ctab.Config{
 				ID:                c.group[i],
 				Group:             c.group,
-				Node:              c.net.Node(c.group[i]),
+				Node:              sg.net.Node(c.group[i]),
 				Machine:           machine,
 				Detector:          detector,
 				TickInterval:      opts.TickInterval,
 				HeartbeatInterval: hbInterval,
-				Tracer:            opts.Tracer,
+				Tracer:            sg.tracer,
 			})
 			if err != nil {
-				cancel()
 				return nil, err
 			}
-			c.ctSrv = append(c.ctSrv, srv)
+			sg.ctSrv = append(sg.ctSrv, srv)
 			run = srv
 		default:
-			cancel()
 			return nil, fmt.Errorf("cluster: unknown protocol %v", opts.Protocol)
 		}
 
@@ -275,83 +347,110 @@ func New(opts Options) (*Cluster, error) {
 			_ = run.Run(ctx)
 		}()
 	}
-	return c, nil
+	return sg, nil
 }
 
-// Net exposes the underlying network for fault injection and stats.
-func (c *Cluster) Net() *memnet.Network { return c.net }
+// Shards returns the number of ordering groups.
+func (c *Cluster) Shards() int { return len(c.shards) }
 
-// Group returns Π.
+// Router returns the key→group router clients use.
+func (c *Cluster) Router() *shard.Router { return c.router }
+
+// Net exposes shard 0's network for fault injection and stats.
+func (c *Cluster) Net() *memnet.Network { return c.shards[0].net }
+
+// NetOf exposes shard s's network.
+func (c *Cluster) NetOf(s int) *memnet.Network { return c.shards[s].net }
+
+// NetTotal aggregates the network counters of every shard.
+func (c *Cluster) NetTotal() memnet.Stats {
+	var total memnet.Stats
+	for _, sg := range c.shards {
+		total.Add(sg.net.Stats())
+	}
+	return total
+}
+
+// ResetNetStats zeroes every shard's network counters.
+func (c *Cluster) ResetNetStats() {
+	for _, sg := range c.shards {
+		sg.net.ResetStats()
+	}
+}
+
+// Group returns Π (identical in every shard).
 func (c *Cluster) Group() []proto.NodeID { return c.group }
 
-// Server returns replica i's protocol object (for Stats).
-func (c *Cluster) Server(i int) *core.Server { return c.servers[i] }
+// Server returns shard 0's replica i (for Stats).
+func (c *Cluster) Server(i int) *core.Server { return c.shards[0].servers[i] }
 
-// Machine returns replica i's state machine. Only read it (Fingerprint)
-// when the cluster is quiescent.
-func (c *Cluster) Machine(i int) app.Machine { return c.mach[i] }
+// ServerOf returns shard s's replica i.
+func (c *Cluster) ServerOf(s, i int) *core.Server { return c.shards[s].servers[i] }
 
-// Oracle returns replica i's scriptable failure detector (FDOracle mode).
-func (c *Cluster) Oracle(i int) *fd.Oracle { return c.oracles[i] }
+// Machine returns shard 0's replica-i state machine. Only read it
+// (Fingerprint) when the cluster is quiescent.
+func (c *Cluster) Machine(i int) app.Machine { return c.shards[0].mach[i] }
 
-// SuspectEverywhere makes every live replica's oracle suspect id.
+// MachineOf returns shard s's replica-i state machine.
+func (c *Cluster) MachineOf(s, i int) app.Machine { return c.shards[s].mach[i] }
+
+// Oracle returns shard 0's replica-i scriptable failure detector (FDOracle
+// mode).
+func (c *Cluster) Oracle(i int) *fd.Oracle { return c.shards[0].oracles[i] }
+
+// OracleOf returns shard s's replica-i oracle.
+func (c *Cluster) OracleOf(s, i int) *fd.Oracle { return c.shards[s].oracles[i] }
+
+// SuspectEverywhere makes every live replica's oracle (in every shard)
+// suspect id.
 func (c *Cluster) SuspectEverywhere(id proto.NodeID) {
-	for _, o := range c.oracles {
-		o.Suspect(id)
+	for _, sg := range c.shards {
+		for _, o := range sg.oracles {
+			o.Suspect(id)
+		}
 	}
 }
 
 // TrustEverywhere clears suspicion of id at every replica's oracle.
 func (c *Cluster) TrustEverywhere(id proto.NodeID) {
-	for _, o := range c.oracles {
-		o.Trust(id)
+	for _, sg := range c.shards {
+		for _, o := range sg.oracles {
+			o.Trust(id)
+		}
 	}
 }
 
-// Crash kills replica i: its endpoint closes and its event loop exits.
-func (c *Cluster) Crash(i int) {
-	c.net.Crash(c.group[i])
+// SuspectShard makes shard s's oracles suspect id, leaving other shards'
+// detectors untouched (per-shard fault scripting).
+func (c *Cluster) SuspectShard(s int, id proto.NodeID) {
+	for _, o := range c.shards[s].oracles {
+		o.Suspect(id)
+	}
 }
 
-// NewClient creates and starts a client matching the cluster's protocol:
-// the weight-quorum client of Figure 5 for OAR, the classic first-reply
-// client for the baselines.
+// Crash kills shard 0's replica i: its endpoint closes and its event loop
+// exits.
+func (c *Cluster) Crash(i int) {
+	c.CrashShard(0, i)
+}
+
+// CrashShard kills shard s's replica i. Other shards are untouched — their
+// groups neither see the crash nor depend on the crashed replica.
+func (c *Cluster) CrashShard(s, i int) {
+	c.shards[s].net.Crash(c.group[i])
+}
+
+// NewClient creates and starts a client. With one shard it is the protocol's
+// native client (the weight-quorum client of Figure 5 for OAR, the classic
+// first-reply client for the baselines); with several it is a shard.Client
+// that owns one OAR client per group and routes every Invoke by key hash.
 func (c *Cluster) NewClient() (Invoker, error) {
 	c.mu.Lock()
-	id := proto.ClientID(c.nextCli)
+	idx := c.nextCli
 	c.nextCli++
 	c.mu.Unlock()
 
-	var (
-		cli Invoker
-		err error
-	)
-	if c.opts.Protocol == OAR {
-		var oc *core.Client
-		oc, err = core.NewClient(core.ClientConfig{
-			ID:        id,
-			Group:     c.group,
-			Node:      c.net.Node(id),
-			Tracer:    c.opts.Tracer,
-			Unbatched: c.opts.BatchWindow < 0,
-		})
-		if err == nil {
-			oc.Start()
-			cli = oc
-		}
-	} else {
-		var bc *baseline.Client
-		bc, err = baseline.NewClient(baseline.ClientConfig{
-			ID:     id,
-			Group:  c.group,
-			Node:   c.net.Node(id),
-			Tracer: c.opts.Tracer,
-		})
-		if err == nil {
-			bc.Start()
-			cli = bc
-		}
-	}
+	cli, err := c.newClientAt(idx)
 	if err != nil {
 		return nil, err
 	}
@@ -361,44 +460,101 @@ func (c *Cluster) NewClient() (Invoker, error) {
 	return cli, nil
 }
 
+func (c *Cluster) newClientAt(idx int) (Invoker, error) {
+	id := proto.ClientID(idx)
+	if c.opts.Protocol != OAR {
+		sg := c.shards[0]
+		bc, err := baseline.NewClient(baseline.ClientConfig{
+			ID:     id,
+			Group:  c.group,
+			Node:   sg.net.Node(id),
+			Tracer: sg.tracer,
+		})
+		if err != nil {
+			return nil, err
+		}
+		bc.Start()
+		return bc, nil
+	}
+
+	backends := make([]shard.Invoker, len(c.shards))
+	started := make([]*core.Client, 0, len(c.shards))
+	for s, sg := range c.shards {
+		oc, err := core.NewClient(core.ClientConfig{
+			ID:        id,
+			Group:     c.group,
+			GroupID:   sg.id,
+			Node:      sg.net.Node(id),
+			Tracer:    sg.tracer,
+			Unbatched: c.opts.BatchWindow < 0,
+		})
+		if err != nil {
+			for _, prev := range started {
+				prev.Stop()
+			}
+			return nil, err
+		}
+		oc.Start()
+		started = append(started, oc)
+		backends[s] = oc
+	}
+	if len(backends) == 1 {
+		return started[0], nil
+	}
+	sc, err := shard.NewClient(c.router, backends)
+	if err != nil {
+		for _, prev := range started {
+			prev.Stop()
+		}
+		return nil, err
+	}
+	return sc, nil
+}
+
 // FixedSeqServer returns replica i of a FixedSeq cluster.
-func (c *Cluster) FixedSeqServer(i int) *fixedseq.Server { return c.fsSrv[i] }
+func (c *Cluster) FixedSeqServer(i int) *fixedseq.Server { return c.shards[0].fsSrv[i] }
 
 // CTabServer returns replica i of a CTab cluster.
-func (c *Cluster) CTabServer(i int) *ctab.Server { return c.ctSrv[i] }
+func (c *Cluster) CTabServer(i int) *ctab.Server { return c.shards[0].ctSrv[i] }
 
-// DeliveredTotal sums definitive deliveries across replicas, regardless of
-// protocol (OAR counts optimistic + conservative deliveries).
+// DeliveredTotal sums definitive deliveries across all shards' replicas,
+// regardless of protocol (OAR counts optimistic + conservative deliveries).
 func (c *Cluster) DeliveredTotal() uint64 {
 	var total uint64
-	switch c.opts.Protocol {
-	case FixedSeq:
-		for _, s := range c.fsSrv {
-			total += s.Stats().Delivered
-		}
-	case CTab:
-		for _, s := range c.ctSrv {
-			total += s.Stats().Delivered
-		}
-	default:
-		for _, s := range c.servers {
-			st := s.Stats()
-			total += st.OptDelivered + st.ADelivered - st.OptUndelivered
+	for _, sg := range c.shards {
+		switch c.opts.Protocol {
+		case FixedSeq:
+			for _, s := range sg.fsSrv {
+				total += s.Stats().Delivered
+			}
+		case CTab:
+			for _, s := range sg.ctSrv {
+				total += s.Stats().Delivered
+			}
+		default:
+			for _, s := range sg.servers {
+				st := s.Stats()
+				total += st.OptDelivered + st.ADelivered - st.OptUndelivered
+			}
 		}
 	}
 	return total
 }
 
-// TotalStats sums the protocol counters of all replicas.
+// TotalStats sums the protocol counters of all replicas in all shards.
 func (c *Cluster) TotalStats() core.ServerStats {
 	var total core.ServerStats
-	for _, s := range c.servers {
-		st := s.Stats()
-		total.OptDelivered += st.OptDelivered
-		total.OptUndelivered += st.OptUndelivered
-		total.ADelivered += st.ADelivered
-		total.Epochs += st.Epochs
-		total.SeqOrdersSent += st.SeqOrdersSent
+	for s := range c.shards {
+		total.Accumulate(c.ShardStats(s))
+	}
+	return total
+}
+
+// ShardStats sums the protocol counters of shard s's replicas.
+func (c *Cluster) ShardStats(s int) core.ServerStats {
+	var total core.ServerStats
+	for _, srv := range c.shards[s].servers {
+		total.Accumulate(srv.Stats())
 	}
 	return total
 }
@@ -416,7 +572,8 @@ func WaitUntil(timeout time.Duration, cond func() bool) bool {
 	return cond()
 }
 
-// Stop shuts everything down: clients first, then servers, then the network.
+// Stop shuts everything down: clients first, then servers, then the
+// networks.
 func (c *Cluster) Stop() {
 	c.mu.Lock()
 	clients := append([]Invoker(nil), c.clients...)
@@ -425,6 +582,8 @@ func (c *Cluster) Stop() {
 		cli.Stop()
 	}
 	c.cancel()
-	c.net.Close() // closes inboxes, unblocking any server loop still reading
+	for _, sg := range c.shards {
+		sg.net.Close() // closes inboxes, unblocking any server loop still reading
+	}
 	c.wg.Wait()
 }

@@ -18,6 +18,9 @@ type Config struct {
 	Group []proto.NodeID
 	// Instance is the instance number (the OAR epoch k).
 	Instance uint64
+	// GroupID tags every outgoing message with the ordering group this
+	// instance belongs to (0 in a single-group system).
+	GroupID proto.GroupID
 	// Send transmits a payload to one peer.
 	Send func(to proto.NodeID, payload []byte)
 	// Detector is the ◊S failure detector used to suspect coordinators.
@@ -111,7 +114,7 @@ func (in *Instance) enterRound(r uint32) {
 	if coord == in.cfg.Self {
 		in.recordEstimate(in.cfg.Self, est)
 	} else {
-		in.cfg.Send(coord, marshalEstimate(est))
+		in.cfg.Send(coord, marshalEstimate(in.cfg.GroupID, est))
 	}
 
 	// Estimates (and nacks) for this round may have arrived before we got
@@ -196,7 +199,7 @@ func (in *Instance) Tick(now time.Time) {
 	if in.cfg.Detector.Suspected(coord, now) {
 		// Phase 3, suspicion branch: nack and advance.
 		in.acked = true
-		in.cfg.Send(coord, marshalAck(ackMsg{Inst: in.cfg.Instance, Round: in.round, OK: false}))
+		in.cfg.Send(coord, marshalAck(in.cfg.GroupID, ackMsg{Inst: in.cfg.Instance, Round: in.round, OK: false}))
 		in.enterRound(in.round + 1)
 	}
 }
@@ -257,7 +260,7 @@ func (in *Instance) maybePropose(round uint32) {
 		}
 	}
 
-	payload := marshalPropose(proposeMsg{Inst: in.cfg.Instance, Round: round, Val: proposal})
+	payload := marshalPropose(in.cfg.GroupID, proposeMsg{Inst: in.cfg.Instance, Round: round, Val: proposal})
 	for _, p := range in.cfg.Group {
 		if p == in.cfg.Self {
 			continue
@@ -285,7 +288,7 @@ func (in *Instance) handleProposalForCurrentRound(d Decision) {
 	if coord == in.cfg.Self {
 		in.recordReply(in.round, in.cfg.Self, true)
 	} else {
-		in.cfg.Send(coord, marshalAck(ackMsg{Inst: in.cfg.Instance, Round: in.round, OK: true}))
+		in.cfg.Send(coord, marshalAck(in.cfg.GroupID, ackMsg{Inst: in.cfg.Instance, Round: in.round, OK: true}))
 	}
 	// CT: after phase 3 the process proceeds to the next round (it keeps
 	// cycling until a decide arrives). The coordinator advances after
@@ -342,7 +345,7 @@ func (in *Instance) maybeConclude(round uint32) {
 }
 
 func (in *Instance) broadcastDecide(d Decision) {
-	payload := marshalDecide(decideMsg{Inst: in.cfg.Instance, Val: d})
+	payload := marshalDecide(in.cfg.GroupID, decideMsg{Inst: in.cfg.Instance, Val: d})
 	for _, p := range in.cfg.Group {
 		if p == in.cfg.Self {
 			continue
@@ -361,7 +364,7 @@ func (in *Instance) decide(d Decision) {
 		return
 	}
 	if !in.relayedDecide {
-		payload := marshalDecide(decideMsg{Inst: in.cfg.Instance, Val: d})
+		payload := marshalDecide(in.cfg.GroupID, decideMsg{Inst: in.cfg.Instance, Val: d})
 		for _, p := range in.cfg.Group {
 			if p == in.cfg.Self {
 				continue

@@ -81,12 +81,12 @@ func (h *harness) step(i int) {
 		return
 	}
 	if h.drop != nil {
-		k, _, _ := proto.Unmarshal(env.payload)
+		k, _, _, _ := proto.Unmarshal(env.payload)
 		if h.drop(env.from, env.to, k) {
 			return
 		}
 	}
-	kind, body, err := proto.Unmarshal(env.payload)
+	kind, _, body, err := proto.Unmarshal(env.payload)
 	if err != nil {
 		h.t.Fatalf("bad payload: %v", err)
 	}
@@ -341,8 +341,8 @@ func TestWrongSuspicionStillSafe(t *testing.T) {
 func TestInstanceRouting(t *testing.T) {
 	h := newHarness(t, 3)
 	inst := h.insts[proto.NodeID(0)]
-	est := marshalEstimate(estimateMsg{Inst: 99, Round: 1})
-	kind, body, _ := proto.Unmarshal(est)
+	est := marshalEstimate(0, estimateMsg{Inst: 99, Round: 1})
+	kind, _, body, _ := proto.Unmarshal(est)
 	if err := inst.OnMessage(1, kind, body); err == nil {
 		t.Fatal("wrong-instance message accepted")
 	}
@@ -428,7 +428,7 @@ func TestStartIdempotent(t *testing.T) {
 func TestDecodeRoundTrips(t *testing.T) {
 	d := Decision{{From: 1, Val: []byte("a")}, {From: 2, Val: nil}}
 	est := estimateMsg{Inst: 3, Round: 4, Init: []byte("i"), LockTS: 2, Lock: d}
-	_, body, _ := proto.Unmarshal(marshalEstimate(est))
+	_, _, body, _ := proto.Unmarshal(marshalEstimate(0, est))
 	got, err := unmarshalEstimate(body)
 	if err != nil {
 		t.Fatal(err)
@@ -437,19 +437,19 @@ func TestDecodeRoundTrips(t *testing.T) {
 		t.Fatalf("estimate round trip: %+v", got)
 	}
 
-	_, body, _ = proto.Unmarshal(marshalPropose(proposeMsg{Inst: 1, Round: 2, Val: d}))
+	_, _, body, _ = proto.Unmarshal(marshalPropose(0, proposeMsg{Inst: 1, Round: 2, Val: d}))
 	gp, err := unmarshalPropose(body)
 	if err != nil || gp.Inst != 1 || gp.Round != 2 || !decisionsEqual(gp.Val, d) {
 		t.Fatalf("propose round trip: %+v err=%v", gp, err)
 	}
 
-	_, body, _ = proto.Unmarshal(marshalAck(ackMsg{Inst: 5, Round: 6, OK: true}))
+	_, _, body, _ = proto.Unmarshal(marshalAck(0, ackMsg{Inst: 5, Round: 6, OK: true}))
 	ga, err := unmarshalAck(body)
 	if err != nil || ga.Inst != 5 || ga.Round != 6 || !ga.OK {
 		t.Fatalf("ack round trip: %+v err=%v", ga, err)
 	}
 
-	_, body, _ = proto.Unmarshal(marshalDecide(decideMsg{Inst: 8, Val: d}))
+	_, _, body, _ = proto.Unmarshal(marshalDecide(0, decideMsg{Inst: 8, Val: d}))
 	gd, err := unmarshalDecide(body)
 	if err != nil || gd.Inst != 8 || !decisionsEqual(gd.Val, d) {
 		t.Fatalf("decide round trip: %+v err=%v", gd, err)

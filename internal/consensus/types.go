@@ -74,9 +74,9 @@ type estimateMsg struct {
 	Lock   Decision
 }
 
-func marshalEstimate(m estimateMsg) []byte {
+func marshalEstimate(g proto.GroupID, m estimateMsg) []byte {
 	w := wire.NewWriter(64 + len(m.Init))
-	w.Uint8(byte(proto.KindEstimate))
+	proto.EncodeHeader(w, proto.KindEstimate, g)
 	w.Uint64(m.Inst)
 	w.Uint64(uint64(m.Round))
 	w.BytesField(m.Init)
@@ -106,9 +106,9 @@ type proposeMsg struct {
 	Val   Decision
 }
 
-func marshalPropose(m proposeMsg) []byte {
+func marshalPropose(g proto.GroupID, m proposeMsg) []byte {
 	w := wire.NewWriter(64)
-	w.Uint8(byte(proto.KindPropose))
+	proto.EncodeHeader(w, proto.KindPropose, g)
 	w.Uint64(m.Inst)
 	w.Uint64(uint64(m.Round))
 	encodeDecision(w, m.Val)
@@ -134,9 +134,9 @@ type ackMsg struct {
 	OK    bool
 }
 
-func marshalAck(m ackMsg) []byte {
+func marshalAck(g proto.GroupID, m ackMsg) []byte {
 	w := wire.NewWriter(16)
-	w.Uint8(byte(proto.KindAck))
+	proto.EncodeHeader(w, proto.KindAck, g)
 	w.Uint64(m.Inst)
 	w.Uint64(uint64(m.Round))
 	w.Bool(m.OK)
@@ -162,9 +162,9 @@ type decideMsg struct {
 	Val  Decision
 }
 
-func marshalDecide(m decideMsg) []byte {
+func marshalDecide(g proto.GroupID, m decideMsg) []byte {
 	w := wire.NewWriter(64)
-	w.Uint8(byte(proto.KindDecide))
+	proto.EncodeHeader(w, proto.KindDecide, g)
 	w.Uint64(m.Inst)
 	encodeDecision(w, m.Val)
 	return w.Bytes()

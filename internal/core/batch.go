@@ -8,8 +8,8 @@ import (
 )
 
 // sendBuf accumulates one destination's outbound messages as a proto.Batch
-// envelope under construction: [KindBatch][len][msg][len][msg]... The buffer
-// is reused across flushes.
+// envelope under construction: [KindBatch][group][len][msg][len][msg]... The
+// buffer is reused across flushes.
 type sendBuf struct {
 	buf   []byte
 	count int
@@ -19,18 +19,24 @@ type sendBuf struct {
 // flush, so one exceptional burst does not pin memory forever.
 const sendBufMaxIdle = 64 << 10
 
-// batcher coalesces the sends of one batching round per destination. It is
-// owned by a single goroutine (the server event loop, or the client's sender
-// loop). FIFO per destination is preserved because frames are appended in
-// send order and rounds never interleave.
+// batcher coalesces the sends of one batching round per destination, tagging
+// every envelope with the owning ordering group. It is owned by a single
+// goroutine (the server event loop, or the client's sender loop). FIFO per
+// destination is preserved because frames are appended in send order and
+// rounds never interleave.
 type batcher struct {
-	node  transport.Node
-	bufs  map[proto.NodeID]*sendBuf
-	order []proto.NodeID // destinations with buffered sends, in first-send order
+	node   transport.Node
+	header []byte // precomputed [KindBatch][group] envelope header
+	bufs   map[proto.NodeID]*sendBuf
+	order  []proto.NodeID // destinations with buffered sends, in first-send order
 }
 
-func newBatcher(node transport.Node) *batcher {
-	return &batcher{node: node, bufs: make(map[proto.NodeID]*sendBuf)}
+func newBatcher(node transport.Node, group proto.GroupID) *batcher {
+	return &batcher{
+		node:   node,
+		header: proto.AppendHeader(nil, proto.KindBatch, group),
+		bufs:   make(map[proto.NodeID]*sendBuf),
+	}
 }
 
 // add appends one kind-tagged message to to's envelope buffer.
@@ -42,7 +48,7 @@ func (b *batcher) add(to proto.NodeID, frame []byte) {
 	}
 	if sb.count == 0 {
 		b.order = append(b.order, to)
-		sb.buf = append(sb.buf[:0], byte(proto.KindBatch))
+		sb.buf = append(sb.buf[:0], b.header...)
 	}
 	sb.buf = binary.AppendUvarint(sb.buf, uint64(len(frame)))
 	sb.buf = append(sb.buf, frame...)
@@ -59,9 +65,10 @@ func (b *batcher) flush() {
 		sb := b.bufs[to]
 		raw := sb.buf
 		if sb.count == 1 {
-			// Unwrap [KindBatch][len][msg] to the bare message.
-			_, n := binary.Uvarint(raw[1:])
-			raw = raw[1+n:]
+			// Unwrap [KindBatch][group][len][msg] to the bare message.
+			skip := len(b.header)
+			_, n := binary.Uvarint(raw[skip:])
+			raw = raw[skip+n:]
 		}
 		frame := make([]byte, len(raw))
 		copy(frame, raw)

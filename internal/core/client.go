@@ -17,6 +17,11 @@ type ClientConfig struct {
 	ID proto.NodeID
 	// Group is Π, the server group.
 	Group []proto.NodeID
+	// GroupID is the ordering group this client talks to. Requests carry it
+	// in their identity, outgoing frames are tagged with it, and replies
+	// tagged with a different group are dropped. Zero is the single-group
+	// system.
+	GroupID proto.GroupID
 	// Node is the client's transport endpoint.
 	Node transport.Node
 	// Tracer observes reply adoptions (nil disables tracing).
@@ -110,9 +115,10 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		send = c.enqueue
 	}
 	c.rm = rmcast.New(rmcast.Config{
-		Self:  cfg.ID,
-		Group: cfg.Group,
-		Send:  send,
+		Self:    cfg.ID,
+		Group:   cfg.Group,
+		GroupID: cfg.GroupID,
+		Send:    send,
 	})
 	return c, nil
 }
@@ -137,7 +143,7 @@ const clientFlushSpins = 2
 // the sends of concurrent Invokes into one frame per server per round.
 func (c *Client) sendLoop(ctx context.Context) {
 	defer close(c.senderDone)
-	out := newBatcher(c.cfg.Node)
+	out := newBatcher(c.cfg.Node, c.cfg.GroupID)
 	for {
 		select {
 		case <-ctx.Done():
@@ -211,8 +217,8 @@ func (c *Client) loop(ctx context.Context) {
 			msgs, _ := transport.ExpandBatch(m)
 			replies := make([]proto.Reply, 0, len(msgs))
 			for _, inner := range msgs {
-				kind, body, err := proto.Unmarshal(inner.Payload)
-				if err != nil || kind != proto.KindReply {
+				kind, group, body, err := proto.Unmarshal(inner.Payload)
+				if err != nil || kind != proto.KindReply || group != c.cfg.GroupID {
 					continue
 				}
 				reply, err := proto.UnmarshalReply(body)
@@ -275,7 +281,7 @@ func (c *Client) onReplyLocked(reply proto.Reply) {
 // position and the endorsing weight.
 func (c *Client) Invoke(ctx context.Context, cmd []byte) (proto.Reply, error) {
 	c.mu.Lock()
-	id := proto.RequestID{Client: c.cfg.ID, Seq: c.nextSeq}
+	id := proto.RequestID{Group: c.cfg.GroupID, Client: c.cfg.ID, Seq: c.nextSeq}
 	c.nextSeq++
 	call := &call{
 		byEpoch: make(map[uint64]*epochReplies),

@@ -41,6 +41,12 @@ type ServerConfig struct {
 	ID proto.NodeID
 	// Group is Π. Must contain ID; |Π| ≤ 64.
 	Group []proto.NodeID
+	// GroupID is the ordering group (shard) this replica belongs to. Every
+	// outgoing message is tagged with it and inbound messages tagged with a
+	// different group are dropped, so several groups can share a transport
+	// without ever mixing their protocol state. Zero is the single-group
+	// system.
+	GroupID proto.GroupID
 	// Node is the replica's transport endpoint.
 	Node transport.Node
 	// Machine is the deterministic, undoable replicated state machine.
@@ -90,6 +96,18 @@ type ServerStats struct {
 	ADelivered     uint64 // conservative deliveries (Fig. 6 line 28)
 	Epochs         uint64 // completed phase-2 rounds
 	SeqOrdersSent  uint64 // Task 1a ordering messages sent
+	ForeignDropped uint64 // inbound messages dropped for a foreign GroupID
+}
+
+// Accumulate adds other's counters to s (used to aggregate replicas and
+// shards).
+func (s *ServerStats) Accumulate(other ServerStats) {
+	s.OptDelivered += other.OptDelivered
+	s.OptUndelivered += other.OptUndelivered
+	s.ADelivered += other.ADelivered
+	s.Epochs += other.Epochs
+	s.SeqOrdersSent += other.SeqOrdersSent
+	s.ForeignDropped += other.ForeignDropped
 }
 
 // Server is one OAR replica. Create with NewServer, drive with Run.
@@ -140,11 +158,16 @@ type Server struct {
 	out     *batcher
 	scratch *wire.Writer // reusable encoder for replies
 
-	statOpt    atomic.Uint64
-	statUndo   atomic.Uint64
-	statA      atomic.Uint64
-	statEpochs atomic.Uint64
-	statOrders atomic.Uint64
+	statOpt     atomic.Uint64
+	statUndo    atomic.Uint64
+	statA       atomic.Uint64
+	statEpochs  atomic.Uint64
+	statOrders  atomic.Uint64
+	statForeign atomic.Uint64
+
+	// fp is the footprint snapshot published at the end of every event-loop
+	// round, so Footprint is safe to poll while the server runs.
+	fp atomic.Pointer[Footprint]
 }
 
 // NewServer validates cfg and creates a replica.
@@ -180,7 +203,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		payloads:      make(map[proto.RequestID]proto.Request),
 		aDelivered:    make(map[proto.RequestID]struct{}),
 		oSet:          make(map[proto.RequestID]struct{}),
-		out:           newBatcher(cfg.Node),
+		out:           newBatcher(cfg.Node, cfg.GroupID),
 		scratch:       wire.NewWriter(256),
 		phase2Sent:    make(map[uint64]struct{}),
 		phase2Started: make(map[uint64]struct{}),
@@ -191,10 +214,11 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		tracer:        cfg.Tracer,
 	}
 	s.rm = rmcast.New(rmcast.Config{
-		Self:  cfg.ID,
-		Group: cfg.Group,
-		Send:  s.send,
-		Mode:  cfg.RelayMode,
+		Self:    cfg.ID,
+		Group:   cfg.Group,
+		GroupID: cfg.GroupID,
+		Send:    s.send,
+		Mode:    cfg.RelayMode,
 	})
 	return s, nil
 }
@@ -208,6 +232,7 @@ func (s *Server) Stats() ServerStats {
 		ADelivered:     s.statA.Load(),
 		Epochs:         s.statEpochs.Load(),
 		SeqOrdersSent:  s.statOrders.Load(),
+		ForeignDropped: s.statForeign.Load(),
 	}
 }
 
@@ -264,9 +289,11 @@ func (s *Server) Run(ctx context.Context) error {
 			}
 			s.flushOrder(time.Now())
 			s.flushSends()
+			s.publishFootprint()
 		case now := <-ticker.C:
 			s.tick(now)
 			s.flushSends()
+			s.publishFootprint()
 		}
 	}
 }
@@ -300,7 +327,7 @@ func (s *Server) sendReply(to proto.NodeID, reply proto.Reply) {
 		return
 	}
 	s.scratch.Reset()
-	s.scratch.Uint8(byte(proto.KindReply))
+	proto.EncodeHeader(s.scratch, proto.KindReply, s.cfg.GroupID)
 	reply.Encode(s.scratch)
 	s.out.add(to, s.scratch.Bytes())
 }
@@ -318,11 +345,17 @@ func (s *Server) sendToPeers(payload []byte) {
 	}
 }
 
-// handleMessage dispatches one inbound transport message.
+// handleMessage dispatches one inbound transport message. Messages tagged
+// with a foreign ordering group are dropped before any body decode: each
+// group's protocol state machine only ever sees its own traffic.
 func (s *Server) handleMessage(m transport.Message, now time.Time) {
-	kind, body, err := proto.Unmarshal(m.Payload)
+	kind, group, body, err := proto.Unmarshal(m.Payload)
 	if err != nil {
 		return // garbage on the wire; drop
+	}
+	if group != s.cfg.GroupID {
+		s.statForeign.Add(1)
+		return
 	}
 	switch kind {
 	case proto.KindHeartbeat:
@@ -358,9 +391,13 @@ func (s *Server) handleMessage(m transport.Message, now time.Time) {
 // handleRDelivery processes an R-delivered inner payload: a client request
 // (Task 0) or a PhaseII notification (start of Task 2).
 func (s *Server) handleRDelivery(inner []byte) {
-	kind, body, err := proto.Unmarshal(inner)
+	kind, group, body, err := proto.Unmarshal(inner)
 	if err != nil {
 		return
+	}
+	if group != s.cfg.GroupID {
+		s.statForeign.Add(1)
+		return // misrouted into our group's R-multicast stream
 	}
 	switch kind {
 	case proto.KindRequest:
@@ -453,7 +490,7 @@ func (s *Server) maybeOrder() {
 			chunk = chunk[:limit]
 		}
 		order := proto.SeqOrder{Epoch: s.epoch, Reqs: s.materialize(chunk)}
-		s.sendToPeers(proto.MarshalSeqOrder(order))
+		s.sendToPeers(proto.MarshalSeqOrder(s.cfg.GroupID, order))
 		s.statOrders.Add(1)
 		s.optDeliverBatch(order) // removes the chunk from pending
 	}
@@ -559,7 +596,7 @@ func (s *Server) broadcastPhaseII() {
 		return
 	}
 	s.phase2Sent[s.epoch] = struct{}{}
-	inner := proto.MarshalPhaseII(proto.PhaseII{Epoch: s.epoch})
+	inner := proto.MarshalPhaseII(s.cfg.GroupID, proto.PhaseII{Epoch: s.epoch})
 	if local, ok := s.rm.Multicast(inner); ok {
 		s.handleRDelivery(local)
 	}
@@ -606,6 +643,7 @@ func (s *Server) instance(k uint64) *consensus.Instance {
 	inst := consensus.NewInstance(consensus.Config{
 		Self:     s.cfg.ID,
 		Group:    s.cfg.Group,
+		GroupID:  s.cfg.GroupID,
 		Instance: k,
 		Send:     s.send,
 		Detector: s.cfg.Detector,
@@ -746,7 +784,7 @@ func (s *Server) applyDecision(k uint64, d consensus.Decision) {
 func (s *Server) tick(now time.Time) {
 	if s.cfg.HeartbeatInterval > 0 && now.Sub(s.lastHeartbeat) >= s.cfg.HeartbeatInterval {
 		s.lastHeartbeat = now
-		s.sendToPeers(proto.MarshalHeartbeat())
+		s.sendToPeers(proto.MarshalHeartbeat(s.cfg.GroupID))
 	}
 
 	if !s.inPhase2 {
@@ -777,8 +815,7 @@ func (s *Server) Epoch() uint64 { return s.epoch }
 // structures. Payloads, ROrder and Pending cover only live requests and stay
 // bounded by the in-flight window when epoch GC is on
 // (EpochRequestLimit > 0); ADelivered is the at-most-once filter and grows
-// with the number of distinct requests ever completed. Like Epoch, it is only
-// safe to read when the server is quiescent or from its own tracer callbacks.
+// with the number of distinct requests ever completed.
 type Footprint struct {
 	Payloads   int // buffered request bodies (doubles as the R_delivered dedup set)
 	ROrder     int // live R_delivered sequence
@@ -787,14 +824,24 @@ type Footprint struct {
 	ADelivered int // definitive-delivery filter (grows with history)
 }
 
-// Footprint returns the current bookkeeping sizes; see type Footprint for
-// the read-safety caveat.
-func (s *Server) Footprint() Footprint {
-	return Footprint{
+// publishFootprint snapshots the bookkeeping sizes for concurrent readers.
+// Called from the event loop at the end of every round.
+func (s *Server) publishFootprint() {
+	s.fp.Store(&Footprint{
 		Payloads:   len(s.payloads),
 		ROrder:     s.rOrder.Len(),
 		Pending:    s.pending.Len(),
 		ODelivered: s.oDelivered.Len(),
 		ADelivered: len(s.aDelivered),
+	})
+}
+
+// Footprint returns the bookkeeping sizes as of the end of the last
+// event-loop round (at most one round stale). Safe to call concurrently
+// with Run.
+func (s *Server) Footprint() Footprint {
+	if fp := s.fp.Load(); fp != nil {
+		return *fp
 	}
+	return Footprint{} // Run has not completed a round yet
 }

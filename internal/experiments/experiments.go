@@ -49,9 +49,13 @@ type Config struct {
 	// Quick shrinks request counts and sweep ranges (used by `go test`).
 	Quick bool
 	// BatchWindow and MaxBatch are the sequencer batching knobs applied to
-	// the "batched" rows of E8 (zero values use the core defaults).
+	// the "batched" rows of E8 and all rows of E9 (zero values use the core
+	// defaults).
 	BatchWindow time.Duration
 	MaxBatch    int
+	// Shards, when positive, overrides E9's shard-count sweep to the powers
+	// of two up to this value (default sweep: 1, 2, 4).
+	Shards int
 }
 
 func (c Config) requests(full int) int {
@@ -68,7 +72,7 @@ func (c Config) sizes() []int {
 	return []int{3, 5, 7}
 }
 
-// netOpts gives every experiment the same campus-network latency model
+// netOpts gives most experiments the same campus-network latency model
 // (1–2ms one-way), making message hops visible in latencies. Sub-millisecond
 // delays are not used because the OS sleep granularity on typical CI
 // machines (~1ms) would flatten them; at 1–2ms the hop-count shapes the

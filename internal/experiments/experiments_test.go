@@ -1,6 +1,9 @@
 package experiments
 
 import (
+	"fmt"
+	"os"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -158,6 +161,42 @@ func TestE8QualitativeShape(t *testing.T) {
 	for _, row := range r.Rows[:2] {
 		if row[len(row)-1] != "0" {
 			t.Errorf("%s: trace checker saw violations: %v", row[0], row)
+		}
+	}
+}
+
+func TestE9QualitativeShape(t *testing.T) {
+	r, err := E9ShardScaling(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkShape(t, r, 2) // quick mode sweeps shards 1 and 2
+	// Every row must be checker-clean: sharding may never buy throughput by
+	// weakening any group's Propositions 1-7 (violations is second-to-last).
+	for _, row := range r.Rows {
+		if row[len(row)-2] != "0" {
+			t.Errorf("shards=%s: trace checkers saw violations: %v", row[0], row)
+		}
+	}
+	// The speedup claim (>=2.5x at 4 shards) is hardware-dependent: shards
+	// scale by running event loops in parallel, so it only shows with at
+	// least shards x n cores — and even there it is a performance number,
+	// not a correctness property, so it is asserted only when explicitly
+	// requested (the acceptance run: OAR_E9_ACCEPTANCE=1 go test on a
+	// >=16-core box), keeping the default `go test ./...` gate
+	// deterministic.
+	if os.Getenv("OAR_E9_ACCEPTANCE") != "" && runtime.NumCPU() >= 16 {
+		full, err := E9ShardScaling(Config{Shards: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		last := full.Rows[len(full.Rows)-1]
+		var speedup float64
+		if _, err := fmt.Sscanf(last[3], "%fx", &speedup); err != nil {
+			t.Fatalf("unparseable speedup %q", last[3])
+		}
+		if speedup < 2.5 {
+			t.Errorf("4-shard speedup %.2fx < 2.5x on a %d-core machine", speedup, runtime.NumCPU())
 		}
 	}
 }

@@ -53,12 +53,27 @@ const (
 // before the message enters the network.
 type Filter func(from, to proto.NodeID, payload []byte) Verdict
 
-// Stats aggregates network-wide counters.
+// Stats aggregates network-wide counters. MessagesSent counts transport
+// frames; BatchFrames counts the subset that were proto.Batch envelopes and
+// BatchedMessages the kind-tagged messages those envelopes carried, so
+// (MessagesSent - BatchFrames + BatchedMessages) is the logical message count.
 type Stats struct {
 	MessagesSent      uint64
 	MessagesDelivered uint64
 	MessagesDropped   uint64
 	BytesSent         uint64
+	BatchFrames       uint64
+	BatchedMessages   uint64
+}
+
+// Add accumulates other into s (used to aggregate per-shard networks).
+func (s *Stats) Add(other Stats) {
+	s.MessagesSent += other.MessagesSent
+	s.MessagesDelivered += other.MessagesDelivered
+	s.MessagesDropped += other.MessagesDropped
+	s.BytesSent += other.BytesSent
+	s.BatchFrames += other.BatchFrames
+	s.BatchedMessages += other.BatchedMessages
 }
 
 // Network is an in-memory message bus between nodes.
@@ -78,11 +93,13 @@ type Network struct {
 	closed   bool
 	wg       sync.WaitGroup
 
-	sent      atomic.Uint64
-	delivered atomic.Uint64
-	dropped   atomic.Uint64
-	bytes     atomic.Uint64
-	kindCount [256]atomic.Uint64
+	sent        atomic.Uint64
+	delivered   atomic.Uint64
+	dropped     atomic.Uint64
+	bytes       atomic.Uint64
+	batchFrames atomic.Uint64
+	batchedMsgs atomic.Uint64
+	kindCount   [256]atomic.Uint64
 }
 
 type linkKey struct {
@@ -222,6 +239,8 @@ func (n *Network) Stats() Stats {
 		MessagesDelivered: n.delivered.Load(),
 		MessagesDropped:   n.dropped.Load(),
 		BytesSent:         n.bytes.Load(),
+		BatchFrames:       n.batchFrames.Load(),
+		BatchedMessages:   n.batchedMsgs.Load(),
 	}
 }
 
@@ -238,6 +257,8 @@ func (n *Network) ResetStats() {
 	n.delivered.Store(0)
 	n.dropped.Store(0)
 	n.bytes.Store(0)
+	n.batchFrames.Store(0)
+	n.batchedMsgs.Store(0)
 	for i := range n.kindCount {
 		n.kindCount[i].Store(0)
 	}
@@ -349,10 +370,11 @@ func (nd *Node) Send(to proto.NodeID, payload []byte) error {
 // keep working when the hot path coalesces frames. Returns ok=false when the
 // whole payload is dropped.
 func applyFilter(filter Filter, from, to proto.NodeID, payload []byte) ([]byte, bool) {
-	if len(payload) == 0 || proto.Kind(payload[0]) != proto.KindBatch {
+	kind, group, body, err := proto.Unmarshal(payload)
+	if err != nil || kind != proto.KindBatch {
 		return payload, filter(from, to, payload) == Deliver
 	}
-	batch, err := proto.UnmarshalBatch(payload[1:])
+	batch, err := proto.UnmarshalBatch(body)
 	if err != nil {
 		return payload, filter(from, to, payload) == Deliver
 	}
@@ -370,7 +392,7 @@ func applyFilter(filter Filter, from, to proto.NodeID, payload []byte) ([]byte, 
 	case 1:
 		return kept[0], true
 	default:
-		return proto.MarshalBatch(kept), true
+		return proto.MarshalBatch(group, kept), true
 	}
 }
 
@@ -399,12 +421,17 @@ func (nd *Node) sendFiltered(to proto.NodeID, payload []byte) error {
 	if len(payload) > 0 {
 		n.kindCount[payload[0]].Add(1)
 		// Batch-aware accounting: a KindBatch frame also counts its inner
-		// messages under their own kinds, so per-message-type experiment
-		// counters stay meaningful when the hot path coalesces frames.
+		// messages under their own kinds (and in the batching counters), so
+		// per-message-type experiment counters stay meaningful when the hot
+		// path coalesces frames.
 		if proto.Kind(payload[0]) == proto.KindBatch {
-			if batch, err := proto.UnmarshalBatch(payload[1:]); err == nil {
-				for _, inner := range batch.Msgs {
-					n.kindCount[inner[0]].Add(1)
+			if _, _, body, err := proto.Unmarshal(payload); err == nil {
+				if batch, err := proto.UnmarshalBatch(body); err == nil {
+					n.batchFrames.Add(1)
+					n.batchedMsgs.Add(uint64(len(batch.Msgs)))
+					for _, inner := range batch.Msgs {
+						n.kindCount[inner[0]].Add(1)
+					}
 				}
 			}
 		}

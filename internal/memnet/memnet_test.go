@@ -181,7 +181,7 @@ func TestStatsAndKindCount(t *testing.T) {
 	net := New(Options{})
 	defer net.Close()
 	a, b := net.Node(0), net.Node(1)
-	payload := proto.Marshal(proto.KindReply, []byte("r"))
+	payload := proto.Marshal(proto.KindReply, 0, []byte("r"))
 	if err := a.Send(1, payload); err != nil {
 		t.Fatal(err)
 	}

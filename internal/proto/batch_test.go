@@ -7,16 +7,26 @@ import (
 	"repro/internal/wire"
 )
 
+// batchBody strips the envelope header of a KindBatch payload.
+func batchBody(t *testing.T, payload []byte) []byte {
+	t.Helper()
+	kind, _, body, err := Unmarshal(payload)
+	if err != nil || kind != KindBatch {
+		t.Fatalf("outer kind %v err %v", kind, err)
+	}
+	return body
+}
+
 func TestBatchRoundTrip(t *testing.T) {
 	msgs := [][]byte{
-		MarshalHeartbeat(),
+		MarshalHeartbeat(0),
 		MarshalRequest(Request{ID: RequestID{Client: ClientID(3), Seq: 9}, Cmd: []byte("set k v")}),
 		MarshalReply(Reply{Req: RequestID{Client: ClientID(3), Seq: 9}, From: 1, Epoch: 4, Weight: WeightOf(0, 1), Pos: 17, Result: []byte("ok")}),
 	}
-	payload := MarshalBatch(msgs)
-	kind, body, err := Unmarshal(payload)
-	if err != nil || kind != KindBatch {
-		t.Fatalf("outer kind %v err %v", kind, err)
+	payload := MarshalBatch(0, msgs)
+	kind, g, body, err := Unmarshal(payload)
+	if err != nil || kind != KindBatch || g != 0 {
+		t.Fatalf("outer kind %v group %v err %v", kind, g, err)
 	}
 	batch, err := UnmarshalBatch(body)
 	if err != nil {
@@ -32,9 +42,17 @@ func TestBatchRoundTrip(t *testing.T) {
 	}
 }
 
+func TestBatchCarriesGroup(t *testing.T) {
+	payload := MarshalBatch(7, [][]byte{MarshalHeartbeat(7)})
+	kind, g, _, err := Unmarshal(payload)
+	if err != nil || kind != KindBatch || g != 7 {
+		t.Fatalf("kind %v group %v err %v", kind, g, err)
+	}
+}
+
 func TestBatchSingleMessage(t *testing.T) {
-	msgs := [][]byte{MarshalPhaseII(PhaseII{Epoch: 7})}
-	batch, err := UnmarshalBatch(MarshalBatch(msgs)[1:])
+	msgs := [][]byte{MarshalPhaseII(0, PhaseII{Epoch: 7})}
+	batch, err := UnmarshalBatch(batchBody(t, MarshalBatch(0, msgs)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,12 +62,13 @@ func TestBatchSingleMessage(t *testing.T) {
 }
 
 func TestBatchRejectsGarbage(t *testing.T) {
+	nested := MarshalBatch(0, [][]byte{MarshalHeartbeat(0)})
 	cases := map[string][]byte{
 		"empty batch":      {},
 		"truncated length": {0x05, 'a'},
 		"huge length":      {0xff, 0xff, 0xff, 0xff, 0x7f},
 		"empty inner":      {0x00},
-		"nested batch":     MarshalBatch([][]byte{MarshalBatch([][]byte{MarshalHeartbeat()})})[1:],
+		"nested batch":     batchBody(t, MarshalBatch(0, [][]byte{nested})),
 	}
 	for name, body := range cases {
 		if _, err := UnmarshalBatch(body); err == nil {
@@ -59,22 +78,27 @@ func TestBatchRejectsGarbage(t *testing.T) {
 }
 
 func TestBatchInnerAliasesInput(t *testing.T) {
-	payload := MarshalBatch([][]byte{MarshalHeartbeat(), MarshalHeartbeat()})
-	batch, err := UnmarshalBatch(payload[1:])
+	payload := MarshalBatch(0, [][]byte{MarshalHeartbeat(0), MarshalHeartbeat(0)})
+	batch, err := UnmarshalBatch(batchBody(t, payload))
 	if err != nil {
 		t.Fatal(err)
 	}
 	// The contract is aliasing (zero-copy); consumers decode inner messages
-	// before the buffer can be reused.
-	payload[2] = 0xEE
+	// before the buffer can be reused. The first inner message starts right
+	// after the 2-byte envelope header and the 1-byte frame length.
+	payload[3] = 0xEE
 	if batch.Msgs[0][0] != 0xEE {
 		t.Error("inner message does not alias the envelope buffer")
 	}
 }
 
 func FuzzUnmarshalBatch(f *testing.F) {
-	f.Add(MarshalBatch([][]byte{MarshalHeartbeat()})[1:])
-	f.Add(MarshalBatch([][]byte{MarshalPhaseII(PhaseII{Epoch: 1}), MarshalHeartbeat()})[1:])
+	strip := func(payload []byte) []byte {
+		_, _, body, _ := Unmarshal(payload)
+		return body
+	}
+	f.Add(strip(MarshalBatch(0, [][]byte{MarshalHeartbeat(0)})))
+	f.Add(strip(MarshalBatch(3, [][]byte{MarshalPhaseII(3, PhaseII{Epoch: 1}), MarshalHeartbeat(3)})))
 	f.Add([]byte{0x00})
 	f.Add([]byte{0xff, 0x01})
 	f.Fuzz(func(t *testing.T, body []byte) {
@@ -91,7 +115,11 @@ func FuzzUnmarshalBatch(f *testing.F) {
 			}
 		}
 		// A decoded batch must re-encode to an equivalent envelope.
-		again, err := UnmarshalBatch(MarshalBatch(batch.Msgs)[1:])
+		_, _, reBody, err := Unmarshal(MarshalBatch(0, batch.Msgs))
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		again, err := UnmarshalBatch(reBody)
 		if err != nil {
 			t.Fatalf("re-encode failed: %v", err)
 		}

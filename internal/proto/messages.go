@@ -1,13 +1,18 @@
 package proto
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math"
 
 	"repro/internal/wire"
 )
 
 // Kind tags every payload exchanged over the transport. The first byte of a
-// transport payload is its Kind; the remainder is the kind-specific body.
+// transport payload is its Kind, followed by the uvarint GroupID of the
+// ordering group the message belongs to; the remainder is the kind-specific
+// body. Group-scoped processes drop payloads tagged with a foreign group
+// before decoding the body.
 type Kind uint8
 
 // Message kinds. Kinds are stable wire constants; do not reorder.
@@ -74,21 +79,39 @@ func (k Kind) String() string {
 	}
 }
 
-// Marshal prefixes body with its kind tag.
-func Marshal(k Kind, body []byte) []byte {
-	out := make([]byte, 0, 1+len(body))
-	out = append(out, byte(k))
+// AppendHeader appends the [kind][uvarint group] envelope header to dst and
+// returns the extended slice. It is the raw-buffer twin of EncodeHeader, used
+// by senders that build envelopes incrementally (core's per-round batcher).
+func AppendHeader(dst []byte, k Kind, g GroupID) []byte {
+	dst = append(dst, byte(k))
+	return binary.AppendUvarint(dst, uint64(g))
+}
+
+// EncodeHeader appends the envelope header to a wire.Writer.
+func EncodeHeader(w *wire.Writer, k Kind, g GroupID) {
+	w.Uint8(byte(k))
+	w.Uint32(uint32(g))
+}
+
+// Marshal prefixes body with its kind tag and group.
+func Marshal(k Kind, g GroupID, body []byte) []byte {
+	out := make([]byte, 0, 6+len(body))
+	out = AppendHeader(out, k, g)
 	out = append(out, body...)
 	return out
 }
 
-// Unmarshal splits a transport payload into kind and body. The body aliases
-// the input.
-func Unmarshal(payload []byte) (Kind, []byte, error) {
+// Unmarshal splits a transport payload into kind, group and body. The body
+// aliases the input.
+func Unmarshal(payload []byte) (Kind, GroupID, []byte, error) {
 	if len(payload) == 0 {
-		return 0, nil, fmt.Errorf("proto: empty payload: %w", wire.ErrTruncated)
+		return 0, 0, nil, fmt.Errorf("proto: empty payload: %w", wire.ErrTruncated)
 	}
-	return Kind(payload[0]), payload[1:], nil
+	g, n := binary.Uvarint(payload[1:])
+	if n <= 0 || g > math.MaxUint32 {
+		return 0, 0, nil, fmt.Errorf("proto: bad group tag: %w", wire.ErrTruncated)
+	}
+	return Kind(payload[0]), GroupID(g), payload[1+n:], nil
 }
 
 // --- reliable multicast wrapper ---
@@ -101,10 +124,10 @@ type RMcastMsg struct {
 	Inner  []byte
 }
 
-// MarshalRMcast encodes m as a kind-tagged payload.
-func MarshalRMcast(m RMcastMsg) []byte {
+// MarshalRMcast encodes m as a kind-tagged payload of group g.
+func MarshalRMcast(g GroupID, m RMcastMsg) []byte {
 	w := wire.NewWriter(16 + len(m.Inner))
-	w.Uint8(byte(KindRMcast))
+	EncodeHeader(w, KindRMcast, g)
 	w.Int64(int64(m.Origin))
 	w.Uint64(m.Seq)
 	w.BytesField(m.Inner)
@@ -129,10 +152,12 @@ func UnmarshalRMcast(body []byte) (RMcastMsg, error) {
 
 // --- client request ---
 
-// MarshalRequest encodes a Request as a kind-tagged payload.
+// MarshalRequest encodes a Request as a kind-tagged payload. The envelope
+// group is the request's own: requests are addressed to the group that owns
+// their key.
 func MarshalRequest(req Request) []byte {
 	w := wire.NewWriter(24 + len(req.Cmd))
-	w.Uint8(byte(KindRequest))
+	EncodeHeader(w, KindRequest, req.ID.Group)
 	req.Encode(w)
 	return w.Bytes()
 }
@@ -158,10 +183,10 @@ type SeqOrder struct {
 	Reqs  []Request
 }
 
-// MarshalSeqOrder encodes m as a kind-tagged payload.
-func MarshalSeqOrder(m SeqOrder) []byte {
+// MarshalSeqOrder encodes m as a kind-tagged payload of group g.
+func MarshalSeqOrder(g GroupID, m SeqOrder) []byte {
 	w := wire.NewWriter(64)
-	w.Uint8(byte(KindSeqOrder))
+	EncodeHeader(w, KindSeqOrder, g)
 	w.Uint64(m.Epoch)
 	w.Uint64(uint64(len(m.Reqs)))
 	for _, req := range m.Reqs {
@@ -200,10 +225,10 @@ type PhaseII struct {
 	Epoch uint64
 }
 
-// MarshalPhaseII encodes m as a kind-tagged payload.
-func MarshalPhaseII(m PhaseII) []byte {
+// MarshalPhaseII encodes m as a kind-tagged payload of group g.
+func MarshalPhaseII(g GroupID, m PhaseII) []byte {
 	w := wire.NewWriter(12)
-	w.Uint8(byte(KindPhaseII))
+	EncodeHeader(w, KindPhaseII, g)
 	w.Uint64(m.Epoch)
 	return w.Bytes()
 }
@@ -220,10 +245,11 @@ func UnmarshalPhaseII(body []byte) (PhaseII, error) {
 
 // --- reply ---
 
-// MarshalReply encodes a Reply as a kind-tagged payload.
+// MarshalReply encodes a Reply as a kind-tagged payload. The envelope group
+// is the replied-to request's own.
 func MarshalReply(p Reply) []byte {
 	w := wire.NewWriter(48 + len(p.Result))
-	w.Uint8(byte(KindReply))
+	EncodeHeader(w, KindReply, p.Req.Group)
 	p.Encode(w)
 	return w.Bytes()
 }
@@ -240,8 +266,10 @@ func UnmarshalReply(body []byte) (Reply, error) {
 
 // --- heartbeat ---
 
-// MarshalHeartbeat encodes a heartbeat payload.
-func MarshalHeartbeat() []byte { return []byte{byte(KindHeartbeat)} }
+// MarshalHeartbeat encodes a heartbeat payload for group g.
+func MarshalHeartbeat(g GroupID) []byte {
+	return AppendHeader(make([]byte, 0, 6), KindHeartbeat, g)
+}
 
 // --- batch envelope ---
 
@@ -255,14 +283,15 @@ type Batch struct {
 }
 
 // MarshalBatch encodes the given kind-tagged messages as one KindBatch
-// payload. The caller guarantees none of the messages is itself a batch.
-func MarshalBatch(msgs [][]byte) []byte {
+// payload of group g. The caller guarantees none of the messages is itself a
+// batch.
+func MarshalBatch(g GroupID, msgs [][]byte) []byte {
 	size := 16
 	for _, m := range msgs {
 		size += len(m) + 4
 	}
 	w := wire.NewWriter(size)
-	w.Uint8(byte(KindBatch))
+	EncodeHeader(w, KindBatch, g)
 	w.FrameList(msgs)
 	return w.Bytes()
 }

@@ -16,8 +16,19 @@ import (
 	"repro/internal/wire"
 )
 
+// GroupID identifies one independent OAR ordering group (a shard of the
+// keyspace). Every wire payload is tagged with the group it belongs to, so a
+// process can cheaply drop traffic that was routed to the wrong group. The
+// single-group system is group 0.
+type GroupID uint32
+
+// String returns "g<id>".
+func (g GroupID) String() string { return fmt.Sprintf("g%d", uint32(g)) }
+
 // NodeID identifies a process (server or client) in the system. Server
 // processes use their rank in Π (0..n-1); clients use IDs ≥ ClientIDBase.
+// NodeIDs are scoped to one group: replica p0 of group g0 and replica p0 of
+// group g1 are distinct processes.
 type NodeID int32
 
 // ClientIDBase is the first NodeID used for client processes. Server ranks
@@ -115,15 +126,23 @@ func (w Weight) String() string {
 }
 
 // RequestID uniquely identifies a client request across the whole system:
-// the issuing client plus a client-local sequence number.
+// the ordering group that owns the request's key, the issuing client, and a
+// client-local sequence number. The Group qualification is what keeps
+// identities unique when several groups run side by side — each group has its
+// own client index space.
 type RequestID struct {
+	Group  GroupID
 	Client NodeID
 	Seq    uint64
 }
 
-// String implements fmt.Stringer.
+// String implements fmt.Stringer. Group 0 (the single-group system) keeps
+// the paper's plain "c0#1" notation; other groups are prefixed "g2/c0#1".
 func (r RequestID) String() string {
-	return fmt.Sprintf("%s#%d", r.Client, r.Seq)
+	if r.Group == 0 {
+		return fmt.Sprintf("%s#%d", r.Client, r.Seq)
+	}
+	return fmt.Sprintf("%s/%s#%d", r.Group, r.Client, r.Seq)
 }
 
 // Request is a client request: a unique ID plus an opaque command for the
@@ -135,6 +154,7 @@ type Request struct {
 
 // Encode appends the request to w.
 func (r Request) Encode(w *wire.Writer) {
+	w.Uint32(uint32(r.ID.Group))
 	w.Int64(int64(r.ID.Client))
 	w.Uint64(r.ID.Seq)
 	w.BytesField(r.Cmd)
@@ -143,6 +163,7 @@ func (r Request) Encode(w *wire.Writer) {
 // DecodeRequest reads a Request from r.
 func DecodeRequest(r *wire.Reader) Request {
 	var req Request
+	req.ID.Group = GroupID(r.Uint32())
 	req.ID.Client = NodeID(r.Int64())
 	req.ID.Seq = r.Uint64()
 	req.Cmd = r.BytesField()
@@ -165,6 +186,7 @@ type Reply struct {
 
 // Encode appends the reply to w.
 func (p Reply) Encode(w *wire.Writer) {
+	w.Uint32(uint32(p.Req.Group))
 	w.Int64(int64(p.Req.Client))
 	w.Uint64(p.Req.Seq)
 	w.Int64(int64(p.From))
@@ -179,6 +201,7 @@ func (p Reply) Encode(w *wire.Writer) {
 // the client's hot path).
 func DecodeReply(r *wire.Reader) Reply {
 	var p Reply
+	p.Req.Group = GroupID(r.Uint32())
 	p.Req.Client = NodeID(r.Int64())
 	p.Req.Seq = r.Uint64()
 	p.From = NodeID(r.Int64())

@@ -88,17 +88,59 @@ func TestWeightString(t *testing.T) {
 }
 
 func TestMarshalUnmarshalKinds(t *testing.T) {
-	payload := Marshal(KindReply, []byte{1, 2, 3})
-	k, body, err := Unmarshal(payload)
+	payload := Marshal(KindReply, 5, []byte{1, 2, 3})
+	k, g, body, err := Unmarshal(payload)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if k != KindReply || !bytes.Equal(body, []byte{1, 2, 3}) {
-		t.Errorf("got kind=%v body=%v", k, body)
+	if k != KindReply || g != 5 || !bytes.Equal(body, []byte{1, 2, 3}) {
+		t.Errorf("got kind=%v group=%v body=%v", k, g, body)
 	}
-	if _, _, err := Unmarshal(nil); err == nil {
+	if _, _, _, err := Unmarshal(nil); err == nil {
 		t.Error("Unmarshal(nil) should fail")
 	}
+	// A kind byte with a truncated group varint is malformed.
+	if _, _, _, err := Unmarshal([]byte{byte(KindReply), 0x80}); err == nil {
+		t.Error("Unmarshal with unterminated group varint should fail")
+	}
+	// Groups above 32 bits are malformed.
+	big := append([]byte{byte(KindReply)}, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f)
+	if _, _, _, err := Unmarshal(big); err == nil {
+		t.Error("Unmarshal with 64-bit group should fail")
+	}
+}
+
+func TestGroupIDString(t *testing.T) {
+	if got := GroupID(3).String(); got != "g3" {
+		t.Errorf("GroupID String = %q, want g3", got)
+	}
+	id := RequestID{Group: 2, Client: ClientID(1), Seq: 4}
+	if got := id.String(); got != "g2/c1#4" {
+		t.Errorf("qualified RequestID String = %q", got)
+	}
+	id.Group = 0
+	if got := id.String(); got != "c1#4" {
+		t.Errorf("group-0 RequestID String = %q, want the paper notation", got)
+	}
+}
+
+// FuzzUnmarshal checks the envelope splitter on arbitrary payloads: it must
+// never panic, and whatever it accepts must round-trip through Marshal.
+func FuzzUnmarshal(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(MarshalHeartbeat(0))
+	f.Add(Marshal(KindReply, 1<<20, []byte("body")))
+	f.Add([]byte{byte(KindRMcast), 0x80})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		k, g, body, err := Unmarshal(payload)
+		if err != nil {
+			return
+		}
+		k2, g2, body2, err := Unmarshal(Marshal(k, g, body))
+		if err != nil || k2 != k || g2 != g || !bytes.Equal(body2, body) {
+			t.Fatalf("envelope round trip: (%v,%v,%x,%v) != (%v,%v,%x)", k2, g2, body2, err, k, g, body)
+		}
+	})
 }
 
 func TestKindString(t *testing.T) {
@@ -119,10 +161,10 @@ func TestKindString(t *testing.T) {
 
 func TestRMcastRoundTrip(t *testing.T) {
 	m := RMcastMsg{Origin: ClientID(3), Seq: 42, Inner: []byte("inner")}
-	payload := MarshalRMcast(m)
-	k, body, err := Unmarshal(payload)
-	if err != nil || k != KindRMcast {
-		t.Fatalf("kind=%v err=%v", k, err)
+	payload := MarshalRMcast(9, m)
+	k, g, body, err := Unmarshal(payload)
+	if err != nil || k != KindRMcast || g != 9 {
+		t.Fatalf("kind=%v group=%v err=%v", k, g, err)
 	}
 	got, err := UnmarshalRMcast(body)
 	if err != nil {
@@ -134,10 +176,10 @@ func TestRMcastRoundTrip(t *testing.T) {
 }
 
 func TestRequestRoundTrip(t *testing.T) {
-	req := Request{ID: RequestID{Client: ClientID(1), Seq: 9}, Cmd: []byte("push x")}
-	k, body, err := Unmarshal(MarshalRequest(req))
-	if err != nil || k != KindRequest {
-		t.Fatalf("kind=%v err=%v", k, err)
+	req := Request{ID: RequestID{Group: 2, Client: ClientID(1), Seq: 9}, Cmd: []byte("push x")}
+	k, g, body, err := Unmarshal(MarshalRequest(req))
+	if err != nil || k != KindRequest || g != req.ID.Group {
+		t.Fatalf("kind=%v group=%v err=%v", k, g, err)
 	}
 	got, err := UnmarshalRequest(body)
 	if err != nil {
@@ -156,9 +198,9 @@ func TestSeqOrderRoundTrip(t *testing.T) {
 			{ID: RequestID{Client: ClientID(1), Seq: 2}, Cmd: nil},
 		},
 	}
-	k, body, err := Unmarshal(MarshalSeqOrder(m))
-	if err != nil || k != KindSeqOrder {
-		t.Fatalf("kind=%v err=%v", k, err)
+	k, g, body, err := Unmarshal(MarshalSeqOrder(4, m))
+	if err != nil || k != KindSeqOrder || g != 4 {
+		t.Fatalf("kind=%v group=%v err=%v", k, g, err)
 	}
 	got, err := UnmarshalSeqOrder(body)
 	if err != nil {
@@ -177,7 +219,7 @@ func TestSeqOrderRoundTrip(t *testing.T) {
 
 func TestSeqOrderEmptyAndCorrupt(t *testing.T) {
 	m := SeqOrder{Epoch: 0}
-	_, body, _ := Unmarshal(MarshalSeqOrder(m))
+	_, _, body, _ := Unmarshal(MarshalSeqOrder(0, m))
 	got, err := UnmarshalSeqOrder(body)
 	if err != nil || len(got.Reqs) != 0 {
 		t.Fatalf("empty seqorder: %+v err=%v", got, err)
@@ -189,9 +231,9 @@ func TestSeqOrderEmptyAndCorrupt(t *testing.T) {
 }
 
 func TestPhaseIIRoundTrip(t *testing.T) {
-	k, body, err := Unmarshal(MarshalPhaseII(PhaseII{Epoch: 11}))
-	if err != nil || k != KindPhaseII {
-		t.Fatalf("kind=%v err=%v", k, err)
+	k, g, body, err := Unmarshal(MarshalPhaseII(6, PhaseII{Epoch: 11}))
+	if err != nil || k != KindPhaseII || g != 6 {
+		t.Fatalf("kind=%v group=%v err=%v", k, g, err)
 	}
 	got, err := UnmarshalPhaseII(body)
 	if err != nil || got.Epoch != 11 {
@@ -201,16 +243,16 @@ func TestPhaseIIRoundTrip(t *testing.T) {
 
 func TestReplyRoundTrip(t *testing.T) {
 	p := Reply{
-		Req:    RequestID{Client: ClientID(2), Seq: 5},
+		Req:    RequestID{Group: 3, Client: ClientID(2), Seq: 5},
 		From:   NodeID(1),
 		Epoch:  3,
 		Weight: WeightOf(0, 1),
 		Pos:    17,
 		Result: []byte("y"),
 	}
-	k, body, err := Unmarshal(MarshalReply(p))
-	if err != nil || k != KindReply {
-		t.Fatalf("kind=%v err=%v", k, err)
+	k, g, body, err := Unmarshal(MarshalReply(p))
+	if err != nil || k != KindReply || g != p.Req.Group {
+		t.Fatalf("kind=%v group=%v err=%v", k, g, err)
 	}
 	got, err := UnmarshalReply(body)
 	if err != nil {
@@ -223,9 +265,9 @@ func TestReplyRoundTrip(t *testing.T) {
 }
 
 func TestHeartbeat(t *testing.T) {
-	k, body, err := Unmarshal(MarshalHeartbeat())
-	if err != nil || k != KindHeartbeat || len(body) != 0 {
-		t.Fatalf("heartbeat decode: kind=%v body=%v err=%v", k, body, err)
+	k, g, body, err := Unmarshal(MarshalHeartbeat(2))
+	if err != nil || k != KindHeartbeat || g != 2 || len(body) != 0 {
+		t.Fatalf("heartbeat decode: kind=%v group=%v body=%v err=%v", k, g, body, err)
 	}
 }
 
@@ -259,16 +301,16 @@ func TestPropWeightCountMatchesNaive(t *testing.T) {
 }
 
 func TestPropReplyRoundTrip(t *testing.T) {
-	prop := func(client uint16, seq uint64, from uint8, epoch uint64, weight uint64, pos uint64, result []byte) bool {
+	prop := func(group uint32, client uint16, seq uint64, from uint8, epoch uint64, weight uint64, pos uint64, result []byte) bool {
 		p := Reply{
-			Req:    RequestID{Client: ClientID(int(client)), Seq: seq},
+			Req:    RequestID{Group: GroupID(group), Client: ClientID(int(client)), Seq: seq},
 			From:   NodeID(from % 64),
 			Epoch:  epoch,
 			Weight: Weight(weight),
 			Pos:    pos,
 			Result: result,
 		}
-		_, body, err := Unmarshal(MarshalReply(p))
+		_, _, body, err := Unmarshal(MarshalReply(p))
 		if err != nil {
 			return false
 		}

@@ -57,6 +57,9 @@ type Config struct {
 	// may not be a member: clients multicast into a group they do not belong
 	// to.
 	Group []proto.NodeID
+	// GroupID tags every multicast and relay with the ordering group this
+	// endpoint belongs to (0 in a single-group system).
+	GroupID proto.GroupID
 	// Send is the reliable FIFO unicast primitive of the transport layer.
 	Send func(to proto.NodeID, payload []byte)
 	// Mode selects Eager or Lazy relay. Zero defaults to Eager.
@@ -108,7 +111,7 @@ func New(cfg Config) *RMcast {
 func (r *RMcast) Multicast(inner []byte) (local []byte, deliverLocal bool) {
 	key := Key{Origin: r.cfg.Self, Seq: r.nextSeq}
 	r.nextSeq++
-	payload := proto.MarshalRMcast(proto.RMcastMsg{Origin: key.Origin, Seq: key.Seq, Inner: inner})
+	payload := proto.MarshalRMcast(r.cfg.GroupID, proto.RMcastMsg{Origin: key.Origin, Seq: key.Seq, Inner: inner})
 	for _, p := range r.cfg.Group {
 		if p == r.cfg.Self {
 			continue
@@ -136,10 +139,11 @@ func (r *RMcast) OnMessage(body []byte) (inner []byte, deliver bool, err error) 
 	}
 	// Rebuild the relayable payload by re-tagging the received body instead
 	// of re-encoding the message — the body already is the canonical
-	// encoding, and this copy runs once per delivered message on the hot path.
-	payload := make([]byte, 1+len(body))
-	payload[0] = byte(proto.KindRMcast)
-	copy(payload[1:], body)
+	// encoding, and this copy runs once per delivered message on the hot
+	// path. The caller verified the envelope group before handing us the
+	// body, so re-tagging with our own group is faithful.
+	payload := proto.AppendHeader(make([]byte, 0, 6+len(body)), proto.KindRMcast, r.cfg.GroupID)
+	payload = append(payload, body...)
 	r.markDelivered(key, payload)
 	if r.cfg.Mode == Eager {
 		r.relay(key, payload)

@@ -31,7 +31,7 @@ func (f *fakeNet) take() []fakeSend {
 
 func body(t *testing.T, payload []byte) []byte {
 	t.Helper()
-	k, b, err := proto.Unmarshal(payload)
+	k, _, b, err := proto.Unmarshal(payload)
 	if err != nil || k != proto.KindRMcast {
 		t.Fatalf("payload kind=%v err=%v", k, err)
 	}
@@ -43,7 +43,7 @@ func TestMulticastSendsToAllOthers(t *testing.T) {
 	group := proto.Group(3)
 	r := New(Config{Self: 0, Group: group, Send: net.sender(0)})
 
-	inner := proto.Marshal(proto.KindPhaseII, []byte{1})
+	inner := proto.Marshal(proto.KindPhaseII, 0, []byte{1})
 	local, ok := r.Multicast(inner)
 	if !ok || !bytes.Equal(local, inner) {
 		t.Fatal("member multicast must deliver locally")

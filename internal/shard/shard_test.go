@@ -1,0 +1,199 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"hash/fnv"
+	"testing"
+
+	"repro/internal/proto"
+)
+
+func TestFirstToken(t *testing.T) {
+	cases := map[string]string{
+		"set k v":   "set",
+		"  lead ws": "lead",
+		"single":    "single",
+		"":          "",
+		"   ":       "",
+		"a\tb":      "a",
+	}
+	for in, want := range cases {
+		if got := FirstToken([]byte(in)); string(got) != want {
+			t.Errorf("FirstToken(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestMachineKey(t *testing.T) {
+	kv := MachineKey("kv")
+	if got := kv([]byte("set user:7 alice")); string(got) != "user:7" {
+		t.Errorf("kv key = %q, want user:7", got)
+	}
+	if got := kv([]byte("get user:7")); string(got) != "user:7" {
+		t.Errorf("kv get key = %q, want user:7", got)
+	}
+	// Same key regardless of verb: all ops on a datum share a group.
+	if !bytes.Equal(kv([]byte("set x 1")), kv([]byte("del x"))) {
+		t.Error("kv verb changed the routing key")
+	}
+	// Degenerate command: falls back to the last available token.
+	if got := kv([]byte("get")); string(got) != "get" {
+		t.Errorf("kv degenerate key = %q", got)
+	}
+	bank := MachineKey("bank")
+	if got := bank([]byte("deposit acct1 50")); string(got) != "acct1" {
+		t.Errorf("bank key = %q, want acct1", got)
+	}
+	if got := MachineKey("recorder")([]byte("m1 payload")); string(got) != "m1" {
+		t.Errorf("default machine key = %q, want m1", got)
+	}
+}
+
+func TestRouterDeterministicAndBounded(t *testing.T) {
+	r, err := NewRouter(4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		cmd := []byte(fmt.Sprintf("key%d rest of command", i))
+		g := r.Route(cmd)
+		if int(g) >= r.Shards() {
+			t.Fatalf("Route(%q) = %v out of range", cmd, g)
+		}
+		if again := r.Route(cmd); again != g {
+			t.Fatalf("Route(%q) not deterministic: %v then %v", cmd, g, again)
+		}
+	}
+}
+
+func TestRouterSpreadsKeys(t *testing.T) {
+	r, err := NewRouter(4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 4)
+	const keys = 1000
+	for i := 0; i < keys; i++ {
+		counts[r.Route([]byte(fmt.Sprintf("key%d", i)))]++
+	}
+	for g, c := range counts {
+		// A uniform hash puts ~250 keys per group; 2x imbalance would mean a
+		// broken hash, not an unlucky draw.
+		if c < keys/4/2 || c > keys/4*2 {
+			t.Errorf("group %d owns %d of %d keys (severe imbalance): %v", g, c, keys, counts)
+		}
+	}
+}
+
+func TestRouteMatchesStdlibFNV(t *testing.T) {
+	r, err := NewRouter(16, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		key := fmt.Sprintf("key%d", i)
+		h := fnv.New32a()
+		h.Write([]byte(key))
+		want := proto.GroupID(h.Sum32() % 16)
+		if got := r.Route([]byte(key)); got != want {
+			t.Fatalf("Route(%q) = %v, stdlib FNV-1a gives %v", key, got, want)
+		}
+	}
+}
+
+func TestRouterSameKeySameGroup(t *testing.T) {
+	r, err := NewRouter(8, MachineKey("kv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Route([]byte("set acct 5")) != r.Route([]byte("get acct")) {
+		t.Error("operations on one key routed to different groups")
+	}
+}
+
+func TestRouterValidation(t *testing.T) {
+	if _, err := NewRouter(0, nil); err == nil {
+		t.Error("0 shards accepted")
+	}
+	if _, err := NewRouter(-1, nil); err == nil {
+		t.Error("negative shards accepted")
+	}
+}
+
+// fakeInvoker records which backend served each command.
+type fakeInvoker struct {
+	group   proto.GroupID
+	served  int
+	stopped bool
+}
+
+func (f *fakeInvoker) Invoke(_ context.Context, cmd []byte) (proto.Reply, error) {
+	f.served++
+	return proto.Reply{Req: proto.RequestID{Group: f.group}, Result: cmd}, nil
+}
+
+func (f *fakeInvoker) Stop() { f.stopped = true }
+
+func TestClientFansOutByKey(t *testing.T) {
+	const shards = 4
+	r, err := NewRouter(shards, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backends := make([]Invoker, shards)
+	fakes := make([]*fakeInvoker, shards)
+	for g := range backends {
+		fakes[g] = &fakeInvoker{group: proto.GroupID(g)}
+		backends[g] = fakes[g]
+	}
+	cli, err := NewClient(r, backends)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 100; i++ {
+		cmd := []byte(fmt.Sprintf("key%d v", i))
+		reply, err := cli.Invoke(ctx, cmd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reply.Req.Group != cli.Route(cmd) {
+			t.Fatalf("cmd %q served by group %v, routed to %v", cmd, reply.Req.Group, cli.Route(cmd))
+		}
+	}
+	total := 0
+	busy := 0
+	for _, f := range fakes {
+		total += f.served
+		if f.served > 0 {
+			busy++
+		}
+	}
+	if total != 100 {
+		t.Errorf("backends served %d invokes, want 100", total)
+	}
+	if busy < 2 {
+		t.Errorf("only %d of %d groups saw traffic", busy, shards)
+	}
+	cli.Stop()
+	for g, f := range fakes {
+		if !f.stopped {
+			t.Errorf("group %d backend not stopped", g)
+		}
+	}
+}
+
+func TestClientValidation(t *testing.T) {
+	r, _ := NewRouter(2, nil)
+	if _, err := NewClient(nil, nil); err == nil {
+		t.Error("nil router accepted")
+	}
+	if _, err := NewClient(r, make([]Invoker, 1)); err == nil {
+		t.Error("backend count mismatch accepted")
+	}
+	if _, err := NewClient(r, make([]Invoker, 2)); err == nil {
+		t.Error("nil backend accepted")
+	}
+}

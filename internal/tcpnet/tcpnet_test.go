@@ -231,7 +231,7 @@ func TestBatchFrameDeliversInnerInOrder(t *testing.T) {
 	for i := range inner {
 		inner[i] = []byte(fmt.Sprintf("msg-%03d", i))
 	}
-	if err := transport.SendBatch(a, 1, inner); err != nil {
+	if err := transport.SendBatch(a, 0, 1, inner); err != nil {
 		t.Fatal(err)
 	}
 	m := recvOne(t, b, 5*time.Second)

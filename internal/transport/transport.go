@@ -47,16 +47,17 @@ type Node interface {
 
 // SendBatch delivers several kind-tagged payloads to one destination as a
 // single frame: one payload is sent as-is, several are coalesced into a
-// proto.Batch envelope (one syscall on tcpnet, one link hop on memnet). The
-// receiver unwraps the envelope with ExpandBatch, preserving order.
-func SendBatch(n Node, to proto.NodeID, payloads [][]byte) error {
+// proto.Batch envelope of group g (one syscall on tcpnet, one link hop on
+// memnet). The receiver unwraps the envelope with ExpandBatch, preserving
+// order.
+func SendBatch(n Node, g proto.GroupID, to proto.NodeID, payloads [][]byte) error {
 	switch len(payloads) {
 	case 0:
 		return nil
 	case 1:
 		return n.Send(to, payloads[0])
 	default:
-		return n.Send(to, proto.MarshalBatch(payloads))
+		return n.Send(to, proto.MarshalBatch(g, payloads))
 	}
 }
 
@@ -64,18 +65,28 @@ func SendBatch(n Node, to proto.NodeID, payloads [][]byte) error {
 // proto.Batch envelope, preserving the sender and the inner order. Non-batch
 // messages (and malformed batches, which are dropped like any other garbage)
 // are returned unchanged as a single-element slice with ok=false.
+//
+// Expansion is single-level by construction: proto.UnmarshalBatch rejects
+// envelopes that contain a nested batch, so an adversarial
+// batch-inside-a-batch payload is a decode error (dropped wholesale) rather
+// than a recursion. The inner filter here is defense in depth — should a
+// nested envelope ever slip through a future decoder change, it is discarded
+// instead of being handed back to a dispatcher that might expand it again.
 func ExpandBatch(m Message) (msgs []Message, ok bool) {
-	kind, body, err := proto.Unmarshal(m.Payload)
+	kind, _, body, err := proto.Unmarshal(m.Payload)
 	if err != nil || kind != proto.KindBatch {
 		return []Message{m}, false
 	}
 	batch, err := proto.UnmarshalBatch(body)
 	if err != nil {
-		return nil, true // corrupt batch: drop it wholesale
+		return nil, true // corrupt (or nested) batch: drop it wholesale
 	}
-	out := make([]Message, len(batch.Msgs))
-	for i, inner := range batch.Msgs {
-		out[i] = Message{From: m.From, Payload: inner}
+	out := make([]Message, 0, len(batch.Msgs))
+	for _, inner := range batch.Msgs {
+		if proto.Kind(inner[0]) == proto.KindBatch {
+			continue // never re-expandable: flatten by discarding
+		}
+		out = append(out, Message{From: m.From, Payload: inner})
 	}
 	return out, true
 }

@@ -6,7 +6,81 @@ import (
 	"time"
 
 	"repro/internal/proto"
+	"repro/internal/wire"
 )
+
+func TestExpandBatchPassesNonBatchThrough(t *testing.T) {
+	m := Message{From: 1, Payload: proto.MarshalHeartbeat(0)}
+	msgs, ok := ExpandBatch(m)
+	if ok || len(msgs) != 1 || &msgs[0].Payload[0] != &m.Payload[0] {
+		t.Fatalf("non-batch message altered: ok=%v msgs=%v", ok, msgs)
+	}
+}
+
+func TestExpandBatchSplitsEnvelope(t *testing.T) {
+	inner := [][]byte{proto.MarshalHeartbeat(2), proto.MarshalPhaseII(2, proto.PhaseII{Epoch: 3})}
+	msgs, ok := ExpandBatch(Message{From: 4, Payload: proto.MarshalBatch(2, inner)})
+	if !ok || len(msgs) != 2 {
+		t.Fatalf("ok=%v msgs=%d", ok, len(msgs))
+	}
+	for i, m := range msgs {
+		if m.From != 4 {
+			t.Errorf("inner %d lost its sender: %v", i, m.From)
+		}
+	}
+}
+
+// TestExpandBatchRejectsNestedEnvelope covers the adversarial shape: a batch
+// containing a batch must come back as a decode failure (dropped wholesale),
+// never as something a dispatcher could recurse on.
+func TestExpandBatchRejectsNestedEnvelope(t *testing.T) {
+	nested := proto.MarshalBatch(0, [][]byte{proto.MarshalHeartbeat(0)})
+	// Hand-build the envelope (MarshalBatch's caller contract forbids this).
+	w := wire.NewWriter(64)
+	proto.EncodeHeader(w, proto.KindBatch, 0)
+	w.BytesField(proto.MarshalHeartbeat(0))
+	w.BytesField(nested)
+	msgs, ok := ExpandBatch(Message{From: 1, Payload: w.Bytes()})
+	if !ok {
+		t.Fatal("nested envelope not recognized as a batch")
+	}
+	for _, m := range msgs {
+		if k, _, _, err := proto.Unmarshal(m.Payload); err == nil && k == proto.KindBatch {
+			t.Fatal("ExpandBatch returned a nested batch for re-expansion")
+		}
+	}
+}
+
+// FuzzExpandBatch feeds arbitrary frames to the receive-side expander. It
+// must never panic, and no returned message may itself be a batch envelope —
+// the property that makes dispatcher recursion bounded on adversarial input.
+func FuzzExpandBatch(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(proto.MarshalHeartbeat(0))
+	f.Add(proto.MarshalBatch(0, [][]byte{proto.MarshalHeartbeat(0), proto.MarshalHeartbeat(1)}))
+	nested := proto.MarshalBatch(0, [][]byte{proto.MarshalHeartbeat(0)})
+	w := wire.NewWriter(64)
+	proto.EncodeHeader(w, proto.KindBatch, 0)
+	w.BytesField(nested)
+	f.Add(w.Bytes())
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		msgs, ok := ExpandBatch(Message{From: 7, Payload: payload})
+		if !ok {
+			return // passed through unchanged; nothing was expanded
+		}
+		for _, m := range msgs {
+			if len(m.Payload) == 0 {
+				t.Fatal("ExpandBatch returned an empty message")
+			}
+			if proto.Kind(m.Payload[0]) == proto.KindBatch {
+				t.Fatal("ExpandBatch returned an expandable batch")
+			}
+			if m.From != 7 {
+				t.Fatal("ExpandBatch lost the sender")
+			}
+		}
+	})
+}
 
 func TestQueueFIFO(t *testing.T) {
 	q := NewQueue()

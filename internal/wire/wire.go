@@ -54,6 +54,12 @@ func (w *Writer) Int64(v int64) {
 	w.buf = binary.AppendVarint(w.buf, v)
 }
 
+// Uint32 appends v as an unsigned varint. It is the codec of small bounded
+// identifiers (group IDs, rounds): one byte for values below 128.
+func (w *Writer) Uint32(v uint32) {
+	w.buf = binary.AppendUvarint(w.buf, uint64(v))
+}
+
 // Uint8 appends a single byte.
 func (w *Writer) Uint8(v uint8) {
 	w.buf = append(w.buf, v)
@@ -147,6 +153,17 @@ func (r *Reader) Int64() int64 {
 	}
 	r.off += n
 	return v
+}
+
+// Uint32 decodes an unsigned varint written by Writer.Uint32. Values that do
+// not fit in 32 bits fail with ErrOverflow.
+func (r *Reader) Uint32() uint32 {
+	v := r.Uint64()
+	if v > math.MaxUint32 {
+		r.fail(ErrOverflow)
+		return 0
+	}
+	return uint32(v)
 }
 
 // Uint8 decodes a single byte.

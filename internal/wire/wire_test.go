@@ -79,6 +79,71 @@ func TestRoundTripBytesAndString(t *testing.T) {
 	}
 }
 
+func TestRoundTripUint32(t *testing.T) {
+	w := NewWriter(16)
+	for _, v := range []uint32{0, 1, 127, 128, math.MaxUint32} {
+		w.Uint32(v)
+	}
+	r := NewReader(w.Bytes())
+	for _, want := range []uint32{0, 1, 127, 128, math.MaxUint32} {
+		if got := r.Uint32(); got != want {
+			t.Errorf("Uint32 = %d, want %d", got, want)
+		}
+	}
+	if err := r.Err(); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestUint32Overflow(t *testing.T) {
+	w := NewWriter(16)
+	w.Uint64(uint64(math.MaxUint32) + 1)
+	r := NewReader(w.Bytes())
+	if got := r.Uint32(); got != 0 {
+		t.Errorf("overflowing Uint32 = %d, want 0", got)
+	}
+	if !errors.Is(r.Err(), ErrOverflow) {
+		t.Fatalf("err = %v, want ErrOverflow", r.Err())
+	}
+}
+
+// FuzzReader feeds arbitrary bytes to every decoder primitive: none may
+// panic, and a decoded Uint32 must always round-trip through Writer.Uint32.
+func FuzzReader(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x80})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0x0f, 0x03, 'a', 'b', 'c'})
+	w := NewWriter(16)
+	w.Uint32(12345)
+	w.BytesField([]byte("frame"))
+	f.Add(w.Bytes())
+	f.Fuzz(func(t *testing.T, in []byte) {
+		r := NewReader(in)
+		for r.Err() == nil && r.Remaining() > 0 {
+			switch r.Remaining() % 6 {
+			case 0:
+				r.Uint64()
+			case 1:
+				r.Int64()
+			case 2:
+				if v := r.Uint32(); r.Err() == nil {
+					w := NewWriter(8)
+					w.Uint32(v)
+					if got := NewReader(w.Bytes()).Uint32(); got != v {
+						t.Fatalf("Uint32 round trip: %d != %d", got, v)
+					}
+				}
+			case 3:
+				r.BytesField()
+			case 4:
+				r.Uint8()
+			case 5:
+				r.FrameList()
+			}
+		}
+	})
+}
+
 func TestBytesFieldDoesNotAliasInput(t *testing.T) {
 	w := NewWriter(0)
 	w.BytesField([]byte{9, 9, 9})

@@ -63,8 +63,15 @@ func Machines() []string { return app.Names() }
 // ClusterOptions configures an in-process cluster.
 type ClusterOptions struct {
 	// Replicas is the group size n (1..64). At most ⌊(n-1)/2⌋ crash
-	// failures are tolerated.
+	// failures are tolerated — per ordering group.
 	Replicas int
+	// Shards is the number of independent ordering groups the keyspace is
+	// partitioned over (default 1). Each shard is a complete Replicas-sized
+	// OAR group; clients returned by NewClient route every command to the
+	// group owning its key (hash of the command's key token), so total
+	// ordering — and therefore throughput — scales out per key subspace
+	// while each subspace keeps the paper's full guarantees.
+	Shards int
 	// Machine names the replicated state machine (see Machines); default
 	// "kv".
 	Machine string
@@ -105,6 +112,7 @@ func NewCluster(opts ClusterOptions) (*Cluster, error) {
 	}
 	inner, err := cluster.New(cluster.Options{
 		N:                 opts.Replicas,
+		Shards:            opts.Shards,
 		Machine:           opts.Machine,
 		FDTimeout:         opts.SuspicionTimeout,
 		EpochRequestLimit: opts.EpochRequestLimit,
@@ -121,7 +129,8 @@ func NewCluster(opts ClusterOptions) (*Cluster, error) {
 	return &Cluster{inner: inner}, nil
 }
 
-// NewClient attaches a new client to the cluster.
+// NewClient attaches a new client to the cluster. With Shards > 1 the
+// client routes each command to the ordering group owning its key.
 func (c *Cluster) NewClient() (*Client, error) {
 	cli, err := c.inner.NewClient()
 	if err != nil {
@@ -130,10 +139,13 @@ func (c *Cluster) NewClient() (*Client, error) {
 	return &Client{inner: cli}, nil
 }
 
+// Shards returns the number of independent ordering groups.
+func (c *Cluster) Shards() int { return c.inner.Shards() }
+
 // CrashReplica fault-injects a crash of replica i (for testing fail-over).
 func (c *Cluster) CrashReplica(i int) { c.inner.Crash(i) }
 
-// Stats summarizes protocol activity across all replicas.
+// Stats summarizes protocol activity across all replicas of all shards.
 type Stats struct {
 	// OptDelivered counts optimistic deliveries (the fast path).
 	OptDelivered uint64
@@ -143,16 +155,30 @@ type Stats struct {
 	ADelivered uint64
 	// Epochs counts completed conservative phases.
 	Epochs uint64
+	// SeqOrdersSent counts sequencer ordering messages; under batching one
+	// ordering message carries many requests.
+	SeqOrdersSent uint64
+	// FramesSent counts transport frames on the in-memory networks; the
+	// batching layer's whole point is keeping this below the logical
+	// message count.
+	FramesSent uint64
+	// BatchedMessages counts the kind-tagged messages carried inside
+	// proto.Batch envelopes (the coalesced share of the traffic).
+	BatchedMessages uint64
 }
 
-// Stats returns cluster-wide protocol counters.
+// Stats returns cluster-wide protocol counters, aggregated over all shards.
 func (c *Cluster) Stats() Stats {
 	s := c.inner.TotalStats()
+	n := c.inner.NetTotal()
 	return Stats{
-		OptDelivered:   s.OptDelivered,
-		OptUndelivered: s.OptUndelivered,
-		ADelivered:     s.ADelivered,
-		Epochs:         s.Epochs,
+		OptDelivered:    s.OptDelivered,
+		OptUndelivered:  s.OptUndelivered,
+		ADelivered:      s.ADelivered,
+		Epochs:          s.Epochs,
+		SeqOrdersSent:   s.SeqOrdersSent,
+		FramesSent:      n.MessagesSent,
+		BatchedMessages: n.BatchedMessages,
 	}
 }
 
@@ -169,6 +195,11 @@ type ServerOptions struct {
 	Listen string
 	// Machine names the replicated state machine (default "kv").
 	Machine string
+	// GroupID is the ordering group this replica serves (default 0). Several
+	// groups can be deployed side by side — each group's replicas list only
+	// their own group's Peers — and clients of one group are ignored by the
+	// others even if misconfigured to reach them.
+	GroupID int
 	// SuspicionTimeout is the ◊S heartbeat timeout (default 100ms — WAN-ish
 	// safety margin; tune down on a LAN).
 	SuspicionTimeout time.Duration
@@ -220,6 +251,7 @@ func ListenAndServe(ctx context.Context, opts ServerOptions) error {
 	srv, err := core.NewServer(core.ServerConfig{
 		ID:                group[opts.Rank],
 		Group:             group,
+		GroupID:           proto.GroupID(opts.GroupID), //nolint:gosec // operator-supplied small int
 		Node:              node,
 		Machine:           machine,
 		Detector:          fd.NewTimeout(opts.SuspicionTimeout, group, time.Now()),
@@ -248,6 +280,9 @@ type ClientOptions struct {
 	// ClientIndex distinguishes concurrent client processes (default 0).
 	// Two live clients must not share an index.
 	ClientIndex int
+	// GroupID is the ordering group the listed Servers belong to (default
+	// 0). It must match the servers' GroupID.
+	GroupID int
 }
 
 // TCPClient is a client talking to a TCP-deployed cluster.
@@ -274,7 +309,12 @@ func NewTCPClient(opts ClientOptions) (*TCPClient, error) {
 	if err != nil {
 		return nil, err
 	}
-	inner, err := core.NewClient(core.ClientConfig{ID: id, Group: group, Node: node})
+	inner, err := core.NewClient(core.ClientConfig{
+		ID:      id,
+		Group:   group,
+		GroupID: proto.GroupID(opts.GroupID), //nolint:gosec // operator-supplied small int
+		Node:    node,
+	})
 	if err != nil {
 		node.Close()
 		return nil, err

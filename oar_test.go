@@ -77,6 +77,50 @@ func TestClusterFailover(t *testing.T) {
 	}
 }
 
+func TestShardedCluster(t *testing.T) {
+	c, err := oar.NewCluster(oar.ClusterOptions{Replicas: 3, Shards: 2, Machine: "kv"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Shards() != 2 {
+		t.Fatalf("Shards() = %d, want 2", c.Shards())
+	}
+	cli, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	const keys = 12
+	for i := 0; i < keys; i++ {
+		if _, err := cli.Invoke(ctx, []byte(fmt.Sprintf("set key%d v%d", i, i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < keys; i++ {
+		reply, err := cli.Invoke(ctx, []byte(fmt.Sprintf("get key%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(reply.Result) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("get key%d = %q", i, reply.Result)
+		}
+		if reply.Endorsers < 2 {
+			t.Fatalf("endorsers = %d, want >= majority", reply.Endorsers)
+		}
+	}
+	s := c.Stats()
+	// 2 writes+reads per key at 3 replicas each, spread over the shards.
+	if s.OptDelivered != 3*2*keys {
+		t.Errorf("OptDelivered = %d, want %d", s.OptDelivered, 3*2*keys)
+	}
+	if s.SeqOrdersSent == 0 || s.FramesSent == 0 {
+		t.Errorf("batching counters not surfaced: %+v", s)
+	}
+}
+
 func TestClusterValidation(t *testing.T) {
 	if _, err := oar.NewCluster(oar.ClusterOptions{}); err == nil {
 		t.Error("zero replicas accepted")
