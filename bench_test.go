@@ -90,13 +90,13 @@ func BenchmarkE2FailureFreeLatency(b *testing.B) {
 				c, invoke := benchCluster(b, cluster.Options{
 					Protocol: p, N: n, FD: cluster.FDNever, Net: benchNet(int64(n)),
 				})
-				c.Net().ResetStats()
+				c.Net(0).ResetStats()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					invoke(fmt.Sprintf("m%d", i))
 				}
 				b.StopTimer()
-				b.ReportMetric(float64(c.Net().Stats().MessagesSent)/float64(b.N), "msgs/req")
+				b.ReportMetric(float64(c.Net(0).Stats().MessagesSent)/float64(b.N), "msgs/req")
 			})
 		}
 	}
@@ -125,7 +125,7 @@ func BenchmarkE3Failover(b *testing.B) {
 				if _, err := cli.Invoke(ctx, []byte("warm")); err != nil {
 					b.Fatal(err)
 				}
-				c.Crash(0)
+				c.Crash(0, 0)
 				b.StartTimer()
 				if _, err := cli.Invoke(ctx, []byte("recover")); err != nil {
 					b.Fatal(err)
@@ -218,7 +218,7 @@ func BenchmarkE6EpochGC(b *testing.B) {
 				invoke(fmt.Sprintf("m%d", i))
 			}
 			b.StopTimer()
-			b.ReportMetric(float64(c.Server(0).Stats().Epochs), "epochs")
+			b.ReportMetric(float64(c.ReplicaStats(0, 0).Epochs), "epochs")
 		})
 	}
 }
@@ -279,7 +279,7 @@ func BenchmarkE8BatchedThroughput(b *testing.B) {
 				workers[i] = cli
 			}
 			ctx := context.Background()
-			c.Net().ResetStats()
+			c.Net(0).ResetStats()
 			var next atomic.Int64
 			b.ResetTimer()
 			var wg sync.WaitGroup
@@ -302,7 +302,7 @@ func BenchmarkE8BatchedThroughput(b *testing.B) {
 			}
 			wg.Wait()
 			b.StopTimer()
-			b.ReportMetric(float64(c.Net().Stats().MessagesSent)/float64(b.N), "frames/req")
+			b.ReportMetric(float64(c.Net(0).Stats().MessagesSent)/float64(b.N), "frames/req")
 		})
 	}
 }
@@ -374,13 +374,13 @@ func BenchmarkA1RelayStrategy(b *testing.B) {
 			c, invoke := benchCluster(b, cluster.Options{
 				N: 5, FD: cluster.FDNever, Net: benchNet(13), RelayMode: mode,
 			})
-			c.Net().ResetStats()
+			c.Net(0).ResetStats()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				invoke(fmt.Sprintf("m%d", i))
 			}
 			b.StopTimer()
-			b.ReportMetric(float64(c.Net().Stats().MessagesSent)/float64(b.N), "msgs/req")
+			b.ReportMetric(float64(c.Net(0).Stats().MessagesSent)/float64(b.N), "msgs/req")
 		})
 	}
 }
@@ -450,7 +450,7 @@ func BenchmarkConsensusDecide(b *testing.B) {
 					b.Fatal(err)
 				}
 				if !cluster.WaitUntil(10*time.Second, func() bool {
-					return c.Server(0).Stats().Epochs >= 1
+					return c.ReplicaStats(0, 0).Epochs >= 1
 				}) {
 					b.Fatal("phase 2 never completed")
 				}
@@ -484,7 +484,7 @@ func BenchmarkRandomizedSoak(b *testing.B) {
 		crashAt := 5 + rng.Intn(10)
 		for j := 0; j < 20; j++ {
 			if j == crashAt {
-				c.Crash(rng.Intn(3))
+				c.Crash(0, rng.Intn(3))
 			}
 			if _, err := cli.Invoke(ctx, []byte(fmt.Sprintf("m%d", j))); err != nil {
 				b.Fatal(err)

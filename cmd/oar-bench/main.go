@@ -1,24 +1,61 @@
 // Command oar-bench runs the reproduction experiment suite of DESIGN.md
-// (E1–E9 and the ablations A1–A2) and prints one table per experiment —
+// (E1–E10 and the ablations A1–A2) and prints one table per experiment —
 // the data recorded in EXPERIMENTS.md.
 //
-//	oar-bench            # full suite (a few minutes)
-//	oar-bench -quick     # scaled-down sweep (tens of seconds)
-//	oar-bench -run E2,E5 # a subset
+//	oar-bench                      # full suite (a few minutes)
+//	oar-bench -quick               # scaled-down sweep (tens of seconds)
+//	oar-bench -run E2,E5           # a subset
+//	oar-bench -protocol oar,ctab   # restrict the backend sweeps (E2, E5, E10)
+//	oar-bench -json BENCH.json     # machine-readable results for trend tracking
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"time"
 
+	"repro/internal/backend"
+	"repro/internal/cluster"
 	"repro/internal/experiments"
 )
 
 func main() {
 	os.Exit(run())
+}
+
+// jsonResult is the machine-readable form of one experiment's outcome,
+// written by -json so the perf trajectory (req/s, frames/req, violations)
+// can be tracked across commits as BENCH_*.json artifacts.
+type jsonResult struct {
+	ID        string     `json:"id"`
+	Title     string     `json:"title,omitempty"`
+	Header    []string   `json:"header,omitempty"`
+	Rows      [][]string `json:"rows,omitempty"`
+	Notes     []string   `json:"notes,omitempty"`
+	ElapsedMS int64      `json:"elapsed_ms"`
+	// Error marks an experiment that ran but failed, so a trend-tracking
+	// consumer can tell "failed" from "not selected".
+	Error string `json:"error,omitempty"`
+}
+
+// parseProtocols turns the -protocol flag into a backend selection,
+// validating every name against the registry so typos fail fast.
+func parseProtocols(list string) ([]cluster.Protocol, error) {
+	if list == "" {
+		return nil, nil
+	}
+	var out []cluster.Protocol
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		if _, err := backend.Lookup(name); err != nil {
+			return nil, err
+		}
+		out = append(out, cluster.Protocol(name))
+	}
+	return out, nil
 }
 
 func run() int {
@@ -28,9 +65,22 @@ func run() int {
 		batchWindow = flag.Duration("batch-window", 0, "sequencer batch window for E8's batched rows (0 = adaptive)")
 		maxBatch    = flag.Int("max-batch", 0, "max requests per ordering message for E8's batched rows (0 = default)")
 		shards      = flag.Int("shards", 0, "largest shard count E9 sweeps to, in powers of two (0 = the 1/2/4 default)")
+		protoList   = flag.String("protocol", "", "comma-separated ordering backends for the E2/E5/E10 sweeps (default: "+strings.Join(backend.Names(), ",")+")")
+		jsonPath    = flag.String("json", "", "write machine-readable per-experiment results to this path")
 	)
 	flag.Parse()
-	cfg := experiments.Config{Quick: *quick, BatchWindow: *batchWindow, MaxBatch: *maxBatch, Shards: *shards}
+	selected, err := parseProtocols(*protoList)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "oar-bench: %v\n", err)
+		return 2
+	}
+	cfg := experiments.Config{
+		Quick:       *quick,
+		BatchWindow: *batchWindow,
+		MaxBatch:    *maxBatch,
+		Shards:      *shards,
+		Protocols:   selected,
+	}
 
 	type exp struct {
 		id string
@@ -46,6 +96,7 @@ func run() int {
 		{"E7", experiments.E7QuorumRule},
 		{"E8", experiments.E8Batching},
 		{"E9", experiments.E9ShardScaling},
+		{"E10", experiments.E10BackendMatrix},
 		{"A1", experiments.A1RelayStrategy},
 		{"A2", experiments.A2UndoThriftiness},
 	}
@@ -59,21 +110,42 @@ func run() int {
 
 	start := time.Now()
 	failed := false
+	collected := []jsonResult{} // non-nil: -json writes [] rather than null when nothing ran
 	for _, e := range suite {
 		if len(want) > 0 && !want[e.id] {
 			continue
 		}
 		t0 := time.Now()
 		res, err := e.fn(cfg)
+		took := time.Since(t0)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.id, err)
 			failed = true
+			collected = append(collected, jsonResult{ID: e.id, Error: err.Error(), ElapsedMS: took.Milliseconds()})
 			continue
 		}
 		fmt.Println(res.String())
-		fmt.Printf("(%s took %v)\n\n", e.id, time.Since(t0).Round(time.Millisecond))
+		fmt.Printf("(%s took %v)\n\n", e.id, took.Round(time.Millisecond))
+		collected = append(collected, jsonResult{
+			ID:        res.ID,
+			Title:     res.Title,
+			Header:    res.Header,
+			Rows:      res.Rows,
+			Notes:     res.Notes,
+			ElapsedMS: took.Milliseconds(),
+		})
 	}
 	fmt.Printf("suite finished in %v\n", time.Since(start).Round(time.Millisecond))
+	if *jsonPath != "" {
+		blob, err := json.MarshalIndent(collected, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonPath, append(blob, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "oar-bench: writing %s: %v\n", *jsonPath, err)
+			failed = true
+		}
+	}
 	if failed {
 		return 1
 	}

@@ -3,10 +3,15 @@
 // is printed as it happens, labelled with the process and epoch — an
 // executable rendition of Figures 1–4.
 //
-//	oar-sim -scenario fig2   # failure-free run (optimistic phase only)
-//	oar-sim -scenario fig3   # sequencer crash, no undelivery
-//	oar-sim -scenario fig4   # minority partition: Opt-undeliver + repair
-//	oar-sim -scenario fig1b  # the baseline's external inconsistency
+//	oar-sim -scenario fig2                     # failure-free run (optimistic phase only)
+//	oar-sim -scenario fig3                     # sequencer crash, no undelivery
+//	oar-sim -scenario fig4                     # minority partition: Opt-undeliver + repair
+//	oar-sim -scenario fig1b                    # the baseline's external inconsistency
+//	oar-sim -scenario fig1b -protocol oar      # the same fault against another backend
+//
+// The fault scenarios (fig1b, fig4) replay their script against any
+// registered ordering backend via -protocol; the sequencer-shaped scripts
+// are meaningful for oar and fixedseq.
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/check"
 	"repro/internal/cluster"
 	"repro/internal/cnsvorder"
@@ -72,7 +78,18 @@ func main() {
 
 func run() int {
 	scenario := flag.String("scenario", "fig2", "fig2 | fig3 | fig4 | fig1b")
+	protoName := flag.String("protocol", "", "ordering backend for the fault scenarios (default: fig4 oar, fig1b fixedseq)")
 	flag.Parse()
+
+	pick := func(fallback cluster.Protocol) (cluster.Protocol, error) {
+		if *protoName == "" {
+			return fallback, nil
+		}
+		if _, err := backend.Lookup(*protoName); err != nil {
+			return "", err
+		}
+		return cluster.Protocol(*protoName), nil
+	}
 
 	switch *scenario {
 	case "fig2":
@@ -80,14 +97,26 @@ func run() int {
 	case "fig3":
 		return fig3()
 	case "fig4":
-		return scenarioOutcome("Figure 4: minority partition; the minority must roll back (OAR, n=5)",
+		p, err := pick(cluster.OAR)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "oar-sim: %v\n", err)
+			return 2
+		}
+		return scenarioOutcome(
+			fmt.Sprintf("Figure 4: minority partition; the minority must roll back (%v, n=5)", p),
 			func(tl *timeline) (experiments.Outcome, error) {
-				return experiments.RunFigure4(cluster.OAR, tl)
+				return experiments.RunFigure4(p, tl)
 			})
 	case "fig1b":
-		return scenarioOutcome("Figure 1(b): crash between reply and ordering (fixed-sequencer baseline)",
+		p, err := pick(cluster.FixedSeq)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "oar-sim: %v\n", err)
+			return 2
+		}
+		return scenarioOutcome(
+			fmt.Sprintf("Figure 1(b): crash between reply and ordering (%v)", p),
 			func(tl *timeline) (experiments.Outcome, error) {
-				return experiments.RunFigure1b(cluster.FixedSeq, tl)
+				return experiments.RunFigure1b(p, tl)
 			})
 	default:
 		fmt.Fprintf(os.Stderr, "oar-sim: unknown scenario %q\n", *scenario)
@@ -172,7 +201,7 @@ func fig3() int {
 	}
 	tl.log(">>>> crashing the sequencer p0")
 	ck.MarkCrashed(0)
-	c.Crash(0)
+	c.Crash(0, 0)
 	for i := 3; i <= 4; i++ {
 		if _, err := cli.Invoke(ctx, []byte(fmt.Sprintf("m%d", i))); err != nil {
 			fmt.Fprintln(os.Stderr, err)

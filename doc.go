@@ -44,13 +44,14 @@
 //
 // One ordering group's throughput is capped by its sequencer, so the
 // keyspace can be partitioned over several independent groups
-// (ClusterOptions.Shards): each shard is a complete Replicas-sized OAR
-// group, and clients route every command to the group owning its key (an
-// FNV hash of the command's key token — the kv/bank key, else the first
-// token). Ordering and Propositions 1–7 hold per group — exactly the
-// contract of a key-partitioned service — and group identity is explicit on
-// the wire, so misrouted traffic is dropped rather than misordered. Crash
-// failures stall only the affected group until its detector fires.
+// (ClusterOptions.Shards): each shard is a complete Replicas-sized group
+// of the selected protocol, and clients route every command to the group
+// owning its key (an FNV hash of the command's key token — the kv/bank
+// key, else the first token). Ordering and Propositions 1–7 hold per
+// group — exactly the contract of a key-partitioned service — and group
+// identity is explicit on the wire, so misrouted traffic is dropped rather
+// than misordered. Crash failures stall only the affected group until its
+// detector fires.
 //
 // # Replicated state machines
 //
@@ -74,6 +75,9 @@
 // reliable multicast (rmcast), failure detectors (fd), Maj-validity
 // consensus (consensus), conservative ordering (cnsvorder), the OAR client
 // and server (core), baselines (baseline/...), and the experiment harness
-// (experiments). See DESIGN.md for the full inventory and EXPERIMENTS.md
-// for the reproduction results.
+// (experiments). Every ordering protocol plugs into the runtime through the
+// backend registry (internal/backend) and is selected by name
+// (ClusterOptions.Protocol); the paper's protocol, "oar", is the default.
+// See DESIGN.md for the full inventory and EXPERIMENTS.md for the
+// reproduction results.
 package oar

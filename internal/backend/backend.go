@@ -1,0 +1,207 @@
+// Package backend is the protocol-agnostic replica runtime contract: the
+// seam between the ordering protocols (the OAR protocol of internal/core and
+// the two baselines of internal/baseline) and everything above them (the
+// cluster runtime, the shard router, the facade, the experiment suite).
+//
+// A protocol plugs in by implementing Backend — a factory for server-side
+// Replicas and client-side Invokers — and registering it under a name.
+// Everything above this package speaks only these interfaces: the cluster
+// boots N Replicas per ordering group over any transport, hands out Invokers
+// (fanned out per group by internal/shard when the keyspace is sharded), and
+// reads the one shared Stats counter set. The built-in protocols register
+// themselves from their own packages ("oar", "fixedseq", "ctab"); tests
+// register stubs; nothing in the runtime enumerates protocols.
+package backend
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/app"
+	"repro/internal/fd"
+	"repro/internal/proto"
+	"repro/internal/rmcast"
+	"repro/internal/transport"
+)
+
+// Defaults for replica event loops, shared by every backend (core re-exports
+// them under its historical names).
+const (
+	// DefaultTickInterval drives batching flushes, suspicion sampling,
+	// heartbeats and consensus timeouts.
+	DefaultTickInterval = time.Millisecond
+	// DefaultHeartbeatInterval is the gap between heartbeats to peers.
+	DefaultHeartbeatInterval = 5 * time.Millisecond
+)
+
+// ReplicaConfig is the protocol-independent boot configuration of one
+// replica. Backends ignore the knobs their protocol has no use for (the
+// baselines have no relay strategy or epoch limit), but every backend must
+// honor the identity, transport, machine, detector and tracer fields — they
+// are what the cluster runtime and the trace checker are built on.
+type ReplicaConfig struct {
+	// ID is this replica's rank; Group is Π.
+	ID    proto.NodeID
+	Group []proto.NodeID
+	// GroupID is the ordering group (shard) this replica serves. All outgoing
+	// traffic is tagged with it; inbound traffic tagged with a foreign group
+	// is dropped before the body is decoded.
+	GroupID proto.GroupID
+	// Node is the transport endpoint.
+	Node transport.Node
+	// Machine is the deterministic replicated state machine.
+	Machine app.Machine
+	// Detector drives failure suspicion (sequencer fail-over, consensus
+	// coordinator rotation).
+	Detector fd.Detector
+	// RelayMode selects the reliable-multicast relay strategy (OAR only).
+	RelayMode rmcast.Mode
+	// TickInterval and HeartbeatInterval drive the replica event loop
+	// (protocol defaults apply when zero; negative HeartbeatInterval disables
+	// heartbeats).
+	TickInterval      time.Duration
+	HeartbeatInterval time.Duration
+	// EpochRequestLimit bounds the optimistic epoch length (OAR only).
+	EpochRequestLimit int
+	// BatchWindow and MaxBatch tune the transport batching layer. A negative
+	// BatchWindow disables send coalescing entirely (the experiment control);
+	// MaxBatch caps requests per ordering message where the protocol batches
+	// its ordering (OAR).
+	BatchWindow time.Duration
+	MaxBatch    int
+	// Tracer observes protocol events (nil disables tracing).
+	Tracer Tracer
+}
+
+// InvokerConfig is the protocol-independent boot configuration of one
+// client endpoint attached to a single ordering group.
+type InvokerConfig struct {
+	// ID is the client's node ID (proto.ClientID(i)); Group is Π.
+	ID    proto.NodeID
+	Group []proto.NodeID
+	// GroupID is the ordering group this invoker talks to.
+	GroupID proto.GroupID
+	// Node is the client's transport endpoint.
+	Node transport.Node
+	// Tracer observes Issue/Adopt events (nil disables tracing).
+	Tracer Tracer
+	// Unbatched disables the client-side send-coalescing layer.
+	Unbatched bool
+}
+
+// Replica is one running replica of an ordering protocol: an event loop the
+// cluster runtime owns a goroutine for, plus the shared counter surface.
+type Replica interface {
+	// Run executes the replica event loop until ctx ends or the transport
+	// closes (crash injection).
+	Run(ctx context.Context) error
+	// Stats returns a snapshot of the replica's protocol counters.
+	Stats() Stats
+}
+
+// Invoker is the client surface of every protocol (and of the sharded
+// fan-out client): submit a command, block until the protocol's adoption
+// rule accepts a reply. Implementations must be safe for concurrent Invokes.
+type Invoker interface {
+	Invoke(ctx context.Context, cmd []byte) (proto.Reply, error)
+	Stop()
+}
+
+// Backend builds the two halves of one replication protocol. NewInvoker
+// returns a started Invoker (ready for Invoke; released with Stop).
+type Backend interface {
+	// Name is the registry key ("oar", "fixedseq", ...).
+	Name() string
+	// NewReplica validates cfg and creates one replica (not yet running).
+	NewReplica(cfg ReplicaConfig) (Replica, error)
+	// NewInvoker validates cfg and creates a started client endpoint.
+	NewInvoker(cfg InvokerConfig) (Invoker, error)
+}
+
+// Stats is the protocol-agnostic replica counter set. Every backend fills
+// the counters its protocol has; the rest stay zero. Delivered is the one
+// every protocol must maintain: the number of definitively delivered
+// commands (for OAR, optimistic deliveries that were not rolled back, plus
+// conservative deliveries).
+type Stats struct {
+	// Delivered counts definitive command deliveries (rollbacks deducted).
+	Delivered uint64
+	// OptDelivered / OptUndelivered / ADelivered / Epochs are the OAR phase
+	// counters (Figure 6 lines 17, 26, 28; completed phase-2 rounds).
+	OptDelivered   uint64
+	OptUndelivered uint64
+	ADelivered     uint64
+	Epochs         uint64
+	// SeqOrdersSent counts sequencer ordering messages (OAR and fixedseq).
+	SeqOrdersSent uint64
+	// ForeignDropped counts inbound messages dropped for a foreign GroupID.
+	ForeignDropped uint64
+	// Views counts fixedseq sequencer fail-overs.
+	Views uint64
+	// Batches counts ctab's completed consensus instances.
+	Batches uint64
+}
+
+// Accumulate adds other's counters to s (used to aggregate replicas and
+// shards).
+func (s *Stats) Accumulate(other Stats) {
+	s.Delivered += other.Delivered
+	s.OptDelivered += other.OptDelivered
+	s.OptUndelivered += other.OptUndelivered
+	s.ADelivered += other.ADelivered
+	s.Epochs += other.Epochs
+	s.SeqOrdersSent += other.SeqOrdersSent
+	s.ForeignDropped += other.ForeignDropped
+	s.Views += other.Views
+	s.Batches += other.Batches
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = make(map[string]Backend)
+)
+
+// Register makes a backend available under b.Name(). It panics on an empty
+// name or a duplicate registration — both are programming errors, caught at
+// init time like database/sql driver registration.
+func Register(b Backend) {
+	if b == nil || b.Name() == "" {
+		panic("backend: Register with nil backend or empty name")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[b.Name()]; dup {
+		panic(fmt.Sprintf("backend: duplicate registration of %q", b.Name()))
+	}
+	registry[b.Name()] = b
+}
+
+// Lookup resolves a registered backend by name.
+func Lookup(name string) (Backend, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	b, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("backend: unknown backend %q (registered: %v)", name, namesLocked())
+	}
+	return b, nil
+}
+
+// Names lists the registered backends, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return namesLocked()
+}
+
+func namesLocked() []string {
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,217 @@
+package backend_test
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/backend"
+	"repro/internal/baseline"
+	"repro/internal/cluster"
+	"repro/internal/proto"
+	"repro/internal/transport"
+)
+
+// stubBackend is a minimal ordering backend registered from this test: one
+// replica that delivers requests in its own arrival order and replies with
+// full weight, served by the classic first-reply client. It exists to prove
+// the extension point: cluster.New must boot it — sharded, even — through
+// the same registry path as the built-ins, with zero cluster changes.
+type stubBackend struct{}
+
+func (stubBackend) Name() string { return "stub" }
+
+func (stubBackend) NewReplica(cfg backend.ReplicaConfig) (backend.Replica, error) {
+	if cfg.Node == nil || cfg.Machine == nil {
+		return nil, fmt.Errorf("stub: Node and Machine are required")
+	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = backend.NopTracer()
+	}
+	return &stubReplica{cfg: cfg}, nil
+}
+
+func (stubBackend) NewInvoker(cfg backend.InvokerConfig) (backend.Invoker, error) {
+	cli, err := baseline.NewClient(baseline.ClientConfig{
+		ID:        cfg.ID,
+		Group:     cfg.Group,
+		GroupID:   cfg.GroupID,
+		Node:      cfg.Node,
+		Tracer:    cfg.Tracer,
+		Unbatched: cfg.Unbatched,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cli.Start()
+	return cli, nil
+}
+
+type stubReplica struct {
+	cfg       backend.ReplicaConfig
+	pos       uint64
+	seen      map[proto.RequestID]struct{}
+	delivered atomic.Uint64
+	foreign   atomic.Uint64
+}
+
+func (r *stubReplica) Stats() backend.Stats {
+	return backend.Stats{
+		Delivered:      r.delivered.Load(),
+		ForeignDropped: r.foreign.Load(),
+	}
+}
+
+func (r *stubReplica) Run(ctx context.Context) error {
+	r.seen = make(map[proto.RequestID]struct{})
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case m, ok := <-r.cfg.Node.Recv():
+			if !ok {
+				return nil
+			}
+			msgs, _ := transport.ExpandBatch(m)
+			for _, inner := range msgs {
+				r.handle(inner.Payload)
+			}
+		}
+	}
+}
+
+func (r *stubReplica) handle(payload []byte) {
+	kind, group, body, err := proto.Unmarshal(payload)
+	if err != nil || kind != proto.KindRequest {
+		return
+	}
+	if group != r.cfg.GroupID {
+		r.foreign.Add(1)
+		return
+	}
+	req, err := proto.UnmarshalRequest(body)
+	if err != nil {
+		return
+	}
+	if _, dup := r.seen[req.ID]; dup {
+		return
+	}
+	r.seen[req.ID] = struct{}{}
+	result, _ := r.cfg.Machine.Apply(req.Cmd)
+	r.pos++
+	r.delivered.Add(1)
+	r.cfg.Tracer.ADeliver(r.cfg.ID, 0, req.ID, r.pos, result)
+	_ = r.cfg.Node.Send(req.ID.Client, proto.MarshalReply(proto.Reply{
+		Req:    req.ID,
+		From:   r.cfg.ID,
+		Weight: proto.FullWeight(len(r.cfg.Group)),
+		Pos:    r.pos,
+		Result: result,
+	}))
+}
+
+func registerStub(t *testing.T) {
+	t.Helper()
+	if _, err := backend.Lookup("stub"); err == nil {
+		return // an earlier test already registered it
+	}
+	backend.Register(stubBackend{})
+}
+
+// TestStubBackendThroughCluster proves the extension point: a backend
+// registered by a test boots through cluster.New — with Shards > 1, over the
+// key-hash router — and serves invokes, without the cluster package knowing
+// it exists.
+func TestStubBackendThroughCluster(t *testing.T) {
+	registerStub(t)
+	c, err := cluster.New(cluster.Options{
+		Protocol: "stub", N: 1, Shards: 2, Machine: "kv", FD: cluster.FDNever,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	if got := c.Protocol(); got != "stub" {
+		t.Fatalf("Protocol() = %q", got)
+	}
+	cli, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	const keys = 8
+	for i := 0; i < keys; i++ {
+		if _, err := cli.Invoke(ctx, []byte(fmt.Sprintf("set k%d v%d", i, i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < keys; i++ {
+		reply, err := cli.Invoke(ctx, []byte(fmt.Sprintf("get k%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(reply.Result) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("get k%d = %q", i, reply.Result)
+		}
+	}
+	if got := c.DeliveredTotal(); got != 2*keys {
+		t.Errorf("DeliveredTotal = %d, want %d", got, 2*keys)
+	}
+	// The router really spread the load: both groups' stub replicas served.
+	for s := 0; s < 2; s++ {
+		if st := c.ReplicaStats(s, 0); st.Delivered == 0 {
+			t.Errorf("shard %d stub replica served nothing", s)
+		} else if st.ForeignDropped != 0 {
+			t.Errorf("shard %d saw foreign traffic on a disjoint network: %+v", s, st)
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	for _, name := range []string{"oar", "fixedseq", "ctab"} {
+		be, err := backend.Lookup(name)
+		if err != nil {
+			t.Fatalf("built-in %q not registered: %v", name, err)
+		}
+		if be.Name() != name {
+			t.Errorf("Lookup(%q).Name() = %q", name, be.Name())
+		}
+	}
+	if _, err := backend.Lookup("no-such-backend"); err == nil {
+		t.Error("unknown backend resolved")
+	}
+	names := backend.Names()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names() not sorted: %v", names)
+		}
+	}
+}
+
+func TestRegisterRejectsDuplicatesAndNil(t *testing.T) {
+	registerStub(t)
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("duplicate Register", func() { backend.Register(stubBackend{}) })
+	mustPanic("nil Register", func() { backend.Register(nil) })
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	a := backend.Stats{Delivered: 1, OptDelivered: 2, OptUndelivered: 3, ADelivered: 4, Epochs: 5, SeqOrdersSent: 6, ForeignDropped: 7, Views: 8, Batches: 9}
+	b := a
+	b.Accumulate(a)
+	want := backend.Stats{Delivered: 2, OptDelivered: 4, OptUndelivered: 6, ADelivered: 8, Epochs: 10, SeqOrdersSent: 12, ForeignDropped: 14, Views: 16, Batches: 18}
+	if b != want {
+		t.Errorf("Accumulate = %+v, want %+v", b, want)
+	}
+}

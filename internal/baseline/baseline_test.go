@@ -75,11 +75,11 @@ func TestFixedSeqFailoverWithoutLoss(t *testing.T) {
 		t.Fatal("pre-crash deliveries incomplete")
 	}
 	ck.MarkCrashed(proto.NodeID(0))
-	c.Crash(0)
+	c.Crash(0, 0)
 	for i := 3; i <= 6; i++ {
 		invoke(t, cli, fmt.Sprintf("m%d", i))
 	}
-	if got := c.FixedSeqServer(1).Stats().Views; got == 0 {
+	if got := c.ReplicaStats(0, 1).Views; got == 0 {
 		t.Error("no view change after sequencer crash")
 	}
 	for _, v := range ck.Verify() {
@@ -118,7 +118,7 @@ func TestFixedSeqFigure1bExternalInconsistency(t *testing.T) {
 
 	// The sequencer's next ordering messages are lost (crash in flight), and
 	// c1 stops hearing from anyone but the sequencer.
-	c.Net().SetFilter(func(from, to proto.NodeID, payload []byte) memnet.Verdict {
+	c.Net(0).SetFilter(func(from, to proto.NodeID, payload []byte) memnet.Verdict {
 		if from == proto.NodeID(0) && len(payload) > 0 && proto.Kind(payload[0]) == proto.KindSeqOrder {
 			return memnet.Drop
 		}
@@ -126,8 +126,8 @@ func TestFixedSeqFigure1bExternalInconsistency(t *testing.T) {
 	})
 	// c1's "pop" reaches only the sequencer p0 (links to p1, p2 blocked).
 	c1ID := proto.ClientID(0)
-	c.Net().Block(c1ID, proto.NodeID(1))
-	c.Net().Block(c1ID, proto.NodeID(2))
+	c.Net(0).Block(c1ID, proto.NodeID(1))
+	c.Net(0).Block(c1ID, proto.NodeID(2))
 
 	// Figure 1(b): the sequencer orders (pop; push x), executes pop -> "y",
 	// replies to the client... and its ordering message never leaves.
@@ -142,16 +142,16 @@ func TestFixedSeqFigure1bExternalInconsistency(t *testing.T) {
 	pushReply := invoke(t, c2, "push x")
 	_ = pushReply
 	ck.MarkCrashed(proto.NodeID(0))
-	c.Crash(0)
+	c.Crash(0, 0)
 	if !cluster.WaitUntil(testTimeout, func() bool {
-		return c.FixedSeqServer(1).Stats().Delivered >= 2 && c.FixedSeqServer(2).Stats().Delivered >= 2
+		return c.ReplicaStats(0, 1).Delivered >= 2 && c.ReplicaStats(0, 2).Delivered >= 2
 	}) {
 		t.Fatal("survivors did not deliver push x")
 	}
-	c.Net().Unblock(c1ID, proto.NodeID(1))
-	c.Net().Unblock(c1ID, proto.NodeID(2))
+	c.Net(0).Unblock(c1ID, proto.NodeID(1))
+	c.Net(0).Unblock(c1ID, proto.NodeID(2))
 	if !cluster.WaitUntil(testTimeout, func() bool {
-		return c.FixedSeqServer(1).Stats().Delivered >= 3 && c.FixedSeqServer(2).Stats().Delivered >= 3
+		return c.ReplicaStats(0, 1).Delivered >= 3 && c.ReplicaStats(0, 2).Delivered >= 3
 	}) {
 		t.Fatal("survivors never received the pop")
 	}
@@ -168,7 +168,7 @@ func TestFixedSeqFigure1bExternalInconsistency(t *testing.T) {
 	if !external {
 		t.Fatalf("expected an external-inconsistency violation, got %v", violations)
 	}
-	if got := c.Machine(1).Fingerprint(); got != "" {
+	if got := c.Machine(0, 1).Fingerprint(); got != "" {
 		// Stack after (push y; push x; pop) = [y]: survivors' pop returned x.
 		if got != "y" {
 			t.Fatalf("survivor stack = %q, want y", got)
@@ -192,7 +192,7 @@ func TestCTabFailureFree(t *testing.T) {
 	if !cluster.WaitUntil(testTimeout, func() bool { return c.DeliveredTotal() == 30 }) {
 		t.Fatalf("delivered = %d, want 30", c.DeliveredTotal())
 	}
-	if got := c.CTabServer(0).Stats().Batches; got == 0 {
+	if got := c.ReplicaStats(0, 0).Batches; got == 0 {
 		t.Error("no consensus batches recorded")
 	}
 	for _, v := range ck.Verify() {
@@ -231,8 +231,8 @@ func TestCTabConcurrentClients(t *testing.T) {
 		t.Fatalf("delivered = %d, want 90", c.DeliveredTotal())
 	}
 	if !cluster.WaitUntil(testTimeout, func() bool {
-		ref := c.Machine(0).Fingerprint()
-		return ref == c.Machine(1).Fingerprint() && ref == c.Machine(2).Fingerprint()
+		ref := c.Machine(0, 0).Fingerprint()
+		return ref == c.Machine(0, 1).Fingerprint() && ref == c.Machine(0, 2).Fingerprint()
 	}) {
 		t.Fatal("ctab replicas diverged")
 	}
@@ -255,7 +255,7 @@ func TestCTabCoordinatorCrash(t *testing.T) {
 	}
 	invoke(t, cli, "m1")
 	ck.MarkCrashed(proto.NodeID(0))
-	c.Crash(0)
+	c.Crash(0, 0)
 	for i := 2; i <= 5; i++ {
 		invoke(t, cli, fmt.Sprintf("m%d", i))
 	}

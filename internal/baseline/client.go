@@ -7,6 +7,12 @@
 // This first-reply rule is precisely what makes the fixed-sequencer protocol
 // externally inconsistent in the Figure 1(b) scenario — and what the OAR
 // weight-quorum client (Figure 5) fixes.
+//
+// The client rides the same transport-batching layer as the OAR client:
+// concurrent Invokes are coalesced per server into proto.Batch frames by a
+// sender loop, replies arrive batched and are dispatched per frame, and all
+// traffic is tagged with the client's ordering group — so the baselines are
+// measured under the transport the optimistic hot path actually uses.
 package baseline
 
 import (
@@ -14,7 +20,7 @@ import (
 	"fmt"
 	"sync"
 
-	"repro/internal/core"
+	"repro/internal/backend"
 	"repro/internal/proto"
 	"repro/internal/transport"
 )
@@ -25,24 +31,44 @@ type ClientConfig struct {
 	ID proto.NodeID
 	// Group is the server group Π.
 	Group []proto.NodeID
+	// GroupID is the ordering group this client talks to. Requests carry it
+	// in their identity, outgoing frames are tagged with it, and replies
+	// tagged with a different group are dropped. Zero is the single-group
+	// system.
+	GroupID proto.GroupID
 	// Node is the client's transport endpoint.
 	Node transport.Node
 	// Tracer records Issue/Adopt events (nil disables tracing).
-	Tracer core.Tracer
+	Tracer backend.Tracer
+	// Unbatched disables the send-coalescing sender loop: each request copy
+	// goes out as its own frame from the invoking goroutine.
+	Unbatched bool
 }
 
 // Client is a classic active-replication client: multicast to all, adopt the
 // first reply. Safe for concurrent Invokes.
 type Client struct {
 	cfg    ClientConfig
-	tracer core.Tracer
+	tracer backend.Tracer
 
 	mu      sync.Mutex
 	nextSeq uint64
 	pending map[proto.RequestID]chan proto.Reply
 
-	done chan struct{}
-	stop context.CancelFunc
+	// sendCh feeds the coalescing sender loop (nil when cfg.Unbatched).
+	sendCh chan sendJob
+
+	done       chan struct{}
+	senderDone chan struct{} // closed immediately when unbatched
+	stop       context.CancelFunc
+	stopOnce   sync.Once
+	stopped    chan struct{} // closed by Stop; unblocks enqueues
+}
+
+// sendJob is one frame bound for one server.
+type sendJob struct {
+	to      proto.NodeID
+	payload []byte
 }
 
 // NewClient validates cfg and creates a client.
@@ -54,29 +80,79 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		return nil, fmt.Errorf("baseline: %v is not a client ID", cfg.ID)
 	}
 	if cfg.Tracer == nil {
-		cfg.Tracer = core.NopTracer()
+		cfg.Tracer = backend.NopTracer()
 	}
-	return &Client{
-		cfg:     cfg,
-		tracer:  cfg.Tracer,
-		pending: make(map[proto.RequestID]chan proto.Reply),
-		done:    make(chan struct{}),
-	}, nil
+	c := &Client{
+		cfg:        cfg,
+		tracer:     cfg.Tracer,
+		pending:    make(map[proto.RequestID]chan proto.Reply),
+		done:       make(chan struct{}),
+		senderDone: make(chan struct{}),
+		stopped:    make(chan struct{}),
+	}
+	if !cfg.Unbatched {
+		c.sendCh = make(chan sendJob, 256)
+	}
+	return c, nil
 }
 
-// Start launches the reply-dispatch loop.
+// Start launches the reply-dispatch loop (and the batching sender loop).
 func (c *Client) Start() {
 	ctx, cancel := context.WithCancel(context.Background())
 	c.stop = cancel
 	go c.loop(ctx)
+	if c.sendCh != nil {
+		go c.sendLoop(ctx)
+	} else {
+		close(c.senderDone)
+	}
 }
 
-// Stop terminates the dispatch loop.
+// Stop terminates the dispatch and sender loops and waits for them to exit.
 func (c *Client) Stop() {
 	if c.stop != nil {
 		c.stop()
 	}
+	c.stopOnce.Do(func() { close(c.stopped) })
 	<-c.done
+	<-c.senderDone
+}
+
+// enqueue hands one outbound frame to the sender loop. After Stop the frame
+// is dropped — outstanding Invokes are failing with their contexts anyway.
+func (c *Client) enqueue(to proto.NodeID, payload []byte) {
+	select {
+	case c.sendCh <- sendJob{to: to, payload: payload}:
+	case <-c.stopped:
+	}
+}
+
+// flushSpins and maxDrain parameterize transport.DrainLinger exactly as in
+// the OAR client's sender loop: linger a couple of scheduler yields over an
+// empty queue so concurrent Invokes land in the same round, but never let a
+// flooded queue starve the flush.
+const (
+	flushSpins = 2
+	maxDrain   = 1024
+)
+
+// sendLoop drains queued frames and flushes them per destination, coalescing
+// the sends of concurrent Invokes into one frame per server per round.
+func (c *Client) sendLoop(ctx context.Context) {
+	defer close(c.senderDone)
+	out := transport.NewBatcher(c.cfg.Node, c.cfg.GroupID)
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case job := <-c.sendCh:
+			out.Add(job.to, job.payload)
+			transport.DrainLinger(c.sendCh, flushSpins, maxDrain-1, func(j sendJob) {
+				out.Add(j.to, j.payload)
+			})
+			out.Flush()
+		}
+	}
 }
 
 func (c *Client) loop(ctx context.Context) {
@@ -89,15 +165,21 @@ func (c *Client) loop(ctx context.Context) {
 			if !ok {
 				return
 			}
-			kind, _, body, err := proto.Unmarshal(m.Payload)
-			if err != nil || kind != proto.KindReply {
-				continue
+			// Servers coalesce the replies of one delivery round into a
+			// proto.Batch frame; expand it (a non-batch message passes
+			// through unchanged) and dispatch every inner reply.
+			msgs, _ := transport.ExpandBatch(m)
+			for _, inner := range msgs {
+				kind, group, body, err := proto.Unmarshal(inner.Payload)
+				if err != nil || kind != proto.KindReply || group != c.cfg.GroupID {
+					continue
+				}
+				reply, err := proto.UnmarshalReply(body)
+				if err != nil {
+					continue
+				}
+				c.onReply(reply)
 			}
-			reply, err := proto.UnmarshalReply(body)
-			if err != nil {
-				continue
-			}
-			c.onReply(reply)
 		}
 	}
 }
@@ -118,7 +200,7 @@ func (c *Client) onReply(reply proto.Reply) {
 // Invoke sends cmd to all replicas and returns the first reply.
 func (c *Client) Invoke(ctx context.Context, cmd []byte) (proto.Reply, error) {
 	c.mu.Lock()
-	id := proto.RequestID{Client: c.cfg.ID, Seq: c.nextSeq}
+	id := proto.RequestID{Group: c.cfg.GroupID, Client: c.cfg.ID, Seq: c.nextSeq}
 	c.nextSeq++
 	ch := make(chan proto.Reply, 1)
 	c.pending[id] = ch
@@ -127,7 +209,11 @@ func (c *Client) Invoke(ctx context.Context, cmd []byte) (proto.Reply, error) {
 	c.tracer.Issue(c.cfg.ID, id, cmd)
 	payload := proto.MarshalRequest(proto.Request{ID: id, Cmd: cmd})
 	for _, p := range c.cfg.Group {
-		_ = c.cfg.Node.Send(p, payload)
+		if c.sendCh != nil {
+			c.enqueue(p, payload)
+		} else {
+			_ = c.cfg.Node.Send(p, payload)
+		}
 	}
 
 	select {

@@ -1,0 +1,69 @@
+package ctab
+
+import (
+	"repro/internal/backend"
+	"repro/internal/baseline"
+)
+
+// BackendName is the registry name of the consensus-per-batch baseline.
+const BackendName = "ctab"
+
+func init() { backend.Register(ctBackend{}) }
+
+// ctBackend adapts the conservative consensus-based protocol to the
+// protocol-agnostic backend contract. The invoker is the classic first-reply
+// client — sound here, because no ctab reply is ever invalidated.
+type ctBackend struct{}
+
+var _ backend.Backend = ctBackend{}
+
+func (ctBackend) Name() string { return BackendName }
+
+func (ctBackend) NewReplica(cfg backend.ReplicaConfig) (backend.Replica, error) {
+	srv, err := NewServer(Config{
+		ID:                cfg.ID,
+		Group:             cfg.Group,
+		GroupID:           cfg.GroupID,
+		Node:              cfg.Node,
+		Machine:           cfg.Machine,
+		Detector:          cfg.Detector,
+		TickInterval:      cfg.TickInterval,
+		HeartbeatInterval: cfg.HeartbeatInterval,
+		BatchWindow:       cfg.BatchWindow,
+		Tracer:            cfg.Tracer,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ctReplica{srv}, nil
+}
+
+func (ctBackend) NewInvoker(cfg backend.InvokerConfig) (backend.Invoker, error) {
+	cli, err := baseline.NewClient(baseline.ClientConfig{
+		ID:        cfg.ID,
+		Group:     cfg.Group,
+		GroupID:   cfg.GroupID,
+		Node:      cfg.Node,
+		Tracer:    cfg.Tracer,
+		Unbatched: cfg.Unbatched,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cli.Start()
+	return cli, nil
+}
+
+// ctReplica maps the ctab counters onto the shared set.
+type ctReplica struct{ *Server }
+
+var _ backend.Replica = ctReplica{}
+
+func (r ctReplica) Stats() backend.Stats {
+	s := r.Server.Stats()
+	return backend.Stats{
+		Delivered:      s.Delivered,
+		ForeignDropped: s.ForeignDropped,
+		Batches:        s.Batches,
+	}
+}

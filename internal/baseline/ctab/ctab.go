@@ -7,17 +7,25 @@
 // invalidated, so the first-reply client rule is sound — but every request
 // pays consensus latency (several message delays) instead of the OAR
 // optimistic phase's single sequencer hop. Experiment E2 measures the gap.
+//
+// The replica is group-scoped and rides the shared transport-batching layer
+// (transport.Batcher): all outgoing traffic — consensus rounds, replies,
+// heartbeats — is tagged with the ordering group and coalesced per
+// event-loop round into proto.Batch frames, exactly like the OAR hot path.
+// The package registers itself as the "ctab" backend.
 package ctab
 
 import (
 	"context"
 	"fmt"
+
 	"sync/atomic"
 	"time"
 
 	"repro/internal/app"
+	"repro/internal/backend"
 	"repro/internal/consensus"
-	"repro/internal/core"
+
 	"repro/internal/fd"
 	"repro/internal/mseq"
 	"repro/internal/proto"
@@ -30,6 +38,10 @@ type Config struct {
 	// ID is this replica's rank; Group is Π.
 	ID    proto.NodeID
 	Group []proto.NodeID
+	// GroupID is the ordering group (shard) this replica serves. Outgoing
+	// traffic is tagged with it; inbound traffic tagged with a foreign group
+	// is dropped before the body is decoded.
+	GroupID proto.GroupID
 	// Node is the transport endpoint.
 	Node transport.Node
 	// Machine is the deterministic state machine.
@@ -39,14 +51,20 @@ type Config struct {
 	// TickInterval and HeartbeatInterval as in core (same defaults).
 	TickInterval      time.Duration
 	HeartbeatInterval time.Duration
+	// BatchWindow controls the transport-batching layer exactly as in
+	// core.ServerConfig: >= 0 (the default) coalesces each round's sends per
+	// destination into proto.Batch frames; negative disables the layer (the
+	// experiment control).
+	BatchWindow time.Duration
 	// Tracer records deliveries as ADeliver events.
-	Tracer core.Tracer
+	Tracer backend.Tracer
 }
 
 // Stats are protocol counters.
 type Stats struct {
-	Delivered uint64
-	Batches   uint64 // completed consensus instances
+	Delivered      uint64
+	Batches        uint64 // completed consensus instances
+	ForeignDropped uint64 // inbound messages dropped for a foreign GroupID
 }
 
 // Server is one conservative-atomic-broadcast replica.
@@ -64,11 +82,14 @@ type Server struct {
 	instances map[uint64]*consensus.Instance
 	decisions map[uint64]consensus.Decision
 
+	out *transport.Batcher // per-round send coalescing
+
 	lastHeartbeat time.Time
-	tracer        core.Tracer
+	tracer        backend.Tracer
 
 	statDelivered atomic.Uint64
 	statBatches   atomic.Uint64
+	statForeign   atomic.Uint64
 }
 
 // NewServer validates cfg and creates a replica.
@@ -80,13 +101,13 @@ func NewServer(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("ctab: Node, Machine and Detector are required")
 	}
 	if cfg.TickInterval <= 0 {
-		cfg.TickInterval = core.DefaultTickInterval
+		cfg.TickInterval = backend.DefaultTickInterval
 	}
 	if cfg.HeartbeatInterval == 0 {
-		cfg.HeartbeatInterval = core.DefaultHeartbeatInterval
+		cfg.HeartbeatInterval = backend.DefaultHeartbeatInterval
 	}
 	if cfg.Tracer == nil {
-		cfg.Tracer = core.NopTracer()
+		cfg.Tracer = backend.NopTracer()
 	}
 	return &Server{
 		cfg:       cfg,
@@ -95,37 +116,85 @@ func NewServer(cfg Config) (*Server, error) {
 		delivered: make(map[proto.RequestID]struct{}),
 		instances: make(map[uint64]*consensus.Instance),
 		decisions: make(map[uint64]consensus.Decision),
+		out:       transport.NewBatcher(cfg.Node, cfg.GroupID),
 		tracer:    cfg.Tracer,
 	}, nil
 }
 
 // Stats returns a snapshot of the counters.
 func (s *Server) Stats() Stats {
-	return Stats{Delivered: s.statDelivered.Load(), Batches: s.statBatches.Load()}
+	return Stats{
+		Delivered:      s.statDelivered.Load(),
+		Batches:        s.statBatches.Load(),
+		ForeignDropped: s.statForeign.Load(),
+	}
 }
+
+// batching reports whether the send-coalescing layer is enabled.
+func (s *Server) batching() bool { return s.cfg.BatchWindow >= 0 }
+
+// send ships one kind-tagged payload, through the round batcher when
+// batching is on.
+func (s *Server) send(to proto.NodeID, payload []byte) {
+	if !s.batching() {
+		_ = s.cfg.Node.Send(to, payload)
+		return
+	}
+	s.out.Add(to, payload)
+}
+
+// flushSpins and maxDrain parameterize transport.DrainLinger exactly as in
+// core.Server.Run.
+const (
+	flushSpins = 2
+	maxDrain   = 1024
+)
 
 // Run executes the replica loop until ctx ends or the transport closes.
 func (s *Server) Run(ctx context.Context) error {
 	ticker := time.NewTicker(s.cfg.TickInterval)
 	defer ticker.Stop()
+	inbox := s.cfg.Node.Recv()
 	for {
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
-		case m, ok := <-s.cfg.Node.Recv():
+		case m, ok := <-inbox:
 			if !ok {
 				return nil
 			}
-			s.handleMessage(m, time.Now())
+			now := time.Now()
+			handle := func(m transport.Message) {
+				// Senders coalesce rounds into proto.Batch frames; expand
+				// (a non-batch message passes through unchanged).
+				msgs, _ := transport.ExpandBatch(m)
+				for _, inner := range msgs {
+					s.handleMessage(inner, now)
+				}
+			}
+			handle(m)
+			spins := 0
+			if s.batching() {
+				spins = flushSpins
+			}
+			if _, open := transport.DrainLinger(inbox, spins, maxDrain-1, handle); !open {
+				return nil
+			}
+			s.out.Flush()
 		case now := <-ticker.C:
 			s.tick(now)
+			s.out.Flush()
 		}
 	}
 }
 
 func (s *Server) handleMessage(m transport.Message, now time.Time) {
-	kind, _, body, err := proto.Unmarshal(m.Payload)
+	kind, group, body, err := proto.Unmarshal(m.Payload)
 	if err != nil {
+		return
+	}
+	if group != s.cfg.GroupID {
+		s.statForeign.Add(1)
 		return
 	}
 	switch kind {
@@ -154,6 +223,8 @@ func (s *Server) handleMessage(m transport.Message, now time.Time) {
 			s.startBatch()
 		}
 	default:
+		// Batch envelopes were already expanded by Run; everything else is
+		// not for this replica.
 	}
 }
 
@@ -189,10 +260,9 @@ func (s *Server) instance(k uint64) *consensus.Instance {
 	inst := consensus.NewInstance(consensus.Config{
 		Self:     s.cfg.ID,
 		Group:    s.cfg.Group,
+		GroupID:  s.cfg.GroupID,
 		Instance: k,
-		Send: func(to proto.NodeID, payload []byte) {
-			_ = s.cfg.Node.Send(to, payload)
-		},
+		Send:     s.send,
 		Detector: s.cfg.Detector,
 		OnDecide: func(d consensus.Decision) { s.onDecide(k, d) },
 	})
@@ -239,7 +309,7 @@ func (s *Server) applyDecision(k uint64, d consensus.Decision) {
 		s.pos++
 		s.statDelivered.Add(1)
 		s.tracer.ADeliver(s.cfg.ID, k, req.ID, s.pos, result)
-		_ = s.cfg.Node.Send(req.ID.Client, proto.MarshalReply(proto.Reply{
+		s.send(req.ID.Client, proto.MarshalReply(proto.Reply{
 			Req:    req.ID,
 			From:   s.cfg.ID,
 			Epoch:  k,
@@ -265,10 +335,10 @@ func (s *Server) applyDecision(k uint64, d consensus.Decision) {
 func (s *Server) tick(now time.Time) {
 	if s.cfg.HeartbeatInterval > 0 && now.Sub(s.lastHeartbeat) >= s.cfg.HeartbeatInterval {
 		s.lastHeartbeat = now
-		hb := proto.MarshalHeartbeat(0)
+		hb := proto.MarshalHeartbeat(s.cfg.GroupID)
 		for _, p := range s.cfg.Group {
 			if p != s.cfg.ID {
-				_ = s.cfg.Node.Send(p, hb)
+				s.send(p, hb)
 			}
 		}
 	}

@@ -1,0 +1,71 @@
+package fixedseq
+
+import (
+	"repro/internal/backend"
+	"repro/internal/baseline"
+)
+
+// BackendName is the registry name of the fixed-sequencer baseline.
+const BackendName = "fixedseq"
+
+func init() { backend.Register(fsBackend{}) }
+
+// fsBackend adapts the fixed-sequencer protocol to the protocol-agnostic
+// backend contract. The invoker is the classic first-reply client — the
+// adoption rule whose unsafety under the Figure 1(b) fault is the point of
+// this baseline.
+type fsBackend struct{}
+
+var _ backend.Backend = fsBackend{}
+
+func (fsBackend) Name() string { return BackendName }
+
+func (fsBackend) NewReplica(cfg backend.ReplicaConfig) (backend.Replica, error) {
+	srv, err := NewServer(Config{
+		ID:                cfg.ID,
+		Group:             cfg.Group,
+		GroupID:           cfg.GroupID,
+		Node:              cfg.Node,
+		Machine:           cfg.Machine,
+		Detector:          cfg.Detector,
+		TickInterval:      cfg.TickInterval,
+		HeartbeatInterval: cfg.HeartbeatInterval,
+		BatchWindow:       cfg.BatchWindow,
+		Tracer:            cfg.Tracer,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return fsReplica{srv}, nil
+}
+
+func (fsBackend) NewInvoker(cfg backend.InvokerConfig) (backend.Invoker, error) {
+	cli, err := baseline.NewClient(baseline.ClientConfig{
+		ID:        cfg.ID,
+		Group:     cfg.Group,
+		GroupID:   cfg.GroupID,
+		Node:      cfg.Node,
+		Tracer:    cfg.Tracer,
+		Unbatched: cfg.Unbatched,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cli.Start()
+	return cli, nil
+}
+
+// fsReplica maps the fixed-sequencer counters onto the shared set.
+type fsReplica struct{ *Server }
+
+var _ backend.Replica = fsReplica{}
+
+func (r fsReplica) Stats() backend.Stats {
+	s := r.Server.Stats()
+	return backend.Stats{
+		Delivered:      s.Delivered,
+		SeqOrdersSent:  s.OrdersSent,
+		ForeignDropped: s.ForeignDropped,
+		Views:          s.Views,
+	}
+}

@@ -11,6 +11,13 @@
 // message is lost, and the new sequencer picks a different order. The OAR
 // protocol (internal/core) exists to close exactly this hole; experiment E1
 // measures it.
+//
+// The replica is group-scoped and rides the shared transport-batching layer
+// (transport.Batcher): all outgoing traffic — orders, replies, heartbeats —
+// is tagged with the ordering group and coalesced per event-loop round into
+// proto.Batch frames, exactly like the OAR hot path, so cross-protocol
+// experiments compare ordering protocols rather than transport disciplines.
+// The package registers itself as the "fixedseq" backend.
 package fixedseq
 
 import (
@@ -20,7 +27,7 @@ import (
 	"time"
 
 	"repro/internal/app"
-	"repro/internal/core"
+	"repro/internal/backend"
 	"repro/internal/fd"
 	"repro/internal/mseq"
 	"repro/internal/proto"
@@ -32,6 +39,10 @@ type Config struct {
 	// ID is this replica's rank; Group is Π.
 	ID    proto.NodeID
 	Group []proto.NodeID
+	// GroupID is the ordering group (shard) this replica serves. Outgoing
+	// traffic is tagged with it; inbound traffic tagged with a foreign group
+	// is dropped before the body is decoded.
+	GroupID proto.GroupID
 	// Node is the transport endpoint.
 	Node transport.Node
 	// Machine is the deterministic state machine (undo is never used: this
@@ -42,14 +53,21 @@ type Config struct {
 	// TickInterval and HeartbeatInterval as in core (same defaults).
 	TickInterval      time.Duration
 	HeartbeatInterval time.Duration
+	// BatchWindow controls the transport-batching layer exactly as in
+	// core.ServerConfig: >= 0 (the default) coalesces each round's sends per
+	// destination into proto.Batch frames; negative disables the layer (the
+	// experiment control).
+	BatchWindow time.Duration
 	// Tracer records deliveries as ADeliver events (they are irrevocable).
-	Tracer core.Tracer
+	Tracer backend.Tracer
 }
 
 // Stats are protocol counters.
 type Stats struct {
-	Delivered uint64
-	Views     uint64 // fail-overs performed
+	Delivered      uint64
+	Views          uint64 // fail-overs performed
+	OrdersSent     uint64 // sequencer ordering messages sent
+	ForeignDropped uint64 // inbound messages dropped for a foreign GroupID
 }
 
 // Server is one fixed-sequencer replica.
@@ -63,11 +81,15 @@ type Server struct {
 	delivered map[proto.RequestID]struct{}
 	pos       uint64
 
+	out *transport.Batcher // per-round send coalescing
+
 	lastHeartbeat time.Time
-	tracer        core.Tracer
+	tracer        backend.Tracer
 
 	statDelivered atomic.Uint64
 	statViews     atomic.Uint64
+	statOrders    atomic.Uint64
+	statForeign   atomic.Uint64
 }
 
 // NewServer validates cfg and creates a replica.
@@ -79,54 +101,105 @@ func NewServer(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("fixedseq: Node, Machine and Detector are required")
 	}
 	if cfg.TickInterval <= 0 {
-		cfg.TickInterval = core.DefaultTickInterval
+		cfg.TickInterval = backend.DefaultTickInterval
 	}
 	if cfg.HeartbeatInterval == 0 {
-		cfg.HeartbeatInterval = core.DefaultHeartbeatInterval
+		cfg.HeartbeatInterval = backend.DefaultHeartbeatInterval
 	}
 	if cfg.Tracer == nil {
-		cfg.Tracer = core.NopTracer()
+		cfg.Tracer = backend.NopTracer()
 	}
 	return &Server{
 		cfg:       cfg,
 		n:         len(cfg.Group),
 		payloads:  make(map[proto.RequestID]proto.Request),
 		delivered: make(map[proto.RequestID]struct{}),
+		out:       transport.NewBatcher(cfg.Node, cfg.GroupID),
 		tracer:    cfg.Tracer,
 	}, nil
 }
 
 // Stats returns a snapshot of the counters.
 func (s *Server) Stats() Stats {
-	return Stats{Delivered: s.statDelivered.Load(), Views: s.statViews.Load()}
+	return Stats{
+		Delivered:      s.statDelivered.Load(),
+		Views:          s.statViews.Load(),
+		OrdersSent:     s.statOrders.Load(),
+		ForeignDropped: s.statForeign.Load(),
+	}
 }
+
+// batching reports whether the send-coalescing layer is enabled.
+func (s *Server) batching() bool { return s.cfg.BatchWindow >= 0 }
+
+// send ships one kind-tagged payload, through the round batcher when
+// batching is on.
+func (s *Server) send(to proto.NodeID, payload []byte) {
+	if !s.batching() {
+		_ = s.cfg.Node.Send(to, payload)
+		return
+	}
+	s.out.Add(to, payload)
+}
+
+// flushSpins and maxDrain parameterize transport.DrainLinger exactly as in
+// core.Server.Run: drain the backlog (lingering a couple of scheduler
+// yields for companion messages in flight), then flush every coalesced
+// frame.
+const (
+	flushSpins = 2
+	maxDrain   = 1024
+)
 
 // Run executes the replica loop until ctx ends or the transport closes.
 func (s *Server) Run(ctx context.Context) error {
 	ticker := time.NewTicker(s.cfg.TickInterval)
 	defer ticker.Stop()
+	inbox := s.cfg.Node.Recv()
 	for {
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
-		case m, ok := <-s.cfg.Node.Recv():
+		case m, ok := <-inbox:
 			if !ok {
 				return nil
 			}
-			s.handleMessage(m, time.Now())
+			now := time.Now()
+			handle := func(m transport.Message) {
+				// Senders coalesce rounds into proto.Batch frames; expand
+				// (a non-batch message passes through unchanged).
+				msgs, _ := transport.ExpandBatch(m)
+				for _, inner := range msgs {
+					s.handleMessage(inner, now)
+				}
+			}
+			handle(m)
+			spins := 0
+			if s.batching() {
+				spins = flushSpins
+			}
+			if _, open := transport.DrainLinger(inbox, spins, maxDrain-1, handle); !open {
+				return nil
+			}
+			s.out.Flush()
 		case now := <-ticker.C:
 			s.tick(now)
+			s.out.Flush()
 		}
 	}
 }
 
 func (s *Server) sequencer() proto.NodeID {
-	return s.cfg.Group[int(s.view%uint64(s.n))]
+	return s.cfg.Group[int(s.view%uint64(s.n))] //nolint:gosec // n ≤ 64
 }
 
 func (s *Server) handleMessage(m transport.Message, now time.Time) {
-	kind, _, body, err := proto.Unmarshal(m.Payload)
+	kind, group, body, err := proto.Unmarshal(m.Payload)
 	if err != nil {
+		return
+	}
+	if group != s.cfg.GroupID {
+		s.statForeign.Add(1)
 		return
 	}
 	switch kind {
@@ -146,6 +219,8 @@ func (s *Server) handleMessage(m transport.Message, now time.Time) {
 		}
 		s.handleOrder(order)
 	default:
+		// Batch envelopes were already expanded by Run; everything else is
+		// not for this replica.
 	}
 }
 
@@ -173,10 +248,11 @@ func (s *Server) maybeOrder() {
 		return
 	}
 	order := proto.SeqOrder{Epoch: s.view, Reqs: pending}
-	payload := proto.MarshalSeqOrder(0, order)
+	payload := proto.MarshalSeqOrder(s.cfg.GroupID, order)
+	s.statOrders.Add(1)
 	for _, p := range s.cfg.Group {
 		if p != s.cfg.ID {
-			_ = s.cfg.Node.Send(p, payload)
+			s.send(p, payload)
 		}
 	}
 	s.deliverBatch(order.Reqs)
@@ -207,7 +283,7 @@ func (s *Server) deliverBatch(reqs []proto.Request) {
 		s.pos++
 		s.statDelivered.Add(1)
 		s.tracer.ADeliver(s.cfg.ID, s.view, req.ID, s.pos, result)
-		_ = s.cfg.Node.Send(req.ID.Client, proto.MarshalReply(proto.Reply{
+		s.send(req.ID.Client, proto.MarshalReply(proto.Reply{
 			Req:    req.ID,
 			From:   s.cfg.ID,
 			Epoch:  s.view,
@@ -221,10 +297,10 @@ func (s *Server) deliverBatch(reqs []proto.Request) {
 func (s *Server) tick(now time.Time) {
 	if s.cfg.HeartbeatInterval > 0 && now.Sub(s.lastHeartbeat) >= s.cfg.HeartbeatInterval {
 		s.lastHeartbeat = now
-		hb := proto.MarshalHeartbeat(0)
+		hb := proto.MarshalHeartbeat(s.cfg.GroupID)
 		for _, p := range s.cfg.Group {
 			if p != s.cfg.ID {
-				_ = s.cfg.Node.Send(p, hb)
+				s.send(p, hb)
 			}
 		}
 	}

@@ -1,16 +1,23 @@
-// Package cluster boots one or more OAR replica groups plus clients over
-// in-memory networks and provides the fault-injection and observation hooks
-// used by the integration tests, examples, the scenario runner (cmd/oar-sim)
-// and the benchmark harness: crash a server, block links between groups,
-// script oracle suspicions, poll protocol counters, and verify traces.
+// Package cluster boots one or more replica groups of any registered
+// ordering backend plus clients over in-memory networks and provides the
+// fault-injection and observation hooks used by the integration tests,
+// examples, the scenario runner (cmd/oar-sim) and the benchmark harness:
+// crash a server, block links between groups, script oracle suspicions, poll
+// protocol counters, and verify traces.
 //
-// A cluster is group-parameterized: Options.Shards runs that many
-// independent ordering groups side by side (each with its own network,
-// failure detectors and tracer) and NewClient returns a key-hash-routing
+// The cluster is protocol-agnostic: Options.Protocol names a backend in the
+// internal/backend registry ("oar", "fixedseq", "ctab", or anything a test
+// registers) and every replica and client is built through that one
+// interface — there is no protocol-specific code path here. It is also
+// group-parameterized: Options.Shards runs that many independent ordering
+// groups side by side (each with its own network, failure detectors and
+// tracer) — for any backend — and NewClient returns a key-hash-routing
 // client spanning all of them. Shards=1 — the default — is the paper's
-// single-group system, and every single-group accessor (Net, Server, Crash,
-// ...) operates on shard 0, so existing tests and scenarios are the
-// degenerate case rather than a separate code path.
+// single-group system.
+//
+// Every accessor is group-qualified: Net(s), Machine(s, i), Oracle(s, i),
+// Crash(s, i), Suspect(s, id) target ordering group s, so fault injection
+// and observation reach any shard. Single-group callers pass 0.
 package cluster
 
 import (
@@ -20,52 +27,38 @@ import (
 	"time"
 
 	"repro/internal/app"
-	"repro/internal/baseline"
-	"repro/internal/baseline/ctab"
-	"repro/internal/baseline/fixedseq"
-	"repro/internal/core"
+	"repro/internal/backend"
 	"repro/internal/fd"
 	"repro/internal/memnet"
 	"repro/internal/proto"
 	"repro/internal/rmcast"
 	"repro/internal/shard"
+
+	// The built-in backends register themselves at init time.
+	_ "repro/internal/baseline/ctab"
+	_ "repro/internal/baseline/fixedseq"
+	_ "repro/internal/core"
 )
 
-// Protocol selects which replication protocol the cluster runs.
-type Protocol int
+// Protocol names an ordering backend in the internal/backend registry.
+type Protocol string
 
-// Protocols.
+// The built-in protocols.
 const (
 	// OAR is the paper's optimistic active replication (internal/core).
-	OAR Protocol = iota + 1
+	OAR Protocol = "oar"
 	// FixedSeq is the Isis-style sequencer baseline (unsafe fail-over).
-	FixedSeq
+	FixedSeq Protocol = "fixedseq"
 	// CTab is the conservative consensus-per-batch baseline.
-	CTab
+	CTab Protocol = "ctab"
 )
 
 // String implements fmt.Stringer.
-func (p Protocol) String() string {
-	switch p {
-	case OAR:
-		return "oar"
-	case FixedSeq:
-		return "fixedseq"
-	case CTab:
-		return "ctab"
-	default:
-		return fmt.Sprintf("protocol(%d)", int(p))
-	}
-}
+func (p Protocol) String() string { return string(p) }
 
-// Invoker is the common client surface of all three protocols (and of the
-// sharded client).
-type Invoker interface {
-	// Invoke submits a command and blocks until a reply is adopted.
-	Invoke(ctx context.Context, cmd []byte) (proto.Reply, error)
-	// Stop shuts the client down.
-	Stop()
-}
+// Invoker is the common client surface of every backend (and of the sharded
+// fan-out client).
+type Invoker = backend.Invoker
 
 // FDMode selects how replicas detect failures.
 type FDMode int
@@ -83,13 +76,14 @@ const (
 
 // Options configures a cluster.
 type Options struct {
-	// Protocol selects the replication protocol (default OAR).
+	// Protocol names the ordering backend (default OAR). Any backend in the
+	// internal/backend registry is valid, including test-registered ones.
 	Protocol Protocol
 	// N is the number of replicas per ordering group (1..64).
 	N int
 	// Shards is the number of independent ordering groups (default 1). Each
-	// shard is a complete N-replica OAR group on its own in-memory network;
-	// clients route commands by key hash. Shards > 1 requires Protocol OAR.
+	// shard is a complete N-replica group of the selected backend on its own
+	// in-memory network; clients route commands by key hash.
 	Shards int
 	// ShardKey extracts the routing key of a command (default: the
 	// conventional extractor for Machine, shard.MachineKey).
@@ -103,14 +97,16 @@ type Options struct {
 	FD FDMode
 	// FDTimeout is the heartbeat suspicion timeout (default 25ms).
 	FDTimeout time.Duration
-	// RelayMode selects the reliable-multicast strategy (default Eager).
+	// RelayMode selects the reliable-multicast strategy (default Eager; OAR
+	// only).
 	RelayMode rmcast.Mode
 	// EpochRequestLimit forces a PhaseII after that many optimistic
-	// deliveries per epoch (0 = off); see the Section 5.3 Remark.
+	// deliveries per epoch (0 = off; OAR only); see the Section 5.3 Remark.
 	EpochRequestLimit int
-	// BatchWindow and MaxBatch tune the sequencer's ordering batches (OAR
-	// only); see core.ServerConfig. MaxBatch=1 reproduces the unbatched
-	// one-SeqOrder-per-request behavior.
+	// BatchWindow and MaxBatch tune the transport batching layer and (for
+	// OAR) the sequencer's ordering batches; see core.ServerConfig. A
+	// negative BatchWindow disables send coalescing in every backend;
+	// MaxBatch=1 reproduces the unbatched one-SeqOrder-per-request behavior.
 	BatchWindow time.Duration
 	MaxBatch    int
 	// TickInterval and HeartbeatInterval tune the server loops (defaults
@@ -120,10 +116,10 @@ type Options struct {
 	// Tracer observes all protocol events (e.g. a *check.Checker). With
 	// Shards > 1 prefer TracerFor: each group has its own independent total
 	// order, so one checker must never observe two groups.
-	Tracer core.Tracer
+	Tracer backend.Tracer
 	// TracerFor, when non-nil, supplies the tracer for each shard and
 	// overrides Tracer.
-	TracerFor func(s int) core.Tracer
+	TracerFor func(s int) backend.Tracer
 }
 
 // lockedMachine makes an app.Machine safe for the cluster's cross-goroutine
@@ -152,27 +148,22 @@ func (m *lockedMachine) Fingerprint() string {
 	return m.inner.Fingerprint()
 }
 
-// runner is any replica event loop.
-type runner interface {
-	Run(ctx context.Context) error
-}
-
 // shardGroup is the runtime of one ordering group: its network, replicas,
-// machines and scripted detectors.
+// machines and scripted detectors. Replicas are backend.Replicas — the
+// cluster neither knows nor cares which protocol is behind them.
 type shardGroup struct {
-	id      proto.GroupID
-	net     *memnet.Network
-	servers []*core.Server     // Protocol == OAR
-	fsSrv   []*fixedseq.Server // Protocol == FixedSeq
-	ctSrv   []*ctab.Server     // Protocol == CTab
-	oracles []*fd.Oracle       // non-nil in FDOracle mode
-	mach    []app.Machine
-	tracer  core.Tracer
+	id       proto.GroupID
+	net      *memnet.Network
+	replicas []backend.Replica
+	oracles  []*fd.Oracle // non-nil in FDOracle mode
+	mach     []app.Machine
+	tracer   backend.Tracer
 }
 
-// Cluster is a running set of replica groups (OAR or one of the baselines).
+// Cluster is a running set of replica groups of one ordering backend.
 type Cluster struct {
 	opts   Options
+	be     backend.Backend
 	group  []proto.NodeID
 	shards []*shardGroup
 	router *shard.Router
@@ -198,11 +189,12 @@ func New(opts Options) (*Cluster, error) {
 	if opts.Machine == "" {
 		opts.Machine = "recorder"
 	}
-	if opts.Protocol == 0 {
+	if opts.Protocol == "" {
 		opts.Protocol = OAR
 	}
-	if opts.Shards > 1 && opts.Protocol != OAR {
-		return nil, fmt.Errorf("cluster: sharding requires the OAR protocol, got %v", opts.Protocol)
+	be, err := backend.Lookup(string(opts.Protocol))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
 	}
 	if opts.FD == 0 {
 		opts.FD = FDHeartbeat
@@ -220,6 +212,7 @@ func New(opts Options) (*Cluster, error) {
 
 	c := &Cluster{
 		opts:   opts,
+		be:     be,
 		group:  proto.Group(opts.N),
 		router: router,
 	}
@@ -241,7 +234,7 @@ func New(opts Options) (*Cluster, error) {
 }
 
 // tracerFor resolves the tracer of shard s from the options.
-func (c *Cluster) tracerFor(s int) core.Tracer {
+func (c *Cluster) tracerFor(s int) backend.Tracer {
 	if c.opts.TracerFor != nil {
 		return c.opts.TracerFor(s)
 	}
@@ -282,73 +275,37 @@ func (c *Cluster) bootShard(ctx context.Context, s int) (*shardGroup, error) {
 			return nil, fmt.Errorf("cluster: unknown FD mode %d", opts.FD)
 		}
 
-		var run runner
-		switch opts.Protocol {
-		case OAR:
-			srv, err := core.NewServer(core.ServerConfig{
-				ID:                c.group[i],
-				Group:             c.group,
-				GroupID:           sg.id,
-				Node:              sg.net.Node(c.group[i]),
-				Machine:           machine,
-				Detector:          detector,
-				RelayMode:         opts.RelayMode,
-				TickInterval:      opts.TickInterval,
-				HeartbeatInterval: hbInterval,
-				EpochRequestLimit: opts.EpochRequestLimit,
-				BatchWindow:       opts.BatchWindow,
-				MaxBatch:          opts.MaxBatch,
-				Tracer:            sg.tracer,
-			})
-			if err != nil {
-				return nil, err
-			}
-			sg.servers = append(sg.servers, srv)
-			run = srv
-		case FixedSeq:
-			srv, err := fixedseq.NewServer(fixedseq.Config{
-				ID:                c.group[i],
-				Group:             c.group,
-				Node:              sg.net.Node(c.group[i]),
-				Machine:           machine,
-				Detector:          detector,
-				TickInterval:      opts.TickInterval,
-				HeartbeatInterval: hbInterval,
-				Tracer:            sg.tracer,
-			})
-			if err != nil {
-				return nil, err
-			}
-			sg.fsSrv = append(sg.fsSrv, srv)
-			run = srv
-		case CTab:
-			srv, err := ctab.NewServer(ctab.Config{
-				ID:                c.group[i],
-				Group:             c.group,
-				Node:              sg.net.Node(c.group[i]),
-				Machine:           machine,
-				Detector:          detector,
-				TickInterval:      opts.TickInterval,
-				HeartbeatInterval: hbInterval,
-				Tracer:            sg.tracer,
-			})
-			if err != nil {
-				return nil, err
-			}
-			sg.ctSrv = append(sg.ctSrv, srv)
-			run = srv
-		default:
-			return nil, fmt.Errorf("cluster: unknown protocol %v", opts.Protocol)
+		rep, err := c.be.NewReplica(backend.ReplicaConfig{
+			ID:                c.group[i],
+			Group:             c.group,
+			GroupID:           sg.id,
+			Node:              sg.net.Node(c.group[i]),
+			Machine:           machine,
+			Detector:          detector,
+			RelayMode:         opts.RelayMode,
+			TickInterval:      opts.TickInterval,
+			HeartbeatInterval: hbInterval,
+			EpochRequestLimit: opts.EpochRequestLimit,
+			BatchWindow:       opts.BatchWindow,
+			MaxBatch:          opts.MaxBatch,
+			Tracer:            sg.tracer,
+		})
+		if err != nil {
+			return nil, err
 		}
+		sg.replicas = append(sg.replicas, rep)
 
 		c.wg.Add(1)
 		go func() {
 			defer c.wg.Done()
-			_ = run.Run(ctx)
+			_ = rep.Run(ctx)
 		}()
 	}
 	return sg, nil
 }
+
+// Protocol returns the name of the ordering backend the cluster runs.
+func (c *Cluster) Protocol() Protocol { return Protocol(c.be.Name()) }
 
 // Shards returns the number of ordering groups.
 func (c *Cluster) Shards() int { return len(c.shards) }
@@ -356,11 +313,8 @@ func (c *Cluster) Shards() int { return len(c.shards) }
 // Router returns the key→group router clients use.
 func (c *Cluster) Router() *shard.Router { return c.router }
 
-// Net exposes shard 0's network for fault injection and stats.
-func (c *Cluster) Net() *memnet.Network { return c.shards[0].net }
-
-// NetOf exposes shard s's network.
-func (c *Cluster) NetOf(s int) *memnet.Network { return c.shards[s].net }
+// Net exposes shard s's network for fault injection and stats.
+func (c *Cluster) Net(s int) *memnet.Network { return c.shards[s].net }
 
 // NetTotal aggregates the network counters of every shard.
 func (c *Cluster) NetTotal() memnet.Stats {
@@ -381,25 +335,21 @@ func (c *Cluster) ResetNetStats() {
 // Group returns Π (identical in every shard).
 func (c *Cluster) Group() []proto.NodeID { return c.group }
 
-// Server returns shard 0's replica i (for Stats).
-func (c *Cluster) Server(i int) *core.Server { return c.shards[0].servers[i] }
+// Replica returns shard s's replica i. Protocol-specific surfaces (e.g. the
+// OAR server's Footprint) are reachable by asserting the returned value to
+// the interface that declares them.
+func (c *Cluster) Replica(s, i int) backend.Replica { return c.shards[s].replicas[i] }
 
-// ServerOf returns shard s's replica i.
-func (c *Cluster) ServerOf(s, i int) *core.Server { return c.shards[s].servers[i] }
+// ReplicaStats returns the protocol counters of shard s's replica i.
+func (c *Cluster) ReplicaStats(s, i int) backend.Stats { return c.shards[s].replicas[i].Stats() }
 
-// Machine returns shard 0's replica-i state machine. Only read it
-// (Fingerprint) when the cluster is quiescent.
-func (c *Cluster) Machine(i int) app.Machine { return c.shards[0].mach[i] }
+// Machine returns shard s's replica-i state machine. Only read it
+// (Fingerprint) when the group is quiescent.
+func (c *Cluster) Machine(s, i int) app.Machine { return c.shards[s].mach[i] }
 
-// MachineOf returns shard s's replica-i state machine.
-func (c *Cluster) MachineOf(s, i int) app.Machine { return c.shards[s].mach[i] }
-
-// Oracle returns shard 0's replica-i scriptable failure detector (FDOracle
+// Oracle returns shard s's replica-i scriptable failure detector (FDOracle
 // mode).
-func (c *Cluster) Oracle(i int) *fd.Oracle { return c.shards[0].oracles[i] }
-
-// OracleOf returns shard s's replica-i oracle.
-func (c *Cluster) OracleOf(s, i int) *fd.Oracle { return c.shards[s].oracles[i] }
+func (c *Cluster) Oracle(s, i int) *fd.Oracle { return c.shards[s].oracles[i] }
 
 // SuspectEverywhere makes every live replica's oracle (in every shard)
 // suspect id.
@@ -420,30 +370,33 @@ func (c *Cluster) TrustEverywhere(id proto.NodeID) {
 	}
 }
 
-// SuspectShard makes shard s's oracles suspect id, leaving other shards'
+// Suspect makes shard s's oracles suspect id, leaving other shards'
 // detectors untouched (per-shard fault scripting).
-func (c *Cluster) SuspectShard(s int, id proto.NodeID) {
+func (c *Cluster) Suspect(s int, id proto.NodeID) {
 	for _, o := range c.shards[s].oracles {
 		o.Suspect(id)
 	}
 }
 
-// Crash kills shard 0's replica i: its endpoint closes and its event loop
-// exits.
-func (c *Cluster) Crash(i int) {
-	c.CrashShard(0, i)
+// Trust clears suspicion of id at shard s's oracles.
+func (c *Cluster) Trust(s int, id proto.NodeID) {
+	for _, o := range c.shards[s].oracles {
+		o.Trust(id)
+	}
 }
 
-// CrashShard kills shard s's replica i. Other shards are untouched — their
-// groups neither see the crash nor depend on the crashed replica.
-func (c *Cluster) CrashShard(s, i int) {
+// Crash kills shard s's replica i: its endpoint closes and its event loop
+// exits. Other shards are untouched — their groups neither see the crash nor
+// depend on the crashed replica.
+func (c *Cluster) Crash(s, i int) {
 	c.shards[s].net.Crash(c.group[i])
 }
 
-// NewClient creates and starts a client. With one shard it is the protocol's
+// NewClient creates and starts a client. With one shard it is the backend's
 // native client (the weight-quorum client of Figure 5 for OAR, the classic
 // first-reply client for the baselines); with several it is a shard.Client
-// that owns one OAR client per group and routes every Invoke by key hash.
+// that owns one per-group invoker and routes every Invoke by key hash —
+// whatever the backend.
 func (c *Cluster) NewClient() (Invoker, error) {
 	c.mu.Lock()
 	idx := c.nextCli
@@ -462,25 +415,10 @@ func (c *Cluster) NewClient() (Invoker, error) {
 
 func (c *Cluster) newClientAt(idx int) (Invoker, error) {
 	id := proto.ClientID(idx)
-	if c.opts.Protocol != OAR {
-		sg := c.shards[0]
-		bc, err := baseline.NewClient(baseline.ClientConfig{
-			ID:     id,
-			Group:  c.group,
-			Node:   sg.net.Node(id),
-			Tracer: sg.tracer,
-		})
-		if err != nil {
-			return nil, err
-		}
-		bc.Start()
-		return bc, nil
-	}
-
-	backends := make([]shard.Invoker, len(c.shards))
-	started := make([]*core.Client, 0, len(c.shards))
+	perGroup := make([]shard.Invoker, len(c.shards))
+	started := make([]backend.Invoker, 0, len(c.shards))
 	for s, sg := range c.shards {
-		oc, err := core.NewClient(core.ClientConfig{
+		inv, err := c.be.NewInvoker(backend.InvokerConfig{
 			ID:        id,
 			Group:     c.group,
 			GroupID:   sg.id,
@@ -494,14 +432,13 @@ func (c *Cluster) newClientAt(idx int) (Invoker, error) {
 			}
 			return nil, err
 		}
-		oc.Start()
-		started = append(started, oc)
-		backends[s] = oc
+		started = append(started, inv)
+		perGroup[s] = inv
 	}
-	if len(backends) == 1 {
+	if len(started) == 1 {
 		return started[0], nil
 	}
-	sc, err := shard.NewClient(c.router, backends)
+	sc, err := shard.NewClient(c.router, perGroup)
 	if err != nil {
 		for _, prev := range started {
 			prev.Stop()
@@ -511,39 +448,22 @@ func (c *Cluster) newClientAt(idx int) (Invoker, error) {
 	return sc, nil
 }
 
-// FixedSeqServer returns replica i of a FixedSeq cluster.
-func (c *Cluster) FixedSeqServer(i int) *fixedseq.Server { return c.shards[0].fsSrv[i] }
-
-// CTabServer returns replica i of a CTab cluster.
-func (c *Cluster) CTabServer(i int) *ctab.Server { return c.shards[0].ctSrv[i] }
-
 // DeliveredTotal sums definitive deliveries across all shards' replicas,
-// regardless of protocol (OAR counts optimistic + conservative deliveries).
+// regardless of backend (OAR counts optimistic + conservative deliveries,
+// rollbacks deducted).
 func (c *Cluster) DeliveredTotal() uint64 {
 	var total uint64
 	for _, sg := range c.shards {
-		switch c.opts.Protocol {
-		case FixedSeq:
-			for _, s := range sg.fsSrv {
-				total += s.Stats().Delivered
-			}
-		case CTab:
-			for _, s := range sg.ctSrv {
-				total += s.Stats().Delivered
-			}
-		default:
-			for _, s := range sg.servers {
-				st := s.Stats()
-				total += st.OptDelivered + st.ADelivered - st.OptUndelivered
-			}
+		for _, rep := range sg.replicas {
+			total += rep.Stats().Delivered
 		}
 	}
 	return total
 }
 
 // TotalStats sums the protocol counters of all replicas in all shards.
-func (c *Cluster) TotalStats() core.ServerStats {
-	var total core.ServerStats
+func (c *Cluster) TotalStats() backend.Stats {
+	var total backend.Stats
 	for s := range c.shards {
 		total.Accumulate(c.ShardStats(s))
 	}
@@ -551,10 +471,10 @@ func (c *Cluster) TotalStats() core.ServerStats {
 }
 
 // ShardStats sums the protocol counters of shard s's replicas.
-func (c *Cluster) ShardStats(s int) core.ServerStats {
-	var total core.ServerStats
-	for _, srv := range c.shards[s].servers {
-		total.Accumulate(srv.Stats())
+func (c *Cluster) ShardStats(s int) backend.Stats {
+	var total backend.Stats
+	for _, rep := range c.shards[s].replicas {
+		total.Accumulate(rep.Stats())
 	}
 	return total
 }

@@ -21,7 +21,7 @@ func TestValidation(t *testing.T) {
 	if _, err := New(Options{N: 3, FD: FDMode(9)}); err == nil {
 		t.Error("unknown FD mode accepted")
 	}
-	if _, err := New(Options{N: 3, Protocol: Protocol(9)}); err == nil {
+	if _, err := New(Options{N: 3, Protocol: Protocol("no-such-backend")}); err == nil {
 		t.Error("unknown protocol accepted")
 	}
 }
@@ -35,15 +35,15 @@ func TestDefaultsAndAccessors(t *testing.T) {
 	if len(c.Group()) != 3 {
 		t.Errorf("group = %v", c.Group())
 	}
-	if c.Server(0) == nil || c.Machine(0) == nil || c.Oracle(0) == nil || c.Net() == nil {
+	if c.Replica(0, 0) == nil || c.Machine(0, 0) == nil || c.Oracle(0, 0) == nil || c.Net(0) == nil {
 		t.Error("accessor returned nil")
 	}
 	c.SuspectEverywhere(proto.NodeID(0))
-	if !c.Oracle(1).Suspected(0, time.Now()) {
+	if !c.Oracle(0, 1).Suspected(0, time.Now()) {
 		t.Error("SuspectEverywhere did not reach oracle 1")
 	}
 	c.TrustEverywhere(proto.NodeID(0))
-	if c.Oracle(1).Suspected(0, time.Now()) {
+	if c.Oracle(0, 1).Suspected(0, time.Now()) {
 		t.Error("TrustEverywhere did not clear suspicion")
 	}
 }
@@ -54,7 +54,7 @@ func TestLockedMachineUndo(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Stop()
-	m := c.Machine(0)
+	m := c.Machine(0, 0)
 	_, undo := m.Apply([]byte("push a"))
 	if m.Fingerprint() != "a" {
 		t.Fatalf("state = %q", m.Fingerprint())

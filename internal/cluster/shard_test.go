@@ -41,9 +41,6 @@ func TestShardValidation(t *testing.T) {
 	if _, err := New(Options{N: 3, Shards: -1}); err == nil {
 		t.Error("negative Shards accepted")
 	}
-	if _, err := New(Options{N: 3, Shards: 2, Protocol: FixedSeq}); err == nil {
-		t.Error("sharded baseline accepted")
-	}
 }
 
 // TestShardedEndToEnd: a 2-shard kv cluster must serve reads and writes
@@ -140,7 +137,7 @@ func TestShardFaultIsolation(t *testing.T) {
 	// is stalled: its pending request cannot be ordered.
 	const wounded = 1
 	cks[wounded].MarkCrashed(c.Group()[0])
-	c.CrashShard(wounded, 0)
+	c.Crash(wounded, 0)
 	stalled := make(chan proto.Reply, 1)
 	go func() {
 		if r, err := cli.Invoke(ctx, []byte(keyOf[wounded]+" after-crash")); err == nil {
@@ -170,7 +167,7 @@ func TestShardFaultIsolation(t *testing.T) {
 
 	// Let shard 1's detector fire: its group fails over (PhaseII + consensus
 	// among the two survivors) and the stalled request completes.
-	c.SuspectShard(wounded, c.Group()[0])
+	c.Suspect(wounded, c.Group()[0])
 	select {
 	case <-stalled:
 	case <-time.After(shardTestTimeout):
@@ -188,5 +185,121 @@ func TestShardFaultIsolation(t *testing.T) {
 	}
 	if st := c.TotalStats(); st.ForeignDropped != 0 {
 		t.Errorf("foreign-group traffic observed on disjoint networks: %+v", st)
+	}
+}
+
+// TestShardedBaselineFaultIsolation is the proof that sharding is no longer
+// an OAR privilege: a 2-shard fixed-sequencer cluster boots through the same
+// backend path, routes by key hash, and — using the group-qualified fault
+// hooks — one shard's sequencer crash stalls only that shard until its
+// (scripted) detector fires the view change, while the other keeps serving.
+func TestShardedBaselineFaultIsolation(t *testing.T) {
+	const shards = 2
+	c, err := New(Options{Protocol: FixedSeq, N: 3, Shards: shards, FD: FDOracle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	cli, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), shardTestTimeout)
+	defer cancel()
+
+	keyOf := make([]string, shards)
+	for s := range keyOf {
+		keyOf[s] = keyFor(t, c, s)
+	}
+	for s := 0; s < shards; s++ {
+		if _, err := cli.Invoke(ctx, []byte(keyOf[s]+" warm")); err != nil {
+			t.Fatalf("warm-up shard %d: %v", s, err)
+		}
+	}
+
+	// Crash shard 1's view-0 sequencer; nobody suspects it yet.
+	const wounded = 1
+	c.Crash(wounded, 0)
+	stalled := make(chan proto.Reply, 1)
+	go func() {
+		if r, err := cli.Invoke(ctx, []byte(keyOf[wounded]+" after-crash")); err == nil {
+			stalled <- r
+		}
+	}()
+
+	// The healthy shard keeps serving under its own per-invoke deadline.
+	for round := 0; round < 5; round++ {
+		ictx, icancel := context.WithTimeout(ctx, 5*time.Second)
+		if _, err := cli.Invoke(ictx, []byte(fmt.Sprintf("%s load%d", keyOf[0], round))); err != nil {
+			icancel()
+			t.Fatalf("healthy shard stalled during shard %d's outage: %v", wounded, err)
+		}
+		icancel()
+	}
+	select {
+	case <-stalled:
+		t.Fatal("wounded shard made progress with a crashed, unsuspected sequencer")
+	default:
+	}
+
+	// Script the suspicion in the wounded group only: its survivors bump the
+	// view, the next rank re-orders, the stalled request completes.
+	c.Suspect(wounded, c.Group()[0])
+	select {
+	case <-stalled:
+	case <-time.After(shardTestTimeout):
+		t.Fatal("wounded shard never failed over")
+	}
+	if views := c.ShardStats(wounded).Views; views == 0 {
+		t.Errorf("wounded shard recorded no view change: %+v", c.ShardStats(wounded))
+	}
+	// The healthy shard saw no view change and no foreign traffic.
+	if views := c.ShardStats(0).Views; views != 0 {
+		t.Errorf("healthy shard changed views during another shard's outage: %+v", c.ShardStats(0))
+	}
+	if st := c.TotalStats(); st.ForeignDropped != 0 {
+		t.Errorf("foreign-group traffic observed on disjoint networks: %+v", st)
+	}
+}
+
+// TestShardedCTab boots the consensus-per-batch baseline across two shards:
+// the conservative protocol must shard exactly like the others.
+func TestShardedCTab(t *testing.T) {
+	c, err := New(Options{Protocol: CTab, N: 3, Shards: 2, Machine: "kv", FD: FDNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	cli, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), shardTestTimeout)
+	defer cancel()
+	const keys = 8
+	for i := 0; i < keys; i++ {
+		if _, err := cli.Invoke(ctx, []byte(fmt.Sprintf("set k%d v%d", i, i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < keys; i++ {
+		reply, err := cli.Invoke(ctx, []byte(fmt.Sprintf("get k%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(reply.Result) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("get k%d = %q", i, reply.Result)
+		}
+	}
+	for s := 0; s < 2; s++ {
+		st := c.ShardStats(s)
+		if st.Delivered == 0 || st.Batches == 0 {
+			t.Errorf("shard %d served nothing: %+v", s, st)
+		}
+	}
+	// Delivery at the non-replying replicas is asynchronous; wait for the
+	// cluster-wide total to settle.
+	if !WaitUntil(shardTestTimeout, func() bool { return c.DeliveredTotal() == uint64(3*2*keys) }) {
+		t.Errorf("DeliveredTotal = %d, want %d", c.DeliveredTotal(), 3*2*keys)
 	}
 }

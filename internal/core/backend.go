@@ -1,0 +1,77 @@
+package core
+
+import (
+	"repro/internal/backend"
+)
+
+// BackendName is the registry name of the OAR protocol.
+const BackendName = "oar"
+
+func init() { backend.Register(oarBackend{}) }
+
+// oarBackend adapts the OAR protocol (Server/Client) to the protocol-
+// agnostic backend contract: the one place the generic replica runtime's
+// knob set is mapped onto this protocol's configuration.
+type oarBackend struct{}
+
+var _ backend.Backend = oarBackend{}
+
+func (oarBackend) Name() string { return BackendName }
+
+func (oarBackend) NewReplica(cfg backend.ReplicaConfig) (backend.Replica, error) {
+	srv, err := NewServer(ServerConfig{
+		ID:                cfg.ID,
+		Group:             cfg.Group,
+		GroupID:           cfg.GroupID,
+		Node:              cfg.Node,
+		Machine:           cfg.Machine,
+		Detector:          cfg.Detector,
+		RelayMode:         cfg.RelayMode,
+		TickInterval:      cfg.TickInterval,
+		HeartbeatInterval: cfg.HeartbeatInterval,
+		EpochRequestLimit: cfg.EpochRequestLimit,
+		BatchWindow:       cfg.BatchWindow,
+		MaxBatch:          cfg.MaxBatch,
+		Tracer:            cfg.Tracer,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return oarReplica{srv}, nil
+}
+
+func (oarBackend) NewInvoker(cfg backend.InvokerConfig) (backend.Invoker, error) {
+	cli, err := NewClient(ClientConfig{
+		ID:        cfg.ID,
+		Group:     cfg.Group,
+		GroupID:   cfg.GroupID,
+		Node:      cfg.Node,
+		Tracer:    cfg.Tracer,
+		Unbatched: cfg.Unbatched,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cli.Start()
+	return cli, nil
+}
+
+// oarReplica wraps *Server so the protocol-specific counter set maps onto
+// the shared one. The embedded server keeps its full surface (Footprint,
+// Epoch) reachable through a type assertion where a test needs it.
+type oarReplica struct{ *Server }
+
+var _ backend.Replica = oarReplica{}
+
+func (r oarReplica) Stats() backend.Stats {
+	s := r.Server.Stats()
+	return backend.Stats{
+		Delivered:      s.OptDelivered + s.ADelivered - s.OptUndelivered,
+		OptDelivered:   s.OptDelivered,
+		OptUndelivered: s.OptUndelivered,
+		ADelivered:     s.ADelivered,
+		Epochs:         s.Epochs,
+		SeqOrdersSent:  s.SeqOrdersSent,
+		ForeignDropped: s.ForeignDropped,
+	}
+}

@@ -3,7 +3,6 @@ package core
 import (
 	"context"
 	"fmt"
-	"runtime"
 	"sync"
 
 	"repro/internal/proto"
@@ -96,7 +95,7 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		return nil, fmt.Errorf("core: %v is not a client ID", cfg.ID)
 	}
 	if cfg.Tracer == nil {
-		cfg.Tracer = nopTracer{}
+		cfg.Tracer = NopTracer()
 	}
 	c := &Client{
 		cfg:        cfg,
@@ -143,35 +142,17 @@ const clientFlushSpins = 2
 // the sends of concurrent Invokes into one frame per server per round.
 func (c *Client) sendLoop(ctx context.Context) {
 	defer close(c.senderDone)
-	out := newBatcher(c.cfg.Node, c.cfg.GroupID)
+	out := transport.NewBatcher(c.cfg.Node, c.cfg.GroupID)
 	for {
 		select {
 		case <-ctx.Done():
 			return
 		case job := <-c.sendCh:
-			out.add(job.to, job.payload)
-			// A flooded queue stops lingering at maxDrain frames so the
-			// flush always runs.
-			absorbed := 1
-		linger:
-			for spins := 0; spins < clientFlushSpins; spins++ {
-			drain:
-				for absorbed < maxDrain {
-					select {
-					case job = <-c.sendCh:
-						out.add(job.to, job.payload)
-						absorbed++
-						spins = -1 // progress: restart the linger
-					default:
-						break drain
-					}
-				}
-				if absorbed >= maxDrain {
-					break linger // round full: flush now
-				}
-				runtime.Gosched()
-			}
-			out.flush()
+			out.Add(job.to, job.payload)
+			transport.DrainLinger(c.sendCh, clientFlushSpins, maxDrain-1, func(j sendJob) {
+				out.Add(j.to, j.payload)
+			})
+			out.Flush()
 		}
 	}
 }

@@ -6,7 +6,14 @@ import (
 
 	"repro/internal/check"
 	"repro/internal/cluster"
+	"repro/internal/core"
 )
+
+// footprint reaches through the protocol-agnostic replica handle to the OAR
+// server's bookkeeping gauge.
+func footprint(c *cluster.Cluster, i int) core.Footprint {
+	return c.Replica(0, i).(interface{ Footprint() core.Footprint }).Footprint()
+}
 
 // TestBookkeepingBoundedByEpochGC is the regression test for the unbounded
 // per-request state growth: before the fix, rOrder and payloads kept every
@@ -38,7 +45,7 @@ func TestBookkeepingBoundedByEpochGC(t *testing.T) {
 	maxLive := 3 * limit
 	settled := func() bool {
 		for i := 0; i < 3; i++ {
-			fp := c.Server(i).Footprint()
+			fp := footprint(c, i)
 			if fp.ADelivered < requests-limit || fp.Payloads > maxLive || fp.Pending != 0 {
 				return false
 			}
@@ -47,12 +54,12 @@ func TestBookkeepingBoundedByEpochGC(t *testing.T) {
 	}
 	if !cluster.WaitUntil(testTimeout, settled) {
 		for i := 0; i < 3; i++ {
-			t.Logf("p%d footprint: %+v", i, c.Server(i).Footprint())
+			t.Logf("p%d footprint: %+v", i, footprint(c, i))
 		}
 		t.Fatal("per-request bookkeeping did not drain after A-delivery")
 	}
 	for i := 0; i < 3; i++ {
-		fp := c.Server(i).Footprint()
+		fp := footprint(c, i)
 		if fp.ROrder > maxLive || fp.Payloads > maxLive || fp.ODelivered > maxLive {
 			t.Errorf("p%d: live footprint not bounded by the epoch limit: %+v", i, fp)
 		}

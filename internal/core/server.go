@@ -3,11 +3,11 @@ package core
 import (
 	"context"
 	"fmt"
-	"runtime"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/app"
+	"repro/internal/backend"
 	"repro/internal/cnsvorder"
 	"repro/internal/consensus"
 	"repro/internal/fd"
@@ -18,10 +18,11 @@ import (
 	"repro/internal/wire"
 )
 
-// Defaults for ServerConfig.
+// Defaults for ServerConfig. The loop intervals live in backend (they are
+// shared by every protocol); DefaultMaxBatch is OAR's own.
 const (
-	DefaultTickInterval      = time.Millisecond
-	DefaultHeartbeatInterval = 5 * time.Millisecond
+	DefaultTickInterval      = backend.DefaultTickInterval
+	DefaultHeartbeatInterval = backend.DefaultHeartbeatInterval
 	// DefaultMaxBatch is the ordering batch size used when MaxBatch is zero.
 	DefaultMaxBatch = 512
 )
@@ -155,7 +156,7 @@ type Server struct {
 	// replies and consensus traffic share frames). The buffers are reused
 	// across rounds, so the steady-state send path allocates only the one
 	// owned frame handed to the transport.
-	out     *batcher
+	out     *transport.Batcher
 	scratch *wire.Writer // reusable encoder for replies
 
 	statOpt     atomic.Uint64
@@ -195,7 +196,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		cfg.HeartbeatInterval = DefaultHeartbeatInterval
 	}
 	if cfg.Tracer == nil {
-		cfg.Tracer = nopTracer{}
+		cfg.Tracer = NopTracer()
 	}
 	s := &Server{
 		cfg:           cfg,
@@ -203,7 +204,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		payloads:      make(map[proto.RequestID]proto.Request),
 		aDelivered:    make(map[proto.RequestID]struct{}),
 		oSet:          make(map[proto.RequestID]struct{}),
-		out:           newBatcher(cfg.Node, cfg.GroupID),
+		out:           transport.NewBatcher(cfg.Node, cfg.GroupID),
 		scratch:       wire.NewWriter(256),
 		phase2Sent:    make(map[uint64]struct{}),
 		phase2Started: make(map[uint64]struct{}),
@@ -258,34 +259,18 @@ func (s *Server) Run(ctx context.Context) error {
 			}
 			now := time.Now()
 			s.handleMessage(m, now)
-			// Linger over an empty inbox for a couple of scheduler yields:
-			// companion messages of this round (relayed copies, the other
-			// replicas' traffic) are frequently in flight on runnable
-			// goroutines, and absorbing them now makes the ordering batch —
-			// and every coalesced outbound frame — correspondingly larger.
-			// An idle replica pays only the yields; a flooded one stops at
-			// maxDrain messages so the flush below always runs.
-			absorbed := 1
-		linger:
-			for spins := 0; s.batching() && spins < serverFlushSpins; spins++ {
-			drain:
-				for absorbed < maxDrain {
-					select {
-					case m, ok := <-inbox:
-						if !ok {
-							return nil
-						}
-						s.handleMessage(m, now)
-						absorbed++
-						spins = -1 // progress: restart the linger
-					default:
-						break drain
-					}
-				}
-				if absorbed >= maxDrain {
-					break linger // round full: flush now, the backlog stays hot
-				}
-				runtime.Gosched()
+			// Round formation (transport.DrainLinger): absorb the backlog —
+			// with a short scheduler-yield linger — so the ordering batch
+			// and every coalesced outbound frame cover the whole round.
+			// Skipped entirely when the batching layer is off.
+			spins := 0
+			if s.batching() {
+				spins = serverFlushSpins
+			}
+			if _, open := transport.DrainLinger(inbox, spins, maxDrain-1, func(m transport.Message) {
+				s.handleMessage(m, now)
+			}); !open {
+				return nil
 			}
 			s.flushOrder(time.Now())
 			s.flushSends()
@@ -315,7 +300,7 @@ func (s *Server) send(to proto.NodeID, payload []byte) {
 		_ = s.cfg.Node.Send(to, payload)
 		return
 	}
-	s.out.add(to, payload)
+	s.out.Add(to, payload)
 }
 
 // sendReply encodes and sends a reply. On the batching path the reply is
@@ -329,12 +314,12 @@ func (s *Server) sendReply(to proto.NodeID, reply proto.Reply) {
 	s.scratch.Reset()
 	proto.EncodeHeader(s.scratch, proto.KindReply, s.cfg.GroupID)
 	reply.Encode(s.scratch)
-	s.out.add(to, s.scratch.Bytes())
+	s.out.Add(to, s.scratch.Bytes())
 }
 
 // flushSends ships every send the current round buffered.
 func (s *Server) flushSends() {
-	s.out.flush()
+	s.out.Flush()
 }
 
 func (s *Server) sendToPeers(payload []byte) {

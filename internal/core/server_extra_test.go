@@ -33,7 +33,7 @@ func TestLaggingReplicaCatchesUp(t *testing.T) {
 	invoke(t, cli, "m1")
 
 	// Isolate p2 (messages held, not lost — reliable channels).
-	c.Net().BlockGroups([]proto.NodeID{2}, []proto.NodeID{0, 1})
+	c.Net(0).BlockGroups([]proto.NodeID{2}, []proto.NodeID{0, 1})
 
 	// The majority {p0, p1} keeps going through multiple epochs. With
 	// EpochRequestLimit=2 the sequencer forces PhaseII repeatedly; consensus
@@ -41,16 +41,16 @@ func TestLaggingReplicaCatchesUp(t *testing.T) {
 	for i := 2; i <= 9; i++ {
 		invoke(t, cli, fmt.Sprintf("m%d", i))
 	}
-	if !cluster.WaitUntil(testTimeout, func() bool { return c.Server(0).Stats().Epochs >= 2 }) {
+	if !cluster.WaitUntil(testTimeout, func() bool { return c.ReplicaStats(0, 0).Epochs >= 2 }) {
 		t.Fatalf("majority did not advance epochs: %+v", c.TotalStats())
 	}
-	if got := c.Server(2).Stats().OptDelivered + c.Server(2).Stats().ADelivered; got > 1 {
+	if got := c.ReplicaStats(0, 2).OptDelivered + c.ReplicaStats(0, 2).ADelivered; got > 1 {
 		t.Fatalf("isolated replica delivered %d messages", got)
 	}
 
 	// Heal: p2 replays held traffic (orderings for later epochs arrive
 	// before it finishes earlier phase 2s) and converges.
-	c.Net().Heal()
+	c.Net(0).Heal()
 	fingerprintsConverge(t, c, []int{0, 1, 2})
 	verifyAll(t, ck, true)
 }
@@ -71,7 +71,7 @@ func TestSeqOrderPayloadPiggyback(t *testing.T) {
 	// Drop the client's R-multicast copies to p1 and p2 (not the sequencer's
 	// ordering). With Lazy relay, no replica re-forwards either.
 	cid := proto.ClientID(0)
-	c.Net().SetFilter(func(from, to proto.NodeID, payload []byte) memnet.Verdict {
+	c.Net(0).SetFilter(func(from, to proto.NodeID, payload []byte) memnet.Verdict {
 		if from == cid && to != proto.NodeID(0) {
 			return memnet.Drop
 		}
@@ -105,11 +105,11 @@ func TestTwoCrashesWithFive(t *testing.T) {
 	}
 	invoke(t, cli, "m1")
 	ck.MarkCrashed(proto.NodeID(0))
-	c.Crash(0)
+	c.Crash(0, 0)
 	invoke(t, cli, "m2")
 	invoke(t, cli, "m3")
 	ck.MarkCrashed(proto.NodeID(2))
-	c.Crash(2)
+	c.Crash(0, 2)
 	for i := 4; i <= 7; i++ {
 		invoke(t, cli, fmt.Sprintf("m%d", i))
 	}
@@ -136,8 +136,8 @@ func TestSequencerRotationWrapsAround(t *testing.T) {
 	}
 	// 8 requests, 1 per epoch: epochs well beyond n=3, so the rotating
 	// sequencer wrapped at least twice.
-	if !cluster.WaitUntil(testTimeout, func() bool { return c.Server(0).Stats().Epochs >= 6 }) {
-		t.Fatalf("epochs = %+v", c.Server(0).Stats())
+	if !cluster.WaitUntil(testTimeout, func() bool { return c.ReplicaStats(0, 0).Epochs >= 6 }) {
+		t.Fatalf("epochs = %+v", c.ReplicaStats(0, 0))
 	}
 	fingerprintsConverge(t, c, []int{0, 1, 2})
 	verifyAll(t, ck, true)
@@ -156,7 +156,7 @@ func TestNonSequencerCrashIsSeamless(t *testing.T) {
 	}
 	invoke(t, cli, "m1")
 	ck.MarkCrashed(proto.NodeID(2))
-	c.Crash(2)
+	c.Crash(0, 2)
 	for i := 2; i <= 5; i++ {
 		invoke(t, cli, fmt.Sprintf("m%d", i))
 	}
@@ -221,7 +221,7 @@ func TestGarbageOnTheWire(t *testing.T) {
 	}
 	invoke(t, cli, "m1")
 
-	evil := c.Net().Node(proto.ClientID(99))
+	evil := c.Net(0).Node(proto.ClientID(99))
 	payloads := [][]byte{
 		nil,
 		{0x00},
@@ -308,7 +308,7 @@ func TestInterleavedClientsSeeOneOrder(t *testing.T) {
 	}
 	fingerprintsConverge(t, c, []int{0, 1, 2})
 	// The read must reflect the last write in the agreed order at all replicas.
-	fp := c.Machine(0).Fingerprint()
+	fp := c.Machine(0, 0).Fingerprint()
 	if want := "shared=" + string(reply.Result) + ";"; fp != want {
 		t.Fatalf("final state %q does not match read %q", fp, reply.Result)
 	}

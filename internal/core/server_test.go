@@ -54,9 +54,9 @@ func verifyAll(t *testing.T, ck *check.Checker, liveness bool) {
 func fingerprintsConverge(t *testing.T, c *cluster.Cluster, replicas []int) {
 	t.Helper()
 	ok := cluster.WaitUntil(testTimeout, func() bool {
-		ref := c.Machine(replicas[0]).Fingerprint()
+		ref := c.Machine(0, replicas[0]).Fingerprint()
 		for _, i := range replicas[1:] {
-			if c.Machine(i).Fingerprint() != ref {
+			if c.Machine(0, i).Fingerprint() != ref {
 				return false
 			}
 		}
@@ -64,7 +64,7 @@ func fingerprintsConverge(t *testing.T, c *cluster.Cluster, replicas []int) {
 	})
 	if !ok {
 		for _, i := range replicas {
-			t.Logf("p%d: %q", i, c.Machine(i).Fingerprint())
+			t.Logf("p%d: %q", i, c.Machine(0, i).Fingerprint())
 		}
 		t.Fatal("replica states did not converge")
 	}
@@ -136,7 +136,7 @@ func TestConcurrentClientsKV(t *testing.T) {
 		t.Fatalf("deliveries incomplete: %+v", c.TotalStats())
 	}
 	fingerprintsConverge(t, c, []int{0, 1, 2})
-	if got := c.Machine(0).Fingerprint(); len(got) == 0 {
+	if got := c.Machine(0, 0).Fingerprint(); len(got) == 0 {
 		t.Error("kv store empty after 100 sets")
 	}
 	verifyAll(t, ck, true)
@@ -165,7 +165,7 @@ func TestSequencerCrashFailover(t *testing.T) {
 	}
 	// Kill the sequencer.
 	ck.MarkCrashed(proto.NodeID(0))
-	c.Crash(0)
+	c.Crash(0, 0)
 
 	// Requests must keep completing through fail-over.
 	for i := 4; i <= 8; i++ {
@@ -176,7 +176,7 @@ func TestSequencerCrashFailover(t *testing.T) {
 	}
 	// The survivors must have run at least one conservative phase.
 	if !cluster.WaitUntil(testTimeout, func() bool {
-		return c.Server(1).Stats().Epochs >= 1 && c.Server(2).Stats().Epochs >= 1
+		return c.ReplicaStats(0, 1).Epochs >= 1 && c.ReplicaStats(0, 2).Epochs >= 1
 	}) {
 		t.Fatal("no epoch closed after sequencer crash")
 	}
@@ -214,9 +214,9 @@ func TestFigure4OptUndeliver(t *testing.T) {
 	}
 
 	// Stage B: partition the minority (and c1) away from the majority.
-	c.Net().BlockGroups(pmin, pmaj)
+	c.Net(0).BlockGroups(pmin, pmaj)
 	c1ID := proto.ClientID(0)
-	c.Net().BlockGroups([]proto.NodeID{c1ID}, pmaj)
+	c.Net(0).BlockGroups([]proto.NodeID{c1ID}, pmaj)
 
 	// m3 reaches only the minority; p0 orders it, both opt-deliver.
 	m3done := make(chan proto.Reply, 1)
@@ -229,7 +229,7 @@ func TestFigure4OptUndeliver(t *testing.T) {
 		}
 	}()
 	if !cluster.WaitUntil(testTimeout, func() bool {
-		return c.Server(0).Stats().OptDelivered == 3 && c.Server(1).Stats().OptDelivered == 3
+		return c.ReplicaStats(0, 0).OptDelivered == 3 && c.ReplicaStats(0, 1).OptDelivered == 3
 	}) {
 		t.Fatal("minority did not opt-deliver m3")
 	}
@@ -254,7 +254,7 @@ func TestFigure4OptUndeliver(t *testing.T) {
 		}
 	}()
 	if !cluster.WaitUntil(testTimeout, func() bool {
-		return c.Server(0).Stats().OptDelivered == 4 && c.Server(1).Stats().OptDelivered == 4
+		return c.ReplicaStats(0, 0).OptDelivered == 4 && c.ReplicaStats(0, 1).OptDelivered == 4
 	}) {
 		t.Fatal("minority did not opt-deliver m4")
 	}
@@ -262,12 +262,12 @@ func TestFigure4OptUndeliver(t *testing.T) {
 	// Majority suspects the whole minority, runs phase 2 of epoch 0 without
 	// them, A-delivers m4 at position 3 and moves to epoch 1.
 	for _, i := range []int{2, 3, 4} {
-		c.Oracle(i).Suspect(0)
-		c.Oracle(i).Suspect(1)
+		c.Oracle(0, i).Suspect(0)
+		c.Oracle(0, i).Suspect(1)
 	}
 	if !cluster.WaitUntil(testTimeout, func() bool {
 		for _, i := range []int{2, 3, 4} {
-			st := c.Server(i).Stats()
+			st := c.ReplicaStats(0, i)
 			if st.Epochs < 1 || st.ADelivered < 1 {
 				return false
 			}
@@ -290,7 +290,7 @@ func TestFigure4OptUndeliver(t *testing.T) {
 	// A-deliver m4 at position 3, and m3 gets re-ordered in epoch 1.
 	c.TrustEverywhere(0)
 	c.TrustEverywhere(1)
-	c.Net().Heal()
+	c.Net(0).Heal()
 
 	var m3reply proto.Reply
 	select {
@@ -306,16 +306,16 @@ func TestFigure4OptUndeliver(t *testing.T) {
 	}
 	// All five replicas converge on the same history: m1 m2 m4 m3.
 	if !cluster.WaitUntil(testTimeout, func() bool {
-		ref := c.Machine(0).Fingerprint()
+		ref := c.Machine(0, 0).Fingerprint()
 		for i := 1; i < 5; i++ {
-			if c.Machine(i).Fingerprint() != ref {
+			if c.Machine(0, i).Fingerprint() != ref {
 				return false
 			}
 		}
 		return ref == "m1|m2|m4|m3"
 	}) {
 		for i := 0; i < 5; i++ {
-			t.Logf("p%d: %q", i, c.Machine(i).Fingerprint())
+			t.Logf("p%d: %q", i, c.Machine(0, i).Fingerprint())
 		}
 		t.Fatal("states did not converge to m1|m2|m4|m3")
 	}
@@ -336,8 +336,8 @@ func TestWrongSuspicionIsHarmless(t *testing.T) {
 	invoke(t, cli, "m2")
 
 	// p1 and p2 wrongly suspect the healthy sequencer p0.
-	c.Oracle(1).Suspect(0)
-	c.Oracle(2).Suspect(0)
+	c.Oracle(0, 1).Suspect(0)
+	c.Oracle(0, 2).Suspect(0)
 	if !cluster.WaitUntil(testTimeout, func() bool { return c.TotalStats().Epochs >= 3 }) {
 		t.Fatalf("phase 2 did not run: %+v", c.TotalStats())
 	}
@@ -366,7 +366,7 @@ func TestEpochGC(t *testing.T) {
 	}
 	// 12 requests with a limit of 4 must have closed at least 2 epochs, and
 	// the rotating sequencer must have moved on.
-	if !cluster.WaitUntil(testTimeout, func() bool { return c.Server(0).Stats().Epochs >= 2 }) {
+	if !cluster.WaitUntil(testTimeout, func() bool { return c.ReplicaStats(0, 0).Epochs >= 2 }) {
 		t.Fatalf("GC epochs did not close: %+v", c.TotalStats())
 	}
 	if ck.Undeliveries() != 0 {
@@ -409,7 +409,7 @@ func TestBankConsistencyUnderFailover(t *testing.T) {
 	invoke(t, cli, "deposit a 100")
 
 	ck.MarkCrashed(proto.NodeID(0))
-	c.Crash(0)
+	c.Crash(0, 0)
 
 	for i := 0; i < 5; i++ {
 		invoke(t, cli, "transfer a b 10")

@@ -86,14 +86,14 @@ func soakOnce(t *testing.T, seed int64) {
 				if r, ok := crashAfter[step]; ok && !crashed[r] && len(crashed) < maxCrash {
 					crashed[r] = true
 					ck.MarkCrashed(proto.NodeID(r))
-					c.Crash(r)
+					c.Crash(0, r)
 				}
 				if step == blockAt {
 					a, b := proto.NodeID(rng.Intn(n)), proto.NodeID(rng.Intn(n))
-					c.Net().Block(a, b)
+					c.Net(0).Block(a, b)
 					go func() {
 						time.Sleep(30 * time.Millisecond)
-						c.Net().Unblock(a, b)
+						c.Net(0).Unblock(a, b)
 					}()
 				}
 				mu.Unlock()

@@ -12,96 +12,19 @@
 package core
 
 import (
-	"repro/internal/cnsvorder"
-	"repro/internal/proto"
+	"repro/internal/backend"
 )
 
-// Tracer observes protocol events. The trace checker (internal/check) uses
-// it to verify the paper's propositions on every run; metrics collectors use
-// it for latency accounting. All methods are called from protocol event
-// loops: implementations must be fast and safe for concurrent use (events
-// come from n servers + clients). A nil Tracer disables tracing.
-type Tracer interface {
-	// Issue records a client executing OAR-multicast(m, Π) (Figure 5, line 2).
-	Issue(client proto.NodeID, req proto.RequestID, cmd []byte)
-	// OptDeliver records an optimistic delivery (Figure 6, line 17).
-	OptDeliver(server proto.NodeID, epoch uint64, req proto.RequestID, pos uint64, result []byte)
-	// OptUndeliver records an undo (Figure 6, line 26).
-	OptUndeliver(server proto.NodeID, epoch uint64, req proto.RequestID)
-	// ADeliver records a conservative delivery (Figure 6, line 28).
-	ADeliver(server proto.NodeID, epoch uint64, req proto.RequestID, pos uint64, result []byte)
-	// EpochClose records a completed phase 2: the server's Cnsv-order input
-	// and result for the epoch.
-	EpochClose(server proto.NodeID, epoch uint64, input cnsvorder.Input, result cnsvorder.Result)
-	// Adopt records a client adopting a reply (Figure 5, line 5).
-	Adopt(client proto.NodeID, req proto.RequestID, reply proto.Reply)
-}
+// Tracer observes protocol events. The interface itself lives in
+// internal/backend (every ordering backend emits the same event
+// vocabulary); this alias keeps core's historical spelling — the paper's
+// events are defined here — valid everywhere.
+type Tracer = backend.Tracer
 
 // NopTracer returns the tracer that ignores all events.
-func NopTracer() Tracer { return nopTracer{} }
+func NopTracer() Tracer { return backend.NopTracer() }
 
 // MultiTracer fans every event out to all given tracers (nil entries are
 // skipped), letting e.g. a trace checker and a timeline printer observe the
 // same run.
-func MultiTracer(tracers ...Tracer) Tracer {
-	kept := make([]Tracer, 0, len(tracers))
-	for _, t := range tracers {
-		if t != nil {
-			kept = append(kept, t)
-		}
-	}
-	return multiTracer(kept)
-}
-
-type multiTracer []Tracer
-
-var _ Tracer = multiTracer(nil)
-
-func (m multiTracer) Issue(c proto.NodeID, r proto.RequestID, cmd []byte) {
-	for _, t := range m {
-		t.Issue(c, r, cmd)
-	}
-}
-
-func (m multiTracer) OptDeliver(s proto.NodeID, e uint64, r proto.RequestID, p uint64, res []byte) {
-	for _, t := range m {
-		t.OptDeliver(s, e, r, p, res)
-	}
-}
-
-func (m multiTracer) OptUndeliver(s proto.NodeID, e uint64, r proto.RequestID) {
-	for _, t := range m {
-		t.OptUndeliver(s, e, r)
-	}
-}
-
-func (m multiTracer) ADeliver(s proto.NodeID, e uint64, r proto.RequestID, p uint64, res []byte) {
-	for _, t := range m {
-		t.ADeliver(s, e, r, p, res)
-	}
-}
-
-func (m multiTracer) EpochClose(s proto.NodeID, e uint64, in cnsvorder.Input, res cnsvorder.Result) {
-	for _, t := range m {
-		t.EpochClose(s, e, in, res)
-	}
-}
-
-func (m multiTracer) Adopt(c proto.NodeID, r proto.RequestID, reply proto.Reply) {
-	for _, t := range m {
-		t.Adopt(c, r, reply)
-	}
-}
-
-// nopTracer is the default tracer.
-type nopTracer struct{}
-
-var _ Tracer = nopTracer{}
-
-func (nopTracer) Issue(proto.NodeID, proto.RequestID, []byte)                      {}
-func (nopTracer) OptDeliver(proto.NodeID, uint64, proto.RequestID, uint64, []byte) {}
-func (nopTracer) OptUndeliver(proto.NodeID, uint64, proto.RequestID)               {}
-func (nopTracer) ADeliver(proto.NodeID, uint64, proto.RequestID, uint64, []byte)   {}
-func (nopTracer) EpochClose(proto.NodeID, uint64, cnsvorder.Input, cnsvorder.Result) {
-}
-func (nopTracer) Adopt(proto.NodeID, proto.RequestID, proto.Reply) {}
+func MultiTracer(tracers ...Tracer) Tracer { return backend.MultiTracer(tracers...) }

@@ -56,6 +56,10 @@ type Config struct {
 	// Shards, when positive, overrides E9's shard-count sweep to the powers
 	// of two up to this value (default sweep: 1, 2, 4).
 	Shards int
+	// Protocols, when non-empty, restricts the backend sweeps (E2, E5, E10)
+	// to the given backends (the -protocol flag of oar-bench). Default: all
+	// three built-ins.
+	Protocols []cluster.Protocol
 }
 
 func (c Config) requests(full int) int {
@@ -131,6 +135,15 @@ func runClosedLoop(c *cluster.Cluster, clients, total int, hist *metrics.Histogr
 // protocols under comparison in the latency/throughput experiments.
 var protocols = []cluster.Protocol{cluster.OAR, cluster.FixedSeq, cluster.CTab}
 
+// protocols returns the backends a sweep covers: the -protocol selection, or
+// all three built-ins.
+func (c Config) protocols() []cluster.Protocol {
+	if len(c.Protocols) > 0 {
+		return c.Protocols
+	}
+	return protocols
+}
+
 // E2FailureFreeLatency reproduces the Figure 2 claim: in failure-free runs
 // OAR needs one ordering phase, like the sequencer baseline and unlike the
 // consensus-per-batch baseline. Reports client latency and messages per
@@ -146,7 +159,7 @@ func E2FailureFreeLatency(cfg Config) (Result, error) {
 	}
 	requests := cfg.requests(400)
 	for _, n := range cfg.sizes() {
-		for _, p := range protocols {
+		for _, p := range cfg.protocols() {
 			c, err := cluster.New(cluster.Options{
 				Protocol: p, N: n, FD: cluster.FDNever, Net: netOpts(int64(n)),
 			})
@@ -154,9 +167,9 @@ func E2FailureFreeLatency(cfg Config) (Result, error) {
 				return res, err
 			}
 			hist := metrics.NewHistogram()
-			c.Net().ResetStats()
+			c.Net(0).ResetStats()
 			_, err = runClosedLoop(c, 1, requests, hist)
-			stats := c.Net().Stats()
+			stats := c.Net(0).Stats()
 			c.Stop()
 			if err != nil {
 				return res, fmt.Errorf("E2 %v n=%d: %w", p, n, err)
@@ -191,7 +204,7 @@ func E5Throughput(cfg Config) (Result, error) {
 	}
 	requests := cfg.requests(800)
 	for _, clients := range clientCounts {
-		for _, p := range protocols {
+		for _, p := range cfg.protocols() {
 			c, err := cluster.New(cluster.Options{
 				Protocol: p, N: 3, FD: cluster.FDNever, Net: netOpts(7),
 			})
@@ -258,7 +271,7 @@ func E3Failover(cfg Config) (Result, error) {
 			}
 			healthy += time.Since(t0)
 
-			c.Crash(0) // the epoch-0 sequencer
+			c.Crash(0, 0) // the epoch-0 sequencer
 			t0 = time.Now()
 			if _, err := cli.Invoke(ctx, []byte("after-crash")); err != nil {
 				cancel()
@@ -343,7 +356,7 @@ func E6EpochGC(cfg Config) (Result, error) {
 		}
 		hist := metrics.NewHistogram()
 		elapsed, err := runClosedLoop(c, 4, requests, hist)
-		epochs := c.Server(0).Stats().Epochs
+		epochs := c.ReplicaStats(0, 0).Epochs
 		c.Stop()
 		if err != nil {
 			return res, fmt.Errorf("E6 limit=%d: %w", limit, err)
@@ -383,9 +396,9 @@ func A1RelayStrategy(cfg Config) (Result, error) {
 				return res, err
 			}
 			hist := metrics.NewHistogram()
-			c.Net().ResetStats()
+			c.Net(0).ResetStats()
 			_, err = runClosedLoop(c, 1, requests, hist)
-			stats := c.Net().Stats()
+			stats := c.Net(0).Stats()
 			c.Stop()
 			if err != nil {
 				return res, fmt.Errorf("A1 %s n=%d: %w", name, n, err)

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/backend"
 	"repro/internal/cluster"
 )
 
@@ -145,8 +146,10 @@ func TestProtocolsEnumerated(t *testing.T) {
 	if !seen["oar"] || !seen["fixedseq"] || !seen["ctab"] {
 		t.Errorf("protocols = %v", seen)
 	}
-	if cluster.Protocol(99).String() == "" {
-		t.Error("unknown protocol has empty name")
+	for _, p := range protocols {
+		if _, err := backend.Lookup(p.String()); err != nil {
+			t.Errorf("protocol %v has no registered backend: %v", p, err)
+		}
 	}
 }
 
@@ -197,6 +200,38 @@ func TestE9QualitativeShape(t *testing.T) {
 		}
 		if speedup < 2.5 {
 			t.Errorf("4-shard speedup %.2fx < 2.5x on a %d-core machine", speedup, runtime.NumCPU())
+		}
+	}
+}
+
+func TestE10QualitativeShape(t *testing.T) {
+	r, err := E10BackendMatrix(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkShape(t, r, 3*2*2) // 3 backends x shards {1,2} x fault {none,crash}
+	for _, row := range r.Rows {
+		// Every OAR cell — sharded, faulted, or both — must be checker-clean;
+		// the unchecked baseline cells report "-".
+		if viol := row[len(row)-1]; row[0] == "oar" && viol != "0" {
+			t.Errorf("oar cell saw checker violations: %v", row)
+		} else if row[0] != "oar" && viol != "-" {
+			t.Errorf("baseline cell claims a checker verdict: %v", row)
+		}
+	}
+}
+
+func TestE10ProtocolSelection(t *testing.T) {
+	cfg := quick()
+	cfg.Protocols = []cluster.Protocol{cluster.CTab}
+	r, err := E10BackendMatrix(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkShape(t, r, 2*2) // one backend x shards {1,2} x fault {none,crash}
+	for _, row := range r.Rows {
+		if row[0] != "ctab" {
+			t.Errorf("unexpected backend in restricted sweep: %v", row)
 		}
 	}
 }

@@ -79,22 +79,19 @@ func RunFigure1b(protocol cluster.Protocol, extra ...core.Tracer) (Outcome, erro
 	}
 
 	// The crash-in-flight: p0's ordering messages stop leaving the box.
-	c.Net().SetFilter(func(from, to proto.NodeID, payload []byte) memnet.Verdict {
+	c.Net(0).SetFilter(func(from, to proto.NodeID, payload []byte) memnet.Verdict {
 		if from == proto.NodeID(0) && len(payload) > 0 && proto.Kind(payload[0]) == proto.KindSeqOrder {
 			return memnet.Drop
 		}
 		return memnet.Deliver
 	})
 	c1ID := proto.ClientID(0)
-	c.Net().Block(c1ID, proto.NodeID(1))
-	c.Net().Block(c1ID, proto.NodeID(2))
+	c.Net(0).Block(c1ID, proto.NodeID(1))
+	c.Net(0).Block(c1ID, proto.NodeID(2))
 
-	deliveredAtP0 := func() uint64 {
-		if protocol == cluster.OAR {
-			return c.Server(0).Stats().OptDelivered
-		}
-		return c.FixedSeqServer(0).Stats().Delivered
-	}
+	// The unified Delivered counter makes this wait protocol-agnostic: OAR's
+	// optimistic deliveries and the baseline's irrevocable ones both count.
+	deliveredAtP0 := func() uint64 { return c.ReplicaStats(0, 0).Delivered }
 
 	// c1: pop (reaches p0 only, directly); wait until p0 ordered it so that
 	// p0's order is deterministically (pop; push x), as in Figure 1(b).
@@ -124,21 +121,16 @@ func RunFigure1b(protocol cluster.Protocol, extra ...core.Tracer) (Outcome, erro
 	}
 	time.Sleep(5 * time.Millisecond) // let p0's replies leave before the crash
 	ck.MarkCrashed(proto.NodeID(0))
-	c.Crash(0)
+	c.Crash(0, 0)
 
 	// Fail-over happens; then the client links heal.
 	time.Sleep(50 * time.Millisecond)
-	c.Net().Unblock(c1ID, proto.NodeID(1))
-	c.Net().Unblock(c1ID, proto.NodeID(2))
+	c.Net(0).Unblock(c1ID, proto.NodeID(1))
+	c.Net(0).Unblock(c1ID, proto.NodeID(2))
 
 	// Both requests must eventually complete at the survivors.
 	survivorsDone := func() bool {
-		if protocol == cluster.OAR {
-			s1, s2 := c.Server(1).Stats(), c.Server(2).Stats()
-			return s1.OptDelivered+s1.ADelivered-s1.OptUndelivered >= 3 &&
-				s2.OptDelivered+s2.ADelivered-s2.OptUndelivered >= 3
-		}
-		return c.FixedSeqServer(1).Stats().Delivered >= 3 && c.FixedSeqServer(2).Stats().Delivered >= 3
+		return c.ReplicaStats(0, 1).Delivered >= 3 && c.ReplicaStats(0, 2).Delivered >= 3
 	}
 	if !cluster.WaitUntil(invokeTimeout, survivorsDone) {
 		return Outcome{}, fmt.Errorf("survivors never completed the run")
@@ -227,9 +219,9 @@ func RunFigure4(protocol cluster.Protocol, extra ...core.Tracer) (Outcome, error
 	}
 
 	// Partition the minority {p0 (sequencer), p1} and c1 from the majority.
-	c.Net().BlockGroups(pminIDs, pmajIDs)
+	c.Net(0).BlockGroups(pminIDs, pmajIDs)
 	c1ID := proto.ClientID(0)
-	c.Net().BlockGroups([]proto.NodeID{c1ID}, pmajIDs)
+	c.Net(0).BlockGroups([]proto.NodeID{c1ID}, pmajIDs)
 
 	m3Ch := make(chan proto.Reply, 1)
 	go func() {
@@ -240,10 +232,7 @@ func RunFigure4(protocol cluster.Protocol, extra ...core.Tracer) (Outcome, error
 		}
 	}()
 	minorityHas := func(count uint64) bool {
-		if protocol == cluster.OAR {
-			return c.Server(0).Stats().OptDelivered >= count && c.Server(1).Stats().OptDelivered >= count
-		}
-		return c.FixedSeqServer(0).Stats().Delivered >= count && c.FixedSeqServer(1).Stats().Delivered >= count
+		return c.ReplicaStats(0, 0).Delivered >= count && c.ReplicaStats(0, 1).Delivered >= count
 	}
 	if !cluster.WaitUntil(invokeTimeout, func() bool { return minorityHas(3) }) {
 		return Outcome{}, fmt.Errorf("minority never processed m3")
@@ -263,20 +252,20 @@ func RunFigure4(protocol cluster.Protocol, extra ...core.Tracer) (Outcome, error
 
 	// The majority suspects the whole minority and moves on without it.
 	for _, i := range []int{2, 3, 4} {
-		c.Oracle(i).Suspect(0)
-		c.Oracle(i).Suspect(1)
+		c.Oracle(0, i).Suspect(0)
+		c.Oracle(0, i).Suspect(1)
 	}
 	majorityMoved := func() bool {
 		if protocol == cluster.OAR {
 			for _, i := range []int{2, 3, 4} {
-				if c.Server(i).Stats().Epochs < 1 {
+				if c.ReplicaStats(0, i).Epochs < 1 {
 					return false
 				}
 			}
 			return true
 		}
 		for _, i := range []int{2, 3, 4} {
-			if c.FixedSeqServer(i).Stats().Delivered < 3 { // m1 m2 m4
+			if c.ReplicaStats(0, i).Delivered < 3 { // m1 m2 m4
 				return false
 			}
 		}
@@ -289,7 +278,7 @@ func RunFigure4(protocol cluster.Protocol, extra ...core.Tracer) (Outcome, error
 	// Heal; trust again; everything must converge.
 	c.TrustEverywhere(0)
 	c.TrustEverywhere(1)
-	c.Net().Heal()
+	c.Net(0).Heal()
 
 	select {
 	case <-m3Ch:
@@ -301,9 +290,9 @@ func RunFigure4(protocol cluster.Protocol, extra ...core.Tracer) (Outcome, error
 	}
 	// Wait for convergence of the replicated state.
 	cluster.WaitUntil(5*time.Second, func() bool {
-		ref := c.Machine(0).Fingerprint()
+		ref := c.Machine(0, 0).Fingerprint()
 		for i := 1; i < 5; i++ {
-			if c.Machine(i).Fingerprint() != ref {
+			if c.Machine(0, i).Fingerprint() != ref {
 				return false
 			}
 		}

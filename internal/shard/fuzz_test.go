@@ -1,0 +1,67 @@
+package shard
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzKeyFunc feeds arbitrary command bytes and machine names to every key
+// extractor: none may panic, and the extracted key must always be a
+// (possibly empty) sub-slice of the command — keys are views, not copies, so
+// the router's hash loop never touches memory outside the command.
+func FuzzKeyFunc(f *testing.F) {
+	f.Add([]byte("set k1 v1"), "kv")
+	f.Add([]byte("push x"), "stack")
+	f.Add([]byte("  \t  "), "bank")
+	f.Add([]byte(""), "")
+	f.Add([]byte("a"), "no-such-machine")
+	f.Add([]byte("deposit acct-9 100"), "bank")
+	f.Fuzz(func(t *testing.T, cmd []byte, machine string) {
+		for _, kf := range []KeyFunc{FirstToken, MachineKey(machine)} {
+			key := kf(cmd)
+			if len(key) > len(cmd) {
+				t.Fatalf("key longer than command: %q from %q", key, cmd)
+			}
+			if len(key) > 0 && !bytes.Contains(cmd, key) {
+				t.Fatalf("key %q is not a sub-slice of command %q", key, cmd)
+			}
+			for _, b := range key {
+				if b == ' ' || b == '\t' {
+					t.Fatalf("key %q contains whitespace", key)
+				}
+			}
+		}
+	})
+}
+
+// FuzzRouter feeds arbitrary commands and shard counts to the router: Route
+// must never panic, its output must always be a valid group index, and the
+// assignment must be deterministic — two clients hashing the same command
+// must land on the same group, that is the whole no-directory design.
+func FuzzRouter(f *testing.F) {
+	f.Add([]byte("set k1 v1"), uint8(4))
+	f.Add([]byte(""), uint8(1))
+	f.Add([]byte("x"), uint8(255))
+	f.Fuzz(func(t *testing.T, cmd []byte, shards uint8) {
+		n := int(shards)%64 + 1
+		r, err := NewRouter(n, FirstToken)
+		if err != nil {
+			t.Fatalf("NewRouter(%d): %v", n, err)
+		}
+		g := r.Route(cmd)
+		if int(g) >= n {
+			t.Fatalf("Route(%q) = %v with only %d groups", cmd, g, n)
+		}
+		if again := r.Route(cmd); again != g {
+			t.Fatalf("Route(%q) not deterministic: %v then %v", cmd, g, again)
+		}
+		// An independently built router (another client) must agree.
+		r2, err := NewRouter(n, FirstToken)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if other := r2.Route(cmd); other != g {
+			t.Fatalf("independent routers disagree on %q: %v vs %v", cmd, g, other)
+		}
+	})
+}

@@ -1,10 +1,9 @@
-package core
+package transport
 
 import (
 	"encoding/binary"
 
 	"repro/internal/proto"
-	"repro/internal/transport"
 )
 
 // sendBuf accumulates one destination's outbound messages as a proto.Batch
@@ -19,28 +18,33 @@ type sendBuf struct {
 // flush, so one exceptional burst does not pin memory forever.
 const sendBufMaxIdle = 64 << 10
 
-// batcher coalesces the sends of one batching round per destination, tagging
-// every envelope with the owning ordering group. It is owned by a single
-// goroutine (the server event loop, or the client's sender loop). FIFO per
-// destination is preserved because frames are appended in send order and
+// Batcher coalesces the sends of one batching round per destination, tagging
+// every envelope with the owning ordering group. Every protocol's hot path —
+// the OAR server and client loops as well as the baseline replicas and the
+// first-reply client — funnels its sends through one of these, so all
+// backends are measured under the same transport. A Batcher is owned by a
+// single goroutine (a replica event loop, or a client's sender loop). FIFO
+// per destination is preserved because frames are appended in send order and
 // rounds never interleave.
-type batcher struct {
-	node   transport.Node
+type Batcher struct {
+	node   Node
 	header []byte // precomputed [KindBatch][group] envelope header
 	bufs   map[proto.NodeID]*sendBuf
 	order  []proto.NodeID // destinations with buffered sends, in first-send order
 }
 
-func newBatcher(node transport.Node, group proto.GroupID) *batcher {
-	return &batcher{
+// NewBatcher creates a batcher shipping through node, tagging envelopes with
+// the given ordering group.
+func NewBatcher(node Node, group proto.GroupID) *Batcher {
+	return &Batcher{
 		node:   node,
 		header: proto.AppendHeader(nil, proto.KindBatch, group),
 		bufs:   make(map[proto.NodeID]*sendBuf),
 	}
 }
 
-// add appends one kind-tagged message to to's envelope buffer.
-func (b *batcher) add(to proto.NodeID, frame []byte) {
+// Add appends one kind-tagged message to to's envelope buffer.
+func (b *Batcher) Add(to proto.NodeID, frame []byte) {
 	sb, ok := b.bufs[to]
 	if !ok {
 		sb = &sendBuf{}
@@ -55,12 +59,12 @@ func (b *batcher) add(to proto.NodeID, frame []byte) {
 	sb.count++
 }
 
-// flush ships every buffered send: one owned frame per destination — the
+// Flush ships every buffered send: one owned frame per destination — the
 // batch envelope, or the bare inner message when the round produced just one
 // (so single-message traffic is byte-identical to the unbatched wire). Send
 // errors mean the network or this node is gone; the caller's receive side
 // will observe the closed inbox. Nothing useful to do here.
-func (b *batcher) flush() {
+func (b *Batcher) Flush() {
 	for _, to := range b.order {
 		sb := b.bufs[to]
 		raw := sb.buf

@@ -65,6 +65,12 @@ type ClusterOptions struct {
 	// Replicas is the group size n (1..64). At most ⌊(n-1)/2⌋ crash
 	// failures are tolerated — per ordering group.
 	Replicas int
+	// Protocol names the ordering backend the cluster runs (default "oar",
+	// the paper's optimistic active replication). The baselines ("fixedseq",
+	// "ctab") and any backend registered with internal/backend are valid;
+	// every option below that the protocol understands applies unchanged,
+	// including Shards.
+	Protocol string
 	// Shards is the number of independent ordering groups the keyspace is
 	// partitioned over (default 1). Each shard is a complete Replicas-sized
 	// OAR group; clients returned by NewClient route every command to the
@@ -111,6 +117,7 @@ func NewCluster(opts ClusterOptions) (*Cluster, error) {
 		opts.Machine = "kv"
 	}
 	inner, err := cluster.New(cluster.Options{
+		Protocol:          cluster.Protocol(opts.Protocol),
 		N:                 opts.Replicas,
 		Shards:            opts.Shards,
 		Machine:           opts.Machine,
@@ -142,12 +149,20 @@ func (c *Cluster) NewClient() (*Client, error) {
 // Shards returns the number of independent ordering groups.
 func (c *Cluster) Shards() int { return c.inner.Shards() }
 
-// CrashReplica fault-injects a crash of replica i (for testing fail-over).
-func (c *Cluster) CrashReplica(i int) { c.inner.Crash(i) }
+// CrashReplica fault-injects a crash of shard 0's replica i (for testing
+// fail-over). With Shards > 1 use CrashShardReplica to target any group.
+func (c *Cluster) CrashReplica(i int) { c.inner.Crash(0, i) }
+
+// CrashShardReplica fault-injects a crash of shard s's replica i. The other
+// ordering groups neither see the crash nor depend on the crashed replica.
+func (c *Cluster) CrashShardReplica(s, i int) { c.inner.Crash(s, i) }
 
 // Stats summarizes protocol activity across all replicas of all shards.
 type Stats struct {
-	// OptDelivered counts optimistic deliveries (the fast path).
+	// Delivered counts definitive command deliveries, whatever the
+	// protocol (for OAR, rollbacks are already deducted).
+	Delivered uint64
+	// OptDelivered counts optimistic deliveries (the fast path; OAR only).
 	OptDelivered uint64
 	// OptUndelivered counts rolled-back deliveries.
 	OptUndelivered uint64
@@ -172,6 +187,7 @@ func (c *Cluster) Stats() Stats {
 	s := c.inner.TotalStats()
 	n := c.inner.NetTotal()
 	return Stats{
+		Delivered:       s.Delivered,
 		OptDelivered:    s.OptDelivered,
 		OptUndelivered:  s.OptUndelivered,
 		ADelivered:      s.ADelivered,
