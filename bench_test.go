@@ -26,6 +26,7 @@ import (
 	"repro/internal/memnet"
 	"repro/internal/proto"
 	"repro/internal/rmcast"
+	"repro/internal/workload"
 )
 
 // benchNet is the campus-network latency model shared with the experiment
@@ -359,6 +360,47 @@ func BenchmarkE9ShardScaling(b *testing.B) {
 			b.StopTimer()
 			b.ReportMetric(float64(shards), "shards")
 			b.ReportMetric(float64(c.NetTotal().MessagesSent)/float64(b.N), "frames/req")
+		})
+	}
+}
+
+// BenchmarkE11Workload: the workload engine driving a 2-shard OAR kv
+// cluster, closed loop, per key distribution. b.N measured requests at 8
+// workers over 2 endpoints; ns/op ≈ per-request latency under pipelining,
+// and the reported p50/p99 are the engine's own percentiles.
+func BenchmarkE11Workload(b *testing.B) {
+	for _, dist := range workload.Dists() {
+		b.Run(dist, func(b *testing.B) {
+			c, err := cluster.New(cluster.Options{
+				N: 3, Shards: 2, Machine: "kv", FD: cluster.FDNever,
+				Net: memnet.Options{Seed: 31}, // instant delivery
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(c.Stop)
+			invokers := make([]workload.Invoke, 2)
+			for i := range invokers {
+				cli, err := c.NewClient()
+				if err != nil {
+					b.Fatal(err)
+				}
+				invokers[i] = func(ctx context.Context, cmd []byte) error {
+					_, err := cli.Invoke(ctx, cmd)
+					return err
+				}
+			}
+			spec := workload.Spec{
+				Workers: 8, Requests: b.N, Warmup: -1, Keys: 256, Dist: dist, Seed: 17,
+			}
+			b.ResetTimer()
+			rep, err := workload.Run(context.Background(), spec, invokers, nil)
+			b.StopTimer()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(rep.Latency.P50)/1e3, "p50-µs")
+			b.ReportMetric(float64(rep.Latency.P99)/1e3, "p99-µs")
 		})
 	}
 }

@@ -1,12 +1,26 @@
 // Command oar-bench runs the reproduction experiment suite of DESIGN.md
-// (E1–E10 and the ablations A1–A2) and prints one table per experiment —
+// (E1–E11 and the ablations A1–A2) and prints one table per experiment —
 // the data recorded in EXPERIMENTS.md.
+//
+// Usage:
 //
 //	oar-bench                      # full suite (a few minutes)
 //	oar-bench -quick               # scaled-down sweep (tens of seconds)
 //	oar-bench -run E2,E5           # a subset
-//	oar-bench -protocol oar,ctab   # restrict the backend sweeps (E2, E5, E10)
+//	oar-bench -protocol oar,ctab   # restrict the backend sweeps (E2, E5, E10, E11)
 //	oar-bench -json BENCH.json     # machine-readable results for trend tracking
+//
+// The workload matrix (E11) is shaped with:
+//
+//	oar-bench -run E11 -dist zipfian           # one key distribution
+//	oar-bench -run E11 -workload open          # one loop discipline
+//	oar-bench -run E11 -rw 0.9                 # 90% reads
+//
+// -json output includes, per experiment, a `latency` array of structured
+// samples (labels, count, p50_ns/p90_ns/p99_ns/max_ns, req_per_sec) — the
+// stable schema CI trend tracking consumes. -require-latency makes the run
+// fail when the selected experiments produced no (or zero-valued) latency
+// samples, so the schema cannot silently rot.
 package main
 
 import (
@@ -27,15 +41,19 @@ func main() {
 }
 
 // jsonResult is the machine-readable form of one experiment's outcome,
-// written by -json so the perf trajectory (req/s, frames/req, violations)
-// can be tracked across commits as BENCH_*.json artifacts.
+// written by -json so the perf trajectory (req/s, frames/req, violations —
+// and, since E11, latency percentiles) can be tracked across commits as
+// BENCH_*.json artifacts.
 type jsonResult struct {
-	ID        string     `json:"id"`
-	Title     string     `json:"title,omitempty"`
-	Header    []string   `json:"header,omitempty"`
-	Rows      [][]string `json:"rows,omitempty"`
-	Notes     []string   `json:"notes,omitempty"`
-	ElapsedMS int64      `json:"elapsed_ms"`
+	ID     string     `json:"id"`
+	Title  string     `json:"title,omitempty"`
+	Header []string   `json:"header,omitempty"`
+	Rows   [][]string `json:"rows,omitempty"`
+	Notes  []string   `json:"notes,omitempty"`
+	// Latency is the experiment's structured latency samples (see
+	// experiments.LatencySample for the stable field schema).
+	Latency   []experiments.LatencySample `json:"latency,omitempty"`
+	ElapsedMS int64                       `json:"elapsed_ms"`
 	// Error marks an experiment that ran but failed, so a trend-tracking
 	// consumer can tell "failed" from "not selected".
 	Error string `json:"error,omitempty"`
@@ -58,6 +76,26 @@ func parseProtocols(list string) ([]cluster.Protocol, error) {
 	return out, nil
 }
 
+// checkLatency enforces the -require-latency gate: at least one selected
+// experiment must have produced latency samples, and every sample must have
+// a filled schema (count and positive p50/p99). Returns a description of
+// the first problem, or "".
+func checkLatency(results []jsonResult) string {
+	sampled := 0
+	for _, r := range results {
+		for i, s := range r.Latency {
+			if s.Count == 0 || s.P50NS <= 0 || s.P99NS <= 0 {
+				return fmt.Sprintf("%s latency sample %d has empty schema fields: %+v", r.ID, i, s)
+			}
+			sampled++
+		}
+	}
+	if sampled == 0 {
+		return "no experiment produced latency samples (expected from E2 and E11)"
+	}
+	return ""
+}
+
 func run() int {
 	var (
 		quick       = flag.Bool("quick", false, "scaled-down request counts and sweeps")
@@ -65,8 +103,12 @@ func run() int {
 		batchWindow = flag.Duration("batch-window", 0, "sequencer batch window for E8's batched rows (0 = adaptive)")
 		maxBatch    = flag.Int("max-batch", 0, "max requests per ordering message for E8's batched rows (0 = default)")
 		shards      = flag.Int("shards", 0, "largest shard count E9 sweeps to, in powers of two (0 = the 1/2/4 default)")
-		protoList   = flag.String("protocol", "", "comma-separated ordering backends for the E2/E5/E10 sweeps (default: "+strings.Join(backend.Names(), ",")+")")
+		protoList   = flag.String("protocol", "", "comma-separated ordering backends for the E2/E5/E10/E11 sweeps (default: "+strings.Join(backend.Names(), ",")+")")
+		workloadSel = flag.String("workload", "", "restrict E11's loop disciplines: closed or open (default: both)")
+		distSel     = flag.String("dist", "", "restrict E11's key distributions: uniform or zipfian (default: both)")
+		readRatio   = flag.Float64("rw", 0.5, "E11's read fraction in [0,1] (0 = all writes)")
 		jsonPath    = flag.String("json", "", "write machine-readable per-experiment results to this path")
+		requireLat  = flag.Bool("require-latency", false, "fail unless the selected experiments emitted complete latency samples (the CI schema gate)")
 	)
 	flag.Parse()
 	selected, err := parseProtocols(*protoList)
@@ -74,12 +116,19 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "oar-bench: %v\n", err)
 		return 2
 	}
+	rw := *readRatio
+	if rw == 0 {
+		rw = -1 // the experiments' Config uses 0 for "default mix", negative for "all writes"
+	}
 	cfg := experiments.Config{
 		Quick:       *quick,
 		BatchWindow: *batchWindow,
 		MaxBatch:    *maxBatch,
 		Shards:      *shards,
 		Protocols:   selected,
+		Workload:    *workloadSel,
+		Dist:        *distSel,
+		ReadRatio:   rw,
 	}
 
 	type exp struct {
@@ -97,6 +146,7 @@ func run() int {
 		{"E8", experiments.E8Batching},
 		{"E9", experiments.E9ShardScaling},
 		{"E10", experiments.E10BackendMatrix},
+		{"E11", experiments.E11WorkloadMatrix},
 		{"A1", experiments.A1RelayStrategy},
 		{"A2", experiments.A2UndoThriftiness},
 	}
@@ -132,6 +182,7 @@ func run() int {
 			Header:    res.Header,
 			Rows:      res.Rows,
 			Notes:     res.Notes,
+			Latency:   res.Latency,
 			ElapsedMS: took.Milliseconds(),
 		})
 	}
@@ -143,6 +194,12 @@ func run() int {
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "oar-bench: writing %s: %v\n", *jsonPath, err)
+			failed = true
+		}
+	}
+	if *requireLat {
+		if problem := checkLatency(collected); problem != "" {
+			fmt.Fprintf(os.Stderr, "oar-bench: latency schema gate: %s\n", problem)
 			failed = true
 		}
 	}

@@ -1,8 +1,15 @@
 // Command oar-client talks to a TCP-deployed OAR cluster. Commands come
-// from the command line (one invocation) or stdin (one command per line).
+// from the command line (one invocation) or stdin (one command per line);
+// each reply is printed with its total-order position, endorsement weight
+// and end-to-end response time.
 //
 //	oar-client -servers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 set k v
 //	echo -e "set a 1\nget a" | oar-client -servers ...
+//
+// Flags: -servers (rank order), -index (unique per concurrent client
+// process), -group (the ordering group the listed servers serve), -timeout
+// (per request). For sustained load and latency percentiles use
+// oar-loadgen instead.
 package main
 
 import (

@@ -6,7 +6,18 @@
 //	oar-server -rank 1 -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 &
 //	oar-server -rank 2 -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 &
 //
-// then talk to it with oar-client.
+// then talk to it with oar-client, or load-test it with oar-loadgen.
+//
+// A sharded deployment runs one replica group per ordering group: group
+// g's replicas all pass -group g and list only their own group's -peers.
+// Clients (oar-client -group, oar-loadgen's ';'-separated -servers) route
+// by key hash; traffic that reaches the wrong group is dropped at the
+// door, never misordered.
+//
+// Flags: -rank, -peers, -listen, -machine, -group, -suspicion-timeout
+// (◊S detection; lower = faster fail-over, more false suspicions — safe
+// but slower), -epoch-limit (force a conservative phase every N requests
+// to bound optimistic bookkeeping; 0 = never).
 package main
 
 import (

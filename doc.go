@@ -53,6 +53,25 @@
 // than misordered. Crash failures stall only the affected group until its
 // detector fires.
 //
+// # Latency observability
+//
+// Response time — not just throughput — is what optimistic delivery is
+// for, so every client in the system measures it unconditionally: each
+// successful Invoke records its submit-to-adopted-reply time into a
+// lock-free log-bucket histogram (~4% resolution). Cluster-wide
+// percentiles are exposed as Stats.Latency (Count, Mean, P50/P90/P99,
+// Min/Max), per ordering group as Cluster.ShardLatency, and per TCP client
+// as TCPClient.Stats (which adds wire frame/byte counters). Histograms
+// merge exactly across workers, shards and processes, so aggregated
+// percentiles are true percentiles, not averages of percentiles.
+//
+// The workload engine behind the numbers (closed and open loop
+// disciplines, coordinated-omission-corrected open-loop sampling,
+// uniform/zipfian key skew, read/write mix, warmup, deterministic seeds)
+// drives both the experiment suite (oar-bench, experiment E11) and real
+// TCP deployments (cmd/oar-loadgen); EXPERIMENTS.md documents the
+// measurement methodology.
+//
 // # Replicated state machines
 //
 // Any deterministic state machine with per-command undo can be replicated

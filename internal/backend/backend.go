@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/app"
 	"repro/internal/fd"
+	"repro/internal/metrics"
 	"repro/internal/proto"
 	"repro/internal/rmcast"
 	"repro/internal/transport"
@@ -143,10 +144,18 @@ type Stats struct {
 	Views uint64
 	// Batches counts ctab's completed consensus instances.
 	Batches uint64
+	// Latency is the client-observed end-to-end invocation latency of the
+	// backend's clients, attached at aggregation time: replicas return it
+	// nil (a replica never sees a client's response time), and the cluster
+	// runtime fills it from the measured invokers it wraps around every
+	// client (see Measure). Accumulate merges histograms exactly, so
+	// per-shard latencies aggregate into system-wide percentiles.
+	Latency *metrics.Histogram
 }
 
 // Accumulate adds other's counters to s (used to aggregate replicas and
-// shards).
+// shards). A non-nil other.Latency is merged into an accumulator-owned
+// histogram — other's is never aliased or mutated.
 func (s *Stats) Accumulate(other Stats) {
 	s.Delivered += other.Delivered
 	s.OptDelivered += other.OptDelivered
@@ -157,6 +166,12 @@ func (s *Stats) Accumulate(other Stats) {
 	s.ForeignDropped += other.ForeignDropped
 	s.Views += other.Views
 	s.Batches += other.Batches
+	if other.Latency != nil {
+		if s.Latency == nil {
+			s.Latency = metrics.NewHistogram()
+		}
+		s.Latency.Merge(other.Latency)
+	}
 }
 
 var (

@@ -1,0 +1,42 @@
+package backend
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/proto"
+)
+
+// Measure wraps an Invoker so that every successful Invoke records its
+// end-to-end response time — submit to adopted reply, the metric the
+// source paper's optimistic delivery exists to cut — into hist. Failed
+// invocations (context expiry, shutdown) record nothing: an aborted wait is
+// not a response time, and mixing the two corrupts the tail. A nil hist
+// returns inner unchanged.
+//
+// The wrapper preserves the inner invoker's concurrency contract (Record is
+// lock-free) and forwards Stop, so it is transparent to the cluster runtime
+// and the shard fan-out client.
+func Measure(inner Invoker, hist *metrics.Histogram) Invoker {
+	if hist == nil {
+		return inner
+	}
+	return &measuredInvoker{inner: inner, hist: hist}
+}
+
+type measuredInvoker struct {
+	inner Invoker
+	hist  *metrics.Histogram
+}
+
+func (m *measuredInvoker) Invoke(ctx context.Context, cmd []byte) (proto.Reply, error) {
+	start := time.Now()
+	r, err := m.inner.Invoke(ctx, cmd)
+	if err == nil {
+		m.hist.Record(time.Since(start))
+	}
+	return r, err
+}
+
+func (m *measuredInvoker) Stop() { m.inner.Stop() }

@@ -30,6 +30,7 @@ import (
 	"repro/internal/backend"
 	"repro/internal/fd"
 	"repro/internal/memnet"
+	"repro/internal/metrics"
 	"repro/internal/proto"
 	"repro/internal/rmcast"
 	"repro/internal/shard"
@@ -158,6 +159,10 @@ type shardGroup struct {
 	oracles  []*fd.Oracle // non-nil in FDOracle mode
 	mach     []app.Machine
 	tracer   backend.Tracer
+	// latency collects client-observed response times for this group: every
+	// invoker NewClient hands out is wrapped in backend.Measure recording
+	// here, so per-group and cluster-wide percentiles are always available.
+	latency *metrics.Histogram
 }
 
 // Cluster is a running set of replica groups of one ordering backend.
@@ -245,9 +250,10 @@ func (c *Cluster) tracerFor(s int) backend.Tracer {
 func (c *Cluster) bootShard(ctx context.Context, s int) (*shardGroup, error) {
 	opts := c.opts
 	sg := &shardGroup{
-		id:     proto.GroupID(s), //nolint:gosec // bounded by Options validation
-		net:    memnet.New(opts.Net),
-		tracer: c.tracerFor(s),
+		id:      proto.GroupID(s), //nolint:gosec // bounded by Options validation
+		net:     memnet.New(opts.Net),
+		tracer:  c.tracerFor(s),
+		latency: metrics.NewHistogram(),
 	}
 	start := time.Now()
 	for i := 0; i < opts.N; i++ {
@@ -432,6 +438,11 @@ func (c *Cluster) newClientAt(idx int) (Invoker, error) {
 			}
 			return nil, err
 		}
+		// Every client endpoint records its response times into the group's
+		// histogram (successful invokes only); with several groups the
+		// sharded client below then attributes each request to the group
+		// that actually served it.
+		inv = backend.Measure(inv, sg.latency)
 		started = append(started, inv)
 		perGroup[s] = inv
 	}
@@ -470,13 +481,36 @@ func (c *Cluster) TotalStats() backend.Stats {
 	return total
 }
 
-// ShardStats sums the protocol counters of shard s's replicas.
+// ShardStats sums the protocol counters of shard s's replicas and attaches
+// the group's client-observed latency histogram (an owned copy — callers may
+// merge it freely).
 func (c *Cluster) ShardStats(s int) backend.Stats {
 	var total backend.Stats
 	for _, rep := range c.shards[s].replicas {
 		total.Accumulate(rep.Stats())
 	}
+	total.Latency = metrics.NewHistogram()
+	total.Latency.Merge(c.shards[s].latency)
 	return total
+}
+
+// Latency summarizes the client-observed end-to-end response times of every
+// invoker the cluster handed out, across all shards. Response time — not
+// just throughput — is what the paper's optimistic delivery is about, so
+// every invoker is measured unconditionally; recording is one lock-free
+// histogram increment.
+func (c *Cluster) Latency() metrics.Snapshot {
+	merged := metrics.NewHistogram()
+	for _, sg := range c.shards {
+		merged.Merge(sg.latency)
+	}
+	return merged.Snapshot()
+}
+
+// ShardLatency summarizes the response times of requests served by ordering
+// group s (useful for spotting skew under non-uniform key distributions).
+func (c *Cluster) ShardLatency(s int) metrics.Snapshot {
+	return c.shards[s].latency.Snapshot()
 }
 
 // WaitUntil polls cond every millisecond until it is true or the timeout

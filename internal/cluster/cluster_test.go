@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"fmt"
 	"testing"
 	"time"
 
@@ -85,6 +86,86 @@ func TestEndToEndSmoke(t *testing.T) {
 	}
 	if st := c.TotalStats(); st.SeqOrdersSent == 0 {
 		t.Error("no sequencer orders counted")
+	}
+}
+
+// TestLatencyObservability: every invoker the cluster hands out records
+// response times — per shard, merged cluster-wide, and attached to the
+// protocol stats — with no opt-in from the caller.
+func TestLatencyObservability(t *testing.T) {
+	c, err := New(Options{N: 3, Shards: 2, FD: FDNever, Machine: "kv"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	cli, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	const n = 16
+	for i := 0; i < n; i++ {
+		if _, err := cli.Invoke(ctx, []byte(fmt.Sprintf("set key%d v", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lat := c.Latency()
+	if lat.Count != n {
+		t.Errorf("Latency().Count = %d, want %d", lat.Count, n)
+	}
+	if lat.P50 <= 0 || lat.P99 < lat.P50 || lat.Max < lat.P99 {
+		t.Errorf("malformed latency snapshot: %+v", lat)
+	}
+	var perShard uint64
+	for s := 0; s < c.Shards(); s++ {
+		sl := c.ShardLatency(s)
+		perShard += sl.Count
+		if st := c.ShardStats(s); st.Latency == nil || st.Latency.Count() != sl.Count {
+			t.Errorf("shard %d stats latency out of step with ShardLatency (%v vs %d)", s, st.Latency, sl.Count)
+		}
+	}
+	if perShard != n {
+		t.Errorf("per-shard latency counts sum to %d, want %d", perShard, n)
+	}
+	total := c.TotalStats()
+	if total.Latency == nil || total.Latency.Count() != n {
+		t.Errorf("TotalStats().Latency missing or wrong: %v", total.Latency)
+	}
+	// The sharded client exposes the observed routing split.
+	type routedder interface{ Routed() []uint64 }
+	rc, ok := cli.(routedder)
+	if !ok {
+		t.Fatalf("sharded client %T exposes no Routed()", cli)
+	}
+	var routed uint64
+	for _, r := range rc.Routed() {
+		routed += r
+	}
+	if routed != n {
+		t.Errorf("Routed sums to %d, want %d", routed, n)
+	}
+}
+
+// TestLatencySingleShard: the single-group fast path (no fan-out client)
+// must be measured too.
+func TestLatencySingleShard(t *testing.T) {
+	c, err := New(Options{N: 1, FD: FDNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	cli, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := cli.Invoke(ctx, []byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Latency().Count; got != 1 {
+		t.Errorf("Latency().Count = %d, want 1", got)
 	}
 }
 

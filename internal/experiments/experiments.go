@@ -26,13 +26,53 @@ import (
 	"repro/internal/rmcast"
 )
 
-// Result is one experiment's output table.
+// Result is one experiment's output table, plus the machine-readable
+// latency samples behind it.
 type Result struct {
 	ID     string
 	Title  string
 	Header []string
 	Rows   [][]string
 	Notes  []string
+	// Latency carries one structured sample per measured cell — the stable
+	// schema BENCH_*.json trend tracking consumes (table Rows are formatted
+	// strings; these are not).
+	Latency []LatencySample
+}
+
+// LatencySample is the machine-readable latency record of one experiment
+// cell. Durations are nanoseconds; the json field names are a stable schema
+// (CI fails the build when they go missing or zero — see oar-bench
+// -require-latency).
+type LatencySample struct {
+	// Labels identifies the cell, e.g. {"backend": "oar", "dist": "zipfian",
+	// "mode": "open"}.
+	Labels map[string]string `json:"labels"`
+	Count  uint64            `json:"count"`
+	MeanNS int64             `json:"mean_ns"`
+	P50NS  int64             `json:"p50_ns"`
+	P90NS  int64             `json:"p90_ns"`
+	P99NS  int64             `json:"p99_ns"`
+	MinNS  int64             `json:"min_ns"`
+	MaxNS  int64             `json:"max_ns"`
+	// ReqPerSec is the cell's measured throughput (0 when the cell measured
+	// latency only).
+	ReqPerSec float64 `json:"req_per_sec,omitempty"`
+}
+
+// latencySample builds the machine-readable record for one cell.
+func latencySample(labels map[string]string, s metrics.Snapshot, reqPerSec float64) LatencySample {
+	return LatencySample{
+		Labels:    labels,
+		Count:     s.Count,
+		MeanNS:    int64(s.Mean),
+		P50NS:     int64(s.P50),
+		P90NS:     int64(s.P90),
+		P99NS:     int64(s.P99),
+		MinNS:     int64(s.Min),
+		MaxNS:     int64(s.Max),
+		ReqPerSec: reqPerSec,
+	}
 }
 
 // String renders the result as text.
@@ -56,10 +96,19 @@ type Config struct {
 	// Shards, when positive, overrides E9's shard-count sweep to the powers
 	// of two up to this value (default sweep: 1, 2, 4).
 	Shards int
-	// Protocols, when non-empty, restricts the backend sweeps (E2, E5, E10)
-	// to the given backends (the -protocol flag of oar-bench). Default: all
-	// three built-ins.
+	// Protocols, when non-empty, restricts the backend sweeps (E2, E5, E10,
+	// E11) to the given backends (the -protocol flag of oar-bench). Default:
+	// all three built-ins.
 	Protocols []cluster.Protocol
+	// Workload restricts E11's loop-discipline sweep to "closed" or "open"
+	// (the -workload flag); empty sweeps both.
+	Workload string
+	// Dist restricts E11's key-distribution sweep to "uniform" or "zipfian"
+	// (the -dist flag); empty sweeps both.
+	Dist string
+	// ReadRatio is E11's read fraction (the -rw flag): 0 means the default
+	// 50/50 mix, negative means all writes.
+	ReadRatio float64
 }
 
 func (c Config) requests(full int) int {
@@ -182,6 +231,8 @@ func E2FailureFreeLatency(cfg Config) (Result, error) {
 				s.P99.Round(time.Microsecond).String(),
 				fmt.Sprintf("%.1f", float64(stats.MessagesSent)/float64(requests)),
 			})
+			res.Latency = append(res.Latency, latencySample(
+				map[string]string{"protocol": p.String(), "n": fmt.Sprint(n)}, s, 0))
 		}
 	}
 	return res, nil

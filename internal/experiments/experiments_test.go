@@ -221,6 +221,71 @@ func TestE10QualitativeShape(t *testing.T) {
 	}
 }
 
+func TestE11QualitativeShape(t *testing.T) {
+	r, err := E11WorkloadMatrix(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkShape(t, r, 3*2*2) // 3 backends x dists {uniform,zipfian} x modes {closed,open}
+	if len(r.Latency) != len(r.Rows) {
+		t.Fatalf("%d latency samples for %d rows", len(r.Latency), len(r.Rows))
+	}
+	for i, row := range r.Rows {
+		// Every OAR cell runs under per-group trace checkers.
+		if viol := row[len(row)-1]; row[0] == "oar" && viol != "0" {
+			t.Errorf("oar cell saw checker violations: %v", row)
+		} else if row[0] != "oar" && viol != "-" {
+			t.Errorf("baseline cell claims a checker verdict: %v", row)
+		}
+		// The latency schema must be filled: this is what CI's
+		// -require-latency gate protects.
+		s := r.Latency[i]
+		if s.Count == 0 || s.P50NS <= 0 || s.P99NS < s.P50NS || s.MaxNS < s.P99NS {
+			t.Errorf("malformed latency sample for row %v: %+v", row, s)
+		}
+		if s.Labels["backend"] == "" || s.Labels["dist"] == "" || s.Labels["mode"] == "" {
+			t.Errorf("latency sample missing labels: %+v", s)
+		}
+	}
+	// Zipfian rows must show more routing skew than uniform rows: that is
+	// the point of carrying the distribution knob all the way down.
+	share := func(row []string) int {
+		var g, pct int
+		if _, err := fmt.Sscanf(row[len(row)-2], "g%d %d%%", &g, &pct); err != nil {
+			t.Fatalf("unparseable hottest column %q", row[len(row)-2])
+		}
+		return pct
+	}
+	for i := 0; i+2 < len(r.Rows); i += 4 {
+		// Rows come in (uniform closed, uniform open, zipfian closed,
+		// zipfian open) blocks per backend.
+		if u, z := share(r.Rows[i]), share(r.Rows[i+2]); z < u {
+			t.Errorf("zipfian skew %d%% below uniform %d%% (rows %v / %v)", z, u, r.Rows[i], r.Rows[i+2])
+		}
+	}
+}
+
+func TestE11Selection(t *testing.T) {
+	cfg := quick()
+	cfg.Protocols = []cluster.Protocol{cluster.OAR}
+	cfg.Dist = "zipfian"
+	cfg.Workload = "closed"
+	r, err := E11WorkloadMatrix(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkShape(t, r, 1)
+	if r.Rows[0][0] != "oar" || r.Rows[0][1] != "zipfian" || r.Rows[0][2] != "closed" {
+		t.Errorf("selection ignored: %v", r.Rows[0])
+	}
+	for _, bad := range []Config{{Dist: "pareto"}, {Workload: "sorta-open"}} {
+		bad.Quick = true
+		if _, err := E11WorkloadMatrix(bad); err == nil {
+			t.Errorf("config %+v accepted", bad)
+		}
+	}
+}
+
 func TestE10ProtocolSelection(t *testing.T) {
 	cfg := quick()
 	cfg.Protocols = []cluster.Protocol{cluster.CTab}

@@ -1,16 +1,19 @@
 // Package metrics provides the latency histogram and counters used by the
-// benchmark harness. The histogram uses logarithmically spaced buckets
-// (HDR-style: ~4% relative resolution) so that p50/p99/max queries are O(1)
-// memory regardless of sample count, and recording is lock-protected but
-// cheap enough for closed-loop workloads.
+// benchmark harness, the workload engine and the client-side latency
+// instrumentation. The histogram uses a fixed array of logarithmically
+// spaced buckets (HDR-style: ~3.7% relative resolution) so that p50/p99/max
+// queries are O(1) memory regardless of sample count, recording is a single
+// lock-free atomic increment (cheap enough to sit on every client's request
+// path), and two histograms merge exactly — bucket counts add — which is
+// what lets per-shard and per-client histograms aggregate into cluster-wide
+// percentiles without approximation error beyond the bucket resolution.
 package metrics
 
 import (
 	"fmt"
 	"math"
-	"sort"
 	"strings"
-	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -18,123 +21,190 @@ import (
 // gives ~3.7% relative error, plenty for latency shapes.
 const bucketsPerDecade = 64
 
-// minTrackable is the smallest distinguishable latency (100 ns).
+// minTrackable is the smallest distinguishable latency (100 ns). Samples
+// below it are clamped up before any bookkeeping.
 const minTrackable = 100 * time.Nanosecond
 
-// Histogram is a log-bucketed latency histogram. The zero value is ready to
-// use; it is safe for concurrent use.
+// trackedDecades spans minTrackable to 1000 s — wider than any latency this
+// system can produce. Samples past the top land in the overflow bucket (their
+// true value still feeds Max).
+const trackedDecades = 10
+
+// numBuckets is the fixed bucket count: trackedDecades full decades plus one
+// overflow bucket.
+const numBuckets = trackedDecades*bucketsPerDecade + 1
+
+// Histogram is a log-bucketed latency histogram over a fixed bucket array.
+// The zero value is ready to use. It is safe for concurrent use: Record is a
+// lock-free atomic increment, and readers (Quantile, Snapshot, Merge) see
+// each sample's bucket either fully counted or not at all. A Histogram must
+// not be copied after first use.
 type Histogram struct {
-	mu      sync.Mutex
-	buckets map[int]uint64
-	count   uint64
-	sum     time.Duration
-	min     time.Duration
-	max     time.Duration
+	count   atomic.Uint64
+	sum     atomic.Int64
+	min     atomic.Int64 // 0 = no samples yet (real samples are >= minTrackable)
+	max     atomic.Int64
+	buckets [numBuckets]atomic.Uint64
 }
 
 // NewHistogram creates an empty histogram.
-func NewHistogram() *Histogram {
-	return &Histogram{buckets: make(map[int]uint64)}
-}
+func NewHistogram() *Histogram { return &Histogram{} }
 
 func bucketOf(d time.Duration) int {
-	if d < minTrackable {
-		d = minTrackable
+	b := int(math.Floor(math.Log10(float64(d)/float64(minTrackable)) * bucketsPerDecade))
+	if b < 0 {
+		return 0
 	}
-	return int(math.Floor(math.Log10(float64(d)/float64(minTrackable)) * bucketsPerDecade))
+	if b >= numBuckets {
+		return numBuckets - 1
+	}
+	return b
 }
 
+// bucketValue is the representative latency of bucket b (its log-scale
+// midpoint).
 func bucketValue(b int) time.Duration {
 	return time.Duration(float64(minTrackable) * math.Pow(10, (float64(b)+0.5)/bucketsPerDecade))
 }
 
-// Record adds one latency sample.
+// Record adds one latency sample. Samples below the 100ns resolution floor
+// are clamped up to it.
 func (h *Histogram) Record(d time.Duration) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.buckets == nil {
-		h.buckets = make(map[int]uint64)
+	if d < minTrackable {
+		d = minTrackable
 	}
-	h.buckets[bucketOf(d)]++
-	h.count++
-	h.sum += d
-	if h.count == 1 || d < h.min {
-		h.min = d
+	h.buckets[bucketOf(d)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+	for {
+		cur := h.min.Load()
+		if cur != 0 && cur <= int64(d) {
+			break
+		}
+		if h.min.CompareAndSwap(cur, int64(d)) {
+			break
+		}
 	}
-	if d > h.max {
-		h.max = d
+	for {
+		cur := h.max.Load()
+		if cur >= int64(d) {
+			break
+		}
+		if h.max.CompareAndSwap(cur, int64(d)) {
+			break
+		}
+	}
+}
+
+// Merge adds every sample of other into h (bucket counts add exactly, so
+// merging is associative and commutative up to the shared bucket layout).
+// It tolerates a nil other. Merging while other is still being recorded to
+// is safe but may miss in-flight samples; merge after the measured run, or
+// accept the skew.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil {
+		return
+	}
+	for i := range other.buckets {
+		if n := other.buckets[i].Load(); n > 0 {
+			h.buckets[i].Add(n)
+		}
+	}
+	h.count.Add(other.count.Load())
+	h.sum.Add(other.sum.Load())
+	if omin := other.min.Load(); omin != 0 {
+		for {
+			cur := h.min.Load()
+			if cur != 0 && cur <= omin {
+				break
+			}
+			if h.min.CompareAndSwap(cur, omin) {
+				break
+			}
+		}
+	}
+	if omax := other.max.Load(); omax != 0 {
+		for {
+			cur := h.max.Load()
+			if cur >= omax {
+				break
+			}
+			if h.max.CompareAndSwap(cur, omax) {
+				break
+			}
+		}
 	}
 }
 
 // Count returns the number of recorded samples.
-func (h *Histogram) Count() uint64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.count
-}
+func (h *Histogram) Count() uint64 { return h.count.Load() }
 
 // Mean returns the average latency (0 when empty).
 func (h *Histogram) Mean() time.Duration {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.count == 0 {
+	n := h.count.Load()
+	if n == 0 {
 		return 0
 	}
-	return h.sum / time.Duration(h.count)
+	return time.Duration(h.sum.Load() / int64(n)) //nolint:gosec // n > 0
 }
 
-// Min and Max return the observed extremes.
-func (h *Histogram) Min() time.Duration {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.min
-}
+// Min returns the smallest sample (clamped to the 100ns floor; 0 when
+// empty).
+func (h *Histogram) Min() time.Duration { return time.Duration(h.min.Load()) }
 
 // Max returns the largest sample.
-func (h *Histogram) Max() time.Duration {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.max
-}
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max.Load()) }
 
 // Quantile returns the latency at quantile q ∈ [0, 1] (0 when empty). The
 // result carries the bucket's ~4% resolution, clamped to [Min, Max].
 func (h *Histogram) Quantile(q float64) time.Duration {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.count == 0 {
+	var local [numBuckets]uint64
+	total := h.load(&local)
+	return h.quantileOf(q, &local, total)
+}
+
+// load copies the bucket array into local and returns its total, giving the
+// quantile computation one consistent view (count may lag the buckets by
+// in-flight samples; the bucket total is authoritative here).
+func (h *Histogram) load(local *[numBuckets]uint64) uint64 {
+	var total uint64
+	for i := range h.buckets {
+		local[i] = h.buckets[i].Load()
+		total += local[i]
+	}
+	return total
+}
+
+func (h *Histogram) quantileOf(q float64, local *[numBuckets]uint64, total uint64) time.Duration {
+	if total == 0 {
 		return 0
 	}
+	min, max := h.Min(), h.Max()
 	if q <= 0 {
-		return h.min
+		return min
 	}
 	if q >= 1 {
-		return h.max
+		return max
 	}
-	keys := make([]int, 0, len(h.buckets))
-	for b := range h.buckets {
-		keys = append(keys, b)
-	}
-	sort.Ints(keys)
-	target := uint64(math.Ceil(q * float64(h.count)))
+	target := uint64(math.Ceil(q * float64(total)))
 	if target == 0 {
 		target = 1
 	}
 	var cum uint64
-	for _, b := range keys {
-		cum += h.buckets[b]
+	for b, n := range local {
+		cum += n
 		if cum >= target {
 			v := bucketValue(b)
-			if v < h.min {
-				v = h.min
+			if v < min {
+				v = min
 			}
-			if v > h.max {
-				v = h.max
+			if v > max {
+				v = max
 			}
 			return v
 		}
 	}
-	return h.max
+	return max
 }
 
 // Snapshot summarizes the histogram.
@@ -148,14 +218,21 @@ type Snapshot struct {
 	Max   time.Duration
 }
 
-// Snapshot returns a consistent summary.
+// Snapshot returns a consistent summary: all three quantiles are computed
+// from one atomic pass over the bucket array.
 func (h *Histogram) Snapshot() Snapshot {
+	var local [numBuckets]uint64
+	total := h.load(&local)
+	var mean time.Duration
+	if total > 0 {
+		mean = time.Duration(h.sum.Load() / int64(total)) //nolint:gosec // total > 0
+	}
 	return Snapshot{
-		Count: h.Count(),
-		Mean:  h.Mean(),
-		P50:   h.Quantile(0.50),
-		P90:   h.Quantile(0.90),
-		P99:   h.Quantile(0.99),
+		Count: total,
+		Mean:  mean,
+		P50:   h.quantileOf(0.50, &local, total),
+		P90:   h.quantileOf(0.90, &local, total),
+		P99:   h.quantileOf(0.99, &local, total),
 		Min:   h.Min(),
 		Max:   h.Max(),
 	}

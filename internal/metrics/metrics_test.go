@@ -105,6 +105,123 @@ func TestZeroValueUsable(t *testing.T) {
 	}
 }
 
+func TestMergeEmptyAndNil(t *testing.T) {
+	h := NewHistogram()
+	h.Record(time.Millisecond)
+	h.Merge(nil)
+	h.Merge(NewHistogram())
+	if h.Count() != 1 || h.Min() != time.Millisecond || h.Max() != time.Millisecond {
+		t.Errorf("merge with empty/nil disturbed the histogram: %+v", h.Snapshot())
+	}
+	empty := NewHistogram()
+	empty.Merge(h)
+	if empty.Count() != 1 || empty.Min() != time.Millisecond {
+		t.Errorf("merge into empty lost data: %+v", empty.Snapshot())
+	}
+}
+
+// TestMergeMatchesSingle feeds the same samples into one histogram and into
+// three shards merged together: every summary statistic must agree exactly
+// (merging adds bucket counts, it does not re-approximate).
+func TestMergeMatchesSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	single := NewHistogram()
+	parts := []*Histogram{NewHistogram(), NewHistogram(), NewHistogram()}
+	for i := 0; i < 30_000; i++ {
+		d := time.Duration(rng.Intn(50_000_000)+100) * time.Nanosecond
+		single.Record(d)
+		parts[i%3].Record(d)
+	}
+	merged := NewHistogram()
+	for _, p := range parts {
+		merged.Merge(p)
+	}
+	a, b := single.Snapshot(), merged.Snapshot()
+	if a != b {
+		t.Errorf("merged snapshot diverges:\n single %+v\n merged %+v", a, b)
+	}
+}
+
+// TestMergeAssociative: (a⊕b)⊕c == a⊕(b⊕c) — the property that lets shards,
+// clients and processes aggregate in any order.
+func TestMergeAssociative(t *testing.T) {
+	mk := func(seed int64) *Histogram {
+		h := NewHistogram()
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 5000; i++ {
+			h.Record(time.Duration(rng.Intn(10_000_000)+1) * time.Nanosecond)
+		}
+		return h
+	}
+	left := NewHistogram()
+	left.Merge(mk(1))
+	left.Merge(mk(2))
+	left.Merge(mk(3))
+	bc := NewHistogram()
+	bc.Merge(mk(2))
+	bc.Merge(mk(3))
+	right := NewHistogram()
+	right.Merge(mk(1))
+	right.Merge(bc)
+	if l, r := left.Snapshot(), right.Snapshot(); l != r {
+		t.Errorf("merge is not associative:\n left  %+v\n right %+v", l, r)
+	}
+}
+
+// TestConcurrentRecordAndSnapshot hammers Record from several goroutines
+// while another goroutine continuously snapshots; run under -race this is
+// the histogram's race-safety test, and the final counts must be exact.
+func TestConcurrentRecordAndSnapshot(t *testing.T) {
+	h := NewHistogram()
+	const writers, perWriter = 8, 5000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := h.Snapshot()
+			if s.Count > 0 && (s.P50 < s.Min || s.P99 > s.Max || s.P50 > s.P99) {
+				t.Errorf("inconsistent mid-run snapshot: %+v", s)
+				return
+			}
+		}
+	}()
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(i)))
+			for j := 0; j < perWriter; j++ {
+				h.Record(time.Duration(rng.Intn(1_000_000)+1) * time.Nanosecond)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(stop)
+	if h.Count() != writers*perWriter {
+		t.Errorf("count = %d, want %d", h.Count(), writers*perWriter)
+	}
+	s := h.Snapshot()
+	if s.Count != writers*perWriter || s.P50 == 0 || s.P99 < s.P50 || s.Max < s.P99 {
+		t.Errorf("final snapshot malformed: %+v", s)
+	}
+}
+
+func TestOverflowSample(t *testing.T) {
+	h := NewHistogram()
+	h.Record(2 * time.Hour) // far past the tracked range
+	if h.Max() != 2*time.Hour {
+		t.Errorf("max = %v, want the true (untracked) value", h.Max())
+	}
+	if got := h.Quantile(0.5); got != 2*time.Hour {
+		t.Errorf("p50 of a single overflow sample = %v, want clamped to max", got)
+	}
+}
+
 func TestTable(t *testing.T) {
 	out := Table([]string{"proto", "p50"}, [][]string{{"oar", "1ms"}, {"fixedseq", "900µs"}})
 	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")

@@ -26,6 +26,7 @@ package shard
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/proto"
 )
@@ -137,6 +138,7 @@ type Invoker interface {
 type Client struct {
 	router *Router
 	groups []Invoker
+	routed []atomic.Uint64
 }
 
 // NewClient builds a sharded client. groups[g] serves proto.GroupID(g); the
@@ -153,7 +155,7 @@ func NewClient(router *Router, groups []Invoker) (*Client, error) {
 			return nil, fmt.Errorf("shard: group %d client is nil", g)
 		}
 	}
-	return &Client{router: router, groups: groups}, nil
+	return &Client{router: router, groups: groups, routed: make([]atomic.Uint64, len(groups))}, nil
 }
 
 // Route exposes the routing decision (for tests and load generators).
@@ -162,7 +164,22 @@ func (c *Client) Route(cmd []byte) proto.GroupID { return c.router.Route(cmd) }
 // Invoke submits cmd to the group owning its key and blocks until that
 // group's client adopts a reply.
 func (c *Client) Invoke(ctx context.Context, cmd []byte) (proto.Reply, error) {
-	return c.groups[c.router.Route(cmd)].Invoke(ctx, cmd)
+	g := c.router.Route(cmd)
+	c.routed[g].Add(1)
+	return c.groups[g].Invoke(ctx, cmd)
+}
+
+// Routed returns how many Invokes were routed to each group — the observed
+// load split. Under a uniform key distribution the counts are near-equal;
+// under a skewed one (e.g. a zipfian workload) the imbalance quantifies how
+// much of the keyspace's heat one group absorbs. Counts include failed
+// invocations: routing happened either way.
+func (c *Client) Routed() []uint64 {
+	out := make([]uint64, len(c.routed))
+	for i := range c.routed {
+		out[i] = c.routed[i].Load()
+	}
+	return out
 }
 
 // Stop shuts every per-group backend down.

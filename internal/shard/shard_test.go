@@ -183,6 +183,21 @@ func TestClientFansOutByKey(t *testing.T) {
 			t.Errorf("group %d backend not stopped", g)
 		}
 	}
+	// Routed() mirrors what the backends actually served.
+	routed := cli.Routed()
+	if len(routed) != shards {
+		t.Fatalf("Routed() has %d entries, want %d", len(routed), shards)
+	}
+	var routedTotal uint64
+	for g, n := range routed {
+		if n != uint64(fakes[g].served) {
+			t.Errorf("group %d: Routed=%d, served=%d", g, n, fakes[g].served)
+		}
+		routedTotal += n
+	}
+	if routedTotal != 100 {
+		t.Errorf("Routed total = %d, want 100", routedTotal)
+	}
 }
 
 func TestClientValidation(t *testing.T) {

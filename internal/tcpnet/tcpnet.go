@@ -28,6 +28,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/proto"
@@ -71,11 +72,27 @@ type Config struct {
 // larger than this still work: bufio writes through when its buffer fills.
 const sendBufSize = 64 << 10
 
+// Stats counts a node's wire traffic: whole frames (one frame may be a
+// proto.Batch carrying many protocol messages) and payload bytes, in both
+// directions. Byte counts exclude the 4-byte length prefixes and the
+// connection handshakes.
+type Stats struct {
+	FramesSent     uint64
+	FramesReceived uint64
+	BytesSent      uint64
+	BytesReceived  uint64
+}
+
 // Node is a TCP transport endpoint.
 type Node struct {
 	cfg   Config
 	ln    net.Listener
 	inbox *transport.Queue
+
+	framesSent     atomic.Uint64
+	framesReceived atomic.Uint64
+	bytesSent      atomic.Uint64
+	bytesReceived  atomic.Uint64
 
 	mu      sync.Mutex
 	outs    map[proto.NodeID]*outgoing
@@ -191,6 +208,18 @@ func (n *Node) ID() proto.NodeID { return n.cfg.ID }
 
 // Recv implements transport.Node.
 func (n *Node) Recv() <-chan transport.Message { return n.inbox.Out() }
+
+// Stats returns a snapshot of the node's wire-traffic counters. Sent frames
+// are counted when written to the socket buffer (not when queued), so after
+// a quiescent period the counts reflect what actually reached the kernel.
+func (n *Node) Stats() Stats {
+	return Stats{
+		FramesSent:     n.framesSent.Load(),
+		FramesReceived: n.framesReceived.Load(),
+		BytesSent:      n.bytesSent.Load(),
+		BytesReceived:  n.bytesReceived.Load(),
+	}
+}
 
 // SetPeer adds or updates a peer address (e.g. when a client learns its
 // reply-to address dynamically). Safe to call concurrently.
@@ -337,6 +366,8 @@ func (n *Node) readLoop(conn net.Conn) {
 		if _, err := io.ReadFull(conn, payload); err != nil {
 			return
 		}
+		n.framesReceived.Add(1)
+		n.bytesReceived.Add(uint64(size))
 		n.inbox.Push(transport.Message{From: from, Payload: payload})
 	}
 }
@@ -403,6 +434,8 @@ func (n *Node) sendLoop(to proto.NodeID, out *outgoing) {
 				conn, bw = nil, nil
 				continue // the frame is retried on a fresh connection
 			}
+			n.framesSent.Add(1)
+			n.bytesSent.Add(uint64(len(frame)))
 			buffered = true
 			break
 		}

@@ -33,6 +33,31 @@ func connect(nodes ...*Node) {
 	}
 }
 
+// TestStatsCounters: frames and payload bytes are counted in both
+// directions (handshakes and length prefixes excluded).
+func TestStatsCounters(t *testing.T) {
+	a, b := newNode(t, 0), newNode(t, 1)
+	connect(a, b)
+	payload := []byte("counted-payload")
+	if err := a.Send(1, payload); err != nil {
+		t.Fatal(err)
+	}
+	got := recvOne(t, b, 5*time.Second)
+	if string(got.Payload) != string(payload) {
+		t.Fatalf("payload = %q", got.Payload)
+	}
+	as, bs := a.Stats(), b.Stats()
+	if as.FramesSent != 1 || as.BytesSent != uint64(len(payload)) {
+		t.Errorf("sender stats = %+v, want 1 frame / %d bytes", as, len(payload))
+	}
+	if bs.FramesReceived != 1 || bs.BytesReceived != uint64(len(payload)) {
+		t.Errorf("receiver stats = %+v, want 1 frame / %d bytes", bs, len(payload))
+	}
+	if as.FramesReceived != 0 || bs.FramesSent != 0 {
+		t.Errorf("phantom reverse traffic: a=%+v b=%+v", as, bs)
+	}
+}
+
 func recvOne(t *testing.T, n *Node, timeout time.Duration) transport.Message {
 	t.Helper()
 	select {

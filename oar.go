@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fd"
 	"repro/internal/memnet"
+	"repro/internal/metrics"
 	"repro/internal/proto"
 	"repro/internal/tcpnet"
 )
@@ -157,6 +158,36 @@ func (c *Cluster) CrashReplica(i int) { c.inner.Crash(0, i) }
 // ordering groups neither see the crash nor depend on the crashed replica.
 func (c *Cluster) CrashShardReplica(s, i int) { c.inner.Crash(s, i) }
 
+// LatencyStats summarizes client-observed end-to-end response times —
+// submit to adopted reply, the quantity the paper's optimistic delivery
+// exists to cut. Quantiles carry the underlying histogram's ~4% log-bucket
+// resolution; Count is the number of successful invocations measured.
+type LatencyStats struct {
+	// Count is the number of measured (successful) invocations.
+	Count uint64
+	// Mean is the average response time.
+	Mean time.Duration
+	// P50, P90 and P99 are response-time percentiles.
+	P50 time.Duration
+	P90 time.Duration
+	P99 time.Duration
+	// Min and Max are the observed extremes.
+	Min time.Duration
+	Max time.Duration
+}
+
+func toLatencyStats(s metrics.Snapshot) LatencyStats {
+	return LatencyStats{
+		Count: s.Count,
+		Mean:  s.Mean,
+		P50:   s.P50,
+		P90:   s.P90,
+		P99:   s.P99,
+		Min:   s.Min,
+		Max:   s.Max,
+	}
+}
+
 // Stats summarizes protocol activity across all replicas of all shards.
 type Stats struct {
 	// Delivered counts definitive command deliveries, whatever the
@@ -180,6 +211,12 @@ type Stats struct {
 	// BatchedMessages counts the kind-tagged messages carried inside
 	// proto.Batch envelopes (the coalesced share of the traffic).
 	BatchedMessages uint64
+	// Latency summarizes the response times of every invocation made through
+	// the cluster's clients, aggregated over all shards. Every client the
+	// cluster hands out is measured unconditionally (recording is one
+	// lock-free histogram increment), so p50/p99 are always available — no
+	// instrumentation opt-in.
+	Latency LatencyStats
 }
 
 // Stats returns cluster-wide protocol counters, aggregated over all shards.
@@ -195,7 +232,15 @@ func (c *Cluster) Stats() Stats {
 		SeqOrdersSent:   s.SeqOrdersSent,
 		FramesSent:      n.MessagesSent,
 		BatchedMessages: n.BatchedMessages,
+		Latency:         toLatencyStats(c.inner.Latency()),
 	}
+}
+
+// ShardLatency summarizes the response times of requests served by ordering
+// group s — the per-group view of Stats.Latency, useful for spotting load
+// skew under non-uniform key distributions.
+func (c *Cluster) ShardLatency(s int) LatencyStats {
+	return toLatencyStats(c.inner.ShardLatency(s))
 }
 
 // Close stops all replicas and clients.
@@ -301,10 +346,13 @@ type ClientOptions struct {
 	GroupID int
 }
 
-// TCPClient is a client talking to a TCP-deployed cluster.
+// TCPClient is a client talking to a TCP-deployed cluster. It is safe for
+// concurrent use; every successful Invoke's response time is recorded (see
+// Stats).
 type TCPClient struct {
 	node  *tcpnet.Node
 	inner *core.Client
+	hist  *metrics.Histogram
 }
 
 // NewTCPClient connects a client to a TCP cluster.
@@ -336,16 +384,48 @@ func NewTCPClient(opts ClientOptions) (*TCPClient, error) {
 		return nil, err
 	}
 	inner.Start()
-	return &TCPClient{node: node, inner: inner}, nil
+	return &TCPClient{node: node, inner: inner, hist: metrics.NewHistogram()}, nil
 }
 
 // Invoke submits a command and blocks until a consistent reply is adopted.
+// Successful invocations record their end-to-end response time (submit to
+// adopted reply) into the client's latency histogram.
 func (c *TCPClient) Invoke(ctx context.Context, cmd []byte) (Reply, error) {
+	start := time.Now()
 	r, err := c.inner.Invoke(ctx, cmd)
 	if err != nil {
 		return Reply{}, err
 	}
+	c.hist.Record(time.Since(start))
 	return toReply(r), nil
+}
+
+// TCPStats is the observability surface of one TCP client: response-time
+// percentiles plus the wire traffic its connection endpoints actually moved.
+type TCPStats struct {
+	// Latency summarizes this client's successful invocations.
+	Latency LatencyStats
+	// FramesSent/FramesReceived count whole transport frames (a frame may be
+	// a batch envelope carrying several protocol messages); BytesSent/
+	// BytesReceived count their payload bytes.
+	FramesSent     uint64
+	FramesReceived uint64
+	BytesSent      uint64
+	BytesReceived  uint64
+}
+
+// Stats returns the client's latency and wire-traffic counters. Useful for
+// cross-checking a load generator's percentiles against what this client
+// observed (cmd/oar-loadgen prints both).
+func (c *TCPClient) Stats() TCPStats {
+	n := c.node.Stats()
+	return TCPStats{
+		Latency:        toLatencyStats(c.hist.Snapshot()),
+		FramesSent:     n.FramesSent,
+		FramesReceived: n.FramesReceived,
+		BytesSent:      n.BytesSent,
+		BytesReceived:  n.BytesReceived,
+	}
 }
 
 // Close shuts the client down.

@@ -39,8 +39,12 @@ func TestClusterQuickstart(t *testing.T) {
 	if reply.Endorsers < 2 {
 		t.Fatalf("endorsers = %d, want >= majority", reply.Endorsers)
 	}
-	if s := c.Stats(); s.OptDelivered == 0 {
+	s := c.Stats()
+	if s.OptDelivered == 0 {
 		t.Error("no optimistic deliveries recorded")
+	}
+	if s.Latency.Count != 2 || s.Latency.P50 <= 0 || s.Latency.P99 < s.Latency.P50 {
+		t.Errorf("latency not surfaced through Stats: %+v", s.Latency)
 	}
 }
 
@@ -119,6 +123,16 @@ func TestShardedCluster(t *testing.T) {
 	if s.SeqOrdersSent == 0 || s.FramesSent == 0 {
 		t.Errorf("batching counters not surfaced: %+v", s)
 	}
+	if s.Latency.Count != 2*keys {
+		t.Errorf("Latency.Count = %d, want %d", s.Latency.Count, 2*keys)
+	}
+	var perShard uint64
+	for sh := 0; sh < c.Shards(); sh++ {
+		perShard += c.ShardLatency(sh).Count
+	}
+	if perShard != 2*keys {
+		t.Errorf("shard latency counts sum to %d, want %d", perShard, 2*keys)
+	}
 }
 
 func TestClusterValidation(t *testing.T) {
@@ -166,6 +180,13 @@ func TestTCPDeployment(t *testing.T) {
 		if reply.Pos != uint64(i) {
 			t.Fatalf("pos = %d, want %d", reply.Pos, i)
 		}
+	}
+	cs := cli.Stats()
+	if cs.Latency.Count != 3 || cs.Latency.P50 <= 0 || cs.Latency.Max < cs.Latency.P50 {
+		t.Errorf("TCP client latency not recorded: %+v", cs.Latency)
+	}
+	if cs.FramesSent == 0 || cs.FramesReceived == 0 || cs.BytesSent == 0 || cs.BytesReceived == 0 {
+		t.Errorf("TCP wire counters empty: %+v", cs)
 	}
 }
 
