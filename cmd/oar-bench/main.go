@@ -9,6 +9,9 @@
 //	oar-bench -run E2,E5           # a subset
 //	oar-bench -protocol oar,ctab   # restrict the backend sweeps (E2, E5, E10, E11)
 //	oar-bench -json BENCH.json     # machine-readable results for trend tracking
+//	oar-bench -run E8 -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
+//	                               # pprof profiles of the selected experiments,
+//	                               # for flamegraph-backed perf comparisons
 //
 // The workload matrix (E11) is shaped with:
 //
@@ -28,6 +31,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -109,8 +114,40 @@ func run() int {
 		readRatio   = flag.Float64("rw", 0.5, "E11's read fraction in [0,1] (0 = all writes)")
 		jsonPath    = flag.String("json", "", "write machine-readable per-experiment results to this path")
 		requireLat  = flag.Bool("require-latency", false, "fail unless the selected experiments emitted complete latency samples (the CI schema gate)")
+		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the selected experiments to this path")
+		memProfile  = flag.String("memprofile", "", "write a pprof allocation profile to this path at exit")
 	)
 	flag.Parse()
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "oar-bench: -cpuprofile: %v\n", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "oar-bench: -cpuprofile: %v\n", err)
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		path := *memProfile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "oar-bench: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final allocation statistics
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "oar-bench: -memprofile: %v\n", err)
+			}
+		}()
+	}
 	selected, err := parseProtocols(*protoList)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "oar-bench: %v\n", err)

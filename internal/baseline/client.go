@@ -167,7 +167,10 @@ func (c *Client) loop(ctx context.Context) {
 			}
 			// Servers coalesce the replies of one delivery round into a
 			// proto.Batch frame; expand it (a non-batch message passes
-			// through unchanged) and dispatch every inner reply.
+			// through unchanged) and dispatch every inner reply. The decoded
+			// results alias the frame; onReply clones what it hands to the
+			// invoking goroutine, so the frame's pooled buffer is recycled
+			// as soon as dispatch returns.
 			msgs, _ := transport.ExpandBatch(m)
 			for _, inner := range msgs {
 				kind, group, body, err := proto.Unmarshal(inner.Payload)
@@ -180,6 +183,7 @@ func (c *Client) loop(ctx context.Context) {
 				}
 				c.onReply(reply)
 			}
+			m.Release()
 		}
 	}
 }
@@ -192,6 +196,9 @@ func (c *Client) onReply(reply proto.Reply) {
 	}
 	c.mu.Unlock()
 	if ok {
+		// The adopted reply outlives the inbound frame it was decoded from:
+		// clone its result before handing it over (copy-on-retain).
+		reply = reply.Clone()
 		ch <- reply
 		c.tracer.Adopt(c.cfg.ID, reply.Req, reply)
 	}

@@ -82,7 +82,9 @@ type Server struct {
 	instances map[uint64]*consensus.Instance
 	decisions map[uint64]consensus.Decision
 
-	out *transport.Batcher // per-round send coalescing
+	out     *transport.Batcher // per-round send coalescing
+	encBuf  []byte             // reusable encode scratch (replies) on the batching path
+	hbFrame []byte             // heartbeat payload, constant per group
 
 	lastHeartbeat time.Time
 	tracer        backend.Tracer
@@ -117,6 +119,8 @@ func NewServer(cfg Config) (*Server, error) {
 		instances: make(map[uint64]*consensus.Instance),
 		decisions: make(map[uint64]consensus.Decision),
 		out:       transport.NewBatcher(cfg.Node, cfg.GroupID),
+		encBuf:    make([]byte, 0, 256),
+		hbFrame:   proto.MarshalHeartbeat(cfg.GroupID),
 		tracer:    cfg.Tracer,
 	}, nil
 }
@@ -166,11 +170,14 @@ func (s *Server) Run(ctx context.Context) error {
 			now := time.Now()
 			handle := func(m transport.Message) {
 				// Senders coalesce rounds into proto.Batch frames; expand
-				// (a non-batch message passes through unchanged).
+				// (a non-batch message passes through unchanged). The
+				// handlers clone whatever they retain, so the frame's
+				// pooled buffer is recycled as soon as handling returns.
 				msgs, _ := transport.ExpandBatch(m)
 				for _, inner := range msgs {
 					s.handleMessage(inner, now)
 				}
+				m.Release()
 			}
 			handle(m)
 			spins := 0
@@ -208,7 +215,9 @@ func (s *Server) handleMessage(m transport.Message, now time.Time) {
 		if _, known := s.payloads[req.ID]; known {
 			return
 		}
-		s.payloads[req.ID] = req
+		// The payloads map outlives the inbound frame: clone the command
+		// (copy-on-retain); duplicates returned above without allocating.
+		s.payloads[req.ID] = req.Clone()
 		s.buffered = append(s.buffered, req.ID)
 		s.maybeStartBatch()
 	case proto.KindEstimate, proto.KindPropose, proto.KindAck, proto.KindDecide:
@@ -290,7 +299,11 @@ func (s *Server) applyDecision(k uint64, d consensus.Decision) {
 		}
 		ids := make(mseq.Seq[proto.RequestID], 0, len(reqs))
 		for _, r := range reqs {
-			s.payloads[r.ID] = r
+			// Copy-on-retain, first writer wins: the decoded command aliases
+			// the decision value pv.Val, and the payloads map outlives it.
+			if _, known := s.payloads[r.ID]; !known {
+				s.payloads[r.ID] = r.Clone()
+			}
 			if !s.buffered.Contains(r.ID) {
 				s.buffered = append(s.buffered, r.ID)
 			}
@@ -309,14 +322,22 @@ func (s *Server) applyDecision(k uint64, d consensus.Decision) {
 		s.pos++
 		s.statDelivered.Add(1)
 		s.tracer.ADeliver(s.cfg.ID, k, req.ID, s.pos, result)
-		s.send(req.ID.Client, proto.MarshalReply(proto.Reply{
+		reply := proto.Reply{
 			Req:    req.ID,
 			From:   s.cfg.ID,
 			Epoch:  k,
 			Weight: proto.FullWeight(s.n),
 			Pos:    s.pos,
 			Result: result,
-		}))
+		}
+		if s.batching() {
+			// Encode into the reusable scratch; the batcher copies it into
+			// the destination's envelope immediately.
+			s.encBuf = proto.AppendReply(s.encBuf[:0], reply)
+			s.out.Add(req.ID.Client, s.encBuf)
+		} else {
+			_ = s.cfg.Node.Send(req.ID.Client, proto.MarshalReply(reply))
+		}
 	}
 
 	s.statBatches.Add(1)
@@ -335,10 +356,10 @@ func (s *Server) applyDecision(k uint64, d consensus.Decision) {
 func (s *Server) tick(now time.Time) {
 	if s.cfg.HeartbeatInterval > 0 && now.Sub(s.lastHeartbeat) >= s.cfg.HeartbeatInterval {
 		s.lastHeartbeat = now
-		hb := proto.MarshalHeartbeat(s.cfg.GroupID)
+		// One immutable heartbeat frame per process, encoded at start-up.
 		for _, p := range s.cfg.Group {
 			if p != s.cfg.ID {
-				s.send(p, hb)
+				s.send(p, s.hbFrame)
 			}
 		}
 	}

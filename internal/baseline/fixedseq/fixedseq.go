@@ -81,7 +81,14 @@ type Server struct {
 	delivered map[proto.RequestID]struct{}
 	pos       uint64
 
-	out *transport.Batcher // per-round send coalescing
+	out     *transport.Batcher // per-round send coalescing
+	encBuf  []byte             // reusable encode scratch (replies, orders) on the batching path
+	hbFrame []byte             // heartbeat payload, constant per group
+
+	// orderScratch is the reusable decode target for inbound SeqOrder
+	// bodies (request commands alias the inbound frame; buffer() clones
+	// what it retains).
+	orderScratch proto.SeqOrder
 
 	lastHeartbeat time.Time
 	tracer        backend.Tracer
@@ -115,6 +122,8 @@ func NewServer(cfg Config) (*Server, error) {
 		payloads:  make(map[proto.RequestID]proto.Request),
 		delivered: make(map[proto.RequestID]struct{}),
 		out:       transport.NewBatcher(cfg.Node, cfg.GroupID),
+		encBuf:    make([]byte, 0, 256),
+		hbFrame:   proto.MarshalHeartbeat(cfg.GroupID),
 		tracer:    cfg.Tracer,
 	}, nil
 }
@@ -167,11 +176,14 @@ func (s *Server) Run(ctx context.Context) error {
 			now := time.Now()
 			handle := func(m transport.Message) {
 				// Senders coalesce rounds into proto.Batch frames; expand
-				// (a non-batch message passes through unchanged).
+				// (a non-batch message passes through unchanged). The
+				// handlers clone whatever they retain, so the frame's
+				// pooled buffer is recycled as soon as handling returns.
 				msgs, _ := transport.ExpandBatch(m)
 				for _, inner := range msgs {
 					s.handleMessage(inner, now)
 				}
+				m.Release()
 			}
 			handle(m)
 			spins := 0
@@ -213,22 +225,25 @@ func (s *Server) handleMessage(m transport.Message, now time.Time) {
 		s.buffer(req)
 		s.maybeOrder()
 	case proto.KindSeqOrder:
-		order, err := proto.UnmarshalSeqOrder(body)
-		if err != nil {
+		// Zero-allocation decode into the scratch order; the commands alias
+		// the inbound frame and are cloned at retention (buffer).
+		if err := s.orderScratch.UnmarshalBody(body); err != nil {
 			return
 		}
-		s.handleOrder(order)
+		s.handleOrder(s.orderScratch)
 	default:
 		// Batch envelopes were already expanded by Run; everything else is
 		// not for this replica.
 	}
 }
 
+// buffer retains req past the inbound frame's handling, so the command is
+// cloned here (copy-on-retain); duplicates return before the clone.
 func (s *Server) buffer(req proto.Request) {
 	if _, known := s.payloads[req.ID]; known {
 		return
 	}
-	s.payloads[req.ID] = req
+	s.payloads[req.ID] = req.Clone()
 	s.buffered = append(s.buffered, req.ID)
 }
 
@@ -248,7 +263,16 @@ func (s *Server) maybeOrder() {
 		return
 	}
 	order := proto.SeqOrder{Epoch: s.view, Reqs: pending}
-	payload := proto.MarshalSeqOrder(s.cfg.GroupID, order)
+	// On the batching path the order is encoded into the reusable scratch
+	// buffer (the batcher copies per destination); the unbatched path needs
+	// an owned payload because the transport queues the slice it is given.
+	var payload []byte
+	if s.batching() {
+		s.encBuf = proto.AppendSeqOrder(s.encBuf[:0], s.cfg.GroupID, order)
+		payload = s.encBuf
+	} else {
+		payload = proto.MarshalSeqOrder(s.cfg.GroupID, order)
+	}
 	s.statOrders.Add(1)
 	for _, p := range s.cfg.Group {
 		if p != s.cfg.ID {
@@ -283,24 +307,32 @@ func (s *Server) deliverBatch(reqs []proto.Request) {
 		s.pos++
 		s.statDelivered.Add(1)
 		s.tracer.ADeliver(s.cfg.ID, s.view, req.ID, s.pos, result)
-		s.send(req.ID.Client, proto.MarshalReply(proto.Reply{
+		reply := proto.Reply{
 			Req:    req.ID,
 			From:   s.cfg.ID,
 			Epoch:  s.view,
 			Weight: proto.WeightOf(s.cfg.ID),
 			Pos:    s.pos,
 			Result: result,
-		}))
+		}
+		if s.batching() {
+			// Encode into the reusable scratch; the batcher copies it into
+			// the destination's envelope immediately.
+			s.encBuf = proto.AppendReply(s.encBuf[:0], reply)
+			s.out.Add(req.ID.Client, s.encBuf)
+		} else {
+			_ = s.cfg.Node.Send(req.ID.Client, proto.MarshalReply(reply))
+		}
 	}
 }
 
 func (s *Server) tick(now time.Time) {
 	if s.cfg.HeartbeatInterval > 0 && now.Sub(s.lastHeartbeat) >= s.cfg.HeartbeatInterval {
 		s.lastHeartbeat = now
-		hb := proto.MarshalHeartbeat(s.cfg.GroupID)
+		// One immutable heartbeat frame per process, encoded at start-up.
 		for _, p := range s.cfg.Group {
 			if p != s.cfg.ID {
-				s.send(p, hb)
+				s.send(p, s.hbFrame)
 			}
 		}
 	}

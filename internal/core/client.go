@@ -183,6 +183,7 @@ func (c *Client) Stop() {
 
 func (c *Client) loop(ctx context.Context) {
 	defer close(c.done)
+	var replies []proto.Reply // reused across frames
 	for {
 		select {
 		case <-ctx.Done():
@@ -194,9 +195,11 @@ func (c *Client) loop(ctx context.Context) {
 			// Servers coalesce the replies of one delivery round into a
 			// proto.Batch frame; expand it (a non-batch message passes
 			// through unchanged), decode the inner replies, and process the
-			// whole frame under one lock.
+			// whole frame under one lock. The decoded results alias the
+			// frame; onReplies clones whatever it retains, so the frame's
+			// pooled buffer is recycled as soon as dispatch returns.
 			msgs, _ := transport.ExpandBatch(m)
-			replies := make([]proto.Reply, 0, len(msgs))
+			replies = replies[:0]
 			for _, inner := range msgs {
 				kind, group, body, err := proto.Unmarshal(inner.Payload)
 				if err != nil || kind != proto.KindReply || group != c.cfg.GroupID {
@@ -209,6 +212,7 @@ func (c *Client) loop(ctx context.Context) {
 				replies = append(replies, reply)
 			}
 			c.onReplies(replies)
+			m.Release()
 		}
 	}
 }
@@ -227,6 +231,12 @@ func (c *Client) onReplies(replies []proto.Reply) {
 }
 
 // onReplyLocked implements lines 3–5 of Figure 5. Caller holds c.mu.
+//
+// The per-epoch accumulator retains the reply across frames (the quorum
+// builds up from several servers' frames), and the adopted reply is handed
+// to the invoking goroutine — both outlive the inbound frame the reply was
+// decoded from. The reply is therefore cloned at retention (copy-on-retain);
+// replies for unknown or already-adopted requests cost nothing.
 func (c *Client) onReplyLocked(reply proto.Reply) {
 	call, ok := c.pending[reply.Req]
 	if !ok || call.adopted {
@@ -237,7 +247,7 @@ func (c *Client) onReplyLocked(reply proto.Reply) {
 		acc = &epochReplies{}
 		call.byEpoch[reply.Epoch] = acc
 	}
-	acc.replies = append(acc.replies, reply)
+	acc.replies = append(acc.replies, reply.Clone())
 	acc.union = acc.union.Union(reply.Weight)
 
 	// Line 3: wait until, for some k, the union weight reaches ⌈(|Π|+1)/2⌉.
@@ -271,7 +281,13 @@ func (c *Client) Invoke(ctx context.Context, cmd []byte) (proto.Reply, error) {
 	c.pending[id] = call
 	c.tracer.Issue(c.cfg.ID, id, cmd)
 	// Line 2: R-multicast (m, Π). The rmcast endpoint is guarded by c.mu.
-	c.rm.Multicast(proto.MarshalRequest(proto.Request{ID: id, Cmd: cmd}))
+	// The inner request is encoded via a pooled writer: Multicast copies it
+	// into the (owned) wrapper payload before returning.
+	w := proto.GetWriter()
+	proto.EncodeHeader(w, proto.KindRequest, id.Group)
+	proto.Request{ID: id, Cmd: cmd}.Encode(w)
+	c.rm.Multicast(w.Bytes())
+	proto.PutWriter(w)
 	c.mu.Unlock()
 
 	select {

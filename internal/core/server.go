@@ -15,7 +15,6 @@ import (
 	"repro/internal/proto"
 	"repro/internal/rmcast"
 	"repro/internal/transport"
-	"repro/internal/wire"
 )
 
 // Defaults for ServerConfig. The loop intervals live in backend (they are
@@ -154,10 +153,20 @@ type Server struct {
 	// appended to a per-destination envelope buffer and flushed as one
 	// proto.Batch frame at the end of the round (relays, ordering messages,
 	// replies and consensus traffic share frames). The buffers are reused
-	// across rounds, so the steady-state send path allocates only the one
-	// owned frame handed to the transport.
+	// across rounds and the flushed frames come from the shared frame pool,
+	// so the steady-state send path allocates nothing.
 	out     *transport.Batcher
-	scratch *wire.Writer // reusable encoder for replies
+	encBuf  []byte // reusable encode scratch for replies and ordering messages
+	hbFrame []byte // heartbeat payload, constant per group
+
+	// orderScratch is the reusable decode target for inbound SeqOrder
+	// bodies: the steady-state decode allocates nothing, and the decoded
+	// request commands alias the inbound frame (anything retained past the
+	// frame is cloned — see bufferRequest and handleSeqOrder). reqScratch is
+	// the reusable request slice the sequencer materializes each outgoing
+	// ordering batch into.
+	orderScratch proto.SeqOrder
+	reqScratch   []proto.Request
 
 	statOpt     atomic.Uint64
 	statUndo    atomic.Uint64
@@ -205,7 +214,8 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		aDelivered:    make(map[proto.RequestID]struct{}),
 		oSet:          make(map[proto.RequestID]struct{}),
 		out:           transport.NewBatcher(cfg.Node, cfg.GroupID),
-		scratch:       wire.NewWriter(256),
+		encBuf:        make([]byte, 0, 256),
+		hbFrame:       proto.MarshalHeartbeat(cfg.GroupID),
 		phase2Sent:    make(map[uint64]struct{}),
 		phase2Started: make(map[uint64]struct{}),
 		pendingPhase2: make(map[uint64]struct{}),
@@ -220,6 +230,10 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		GroupID: cfg.GroupID,
 		Send:    s.send,
 		Mode:    cfg.RelayMode,
+		// On the batching path every send is copied into the round's
+		// envelope buffers immediately, so the relay hot path may encode
+		// into a reusable scratch buffer.
+		SendCopies: s.batching(),
 	})
 	return s, nil
 }
@@ -258,7 +272,11 @@ func (s *Server) Run(ctx context.Context) error {
 				return nil
 			}
 			now := time.Now()
+			// Each message's pooled frame is recycled as soon as it is
+			// handled: every retention point in the handlers clones what it
+			// keeps (copy-on-retain), so nothing aliases the frame afterwards.
 			s.handleMessage(m, now)
+			m.Release()
 			// Round formation (transport.DrainLinger): absorb the backlog —
 			// with a short scheduler-yield linger — so the ordering batch
 			// and every coalesced outbound frame cover the whole round.
@@ -269,6 +287,7 @@ func (s *Server) Run(ctx context.Context) error {
 			}
 			if _, open := transport.DrainLinger(inbox, spins, maxDrain-1, func(m transport.Message) {
 				s.handleMessage(m, now)
+				m.Release()
 			}); !open {
 				return nil
 			}
@@ -304,17 +323,15 @@ func (s *Server) send(to proto.NodeID, payload []byte) {
 }
 
 // sendReply encodes and sends a reply. On the batching path the reply is
-// encoded straight into the destination's envelope buffer via a reusable
-// scratch writer — no per-reply allocation.
+// encoded into the reusable scratch buffer and copied straight into the
+// destination's envelope buffer — no per-reply allocation.
 func (s *Server) sendReply(to proto.NodeID, reply proto.Reply) {
 	if !s.batching() {
 		_ = s.cfg.Node.Send(to, proto.MarshalReply(reply))
 		return
 	}
-	s.scratch.Reset()
-	proto.EncodeHeader(s.scratch, proto.KindReply, s.cfg.GroupID)
-	reply.Encode(s.scratch)
-	s.out.Add(to, s.scratch.Bytes())
+	s.encBuf = proto.AppendReply(s.encBuf[:0], reply)
+	s.out.Add(to, s.encBuf)
 }
 
 // flushSends ships every send the current round buffered.
@@ -352,11 +369,13 @@ func (s *Server) handleMessage(m transport.Message, now time.Time) {
 		}
 		s.handleRDelivery(inner)
 	case proto.KindSeqOrder:
-		order, err := proto.UnmarshalSeqOrder(body)
-		if err != nil {
+		// Decode into the reusable scratch order: zero allocations, with
+		// the request commands aliasing the inbound frame. handleSeqOrder
+		// clones anything it retains past this call.
+		if err := s.orderScratch.UnmarshalBody(body); err != nil {
 			return
 		}
-		s.handleSeqOrder(order)
+		s.handleSeqOrder(s.orderScratch)
 	case proto.KindEstimate, proto.KindPropose, proto.KindAck, proto.KindDecide:
 		s.handleConsensus(m.From, kind, body)
 	case proto.KindBatch:
@@ -410,6 +429,11 @@ func (s *Server) handleRDelivery(inner []byte) {
 // bufferRequest is Task 0: R_delivered ← R_delivered ⊕ {m}. Requests that
 // already reached A_delivered (whose live bookkeeping has been pruned) are
 // ignored, preserving at-most-once across the garbage collection.
+//
+// The payloads map retains the request past this frame's handling, so the
+// command is cloned here (copy-on-retain; req.Cmd usually aliases the
+// inbound frame). Duplicates — every eager-relay copy after the first —
+// return before the clone, so deduplication costs no allocation.
 func (s *Server) bufferRequest(req proto.Request) {
 	if _, done := s.aDelivered[req.ID]; done {
 		return
@@ -417,7 +441,7 @@ func (s *Server) bufferRequest(req proto.Request) {
 	if _, known := s.payloads[req.ID]; known {
 		return
 	}
-	s.payloads[req.ID] = req
+	s.payloads[req.ID] = req.Clone()
 	s.rOrder = append(s.rOrder, req.ID)
 	if s.cfg.BatchWindow > 0 && s.pending.IsEmpty() {
 		s.firstPendingAt = time.Now() // only the windowed mode reads this
@@ -474,8 +498,21 @@ func (s *Server) maybeOrder() {
 		if limit := s.maxBatch(); len(chunk) > limit {
 			chunk = chunk[:limit]
 		}
-		order := proto.SeqOrder{Epoch: s.epoch, Reqs: s.materialize(chunk)}
-		s.sendToPeers(proto.MarshalSeqOrder(s.cfg.GroupID, order))
+		// Materialize into the reusable scratch slice (the payload bodies
+		// are owned by the payloads map) and, on the batching path, encode
+		// into the reusable scratch buffer — the steady-state ordering path
+		// allocates nothing.
+		s.reqScratch = s.reqScratch[:0]
+		for _, id := range chunk {
+			s.reqScratch = append(s.reqScratch, s.payloads[id])
+		}
+		order := proto.SeqOrder{Epoch: s.epoch, Reqs: s.reqScratch}
+		if s.batching() {
+			s.encBuf = proto.AppendSeqOrder(s.encBuf[:0], s.cfg.GroupID, order)
+			s.sendToPeers(s.encBuf)
+		} else {
+			s.sendToPeers(proto.MarshalSeqOrder(s.cfg.GroupID, order))
+		}
 		s.statOrders.Add(1)
 		s.optDeliverBatch(order) // removes the chunk from pending
 	}
@@ -496,11 +533,13 @@ func (s *Server) handleSeqOrder(order proto.SeqOrder) {
 		return // stale epoch
 	case order.Epoch > s.epoch:
 		// We lag behind; keep the payloads (Task 0 piggyback) and buffer the
-		// ordering until our phase 2s catch us up.
+		// ordering until our phase 2s catch us up. The buffered order
+		// outlives the inbound frame (order may be the decode scratch), so
+		// it is deep-copied here — the lagging path is off the steady state.
 		for _, req := range order.Reqs {
 			s.bufferRequest(req)
 		}
-		s.seqOrderBuf[order.Epoch] = append(s.seqOrderBuf[order.Epoch], order)
+		s.seqOrderBuf[order.Epoch] = append(s.seqOrderBuf[order.Epoch], order.Clone())
 		return
 	case s.inPhase2:
 		// Orderings of the current epoch arriving after PhaseII are not
@@ -769,7 +808,10 @@ func (s *Server) applyDecision(k uint64, d consensus.Decision) {
 func (s *Server) tick(now time.Time) {
 	if s.cfg.HeartbeatInterval > 0 && now.Sub(s.lastHeartbeat) >= s.cfg.HeartbeatInterval {
 		s.lastHeartbeat = now
-		s.sendToPeers(proto.MarshalHeartbeat(s.cfg.GroupID))
+		// The heartbeat payload is constant per group: one frame, encoded at
+		// start-up, resent every tick (it is immutable, so sharing it with
+		// the transport across ticks and peers is safe).
+		s.sendToPeers(s.hbFrame)
 	}
 
 	if !s.inPhase2 {

@@ -13,6 +13,17 @@
 //     in the crash).
 //   - SetPartitions splits the network into groups; cross-group messages are
 //     held until Heal.
+//
+// Locking model: the send path is contention-free in steady state. A send
+// touches no network-wide mutex — liveness flags (closed, crashed, filter
+// installed, topology restricted) are atomics, the per-link registry is a
+// read-mostly sync.Map, latency is sampled by a per-link generator under the
+// link's own lock, and all counters are atomics. The network-wide topoMu
+// guards only topology mutations (partitions, blocks, crashes, close) and
+// the slow paths that must observe them: link/node creation, and a link's
+// hold-while-partitioned wait. Fault-injection filters likewise divert the
+// affected send onto the slow path; an unfiltered, unpartitioned network
+// never takes the global lock after warm-up.
 package memnet
 
 import (
@@ -34,7 +45,9 @@ type Options struct {
 	MinDelay time.Duration
 	MaxDelay time.Duration
 	// Seed seeds the latency sampler. Zero picks a fixed default so runs are
-	// reproducible unless the caller opts into variation.
+	// reproducible unless the caller opts into variation. Each link derives
+	// its own deterministic sampler from (Seed, from, to), so sampling never
+	// serializes concurrent senders.
 	Seed int64
 }
 
@@ -80,18 +93,23 @@ func (s *Stats) Add(other Stats) {
 type Network struct {
 	opts Options
 
-	mu       sync.Mutex
-	topo     *sync.Cond // broadcast on partition change / close / crash
-	rng      *rand.Rand
-	nodes    map[proto.NodeID]*Node
-	links    map[linkKey]*link
+	// Topology state, guarded by topoMu. topo is broadcast on partition
+	// change / close / crash to wake links holding messages.
+	topoMu   sync.Mutex
+	topo     *sync.Cond
 	group    map[proto.NodeID]int // partition group; empty map = fully connected
 	hasParts bool
 	blocked  map[linkKey]bool // pairwise holds, independent of groups
 	crashed  map[proto.NodeID]bool
-	filter   Filter
-	closed   bool
 	wg       sync.WaitGroup
+
+	// Send-path liveness flags, readable without any lock.
+	closed     atomic.Bool
+	restricted atomic.Bool // a partition or block may be active: deliver via topoMu
+	filter     atomic.Pointer[Filter]
+
+	nodes sync.Map // proto.NodeID -> *Node
+	links sync.Map // linkKey -> *link
 
 	sent        atomic.Uint64
 	delivered   atomic.Uint64
@@ -108,40 +126,44 @@ type linkKey struct {
 
 // New creates a network.
 func New(opts Options) *Network {
-	seed := opts.Seed
-	if seed == 0 {
-		seed = 42
+	if opts.Seed == 0 {
+		opts.Seed = 42
 	}
 	n := &Network{
 		opts:    opts,
-		rng:     rand.New(rand.NewSource(seed)),
-		nodes:   make(map[proto.NodeID]*Node),
-		links:   make(map[linkKey]*link),
 		group:   make(map[proto.NodeID]int),
 		blocked: make(map[linkKey]bool),
 		crashed: make(map[proto.NodeID]bool),
 	}
-	n.topo = sync.NewCond(&n.mu)
+	n.topo = sync.NewCond(&n.topoMu)
 	return n
 }
 
 // Node returns (creating on first use) the endpoint for id.
 func (n *Network) Node(id proto.NodeID) *Node {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if nd, ok := n.nodes[id]; ok {
-		return nd
+	if v, ok := n.nodes.Load(id); ok {
+		return v.(*Node)
+	}
+	n.topoMu.Lock()
+	defer n.topoMu.Unlock()
+	if v, ok := n.nodes.Load(id); ok {
+		return v.(*Node)
 	}
 	nd := &Node{net: n, id: id, inbox: transport.NewQueue()}
-	n.nodes[id] = nd
+	if n.crashed[id] {
+		nd.crashed.Store(true)
+	}
+	n.nodes.Store(id, nd)
 	return nd
 }
 
 // SetFilter installs f as the send-time filter (nil removes it).
 func (n *Network) SetFilter(f Filter) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.filter = f
+	if f == nil {
+		n.filter.Store(nil)
+		return
+	}
+	n.filter.Store(&f)
 }
 
 // Crash marks id as crashed: its pending inbox is discarded, future sends
@@ -149,15 +171,19 @@ func (n *Network) SetFilter(f Filter) {
 // it already sent are still delivered (they left the process before the
 // crash).
 func (n *Network) Crash(id proto.NodeID) {
-	n.mu.Lock()
-	nd := n.nodes[id]
+	n.topoMu.Lock()
 	if n.crashed[id] {
-		n.mu.Unlock()
+		n.topoMu.Unlock()
 		return
 	}
 	n.crashed[id] = true
+	var nd *Node
+	if v, ok := n.nodes.Load(id); ok {
+		nd = v.(*Node)
+		nd.crashed.Store(true)
+	}
 	n.topo.Broadcast()
-	n.mu.Unlock()
+	n.topoMu.Unlock()
 	if nd != nil {
 		nd.inbox.Close()
 	}
@@ -165,8 +191,8 @@ func (n *Network) Crash(id proto.NodeID) {
 
 // Crashed reports whether id has crashed.
 func (n *Network) Crashed(id proto.NodeID) bool {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.topoMu.Lock()
+	defer n.topoMu.Unlock()
 	return n.crashed[id]
 }
 
@@ -174,8 +200,8 @@ func (n *Network) Crashed(id proto.NodeID) bool {
 // exchange messages; cross-group messages are held (not lost) until Heal or
 // a new topology permits them. A process not listed in any group is isolated.
 func (n *Network) SetPartitions(groups ...[]proto.NodeID) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.topoMu.Lock()
+	defer n.topoMu.Unlock()
 	n.group = make(map[proto.NodeID]int)
 	n.hasParts = true
 	for gi, g := range groups {
@@ -183,17 +209,19 @@ func (n *Network) SetPartitions(groups ...[]proto.NodeID) {
 			n.group[id] = gi + 1
 		}
 	}
+	n.restricted.Store(true)
 	n.topo.Broadcast()
 }
 
 // Heal removes all partitions and pairwise blocks; held messages resume
 // delivery in order.
 func (n *Network) Heal() {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.topoMu.Lock()
+	defer n.topoMu.Unlock()
 	n.group = make(map[proto.NodeID]int)
 	n.hasParts = false
 	n.blocked = make(map[linkKey]bool)
+	n.restricted.Store(false)
 	n.topo.Broadcast()
 }
 
@@ -201,10 +229,11 @@ func (n *Network) Heal() {
 // Unblock or Heal. Unlike a partition it affects only this pair. Messages
 // are held, not lost (reliable channels).
 func (n *Network) Block(a, b proto.NodeID) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.topoMu.Lock()
+	defer n.topoMu.Unlock()
 	n.blocked[linkKey{from: a, to: b}] = true
 	n.blocked[linkKey{from: b, to: a}] = true
+	n.restricted.Store(true)
 	n.topo.Broadcast()
 }
 
@@ -212,21 +241,23 @@ func (n *Network) Block(a, b proto.NodeID) {
 // directions — a convenience for scripting minority partitions while
 // leaving other connectivity (e.g. clients) intact.
 func (n *Network) BlockGroups(as, bs []proto.NodeID) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.topoMu.Lock()
+	defer n.topoMu.Unlock()
 	for _, a := range as {
 		for _, b := range bs {
 			n.blocked[linkKey{from: a, to: b}] = true
 			n.blocked[linkKey{from: b, to: a}] = true
 		}
 	}
+	n.restricted.Store(true)
 	n.topo.Broadcast()
 }
 
-// Unblock removes the pairwise hold between a and b.
+// Unblock removes the pairwise hold between a and b. The network stays on
+// the checked delivery path until Heal clears all restrictions.
 func (n *Network) Unblock(a, b proto.NodeID) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.topoMu.Lock()
+	defer n.topoMu.Unlock()
 	delete(n.blocked, linkKey{from: a, to: b})
 	delete(n.blocked, linkKey{from: b, to: a})
 	n.topo.Broadcast()
@@ -266,34 +297,50 @@ func (n *Network) ResetStats() {
 
 // Close shuts the network down: all links stop and all node inboxes close.
 func (n *Network) Close() {
-	n.mu.Lock()
-	if n.closed {
-		n.mu.Unlock()
+	n.topoMu.Lock()
+	if n.closed.Load() {
+		n.topoMu.Unlock()
 		return
 	}
-	n.closed = true
-	nodes := make([]*Node, 0, len(n.nodes))
-	for _, nd := range n.nodes {
-		nodes = append(nodes, nd)
-	}
-	links := make([]*link, 0, len(n.links))
-	for _, l := range n.links {
-		links = append(links, l)
-	}
+	n.closed.Store(true)
 	n.topo.Broadcast()
-	n.mu.Unlock()
+	n.topoMu.Unlock()
 
-	for _, l := range links {
-		l.close()
-	}
+	n.links.Range(func(_, v any) bool {
+		v.(*link).close()
+		return true
+	})
 	n.wg.Wait()
-	for _, nd := range nodes {
-		nd.inbox.Close()
+	n.nodes.Range(func(_, v any) bool {
+		v.(*Node).inbox.Close()
+		return true
+	})
+}
+
+// link returns (creating on first use) the FIFO channel from->to, or nil if
+// the network is closed.
+func (n *Network) link(from, to proto.NodeID) *link {
+	key := linkKey{from: from, to: to}
+	if v, ok := n.links.Load(key); ok {
+		return v.(*link)
 	}
+	n.topoMu.Lock()
+	defer n.topoMu.Unlock()
+	if n.closed.Load() {
+		return nil
+	}
+	if v, ok := n.links.Load(key); ok {
+		return v.(*link)
+	}
+	l := newLink(n, key)
+	n.links.Store(key, l)
+	n.wg.Add(1)
+	go l.run()
+	return l
 }
 
 // blockedLocked reports whether from->to traffic is currently held.
-// Caller must hold n.mu.
+// Caller must hold n.topoMu.
 func (n *Network) blockedLocked(from, to proto.NodeID) bool {
 	if n.blocked[linkKey{from: from, to: to}] {
 		return true
@@ -306,23 +353,18 @@ func (n *Network) blockedLocked(from, to proto.NodeID) bool {
 	return !okf || !okt || gf != gt
 }
 
-// sampleDelayLocked draws a one-way latency. Caller must hold n.mu.
-func (n *Network) sampleDelayLocked() time.Duration {
-	lo, hi := n.opts.MinDelay, n.opts.MaxDelay
-	if hi <= lo {
-		return lo
-	}
-	return lo + time.Duration(n.rng.Int63n(int64(hi-lo)))
-}
-
 // Node is one process's endpoint on a Network.
 type Node struct {
-	net   *Network
-	id    proto.NodeID
-	inbox *transport.Queue
+	net     *Network
+	id      proto.NodeID
+	inbox   *transport.Queue
+	crashed atomic.Bool
 }
 
-var _ transport.Node = (*Node)(nil)
+var (
+	_ transport.Node        = (*Node)(nil)
+	_ transport.FrameSender = (*Node)(nil)
+)
 
 // ID implements transport.Node.
 func (nd *Node) ID() proto.NodeID { return nd.id }
@@ -337,30 +379,96 @@ func (nd *Node) Close() error {
 	return nil
 }
 
-// Send implements transport.Node.
+// Send implements transport.Node. The payload is borrowed by reference: it
+// is delivered to the receiver as-is (the sender may share one slice across
+// destinations but must not mutate it afterwards).
 func (nd *Node) Send(to proto.NodeID, payload []byte) error {
+	return nd.send(to, payload, nil)
+}
+
+// SendFrame implements transport.FrameSender: ownership of the pooled frame
+// transfers to the network, which hands it to the receiving event loop (the
+// receiver's Release recycles it) or releases it itself if the message is
+// dropped.
+func (nd *Node) SendFrame(to proto.NodeID, f *transport.Frame) error {
+	return nd.send(to, f.Buf, f)
+}
+
+// send is the shared steady-state path: no network-wide lock is taken.
+// frame, when non-nil, is the pooled buffer payload aliases.
+func (nd *Node) send(to proto.NodeID, payload []byte, frame *transport.Frame) error {
 	n := nd.net
-	n.mu.Lock()
-	if n.closed {
-		n.mu.Unlock()
+	if n.closed.Load() {
+		if frame != nil {
+			frame.Release()
+		}
 		return transport.ErrClosed
 	}
-	if n.crashed[nd.id] {
-		n.mu.Unlock()
+	if nd.crashed.Load() {
+		if frame != nil {
+			frame.Release()
+		}
 		return fmt.Errorf("send from %v: %w", nd.id, transport.ErrCrashed)
 	}
-	filter := n.filter
-	n.mu.Unlock()
-
-	if filter != nil {
-		payload, ok := applyFilter(filter, nd.id, to, payload)
+	if fp := n.filter.Load(); fp != nil {
+		filtered, rebuilt, ok := applyFilter(*fp, nd.id, to, payload)
 		if !ok {
 			n.dropped.Add(1)
+			if frame != nil {
+				frame.Release()
+			}
 			return nil // a dropped message is indistinguishable from a slow one
 		}
-		return nd.sendFiltered(to, payload)
+		if rebuilt {
+			// The filter re-assembled the envelope into a fresh owned
+			// buffer; the original frame is no longer referenced.
+			if frame != nil {
+				frame.Release()
+			}
+			frame = nil
+		}
+		payload = filtered
 	}
-	return nd.sendFiltered(to, payload)
+	l := n.link(nd.id, to)
+	if l == nil {
+		if frame != nil {
+			frame.Release()
+		}
+		return transport.ErrClosed
+	}
+	n.countSend(payload)
+	l.push(payload, frame)
+	return nil
+}
+
+// countSend updates the lock-free traffic counters for one outgoing frame.
+// Batch envelopes additionally count their inner messages under their own
+// kinds (and in the batching counters), so per-message-type experiment
+// counters stay meaningful when the hot path coalesces frames. The envelope
+// walk decodes in place — no allocation per frame.
+func (n *Network) countSend(payload []byte) {
+	n.sent.Add(1)
+	n.bytes.Add(uint64(len(payload)))
+	if len(payload) == 0 {
+		return
+	}
+	n.kindCount[payload[0]].Add(1)
+	if proto.Kind(payload[0]) != proto.KindBatch {
+		return
+	}
+	_, _, body, err := proto.Unmarshal(payload)
+	if err != nil {
+		return
+	}
+	inner := uint64(0)
+	if err := proto.WalkBatch(body, func(msg []byte) {
+		inner++
+		n.kindCount[msg[0]].Add(1)
+	}); err != nil {
+		return
+	}
+	n.batchFrames.Add(1)
+	n.batchedMsgs.Add(inner)
 }
 
 // applyFilter runs the send-time filter. Filters are batch-aware: for a
@@ -368,15 +476,16 @@ func (nd *Node) Send(to proto.NodeID, payload []byte) error {
 // envelope is rebuilt from the survivors, so fault-injection scripts written
 // against single messages (e.g. "drop the sequencer's ordering messages")
 // keep working when the hot path coalesces frames. Returns ok=false when the
-// whole payload is dropped.
-func applyFilter(filter Filter, from, to proto.NodeID, payload []byte) ([]byte, bool) {
+// whole payload is dropped; rebuilt=true when the returned payload is a
+// freshly allocated envelope that no longer aliases the input.
+func applyFilter(filter Filter, from, to proto.NodeID, payload []byte) (out []byte, rebuilt, ok bool) {
 	kind, group, body, err := proto.Unmarshal(payload)
 	if err != nil || kind != proto.KindBatch {
-		return payload, filter(from, to, payload) == Deliver
+		return payload, false, filter(from, to, payload) == Deliver
 	}
 	batch, err := proto.UnmarshalBatch(body)
 	if err != nil {
-		return payload, filter(from, to, payload) == Deliver
+		return payload, false, filter(from, to, payload) == Deliver
 	}
 	kept := make([][]byte, 0, len(batch.Msgs))
 	for _, inner := range batch.Msgs {
@@ -386,58 +495,14 @@ func applyFilter(filter Filter, from, to proto.NodeID, payload []byte) ([]byte, 
 	}
 	switch len(kept) {
 	case 0:
-		return nil, false
+		return nil, false, false
 	case len(batch.Msgs):
-		return payload, true // nothing dropped; keep the original envelope
+		return payload, false, true // nothing dropped; keep the original envelope
 	case 1:
-		return kept[0], true
+		return kept[0], false, true // aliases the original payload
 	default:
-		return proto.MarshalBatch(group, kept), true
+		return proto.MarshalBatch(group, kept), true, true
 	}
-}
-
-// sendFiltered enqueues a payload that has passed the filter stage.
-func (nd *Node) sendFiltered(to proto.NodeID, payload []byte) error {
-	n := nd.net
-
-	n.mu.Lock()
-	if n.closed {
-		n.mu.Unlock()
-		return transport.ErrClosed
-	}
-	key := linkKey{from: nd.id, to: to}
-	l, ok := n.links[key]
-	if !ok {
-		l = newLink(n, key)
-		n.links[key] = l
-		n.wg.Add(1)
-		go l.run()
-	}
-	delay := n.sampleDelayLocked()
-	n.mu.Unlock()
-
-	n.sent.Add(1)
-	n.bytes.Add(uint64(len(payload)))
-	if len(payload) > 0 {
-		n.kindCount[payload[0]].Add(1)
-		// Batch-aware accounting: a KindBatch frame also counts its inner
-		// messages under their own kinds (and in the batching counters), so
-		// per-message-type experiment counters stay meaningful when the hot
-		// path coalesces frames.
-		if proto.Kind(payload[0]) == proto.KindBatch {
-			if _, _, body, err := proto.Unmarshal(payload); err == nil {
-				if batch, err := proto.UnmarshalBatch(body); err == nil {
-					n.batchFrames.Add(1)
-					n.batchedMsgs.Add(uint64(len(batch.Msgs)))
-					for _, inner := range batch.Msgs {
-						n.kindCount[inner[0]].Add(1)
-					}
-				}
-			}
-		}
-	}
-	l.push(payload, delay)
-	return nil
 }
 
 // link is a FIFO channel from one process to another with latency and
@@ -445,9 +510,11 @@ func (nd *Node) sendFiltered(to proto.NodeID, payload []byte) error {
 type link struct {
 	net *Network
 	key linkKey
+	dst atomic.Pointer[Node] // cached destination endpoint
 
 	mu      sync.Mutex
 	cond    *sync.Cond
+	rng     *rand.Rand // per-link latency sampler; guarded by mu
 	queue   []inflight
 	lastAt  time.Time
 	closing bool
@@ -455,35 +522,78 @@ type link struct {
 
 type inflight struct {
 	payload   []byte
+	frame     *transport.Frame // pooled backing buffer; nil for borrowed payloads
 	deliverAt time.Time
 }
 
 func newLink(n *Network, key linkKey) *link {
 	l := &link{net: n, key: key}
 	l.cond = sync.NewCond(&l.mu)
+	if n.opts.MaxDelay > n.opts.MinDelay {
+		// Derive a deterministic per-link seed so concurrent senders never
+		// serialize on a shared generator.
+		const mix = int64(-0x61C8864680B583EB) // 0x9E3779B97F4A7C15 as int64
+		seed := n.opts.Seed
+		seed = seed*mix + int64(key.from)
+		seed = seed*mix + int64(key.to)
+		l.rng = rand.New(rand.NewSource(seed))
+	}
 	return l
 }
 
-func (l *link) push(payload []byte, delay time.Duration) {
+// sampleDelayLocked draws a one-way latency. Caller must hold l.mu.
+func (l *link) sampleDelayLocked() time.Duration {
+	lo, hi := l.net.opts.MinDelay, l.net.opts.MaxDelay
+	if l.rng == nil || hi <= lo {
+		return lo
+	}
+	return lo + time.Duration(l.rng.Int63n(int64(hi-lo)))
+}
+
+func (l *link) push(payload []byte, frame *transport.Frame) {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.closing {
+		l.mu.Unlock()
+		if frame != nil {
+			frame.Release()
+		}
 		return
 	}
-	at := time.Now().Add(delay)
+	at := time.Now().Add(l.sampleDelayLocked())
 	if at.Before(l.lastAt) {
 		at = l.lastAt // keep delivery times monotonic => FIFO
 	}
 	l.lastAt = at
-	l.queue = append(l.queue, inflight{payload: payload, deliverAt: at})
+	l.queue = append(l.queue, inflight{payload: payload, frame: frame, deliverAt: at})
 	l.cond.Signal()
+	l.mu.Unlock()
 }
 
 func (l *link) close() {
 	l.mu.Lock()
 	l.closing = true
+	dropped := l.queue
+	l.queue = nil
 	l.cond.Signal()
 	l.mu.Unlock()
+	for _, item := range dropped {
+		if item.frame != nil {
+			item.frame.Release()
+		}
+	}
+}
+
+// dest resolves (and caches) the destination endpoint.
+func (l *link) dest() *Node {
+	if nd := l.dst.Load(); nd != nil {
+		return nd
+	}
+	if v, ok := l.net.nodes.Load(l.key.to); ok {
+		nd := v.(*Node)
+		l.dst.Store(nd)
+		return nd
+	}
+	return nil
 }
 
 func (l *link) run() {
@@ -507,20 +617,29 @@ func (l *link) run() {
 		}
 
 		// Hold while the destination is unreachable (partition). Reliable
-		// channels: the message waits, it is not lost.
-		n.mu.Lock()
-		for n.blockedLocked(l.key.from, l.key.to) && !n.closed && !n.crashed[l.key.to] {
-			n.topo.Wait()
+		// channels: the message waits, it is not lost. Only a network with
+		// partitions or blocks configured takes this lock.
+		if n.restricted.Load() {
+			n.topoMu.Lock()
+			for n.blockedLocked(l.key.from, l.key.to) && !n.closed.Load() && !n.crashed[l.key.to] {
+				n.topo.Wait()
+			}
+			n.topoMu.Unlock()
 		}
-		dead := n.closed || n.crashed[l.key.to]
-		dest := n.nodes[l.key.to]
-		n.mu.Unlock()
 
-		if dead || dest == nil {
+		dest := l.dest()
+		if n.closed.Load() || dest == nil || dest.crashed.Load() {
 			n.dropped.Add(1)
+			if item.frame != nil {
+				item.frame.Release()
+			}
 			continue
 		}
-		dest.inbox.Push(transport.Message{From: l.key.from, Payload: item.payload})
+		if item.frame != nil {
+			dest.inbox.Push(transport.OwnedMessage(l.key.from, item.payload, item.frame))
+		} else {
+			dest.inbox.Push(transport.Message{From: l.key.from, Payload: item.payload})
+		}
 		n.delivered.Add(1)
 	}
 }

@@ -1,0 +1,165 @@
+package proto
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkHotPathAllocs measures — and asserts — the allocation count of
+// every steady-state codec operation on the request→order→opt-deliver→reply
+// path. Encode uses the Append* scratch-buffer variants a replica's event
+// loop uses; decode uses the zero-copy paths (BytesFieldRef-based, plus the
+// reusable-SeqOrder decode). Each sub-benchmark fails if the operation
+// allocates at all, so `go test -bench=HotPathAllocs -benchtime=1x` doubles
+// as a CI regression gate for the zero-allocation message path.
+func BenchmarkHotPathAllocs(b *testing.B) {
+	const g = GroupID(3)
+	req := Request{
+		ID:  RequestID{Group: g, Client: ClientID(7), Seq: 42},
+		Cmd: []byte("push v17"),
+	}
+	reply := Reply{
+		Req:    req.ID,
+		From:   1,
+		Epoch:  9,
+		Weight: WeightOf(0, 1),
+		Pos:    1337,
+		Result: []byte("ok"),
+	}
+	orderReqs := make([]Request, 16)
+	for i := range orderReqs {
+		r := req
+		r.ID.Seq = uint64(i)
+		orderReqs[i] = r
+	}
+	order := SeqOrder{Epoch: 9, Reqs: orderReqs}
+	rmc := RMcastMsg{Origin: ClientID(7), Seq: 42, Inner: MarshalRequest(req)}
+
+	// Pre-encoded inputs for the decode benchmarks.
+	reqPayload := MarshalRequest(req)
+	replyPayload := MarshalReply(reply)
+	orderPayload := MarshalSeqOrder(g, order)
+	rmcPayload := MarshalRMcast(g, rmc)
+	batchPayload := MarshalBatch(g, [][]byte{replyPayload, replyPayload, replyPayload})
+
+	var scratch []byte
+	var orderScratch SeqOrder
+
+	cases := []struct {
+		name string
+		op   func()
+	}{
+		{"encode/request", func() { scratch = AppendRequest(scratch[:0], req) }},
+		{"encode/seqorder", func() { scratch = AppendSeqOrder(scratch[:0], g, order) }},
+		{"encode/reply", func() { scratch = AppendReply(scratch[:0], reply) }},
+		{"encode/heartbeat", func() { scratch = AppendHeartbeat(scratch[:0], g) }},
+		{"encode/rmcast", func() { scratch = AppendRMcast(scratch[:0], g, rmc) }},
+		{"encode/pooled-writer", func() {
+			w := GetWriter()
+			EncodeHeader(w, KindRequest, g)
+			req.Encode(w)
+			scratch = append(scratch[:0], w.Bytes()...)
+			PutWriter(w)
+		}},
+		{"decode/request", func() {
+			_, _, body, err := Unmarshal(reqPayload)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := UnmarshalRequest(body); err != nil {
+				b.Fatal(err)
+			}
+		}},
+		{"decode/seqorder", func() {
+			_, _, body, err := Unmarshal(orderPayload)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := orderScratch.UnmarshalBody(body); err != nil {
+				b.Fatal(err)
+			}
+			if len(orderScratch.Reqs) != len(order.Reqs) {
+				b.Fatalf("decoded %d reqs, want %d", len(orderScratch.Reqs), len(order.Reqs))
+			}
+		}},
+		{"decode/reply", func() {
+			_, _, body, err := Unmarshal(replyPayload)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := UnmarshalReply(body); err != nil {
+				b.Fatal(err)
+			}
+		}},
+		{"decode/rmcast", func() {
+			_, _, body, err := Unmarshal(rmcPayload)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := UnmarshalRMcast(body); err != nil {
+				b.Fatal(err)
+			}
+		}},
+		{"decode/batch-walk", func() {
+			_, _, body, err := Unmarshal(batchPayload)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := WalkBatch(body, func(msg []byte) {
+				if Kind(msg[0]) != KindReply {
+					b.Fatalf("unexpected inner kind %v", Kind(msg[0]))
+				}
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}},
+		{"roundtrip/request", func() {
+			scratch = AppendRequest(scratch[:0], req)
+			_, _, body, err := Unmarshal(scratch)
+			if err != nil {
+				b.Fatal(err)
+			}
+			got, err := UnmarshalRequest(body)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if got.ID != req.ID {
+				b.Fatalf("roundtrip ID mismatch: %v != %v", got.ID, req.ID)
+			}
+		}},
+	}
+
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			tc.op() // warm up: grow scratch buffers, populate the pool
+			if allocs := testing.AllocsPerRun(100, tc.op); allocs != 0 {
+				b.Fatalf("%s: %v allocs/op, want 0 (zero-allocation hot path regressed)", tc.name, allocs)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tc.op()
+			}
+		})
+	}
+}
+
+// sanity check for the fixture above: the encoded forms used by the alloc
+// benchmark must round-trip (guards against the benchmark silently measuring
+// failed decodes).
+func TestHotPathAllocFixturesRoundTrip(t *testing.T) {
+	g := GroupID(3)
+	req := Request{ID: RequestID{Group: g, Client: ClientID(1), Seq: 5}, Cmd: []byte("x")}
+	payload := AppendRequest(nil, req)
+	kind, group, body, err := Unmarshal(payload)
+	if err != nil || kind != KindRequest || group != g {
+		t.Fatalf("envelope: kind=%v group=%v err=%v", kind, group, err)
+	}
+	got, err := UnmarshalRequest(body)
+	if err != nil || got.ID != req.ID || string(got.Cmd) != "x" {
+		t.Fatalf("roundtrip: %+v err=%v", got, err)
+	}
+	if fmt.Sprintf("%p", &payload[0]) == "" {
+		t.Fatal("unreachable")
+	}
+}

@@ -103,8 +103,24 @@ func FuzzUnmarshalBatch(f *testing.F) {
 	f.Add([]byte{0xff, 0x01})
 	f.Fuzz(func(t *testing.T, body []byte) {
 		batch, err := UnmarshalBatch(body) // must never panic
+		// WalkBatch must agree with UnmarshalBatch on acceptance and, when
+		// both accept, on the exact inner messages (memnet's accounting
+		// walks envelopes in place with it).
+		var walked [][]byte
+		walkErr := WalkBatch(body, func(msg []byte) { walked = append(walked, msg) })
+		if (err == nil) != (walkErr == nil) {
+			t.Fatalf("WalkBatch err=%v, UnmarshalBatch err=%v", walkErr, err)
+		}
 		if err != nil {
 			return
+		}
+		if len(walked) != len(batch.Msgs) {
+			t.Fatalf("WalkBatch saw %d messages, UnmarshalBatch %d", len(walked), len(batch.Msgs))
+		}
+		for i := range walked {
+			if !bytes.Equal(walked[i], batch.Msgs[i]) {
+				t.Fatalf("WalkBatch message %d differs", i)
+			}
 		}
 		for _, m := range batch.Msgs {
 			if len(m) == 0 {

@@ -124,14 +124,9 @@ type RMcastMsg struct {
 	Inner  []byte
 }
 
-// MarshalRMcast encodes m as a kind-tagged payload of group g.
+// MarshalRMcast encodes m as an owned kind-tagged payload of group g.
 func MarshalRMcast(g GroupID, m RMcastMsg) []byte {
-	w := wire.NewWriter(16 + len(m.Inner))
-	EncodeHeader(w, KindRMcast, g)
-	w.Int64(int64(m.Origin))
-	w.Uint64(m.Seq)
-	w.BytesField(m.Inner)
-	return w.Bytes()
+	return AppendRMcast(make([]byte, 0, 16+len(m.Inner)), g, m)
 }
 
 // UnmarshalRMcast decodes the body of a KindRMcast payload. Inner aliases
@@ -152,14 +147,11 @@ func UnmarshalRMcast(body []byte) (RMcastMsg, error) {
 
 // --- client request ---
 
-// MarshalRequest encodes a Request as a kind-tagged payload. The envelope
-// group is the request's own: requests are addressed to the group that owns
-// their key.
+// MarshalRequest encodes a Request as an owned kind-tagged payload. The
+// envelope group is the request's own: requests are addressed to the group
+// that owns their key.
 func MarshalRequest(req Request) []byte {
-	w := wire.NewWriter(24 + len(req.Cmd))
-	EncodeHeader(w, KindRequest, req.ID.Group)
-	req.Encode(w)
-	return w.Bytes()
+	return AppendRequest(make([]byte, 0, 24+len(req.Cmd)), req)
 }
 
 // UnmarshalRequest decodes the body of a KindRequest payload.
@@ -178,43 +170,68 @@ func UnmarshalRequest(body []byte) (Request, error) {
 // full requests (not just identifiers) so that a replica can Opt-deliver a
 // request whose R-multicast copy has not reached it yet; integrity is
 // preserved by ID-based deduplication at the receiver.
+//
+// Ownership: a decoded SeqOrder's request commands alias the decode input
+// (see Request); a receiver that retains the order beyond the handling of
+// its frame (e.g. buffering a future epoch's ordering) must Clone it.
 type SeqOrder struct {
 	Epoch uint64
 	Reqs  []Request
 }
 
-// MarshalSeqOrder encodes m as a kind-tagged payload of group g.
-func MarshalSeqOrder(g GroupID, m SeqOrder) []byte {
-	w := wire.NewWriter(64)
-	EncodeHeader(w, KindSeqOrder, g)
-	w.Uint64(m.Epoch)
-	w.Uint64(uint64(len(m.Reqs)))
-	for _, req := range m.Reqs {
-		req.Encode(w)
+// Clone returns a deep copy of m: the Reqs slice and every command buffer
+// are owned by the result. It is the copy-on-retain step for receivers that
+// keep a zero-copy-decoded order alive past its input frame.
+func (m SeqOrder) Clone() SeqOrder {
+	out := SeqOrder{Epoch: m.Epoch}
+	if len(m.Reqs) > 0 {
+		out.Reqs = make([]Request, len(m.Reqs))
+		for i, req := range m.Reqs {
+			out.Reqs[i] = req.Clone()
+		}
 	}
-	return w.Bytes()
+	return out
 }
 
-// UnmarshalSeqOrder decodes the body of a KindSeqOrder payload.
+// MarshalSeqOrder encodes m as an owned kind-tagged payload of group g.
+func MarshalSeqOrder(g GroupID, m SeqOrder) []byte {
+	return AppendSeqOrder(make([]byte, 0, 64), g, m)
+}
+
+// UnmarshalSeqOrder decodes the body of a KindSeqOrder payload. The decoded
+// request commands alias body (zero-copy); see SeqOrder for the ownership
+// rule.
 func UnmarshalSeqOrder(body []byte) (SeqOrder, error) {
-	r := wire.NewReader(body)
 	var m SeqOrder
+	if err := m.UnmarshalBody(body); err != nil {
+		return SeqOrder{}, err
+	}
+	return m, nil
+}
+
+// UnmarshalBody decodes the body of a KindSeqOrder payload into m, reusing
+// m's Reqs slice when its capacity allows — the allocation-free decode used
+// by replica event loops, which keep one scratch SeqOrder and re-decode into
+// it every round. The decoded request commands alias body.
+func (m *SeqOrder) UnmarshalBody(body []byte) error {
+	r := wire.NewReader(body)
 	m.Epoch = r.Uint64()
 	n := r.Uint64()
 	if err := r.Err(); err != nil {
-		return SeqOrder{}, fmt.Errorf("proto: decode seqorder: %w", err)
+		return fmt.Errorf("proto: decode seqorder: %w", err)
 	}
 	if n > uint64(r.Remaining()) { // each request takes >= 1 byte
-		return SeqOrder{}, fmt.Errorf("proto: decode seqorder: %w", wire.ErrOverflow)
+		return fmt.Errorf("proto: decode seqorder: %w", wire.ErrOverflow)
 	}
-	m.Reqs = make([]Request, 0, n)
+	m.Reqs = m.Reqs[:0]
 	for i := uint64(0); i < n; i++ {
 		m.Reqs = append(m.Reqs, DecodeRequest(r))
 	}
 	if err := r.Err(); err != nil {
-		return SeqOrder{}, fmt.Errorf("proto: decode seqorder: %w", err)
+		m.Reqs = m.Reqs[:0]
+		return fmt.Errorf("proto: decode seqorder: %w", err)
 	}
-	return m, nil
+	return nil
 }
 
 // --- phase II trigger ---
@@ -225,12 +242,9 @@ type PhaseII struct {
 	Epoch uint64
 }
 
-// MarshalPhaseII encodes m as a kind-tagged payload of group g.
+// MarshalPhaseII encodes m as an owned kind-tagged payload of group g.
 func MarshalPhaseII(g GroupID, m PhaseII) []byte {
-	w := wire.NewWriter(12)
-	EncodeHeader(w, KindPhaseII, g)
-	w.Uint64(m.Epoch)
-	return w.Bytes()
+	return AppendPhaseII(make([]byte, 0, 12), g, m)
 }
 
 // UnmarshalPhaseII decodes the body of a KindPhaseII payload.
@@ -245,13 +259,10 @@ func UnmarshalPhaseII(body []byte) (PhaseII, error) {
 
 // --- reply ---
 
-// MarshalReply encodes a Reply as a kind-tagged payload. The envelope group
-// is the replied-to request's own.
+// MarshalReply encodes a Reply as an owned kind-tagged payload. The envelope
+// group is the replied-to request's own.
 func MarshalReply(p Reply) []byte {
-	w := wire.NewWriter(48 + len(p.Result))
-	EncodeHeader(w, KindReply, p.Req.Group)
-	p.Encode(w)
-	return w.Bytes()
+	return AppendReply(make([]byte, 0, 48+len(p.Result)), p)
 }
 
 // UnmarshalReply decodes the body of a KindReply payload.
@@ -266,9 +277,11 @@ func UnmarshalReply(body []byte) (Reply, error) {
 
 // --- heartbeat ---
 
-// MarshalHeartbeat encodes a heartbeat payload for group g.
+// MarshalHeartbeat encodes an owned heartbeat payload for group g. The frame
+// is constant per group: steady-state senders call this once at start-up and
+// resend the same slice every tick (see AppendHeartbeat).
 func MarshalHeartbeat(g GroupID) []byte {
-	return AppendHeader(make([]byte, 0, 6), KindHeartbeat, g)
+	return AppendHeartbeat(make([]byte, 0, 6), g)
 }
 
 // --- batch envelope ---
@@ -294,6 +307,34 @@ func MarshalBatch(g GroupID, msgs [][]byte) []byte {
 	EncodeHeader(w, KindBatch, g)
 	w.FrameList(msgs)
 	return w.Bytes()
+}
+
+// WalkBatch decodes the body of a KindBatch payload in place, invoking fn on
+// every inner kind-tagged message without allocating. The same validation as
+// UnmarshalBatch applies (no empty batches, no empty inner messages, no
+// nested batches); on error, fn may already have run on a prefix of the
+// messages. Each inner message aliases body.
+func WalkBatch(body []byte, fn func(msg []byte)) error {
+	r := wire.NewReader(body)
+	seen := 0
+	for r.Remaining() > 0 {
+		msg := r.BytesFieldRef()
+		if err := r.Err(); err != nil {
+			return fmt.Errorf("proto: decode batch: %w", err)
+		}
+		if len(msg) == 0 {
+			return fmt.Errorf("proto: decode batch: empty inner message: %w", wire.ErrTruncated)
+		}
+		if Kind(msg[0]) == KindBatch {
+			return fmt.Errorf("proto: decode batch: nested batch: %w", wire.ErrOverflow)
+		}
+		fn(msg)
+		seen++
+	}
+	if seen == 0 {
+		return fmt.Errorf("proto: decode batch: empty: %w", wire.ErrTruncated)
+	}
+	return nil
 }
 
 // UnmarshalBatch decodes the body of a KindBatch payload. It rejects empty

@@ -1,0 +1,107 @@
+package proto
+
+import (
+	"sync"
+
+	"repro/internal/wire"
+)
+
+// Writer pooling and append-style marshals: the zero-allocation encode path.
+//
+// The original Marshal* helpers build a fresh wire.Writer (and therefore a
+// fresh backing buffer) per message — two heap allocations on a path that
+// runs once per protocol message. Steady-state senders avoid both:
+//
+//   - A single-goroutine sender (a replica event loop, a client sender loop)
+//     keeps one scratch buffer or wire.Writer and encodes every outgoing
+//     message of a round into it with the Append* variants below; the
+//     transport.Batcher copies the bytes into its per-destination envelope
+//     immediately, so the scratch is free again for the next message.
+//   - Code that needs a writer transiently but has no natural place to hang
+//     a scratch buffer borrows one from the shared pool with
+//     GetWriter/PutWriter.
+//
+// Ownership rule: the slice returned by an Append* call (and by
+// wire.Writer.Bytes) aliases the scratch/pooled buffer. It is valid until
+// the next use of that buffer; whoever needs the bytes longer — a transport
+// that queues the payload, a lazy-relay buffer — must copy them first.
+// transport.Batcher.Add copies; transport.Node.Send implementations queue
+// the caller's slice and therefore require an owned payload (use Marshal*).
+
+// writerCapHint is the initial capacity of pooled writers; writers that grew
+// beyond writerMaxIdle are dropped on Put so one exceptional message does not
+// pin memory in the pool forever.
+const (
+	writerCapHint = 512
+	writerMaxIdle = 64 << 10
+)
+
+var writerPool = sync.Pool{
+	New: func() any { return wire.NewWriter(writerCapHint) },
+}
+
+// GetWriter borrows a reset wire.Writer from the shared pool.
+func GetWriter() *wire.Writer {
+	return writerPool.Get().(*wire.Writer)
+}
+
+// PutWriter returns w to the pool. The caller must not use w (or any slice
+// obtained from w.Bytes()) afterwards: the buffer will be handed to another
+// goroutine and overwritten.
+func PutWriter(w *wire.Writer) {
+	if w == nil || cap(w.Bytes()) > writerMaxIdle {
+		return
+	}
+	w.Reset()
+	writerPool.Put(w)
+}
+
+// AppendRMcast appends the kind-tagged encoding of m (group g) to dst.
+func AppendRMcast(dst []byte, g GroupID, m RMcastMsg) []byte {
+	w := wire.Wrap(AppendHeader(dst, KindRMcast, g))
+	w.Int64(int64(m.Origin))
+	w.Uint64(m.Seq)
+	w.BytesField(m.Inner)
+	return w.Bytes()
+}
+
+// AppendRequest appends the kind-tagged encoding of req to dst. The envelope
+// group is the request's own.
+func AppendRequest(dst []byte, req Request) []byte {
+	w := wire.Wrap(AppendHeader(dst, KindRequest, req.ID.Group))
+	req.Encode(&w)
+	return w.Bytes()
+}
+
+// AppendSeqOrder appends the kind-tagged encoding of m (group g) to dst.
+func AppendSeqOrder(dst []byte, g GroupID, m SeqOrder) []byte {
+	w := wire.Wrap(AppendHeader(dst, KindSeqOrder, g))
+	w.Uint64(m.Epoch)
+	w.Uint64(uint64(len(m.Reqs)))
+	for _, req := range m.Reqs {
+		req.Encode(&w)
+	}
+	return w.Bytes()
+}
+
+// AppendPhaseII appends the kind-tagged encoding of m (group g) to dst.
+func AppendPhaseII(dst []byte, g GroupID, m PhaseII) []byte {
+	w := wire.Wrap(AppendHeader(dst, KindPhaseII, g))
+	w.Uint64(m.Epoch)
+	return w.Bytes()
+}
+
+// AppendReply appends the kind-tagged encoding of p to dst. The envelope
+// group is the replied-to request's own.
+func AppendReply(dst []byte, p Reply) []byte {
+	w := wire.Wrap(AppendHeader(dst, KindReply, p.Req.Group))
+	p.Encode(&w)
+	return w.Bytes()
+}
+
+// AppendHeartbeat appends a heartbeat payload for group g to dst. Heartbeat
+// senders precompute the frame once per process (it is constant per group)
+// and reuse it for every tick.
+func AppendHeartbeat(dst []byte, g GroupID) []byte {
+	return AppendHeader(dst, KindHeartbeat, g)
+}

@@ -147,9 +147,31 @@ func (r RequestID) String() string {
 
 // Request is a client request: a unique ID plus an opaque command for the
 // replicated state machine.
+//
+// Ownership: a decoded Request's Cmd aliases the decode input (zero-copy).
+// It is valid only while the input frame is; a receiver that retains the
+// request past the handling of its frame — buffering it in a payloads map,
+// a future-epoch ordering buffer — must Clone it first (copy-on-retain).
+// Consuming the command inside the handling of the frame (applying it to
+// the state machine, re-encoding it into an outgoing round buffer) needs no
+// copy.
 type Request struct {
 	ID  RequestID
 	Cmd []byte
+}
+
+// Clone returns a copy of r whose Cmd is owned by the result — the
+// copy-on-retain step for receivers that keep a decoded request alive past
+// its input frame.
+func (r Request) Clone() Request {
+	if len(r.Cmd) == 0 {
+		r.Cmd = nil
+		return r
+	}
+	cmd := make([]byte, len(r.Cmd))
+	copy(cmd, r.Cmd)
+	r.Cmd = cmd
+	return r
 }
 
 // Encode appends the request to w.
@@ -160,13 +182,14 @@ func (r Request) Encode(w *wire.Writer) {
 	w.BytesField(r.Cmd)
 }
 
-// DecodeRequest reads a Request from r.
+// DecodeRequest reads a Request from r. Cmd aliases the reader's input (see
+// Request for the ownership rule).
 func DecodeRequest(r *wire.Reader) Request {
 	var req Request
 	req.ID.Group = GroupID(r.Uint32())
 	req.ID.Client = NodeID(r.Int64())
 	req.ID.Seq = r.Uint64()
-	req.Cmd = r.BytesField()
+	req.Cmd = r.BytesFieldRef()
 	return req
 }
 
@@ -175,6 +198,11 @@ func DecodeRequest(r *wire.Reader) Request {
 // in Appendix A use exactly this as the reply value); Result is the
 // application-level result. Epoch and Weight implement the client adoption
 // rule of Figure 5.
+//
+// Ownership: a decoded Reply's Result aliases the decode input (zero-copy).
+// A client that retains the reply past the handling of its frame — the
+// per-epoch accumulation of Figure 5, the adopted reply handed to the
+// invoking goroutine — must Clone it first (copy-on-retain).
 type Reply struct {
 	Req    RequestID
 	From   NodeID
@@ -196,9 +224,22 @@ func (p Reply) Encode(w *wire.Writer) {
 	w.BytesField(p.Result)
 }
 
-// DecodeReply reads a Reply from r. Result aliases the reader's input (reply
-// frames are immutable once received, so sharing is safe and saves a copy on
-// the client's hot path).
+// Clone returns a copy of p whose Result is owned by the result — the
+// copy-on-retain step for clients that keep a decoded reply alive past its
+// input frame (which may be a pooled buffer about to be recycled).
+func (p Reply) Clone() Reply {
+	if len(p.Result) == 0 {
+		p.Result = nil
+		return p
+	}
+	res := make([]byte, len(p.Result))
+	copy(res, p.Result)
+	p.Result = res
+	return p
+}
+
+// DecodeReply reads a Reply from r. Result aliases the reader's input (see
+// Reply for the ownership rule).
 func DecodeReply(r *wire.Reader) Reply {
 	var p Reply
 	p.Req.Group = GroupID(r.Uint32())

@@ -67,6 +67,13 @@ type Config struct {
 	// BufferLimit bounds the lazy relay buffer; zero means
 	// DefaultBufferLimit.
 	BufferLimit int
+	// SendCopies declares that Send copies the payload before returning
+	// (e.g. it appends into a transport.Batcher's envelope buffer). It lets
+	// the relay hot path encode into a reusable scratch buffer instead of
+	// allocating a fresh payload per delivered message. Leave false when
+	// Send queues the slice it is given (a raw transport.Node.Send, a
+	// channel to a sender goroutine).
+	SendCopies bool
 }
 
 // RMcast is one process's reliable-multicast endpoint.
@@ -76,6 +83,7 @@ type RMcast struct {
 	nextSeq   uint64
 	delivered map[Key]struct{}
 	buffer    []buffered // lazy mode: wrappers eligible for re-relay
+	scratch   []byte     // reusable relay-payload encode buffer (SendCopies mode)
 }
 
 type buffered struct {
@@ -139,11 +147,21 @@ func (r *RMcast) OnMessage(body []byte) (inner []byte, deliver bool, err error) 
 	}
 	// Rebuild the relayable payload by re-tagging the received body instead
 	// of re-encoding the message — the body already is the canonical
-	// encoding, and this copy runs once per delivered message on the hot
-	// path. The caller verified the envelope group before handing us the
-	// body, so re-tagging with our own group is faithful.
-	payload := proto.AppendHeader(make([]byte, 0, 6+len(body)), proto.KindRMcast, r.cfg.GroupID)
-	payload = append(payload, body...)
+	// encoding. The caller verified the envelope group before handing us the
+	// body, so re-tagging with our own group is faithful. When Send copies
+	// (SendCopies), the payload is assembled in the reusable scratch buffer,
+	// so the once-per-delivered-message hot path allocates nothing; the
+	// buffer is reused after markDelivered/relay return (markDelivered
+	// clones what the lazy buffer retains).
+	var payload []byte
+	if r.cfg.SendCopies {
+		r.scratch = proto.AppendHeader(r.scratch[:0], proto.KindRMcast, r.cfg.GroupID)
+		r.scratch = append(r.scratch, body...)
+		payload = r.scratch
+	} else {
+		payload = proto.AppendHeader(make([]byte, 0, 6+len(body)), proto.KindRMcast, r.cfg.GroupID)
+		payload = append(payload, body...)
+	}
 	r.markDelivered(key, payload)
 	if r.cfg.Mode == Eager {
 		r.relay(key, payload)
@@ -167,6 +185,14 @@ func (r *RMcast) DeliveredCount() int { return len(r.delivered) }
 func (r *RMcast) markDelivered(key Key, payload []byte) {
 	r.delivered[key] = struct{}{}
 	if r.cfg.Mode == Lazy && r.inGroup {
+		// The buffer retains the payload for later RelayAll calls, so it
+		// takes an owned copy when the payload lives in the scratch buffer
+		// (copy-on-retain).
+		if r.cfg.SendCopies {
+			owned := make([]byte, len(payload))
+			copy(owned, payload)
+			payload = owned
+		}
 		r.buffer = append(r.buffer, buffered{key: key, payload: payload})
 		if len(r.buffer) > r.cfg.BufferLimit {
 			r.buffer = r.buffer[len(r.buffer)-r.cfg.BufferLimit:]

@@ -10,14 +10,18 @@
 // go to the request's originating NodeID). One outgoing connection per destination
 // preserves the FIFO property of the model; dialing is lazy with
 // exponential backoff, and frames queue unboundedly while a peer is down.
-// Outgoing frames are written through a buffered writer that flushes when the
-// queue runs dry (plus an optional Config.FlushWindow linger), so message
+// Each sender wakeup drains its whole queued backlog, assembles it into one
+// length-prefixed burst, and hands it to a buffered writer that flushes when
+// the queue runs dry (plus an optional Config.FlushWindow linger), so message
 // bursts — including proto.Batch envelopes produced by the replicas — cost
-// one syscall instead of one per message —
+// one buffered write and one syscall instead of one per message —
 // matching the reliable-channel abstraction for crash-stop runs (frames in
 // flight during a genuine TCP reset can be lost; the protocols above tolerate
 // this exactly the way they tolerate a slow channel, via relays and
 // consensus).
+// Frames are pooled in both directions (transport.Frame): sends recycle
+// their buffers once written, and received frames are recycled by the
+// consuming event loop's Message.Release.
 package tcpnet
 
 import (
@@ -103,29 +107,33 @@ type Node struct {
 
 var _ transport.Node = (*Node)(nil)
 
-// outgoing is a per-destination sender: an unbounded frame queue drained by
-// one goroutine that (re)dials as needed, preserving FIFO order. The single
-// consumer is woken through signal, which also supports the timed wait of
-// the flush window.
+// outgoing is a per-destination sender: an unbounded queue of pooled frames
+// drained by one goroutine that (re)dials as needed, preserving FIFO order.
+// The single consumer is woken through signal, which also supports the timed
+// wait of the flush window.
 type outgoing struct {
 	mu     sync.Mutex
-	queue  [][]byte
+	queue  []*transport.Frame
+	spare  []*transport.Frame // drained queue storage, recycled by popBatch
 	closed bool
 	signal chan struct{} // capacity 1; single consumer
 }
 
 // pop outcomes.
 const (
-	popFrame   = iota // a frame was dequeued
+	popFrames  = iota // one or more frames were dequeued
 	popTimeout        // the wait elapsed with the queue still empty
 	popClosed         // the sender was closed
 )
 
-// pop dequeues the next frame. wait < 0 blocks until a frame or close;
-// wait >= 0 gives up after that duration (0 = poll). The timeout timer is
-// only allocated once the queue is actually observed empty, so the
-// streaming-load path pays no timer churn.
-func (o *outgoing) pop(wait time.Duration) ([]byte, int) {
+// popBatch dequeues the entire queued backlog in one swap, so a wakeup
+// under streaming load drains every frame the senders accumulated (the
+// caller coalesces them into a single buffered write). wait < 0 blocks until
+// a frame or close; wait >= 0 gives up after that duration (0 = poll). The
+// timeout timer is only allocated once the queue is actually observed empty,
+// so the streaming-load path pays no timer churn. The returned slice is
+// owned by the caller until its next popBatch call.
+func (o *outgoing) popBatch(wait time.Duration) ([]*transport.Frame, int) {
 	var timer *time.Timer
 	var timeoutC <-chan time.Time
 	defer func() {
@@ -136,10 +144,11 @@ func (o *outgoing) pop(wait time.Duration) ([]byte, int) {
 	for {
 		o.mu.Lock()
 		if len(o.queue) > 0 {
-			frame := o.queue[0]
-			o.queue = o.queue[1:]
+			batch := o.queue
+			o.queue = o.spare[:0]
+			o.spare = batch[:0] // recycled on the next swap
 			o.mu.Unlock()
-			return frame, popFrame
+			return batch, popFrames
 		}
 		closed := o.closed
 		o.mu.Unlock()
@@ -232,14 +241,35 @@ func (n *Node) SetPeer(id proto.NodeID, addr string) {
 	n.cfg.Peers[id] = addr
 }
 
-// Send implements transport.Node.
+// Send implements transport.Node. The payload is borrowed: it is copied
+// into the queue, so the caller may reuse its buffer immediately.
 func (n *Node) Send(to proto.NodeID, payload []byte) error {
 	if len(payload) > MaxFrame {
 		return fmt.Errorf("tcpnet: frame of %d bytes exceeds limit", len(payload))
 	}
+	// Copy into a pooled frame: the send loop releases it once the bytes
+	// are on their way to the socket.
+	f := transport.GetFrame()
+	f.Buf = append(f.Buf, payload...)
+	return n.enqueue(to, f)
+}
+
+// SendFrame implements transport.FrameSender: ownership of the pooled frame
+// transfers to the node, which releases it after writing the bytes to the
+// socket buffer (or on close) — no copy on the way in.
+func (n *Node) SendFrame(to proto.NodeID, f *transport.Frame) error {
+	if len(f.Buf) > MaxFrame {
+		f.Release()
+		return fmt.Errorf("tcpnet: frame of %d bytes exceeds limit", len(f.Buf))
+	}
+	return n.enqueue(to, f)
+}
+
+func (n *Node) enqueue(to proto.NodeID, f *transport.Frame) error {
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
+		f.Release()
 		return transport.ErrClosed
 	}
 	out, ok := n.outs[to]
@@ -251,14 +281,13 @@ func (n *Node) Send(to proto.NodeID, payload []byte) error {
 	}
 	n.mu.Unlock()
 
-	buf := make([]byte, len(payload))
-	copy(buf, payload)
 	out.mu.Lock()
 	if out.closed {
 		out.mu.Unlock()
+		f.Release()
 		return transport.ErrClosed
 	}
-	out.queue = append(out.queue, buf)
+	out.queue = append(out.queue, f)
 	out.mu.Unlock()
 	out.wake()
 	return nil
@@ -362,22 +391,33 @@ func (n *Node) readLoop(conn net.Conn) {
 		if size > MaxFrame {
 			return // corrupt stream; drop the connection
 		}
-		payload := make([]byte, size)
-		if _, err := io.ReadFull(conn, payload); err != nil {
+		// Read into a pooled frame; the receiving event loop's Release
+		// recycles it once the message is handled.
+		f := transport.GetFrame()
+		if cap(f.Buf) < int(size) {
+			f.Buf = make([]byte, size)
+		} else {
+			f.Buf = f.Buf[:size]
+		}
+		if _, err := io.ReadFull(conn, f.Buf); err != nil {
+			f.Release()
 			return
 		}
 		n.framesReceived.Add(1)
 		n.bytesReceived.Add(uint64(size))
-		n.inbox.Push(transport.Message{From: from, Payload: payload})
+		n.inbox.Push(transport.OwnedMessage(from, f.Buf, f))
 	}
 }
 
-// sendLoop drains one destination queue over a (re)dialed connection. Frames
-// go through a bufio.Writer and are flushed only when the queue runs dry (plus
-// the optional FlushWindow linger), so a burst of messages costs one syscall
-// instead of one per frame. Frames buffered but not yet flushed when the
-// connection breaks are lost exactly like frames in flight on the wire — the
-// loss mode the protocols above already tolerate.
+// sendLoop drains one destination queue over a (re)dialed connection. Each
+// wakeup takes the entire queued backlog in one swap, length-prefixes every
+// frame into a reusable scratch buffer, releases the pooled frames, and
+// hands the whole burst to the bufio.Writer as a single write; the writer is
+// flushed only when the queue runs dry (plus the optional FlushWindow
+// linger). A burst of messages therefore costs one buffered write and one
+// syscall instead of one per frame. Frames buffered but not yet flushed when
+// the connection breaks are lost exactly like frames in flight on the wire —
+// the loss mode the protocols above already tolerate.
 func (n *Node) sendLoop(to proto.NodeID, out *outgoing) {
 	defer n.wg.Done()
 	var conn net.Conn
@@ -389,16 +429,26 @@ func (n *Node) sendLoop(to proto.NodeID, out *outgoing) {
 			}
 			conn.Close()
 		}
+		// Recycle whatever was still queued at close.
+		out.mu.Lock()
+		leftover := out.queue
+		out.queue = nil
+		out.mu.Unlock()
+		for _, f := range leftover {
+			f.Release()
+		}
 	}()
 	backoff := 10 * time.Millisecond
-	buffered := false // frames written to bw since the last flush
+	buffered := false // bytes written to bw since the last flush
+	var burst []byte  // reusable length-prefixed assembly buffer
+	var lenBuf [4]byte
 
 	for {
 		wait := time.Duration(-1) // nothing buffered: block until work arrives
 		if buffered {
 			wait = n.cfg.FlushWindow // linger briefly for coalescing
 		}
-		frame, st := out.pop(wait)
+		batch, st := out.popBatch(wait)
 		switch st {
 		case popClosed:
 			return
@@ -412,6 +462,20 @@ func (n *Node) sendLoop(to proto.NodeID, out *outgoing) {
 			}
 			buffered = false
 			continue
+		}
+
+		// Assemble the burst: [len][frame][len][frame]... then recycle the
+		// pooled frames — their bytes now live in the scratch buffer.
+		burst = burst[:0]
+		frames := 0
+		bytes := 0
+		for _, f := range batch {
+			binary.BigEndian.PutUint32(lenBuf[:], uint32(len(f.Buf))) //nolint:gosec // length checked in Send
+			burst = append(burst, lenBuf[:]...)
+			burst = append(burst, f.Buf...)
+			frames++
+			bytes += len(f.Buf)
+			f.Release()
 		}
 
 		for {
@@ -429,18 +493,25 @@ func (n *Node) sendLoop(to proto.NodeID, out *outgoing) {
 				bw = bufio.NewWriterSize(conn, sendBufSize)
 				backoff = 10 * time.Millisecond
 			}
-			if err := writeFrame(bw, frame); err != nil {
+			if err := writeAll(bw, burst); err != nil {
 				conn.Close()
 				conn, bw = nil, nil
-				continue // the frame is retried on a fresh connection
+				continue // the burst is retried on a fresh connection
 			}
-			n.framesSent.Add(1)
-			n.bytesSent.Add(uint64(len(frame)))
+			n.framesSent.Add(uint64(frames))
+			n.bytesSent.Add(uint64(bytes))
 			buffered = true
 			break
 		}
+		if cap(burst) > sendBufMaxIdle {
+			burst = nil
+		}
 	}
 }
+
+// sendBufMaxIdle caps the capacity the burst-assembly scratch may retain
+// between wakeups.
+const sendBufMaxIdle = 256 << 10
 
 func (o *outgoing) isClosed() bool {
 	o.mu.Lock()
@@ -488,15 +559,6 @@ func (n *Node) dial(to proto.NodeID) (net.Conn, error) {
 }
 
 var errUnknownPeer = errors.New("unknown peer")
-
-func writeFrame(w io.Writer, payload []byte) error {
-	var lenBuf [4]byte
-	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(payload))) //nolint:gosec // length checked in Send
-	if err := writeAll(w, lenBuf[:]); err != nil {
-		return err
-	}
-	return writeAll(w, payload)
-}
 
 func writeAll(w io.Writer, b []byte) error {
 	for len(b) > 0 {

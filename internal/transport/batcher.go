@@ -26,9 +26,16 @@ const sendBufMaxIdle = 64 << 10
 // single goroutine (a replica event loop, or a client's sender loop). FIFO
 // per destination is preserved because frames are appended in send order and
 // rounds never interleave.
+//
+// Allocation discipline: Add copies the frame into the destination's reusable
+// envelope buffer, so callers may encode into a scratch buffer and hand the
+// aliasing slice straight in. Flush ships each envelope as a pooled Frame
+// when the node supports FrameSender (the steady-state zero-allocation path)
+// and falls back to an owned copy plus plain Send otherwise.
 type Batcher struct {
 	node   Node
-	header []byte // precomputed [KindBatch][group] envelope header
+	frames FrameSender // non-nil when node supports the pooled-frame path
+	header []byte      // precomputed [KindBatch][group] envelope header
 	bufs   map[proto.NodeID]*sendBuf
 	order  []proto.NodeID // destinations with buffered sends, in first-send order
 }
@@ -36,18 +43,23 @@ type Batcher struct {
 // NewBatcher creates a batcher shipping through node, tagging envelopes with
 // the given ordering group.
 func NewBatcher(node Node, group proto.GroupID) *Batcher {
-	return &Batcher{
+	b := &Batcher{
 		node:   node,
 		header: proto.AppendHeader(nil, proto.KindBatch, group),
 		bufs:   make(map[proto.NodeID]*sendBuf),
 	}
+	if fs, ok := node.(FrameSender); ok {
+		b.frames = fs
+	}
+	return b
 }
 
-// Add appends one kind-tagged message to to's envelope buffer.
+// Add appends one kind-tagged message to to's envelope buffer, copying it —
+// frame may alias a scratch buffer the caller reuses immediately after.
 func (b *Batcher) Add(to proto.NodeID, frame []byte) {
 	sb, ok := b.bufs[to]
 	if !ok {
-		sb = &sendBuf{}
+		sb = &sendBuf{} // once per destination; the map entry is reused forever
 		b.bufs[to] = sb
 	}
 	if sb.count == 0 {
@@ -61,9 +73,11 @@ func (b *Batcher) Add(to proto.NodeID, frame []byte) {
 
 // Flush ships every buffered send: one owned frame per destination — the
 // batch envelope, or the bare inner message when the round produced just one
-// (so single-message traffic is byte-identical to the unbatched wire). Send
-// errors mean the network or this node is gone; the caller's receive side
-// will observe the closed inbox. Nothing useful to do here.
+// (so single-message traffic is byte-identical to the unbatched wire). On a
+// FrameSender transport the frame comes from (and returns to) the shared
+// frame pool; otherwise it is freshly allocated. Send errors mean the
+// network or this node is gone; the caller's receive side will observe the
+// closed inbox. Nothing useful to do here.
 func (b *Batcher) Flush() {
 	for _, to := range b.order {
 		sb := b.bufs[to]
@@ -74,9 +88,15 @@ func (b *Batcher) Flush() {
 			_, n := binary.Uvarint(raw[skip:])
 			raw = raw[skip+n:]
 		}
-		frame := make([]byte, len(raw))
-		copy(frame, raw)
-		_ = b.node.Send(to, frame)
+		if b.frames != nil {
+			f := GetFrame()
+			f.Buf = append(f.Buf, raw...)
+			_ = b.frames.SendFrame(to, f)
+		} else {
+			frame := make([]byte, len(raw))
+			copy(frame, raw)
+			_ = b.node.Send(to, frame)
+		}
 		sb.count = 0
 		if cap(sb.buf) > sendBufMaxIdle {
 			sb.buf = nil

@@ -22,16 +22,84 @@ var ErrClosed = errors.New("transport: closed")
 // injection.
 var ErrCrashed = errors.New("transport: node crashed")
 
-// Message is a payload delivered to a node, tagged with its sender.
+// Frame is a uniquely-owned, poolable payload buffer. The steady-state frame
+// path recycles Frames instead of allocating: a sender takes one with
+// GetFrame, fills Buf, and hands it to a FrameSender; whoever observes the
+// frame last — the transport after writing it to a socket, the receiving
+// event loop after handling the delivered message — calls Release to return
+// it to the pool.
+//
+// Ownership rule: a Frame has exactly one owner at a time, and Release may
+// be called exactly once per GetFrame. After Release the buffer will be
+// overwritten by an unrelated message; any data that must outlive it (a
+// request body kept in a payloads map, an adopted reply's result) must be
+// copied out first — see the Clone methods on proto.Request, proto.Reply and
+// proto.SeqOrder.
+type Frame struct {
+	Buf []byte
+}
+
+// frameMaxIdle caps the capacity a pooled frame may retain, so one
+// exceptional burst does not pin memory in the pool forever.
+const frameMaxIdle = 64 << 10
+
+var framePool = sync.Pool{New: func() any { return &Frame{} }}
+
+// GetFrame takes an empty frame from the shared pool.
+func GetFrame() *Frame {
+	f := framePool.Get().(*Frame)
+	f.Buf = f.Buf[:0]
+	return f
+}
+
+// Release returns f to the pool. Exactly one Release per GetFrame; the
+// caller must not touch f.Buf (or anything aliasing it) afterwards.
+func (f *Frame) Release() {
+	if f == nil || cap(f.Buf) > frameMaxIdle {
+		return
+	}
+	framePool.Put(f)
+}
+
+// Message is a payload delivered to a node, tagged with its sender. If the
+// payload rides a pooled Frame, the frame travels with the message and the
+// receiver recycles it by calling Release once the message (and everything
+// decoded zero-copy from it) is no longer needed.
 type Message struct {
 	From    proto.NodeID
 	Payload []byte
+
+	frame *Frame // pooled backing buffer; nil for unpooled payloads
+}
+
+// OwnedMessage builds a Message whose payload rides the pooled frame f.
+// payload must alias f.Buf (it is usually f.Buf itself, but may be a
+// sub-slice — e.g. the single survivor of a filtered envelope). The message
+// takes over the frame's single ownership: the receiver's Release recycles
+// it.
+func OwnedMessage(from proto.NodeID, payload []byte, f *Frame) Message {
+	return Message{From: from, Payload: payload, frame: f}
+}
+
+// Release recycles the message's pooled backing frame, if any. Receivers
+// call it once per delivered message, after the message — including every
+// slice decoded zero-copy from its payload — is done with. Releasing an
+// unpooled message is a no-op, so event loops release unconditionally.
+func (m Message) Release() {
+	if m.frame != nil {
+		m.frame.Release()
+	}
 }
 
 // Node is one process's endpoint. Send is asynchronous, non-blocking and
 // reliable FIFO per destination: two messages sent to the same destination
 // are delivered in send order. Implementations must make Send safe for
 // concurrent use.
+//
+// Send borrows payload: the transport may queue and share the very slice it
+// was given, so the caller must not mutate it afterwards (it may still hold
+// and resend it — heartbeat frames do). The zero-allocation path transfers
+// ownership instead: see FrameSender.
 type Node interface {
 	// ID returns this node's process identifier.
 	ID() proto.NodeID
@@ -43,6 +111,16 @@ type Node interface {
 	Recv() <-chan Message
 	// Close releases the node's resources.
 	Close() error
+}
+
+// FrameSender is the optional zero-allocation send capability of a
+// transport. SendFrame transfers ownership of a pooled frame obtained from
+// GetFrame: the transport (or the final in-process receiver it delivers to)
+// releases it, and the caller must not touch the frame after the call —
+// succeed or fail. Same delivery semantics as Send otherwise.
+// transport.Batcher uses this automatically when the node provides it.
+type FrameSender interface {
+	SendFrame(to proto.NodeID, f *Frame) error
 }
 
 // SendBatch delivers several kind-tagged payloads to one destination as a
@@ -123,15 +201,18 @@ func NewQueue() *Queue {
 	return q
 }
 
-// Push enqueues m. Pushes after Close are dropped.
+// Push enqueues m. Pushes after Close are dropped (releasing any pooled
+// frame the message rides).
 func (q *Queue) Push(m Message) {
 	q.mu.Lock()
-	defer q.mu.Unlock()
 	if q.closed {
+		q.mu.Unlock()
+		m.Release()
 		return
 	}
 	q.items = append(q.items, m)
 	q.cond.Signal()
+	q.mu.Unlock()
 }
 
 // Out returns the delivery channel. It is closed after Close once the pump
@@ -167,7 +248,13 @@ func (q *Queue) pump() {
 			q.cond.Wait()
 		}
 		if q.closed {
+			// Discard (and recycle) whatever the consumer never saw.
+			items := q.items
+			q.items = nil
 			q.mu.Unlock()
+			for _, m := range items {
+				m.Release()
+			}
 			return
 		}
 		m := q.items[0]
@@ -177,6 +264,14 @@ func (q *Queue) pump() {
 		select {
 		case q.out <- m:
 		case <-q.notify:
+			m.Release()
+			q.mu.Lock()
+			items := q.items
+			q.items = nil
+			q.mu.Unlock()
+			for _, im := range items {
+				im.Release()
+			}
 			return
 		}
 	}

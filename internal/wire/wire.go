@@ -35,6 +35,13 @@ func NewWriter(capacity int) *Writer {
 	return &Writer{buf: make([]byte, 0, capacity)}
 }
 
+// Wrap returns a Writer that appends to dst (sharing its backing array).
+// It is the zero-allocation bridge between the Encode methods (which take a
+// *Writer) and callers that accumulate into a reusable byte slice: wrap the
+// scratch slice, encode, and take Bytes() as the extended slice. The returned
+// value is meant to live on the caller's stack.
+func Wrap(dst []byte) Writer { return Writer{buf: dst} }
+
 // Bytes returns the encoded bytes. The slice aliases the writer's buffer.
 func (w *Writer) Bytes() []byte { return w.buf }
 
