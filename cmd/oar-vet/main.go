@@ -1,0 +1,161 @@
+// Command oar-vet runs the repository's custom static-analysis suite
+// (internal/analysis): framelease, retained, atomicfield and grouptag — the
+// machine-checked versions of the ownership, clone-on-retain, atomic-access
+// and group-tagging invariants documented in the source.
+//
+// Two modes:
+//
+//	oar-vet ./...                         standalone, used by `make check`/CI
+//	go vet -vettool=$(which oar-vet) ./...  as a go vet backend
+//
+// Standalone mode loads and typechecks packages itself (via `go list
+// -export`), analyzes every package the patterns match, and exits non-zero
+// if any analyzer reports a finding. Vettool mode speaks go vet's unit-
+// checker protocol: the go command hands it one JSON config file per
+// package (GoFiles, ImportMap, PackageFile export data) and collects the
+// findings.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	args := os.Args[1:]
+
+	// go vet protocol: version and flag discovery.
+	for _, a := range args {
+		switch {
+		case strings.HasPrefix(a, "-V"):
+			// The version string keys go vet's result cache.
+			fmt.Println("oar-vet version v1")
+			return
+		case a == "-flags":
+			fmt.Println("[]")
+			return
+		}
+	}
+
+	// go vet protocol: a single *.cfg argument describes one package.
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runVetUnit(args[0]))
+	}
+
+	// Standalone: analyze the matched packages of the current module.
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dir, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	diags, err := analysis.Run(dir, analysis.All(), patterns...)
+	if err != nil {
+		fatal(err)
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "oar-vet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// vetConfig is the package description go vet writes for -vettool backends
+// (the relevant subset of cmd/go's vet config).
+type vetConfig struct {
+	ID                        string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func runVetUnit(cfgFile string) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fatal(err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fatal(fmt.Errorf("oar-vet: parsing %s: %w", cfgFile, err))
+	}
+	// The driver expects a facts file even though these analyzers export no
+	// facts; write it first so a finding-induced non-zero exit still leaves
+	// the cache entry behind.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fatal(err)
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("oar-vet: no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	_ = imp
+
+	files := make([]string, len(cfg.GoFiles))
+	for i, f := range cfg.GoFiles {
+		if !filepath.IsAbs(f) {
+			f = filepath.Join(cfg.Dir, f)
+		}
+		files[i] = f
+	}
+	pkg, err := checkWithImporter(fset, imp, cfg.ImportPath, files)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fatal(err)
+	}
+	diags, err := analysis.RunAnalyzers([]*analysis.Package{pkg}, analysis.All())
+	if err != nil {
+		fatal(err)
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", d.Pos, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// checkWithImporter typechecks one package's files with the given importer —
+// the vettool-mode twin of Loader.Check.
+func checkWithImporter(fset *token.FileSet, imp types.Importer, path string, files []string) (*analysis.Package, error) {
+	l := analysis.NewRawChecker(fset, imp)
+	return l.Check(path, files)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}

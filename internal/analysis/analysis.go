@@ -1,0 +1,251 @@
+// Package analysis is a custom static-analysis suite that machine-checks the
+// concurrency and ownership invariants this repository's hot path relies on.
+// The rules it enforces are exactly the prose contracts written where the
+// invariants live:
+//
+//   - framelease: every transport.GetFrame has exactly one matching
+//     Release/ownership hand-off, no use after release, and no frame stored
+//     into a long-lived structure without an explicit //oar:frame-handoff
+//     marker (internal/transport/transport.go, "Ownership rule").
+//   - retained: zero-copy decoded values (wire.Reader.BytesFieldRef,
+//     proto.DecodeRequest/DecodeReply, proto.WalkBatch, ...) must be Clone()d
+//     before being stored somewhere that outlives the input frame
+//     (the clone-on-retain rule on proto.Request/Reply/SeqOrder).
+//   - atomicfield: a struct field accessed through sync/atomic — either an
+//     atomic.* typed field or a plain field passed to atomic.Load*/Store*/...
+//     — must never be read or written plainly (memnet's liveness flags,
+//     core's Footprint snapshot).
+//   - grouptag: replica-side constructors of kind-tagged wire messages must
+//     tag them with a configured GroupID, never a hard-coded constant — the
+//     invariant behind TestServerDropsForeignGroupTraffic.
+//
+// The suite is deliberately self-contained: it drives go/parser and go/types
+// directly (package layout and export data come from `go list -export`), so
+// it needs no dependency on golang.org/x/tools. The analyzers are shipped as
+// the cmd/oar-vet binary, which runs standalone (`oar-vet ./...`) and as a
+// `go vet -vettool` backend, and the repository is kept clean under all four
+// via TestAnalyzersClean.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer is one named check over a typechecked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics (e.g. "framelease").
+	Name string
+	// Doc is a one-paragraph description of the invariant checked.
+	Doc string
+	// Run reports the analyzer's findings on one package through pass.
+	Run func(pass *Pass) error
+}
+
+// All returns the default suite: every analyzer, configured for this
+// repository.
+func All() []*Analyzer {
+	return []*Analyzer{Framelease, Retained, AtomicField, GroupTag}
+}
+
+// Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Pass carries one typechecked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// RunAnalyzers applies every analyzer to every package and returns the
+// accumulated findings in file/position order of discovery.
+//
+// Test files are exempt: tests deliberately construct the misuse the suite
+// forbids (reuse-safety tests release frames early, protocol tests hand-craft
+// single-group traffic with literal tags), and the invariants being enforced
+// are production-path contracts.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		files := nonTestFiles(pkg)
+		if len(files) == 0 {
+			continue
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    files,
+				Pkg:      pkg.Pkg,
+				Info:     pkg.Info,
+				diags:    &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	return diags, nil
+}
+
+func nonTestFiles(pkg *Package) []*ast.File {
+	files := make([]*ast.File, 0, len(pkg.Files))
+	for _, f := range pkg.Files {
+		if strings.HasSuffix(pkg.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		files = append(files, f)
+	}
+	return files
+}
+
+// --- shared type/AST helpers ---
+
+// calleeFunc resolves the function or method called by call, or nil for
+// builtins, function-typed variables and type conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// funcIs reports whether fn is the package-level function pkgPath.name.
+func funcIs(fn *types.Func, pkgPath, name string) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Name() != name || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// methodIs reports whether fn is the method recvType.name (pointer or value
+// receiver) declared in pkgPath.
+func methodIs(fn *types.Func, pkgPath, recvType, name string) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Name() != name || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return isNamed(sig.Recv().Type(), pkgPath, recvType)
+}
+
+// isNamed reports whether t (after pointer indirection) is the named type
+// pkgPath.name.
+func isNamed(t types.Type, pkgPath, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// parentMap records the enclosing node of every AST node in a file.
+type parentMap map[ast.Node]ast.Node
+
+func buildParents(files []*ast.File) parentMap {
+	parents := parentMap{}
+	for _, f := range files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			if len(stack) > 0 {
+				parents[n] = stack[len(stack)-1]
+			}
+			stack = append(stack, n)
+			return true
+		})
+	}
+	return parents
+}
+
+// forEachFunc visits every function body in the package: declarations and
+// function literals, each exactly once as an independent scope.
+func forEachFunc(files []*ast.File, visit func(body *ast.BlockStmt)) {
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					visit(fn.Body)
+				}
+			case *ast.FuncLit:
+				visit(fn.Body)
+			}
+			return true
+		})
+	}
+}
+
+// objectOf resolves an identifier to the variable it denotes, or nil.
+func objectOf(info *types.Info, e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	switch obj := info.ObjectOf(id).(type) {
+	case *types.Var:
+		return obj
+	}
+	return nil
+}
+
+// rootIdent walks selector/index expressions down to their base identifier:
+// s.payloads[id] -> s, out.queue -> out. Returns nil for other shapes.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

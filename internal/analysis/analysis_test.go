@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"path/filepath"
+	"regexp"
+	"sync"
+	"testing"
+)
+
+// The fixture tests typecheck the testdata packages against the module's
+// real packages (fixtures import repro/internal/transport and friends), so
+// they need the module's export data. Building that map costs one `go list
+// -export -deps` run; share it across all fixture tests.
+var fixtureLoader struct {
+	once sync.Once
+	l    *Loader
+	err  error
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+func loaderForFixtures(t *testing.T) *Loader {
+	t.Helper()
+	fixtureLoader.once.Do(func() {
+		fixtureLoader.l, fixtureLoader.err = NewExportLoader(repoRoot(t))
+	})
+	if fixtureLoader.err != nil {
+		t.Fatalf("loading export data: %v", fixtureLoader.err)
+	}
+	return fixtureLoader.l
+}
+
+// wantRe matches the fixture expectation syntax: // want `regexp`
+var wantRe = regexp.MustCompile("// want `([^`]*)`")
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// runFixture typechecks testdata/src/<name> as package <name>, runs the
+// analyzer over it, and matches the diagnostics against the fixture's
+// // want `...` comments: every expectation must be hit by a diagnostic on
+// its line, and every diagnostic must be expected.
+func runFixture(t *testing.T, a *Analyzer, name string) {
+	t.Helper()
+	l := loaderForFixtures(t)
+	files, err := filepath.Glob(filepath.Join("testdata", "src", name, "*.go"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no fixture files for %s: %v", name, err)
+	}
+	pkg, err := l.Check(name, files)
+	if err != nil {
+		t.Fatalf("typechecking fixture %s: %v", name, err)
+	}
+	diags, err := RunAnalyzers([]*Package{pkg}, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on fixture: %v", a.Name, err)
+	}
+
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("bad want regexp %q: %v", m[1], err)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				wants = append(wants, &expectation{file: filepath.Base(pos.Filename), line: pos.Line, re: re})
+			}
+		}
+	}
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.hit || w.file != filepath.Base(d.Pos.Filename) || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic:\n  %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("expected diagnostic at %s:%d matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+func TestFrameleaseFixture(t *testing.T)  { runFixture(t, Framelease, "framelease") }
+func TestRetainedFixture(t *testing.T)    { runFixture(t, Retained, "retained") }
+func TestAtomicFieldFixture(t *testing.T) { runFixture(t, AtomicField, "atomicfield") }
+func TestGroupTagFixture(t *testing.T)    { runFixture(t, NewGroupTag("grouptag"), "grouptag") }
+
+// TestAnalyzersClean runs the full suite over the whole repository — the
+// same check `make check` and CI run via cmd/oar-vet. The repo must stay
+// clean: a finding here is either a real invariant violation or a missing
+// //oar:frame-handoff marker at a new hand-off site.
+func TestAnalyzersClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("typechecks the whole module; skipped in -short")
+	}
+	diags, err := Run(repoRoot(t), All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Log("fix the violation or, for an intentional ownership transfer, document it with an //oar:frame-handoff marker naming the balancing release site")
+	}
+}

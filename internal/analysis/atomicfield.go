@@ -1,0 +1,201 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AtomicField enforces the atomic-access discipline behind memnet's
+// contention-free send path and core's Footprint snapshot: once a struct
+// field is accessed through sync/atomic, every access must be.
+//
+// Two rules:
+//
+//   - A field whose type is one of the sync/atomic wrapper types
+//     (atomic.Bool, atomic.Uint64, atomic.Pointer[T], ...) may only be used
+//     as the receiver of its atomic methods (Load, Store, Add, Swap,
+//     CompareAndSwap), through &, or indexed on the way to such a call.
+//     Copying it, assigning it, or ranging over its values reads the memory
+//     without synchronization (and go vet's copylocks only catches some
+//     shapes).
+//   - A plain field that is passed by address to a sync/atomic function
+//     (atomic.AddUint64(&s.n, 1), atomic.StoreInt32, ...) anywhere in the
+//     package must never be read or written without sync/atomic in that
+//     package: mixed atomic/plain access is a data race that -race only
+//     catches probabilistically.
+//
+// Both rules are per-package, which matches Go's visibility: the fields in
+// question are unexported, so every access site is in the package.
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "check that atomically-accessed struct fields are never accessed plainly",
+	Run:  runAtomicField,
+}
+
+const syncAtomicPath = "sync/atomic"
+
+// atomicFuncPrefixes are the old-style sync/atomic function families.
+var atomicFuncPrefixes = []string{"Add", "Load", "Store", "Swap", "CompareAndSwap", "And", "Or"}
+
+func isAtomicFunc(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != syncAtomicPath {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return false
+	}
+	for _, p := range atomicFuncPrefixes {
+		if strings.HasPrefix(fn.Name(), p) {
+			return true
+		}
+	}
+	return false
+}
+
+// isAtomicWrapperType reports whether t is one of sync/atomic's typed
+// wrappers (Bool, Int32, ..., Pointer[T], Value).
+func isAtomicWrapperType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == syncAtomicPath
+}
+
+func runAtomicField(pass *Pass) error {
+	parents := buildParents(pass.Files)
+
+	// Pass 1: collect plain fields that are passed by address to a
+	// sync/atomic function anywhere in this package.
+	atomicFields := map[*types.Var]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicFunc(calleeFunc(pass.Info, call)) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op.String() != "&" {
+					continue
+				}
+				if fld := fieldOfSelector(pass.Info, un.X); fld != nil {
+					atomicFields[fld] = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: check every field use.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fld := fieldOfSelector(pass.Info, sel)
+			if fld == nil {
+				return true
+			}
+			if isAtomicWrapperType(fld.Type()) || isAtomicArrayField(fld) {
+				if !allowedWrapperUse(pass, parents, sel) {
+					pass.Reportf(sel.Pos(), "field %s has atomic type %s but is accessed without its atomic API: copying or assigning it reads the value without synchronization", fld.Name(), fld.Type())
+				}
+				return true
+			}
+			if atomicFields[fld] && !allowedPlainAtomicUse(pass, parents, sel) {
+				pass.Reportf(sel.Pos(), "field %s is accessed with sync/atomic elsewhere in this package but read or written plainly here: mixed access is a data race -race only catches probabilistically", fld.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// fieldOfSelector resolves sel to the struct field it denotes, or nil.
+func fieldOfSelector(info *types.Info, e ast.Expr) *types.Var {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if s, ok := info.Selections[sel]; ok {
+		if v, ok := s.Obj().(*types.Var); ok && v.IsField() {
+			return v
+		}
+		return nil
+	}
+	// Qualified identifiers (pkg.X) land in Uses, not Selections.
+	if v, ok := info.Uses[sel.Sel].(*types.Var); ok && v.IsField() {
+		return v
+	}
+	return nil
+}
+
+// isAtomicArrayField reports whether fld is an array of atomic wrappers
+// (e.g. [256]atomic.Uint64), which is accessed element-wise.
+func isAtomicArrayField(fld *types.Var) bool {
+	arr, ok := fld.Type().Underlying().(*types.Array)
+	return ok && isAtomicWrapperType(arr.Elem())
+}
+
+// allowedWrapperUse reports whether the atomic-wrapper field selector sel
+// appears in a context that keeps the access atomic: a method call on it, a
+// &-escape to a helper, an index on the way to either, or an index-only
+// range.
+func allowedWrapperUse(pass *Pass, parents parentMap, sel *ast.SelectorExpr) bool {
+	node := ast.Node(sel)
+	for {
+		parent := parents[node]
+		switch p := parent.(type) {
+		case *ast.IndexExpr:
+			if p.X == node {
+				node = parent
+				continue // arr[i].Load(): keep climbing
+			}
+			return true // sel is the index expression, not the accessed value
+		case *ast.SelectorExpr:
+			if p.X == node {
+				// Method call on the wrapper (Load/Store/...), or a further
+				// field selection (atomic.Pointer's .Load() chain).
+				if fn, ok := pass.Info.Uses[p.Sel].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == syncAtomicPath {
+					return true
+				}
+			}
+			return false
+		case *ast.UnaryExpr:
+			return p.Op.String() == "&" // address taken: passed to its methods
+		case *ast.RangeStmt:
+			// for i := range arr is length-only; a value variable would copy
+			// each element out unsynchronized.
+			return p.X == node && p.Value == nil
+		case *ast.CallExpr:
+			// len(arr), cap(arr) are fine; anything else passes a copy.
+			if id, ok := p.Fun.(*ast.Ident); ok && (id.Name == "len" || id.Name == "cap") && pass.Info.Uses[id] == types.Universe.Lookup(id.Name) {
+				return true
+			}
+			return false
+		default:
+			return false
+		}
+	}
+}
+
+// allowedPlainAtomicUse reports whether the plain-field selector sel is an
+// atomic access: &sel passed to a sync/atomic function.
+func allowedPlainAtomicUse(pass *Pass, parents parentMap, sel *ast.SelectorExpr) bool {
+	un, ok := parents[sel].(*ast.UnaryExpr)
+	if !ok || un.Op.String() != "&" {
+		return false
+	}
+	call, ok := parents[un].(*ast.CallExpr)
+	if !ok {
+		// &s.f stored or passed around: the alias may be used atomically
+		// (e.g. a local shorthand p := &s.n); allow the escape itself.
+		return true
+	}
+	return isAtomicFunc(calleeFunc(pass.Info, call))
+}

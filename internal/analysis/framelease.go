@@ -1,0 +1,532 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Framelease enforces the pooled-frame ownership rule documented on
+// transport.Frame (internal/transport/transport.go): a Frame has exactly one
+// owner at a time and Release is called exactly once per GetFrame.
+//
+// Checked:
+//
+//   - a transport.GetFrame() result must be captured, not discarded;
+//   - an acquired frame must be consumed on some path in its function:
+//     released, handed to a call that takes ownership (a *transport.Frame
+//     parameter — SendFrame, OwnedMessage, ...), returned, sent, or
+//     explicitly stored as a hand-off;
+//   - straight-line code may not use a frame (or a transport.Message) after
+//     the statement that released or handed it off, and may not release it
+//     twice;
+//   - storing a frame or message into a field, element, composite literal or
+//     channel is a transfer into a long-lived structure and must carry an
+//     "//oar:frame-handoff" marker on the same or preceding line, naming the
+//     release site that balances it.
+//
+// The analysis is function-local and syntactic over typed ASTs: it does not
+// follow a frame through arbitrary aliases or across calls. That is the
+// right trade-off here, because the documented discipline is itself local —
+// acquire, fill, hand off — and every cross-goroutine transfer goes through
+// one of the marked hand-off points.
+var Framelease = &Analyzer{
+	Name: "framelease",
+	Doc:  "check exactly-once Release / ownership hand-off of pooled transport.Frames",
+	Run:  runFramelease,
+}
+
+// HandoffMarker is the comment marker that documents an intentional store of
+// a pooled frame into a long-lived structure.
+const HandoffMarker = "oar:frame-handoff"
+
+const transportPath = "repro/internal/transport"
+
+// frameConsumeKind classifies how a statement disposes of a frame.
+type frameConsumeKind int
+
+const (
+	consumeNone    frameConsumeKind = iota
+	consumeRelease                  // f.Release() / m.Release()
+	consumeHandoff                  // passed to a *Frame parameter, returned, sent, stored
+)
+
+func runFramelease(pass *Pass) error {
+	fl := &frameleaseFunc{pass: pass, markers: handoffMarkerLines(pass)}
+	fl.checkStores()
+	forEachFunc(pass.Files, func(body *ast.BlockStmt) {
+		fl.checkLeaks(body)
+		fl.checkStraightLine(body)
+	})
+	return nil
+}
+
+// handoffMarkerLines collects the file lines carrying //oar:frame-handoff.
+func handoffMarkerLines(pass *Pass) map[string]map[int]bool {
+	lines := map[string]map[int]bool{}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.Contains(c.Text, HandoffMarker) {
+					continue
+				}
+				pos := pass.Fset.Position(c.Pos())
+				m := lines[pos.Filename]
+				if m == nil {
+					m = map[int]bool{}
+					lines[pos.Filename] = m
+				}
+				m[pos.Line] = true
+			}
+		}
+	}
+	return lines
+}
+
+type frameleaseFunc struct {
+	pass    *Pass
+	markers map[string]map[int]bool
+}
+
+func (fl *frameleaseFunc) isFrameType(t types.Type) bool {
+	return isNamed(t, transportPath, "Frame")
+}
+
+func (fl *frameleaseFunc) isTracked(t types.Type) bool {
+	return fl.isFrameType(t) || isNamed(t, transportPath, "Message")
+}
+
+func (fl *frameleaseFunc) trackedVarOf(e ast.Expr) *types.Var {
+	v := objectOf(fl.pass.Info, e)
+	if v == nil || !fl.isTracked(v.Type()) {
+		return nil
+	}
+	return v
+}
+
+// markedHandoff reports whether pos's line (or the line above it) carries the
+// hand-off marker.
+func (fl *frameleaseFunc) markedHandoff(pos token.Pos) bool {
+	p := fl.pass.Fset.Position(pos)
+	m := fl.markers[p.Filename]
+	return m != nil && (m[p.Line] || m[p.Line-1])
+}
+
+// --- rule: stores into long-lived structures need a marker ---
+
+// checkStores reports every store of a frame or message value (composite
+// literal, append, field/element assignment, channel send) that lacks the
+// //oar:frame-handoff marker. One walk per file, so each site reports once.
+func (fl *frameleaseFunc) checkStores() {
+	for _, f := range fl.pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.CompositeLit:
+				for _, elt := range node.Elts {
+					expr := elt
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						expr = kv.Value
+					}
+					if v := fl.trackedVarOf(expr); v != nil {
+						fl.reportUnmarkedStore(expr.Pos(), v, "stored in a composite literal")
+					}
+				}
+			case *ast.SendStmt:
+				if v := fl.trackedVarOf(node.Value); v != nil {
+					fl.reportUnmarkedStore(node.Pos(), v, "sent on a channel")
+				}
+			case *ast.AssignStmt:
+				for i, rhs := range node.Rhs {
+					v := fl.trackedVarOf(rhs)
+					if v == nil || i >= len(node.Lhs) {
+						continue
+					}
+					switch node.Lhs[i].(type) {
+					case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+						fl.reportUnmarkedStore(node.Pos(), v, "stored in a field or element")
+					}
+				}
+				for _, rhs := range node.Rhs {
+					fl.checkAppendStore(rhs)
+				}
+			case *ast.ExprStmt:
+				fl.checkAppendStore(node.X)
+			}
+			return true
+		})
+	}
+}
+
+// checkAppendStore flags append(dst, f) where f is a frame or message.
+func (fl *frameleaseFunc) checkAppendStore(e ast.Expr) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) < 2 {
+		return
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" || fl.pass.Info.Uses[id] != types.Universe.Lookup("append") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		if v := fl.trackedVarOf(arg); v != nil {
+			fl.reportUnmarkedStore(arg.Pos(), v, "appended to a slice")
+		}
+	}
+}
+
+func (fl *frameleaseFunc) reportUnmarkedStore(pos token.Pos, v *types.Var, how string) {
+	if fl.markedHandoff(pos) {
+		return
+	}
+	fl.pass.Reportf(pos, "pooled frame %s %s without an %q marker: storing a frame in a long-lived structure transfers ownership and must be documented with the release site that balances it (transport.go Frame ownership rule)", v.Name(), how, "//"+HandoffMarker)
+}
+
+// --- rule: every GetFrame is captured and eventually consumed ---
+
+// checkLeaks verifies that every transport.GetFrame() directly inside body
+// (not in nested function literals, which are scoped separately) is captured
+// and consumed somewhere in the same function.
+func (fl *frameleaseFunc) checkLeaks(body *ast.BlockStmt) {
+	parents := parentMap{}
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != nil {
+			return false // its own scope; forEachFunc visits it separately
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !funcIs(calleeFunc(fl.pass.Info, call), transportPath, "GetFrame") {
+			return true
+		}
+		switch parent := parents[call].(type) {
+		case *ast.AssignStmt:
+			v := fl.assignedVar(parent, call)
+			if v == nil {
+				fl.pass.Reportf(call.Pos(), "result of transport.GetFrame is discarded: the frame leaks from the pool (transport.go Frame ownership rule: exactly one Release per GetFrame)")
+				return true
+			}
+			if !fl.varIsConsumed(body, v) {
+				fl.pass.Reportf(call.Pos(), "frame %s acquired from transport.GetFrame is never released or handed off in this function (transport.go Frame ownership rule: exactly one Release per GetFrame)", v.Name())
+			}
+		case *ast.ExprStmt:
+			fl.pass.Reportf(call.Pos(), "result of transport.GetFrame is discarded: the frame leaks from the pool (transport.go Frame ownership rule: exactly one Release per GetFrame)")
+		}
+		// Direct use as an argument/return value is an immediate hand-off.
+		return true
+	})
+}
+
+// assignedVar returns the variable the call's result is bound to in assign,
+// or nil when it is dropped (assigned to _) or not bound to a plain ident.
+func (fl *frameleaseFunc) assignedVar(assign *ast.AssignStmt, call *ast.CallExpr) *types.Var {
+	for i, rhs := range assign.Rhs {
+		if ast.Unparen(rhs) != call || i >= len(assign.Lhs) {
+			continue
+		}
+		id, ok := assign.Lhs[i].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return nil
+		}
+		return objectOf(fl.pass.Info, id)
+	}
+	return nil
+}
+
+// varIsConsumed reports whether v is consumed (released, handed off,
+// returned, stored, reassigned away) anywhere in body — including inside
+// nested closures, which is how deferred cleanups release.
+func (fl *frameleaseFunc) varIsConsumed(body *ast.BlockStmt, v *types.Var) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if kind, _ := fl.consumesVar(n, v); kind != consumeNone {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// consumesVar classifies whether node n, considered in isolation, consumes
+// v's frame ownership. It is pure: store-marker violations are reported by
+// checkStores, not here.
+func (fl *frameleaseFunc) consumesVar(n ast.Node, v *types.Var) (frameConsumeKind, token.Pos) {
+	switch node := n.(type) {
+	case *ast.CallExpr:
+		// f.Release()
+		if sel, ok := node.Fun.(*ast.SelectorExpr); ok {
+			if objectOf(fl.pass.Info, sel.X) == v {
+				fn := calleeFunc(fl.pass.Info, node)
+				if methodIs(fn, transportPath, "Frame", "Release") || methodIs(fn, transportPath, "Message", "Release") {
+					return consumeRelease, node.Pos()
+				}
+			}
+		}
+		// v passed to a *transport.Frame parameter: ownership transfer
+		// (SendFrame, OwnedMessage, memnet's link.push, ...). Message-typed
+		// parameters borrow — the caller still releases — so they do not
+		// consume.
+		if fl.isFrameType(v.Type()) {
+			sigType := fl.pass.Info.Types[node.Fun].Type
+			if sigType == nil {
+				if fn := calleeFunc(fl.pass.Info, node); fn != nil {
+					sigType = fn.Type()
+				}
+			}
+			if sig, ok := sigType.(*types.Signature); ok {
+				for i, arg := range node.Args {
+					if objectOf(fl.pass.Info, arg) != v {
+						continue
+					}
+					if pt := paramTypeAt(sig, i); pt != nil && fl.isFrameType(pt) {
+						return consumeHandoff, node.Pos()
+					}
+				}
+			}
+		}
+		// append(dst, v): escapes into dst.
+		if id, ok := node.Fun.(*ast.Ident); ok && id.Name == "append" && fl.pass.Info.Uses[id] == types.Universe.Lookup("append") {
+			for _, arg := range node.Args[1:] {
+				if objectOf(fl.pass.Info, arg) == v {
+					return consumeHandoff, node.Pos()
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, res := range node.Results {
+			if objectOf(fl.pass.Info, res) == v {
+				return consumeHandoff, node.Pos()
+			}
+		}
+	case *ast.SendStmt:
+		if objectOf(fl.pass.Info, node.Value) == v {
+			return consumeHandoff, node.Pos()
+		}
+	case *ast.CompositeLit:
+		for _, elt := range node.Elts {
+			expr := elt
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				expr = kv.Value
+			}
+			if objectOf(fl.pass.Info, expr) == v {
+				return consumeHandoff, node.Pos()
+			}
+		}
+	case *ast.AssignStmt:
+		for i, rhs := range node.Rhs {
+			if objectOf(fl.pass.Info, rhs) != v || i >= len(node.Lhs) {
+				continue
+			}
+			// Transferred to another name or stored: the alias or the
+			// structure takes over ownership.
+			return consumeHandoff, node.Pos()
+		}
+	case *ast.GoStmt:
+		for _, arg := range node.Call.Args {
+			if objectOf(fl.pass.Info, arg) == v {
+				return consumeHandoff, node.Pos() // the new goroutine owns it
+			}
+		}
+	}
+	return consumeNone, token.NoPos
+}
+
+// paramTypeAt returns the type of the i-th argument's parameter, handling
+// variadic signatures.
+func paramTypeAt(sig *types.Signature, i int) types.Type {
+	params := sig.Params()
+	if params.Len() == 0 {
+		return nil
+	}
+	if sig.Variadic() && i >= params.Len()-1 {
+		last := params.At(params.Len() - 1).Type()
+		if sl, ok := last.(*types.Slice); ok {
+			return sl.Elem()
+		}
+		return last
+	}
+	if i >= params.Len() {
+		return nil
+	}
+	return params.At(i).Type()
+}
+
+// --- rule: no use after release, no double release (straight-line) ---
+
+// checkStraightLine walks every statement list and flags uses after the
+// statement that consumed the frame, and second consumptions, within the
+// same block. Consumptions inside nested blocks (an if body, a loop, one arm
+// of a switch or select) are conditional and deliberately do not poison the
+// enclosing block.
+func (fl *frameleaseFunc) checkStraightLine(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch block := n.(type) {
+		case *ast.FuncLit:
+			return false // its own scope; forEachFunc visits it separately
+		case *ast.BlockStmt:
+			if isClauseList(block.List) {
+				return true // switch/select body: clauses scanned separately
+			}
+			fl.scanStmts(block.List)
+		case *ast.CaseClause:
+			fl.scanStmts(block.Body)
+		case *ast.CommClause:
+			stmts := block.Body
+			if block.Comm != nil {
+				// The communication itself (a send hand-off, a receive
+				// definition) precedes the clause body.
+				stmts = append([]ast.Stmt{block.Comm}, block.Body...)
+			}
+			fl.scanStmts(stmts)
+		}
+		return true
+	})
+}
+
+// isClauseList reports whether a block's statements are switch/select
+// clauses rather than ordinary statements.
+func isClauseList(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	switch stmts[0].(type) {
+	case *ast.CaseClause, *ast.CommClause:
+		return true
+	}
+	return false
+}
+
+type consumption struct {
+	kind frameConsumeKind
+	pos  token.Pos
+}
+
+func (fl *frameleaseFunc) scanStmts(stmts []ast.Stmt) {
+	consumed := map[*types.Var]consumption{}
+	for _, stmt := range stmts {
+		if _, isDefer := stmt.(*ast.DeferStmt); isDefer {
+			continue // runs at function exit, not at this point in the block
+		}
+		if len(consumed) > 0 {
+			// Reassignment targets are not uses of the old frame.
+			lhsTargets := map[*ast.Ident]bool{}
+			if assign, ok := stmt.(*ast.AssignStmt); ok {
+				for _, lhs := range assign.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						lhsTargets[id] = true
+					}
+				}
+			}
+			// Any use of an already-consumed frame in a later statement?
+			fl.eachDirectIdent(stmt, func(id *ast.Ident) {
+				if lhsTargets[id] {
+					return
+				}
+				v, ok := fl.pass.Info.Uses[id].(*types.Var)
+				if !ok {
+					return
+				}
+				c, was := consumed[v]
+				if !was {
+					return
+				}
+				if kind, _ := fl.directConsume(stmt, v); kind != consumeNone {
+					verb := "released"
+					if c.kind == consumeHandoff {
+						verb = "handed off"
+					}
+					fl.pass.Reportf(id.Pos(), "%s is released or handed off again after it was already %s at line %d (transport.go Frame ownership rule: exactly one Release per GetFrame)", v.Name(), verb, fl.pass.Fset.Position(c.pos).Line)
+				} else {
+					fl.pass.Reportf(id.Pos(), "use of %s after its frame was released or handed off at line %d: the buffer may already carry an unrelated message (transport.go: the caller must not touch the frame after Release/SendFrame)", v.Name(), fl.pass.Fset.Position(c.pos).Line)
+				}
+				delete(consumed, v) // one report per incident
+			})
+		}
+		// Reassignment gives the name a fresh frame (e.g. f = nil, or a new
+		// GetFrame): clear the consumed state.
+		if assign, ok := stmt.(*ast.AssignStmt); ok {
+			for _, lhs := range assign.Lhs {
+				if v := objectOf(fl.pass.Info, lhs); v != nil {
+					delete(consumed, v)
+				}
+			}
+		}
+		// Record this statement's own direct consumptions.
+		fl.eachTrackedVar(stmt, func(v *types.Var) {
+			if kind, pos := fl.directConsume(stmt, v); kind != consumeNone {
+				if _, already := consumed[v]; !already {
+					consumed[v] = consumption{kind: kind, pos: pos}
+				}
+			}
+		})
+	}
+}
+
+// eachTrackedVar calls fn once per distinct Frame/Message variable mentioned
+// directly in stmt (not inside nested blocks or function literals).
+func (fl *frameleaseFunc) eachTrackedVar(stmt ast.Stmt, fn func(*types.Var)) {
+	seen := map[*types.Var]bool{}
+	fl.eachDirectIdent(stmt, func(id *ast.Ident) {
+		v, ok := fl.pass.Info.Uses[id].(*types.Var)
+		if !ok || seen[v] || !fl.isTracked(v.Type()) {
+			return
+		}
+		seen[v] = true
+		fn(v)
+	})
+}
+
+// directConsume reports whether stmt directly (at its top level) consumes v.
+func (fl *frameleaseFunc) directConsume(stmt ast.Stmt, v *types.Var) (frameConsumeKind, token.Pos) {
+	kind, pos := consumeNone, token.NoPos
+	fl.inspectDirect(stmt, func(n ast.Node) {
+		if kind != consumeNone {
+			return
+		}
+		if k, p := fl.consumesVar(n, v); k != consumeNone {
+			kind, pos = k, p
+		}
+	})
+	return kind, pos
+}
+
+// eachDirectIdent visits identifiers that execute unconditionally as part of
+// stmt itself — skipping nested statement blocks and function literals.
+func (fl *frameleaseFunc) eachDirectIdent(stmt ast.Stmt, fn func(*ast.Ident)) {
+	fl.inspectDirect(stmt, func(n ast.Node) {
+		if id, ok := n.(*ast.Ident); ok {
+			fn(id)
+		}
+	})
+}
+
+// inspectDirect walks stmt but stops at nested blocks, clauses and function
+// literals, so only the statement's own unconditionally-executed expressions
+// are seen.
+func (fl *frameleaseFunc) inspectDirect(stmt ast.Stmt, fn func(ast.Node)) {
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch n.(type) {
+		case nil:
+			return true
+		case *ast.BlockStmt, *ast.FuncLit, *ast.CaseClause, *ast.CommClause:
+			return false // conditional / deferred execution
+		}
+		fn(n)
+		return true
+	})
+}

@@ -1,0 +1,177 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one parsed and typechecked package ready for analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Loader typechecks packages of the enclosing module without any dependency
+// on golang.org/x/tools: `go list -export -deps` supplies the file layout and
+// compiled export data for every dependency (stdlib included), the target
+// packages themselves are typechecked from source, and imports resolve
+// through the export data. Everything works offline from the build cache.
+type Loader struct {
+	dir     string
+	fset    *token.FileSet
+	exports map[string]string // import path -> export data file
+	imp     types.Importer
+}
+
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	Module     *struct{ Path string }
+	DepOnly    bool
+	GoFiles    []string
+	Error      *struct{ Err string }
+}
+
+// NewLoader builds a loader rooted at the module directory dir. patterns
+// name the packages to make loadable (targets plus, transitively, every
+// dependency's export data); "./..." is typical.
+func NewLoader(dir string, patterns ...string) (*Loader, []*Package, error) {
+	l, targets, err := newLoader(dir, patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+	pkgs := make([]*Package, 0, len(targets))
+	for _, t := range targets {
+		files := make([]string, len(t.GoFiles))
+		for i, gf := range t.GoFiles {
+			files[i] = filepath.Join(t.Dir, gf)
+		}
+		pkg, err := l.Check(t.ImportPath, files)
+		if err != nil {
+			return nil, nil, err
+		}
+		pkg.Dir = t.Dir
+		pkgs = append(pkgs, pkg)
+	}
+	return l, pkgs, nil
+}
+
+// NewExportLoader gathers package layout and export data for patterns (and
+// all their dependencies) without typechecking anything — the fixture tests
+// use it to typecheck testdata packages against the module's real packages.
+func NewExportLoader(dir string, patterns ...string) (*Loader, error) {
+	l, _, err := newLoader(dir, patterns)
+	return l, err
+}
+
+// newLoader runs `go list -export -deps`, seeds the export-data map and
+// returns the loader plus the listed target packages (not yet typechecked).
+func newLoader(dir string, patterns []string) (*Loader, []listedPackage, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, nil, fmt.Errorf("go %v: %v\n%s", args, err, stderr.String())
+	}
+
+	l := &Loader{dir: dir, fset: token.NewFileSet(), exports: map[string]string{}}
+	l.imp = importer.ForCompiler(l.fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := l.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+
+	var targets []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("analysis: decoding go list output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, nil, fmt.Errorf("analysis: go list: %s", p.Error.Err)
+		}
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+		// Analyze only the packages the patterns named, and only those of
+		// the module itself (explicitly listed stdlib patterns merely seed
+		// export data for fixtures).
+		if !p.DepOnly && p.Module != nil {
+			targets = append(targets, p)
+		}
+	}
+	return l, targets, nil
+}
+
+// NewRawChecker builds a Loader around an existing importer — the vettool
+// mode of cmd/oar-vet uses it with go vet's own export-data map instead of a
+// go list run.
+func NewRawChecker(fset *token.FileSet, imp types.Importer) *Loader {
+	return &Loader{fset: fset, imp: imp}
+}
+
+// Check parses and typechecks the given source files as one package with the
+// given import path, resolving imports through the loader's export data. It
+// is used both for the module's own packages and for analyzer test fixtures
+// (which live under testdata and are invisible to go list).
+func (l *Loader) Check(path string, filenames []string) (*Package, error) {
+	files := make([]*ast.File, 0, len(filenames))
+	for _, name := range filenames {
+		f, err := parser.ParseFile(l.fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: l.imp}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: typechecking %s: %w", path, err)
+	}
+	return &Package{Path: path, Fset: l.fset, Files: files, Pkg: tpkg, Info: info}, nil
+}
+
+// Run loads the packages matched by patterns in the module rooted at dir and
+// applies analyzers to all of them — the one-call entry point used by
+// cmd/oar-vet and TestAnalyzersClean.
+func Run(dir string, analyzers []*Analyzer, patterns ...string) ([]Diagnostic, error) {
+	_, pkgs, err := NewLoader(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return RunAnalyzers(pkgs, analyzers)
+}

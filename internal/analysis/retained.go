@@ -1,0 +1,394 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Retained enforces the clone-on-retain rule documented on proto.Request,
+// proto.Reply and proto.SeqOrder: a value decoded zero-copy from an inbound
+// frame (wire.Reader.BytesFieldRef, proto.DecodeRequest, proto.WalkBatch
+// callbacks, ...) aliases the frame's pooled buffer and is valid only while
+// the frame is. Code that retains such a value past the handling of its
+// frame — storing it in a map, a struct field, a slice reachable from the
+// receiver — must Clone() it (or copy the bytes) first.
+//
+// The taint analysis is function-local and flow-forward: values returned by
+// the aliasing decode APIs are tainted; taint propagates through plain
+// assignment, field selection and composite literals; it is cleared by
+// Clone() and by byte-copying appends (append(dst, b...)). A violation is a
+// store of a tainted value into a location rooted outside the function's own
+// locals (a receiver or parameter field, a package variable, a map). Passing
+// a tainted value to another function is not flagged — callees own their own
+// retention discipline and are analyzed separately.
+var Retained = &Analyzer{
+	Name: "retained",
+	Doc:  "check that zero-copy decoded values are Clone()d before being retained",
+	Run:  runRetained,
+}
+
+const (
+	protoPath = "repro/internal/proto"
+	wirePath  = "repro/internal/wire"
+)
+
+// aliasReturn describes one decode API whose results alias its input.
+// result is the index of the aliasing return value (-1: all results).
+type aliasReturn struct {
+	pkg, recv, name string
+	result          int
+}
+
+// aliasSources are the zero-copy decode entry points, each tied to the
+// ownership comment that defines its rule.
+var aliasSources = []aliasReturn{
+	// wire.Reader: "BytesFieldRef returns a view of the reader's input".
+	{wirePath, "Reader", "BytesFieldRef", 0},
+	{wirePath, "Reader", "FrameList", 0},
+	// proto zero-copy decoders: "Cmd/Result aliases the decode input".
+	{protoPath, "", "DecodeRequest", 0},
+	{protoPath, "", "DecodeReply", 0},
+	{protoPath, "", "Unmarshal", 2}, // body aliases payload
+	{protoPath, "", "UnmarshalBatch", 0},
+	{protoPath, "", "UnmarshalRMcast", 0},
+	{protoPath, "", "UnmarshalRequest", 0},
+	{protoPath, "", "UnmarshalReply", 0},
+	{protoPath, "", "UnmarshalSeqOrder", 0},
+	// transport.ExpandBatch: inner messages alias the envelope frame.
+	{transportPath, "", "ExpandBatch", 0},
+}
+
+// aliasThroughReceiver are methods that leave their receiver aliasing the
+// argument (SeqOrder.UnmarshalBody decodes into a reusable scratch order).
+var aliasThroughReceiver = []aliasReturn{
+	{protoPath, "SeqOrder", "UnmarshalBody", -1},
+}
+
+// cloneMethods launder taint: their results own their memory.
+var cloneMethods = map[string]bool{"Clone": true}
+
+// exemptPackages implement the zero-copy codec itself: their bodies are the
+// aliasing machinery the rule talks about, not consumers of it.
+var exemptPackages = map[string]bool{
+	wirePath:  true,
+	protoPath: true,
+}
+
+func runRetained(pass *Pass) error {
+	if exemptPackages[pass.Pkg.Path()] {
+		return nil
+	}
+	// Each top-level function is one scope; closures are analyzed inside
+	// their enclosing function so that taint flowing into a callback (the
+	// WalkBatch pattern) is visible at the callback's stores.
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			rt := &retainedFunc{pass: pass, tainted: map[*types.Var]bool{}, locals: map[*types.Var]bool{}}
+			rt.collectLocals(fd.Body)
+			rt.scan(fd.Body)
+		}
+	}
+	return nil
+}
+
+type retainedFunc struct {
+	pass    *Pass
+	tainted map[*types.Var]bool
+	locals  map[*types.Var]bool // declared in this function body
+}
+
+func (rt *retainedFunc) collectLocals(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if v, ok := rt.pass.Info.Defs[id].(*types.Var); ok {
+			rt.locals[v] = true
+		}
+		return true
+	})
+}
+
+// scan walks the body in source order, propagating taint and flagging
+// escaping stores. One forward pass: loops that carry taint backwards are a
+// documented blind spot, kept in exchange for zero false positives.
+func (rt *retainedFunc) scan(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.AssignStmt:
+			rt.handleAssign(node)
+		case *ast.CallExpr:
+			rt.handleCall(node)
+		case *ast.RangeStmt:
+			// Ranging over a tainted collection yields tainted elements
+			// (e.g. for _, req := range order.Reqs).
+			if node.X != nil && rt.exprTainted(node.X) {
+				for _, e := range []ast.Expr{node.Key, node.Value} {
+					if e == nil {
+						continue
+					}
+					if v := rt.definedOrUsedVar(e); v != nil {
+						rt.tainted[v] = carriesAliases(v.Type(), map[types.Type]bool{})
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// handleCall taints WalkBatch callback parameters and receivers of
+// decode-into methods.
+func (rt *retainedFunc) handleCall(call *ast.CallExpr) {
+	fn := calleeFunc(rt.pass.Info, call)
+	if fn == nil {
+		return
+	}
+	// proto.WalkBatch(body, func(msg []byte) { ... }): msg aliases body.
+	if funcIs(fn, protoPath, "WalkBatch") && len(call.Args) == 2 {
+		if lit, ok := ast.Unparen(call.Args[1]).(*ast.FuncLit); ok && len(lit.Type.Params.List) == 1 {
+			for _, name := range lit.Type.Params.List[0].Names {
+				if v, ok := rt.pass.Info.Defs[name].(*types.Var); ok {
+					rt.tainted[v] = true
+				}
+			}
+		}
+	}
+	// m.UnmarshalBody(body): m now aliases body.
+	for _, src := range aliasThroughReceiver {
+		if methodIs(fn, src.pkg, src.recv, src.name) {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				if v := objectOf(rt.pass.Info, sel.X); v != nil {
+					rt.tainted[v] = true
+				}
+			}
+		}
+	}
+}
+
+// handleAssign propagates taint through the assignment and flags escaping
+// stores of tainted values.
+func (rt *retainedFunc) handleAssign(assign *ast.AssignStmt) {
+	// Multi-value form: v, err := DecodeX(...).
+	if len(assign.Lhs) > 1 && len(assign.Rhs) == 1 {
+		if call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr); ok {
+			if idx := rt.aliasResultIndex(call); idx >= -1 {
+				for i, lhs := range assign.Lhs {
+					if idx != -1 && i != idx {
+						continue
+					}
+					if v := rt.definedOrUsedVar(lhs); v != nil {
+						rt.tainted[v] = carriesAliases(v.Type(), map[types.Type]bool{})
+					}
+				}
+			}
+		}
+		return
+	}
+	for i, rhs := range assign.Rhs {
+		if i >= len(assign.Lhs) {
+			break
+		}
+		lhs := assign.Lhs[i]
+		taintedRHS := rt.exprTainted(rhs)
+		if v := rt.definedOrUsedVar(lhs); v != nil {
+			// Plain variable: inherit (or clear) taint. A variable whose type
+			// has no reference fields holds an owned copy by value semantics
+			// and cannot carry taint.
+			rt.tainted[v] = taintedRHS && carriesAliases(v.Type(), map[types.Type]bool{})
+			continue
+		}
+		if taintedRHS && rt.escapes(lhs) {
+			rt.pass.Reportf(assign.Pos(), "zero-copy decoded value is stored in %s, which outlives the input frame: Clone() it first (clone-on-retain rule, proto.Request/Reply/SeqOrder ownership comments)", describeLValue(lhs))
+		}
+	}
+}
+
+// definedOrUsedVar resolves lhs to a plain variable, or nil when lhs is a
+// field/index/deref store.
+func (rt *retainedFunc) definedOrUsedVar(lhs ast.Expr) *types.Var {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if v, ok := rt.pass.Info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := rt.pass.Info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+// aliasResultIndex reports which result of call aliases its input (-1: all,
+// -2: none).
+func (rt *retainedFunc) aliasResultIndex(call *ast.CallExpr) int {
+	fn := calleeFunc(rt.pass.Info, call)
+	if fn == nil {
+		return -2
+	}
+	for _, src := range aliasSources {
+		ok := false
+		if src.recv == "" {
+			ok = funcIs(fn, src.pkg, src.name)
+		} else {
+			ok = methodIs(fn, src.pkg, src.recv, src.name)
+		}
+		if ok {
+			return src.result
+		}
+	}
+	return -2
+}
+
+// exprTainted reports whether e evaluates to a value aliasing an input
+// frame, under the current taint state.
+func (rt *retainedFunc) exprTainted(e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		v, ok := rt.pass.Info.Uses[x].(*types.Var)
+		return ok && rt.tainted[v]
+	case *ast.SelectorExpr:
+		// req.Cmd is as tainted as req — but selecting a purely value-typed
+		// field (req.ID, a RequestID of integers) produces an owned copy.
+		return rt.exprTainted(x.X) && rt.typeCarriesAliases(e)
+	case *ast.IndexExpr:
+		return rt.exprTainted(x.X) && rt.typeCarriesAliases(e)
+	case *ast.SliceExpr:
+		return rt.exprTainted(x.X)
+	case *ast.CompositeLit:
+		for _, elt := range x.Elts {
+			expr := elt
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				expr = kv.Value
+			}
+			if rt.exprTainted(expr) {
+				return true
+			}
+		}
+		return false
+	case *ast.UnaryExpr:
+		return rt.exprTainted(x.X)
+	case *ast.CallExpr:
+		return rt.callTainted(x)
+	}
+	return false
+}
+
+// callTainted decides whether a call expression yields a tainted value:
+// decode APIs do; Clone() and byte-copying appends do not; append that
+// embeds a tainted element does.
+func (rt *retainedFunc) callTainted(call *ast.CallExpr) bool {
+	if fn := calleeFunc(rt.pass.Info, call); fn != nil {
+		if cloneMethods[fn.Name()] {
+			return false // owned copy by contract
+		}
+	}
+	if idx := rt.aliasResultIndex(call); idx == 0 || idx == -1 {
+		return true
+	}
+	// append(dst, x) keeps an alias of x when x is a reference value;
+	// append(dst, b...) with basic element type copies the bytes out.
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" && rt.pass.Info.Uses[id] == types.Universe.Lookup("append") {
+		for i, arg := range call.Args[1:] {
+			if !rt.exprTainted(arg) {
+				continue
+			}
+			spread := call.Ellipsis.IsValid() && i == len(call.Args)-2
+			if spread {
+				if t, ok := rt.pass.Info.Types[arg]; ok {
+					if sl, ok := t.Type.Underlying().(*types.Slice); ok {
+						if _, basic := sl.Elem().Underlying().(*types.Basic); basic {
+							continue // byte-for-byte copy: owned
+						}
+					}
+				}
+			}
+			return true
+		}
+		// The backing array of dst is tainted only if dst itself was.
+		return len(call.Args) > 0 && rt.exprTainted(call.Args[0])
+	}
+	return false
+}
+
+// escapes reports whether the lvalue is rooted outside the function's own
+// value-typed locals: a field of the receiver or a parameter, a package
+// variable, a map entry, or anything reached through a pointer/map local.
+func (rt *retainedFunc) escapes(lhs ast.Expr) bool {
+	root := rootIdent(lhs)
+	if root == nil {
+		return true // *p = x and friends: assume it escapes
+	}
+	v, ok := rt.pass.Info.Uses[root].(*types.Var)
+	if !ok {
+		return true
+	}
+	if !rt.locals[v] {
+		return true // receiver, parameter or package-level variable
+	}
+	// A local of reference type (map, pointer) may alias long-lived state;
+	// slices created locally are treated as local scratch.
+	switch v.Type().Underlying().(type) {
+	case *types.Map, *types.Pointer, *types.Chan:
+		return true
+	}
+	return false
+}
+
+// typeCarriesAliases reports whether e's type can hold a reference into the
+// decode input. Purely value-typed data (integers, bools, structs and arrays
+// thereof — proto.RequestID, for instance) is an owned copy the moment it is
+// selected or assigned, so retaining it is always safe.
+func (rt *retainedFunc) typeCarriesAliases(e ast.Expr) bool {
+	tv, ok := rt.pass.Info.Types[ast.Unparen(e)]
+	if !ok || tv.Type == nil {
+		return true // unknown: stay conservative, keep the taint
+	}
+	return carriesAliases(tv.Type, map[types.Type]bool{})
+}
+
+func carriesAliases(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		// Strings included: the decode layer materializes strings with
+		// copying conversions, never via unsafe aliasing.
+		return false
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if carriesAliases(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+		return false
+	case *types.Array:
+		return carriesAliases(u.Elem(), seen)
+	default:
+		// Slices, pointers, maps, chans, interfaces, funcs.
+		return true
+	}
+}
+
+// describeLValue renders the store destination for the diagnostic.
+func describeLValue(lhs ast.Expr) string {
+	switch x := ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr:
+		return "a struct field"
+	case *ast.IndexExpr:
+		if x != nil {
+			return "a map or slice element"
+		}
+	case *ast.StarExpr:
+		return "a pointed-to location"
+	}
+	return "a long-lived location"
+}

@@ -1,0 +1,78 @@
+// Package atomicfield is the analysistest fixture for the atomicfield
+// analyzer: struct fields accessed through sync/atomic — wrapper-typed
+// fields and plain fields used via atomic.Load*/Store*/Add* — must never be
+// read or written plainly.
+package atomicfield
+
+import "sync/atomic"
+
+type counters struct {
+	hits  atomic.Uint64
+	total uint64 // accessed via atomic.AddUint64/LoadUint64 below
+	plain int    // never atomic: free to use directly
+}
+
+// ok: the wrapper's own methods, and &field to the old-style functions, are
+// the two sanctioned access forms.
+func (c *counters) ok() uint64 {
+	c.hits.Add(1)
+	atomic.AddUint64(&c.total, 1)
+	return c.hits.Load() + atomic.LoadUint64(&c.total)
+}
+
+func (c *counters) copyBad() atomic.Uint64 {
+	return c.hits // want `accessed without its atomic API`
+}
+
+func (c *counters) readBad() uint64 {
+	return c.total // want `read or written plainly here`
+}
+
+func (c *counters) writeBad() {
+	c.total = 0 // want `read or written plainly here`
+}
+
+// okPlain: a field never touched by sync/atomic has no atomic discipline to
+// violate.
+func (c *counters) okPlain() {
+	c.plain++
+}
+
+// okAlias: taking the address for a local alias is allowed — the alias is
+// presumed to feed the atomic API (a common shorthand in hot loops).
+func (c *counters) okAlias() *uint64 {
+	return &c.total
+}
+
+type table struct {
+	counts [4]atomic.Uint64
+}
+
+// ok: element-wise atomic access, length, and index-only range.
+func (t *table) bump(i int) {
+	t.counts[i].Add(1)
+}
+
+func (t *table) size() int {
+	return len(t.counts)
+}
+
+func (t *table) sum() uint64 {
+	var s uint64
+	for i := range t.counts {
+		s += t.counts[i].Load()
+	}
+	return s
+}
+
+func (t *table) snapshotBad() [4]atomic.Uint64 {
+	return t.counts // want `accessed without its atomic API`
+}
+
+func (t *table) rangeBad() uint64 {
+	var s uint64
+	for _, c := range t.counts { // want `accessed without its atomic API`
+		s += c.Load()
+	}
+	return s
+}

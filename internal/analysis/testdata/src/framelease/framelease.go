@@ -1,0 +1,166 @@
+// Package framelease is the analysistest fixture for the framelease
+// analyzer. Each function is one positive or negative case of the
+// transport.Frame ownership rule (internal/transport/transport.go): "a Frame
+// has exactly one owner; exactly one Release per GetFrame; the caller must
+// not touch the frame after Release or after handing ownership off".
+//
+// Negative cases ("ok...") reproduce, one by one, the usage patterns the
+// transport.go ownership comments document as correct; the comment on each
+// names the rule it exercises. They must stay diagnostic-free: a false
+// positive here means the analyzer forbids the documented idiom itself.
+package framelease
+
+import (
+	"repro/internal/proto"
+	"repro/internal/transport"
+)
+
+// --- acquisitions must be captured and consumed ---
+
+func discard() {
+	transport.GetFrame() // want `discarded`
+}
+
+func discardBlank() {
+	_ = transport.GetFrame() // want `discarded`
+}
+
+func leak() {
+	f := transport.GetFrame() // want `never released or handed off`
+	f.Buf = append(f.Buf, 0x1)
+}
+
+// okSend: transport.go FrameSender rule — "SendFrame transfers ownership of
+// a pooled frame"; the send is the frame's one consumption.
+func okSend(s transport.FrameSender, to proto.NodeID, payload []byte) error {
+	f := transport.GetFrame()
+	f.Buf = append(f.Buf, payload...)
+	return s.SendFrame(to, f)
+}
+
+// okErrorPath: transport.go Release rule — "exactly one Release per
+// GetFrame": on paths that do not hand the frame off, the owner releases.
+func okErrorPath(s transport.FrameSender, to proto.NodeID, payload []byte) error {
+	f := transport.GetFrame()
+	f.Buf = append(f.Buf, payload...)
+	if len(f.Buf) > 1024 {
+		f.Release()
+		return nil
+	}
+	return s.SendFrame(to, f)
+}
+
+// okDeferRelease: deferred release runs at function exit, after every use in
+// the body — the canonical borrow-for-the-scope shape.
+func okDeferRelease() int {
+	f := transport.GetFrame()
+	defer f.Release()
+	f.Buf = append(f.Buf, 0x2)
+	return len(f.Buf)
+}
+
+// okOwnedMessage: transport.go OwnedMessage rule — "the message takes over
+// the frame's single ownership: the receiver's Release recycles it".
+func okOwnedMessage(from proto.NodeID, payload []byte) transport.Message {
+	f := transport.GetFrame()
+	f.Buf = append(f.Buf, payload...)
+	return transport.OwnedMessage(from, f.Buf, f)
+}
+
+// okGoHandoff: handing the frame to a spawned goroutine transfers ownership;
+// the goroutine's body is its own scope with its own Release.
+func okGoHandoff() {
+	f := transport.GetFrame()
+	go consume(f)
+}
+
+func consume(f *transport.Frame) { f.Release() }
+
+// okReassign: reassignment rebinds the name to a fresh frame; the old
+// frame's consumption does not poison the new one.
+func okReassign(s transport.FrameSender, to proto.NodeID) error {
+	f := transport.GetFrame()
+	f.Release()
+	f = transport.GetFrame()
+	return s.SendFrame(to, f)
+}
+
+// --- no use after release / hand-off, no double consumption ---
+
+func doubleRelease() {
+	f := transport.GetFrame()
+	f.Release()
+	f.Release() // want `again after it was already released`
+}
+
+func useAfterRelease() {
+	f := transport.GetFrame()
+	f.Release()
+	f.Buf = nil // want `use of f after`
+}
+
+func useAfterSend(s transport.FrameSender, to proto.NodeID) int {
+	f := transport.GetFrame()
+	_ = s.SendFrame(to, f)
+	return len(f.Buf) // want `use of f after`
+}
+
+func doubleMessageRelease(m transport.Message) {
+	m.Release()
+	m.Release() // want `again after it was already released`
+}
+
+// okSelect: the arms of a select are alternatives, not a sequence — the
+// hand-off on one arm and the release on the other are exclusive (the
+// transport.Queue pump pattern).
+func okSelect(out chan transport.Message, stop chan struct{}, m transport.Message) {
+	select {
+	case out <- m: //oar:frame-handoff released by the consumer of out
+	case <-stop:
+		m.Release()
+	}
+}
+
+// --- stores into long-lived structures carry the hand-off marker ---
+
+type pending struct {
+	frames []*transport.Frame
+	slot   *transport.Frame
+	ch     chan *transport.Frame
+}
+
+type boxed struct{ f *transport.Frame }
+
+func (p *pending) appendBad(f *transport.Frame) {
+	p.frames = append(p.frames, f) // want `appended to a slice without`
+}
+
+func (p *pending) fieldBad(f *transport.Frame) {
+	p.slot = f // want `stored in a field or element without`
+}
+
+func (p *pending) sendBad(f *transport.Frame) {
+	p.ch <- f // want `sent on a channel without`
+}
+
+func litBad(f *transport.Frame) boxed {
+	return boxed{f: f} // want `stored in a composite literal without`
+}
+
+// okMarkedStores: the marker names the balancing release site, which is what
+// makes the transfer auditable (transport.go "Ownership rule").
+func (p *pending) okMarkedAppend(f *transport.Frame) {
+	p.frames = append(p.frames, f) //oar:frame-handoff released by pending.drain
+}
+
+func (p *pending) okMarkedSend(f *transport.Frame) {
+	//oar:frame-handoff released by the consumer draining p.ch
+	p.ch <- f
+}
+
+func (p *pending) drain() {
+	for _, f := range p.frames {
+		f.Release()
+	}
+	p.frames = nil
+}

@@ -1,0 +1,48 @@
+// Package grouptag is the analysistest fixture for the grouptag analyzer:
+// in replica-side packages, envelope constructors must be passed a
+// configuration-derived GroupID (never a constant), and keyed
+// proto.RequestID literals must set Group explicitly. The fixture package is
+// registered as a checked package by the test.
+package grouptag
+
+import "repro/internal/proto"
+
+type config struct {
+	group proto.GroupID
+}
+
+// ok: the group tag flows from configuration.
+func envelopeOK(c config, body []byte) []byte {
+	return proto.Marshal(proto.KindRequest, c.group, body)
+}
+
+func envelopeBad(body []byte) []byte {
+	return proto.Marshal(proto.KindRequest, 3, body) // want `constant group tag`
+}
+
+func headerBad(dst []byte) []byte {
+	return proto.AppendHeader(dst, proto.KindHeartbeat, proto.GroupID(0)) // want `constant group tag`
+}
+
+func heartbeatBad() []byte {
+	return proto.MarshalHeartbeat(0) // want `constant group tag`
+}
+
+// ok: request identities carry their group.
+func idOK(c config, seq uint64) proto.RequestID {
+	return proto.RequestID{Group: c.group, Client: 1, Seq: seq}
+}
+
+func idBad(seq uint64) proto.RequestID {
+	return proto.RequestID{Client: 1, Seq: seq} // want `without a Group field`
+}
+
+// ok: the zero value is a comparison/probe, not a constructed identity.
+func idZero() proto.RequestID {
+	return proto.RequestID{}
+}
+
+// ok: a positional literal names every field by construction.
+func idPositional(c config, seq uint64) proto.RequestID {
+	return proto.RequestID{c.group, 2, seq}
+}

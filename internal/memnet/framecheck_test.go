@@ -1,0 +1,65 @@
+//go:build framecheck
+
+package memnet
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/proto"
+	"repro/internal/transport"
+)
+
+// TestBatcherRecycleFramecheck drives the full pooled-frame recycle loop —
+// Batcher.Flush acquires a frame and hands it to memnet's SendFrame, memnet
+// delivers it as an owned Message, the receiver expands and releases — with
+// the framecheck instrumentation live. Combined with -race this turns the
+// two failure modes of the recycle path (double release re-pooling a live
+// frame; a sender touching a released buffer) into immediate panics at the
+// faulty site instead of corrupt-decode heisenbugs downstream:
+//
+//	go test -race -tags=framecheck ./internal/transport/ ./internal/memnet/
+func TestBatcherRecycleFramecheck(t *testing.T) {
+	net := New(Options{})
+	defer net.Close()
+	a, b := net.Node(0), net.Node(1)
+
+	const rounds, perRound = 200, 8
+	done := make(chan int, 1)
+	go func() {
+		got := 0
+		for m := range b.Recv() {
+			msgs, ok := transport.ExpandBatch(m)
+			if ok {
+				got += len(msgs)
+			} else {
+				got++
+			}
+			// One Release per delivered envelope: the inner messages alias
+			// its frame and are dead after this.
+			m.Release()
+			if got >= rounds*perRound {
+				break
+			}
+		}
+		done <- got
+	}()
+
+	batcher := transport.NewBatcher(a, 0)
+	payload := proto.Marshal(proto.KindHeartbeat, 0, nil)
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < perRound; i++ {
+			batcher.Add(1, payload)
+		}
+		batcher.Flush()
+	}
+
+	select {
+	case got := <-done:
+		if got != rounds*perRound {
+			t.Fatalf("received %d inner messages, want %d", got, rounds*perRound)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("timed out waiting for deliveries")
+	}
+}

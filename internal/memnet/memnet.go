@@ -564,6 +564,7 @@ func (l *link) push(payload []byte, frame *transport.Frame) {
 		at = l.lastAt // keep delivery times monotonic => FIFO
 	}
 	l.lastAt = at
+	//oar:frame-handoff released by the delivery goroutine after OwnedMessage hand-off, or by close()'s drain
 	l.queue = append(l.queue, inflight{payload: payload, frame: frame, deliverAt: at})
 	l.cond.Signal()
 	l.mu.Unlock()

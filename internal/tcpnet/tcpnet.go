@@ -258,9 +258,9 @@ func (n *Node) Send(to proto.NodeID, payload []byte) error {
 // transfers to the node, which releases it after writing the bytes to the
 // socket buffer (or on close) — no copy on the way in.
 func (n *Node) SendFrame(to proto.NodeID, f *transport.Frame) error {
-	if len(f.Buf) > MaxFrame {
+	if size := len(f.Buf); size > MaxFrame {
 		f.Release()
-		return fmt.Errorf("tcpnet: frame of %d bytes exceeds limit", len(f.Buf))
+		return fmt.Errorf("tcpnet: frame of %d bytes exceeds limit", size)
 	}
 	return n.enqueue(to, f)
 }
@@ -287,7 +287,7 @@ func (n *Node) enqueue(to proto.NodeID, f *transport.Frame) error {
 		f.Release()
 		return transport.ErrClosed
 	}
-	out.queue = append(out.queue, f)
+	out.queue = append(out.queue, f) //oar:frame-handoff released by sendLoop after the socket write, or by the drain in closeLocked
 	out.mu.Unlock()
 	out.wake()
 	return nil

@@ -1,0 +1,12 @@
+//go:build !framecheck
+
+package transport
+
+// frameDebug is the zero-cost stub of the framecheck instrumentation: the
+// default build carries no per-frame state and the hooks compile away. Build
+// with -tags=framecheck to make Frame.Release panic on double release with
+// the acquisition and first-release stacks.
+type frameDebug struct{}
+
+func (frameDebug) noteGet()     {}
+func (frameDebug) noteRelease() {}

@@ -1,0 +1,59 @@
+//go:build framecheck
+
+package transport
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// frameDebug tracks a pooled frame's ownership when the framecheck build tag
+// is on. GetFrame marks the frame live and captures the acquisition stack;
+// Release on a frame that is not live panics with the acquisition, first-
+// release and offending stacks. A double release is otherwise silent and
+// catastrophic — the frame enters the pool twice, two senders fill the same
+// buffer, and the corruption surfaces as a decode error (or worse, a valid-
+// looking wrong message) far from the bug. Run the suite with
+//
+//	go test -race -tags=framecheck ./...
+//
+// to turn that race into an immediate panic at the second Release.
+type frameDebug struct {
+	mu         sync.Mutex
+	live       bool
+	acquiredAt []byte
+	releasedAt []byte
+}
+
+func (d *frameDebug) noteGet() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.live = true
+	d.acquiredAt = captureStack()
+	d.releasedAt = nil
+}
+
+func (d *frameDebug) noteRelease() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.live {
+		panic(fmt.Sprintf(
+			"transport: Frame.Release without a live GetFrame (double release, or Release of a never-acquired frame)\n\n--- acquired at ---\n%s\n--- first released at ---\n%s\n--- this release at ---\n%s",
+			orUnknown(d.acquiredAt), orUnknown(d.releasedAt), captureStack()))
+	}
+	d.live = false
+	d.releasedAt = captureStack()
+}
+
+func orUnknown(stack []byte) string {
+	if len(stack) == 0 {
+		return "(unknown)"
+	}
+	return string(stack)
+}
+
+func captureStack() []byte {
+	buf := make([]byte, 16<<10)
+	return buf[:runtime.Stack(buf, false)]
+}

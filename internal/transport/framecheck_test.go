@@ -1,0 +1,45 @@
+//go:build framecheck
+
+package transport
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFramecheckDoubleReleasePanics verifies the framecheck instrumentation
+// itself: the second Release of one acquisition must panic, and the panic
+// must carry the acquisition stack so the leak is debuggable from the crash
+// alone.
+func TestFramecheckDoubleReleasePanics(t *testing.T) {
+	f := GetFrame()
+	f.Release()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("second Release did not panic under framecheck")
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("panic value is %T, want string", r)
+		}
+		for _, part := range []string{"acquired at", "first released at", "this release at"} {
+			if !strings.Contains(msg, part) {
+				t.Errorf("panic message missing %q section:\n%s", part, msg)
+			}
+		}
+		if !strings.Contains(msg, "TestFramecheckDoubleReleasePanics") {
+			t.Errorf("acquisition stack does not name the acquiring function:\n%s", msg)
+		}
+	}()
+	f.Release()
+}
+
+// TestFramecheckReacquireIsFresh: a frame recycled through the pool starts a
+// new acquisition; releasing it once is legal.
+func TestFramecheckReacquireIsFresh(t *testing.T) {
+	f := GetFrame()
+	f.Release()
+	g := GetFrame() // may or may not be the same *Frame
+	g.Release()
+}

@@ -37,6 +37,11 @@ var ErrCrashed = errors.New("transport: node crashed")
 // proto.SeqOrder.
 type Frame struct {
 	Buf []byte
+
+	// dbg is empty (and the hooks below free) unless the framecheck build
+	// tag is on, in which case double releases panic with the acquisition
+	// stack. See framecheck_on.go.
+	dbg frameDebug
 }
 
 // frameMaxIdle caps the capacity a pooled frame may retain, so one
@@ -49,14 +54,19 @@ var framePool = sync.Pool{New: func() any { return &Frame{} }}
 func GetFrame() *Frame {
 	f := framePool.Get().(*Frame)
 	f.Buf = f.Buf[:0]
+	f.dbg.noteGet()
 	return f
 }
 
 // Release returns f to the pool. Exactly one Release per GetFrame; the
 // caller must not touch f.Buf (or anything aliasing it) afterwards.
 func (f *Frame) Release() {
-	if f == nil || cap(f.Buf) > frameMaxIdle {
+	if f == nil {
 		return
+	}
+	f.dbg.noteRelease()
+	if cap(f.Buf) > frameMaxIdle {
+		return // ownership still ends here; the frame just isn't pooled
 	}
 	framePool.Put(f)
 }
@@ -78,6 +88,7 @@ type Message struct {
 // takes over the frame's single ownership: the receiver's Release recycles
 // it.
 func OwnedMessage(from proto.NodeID, payload []byte, f *Frame) Message {
+	//oar:frame-handoff released by the receiver's Message.Release, once per delivery
 	return Message{From: from, Payload: payload, frame: f}
 }
 
@@ -153,6 +164,7 @@ func SendBatch(n Node, g proto.GroupID, to proto.NodeID, payloads [][]byte) erro
 func ExpandBatch(m Message) (msgs []Message, ok bool) {
 	kind, _, body, err := proto.Unmarshal(m.Payload)
 	if err != nil || kind != proto.KindBatch {
+		//oar:frame-handoff ownership returns to the caller inside the result slice
 		return []Message{m}, false
 	}
 	batch, err := proto.UnmarshalBatch(body)
@@ -210,7 +222,7 @@ func (q *Queue) Push(m Message) {
 		m.Release()
 		return
 	}
-	q.items = append(q.items, m)
+	q.items = append(q.items, m) //oar:frame-handoff released by the consumer after delivery, or by pump's discard path on Close
 	q.cond.Signal()
 	q.mu.Unlock()
 }
@@ -262,7 +274,7 @@ func (q *Queue) pump() {
 		q.mu.Unlock()
 
 		select {
-		case q.out <- m:
+		case q.out <- m: //oar:frame-handoff released by the consumer reading Out()
 		case <-q.notify:
 			m.Release()
 			q.mu.Lock()
