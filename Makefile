@@ -29,14 +29,22 @@ staticcheck:
 		echo "staticcheck not installed; skipping (CI installs and enforces it)"; \
 	fi
 
+# The race suite runs twice: single-core (GOMAXPROCS=1 forces maximal
+# goroutine interleaving on one P — the scheduler preempts at suspension
+# points other schedules never hit) and multi-core (GOMAXPROCS=4 gives the
+# pipelined replica stages real parallelism, so ring hand-offs race for
+# real). Both matter: each schedule class finds bugs the other misses.
 test-race:
-	go test -race ./...
+	GOMAXPROCS=1 go test -race ./...
+	GOMAXPROCS=4 go test -race ./...
 
 # framecheck rebuilds the transport with per-frame ownership tracking: a
 # double Release panics with the acquisition stack. Combined with -race this
-# catches both failure modes of the pooled-frame recycle path.
+# catches both failure modes of the pooled-frame recycle path. core is in
+# the list for the pipelined replica loop, whose stages hand pooled frames
+# across goroutines through SPSC rings.
 framecheck:
-	go test -race -tags=framecheck ./internal/transport/ ./internal/memnet/
+	go test -race -tags=framecheck ./internal/transport/ ./internal/memnet/ ./internal/core/
 
 # fuzz-smoke runs every fuzz target for 30s on top of its seed corpus
 # (testdata/fuzz/). A new crasher is written back into testdata/fuzz/ by the

@@ -184,6 +184,7 @@ func run() int {
 		{"E9", experiments.E9ShardScaling},
 		{"E10", experiments.E10BackendMatrix},
 		{"E11", experiments.E11WorkloadMatrix},
+		{"E12", experiments.E12AdaptiveBatching},
 		{"A1", experiments.A1RelayStrategy},
 		{"A2", experiments.A2UndoThriftiness},
 	}

@@ -1,0 +1,172 @@
+// Command oar-benchdiff compares two BENCH_*.json files written by
+// oar-bench -json and fails (exit 1) when the newer run regressed beyond a
+// tolerance band — the gate CI runs against the committed baseline so a
+// performance regression fails the build instead of silently landing.
+//
+//	oar-bench -quick -json BENCH_new.json
+//	oar-benchdiff -old bench/BENCH_baseline.json -new BENCH_new.json
+//
+// Cells are matched by experiment ID plus the latency sample's sorted label
+// set; only cells present in both files are compared (use -allow-missing=false
+// to also fail when a baseline cell disappeared, e.g. an experiment was
+// dropped). A cell regresses when its throughput fell below 1-tol-throughput
+// times the baseline, or its p99 rose above 1+tol-p99 times the baseline.
+// The default bands are deliberately fat: single-run quick-mode numbers on a
+// shared CI machine jitter by tens of percent, and this gate is for
+// catastrophic regressions (a lost fast path, an accidental O(n²)), not for
+// ±5% tracking — EXPERIMENTS.md records the precise numbers.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+// benchResult mirrors the jsonResult schema of oar-bench -json (the fields
+// this tool consumes; unknown fields are ignored).
+type benchResult struct {
+	ID      string                      `json:"id"`
+	Latency []experiments.LatencySample `json:"latency,omitempty"`
+	Error   string                      `json:"error,omitempty"`
+}
+
+// cellKey identifies one measured cell across runs: the experiment ID plus
+// the sample's labels in sorted key=value order.
+func cellKey(id string, labels map[string]string) string {
+	parts := make([]string, 0, len(labels))
+	for k, v := range labels {
+		parts = append(parts, k+"="+v)
+	}
+	sort.Strings(parts)
+	return id + "{" + strings.Join(parts, ",") + "}"
+}
+
+// load reads one BENCH_*.json file into a cell map.
+func load(path string) (map[string]experiments.LatencySample, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var results []benchResult
+	if err := json.Unmarshal(blob, &results); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	cells := make(map[string]experiments.LatencySample)
+	for _, r := range results {
+		if r.Error != "" {
+			return nil, fmt.Errorf("%s: experiment %s recorded an error: %s", path, r.ID, r.Error)
+		}
+		for _, s := range r.Latency {
+			cells[cellKey(r.ID, s.Labels)] = s
+		}
+	}
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("%s: no latency samples (is this an oar-bench -json file?)", path)
+	}
+	return cells, nil
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		oldPath      = flag.String("old", "", "baseline BENCH_*.json (required)")
+		newPath      = flag.String("new", "", "candidate BENCH_*.json (required)")
+		tolThru      = flag.Float64("tol-throughput", 0.5, "allowed fractional throughput drop before failing")
+		tolP99       = flag.Float64("tol-p99", 1.0, "allowed fractional p99 increase before failing")
+		allowMissing = flag.Bool("allow-missing", true, "tolerate baseline cells absent from the candidate run")
+	)
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "oar-benchdiff: -old and -new are required")
+		flag.Usage()
+		return 2
+	}
+	oldCells, err := load(*oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "oar-benchdiff: %v\n", err)
+		return 2
+	}
+	newCells, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "oar-benchdiff: %v\n", err)
+		return 2
+	}
+
+	keys := make([]string, 0, len(oldCells))
+	for k := range oldCells {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	var rows [][]string
+	regressions, missing, compared := 0, 0, 0
+	for _, k := range keys {
+		o := oldCells[k]
+		n, ok := newCells[k]
+		if !ok {
+			missing++
+			rows = append(rows, []string{k, "-", "-", "-", "-", "missing"})
+			continue
+		}
+		compared++
+		verdicts := []string{}
+		thru := "-"
+		if o.ReqPerSec > 0 && n.ReqPerSec > 0 {
+			thru = fmt.Sprintf("%+.0f%%", 100*(n.ReqPerSec/o.ReqPerSec-1))
+			if n.ReqPerSec < o.ReqPerSec*(1-*tolThru) {
+				verdicts = append(verdicts, "THROUGHPUT")
+			}
+		}
+		p99 := "-"
+		if o.P99NS > 0 && n.P99NS > 0 {
+			p99 = fmt.Sprintf("%+.0f%%", 100*(float64(n.P99NS)/float64(o.P99NS)-1))
+			if float64(n.P99NS) > float64(o.P99NS)*(1+*tolP99) {
+				verdicts = append(verdicts, "P99")
+			}
+		}
+		verdict := "ok"
+		if len(verdicts) > 0 {
+			regressions++
+			verdict = "REGRESSED: " + strings.Join(verdicts, "+")
+		}
+		rows = append(rows, []string{
+			k,
+			fmt.Sprintf("%.0f→%.0f", o.ReqPerSec, n.ReqPerSec),
+			thru,
+			fmt.Sprintf("%v→%v",
+				time.Duration(o.P99NS).Round(time.Microsecond),
+				time.Duration(n.P99NS).Round(time.Microsecond)),
+			p99,
+			verdict,
+		})
+	}
+	fmt.Print(metrics.Table([]string{"cell", "req/s", "Δthru", "p99", "Δp99", "verdict"}, rows))
+	fmt.Printf("\n%d cells compared (%d missing), tolerance: throughput -%.0f%%, p99 +%.0f%%\n",
+		compared, missing, 100**tolThru, 100**tolP99)
+
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "oar-benchdiff: %d cell(s) regressed beyond tolerance\n", regressions)
+		return 1
+	}
+	if missing > 0 && !*allowMissing {
+		fmt.Fprintf(os.Stderr, "oar-benchdiff: %d baseline cell(s) missing from the candidate run\n", missing)
+		return 1
+	}
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "oar-benchdiff: no overlapping cells between the two runs")
+		return 1
+	}
+	fmt.Println("oar-benchdiff: ok")
+	return 0
+}

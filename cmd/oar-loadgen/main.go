@@ -34,6 +34,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
 	"sync/atomic"
@@ -105,6 +106,7 @@ func run() int {
 		seed      = flag.Int64("seed", 1, "workload seed (runs are reproducible per seed)")
 		timeout   = flag.Duration("timeout", 2*time.Minute, "overall run deadline")
 		jsonPath  = flag.String("json", "", "also write the report as JSON to this path")
+		statsURLs = flag.String("stats", "", "comma-separated server stats addresses (oar-server -stats-addr) to report server-observed coalescing from")
 	)
 	flag.Parse()
 	if *servers == "" {
@@ -250,6 +252,42 @@ func run() int {
 	fmt.Print(metrics.Table(
 		[]string{"client", "n(+warmup)", "p50", "p99", "max", "frTX", "frRX", "byTX", "byRX"}, rows))
 
+	// Server-side view (needs oar-server -stats-addr): how well each replica's
+	// send batcher coalesced — outbound frames per delivered request, protocol
+	// messages per frame, and the effective batch window the tuner settled on.
+	if *statsURLs != "" {
+		rows = rows[:0]
+		for _, addr := range strings.Split(*statsURLs, ",") {
+			if addr = strings.TrimSpace(addr); addr == "" {
+				continue
+			}
+			rep, err := fetchServerStats(addr)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "oar-loadgen: stats %s: %v\n", addr, err)
+				rows = append(rows, []string{addr, "-", "-", "-", "-", "-"})
+				continue
+			}
+			framesPerReq, msgsPerFrame := "-", "-"
+			if rep.Delivered > 0 {
+				framesPerReq = fmt.Sprintf("%.2f", float64(rep.BatchFrames)/float64(rep.Delivered))
+			}
+			if rep.BatchFrames > 0 {
+				msgsPerFrame = fmt.Sprintf("%.2f", float64(rep.BatchedSends)/float64(rep.BatchFrames))
+			}
+			rows = append(rows, []string{
+				addr,
+				fmt.Sprint(rep.Delivered),
+				fmt.Sprint(rep.BatchFrames),
+				framesPerReq,
+				msgsPerFrame,
+				time.Duration(rep.BatchWindowNS).String(),
+			})
+		}
+		fmt.Println()
+		fmt.Print(metrics.Table(
+			[]string{"server", "delivered", "frames", "frames/req", "msgs/frame", "window"}, rows))
+	}
+
 	if *jsonPath != "" {
 		blob, err := json.MarshalIndent(jsonReport{
 			Mode:       rep.Spec.Mode(),
@@ -274,6 +312,25 @@ func run() int {
 		}
 	}
 	return 0
+}
+
+// fetchServerStats reads one replica's /stats JSON document.
+func fetchServerStats(addr string) (oar.ServerReport, error) {
+	var rep oar.ServerReport
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(addr + "/stats")
+	if err != nil {
+		return rep, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return rep, fmt.Errorf("status %s", resp.Status)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&rep)
+	return rep, err
 }
 
 func effectiveWarmup(warmup, requests int) int {

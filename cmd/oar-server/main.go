@@ -17,7 +17,11 @@
 // Flags: -rank, -peers, -listen, -machine, -group, -suspicion-timeout
 // (◊S detection; lower = faster fail-over, more false suspicions — safe
 // but slower), -epoch-limit (force a conservative phase every N requests
-// to bound optimistic bookkeeping; 0 = never).
+// to bound optimistic bookkeeping; 0 = never), -autotune (self-tune the
+// send batch window between a latency floor and a throughput ceiling),
+// -pipeline (run the replica loop as decode/order/send stages on separate
+// cores), -stats-addr (serve replica counters as JSON at /stats — what
+// oar-loadgen -stats reads to report server-observed coalescing).
 package main
 
 import (
@@ -40,13 +44,16 @@ func main() {
 
 func run() int {
 	var (
-		rank    = flag.Int("rank", 0, "this replica's index in -peers (0-based)")
-		peers   = flag.String("peers", "", "comma-separated replica addresses, in rank order (required)")
-		listen  = flag.String("listen", "", "local bind address (default: the -peers entry for -rank)")
-		machine = flag.String("machine", "kv", "replicated state machine: "+strings.Join(app.Names(), ", "))
-		fdTO    = flag.Duration("suspicion-timeout", 100*time.Millisecond, "failure-detector (◊S) timeout")
-		gcLimit = flag.Int("epoch-limit", 1024, "force a conservative phase every N requests (0 = never)")
-		group   = flag.Int("group", 0, "ordering group (shard) this replica serves; peers and clients must match")
+		rank     = flag.Int("rank", 0, "this replica's index in -peers (0-based)")
+		peers    = flag.String("peers", "", "comma-separated replica addresses, in rank order (required)")
+		listen   = flag.String("listen", "", "local bind address (default: the -peers entry for -rank)")
+		machine  = flag.String("machine", "kv", "replicated state machine: "+strings.Join(app.Names(), ", "))
+		fdTO     = flag.Duration("suspicion-timeout", 100*time.Millisecond, "failure-detector (◊S) timeout")
+		gcLimit  = flag.Int("epoch-limit", 1024, "force a conservative phase every N requests (0 = never)")
+		group    = flag.Int("group", 0, "ordering group (shard) this replica serves; peers and clients must match")
+		autoTune = flag.Bool("autotune", false, "self-tune the send batch window (closed-loop controller)")
+		pipeline = flag.Bool("pipeline", false, "run the replica loop as decode/order/send stages on separate cores")
+		stats    = flag.String("stats-addr", "", "serve replica counters as JSON at http://ADDR/stats (off when empty)")
 	)
 	flag.Parse()
 	if *peers == "" {
@@ -69,6 +76,9 @@ func run() int {
 		GroupID:           *group,
 		SuspicionTimeout:  *fdTO,
 		EpochRequestLimit: *gcLimit,
+		AutoTune:          *autoTune,
+		Pipeline:          *pipeline,
+		StatsAddr:         *stats,
 	})
 	if err != nil && ctx.Err() == nil {
 		fmt.Fprintf(os.Stderr, "oar-server: %v\n", err)

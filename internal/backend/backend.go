@@ -73,6 +73,17 @@ type ReplicaConfig struct {
 	// its ordering (OAR).
 	BatchWindow time.Duration
 	MaxBatch    int
+	// AutoTune replaces the static send-side hold with a closed-loop
+	// controller (internal/tune) that continuously adjusts the effective
+	// batch window between a latency floor and a throughput ceiling.
+	// Requires the batching layer (BatchWindow >= 0).
+	AutoTune bool
+	// Pipeline runs the replica event loop as decode → order → send stages
+	// on separate goroutines connected by SPSC rings (protocols that have
+	// no staged loop ignore it). PipelineDepth sets the per-ring capacity
+	// (protocol default when zero).
+	Pipeline      bool
+	PipelineDepth int
 	// Tracer observes protocol events (nil disables tracing).
 	Tracer Tracer
 }
@@ -91,6 +102,9 @@ type InvokerConfig struct {
 	Tracer Tracer
 	// Unbatched disables the client-side send-coalescing layer.
 	Unbatched bool
+	// AutoTune gives the client's coalescing sender a closed-loop
+	// hold-window controller. Ignored when Unbatched.
+	AutoTune bool
 }
 
 // Replica is one running replica of an ordering protocol: an event loop the
@@ -144,6 +158,15 @@ type Stats struct {
 	Views uint64
 	// Batches counts ctab's completed consensus instances.
 	Batches uint64
+	// BatchFrames counts frames the replica's send batcher shipped and
+	// BatchedSends the protocol messages those frames carried, so
+	// coalescing (messages per frame) is observable per replica.
+	BatchFrames  uint64
+	BatchedSends uint64
+	// BatchWindowNS is the effective send-side hold window in nanoseconds
+	// at snapshot time — the AutoTune controller's current output, or the
+	// static window. A gauge: Accumulate keeps the maximum.
+	BatchWindowNS int64
 	// Latency is the client-observed end-to-end invocation latency of the
 	// backend's clients, attached at aggregation time: replicas return it
 	// nil (a replica never sees a client's response time), and the cluster
@@ -166,6 +189,11 @@ func (s *Stats) Accumulate(other Stats) {
 	s.ForeignDropped += other.ForeignDropped
 	s.Views += other.Views
 	s.Batches += other.Batches
+	s.BatchFrames += other.BatchFrames
+	s.BatchedSends += other.BatchedSends
+	if other.BatchWindowNS > s.BatchWindowNS {
+		s.BatchWindowNS = other.BatchWindowNS
+	}
 	if other.Latency != nil {
 		if s.Latency == nil {
 			s.Latency = metrics.NewHistogram()

@@ -19,10 +19,12 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/backend"
 	"repro/internal/proto"
 	"repro/internal/transport"
+	"repro/internal/tune"
 )
 
 // ClientConfig configures a first-reply client.
@@ -43,6 +45,11 @@ type ClientConfig struct {
 	// Unbatched disables the send-coalescing sender loop: each request copy
 	// goes out as its own frame from the invoking goroutine.
 	Unbatched bool
+	// AutoTune gives the sender loop a closed-loop hold-window controller
+	// (internal/tune): under load outbound frames are held up to the tuned
+	// window to coalesce more request copies per frame; at idle the window
+	// collapses to zero. Ignored when Unbatched.
+	AutoTune bool
 }
 
 // Client is a classic active-replication client: multicast to all, adopt the
@@ -137,10 +144,22 @@ const (
 )
 
 // sendLoop drains queued frames and flushes them per destination, coalescing
-// the sends of concurrent Invokes into one frame per server per round.
+// the sends of concurrent Invokes into one frame per server per round. With
+// AutoTune the batcher may additionally hold frames across rounds; the drain
+// timer bounds any hold at about a tick when no further Invokes arrive.
 func (c *Client) sendLoop(ctx context.Context) {
 	defer close(c.senderDone)
-	out := transport.NewBatcher(c.cfg.Node, c.cfg.GroupID)
+	var opts transport.BatcherOptions
+	if c.cfg.AutoTune {
+		opts.Tuner = tune.New(tune.Config{})
+	}
+	out := transport.NewBatcherWith(c.cfg.Node, c.cfg.GroupID, opts)
+	defer out.Close()
+	drain := time.NewTimer(time.Hour)
+	if !drain.Stop() {
+		<-drain.C
+	}
+	armed := false
 	for {
 		select {
 		case <-ctx.Done():
@@ -151,6 +170,13 @@ func (c *Client) sendLoop(ctx context.Context) {
 				out.Add(j.to, j.payload)
 			})
 			out.Flush()
+		case <-drain.C:
+			armed = false
+			out.Flush()
+		}
+		if !armed && out.Pending() > 0 {
+			drain.Reset(backend.DefaultTickInterval)
+			armed = true
 		}
 	}
 }

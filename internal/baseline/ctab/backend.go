@@ -30,6 +30,7 @@ func (ctBackend) NewReplica(cfg backend.ReplicaConfig) (backend.Replica, error) 
 		TickInterval:      cfg.TickInterval,
 		HeartbeatInterval: cfg.HeartbeatInterval,
 		BatchWindow:       cfg.BatchWindow,
+		AutoTune:          cfg.AutoTune,
 		Tracer:            cfg.Tracer,
 	})
 	if err != nil {
@@ -46,6 +47,7 @@ func (ctBackend) NewInvoker(cfg backend.InvokerConfig) (backend.Invoker, error) 
 		Node:      cfg.Node,
 		Tracer:    cfg.Tracer,
 		Unbatched: cfg.Unbatched,
+		AutoTune:  cfg.AutoTune,
 	})
 	if err != nil {
 		return nil, err
@@ -65,5 +67,8 @@ func (r ctReplica) Stats() backend.Stats {
 		Delivered:      s.Delivered,
 		ForeignDropped: s.ForeignDropped,
 		Batches:        s.Batches,
+		BatchFrames:    s.BatchFrames,
+		BatchedSends:   s.BatchedMsgs,
+		BatchWindowNS:  int64(s.BatchWindow),
 	}
 }

@@ -30,6 +30,7 @@ import (
 	"repro/internal/mseq"
 	"repro/internal/proto"
 	"repro/internal/transport"
+	"repro/internal/tune"
 	"repro/internal/wire"
 )
 
@@ -56,6 +57,10 @@ type Config struct {
 	// destination into proto.Batch frames; negative disables the layer (the
 	// experiment control).
 	BatchWindow time.Duration
+	// AutoTune gives the send batcher a closed-loop hold-window controller
+	// (internal/tune), exactly as in core.ServerConfig. Requires the
+	// batching layer (BatchWindow >= 0).
+	AutoTune bool
 	// Tracer records deliveries as ADeliver events.
 	Tracer backend.Tracer
 }
@@ -65,6 +70,11 @@ type Stats struct {
 	Delivered      uint64
 	Batches        uint64 // completed consensus instances
 	ForeignDropped uint64 // inbound messages dropped for a foreign GroupID
+
+	// Send-batcher observability (see core.ServerStats).
+	BatchFrames uint64
+	BatchedMsgs uint64
+	BatchWindow time.Duration
 }
 
 // Server is one conservative-atomic-broadcast replica.
@@ -111,6 +121,13 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.Tracer == nil {
 		cfg.Tracer = backend.NopTracer()
 	}
+	if cfg.AutoTune && cfg.BatchWindow < 0 {
+		return nil, fmt.Errorf("ctab: AutoTune requires the batching layer (BatchWindow >= 0)")
+	}
+	var opts transport.BatcherOptions
+	if cfg.AutoTune {
+		opts.Tuner = tune.New(tune.Config{})
+	}
 	return &Server{
 		cfg:       cfg,
 		n:         len(cfg.Group),
@@ -118,7 +135,7 @@ func NewServer(cfg Config) (*Server, error) {
 		delivered: make(map[proto.RequestID]struct{}),
 		instances: make(map[uint64]*consensus.Instance),
 		decisions: make(map[uint64]consensus.Decision),
-		out:       transport.NewBatcher(cfg.Node, cfg.GroupID),
+		out:       transport.NewBatcherWith(cfg.Node, cfg.GroupID, opts),
 		encBuf:    make([]byte, 0, 256),
 		hbFrame:   proto.MarshalHeartbeat(cfg.GroupID),
 		tracer:    cfg.Tracer,
@@ -127,10 +144,14 @@ func NewServer(cfg Config) (*Server, error) {
 
 // Stats returns a snapshot of the counters.
 func (s *Server) Stats() Stats {
+	bs := s.out.Stats()
 	return Stats{
 		Delivered:      s.statDelivered.Load(),
 		Batches:        s.statBatches.Load(),
 		ForeignDropped: s.statForeign.Load(),
+		BatchFrames:    bs.Frames,
+		BatchedMsgs:    bs.Msgs,
+		BatchWindow:    bs.Window,
 	}
 }
 
@@ -158,6 +179,8 @@ const (
 func (s *Server) Run(ctx context.Context) error {
 	ticker := time.NewTicker(s.cfg.TickInterval)
 	defer ticker.Stop()
+	// Ship anything a held (AutoTune) window still buffers on exit.
+	defer s.out.Close()
 	inbox := s.cfg.Node.Recv()
 	for {
 		select {

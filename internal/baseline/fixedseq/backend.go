@@ -31,6 +31,7 @@ func (fsBackend) NewReplica(cfg backend.ReplicaConfig) (backend.Replica, error) 
 		TickInterval:      cfg.TickInterval,
 		HeartbeatInterval: cfg.HeartbeatInterval,
 		BatchWindow:       cfg.BatchWindow,
+		AutoTune:          cfg.AutoTune,
 		Tracer:            cfg.Tracer,
 	})
 	if err != nil {
@@ -47,6 +48,7 @@ func (fsBackend) NewInvoker(cfg backend.InvokerConfig) (backend.Invoker, error) 
 		Node:      cfg.Node,
 		Tracer:    cfg.Tracer,
 		Unbatched: cfg.Unbatched,
+		AutoTune:  cfg.AutoTune,
 	})
 	if err != nil {
 		return nil, err
@@ -67,5 +69,8 @@ func (r fsReplica) Stats() backend.Stats {
 		SeqOrdersSent:  s.OrdersSent,
 		ForeignDropped: s.ForeignDropped,
 		Views:          s.Views,
+		BatchFrames:    s.BatchFrames,
+		BatchedSends:   s.BatchedMsgs,
+		BatchWindowNS:  int64(s.BatchWindow),
 	}
 }

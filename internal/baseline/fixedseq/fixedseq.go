@@ -32,6 +32,7 @@ import (
 	"repro/internal/mseq"
 	"repro/internal/proto"
 	"repro/internal/transport"
+	"repro/internal/tune"
 )
 
 // Config configures one fixed-sequencer replica.
@@ -58,6 +59,10 @@ type Config struct {
 	// destination into proto.Batch frames; negative disables the layer (the
 	// experiment control).
 	BatchWindow time.Duration
+	// AutoTune gives the send batcher a closed-loop hold-window controller
+	// (internal/tune), exactly as in core.ServerConfig. Requires the
+	// batching layer (BatchWindow >= 0).
+	AutoTune bool
 	// Tracer records deliveries as ADeliver events (they are irrevocable).
 	Tracer backend.Tracer
 }
@@ -68,6 +73,11 @@ type Stats struct {
 	Views          uint64 // fail-overs performed
 	OrdersSent     uint64 // sequencer ordering messages sent
 	ForeignDropped uint64 // inbound messages dropped for a foreign GroupID
+
+	// Send-batcher observability (see core.ServerStats).
+	BatchFrames uint64
+	BatchedMsgs uint64
+	BatchWindow time.Duration
 }
 
 // Server is one fixed-sequencer replica.
@@ -116,12 +126,19 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.Tracer == nil {
 		cfg.Tracer = backend.NopTracer()
 	}
+	if cfg.AutoTune && cfg.BatchWindow < 0 {
+		return nil, fmt.Errorf("fixedseq: AutoTune requires the batching layer (BatchWindow >= 0)")
+	}
+	var opts transport.BatcherOptions
+	if cfg.AutoTune {
+		opts.Tuner = tune.New(tune.Config{})
+	}
 	return &Server{
 		cfg:       cfg,
 		n:         len(cfg.Group),
 		payloads:  make(map[proto.RequestID]proto.Request),
 		delivered: make(map[proto.RequestID]struct{}),
-		out:       transport.NewBatcher(cfg.Node, cfg.GroupID),
+		out:       transport.NewBatcherWith(cfg.Node, cfg.GroupID, opts),
 		encBuf:    make([]byte, 0, 256),
 		hbFrame:   proto.MarshalHeartbeat(cfg.GroupID),
 		tracer:    cfg.Tracer,
@@ -130,11 +147,15 @@ func NewServer(cfg Config) (*Server, error) {
 
 // Stats returns a snapshot of the counters.
 func (s *Server) Stats() Stats {
+	bs := s.out.Stats()
 	return Stats{
 		Delivered:      s.statDelivered.Load(),
 		Views:          s.statViews.Load(),
 		OrdersSent:     s.statOrders.Load(),
 		ForeignDropped: s.statForeign.Load(),
+		BatchFrames:    bs.Frames,
+		BatchedMsgs:    bs.Msgs,
+		BatchWindow:    bs.Window,
 	}
 }
 
@@ -164,6 +185,8 @@ const (
 func (s *Server) Run(ctx context.Context) error {
 	ticker := time.NewTicker(s.cfg.TickInterval)
 	defer ticker.Stop()
+	// Ship anything a held (AutoTune) window still buffers on exit.
+	defer s.out.Close()
 	inbox := s.cfg.Node.Recv()
 	for {
 		select {

@@ -110,6 +110,17 @@ type Options struct {
 	// MaxBatch=1 reproduces the unbatched one-SeqOrder-per-request behavior.
 	BatchWindow time.Duration
 	MaxBatch    int
+	// AutoTune replaces the static send-side hold with a closed-loop
+	// controller (internal/tune) on every replica and client batcher; the
+	// effective window then floats between the latency floor and MaxWindow.
+	// Requires batching (BatchWindow >= 0).
+	AutoTune bool
+	// Pipeline runs each replica's event loop as decode → order → send
+	// stages on separate goroutines connected by SPSC rings (backends
+	// without a staged loop ignore it); PipelineDepth sets the per-ring
+	// capacity (backend default when zero).
+	Pipeline      bool
+	PipelineDepth int
 	// TickInterval and HeartbeatInterval tune the server loops (defaults
 	// from core).
 	TickInterval      time.Duration
@@ -294,6 +305,9 @@ func (c *Cluster) bootShard(ctx context.Context, s int) (*shardGroup, error) {
 			EpochRequestLimit: opts.EpochRequestLimit,
 			BatchWindow:       opts.BatchWindow,
 			MaxBatch:          opts.MaxBatch,
+			AutoTune:          opts.AutoTune,
+			Pipeline:          opts.Pipeline,
+			PipelineDepth:     opts.PipelineDepth,
 			Tracer:            sg.tracer,
 		})
 		if err != nil {
@@ -431,6 +445,7 @@ func (c *Cluster) newClientAt(idx int) (Invoker, error) {
 			Node:      sg.net.Node(id),
 			Tracer:    sg.tracer,
 			Unbatched: c.opts.BatchWindow < 0,
+			AutoTune:  c.opts.AutoTune,
 		})
 		if err != nil {
 			for _, prev := range started {

@@ -32,6 +32,9 @@ func (oarBackend) NewReplica(cfg backend.ReplicaConfig) (backend.Replica, error)
 		EpochRequestLimit: cfg.EpochRequestLimit,
 		BatchWindow:       cfg.BatchWindow,
 		MaxBatch:          cfg.MaxBatch,
+		AutoTune:          cfg.AutoTune,
+		Pipeline:          cfg.Pipeline,
+		PipelineDepth:     cfg.PipelineDepth,
 		Tracer:            cfg.Tracer,
 	})
 	if err != nil {
@@ -48,6 +51,7 @@ func (oarBackend) NewInvoker(cfg backend.InvokerConfig) (backend.Invoker, error)
 		Node:      cfg.Node,
 		Tracer:    cfg.Tracer,
 		Unbatched: cfg.Unbatched,
+		AutoTune:  cfg.AutoTune,
 	})
 	if err != nil {
 		return nil, err
@@ -73,5 +77,8 @@ func (r oarReplica) Stats() backend.Stats {
 		Epochs:         s.Epochs,
 		SeqOrdersSent:  s.SeqOrdersSent,
 		ForeignDropped: s.ForeignDropped,
+		BatchFrames:    s.BatchFrames,
+		BatchedSends:   s.BatchedMsgs,
+		BatchWindowNS:  int64(s.BatchWindow),
 	}
 }

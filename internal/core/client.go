@@ -4,10 +4,12 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/proto"
 	"repro/internal/rmcast"
 	"repro/internal/transport"
+	"repro/internal/tune"
 )
 
 // ClientConfig configures an OAR client.
@@ -31,6 +33,13 @@ type ClientConfig struct {
 	// are coalesced per server into proto.Batch frames by a sender loop,
 	// with no added latency when the client is idle.
 	Unbatched bool
+	// AutoTune gives the batching sender a closed-loop hold-window
+	// controller (internal/tune): under load, outbound request frames are
+	// held up to the tuned window to coalesce more R-multicast copies per
+	// frame; at idle the window collapses to zero. A drain timer bounds any
+	// hold at about a tick even if no further Invokes arrive. Ignored when
+	// Unbatched.
+	AutoTune bool
 }
 
 // Client implements the client side of the OAR algorithm (Figure 5):
@@ -139,10 +148,23 @@ func (c *Client) enqueue(to proto.NodeID, payload []byte) {
 const clientFlushSpins = 2
 
 // sendLoop drains queued frames and flushes them per destination, coalescing
-// the sends of concurrent Invokes into one frame per server per round.
+// the sends of concurrent Invokes into one frame per server per round. With
+// AutoTune the batcher may additionally hold a round's frames to coalesce
+// across rounds; the drain timer guarantees held frames still ship within
+// about a tick when no further Invokes arrive to trigger a flush.
 func (c *Client) sendLoop(ctx context.Context) {
 	defer close(c.senderDone)
-	out := transport.NewBatcher(c.cfg.Node, c.cfg.GroupID)
+	var opts transport.BatcherOptions
+	if c.cfg.AutoTune {
+		opts.Tuner = tune.New(tune.Config{})
+	}
+	out := transport.NewBatcherWith(c.cfg.Node, c.cfg.GroupID, opts)
+	defer out.Close()
+	drain := time.NewTimer(time.Hour)
+	if !drain.Stop() {
+		<-drain.C
+	}
+	armed := false
 	for {
 		select {
 		case <-ctx.Done():
@@ -153,6 +175,13 @@ func (c *Client) sendLoop(ctx context.Context) {
 				out.Add(j.to, j.payload)
 			})
 			out.Flush()
+		case <-drain.C:
+			armed = false
+			out.Flush()
+		}
+		if !armed && out.Pending() > 0 {
+			drain.Reset(DefaultTickInterval)
+			armed = true
 		}
 	}
 }

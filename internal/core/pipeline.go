@@ -1,0 +1,200 @@
+package core
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/proto"
+	"repro/internal/transport"
+)
+
+// The pipelined event loop splits a replica's work across three goroutines
+// connected by SPSC rings, so one ordering group can saturate more than one
+// core while the protocol state machine stays strictly single-writer:
+//
+//	decode (Run goroutine)        order (protocol goroutine)     send
+//	 inbox recv, envelope parse,   Figure 6 state machine,        Batcher owner:
+//	 garbage + foreign-group  ──▶  ordering flush, footprint ──▶  envelope
+//	 drop, tick admission    ring                           ring  assembly,
+//	                          AB                             BC   transport write
+//
+// Ownership is linear: an inbound frame is owned by decode until its
+// pipeItem is pushed onto ring AB, then by order, which releases it after
+// dispatch. Outbound payloads are copied into pooled frames by the protocol
+// goroutine (send/sendReply) and owned by the sender stage from the ring BC
+// push until Batcher.Add has copied them into an envelope. Shutdown is
+// linear too: decode closes AB, order drains it, flushes, and closes BC,
+// the sender drains and force-ships the batcher — no cycles, so no
+// shutdown deadlock.
+//
+// Rounds: the order stage treats each wakeup's drained backlog as one
+// round (mirroring transport.DrainLinger in the single-goroutine loop) and
+// emits a flush sentinel down ring BC at each round boundary, so the sender
+// flushes exactly as often as the legacy loop does — and ticks flowing
+// through both rings guarantee a held (AutoTune) envelope is never stranded
+// longer than a tick.
+type pipeline struct {
+	ab *transport.Ring[pipeItem]
+	bc *transport.Ring[sendItem]
+}
+
+// pipeItem is one unit of work handed from the decode stage to the protocol
+// goroutine: an envelope-validated inbound message, or a tick.
+type pipeItem struct {
+	m    transport.Message // owned by the order stage; zero for ticks
+	kind proto.Kind
+	body []byte // envelope body, aliasing m's frame
+	now  time.Time
+	tick bool
+}
+
+// sendItem is one unit handed from the protocol goroutine to the sender: a
+// pooled frame bound for a destination, or a round-boundary flush sentinel.
+type sendItem struct {
+	to    proto.NodeID
+	f     *transport.Frame // owned by the sender stage; nil for flushes
+	flush bool
+}
+
+// sendFrame hands an outbound frame to the sender stage. If the ring is
+// already closed (shutdown), ownership stays here and the frame is recycled.
+func (p *pipeline) sendFrame(to proto.NodeID, f *transport.Frame) {
+	// Released by the sender stage after Batcher.Add copies the payload
+	// into an envelope: //oar:frame-handoff (release site: pipeSend).
+	if !p.bc.Push(sendItem{to: to, f: f}) {
+		f.Release()
+	}
+}
+
+// runPipelined is Run's staged variant: this goroutine becomes the decode
+// stage and the other two stages are spawned here and joined before return.
+func (s *Server) runPipelined(ctx context.Context) error {
+	p := &pipeline{
+		ab: transport.NewRing[pipeItem](s.cfg.PipelineDepth),
+		bc: transport.NewRing[sendItem](s.cfg.PipelineDepth),
+	}
+	s.pipe = p // before the stages start, so their sends route through it
+
+	orderDone := make(chan struct{})
+	sendDone := make(chan struct{})
+	go func() {
+		defer close(orderDone)
+		s.pipeOrder(p)
+	}()
+	go func() {
+		defer close(sendDone)
+		s.pipeSend(p)
+	}()
+
+	ticker := time.NewTicker(s.cfg.TickInterval)
+	defer ticker.Stop()
+	inbox := s.cfg.Node.Recv()
+	var err error
+loop:
+	for {
+		select {
+		case <-ctx.Done():
+			err = ctx.Err()
+			break loop
+		case m, ok := <-inbox:
+			if !ok {
+				break loop
+			}
+			now := time.Now()
+			s.admit(p, m, now)
+			// Absorb the backlog that already arrived (the decode-stage half
+			// of round formation; the order stage re-forms rounds from ring
+			// occupancy on its side).
+			if _, open := transport.DrainLinger(inbox, serverFlushSpins, maxDrain-1, func(m transport.Message) {
+				s.admit(p, m, now)
+			}); !open {
+				break loop
+			}
+		case now := <-ticker.C:
+			p.ab.Push(pipeItem{tick: true, now: now})
+		}
+	}
+	p.ab.Close()
+	<-orderDone
+	<-sendDone
+	return err
+}
+
+// admit is the decode stage's per-message work: parse the envelope header,
+// drop garbage and foreign-group traffic (recycling the frame on the spot),
+// and hand everything else to the protocol goroutine.
+func (s *Server) admit(p *pipeline, m transport.Message, now time.Time) {
+	kind, group, body, err := proto.Unmarshal(m.Payload)
+	if err != nil {
+		m.Release()
+		return // garbage on the wire; drop
+	}
+	if group != s.cfg.GroupID {
+		s.statForeign.Add(1)
+		m.Release()
+		return
+	}
+	// Released by the order stage after dispatch; a closed ring (shutdown)
+	// keeps ownership here: //oar:frame-handoff (release site: pipeOrder).
+	if !p.ab.Push(pipeItem{m: m, kind: kind, body: body, now: now}) {
+		m.Release()
+	}
+}
+
+// pipeOrder is the protocol goroutine: the only writer of Figure 6 state.
+// It mirrors the single-goroutine loop's round structure — drain, order
+// flush, send flush (as a sentinel down ring BC), footprint publish.
+func (s *Server) pipeOrder(p *pipeline) {
+	for {
+		it, ok := p.ab.Pop()
+		if !ok {
+			break
+		}
+		s.handleItem(it)
+		for drained := 1; drained < maxDrain; drained++ {
+			it, ok := p.ab.TryPop()
+			if !ok {
+				break
+			}
+			s.handleItem(it)
+		}
+		s.flushOrder(time.Now())
+		p.bc.Push(sendItem{flush: true})
+		s.publishFootprint()
+	}
+	// Decode stage closed the ring: run one final flush so nothing pending
+	// is stranded, then propagate shutdown to the sender.
+	s.flushOrder(time.Now())
+	p.bc.Push(sendItem{flush: true})
+	s.publishFootprint()
+	p.bc.Close()
+}
+
+func (s *Server) handleItem(it pipeItem) {
+	if it.tick {
+		s.tick(it.now)
+		return
+	}
+	s.dispatch(it.m.From, it.kind, it.body, it.now)
+	it.m.Release()
+}
+
+// pipeSend is the sender stage: sole owner of the outbound batcher. It
+// copies each frame into its destination's envelope, recycles it, and
+// flushes at round boundaries; on shutdown it force-ships whatever a held
+// window still buffers.
+func (s *Server) pipeSend(p *pipeline) {
+	for {
+		it, ok := p.bc.Pop()
+		if !ok {
+			break
+		}
+		if it.flush {
+			s.out.Flush()
+			continue
+		}
+		s.out.Add(it.to, it.f.Buf)
+		it.f.Release()
+	}
+	s.out.Close()
+}

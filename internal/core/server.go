@@ -15,6 +15,7 @@ import (
 	"repro/internal/proto"
 	"repro/internal/rmcast"
 	"repro/internal/transport"
+	"repro/internal/tune"
 )
 
 // Defaults for ServerConfig. The loop intervals live in backend (they are
@@ -24,6 +25,9 @@ const (
 	DefaultHeartbeatInterval = backend.DefaultHeartbeatInterval
 	// DefaultMaxBatch is the ordering batch size used when MaxBatch is zero.
 	DefaultMaxBatch = 512
+	// DefaultPipelineDepth is the per-ring capacity of the pipelined event
+	// loop when PipelineDepth is zero.
+	DefaultPipelineDepth = 256
 )
 
 // maxDrain bounds how many backlogged messages one event-loop round absorbs
@@ -84,6 +88,24 @@ type ServerConfig struct {
 	// DefaultMaxBatch; 1 reproduces the unbatched one-SeqOrder-per-request
 	// behavior.
 	MaxBatch int
+	// AutoTune replaces the static send-side coalescing with a closed-loop
+	// controller (internal/tune): the replica's outbound batcher holds
+	// envelopes up to a continuously adjusted window — zero when idle, up to
+	// the controller's ceiling when frames ship under-filled — observing
+	// every shipped frame's coalescing and hold latency. The ordering-side
+	// BatchWindow semantics are unchanged (AutoTune adds exactly one hold
+	// point, at the transport). Requires the batching layer (BatchWindow >= 0).
+	AutoTune bool
+	// Pipeline splits the event loop into decode → order → send stages on
+	// separate goroutines connected by SPSC rings, so envelope decoding and
+	// reply/ordering marshalling run off the protocol goroutine and one
+	// group can use multiple cores. Protocol state stays single-writer. The
+	// default single-goroutine loop remains when false. Requires the
+	// batching layer (BatchWindow >= 0).
+	Pipeline bool
+	// PipelineDepth is the capacity of each pipeline ring (default
+	// DefaultPipelineDepth).
+	PipelineDepth int
 	// Tracer observes protocol events (nil disables tracing).
 	Tracer Tracer
 }
@@ -97,10 +119,18 @@ type ServerStats struct {
 	Epochs         uint64 // completed phase-2 rounds
 	SeqOrdersSent  uint64 // Task 1a ordering messages sent
 	ForeignDropped uint64 // inbound messages dropped for a foreign GroupID
+
+	// Send-batcher observability: how many frames the replica shipped, how
+	// many protocol messages they carried, and the effective hold window at
+	// snapshot time (the AutoTune controller's output; the static window
+	// otherwise).
+	BatchFrames uint64
+	BatchedMsgs uint64
+	BatchWindow time.Duration
 }
 
 // Accumulate adds other's counters to s (used to aggregate replicas and
-// shards).
+// shards). BatchWindow, a gauge, aggregates as the maximum.
 func (s *ServerStats) Accumulate(other ServerStats) {
 	s.OptDelivered += other.OptDelivered
 	s.OptUndelivered += other.OptUndelivered
@@ -108,6 +138,11 @@ func (s *ServerStats) Accumulate(other ServerStats) {
 	s.Epochs += other.Epochs
 	s.SeqOrdersSent += other.SeqOrdersSent
 	s.ForeignDropped += other.ForeignDropped
+	s.BatchFrames += other.BatchFrames
+	s.BatchedMsgs += other.BatchedMsgs
+	if other.BatchWindow > s.BatchWindow {
+		s.BatchWindow = other.BatchWindow
+	}
 }
 
 // Server is one OAR replica. Create with NewServer, drive with Run.
@@ -159,6 +194,13 @@ type Server struct {
 	encBuf  []byte // reusable encode scratch for replies and ordering messages
 	hbFrame []byte // heartbeat payload, constant per group
 
+	// tuner is the AutoTune controller driving the batcher's hold window
+	// (nil without AutoTune). pipe is the staged event loop (nil without
+	// Pipeline); when set, sends route through its rings instead of touching
+	// s.out directly — the batcher is owned by the pipeline's sender stage.
+	tuner *tune.Controller
+	pipe  *pipeline
+
 	// orderScratch is the reusable decode target for inbound SeqOrder
 	// bodies: the steady-state decode allocates nothing, and the decoded
 	// request commands alias the inbound frame (anything retained past the
@@ -207,13 +249,31 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.Tracer == nil {
 		cfg.Tracer = NopTracer()
 	}
+	if (cfg.AutoTune || cfg.Pipeline) && cfg.BatchWindow < 0 {
+		return nil, fmt.Errorf("core: AutoTune and Pipeline require the batching layer (BatchWindow >= 0)")
+	}
+	if cfg.PipelineDepth <= 0 {
+		cfg.PipelineDepth = DefaultPipelineDepth
+	}
+	var opts transport.BatcherOptions
+	var tuner *tune.Controller
+	if cfg.AutoTune {
+		tuner = tune.New(tune.Config{})
+		opts.Tuner = tuner
+		if cfg.MaxBatch > 0 {
+			opts.MaxBatch = cfg.MaxBatch
+		} else {
+			opts.MaxBatch = DefaultMaxBatch
+		}
+	}
 	s := &Server{
 		cfg:           cfg,
 		n:             len(cfg.Group),
+		tuner:         tuner,
 		payloads:      make(map[proto.RequestID]proto.Request),
 		aDelivered:    make(map[proto.RequestID]struct{}),
 		oSet:          make(map[proto.RequestID]struct{}),
-		out:           transport.NewBatcher(cfg.Node, cfg.GroupID),
+		out:           transport.NewBatcherWith(cfg.Node, cfg.GroupID, opts),
 		encBuf:        make([]byte, 0, 256),
 		hbFrame:       proto.MarshalHeartbeat(cfg.GroupID),
 		phase2Sent:    make(map[uint64]struct{}),
@@ -241,6 +301,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 // Stats returns a snapshot of the protocol counters. Safe to call
 // concurrently with Run.
 func (s *Server) Stats() ServerStats {
+	bs := s.out.Stats()
 	return ServerStats{
 		OptDelivered:   s.statOpt.Load(),
 		OptUndelivered: s.statUndo.Load(),
@@ -248,6 +309,9 @@ func (s *Server) Stats() ServerStats {
 		Epochs:         s.statEpochs.Load(),
 		SeqOrdersSent:  s.statOrders.Load(),
 		ForeignDropped: s.statForeign.Load(),
+		BatchFrames:    bs.Frames,
+		BatchedMsgs:    bs.Msgs,
+		BatchWindow:    bs.Window,
 	}
 }
 
@@ -260,8 +324,13 @@ func (s *Server) Stats() ServerStats {
 // coalesces every request of the round into one SeqOrder instead of one per
 // request, with zero added latency when the inbox is empty.
 func (s *Server) Run(ctx context.Context) error {
+	if s.cfg.Pipeline {
+		return s.runPipelined(ctx)
+	}
 	ticker := time.NewTicker(s.cfg.TickInterval)
 	defer ticker.Stop()
+	// Ship anything a held window still buffers when the loop exits.
+	defer s.out.Close()
 	inbox := s.cfg.Node.Recv()
 	for {
 		select {
@@ -313,6 +382,14 @@ func (s *Server) sequencer() proto.NodeID {
 func (s *Server) batching() bool { return s.cfg.BatchWindow >= 0 }
 
 func (s *Server) send(to proto.NodeID, payload []byte) {
+	if s.pipe != nil {
+		// Pipelined: the batcher belongs to the sender stage. Copy the
+		// payload into a pooled frame and hand it down the ring.
+		f := transport.GetFrame()
+		f.Buf = append(f.Buf, payload...)
+		s.pipe.sendFrame(to, f)
+		return
+	}
 	if !s.batching() {
 		// Send errors mean the network or this node is gone; the event loop
 		// will observe the closed inbox and stop.
@@ -324,8 +401,18 @@ func (s *Server) send(to proto.NodeID, payload []byte) {
 
 // sendReply encodes and sends a reply. On the batching path the reply is
 // encoded into the reusable scratch buffer and copied straight into the
-// destination's envelope buffer — no per-reply allocation.
+// destination's envelope buffer — no per-reply allocation. On the pipelined
+// path it is encoded straight into a pooled frame for the sender stage, so
+// reply marshalling happens off the protocol goroutine's critical data but
+// still on its thread; the expensive part — envelope assembly and the
+// transport write — happens downstream.
 func (s *Server) sendReply(to proto.NodeID, reply proto.Reply) {
+	if s.pipe != nil {
+		f := transport.GetFrame()
+		f.Buf = proto.AppendReply(f.Buf, reply)
+		s.pipe.sendFrame(to, f)
+		return
+	}
 	if !s.batching() {
 		_ = s.cfg.Node.Send(to, proto.MarshalReply(reply))
 		return
@@ -359,9 +446,16 @@ func (s *Server) handleMessage(m transport.Message, now time.Time) {
 		s.statForeign.Add(1)
 		return
 	}
+	s.dispatch(m.From, kind, body, now)
+}
+
+// dispatch routes one already-envelope-decoded message to its handler. The
+// pipelined loop's decode stage performs the envelope parse (and the
+// garbage/foreign drops) off the protocol goroutine and enters here.
+func (s *Server) dispatch(from proto.NodeID, kind proto.Kind, body []byte, now time.Time) {
 	switch kind {
 	case proto.KindHeartbeat:
-		s.cfg.Detector.Observe(m.From, now)
+		s.cfg.Detector.Observe(from, now)
 	case proto.KindRMcast:
 		inner, deliver, err := s.rm.OnMessage(body)
 		if err != nil || !deliver {
@@ -377,7 +471,7 @@ func (s *Server) handleMessage(m transport.Message, now time.Time) {
 		}
 		s.handleSeqOrder(s.orderScratch)
 	case proto.KindEstimate, proto.KindPropose, proto.KindAck, proto.KindDecide:
-		s.handleConsensus(m.From, kind, body)
+		s.handleConsensus(from, kind, body)
 	case proto.KindBatch:
 		batch, err := proto.UnmarshalBatch(body)
 		if err != nil {
@@ -385,7 +479,7 @@ func (s *Server) handleMessage(m transport.Message, now time.Time) {
 		}
 		// UnmarshalBatch rejects nested batches, so this recursion is flat.
 		for _, inner := range batch.Msgs {
-			s.handleMessage(transport.Message{From: m.From, Payload: inner}, now)
+			s.handleMessage(transport.Message{From: from, Payload: inner}, now)
 		}
 	default:
 		// Replies and baseline traffic are not for servers; drop.

@@ -300,3 +300,27 @@ func TestE10ProtocolSelection(t *testing.T) {
 		}
 	}
 }
+
+func TestE12QualitativeShape(t *testing.T) {
+	r, err := E12AdaptiveBatching(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkShape(t, r, 2*4) // procs {1,4} x modes {static/0, static/1ms, autotune, autotune+pipeline}
+	if len(r.Latency) != len(r.Rows) {
+		t.Fatalf("%d latency samples for %d rows", len(r.Latency), len(r.Rows))
+	}
+	for i, row := range r.Rows {
+		// Every cell runs OAR under the trace checker, saturated and idle.
+		if viol := row[len(row)-1]; viol != "0" {
+			t.Errorf("cell saw checker violations: %v", row)
+		}
+		s := r.Latency[i]
+		if s.Count == 0 || s.P50NS <= 0 || s.ReqPerSec <= 0 {
+			t.Errorf("malformed latency sample for row %v: %+v", row, s)
+		}
+		if s.Labels["procs"] == "" || s.Labels["mode"] == "" {
+			t.Errorf("latency sample missing labels: %+v", s)
+		}
+	}
+}

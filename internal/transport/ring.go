@@ -1,0 +1,178 @@
+package transport
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ringSpin is how many scheduler yields a blocked Push/Pop spends spinning
+// before parking on the condition variable. Spinning covers the common case
+// where the peer stage is actively draining; parking keeps an idle pipeline
+// off the CPU.
+const ringSpin = 32
+
+// Ring is a single-producer single-consumer bounded queue connecting two
+// pipeline stages. Exactly one goroutine may call Push/TryPush/Close (the
+// producer) and exactly one may call Pop/TryPop (the consumer); Len is safe
+// from anywhere. The fast path is two sequentially-consistent atomics and no
+// locks; a stage that runs ahead spins briefly and then parks.
+//
+// Close is the producer's end-of-stream: Pop keeps returning buffered items
+// after Close and reports ok=false only once the ring is closed AND empty,
+// so nothing handed off is ever dropped. Consumed slots are zeroed so the
+// ring does not pin frames or payloads it no longer owns.
+type Ring[T any] struct {
+	buf  []T
+	mask uint64
+
+	head   atomic.Uint64 // next slot to pop; written only by the consumer
+	tail   atomic.Uint64 // next slot to push; written only by the producer
+	closed atomic.Bool
+
+	// Parking: a blocked side sets waiting, re-checks under mu, then waits.
+	// The peer re-reads waiting after its atomic head/tail store (both
+	// seq-cst, so the flag store and the re-check cannot both miss) and
+	// broadcasts under mu — the Dekker pattern that makes lost wakeups
+	// impossible.
+	mu      sync.Mutex
+	cond    *sync.Cond
+	waiting atomic.Bool
+}
+
+// NewRing creates a ring holding at least size items (rounded up to a power
+// of two; size <= 0 selects 256).
+func NewRing[T any](size int) *Ring[T] {
+	if size <= 0 {
+		size = 256
+	}
+	n := 1
+	for n < size {
+		n <<= 1
+	}
+	r := &Ring[T]{buf: make([]T, n), mask: uint64(n - 1)}
+	r.cond = sync.NewCond(&r.mu)
+	return r
+}
+
+// Cap returns the ring's capacity.
+func (r *Ring[T]) Cap() int { return len(r.buf) }
+
+// Len returns how many items are currently buffered. Safe from any
+// goroutine; the answer is naturally stale.
+func (r *Ring[T]) Len() int {
+	return int(r.tail.Load() - r.head.Load())
+}
+
+// TryPush enqueues v if the ring is open and has space. Producer-only.
+func (r *Ring[T]) TryPush(v T) bool {
+	if r.closed.Load() {
+		return false
+	}
+	t := r.tail.Load()
+	if t-r.head.Load() == uint64(len(r.buf)) {
+		return false
+	}
+	//oar:frame-handoff — slot ownership passes to the consumer; released by
+	// the consuming stage (Pop zeroes the slot).
+	r.buf[t&r.mask] = v
+	r.tail.Store(t + 1)
+	r.wake()
+	return true
+}
+
+// Push enqueues v, blocking while the ring is full. It returns false only if
+// the ring is (or becomes) closed — the item was not enqueued and the caller
+// still owns whatever it carries. Producer-only.
+func (r *Ring[T]) Push(v T) bool {
+	for spin := 0; ; {
+		if r.TryPush(v) {
+			return true
+		}
+		if r.closed.Load() {
+			return false
+		}
+		if spin < ringSpin {
+			spin++
+			runtime.Gosched()
+			continue
+		}
+		r.park(func() bool {
+			return r.tail.Load()-r.head.Load() < uint64(len(r.buf)) || r.closed.Load()
+		})
+		spin = 0
+	}
+}
+
+// TryPop dequeues the next item if one is buffered. Consumer-only.
+func (r *Ring[T]) TryPop() (T, bool) {
+	var zero T
+	h := r.head.Load()
+	if r.tail.Load() == h {
+		return zero, false
+	}
+	v := r.buf[h&r.mask]
+	r.buf[h&r.mask] = zero // release the slot's references with it
+	r.head.Store(h + 1)
+	r.wake()
+	return v, true
+}
+
+// Pop dequeues the next item, blocking while the ring is empty and open. It
+// returns ok=false only once the ring is closed and fully drained.
+// Consumer-only.
+func (r *Ring[T]) Pop() (T, bool) {
+	for spin := 0; ; {
+		if v, ok := r.TryPop(); ok {
+			return v, true
+		}
+		if r.closed.Load() {
+			// Re-check: items pushed before Close must still drain.
+			if v, ok := r.TryPop(); ok {
+				return v, true
+			}
+			var zero T
+			return zero, false
+		}
+		if spin < ringSpin {
+			spin++
+			runtime.Gosched()
+			continue
+		}
+		r.park(func() bool {
+			return r.tail.Load() != r.head.Load() || r.closed.Load()
+		})
+		spin = 0
+	}
+}
+
+// Close marks end-of-stream. Producer-only (and idempotent). Buffered items
+// remain poppable; blocked peers wake.
+func (r *Ring[T]) Close() {
+	r.mu.Lock()
+	r.closed.Store(true)
+	r.cond.Broadcast()
+	r.mu.Unlock()
+}
+
+// park blocks until ready() holds. ready must be safe to call under mu.
+func (r *Ring[T]) park(ready func() bool) {
+	r.mu.Lock()
+	r.waiting.Store(true)
+	for !ready() {
+		r.cond.Wait()
+	}
+	r.waiting.Store(false)
+	r.mu.Unlock()
+}
+
+// wake unblocks a parked peer, if any. Called after the head/tail store so
+// the seq-cst total order guarantees either the peer's re-check sees the
+// store or this load sees the peer's waiting flag.
+func (r *Ring[T]) wake() {
+	if r.waiting.Load() {
+		r.mu.Lock()
+		r.cond.Broadcast()
+		r.mu.Unlock()
+	}
+}

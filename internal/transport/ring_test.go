@@ -1,0 +1,160 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRingFIFOAndCapacity(t *testing.T) {
+	r := NewRing[int](4)
+	if r.Cap() != 4 {
+		t.Fatalf("Cap = %d, want 4", r.Cap())
+	}
+	for i := 0; i < 4; i++ {
+		if !r.TryPush(i) {
+			t.Fatalf("TryPush(%d) failed on non-full ring", i)
+		}
+	}
+	if r.TryPush(99) {
+		t.Fatal("TryPush succeeded on a full ring")
+	}
+	if got := r.Len(); got != 4 {
+		t.Fatalf("Len = %d, want 4", got)
+	}
+	for i := 0; i < 4; i++ {
+		v, ok := r.TryPop()
+		if !ok || v != i {
+			t.Fatalf("TryPop = %d,%v, want %d,true", v, ok, i)
+		}
+	}
+	if _, ok := r.TryPop(); ok {
+		t.Fatal("TryPop succeeded on an empty ring")
+	}
+}
+
+func TestRingSizeRoundsUpToPowerOfTwo(t *testing.T) {
+	if got := NewRing[int](5).Cap(); got != 8 {
+		t.Fatalf("Cap(5) = %d, want 8", got)
+	}
+	if got := NewRing[int](0).Cap(); got != 256 {
+		t.Fatalf("Cap(0) = %d, want the 256 default", got)
+	}
+}
+
+func TestRingCloseDrainsBufferedItems(t *testing.T) {
+	r := NewRing[int](8)
+	for i := 0; i < 3; i++ {
+		r.TryPush(i)
+	}
+	r.Close()
+	if r.TryPush(42) {
+		t.Fatal("TryPush succeeded after Close")
+	}
+	if r.Push(42) {
+		t.Fatal("Push succeeded after Close")
+	}
+	// Everything enqueued before Close must still pop, in order.
+	for i := 0; i < 3; i++ {
+		v, ok := r.Pop()
+		if !ok || v != i {
+			t.Fatalf("Pop after close = %d,%v, want %d,true", v, ok, i)
+		}
+	}
+	if _, ok := r.Pop(); ok {
+		t.Fatal("Pop reported an item on a closed empty ring")
+	}
+}
+
+func TestRingPopUnblocksOnClose(t *testing.T) {
+	r := NewRing[int](8)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, ok := r.Pop(); ok {
+			t.Error("Pop returned an item from an empty closed ring")
+		}
+	}()
+	r.Close()
+	<-done
+}
+
+func TestRingPushUnblocksOnClose(t *testing.T) {
+	r := NewRing[int](1)
+	r.TryPush(0)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if r.Push(1) {
+			t.Error("Push into a full ring succeeded after Close")
+		}
+	}()
+	r.Close()
+	<-done
+}
+
+// TestRingSPSCStress hammers one producer against one consumer through a
+// deliberately tiny ring so both the full-spin/park and empty-spin/park
+// paths run many times. Under -race this is the memory-model check: every
+// popped value must arrive intact and in order.
+func TestRingSPSCStress(t *testing.T) {
+	const total = 200_000
+	r := NewRing[int](4)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < total; i++ {
+			if !r.Push(i) {
+				t.Error("Push failed mid-stream")
+				return
+			}
+		}
+		r.Close()
+	}()
+	for i := 0; ; i++ {
+		v, ok := r.Pop()
+		if !ok {
+			if i != total {
+				t.Fatalf("consumer saw %d items, want %d", i, total)
+			}
+			break
+		}
+		if v != i {
+			t.Fatalf("out of order: got %d at position %d", v, i)
+		}
+	}
+	wg.Wait()
+}
+
+// TestRingCarriesFrames moves pooled frames producer→consumer: the consumer
+// releases every frame it pops, and slots are zeroed behind it, so under the
+// framecheck build tag every GetFrame is balanced by exactly one Release.
+func TestRingCarriesFrames(t *testing.T) {
+	const total = 1000
+	r := NewRing[*Frame](8)
+	done := make(chan int)
+	go func() {
+		n := 0
+		for {
+			f, ok := r.Pop()
+			if !ok {
+				done <- n
+				return
+			}
+			n += len(f.Buf)
+			f.Release()
+		}
+	}()
+	for i := 0; i < total; i++ {
+		f := GetFrame()
+		f.Buf = append(f.Buf, byte(i))
+		//oar:frame-handoff — consumer goroutine releases after Pop.
+		if !r.Push(f) {
+			t.Fatal("Push failed")
+		}
+	}
+	r.Close()
+	if n := <-done; n != total {
+		t.Fatalf("consumer saw %d bytes, want %d", n, total)
+	}
+}

@@ -1,0 +1,160 @@
+package tune
+
+import (
+	"testing"
+	"time"
+)
+
+// drive feeds the controller a synthetic load: frames at the given
+// per-second message rate and messages-per-frame, over the given duration,
+// advancing a virtual clock — the control law sees only the timestamps it is
+// handed, so tests are fully deterministic.
+func drive(c *Controller, start time.Time, dur time.Duration, msgsPerSec float64, perFrame int, hold time.Duration) time.Time {
+	if perFrame <= 0 {
+		perFrame = 1
+	}
+	framesPerSec := msgsPerSec / float64(perFrame)
+	if framesPerSec <= 0 {
+		// No traffic: just let time pass (Observe is never called, like a
+		// truly idle batcher).
+		return start.Add(dur)
+	}
+	gap := time.Duration(float64(time.Second) / framesPerSec)
+	end := start.Add(dur)
+	for now := start; now.Before(end); now = now.Add(gap) {
+		c.Observe(now, perFrame, hold)
+	}
+	return end
+}
+
+func TestWindowStartsAtLatencyFloor(t *testing.T) {
+	c := New(Config{})
+	if w := c.Window(); w != 0 {
+		t.Fatalf("initial window = %v, want 0 (flush immediately until load appears)", w)
+	}
+}
+
+func TestUnderCoalescedLoadGrowsWindow(t *testing.T) {
+	c := New(Config{})
+	start := time.Unix(1000, 0)
+	// 50k msgs/s at 2 messages per frame: loaded, coalescing responds to the
+	// hold (pairs share a frame), but frames carry far less than the target.
+	// The controller should grow the window additively.
+	drive(c, start, 200*time.Millisecond, 50_000, 2, 0)
+	if w := c.Window(); w <= 0 {
+		t.Fatalf("window = %v after sustained under-coalesced load, want > 0", w)
+	}
+	if w := c.Window(); w > DefaultMaxWindow {
+		t.Fatalf("window = %v exceeds the %v ceiling", w, DefaultMaxWindow)
+	}
+}
+
+func TestFailedProbeCollapsesWindow(t *testing.T) {
+	c := New(Config{})
+	start := time.Unix(1000, 0)
+	// 50k msgs/s but stuck at 1 message per frame even with the window open:
+	// the arrivals serialize behind the held frames (a closed-loop client),
+	// so holding cannot improve coalescing. The controller may probe — one
+	// additive step — but must collapse each failed probe back to zero,
+	// never ratcheting toward MaxWindow.
+	step := DefaultMaxWindow / 16
+	for i := 0; i < 100; i++ {
+		drive(c, start.Add(time.Duration(i)*10*time.Millisecond), 10*time.Millisecond, 50_000, 1, 0)
+		if w := c.Window(); w > step {
+			t.Fatalf("window = %v after %d intervals of non-paying holds, want <= one step (%v)", w, i+1, step)
+		}
+	}
+}
+
+func TestIdleReturnsToLatencyFloor(t *testing.T) {
+	c := New(Config{})
+	start := time.Unix(1000, 0)
+	now := drive(c, start, 200*time.Millisecond, 50_000, 2, 0)
+	if c.Window() == 0 {
+		t.Fatal("precondition: load should have opened the window")
+	}
+	// Traffic collapses to a trickle: a handful of single-message frames.
+	// Multiplicative decrease must bring the window back to exactly 0.
+	drive(c, now, 500*time.Millisecond, 40, 1, 0)
+	if w := c.Window(); w != 0 {
+		t.Fatalf("window = %v after going idle, want 0 (latency floor)", w)
+	}
+}
+
+func TestSaturatedWellCoalescedHoldsSteady(t *testing.T) {
+	c := New(Config{})
+	start := time.Unix(1000, 0)
+	// Saturation where round formation already coalesces 4x the target:
+	// the window must stay at 0 — the static optimum under saturation.
+	drive(c, start, 300*time.Millisecond, 200_000, 4*DefaultTargetBatch, 0)
+	if w := c.Window(); w != 0 {
+		t.Fatalf("window = %v under already-coalesced saturation, want 0", w)
+	}
+}
+
+func TestHoldTailOverBudgetBacksOff(t *testing.T) {
+	c := New(Config{MaxWindow: 2 * time.Millisecond, LatencyBudget: time.Millisecond})
+	start := time.Unix(1000, 0)
+	now := drive(c, start, 200*time.Millisecond, 50_000, 2, 0)
+	grown := c.Window()
+	if grown <= 0 {
+		t.Fatal("precondition: load should have opened the window")
+	}
+	// Same load, but holds now blow the budget (e.g. the flushing tick is
+	// arriving late): the controller must back off multiplicatively.
+	drive(c, now, 100*time.Millisecond, 50_000, 2, 4*time.Millisecond)
+	if w := c.Window(); w >= grown {
+		t.Fatalf("window = %v did not shrink from %v despite hold p99 over budget", w, grown)
+	}
+}
+
+func TestWindowIsCappedAtMaxWindow(t *testing.T) {
+	maxW := 500 * time.Microsecond
+	c := New(Config{MaxWindow: maxW, LatencyBudget: time.Hour})
+	start := time.Unix(1000, 0)
+	drive(c, start, time.Second, 100_000, 2, 0)
+	if w := c.Window(); w > maxW {
+		t.Fatalf("window = %v exceeds MaxWindow %v", w, maxW)
+	}
+	if w := c.Window(); w != maxW {
+		t.Fatalf("window = %v, want pinned at MaxWindow %v under endless under-coalesced load", w, maxW)
+	}
+}
+
+func TestSnapshotCounts(t *testing.T) {
+	c := New(Config{})
+	start := time.Unix(1000, 0)
+	c.Observe(start, 3, 0)
+	c.Observe(start.Add(time.Millisecond), 5, time.Microsecond)
+	s := c.Snapshot()
+	if s.Frames != 2 || s.Msgs != 8 {
+		t.Fatalf("snapshot = %+v, want Frames=2 Msgs=8", s)
+	}
+	drive(c, start.Add(2*time.Millisecond), 100*time.Millisecond, 10_000, 2, 0)
+	if s := c.Snapshot(); s.Decisions == 0 {
+		t.Fatalf("snapshot = %+v, want completed control periods", s)
+	}
+}
+
+func TestZeroAndNegativeObservationsIgnored(t *testing.T) {
+	c := New(Config{})
+	c.Observe(time.Unix(1000, 0), 0, 0)
+	c.Observe(time.Unix(1001, 0), -1, 0)
+	if s := c.Snapshot(); s.Frames != 0 || s.Msgs != 0 {
+		t.Fatalf("empty observations were counted: %+v", s)
+	}
+}
+
+func TestHoldP99UpperBound(t *testing.T) {
+	c := New(Config{})
+	now := time.Unix(1000, 0)
+	// 99 fast holds and 1 slow one: p99 must not be dominated by the single
+	// outlier (it is allowed to sit above it only once >1% of samples do).
+	for i := 0; i < 99; i++ {
+		c.Observe(now, 1, 10*time.Microsecond)
+	}
+	c.Observe(now, 1, 50*time.Millisecond)
+	if p := c.holdP99(); p > 32*time.Microsecond {
+		t.Fatalf("holdP99 = %v, want the bulk bucket (<=32µs), not the outlier", p)
+	}
+}

@@ -2,7 +2,10 @@ package oar
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"net"
+	"net/http"
 	"time"
 
 	"repro/internal/app"
@@ -101,6 +104,15 @@ type ClusterOptions struct {
 	// MaxBatch caps requests per ordering message (0 = a generous default;
 	// 1 = one ordering message per request, the unbatched behavior).
 	MaxBatch int
+	// AutoTune replaces the static send-side hold with a closed-loop
+	// controller that continuously adjusts the effective batch window
+	// between a latency floor (idle: flush immediately) and a throughput
+	// ceiling. Requires batching (BatchWindow >= 0).
+	AutoTune bool
+	// Pipeline runs each replica's event loop as decode → order → send
+	// stages on separate goroutines connected by lock-free rings, so a
+	// replica can use several cores. Protocol semantics are unchanged.
+	Pipeline bool
 }
 
 // Cluster is an in-process replica group, for embedding a replicated
@@ -126,6 +138,8 @@ func NewCluster(opts ClusterOptions) (*Cluster, error) {
 		EpochRequestLimit: opts.EpochRequestLimit,
 		BatchWindow:       opts.BatchWindow,
 		MaxBatch:          opts.MaxBatch,
+		AutoTune:          opts.AutoTune,
+		Pipeline:          opts.Pipeline,
 		Net: memnet.Options{
 			MinDelay: opts.NetworkDelay,
 			MaxDelay: opts.NetworkDelay,
@@ -211,6 +225,15 @@ type Stats struct {
 	// BatchedMessages counts the kind-tagged messages carried inside
 	// proto.Batch envelopes (the coalesced share of the traffic).
 	BatchedMessages uint64
+	// BatchFrames counts the frames the replicas' send batchers shipped and
+	// BatchedSends the protocol messages those frames carried — their ratio
+	// is the server-side coalescing factor (messages per frame).
+	BatchFrames  uint64
+	BatchedSends uint64
+	// EffectiveBatchWindow is the send-side hold window in effect at
+	// snapshot time: the AutoTune controller's current output (maximum
+	// across replicas), or the static BatchWindow.
+	EffectiveBatchWindow time.Duration
 	// Latency summarizes the response times of every invocation made through
 	// the cluster's clients, aggregated over all shards. Every client the
 	// cluster hands out is measured unconditionally (recording is one
@@ -224,15 +247,18 @@ func (c *Cluster) Stats() Stats {
 	s := c.inner.TotalStats()
 	n := c.inner.NetTotal()
 	return Stats{
-		Delivered:       s.Delivered,
-		OptDelivered:    s.OptDelivered,
-		OptUndelivered:  s.OptUndelivered,
-		ADelivered:      s.ADelivered,
-		Epochs:          s.Epochs,
-		SeqOrdersSent:   s.SeqOrdersSent,
-		FramesSent:      n.MessagesSent,
-		BatchedMessages: n.BatchedMessages,
-		Latency:         toLatencyStats(c.inner.Latency()),
+		Delivered:            s.Delivered,
+		OptDelivered:         s.OptDelivered,
+		OptUndelivered:       s.OptUndelivered,
+		ADelivered:           s.ADelivered,
+		Epochs:               s.Epochs,
+		SeqOrdersSent:        s.SeqOrdersSent,
+		FramesSent:           n.MessagesSent,
+		BatchedMessages:      n.BatchedMessages,
+		BatchFrames:          s.BatchFrames,
+		BatchedSends:         s.BatchedSends,
+		EffectiveBatchWindow: time.Duration(s.BatchWindowNS),
+		Latency:              toLatencyStats(c.inner.Latency()),
 	}
 }
 
@@ -269,6 +295,43 @@ type ServerOptions struct {
 	// BatchWindow and MaxBatch as in ClusterOptions.
 	BatchWindow time.Duration
 	MaxBatch    int
+	// AutoTune and Pipeline as in ClusterOptions.
+	AutoTune bool
+	Pipeline bool
+	// StatsAddr, when non-empty, serves this replica's counters as JSON
+	// over HTTP at GET /stats on that address (see ServerReport) — the hook
+	// load generators use to report server-observed coalescing.
+	StatsAddr string
+}
+
+// ServerReport is the JSON document a replica's stats endpoint serves:
+// protocol counters, the send batcher's coalescing counters, and the wire
+// traffic the TCP endpoint moved.
+type ServerReport struct {
+	// Delivered counts definitive command deliveries (rollbacks deducted).
+	Delivered uint64 `json:"delivered"`
+	// OptDelivered / OptUndelivered / ADelivered / Epochs are the OAR phase
+	// counters.
+	OptDelivered   uint64 `json:"opt_delivered"`
+	OptUndelivered uint64 `json:"opt_undelivered"`
+	ADelivered     uint64 `json:"a_delivered"`
+	Epochs         uint64 `json:"epochs"`
+	// SeqOrdersSent counts sequencer ordering messages.
+	SeqOrdersSent uint64 `json:"seq_orders_sent"`
+	// BatchFrames counts frames the send batcher shipped; BatchedSends the
+	// protocol messages they carried (their ratio is messages per frame).
+	BatchFrames  uint64 `json:"batch_frames"`
+	BatchedSends uint64 `json:"batched_sends"`
+	// BatchWindowNS is the effective send-side hold window in nanoseconds
+	// at snapshot time (the AutoTune controller's output, or the static
+	// window).
+	BatchWindowNS int64 `json:"batch_window_ns"`
+	// FramesSent/FramesReceived/BytesSent/BytesReceived are the TCP
+	// endpoint's wire counters.
+	FramesSent     uint64 `json:"frames_sent"`
+	FramesReceived uint64 `json:"frames_received"`
+	BytesSent      uint64 `json:"bytes_sent"`
+	BytesReceived  uint64 `json:"bytes_received"`
 }
 
 // ListenAndServe runs one OAR replica over TCP until ctx is cancelled.
@@ -320,9 +383,41 @@ func ListenAndServe(ctx context.Context, opts ServerOptions) error {
 		EpochRequestLimit: opts.EpochRequestLimit,
 		BatchWindow:       opts.BatchWindow,
 		MaxBatch:          opts.MaxBatch,
+		AutoTune:          opts.AutoTune,
+		Pipeline:          opts.Pipeline,
 	})
 	if err != nil {
 		return err
+	}
+	if opts.StatsAddr != "" {
+		ln, err := net.Listen("tcp", opts.StatsAddr)
+		if err != nil {
+			return fmt.Errorf("oar: stats listener: %w", err)
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
+			s := srv.Stats()
+			ns := node.Stats()
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(ServerReport{
+				Delivered:      s.OptDelivered + s.ADelivered - s.OptUndelivered,
+				OptDelivered:   s.OptDelivered,
+				OptUndelivered: s.OptUndelivered,
+				ADelivered:     s.ADelivered,
+				Epochs:         s.Epochs,
+				SeqOrdersSent:  s.SeqOrdersSent,
+				BatchFrames:    s.BatchFrames,
+				BatchedSends:   s.BatchedMsgs,
+				BatchWindowNS:  int64(s.BatchWindow),
+				FramesSent:     ns.FramesSent,
+				FramesReceived: ns.FramesReceived,
+				BytesSent:      ns.BytesSent,
+				BytesReceived:  ns.BytesReceived,
+			})
+		})
+		statsSrv := &http.Server{Handler: mux}
+		go func() { _ = statsSrv.Serve(ln) }()
+		defer statsSrv.Close()
 	}
 	err = srv.Run(ctx)
 	if err == context.Canceled {
