@@ -70,7 +70,7 @@ var _ backend.Replica = oarReplica{}
 func (r oarReplica) Stats() backend.Stats {
 	s := r.Server.Stats()
 	return backend.Stats{
-		Delivered:      s.OptDelivered + s.ADelivered - s.OptUndelivered,
+		Delivered:      s.Delivered(),
 		OptDelivered:   s.OptDelivered,
 		OptUndelivered: s.OptUndelivered,
 		ADelivered:     s.ADelivered,

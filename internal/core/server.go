@@ -129,6 +129,20 @@ type ServerStats struct {
 	BatchWindow time.Duration
 }
 
+// Delivered is the net delivery count: optimistic plus conservative
+// deliveries minus rollbacks. The three counters are independently-updated
+// atomics, so a concurrent snapshot can land between related increments and
+// transiently violate OptDelivered+ADelivered >= OptUndelivered; the sum is
+// therefore computed signed and clamped at zero rather than wrapping to a
+// near-2^64 value.
+func (s ServerStats) Delivered() uint64 {
+	d := int64(s.OptDelivered) + int64(s.ADelivered) - int64(s.OptUndelivered) //nolint:gosec // counters far below 2^63
+	if d < 0 {
+		return 0
+	}
+	return uint64(d)
+}
+
 // Accumulate adds other's counters to s (used to aggregate replicas and
 // shards). BatchWindow, a gauge, aggregates as the maximum.
 func (s *ServerStats) Accumulate(other ServerStats) {

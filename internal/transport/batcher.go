@@ -31,7 +31,10 @@ type BatcherOptions struct {
 	// MaxBatch, when positive, caps messages per envelope: a destination
 	// reaching it ships immediately from Add, without waiting for Flush.
 	// MaxBatch=1 degenerates to the unbatched wire (every message ships as
-	// a bare frame the moment it is added).
+	// a bare frame the moment it is added). When a hold is configured
+	// (Window or Tuner) and MaxBatch is zero, DefaultMaxBatch applies so a
+	// held envelope cannot grow past the transport frame limit; negative
+	// disables the cap explicitly.
 	MaxBatch int
 	// Tuner, when non-nil, overrides Window with a closed-loop controller:
 	// the effective window is Tuner.Window() at each Flush, and every
@@ -52,6 +55,14 @@ type sendBuf struct {
 // sendBufMaxIdle caps the capacity a reusable send buffer may retain after a
 // flush, so one exceptional burst does not pin memory forever.
 const sendBufMaxIdle = 64 << 10
+
+// DefaultMaxBatch is the envelope cap a holding batcher (Window or Tuner set)
+// falls back to when the owner left MaxBatch at zero. A hold bounds an
+// envelope only in time, not in size, so without a cap a saturated sender
+// could grow one past the transport frame limit (tcpnet rejects such frames
+// whole, silently dropping every coalesced message in them). Matches the OAR
+// server's default ordering batch size.
+const DefaultMaxBatch = 512
 
 // Batcher coalesces the sends of one batching round per destination, tagging
 // every envelope with the owning ordering group. Every protocol's hot path —
@@ -96,6 +107,11 @@ func NewBatcher(node Node, group proto.GroupID) *Batcher {
 // NewBatcherWith creates a batcher with explicit hold-window / batch-size
 // options.
 func NewBatcherWith(node Node, group proto.GroupID, opts BatcherOptions) *Batcher {
+	if (opts.Window > 0 || opts.Tuner != nil) && opts.MaxBatch == 0 {
+		// A hold without a size cap could grow an envelope past the frame
+		// limit; see DefaultMaxBatch.
+		opts.MaxBatch = DefaultMaxBatch
+	}
 	b := &Batcher{
 		node:   node,
 		header: proto.AppendHeader(nil, proto.KindBatch, group),

@@ -30,14 +30,17 @@ type Ring[T any] struct {
 	tail   atomic.Uint64 // next slot to push; written only by the producer
 	closed atomic.Bool
 
-	// Parking: a blocked side sets waiting, re-checks under mu, then waits.
-	// The peer re-reads waiting after its atomic head/tail store (both
-	// seq-cst, so the flag store and the re-check cannot both miss) and
+	// Parking: a blocked side sets its own flag, re-checks under mu, then
+	// waits. The peer re-reads that flag after its atomic head/tail store
+	// (both seq-cst, so the flag store and the re-check cannot both miss) and
 	// broadcasts under mu — the Dekker pattern that makes lost wakeups
-	// impossible.
-	mu      sync.Mutex
-	cond    *sync.Cond
-	waiting atomic.Bool
+	// impossible. The flags are per-side: each park touches only its own, so
+	// a producer leaving park can never clear a consumer's claim (or vice
+	// versa) and suppress its wakeup.
+	mu          sync.Mutex
+	cond        *sync.Cond
+	prodWaiting atomic.Bool // producer parked in Push (ring full)
+	consWaiting atomic.Bool // consumer parked in Pop (ring empty)
 }
 
 // NewRing creates a ring holding at least size items (rounded up to a power
@@ -77,7 +80,7 @@ func (r *Ring[T]) TryPush(v T) bool {
 	// the consuming stage (Pop zeroes the slot).
 	r.buf[t&r.mask] = v
 	r.tail.Store(t + 1)
-	r.wake()
+	r.wake(&r.consWaiting)
 	return true
 }
 
@@ -97,7 +100,7 @@ func (r *Ring[T]) Push(v T) bool {
 			runtime.Gosched()
 			continue
 		}
-		r.park(func() bool {
+		r.park(&r.prodWaiting, func() bool {
 			return r.tail.Load()-r.head.Load() < uint64(len(r.buf)) || r.closed.Load()
 		})
 		spin = 0
@@ -114,7 +117,7 @@ func (r *Ring[T]) TryPop() (T, bool) {
 	v := r.buf[h&r.mask]
 	r.buf[h&r.mask] = zero // release the slot's references with it
 	r.head.Store(h + 1)
-	r.wake()
+	r.wake(&r.prodWaiting)
 	return v, true
 }
 
@@ -139,7 +142,7 @@ func (r *Ring[T]) Pop() (T, bool) {
 			runtime.Gosched()
 			continue
 		}
-		r.park(func() bool {
+		r.park(&r.consWaiting, func() bool {
 			return r.tail.Load() != r.head.Load() || r.closed.Load()
 		})
 		spin = 0
@@ -155,22 +158,25 @@ func (r *Ring[T]) Close() {
 	r.mu.Unlock()
 }
 
-// park blocks until ready() holds. ready must be safe to call under mu.
-func (r *Ring[T]) park(ready func() bool) {
+// park blocks until ready() holds, claiming the caller's own waiting flag
+// (prodWaiting for Push, consWaiting for Pop). ready must be safe to call
+// under mu.
+func (r *Ring[T]) park(waiting *atomic.Bool, ready func() bool) {
 	r.mu.Lock()
-	r.waiting.Store(true)
+	waiting.Store(true)
 	for !ready() {
 		r.cond.Wait()
 	}
-	r.waiting.Store(false)
+	waiting.Store(false)
 	r.mu.Unlock()
 }
 
-// wake unblocks a parked peer, if any. Called after the head/tail store so
-// the seq-cst total order guarantees either the peer's re-check sees the
+// wake unblocks the peer if it is parked on the given flag (the consumer's
+// after a push, the producer's after a pop). Called after the head/tail store
+// so the seq-cst total order guarantees either the peer's re-check sees the
 // store or this load sees the peer's waiting flag.
-func (r *Ring[T]) wake() {
-	if r.waiting.Load() {
+func (r *Ring[T]) wake(waiting *atomic.Bool) {
+	if waiting.Load() {
 		r.mu.Lock()
 		r.cond.Broadcast()
 		r.mu.Unlock()

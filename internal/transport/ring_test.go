@@ -3,6 +3,7 @@ package transport
 import (
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestRingFIFOAndCapacity(t *testing.T) {
@@ -124,6 +125,54 @@ func TestRingSPSCStress(t *testing.T) {
 		}
 	}
 	wg.Wait()
+}
+
+// TestRingParkFlagIsolation is the lost-wakeup regression test for the
+// parking flags: through a capacity-1 ring both sides alternate between full
+// and empty, so producer and consumer park constantly and often in quick
+// succession. With a single shared waiting flag, a producer leaving park
+// right after the consumer parked would clear the consumer's wakeup claim,
+// every later wake() would skip its broadcast, and both sides would sleep
+// forever. The per-side flags make that impossible; the watchdog turns a
+// regression into a fast failure instead of a hung suite.
+func TestRingParkFlagIsolation(t *testing.T) {
+	const total = 100_000
+	r := NewRing[int](1)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < total; i++ {
+				if !r.Push(i) {
+					t.Error("Push failed mid-stream")
+					return
+				}
+			}
+			r.Close()
+		}()
+		for i := 0; ; i++ {
+			v, ok := r.Pop()
+			if !ok {
+				if i != total {
+					t.Errorf("consumer saw %d items, want %d", i, total)
+				}
+				break
+			}
+			if v != i {
+				t.Errorf("out of order: got %d at position %d", v, i)
+				break
+			}
+		}
+		wg.Wait()
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("ring deadlocked: both stages parked with no wakeup pending")
+	}
 }
 
 // TestRingCarriesFrames moves pooled frames producer→consumer: the consumer

@@ -400,7 +400,7 @@ func ListenAndServe(ctx context.Context, opts ServerOptions) error {
 			ns := node.Stats()
 			w.Header().Set("Content-Type", "application/json")
 			_ = json.NewEncoder(w).Encode(ServerReport{
-				Delivered:      s.OptDelivered + s.ADelivered - s.OptUndelivered,
+				Delivered:      s.Delivered(),
 				OptDelivered:   s.OptDelivered,
 				OptUndelivered: s.OptUndelivered,
 				ADelivered:     s.ADelivered,
