@@ -111,7 +111,7 @@ func run() int {
 		protoList   = flag.String("protocol", "", "comma-separated ordering backends for the E2/E5/E10/E11 sweeps (default: "+strings.Join(backend.Names(), ",")+")")
 		workloadSel = flag.String("workload", "", "restrict E11's loop disciplines: closed or open (default: both)")
 		distSel     = flag.String("dist", "", "restrict E11's key distributions: uniform or zipfian (default: both)")
-		readRatio   = flag.Float64("rw", 0.5, "E11's read fraction in [0,1] (0 = all writes)")
+		readRatio   = flag.Float64("rw", 0.5, "read fraction in [0,1]: E11's mix, and E13's ratio sweep override when set off the 0.5 default (0 = all writes)")
 		jsonPath    = flag.String("json", "", "write machine-readable per-experiment results to this path")
 		requireLat  = flag.Bool("require-latency", false, "fail unless the selected experiments emitted complete latency samples (the CI schema gate)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the selected experiments to this path")
@@ -185,6 +185,7 @@ func run() int {
 		{"E10", experiments.E10BackendMatrix},
 		{"E11", experiments.E11WorkloadMatrix},
 		{"E12", experiments.E12AdaptiveBatching},
+		{"E13", experiments.E13ReadFastPath},
 		{"A1", experiments.A1RelayStrategy},
 		{"A2", experiments.A2UndoThriftiness},
 	}

@@ -103,44 +103,90 @@ func run() int {
 		return 2
 	}
 
-	keys := make([]string, 0, len(oldCells))
+	d := diff(oldCells, newCells, *tolThru, *tolP99)
+	fmt.Print(metrics.Table([]string{"cell", "req/s", "Δthru", "p99", "Δp99", "verdict"}, d.rows))
+	fmt.Printf("\n%d cells compared (%d missing, %d new), tolerance: throughput -%.0f%%, p99 +%.0f%%\n",
+		d.compared, d.missing, d.newOnly, 100**tolThru, 100**tolP99)
+
+	if d.regressions > 0 {
+		fmt.Fprintf(os.Stderr, "oar-benchdiff: %d cell(s) regressed beyond tolerance\n", d.regressions)
+		return 1
+	}
+	if d.missing > 0 && !*allowMissing {
+		fmt.Fprintf(os.Stderr, "oar-benchdiff: %d baseline cell(s) missing from the candidate run\n", d.missing)
+		return 1
+	}
+	if d.compared == 0 {
+		fmt.Fprintln(os.Stderr, "oar-benchdiff: no overlapping cells between the two runs")
+		return 1
+	}
+	fmt.Println("oar-benchdiff: ok")
+	return 0
+}
+
+// diffResult is the outcome of one comparison: the printable rows plus the
+// counts the exit code is decided on.
+type diffResult struct {
+	rows        [][]string
+	regressions int
+	missing     int // baseline cells absent from the candidate
+	newOnly     int // candidate cells absent from the baseline
+	compared    int
+}
+
+// diff compares the two cell maps. Cells only in the baseline are reported
+// as "missing" (fatal only with -allow-missing=false); cells only in the
+// candidate — a freshly added experiment whose baseline hasn't been
+// regenerated yet — are logged and skipped, never failed: a new measurement
+// cannot regress against a number that was never taken.
+func diff(oldCells, newCells map[string]experiments.LatencySample, tolThru, tolP99 float64) diffResult {
+	keys := make([]string, 0, len(oldCells)+len(newCells))
 	for k := range oldCells {
 		keys = append(keys, k)
 	}
+	for k := range newCells {
+		if _, ok := oldCells[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
 	sort.Strings(keys)
 
-	var rows [][]string
-	regressions, missing, compared := 0, 0, 0
+	var d diffResult
 	for _, k := range keys {
-		o := oldCells[k]
-		n, ok := newCells[k]
-		if !ok {
-			missing++
-			rows = append(rows, []string{k, "-", "-", "-", "-", "missing"})
+		o, inOld := oldCells[k]
+		n, inNew := newCells[k]
+		if !inNew {
+			d.missing++
+			d.rows = append(d.rows, []string{k, "-", "-", "-", "-", "missing"})
 			continue
 		}
-		compared++
+		if !inOld {
+			d.newOnly++
+			d.rows = append(d.rows, []string{k, "-", "-", "-", "-", "new (no baseline, skipped)"})
+			continue
+		}
+		d.compared++
 		verdicts := []string{}
 		thru := "-"
 		if o.ReqPerSec > 0 && n.ReqPerSec > 0 {
 			thru = fmt.Sprintf("%+.0f%%", 100*(n.ReqPerSec/o.ReqPerSec-1))
-			if n.ReqPerSec < o.ReqPerSec*(1-*tolThru) {
+			if n.ReqPerSec < o.ReqPerSec*(1-tolThru) {
 				verdicts = append(verdicts, "THROUGHPUT")
 			}
 		}
 		p99 := "-"
 		if o.P99NS > 0 && n.P99NS > 0 {
 			p99 = fmt.Sprintf("%+.0f%%", 100*(float64(n.P99NS)/float64(o.P99NS)-1))
-			if float64(n.P99NS) > float64(o.P99NS)*(1+*tolP99) {
+			if float64(n.P99NS) > float64(o.P99NS)*(1+tolP99) {
 				verdicts = append(verdicts, "P99")
 			}
 		}
 		verdict := "ok"
 		if len(verdicts) > 0 {
-			regressions++
+			d.regressions++
 			verdict = "REGRESSED: " + strings.Join(verdicts, "+")
 		}
-		rows = append(rows, []string{
+		d.rows = append(d.rows, []string{
 			k,
 			fmt.Sprintf("%.0f→%.0f", o.ReqPerSec, n.ReqPerSec),
 			thru,
@@ -151,22 +197,5 @@ func run() int {
 			verdict,
 		})
 	}
-	fmt.Print(metrics.Table([]string{"cell", "req/s", "Δthru", "p99", "Δp99", "verdict"}, rows))
-	fmt.Printf("\n%d cells compared (%d missing), tolerance: throughput -%.0f%%, p99 +%.0f%%\n",
-		compared, missing, 100**tolThru, 100**tolP99)
-
-	if regressions > 0 {
-		fmt.Fprintf(os.Stderr, "oar-benchdiff: %d cell(s) regressed beyond tolerance\n", regressions)
-		return 1
-	}
-	if missing > 0 && !*allowMissing {
-		fmt.Fprintf(os.Stderr, "oar-benchdiff: %d baseline cell(s) missing from the candidate run\n", missing)
-		return 1
-	}
-	if compared == 0 {
-		fmt.Fprintln(os.Stderr, "oar-benchdiff: no overlapping cells between the two runs")
-		return 1
-	}
-	fmt.Println("oar-benchdiff: ok")
-	return 0
+	return d
 }

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func sample(reqPerSec float64, p99 int64) experiments.LatencySample {
+	return experiments.LatencySample{ReqPerSec: reqPerSec, P99NS: p99}
+}
+
+// rowVerdict finds the row for cell k and returns its verdict column.
+func rowVerdict(t *testing.T, rows [][]string, k string) string {
+	t.Helper()
+	for _, r := range rows {
+		if r[0] == k {
+			return r[len(r)-1]
+		}
+	}
+	t.Fatalf("no row for cell %q", k)
+	return ""
+}
+
+// TestDiffAsymmetricCells: the baseline has A+B, the candidate has B+C — the
+// asymmetric case a freshly added experiment produces before its baseline is
+// regenerated. A is missing (governed by -allow-missing), C is logged and
+// skipped without ever counting as a regression, B is compared normally.
+func TestDiffAsymmetricCells(t *testing.T) {
+	oldCells := map[string]experiments.LatencySample{
+		"E1{dist=uniform}": sample(1000, 100_000),
+		"E2{dist=uniform}": sample(2000, 200_000),
+	}
+	newCells := map[string]experiments.LatencySample{
+		"E2{dist=uniform}": sample(2100, 190_000),
+		"E13{path=read}":   sample(5000, 50_000),
+		"E13{path=write}":  sample(3000, 150_000),
+	}
+	d := diff(oldCells, newCells, 0.5, 1.0)
+	if d.compared != 1 {
+		t.Fatalf("compared = %d, want 1", d.compared)
+	}
+	if d.missing != 1 {
+		t.Fatalf("missing = %d, want 1", d.missing)
+	}
+	if d.newOnly != 2 {
+		t.Fatalf("newOnly = %d, want 2", d.newOnly)
+	}
+	if d.regressions != 0 {
+		t.Fatalf("regressions = %d, want 0: new-only cells must never fail", d.regressions)
+	}
+	if len(d.rows) != 4 {
+		t.Fatalf("rows = %d, want 4 (every cell from either run is logged)", len(d.rows))
+	}
+	if v := rowVerdict(t, d.rows, "E1{dist=uniform}"); v != "missing" {
+		t.Fatalf("baseline-only verdict = %q, want %q", v, "missing")
+	}
+	if v := rowVerdict(t, d.rows, "E13{path=read}"); !strings.Contains(v, "new") || !strings.Contains(v, "skipped") {
+		t.Fatalf("candidate-only verdict = %q, want a new/skipped marker", v)
+	}
+	if v := rowVerdict(t, d.rows, "E2{dist=uniform}"); v != "ok" {
+		t.Fatalf("shared-cell verdict = %q, want %q", v, "ok")
+	}
+}
+
+// TestDiffRegressionStillDetected: adding new-only handling must not loosen
+// the gate on cells that do overlap.
+func TestDiffRegressionStillDetected(t *testing.T) {
+	oldCells := map[string]experiments.LatencySample{
+		"E1{}": sample(1000, 100_000),
+		"E2{}": sample(1000, 100_000),
+	}
+	newCells := map[string]experiments.LatencySample{
+		"E1{}": sample(400, 100_000),  // throughput -60% > 50% tolerance
+		"E2{}": sample(1000, 250_000), // p99 +150% > 100% tolerance
+		"E3{}": sample(1, 1_000_000_000),
+	}
+	d := diff(oldCells, newCells, 0.5, 1.0)
+	if d.regressions != 2 {
+		t.Fatalf("regressions = %d, want 2", d.regressions)
+	}
+	if d.newOnly != 1 {
+		t.Fatalf("newOnly = %d, want 1", d.newOnly)
+	}
+	if v := rowVerdict(t, d.rows, "E1{}"); !strings.Contains(v, "THROUGHPUT") {
+		t.Fatalf("E1 verdict = %q, want THROUGHPUT regression", v)
+	}
+	if v := rowVerdict(t, d.rows, "E2{}"); !strings.Contains(v, "P99") {
+		t.Fatalf("E2 verdict = %q, want P99 regression", v)
+	}
+	// The slow new-only cell never regresses: there is no baseline to lose to.
+	if v := rowVerdict(t, d.rows, "E3{}"); strings.Contains(v, "REGRESSED") {
+		t.Fatalf("new-only cell regressed: %q", v)
+	}
+}

@@ -17,6 +17,13 @@
 //
 //	oar-loadgen -servers "host1:7000,host2:7000,host3:7000;host1:7100,host2:7100,host3:7100" ...
 //
+// Reads (-rw sets the read fraction) ride the zero-ordering read fast path:
+// the client adopts a reply once a majority weight answered at a compatible
+// prefix, no ordering messages involved (DESIGN.md "Read fast path"). The
+// report splits read and write latency, prints how many read-your-writes
+// checks the workload oracle performed, and — with -stats — each server's
+// reads_served / read_fallbacks counters.
+//
 // Loop disciplines: the default is a closed loop (-workers concurrent
 // clients, next request after the previous reply). -rate R switches to an
 // open loop — requests arrive on a fixed R/s schedule and latency is
@@ -74,18 +81,24 @@ func parseGroups(servers string) ([][]string, error) {
 // jsonReport is the machine-readable form of one loadgen run (-json),
 // mirroring the latency schema of oar-bench.
 type jsonReport struct {
-	Mode       string   `json:"mode"`
-	TargetRate float64  `json:"target_rate,omitempty"`
-	Dist       string   `json:"dist"`
-	Groups     int      `json:"groups"`
-	Measured   uint64   `json:"count"`
-	ReqPerSec  float64  `json:"req_per_sec"`
-	MeanNS     int64    `json:"mean_ns"`
-	P50NS      int64    `json:"p50_ns"`
-	P90NS      int64    `json:"p90_ns"`
-	P99NS      int64    `json:"p99_ns"`
-	MaxNS      int64    `json:"max_ns"`
-	Routed     []uint64 `json:"routed"`
+	Mode       string  `json:"mode"`
+	TargetRate float64 `json:"target_rate,omitempty"`
+	Dist       string  `json:"dist"`
+	Groups     int     `json:"groups"`
+	Measured   uint64  `json:"count"`
+	ReqPerSec  float64 `json:"req_per_sec"`
+	MeanNS     int64   `json:"mean_ns"`
+	P50NS      int64   `json:"p50_ns"`
+	P90NS      int64   `json:"p90_ns"`
+	P99NS      int64   `json:"p99_ns"`
+	MaxNS      int64   `json:"max_ns"`
+	// The read split: counts and percentiles of the fast-path reads (the
+	// write-only fields above cover the ordered path).
+	MeasuredReads uint64   `json:"reads,omitempty"`
+	ReadP50NS     int64    `json:"read_p50_ns,omitempty"`
+	ReadP99NS     int64    `json:"read_p99_ns,omitempty"`
+	RYWChecked    uint64   `json:"ryw_checked,omitempty"`
+	Routed        []uint64 `json:"routed"`
 }
 
 func run() int {
@@ -100,7 +113,7 @@ func run() int {
 		warmup    = flag.Int("warmup", 0, "unmeasured leading requests (0 = requests/10, -1 = none)")
 		dist      = flag.String("dist", workload.Uniform, "key distribution: uniform or zipfian")
 		theta     = flag.Float64("theta", 0.99, "zipfian skew in (0,1)")
-		readRatio = flag.Float64("rw", 0.5, "read fraction in [0,1] (0 = all writes)")
+		readRatio = flag.Float64("rw", 0.5, "read fraction in [0,1] (0 = all writes); reads use the zero-ordering fast path and are reported separately")
 		valueSize = flag.Int("value-size", 16, "write payload bytes")
 		keys      = flag.Int("keys", 1024, "keyspace size")
 		seed      = flag.Int64("seed", 1, "workload seed (runs are reproducible per seed)")
@@ -156,15 +169,22 @@ func run() int {
 		}
 	}
 
+	// Reads ride the zero-ordering fast path (InvokeRead); writes the ordered
+	// path. The RunRW engine times the two separately and checks every read
+	// against the worker's own writes (read-your-writes oracle).
 	routedCounts := make([]atomic.Uint64, len(groups))
-	invokers := make([]workload.Invoke, *clients)
+	invokers := make([]workload.RWInvoke, *clients)
 	for i := range invokers {
 		ep := eps[i]
-		invokers[i] = func(ctx context.Context, cmd []byte) error {
+		invokers[i] = func(ctx context.Context, cmd []byte, read bool) ([]byte, error) {
 			g := router.Route(cmd)
 			routedCounts[g].Add(1)
-			_, err := ep.perGroup[g].Invoke(ctx, cmd)
-			return err
+			if read {
+				r, err := ep.perGroup[g].InvokeRead(ctx, cmd)
+				return r.Result, err
+			}
+			r, err := ep.perGroup[g].Invoke(ctx, cmd)
+			return r.Result, err
 		}
 	}
 
@@ -188,27 +208,42 @@ func run() int {
 
 	fmt.Printf("oar-loadgen: %s loop, %d workers, %d requests (+%d warmup), dist=%s rw=%.2f, %d group(s) × %d endpoint(s)\n",
 		spec.Mode(), spec.Workers, *requests, effectiveWarmup(*warmup, *requests), *dist, spec.ReadRatio, len(groups), *clients)
-	rep, err := workload.Run(ctx, spec, invokers, nil)
+	rep, err := workload.RunRW(ctx, spec, invokers, nil, nil)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "oar-loadgen: %v\n", err)
 		return 1
 	}
 
+	// The read/write split: Latency covers the ordered writes, ReadLatency
+	// the fast-path reads (see workload.Report).
 	s := rep.Latency
+	r := rep.ReadLatency
 	target := "-"
 	if *rate > 0 {
 		target = fmt.Sprintf("%.0f", *rate)
 	}
+	writes := rep.Measured - rep.MeasuredReads
 	fmt.Println()
+	fmt.Printf("%s loop (target %s/s): %.0f req/s over %d measured (%d writes, %d reads)\n",
+		rep.Spec.Mode(), target, rep.Throughput, rep.Measured, writes, rep.MeasuredReads)
+	latRows := [][]string{{
+		"write", fmt.Sprint(writes),
+		us(s.Mean), us(s.P50), us(s.P90), us(s.P99), us(s.Max),
+	}}
+	if rep.MeasuredReads > 0 {
+		latRows = append(latRows, []string{
+			"read", fmt.Sprint(rep.MeasuredReads),
+			us(r.Mean), us(r.P50), us(r.P90), us(r.P99), us(r.Max),
+		})
+	}
 	fmt.Print(metrics.Table(
-		[]string{"mode", "target/s", "req/s", "n", "mean", "p50", "p90", "p99", "max"},
-		[][]string{{
-			rep.Spec.Mode(), target,
-			fmt.Sprintf("%.0f", rep.Throughput),
-			fmt.Sprint(rep.Measured),
-			us(s.Mean), us(s.P50), us(s.P90), us(s.P99), us(s.Max),
-		}},
+		[]string{"path", "n", "mean", "p50", "p90", "p99", "max"},
+		latRows,
 	))
+	if rep.MeasuredReads > 0 && s.P50 > 0 {
+		fmt.Printf("read-your-writes checks: %d, read/write p50: %.2f\n",
+			rep.RYWChecked, float64(r.P50)/float64(s.P50))
+	}
 
 	fmt.Println()
 	routed := make([]uint64, len(groups))
@@ -237,20 +272,25 @@ func run() int {
 	for i, ep := range eps {
 		for g, cli := range ep.perGroup {
 			cs := cli.Stats()
-			if cs.Latency.Count == 0 {
+			if cs.Latency.Count == 0 && cs.ReadLatency.Count == 0 {
 				continue
+			}
+			readP50 := "-"
+			if cs.ReadLatency.Count > 0 {
+				readP50 = us(cs.ReadLatency.P50)
 			}
 			rows = append(rows, []string{
 				fmt.Sprintf("ep%d/g%d", i, g),
 				fmt.Sprint(cs.Latency.Count),
 				us(cs.Latency.P50), us(cs.Latency.P99), us(cs.Latency.Max),
+				fmt.Sprint(cs.ReadLatency.Count), readP50,
 				fmt.Sprint(cs.FramesSent), fmt.Sprint(cs.FramesReceived),
 				fmt.Sprint(cs.BytesSent), fmt.Sprint(cs.BytesReceived),
 			})
 		}
 	}
 	fmt.Print(metrics.Table(
-		[]string{"client", "n(+warmup)", "p50", "p99", "max", "frTX", "frRX", "byTX", "byRX"}, rows))
+		[]string{"client", "wrN(+warmup)", "p50", "p99", "max", "rdN(+warmup)", "rd p50", "frTX", "frRX", "byTX", "byRX"}, rows))
 
 	// Server-side view (needs oar-server -stats-addr): how well each replica's
 	// send batcher coalesced — outbound frames per delivered request, protocol
@@ -264,7 +304,7 @@ func run() int {
 			rep, err := fetchServerStats(addr)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "oar-loadgen: stats %s: %v\n", addr, err)
-				rows = append(rows, []string{addr, "-", "-", "-", "-", "-"})
+				rows = append(rows, []string{addr, "-", "-", "-", "-", "-", "-", "-"})
 				continue
 			}
 			framesPerReq, msgsPerFrame := "-", "-"
@@ -277,6 +317,8 @@ func run() int {
 			rows = append(rows, []string{
 				addr,
 				fmt.Sprint(rep.Delivered),
+				fmt.Sprint(rep.ReadsServed),
+				fmt.Sprint(rep.ReadFallbacks),
 				fmt.Sprint(rep.BatchFrames),
 				framesPerReq,
 				msgsPerFrame,
@@ -285,7 +327,7 @@ func run() int {
 		}
 		fmt.Println()
 		fmt.Print(metrics.Table(
-			[]string{"server", "delivered", "frames", "frames/req", "msgs/frame", "window"}, rows))
+			[]string{"server", "delivered", "reads", "rd-fallback", "frames", "frames/req", "msgs/frame", "window"}, rows))
 	}
 
 	if *jsonPath != "" {
@@ -301,7 +343,12 @@ func run() int {
 			P90NS:      int64(s.P90),
 			P99NS:      int64(s.P99),
 			MaxNS:      int64(s.Max),
-			Routed:     routed,
+
+			MeasuredReads: rep.MeasuredReads,
+			ReadP50NS:     int64(r.P50),
+			ReadP99NS:     int64(r.P99),
+			RYWChecked:    rep.RYWChecked,
+			Routed:        routed,
 		}, "", "  ")
 		if err == nil {
 			err = os.WriteFile(*jsonPath, append(blob, '\n'), 0o644)

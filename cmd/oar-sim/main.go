@@ -72,6 +72,10 @@ func (tl *timeline) Adopt(c proto.NodeID, r proto.RequestID, reply proto.Reply) 
 	tl.log("%-4v ADOPTS reply for %v: %q @ pos %d, weight %v", c, r, reply.Result, reply.Pos, reply.Weight)
 }
 
+func (tl *timeline) ReadAdopt(c proto.NodeID, r proto.RequestID, reply proto.Reply) {
+	tl.log("%-4v ADOPTS read  for %v: %q @ pos %d (epoch %d), weight %v", c, r, reply.Result, reply.Pos, reply.Epoch, reply.Weight)
+}
+
 func main() {
 	os.Exit(run())
 }

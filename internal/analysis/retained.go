@@ -52,6 +52,10 @@ var aliasSources = []aliasReturn{
 	{protoPath, "", "UnmarshalBatch", 0},
 	{protoPath, "", "UnmarshalRMcast", 0},
 	{protoPath, "", "UnmarshalRequest", 0},
+	// Read-only requests (the zero-ordering fast path) decode through their
+	// own entry point but alias the frame exactly like ordered requests: a
+	// replica deferring the Query past the frame's handling must Clone first.
+	{protoPath, "", "UnmarshalRead", 0},
 	{protoPath, "", "UnmarshalReply", 0},
 	{protoPath, "", "UnmarshalSeqOrder", 0},
 	// transport.ExpandBatch: inner messages alias the envelope frame.

@@ -119,3 +119,73 @@ func okTransientUse(body []byte) int {
 	local := req.Cmd
 	return len(local)
 }
+
+// --- the read fast path: read requests and read replies ---
+//
+// proto.UnmarshalRead decodes the KindRead envelope's request; its Cmd
+// aliases the frame like any ordered request. On the client side, a read
+// reply's Result aliases the reply frame — a ReadQuorum (or any cache)
+// keeping replies across frames must Clone them (core.Client does).
+
+type readServer struct {
+	pending map[proto.RequestID]proto.Request
+	results map[proto.RequestID][]byte
+	last    proto.Reply
+	scratch []byte
+}
+
+// readRequestBad: parking a decoded read request for a deferred Query — the
+// machine-without-Reader fallback shape — retains frame memory.
+func (s *readServer) readRequestBad(body []byte) {
+	req, err := proto.UnmarshalRead(body)
+	if err != nil {
+		return
+	}
+	s.pending[req.ID] = req // want `stored in a map or slice element`
+}
+
+// readReplyResultBad: caching a read reply's Result beyond its frame (a
+// client-side read cache) retains frame memory through the Result slice.
+func (s *readServer) readReplyResultBad(body []byte) {
+	r, err := proto.UnmarshalReply(body)
+	if err != nil {
+		return
+	}
+	s.results[r.Req] = r.Result // want `stored in a map or slice element`
+}
+
+// readReplyAccumulateBad: the read-adoption accumulator shape — holding the
+// whole reply across frames (what backend.ReadQuorum receives) must be fed
+// clones, never the decoded value itself.
+func (s *readServer) readReplyAccumulateBad(body []byte) {
+	r, err := proto.UnmarshalReply(body)
+	if err != nil {
+		return
+	}
+	s.last = r // want `stored in a struct field`
+}
+
+// okReadClone: the documented fix — Clone owns Cmd/Result.
+func (s *readServer) okReadClone(body []byte) {
+	req, err := proto.UnmarshalRead(body)
+	if err != nil {
+		return
+	}
+	s.pending[req.ID] = req.Clone()
+	r, rerr := proto.UnmarshalReply(body)
+	if rerr != nil {
+		return
+	}
+	s.last = r.Clone()
+}
+
+// okReadInlineAnswer: the fast path proper — Query and reply while the frame
+// is live, copying the result bytes into owned scratch.
+func (s *readServer) okReadInlineAnswer(body []byte) int {
+	req, err := proto.UnmarshalRead(body)
+	if err != nil {
+		return 0
+	}
+	s.scratch = append(s.scratch[:0], req.Cmd...)
+	return len(s.scratch)
+}

@@ -39,6 +39,21 @@ type Machine interface {
 	Fingerprint() string
 }
 
+// Reader is the optional read-only extension of Machine: machines that can
+// answer some commands without changing state implement it, enabling the
+// read fast path (replies served from the optimistic prefix with no position
+// in the definitive order and no undo closure).
+//
+// Query answers cmd if and only if cmd is a well-formed read-only command
+// for this machine, returning ok=false otherwise — including for malformed
+// variants of read commands, which fall back to the ordered path so every
+// replica produces the identical (error) result. When ok is true the result
+// must be byte-identical to what Apply(cmd) would return in the same state,
+// and the state must be unchanged.
+type Reader interface {
+	Query(cmd []byte) (result []byte, ok bool)
+}
+
 // New constructs a machine by name: "recorder", "stack", "kv", "counter",
 // "bank" or "queue".
 func New(name string) (Machine, error) {

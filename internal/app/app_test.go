@@ -322,3 +322,75 @@ func TestPropDeterminism(t *testing.T) {
 		})
 	}
 }
+
+func TestReaderQueryMatchesApply(t *testing.T) {
+	// For every machine implementing Reader, Query of a read-only command
+	// must match Apply's result byte for byte and leave the state unchanged.
+	cases := []struct {
+		machine string
+		setup   []string
+		reads   []string
+		writes  []string // commands Query must refuse
+	}{
+		{"kv", []string{"set a 1", "set b 2"}, []string{"get a", "get b", "get missing"}, []string{"set a 9", "del a", "cas a 1 2", "get", "get a b"}},
+		{"counter", []string{"add 7"}, []string{"get"}, []string{"add 1", "get extra"}},
+		{"bank", []string{"open acc", "deposit acc 50"}, []string{"balance acc", "balance ghost"}, []string{"deposit acc 1", "withdraw acc 1", "balance", "balance a b"}},
+		{"queue", []string{"enq x", "enq y"}, []string{"peek", "len"}, []string{"enq z", "deq", "peek extra"}},
+	}
+	for _, tc := range cases {
+		m, err := New(tc.machine)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd, ok := m.(Reader)
+		if !ok {
+			t.Fatalf("%s does not implement Reader", tc.machine)
+		}
+		for _, cmd := range tc.setup {
+			m.Apply([]byte(cmd))
+		}
+		before := m.Fingerprint()
+		for _, cmd := range tc.reads {
+			got, ok := rd.Query([]byte(cmd))
+			if !ok {
+				t.Errorf("%s: Query(%q) refused a read-only command", tc.machine, cmd)
+				continue
+			}
+			want, _ := m.Apply([]byte(cmd))
+			if string(got) != string(want) {
+				t.Errorf("%s: Query(%q) = %q, Apply = %q", tc.machine, cmd, got, want)
+			}
+		}
+		if after := m.Fingerprint(); after != before {
+			t.Errorf("%s: reads changed state: %q -> %q", tc.machine, before, after)
+		}
+		for _, cmd := range tc.writes {
+			if res, ok := rd.Query([]byte(cmd)); ok {
+				t.Errorf("%s: Query(%q) accepted a non-read command (= %q)", tc.machine, cmd, res)
+			}
+		}
+	}
+	// Machines without a read-only subset stay plain Machines.
+	for _, name := range []string{"recorder", "stack"} {
+		m, _ := New(name)
+		if _, ok := m.(Reader); ok {
+			t.Errorf("%s unexpectedly implements Reader", name)
+		}
+	}
+}
+
+func TestQueuePeek(t *testing.T) {
+	q := NewQueue()
+	if got := apply(t, q, "peek"); got != "-" {
+		t.Fatalf("peek empty = %q", got)
+	}
+	apply(t, q, "enq a")
+	apply(t, q, "enq b")
+	if got := apply(t, q, "peek"); got != "a" {
+		t.Fatalf("peek = %q, want a", got)
+	}
+	apply(t, q, "deq")
+	if got := apply(t, q, "peek"); got != "b" {
+		t.Fatalf("peek after deq = %q, want b", got)
+	}
+}

@@ -161,6 +161,18 @@ func (kv *KV) Apply(cmd []byte) ([]byte, func()) {
 	}
 }
 
+// Query implements Reader: "get <k>" is the read-only command.
+func (kv *KV) Query(cmd []byte) ([]byte, bool) {
+	f := fields(cmd)
+	if len(f) != 2 || f[0] != "get" {
+		return nil, false
+	}
+	if v, ok := kv.data[f[1]]; ok {
+		return []byte(v), true
+	}
+	return []byte("-"), true
+}
+
 // Fingerprint implements Machine.
 func (kv *KV) Fingerprint() string { return mapFingerprint(kv.data) }
 
@@ -204,6 +216,15 @@ func (c *Counter) Apply(cmd []byte) ([]byte, func()) {
 	default:
 		return errResult("unknown op %q", f[0]), noop
 	}
+}
+
+// Query implements Reader: "get" is the read-only command.
+func (c *Counter) Query(cmd []byte) ([]byte, bool) {
+	f := fields(cmd)
+	if len(f) != 1 || f[0] != "get" {
+		return nil, false
+	}
+	return []byte(strconv.FormatInt(c.value, 10)), true
 }
 
 // Fingerprint implements Machine.
@@ -309,6 +330,19 @@ func (b *Bank) Apply(cmd []byte) ([]byte, func()) {
 	}
 }
 
+// Query implements Reader: "balance <acct>" is the read-only command.
+func (b *Bank) Query(cmd []byte) ([]byte, bool) {
+	f := fields(cmd)
+	if len(f) != 2 || f[0] != "balance" {
+		return nil, false
+	}
+	bal, ok := b.accounts[f[1]]
+	if !ok {
+		return errResult("no-account"), true
+	}
+	return []byte(strconv.FormatInt(bal, 10)), true
+}
+
 // Fingerprint implements Machine.
 func (b *Bank) Fingerprint() string { return mapFingerprint(b.accounts) }
 
@@ -327,6 +361,7 @@ func (b *Bank) TotalMoney() int64 {
 //
 //	enq <v> -> "ok"
 //	deq     -> <v> or "-"
+//	peek    -> <v> or "-"
 //	len     -> length
 type Queue struct {
 	items []string
@@ -358,10 +393,34 @@ func (q *Queue) Apply(cmd []byte) ([]byte, func()) {
 		v := q.items[q.head]
 		q.head++
 		return []byte(v), func() { q.head-- }
+	case "peek":
+		if q.head == len(q.items) {
+			return []byte("-"), noop
+		}
+		return []byte(q.items[q.head]), noop
 	case "len":
 		return []byte(strconv.Itoa(len(q.items) - q.head)), noop
 	default:
 		return errResult("unknown op %q", f[0]), noop
+	}
+}
+
+// Query implements Reader: "peek" and "len" are the read-only commands.
+func (q *Queue) Query(cmd []byte) ([]byte, bool) {
+	f := fields(cmd)
+	if len(f) != 1 {
+		return nil, false
+	}
+	switch f[0] {
+	case "peek":
+		if q.head == len(q.items) {
+			return []byte("-"), true
+		}
+		return []byte(q.items[q.head]), true
+	case "len":
+		return []byte(strconv.Itoa(len(q.items) - q.head)), true
+	default:
+		return nil, false
 	}
 }
 

@@ -125,6 +125,17 @@ type Invoker interface {
 	Stop()
 }
 
+// ReadInvoker is the optional read fast path of an Invoker: submit a
+// read-only command and block until the protocol's read adoption rule
+// accepts a reply served without a position in the definitive order.
+// Implementations must fall back to the ordered path themselves when the
+// fast path cannot answer, so InvokeRead is always safe to call for a
+// read-only command; callers that find the interface absent route reads
+// through Invoke unchanged.
+type ReadInvoker interface {
+	InvokeRead(ctx context.Context, cmd []byte) (proto.Reply, error)
+}
+
 // Backend builds the two halves of one replication protocol. NewInvoker
 // returns a started Invoker (ready for Invoke; released with Stop).
 type Backend interface {
@@ -154,6 +165,13 @@ type Stats struct {
 	SeqOrdersSent uint64
 	// ForeignDropped counts inbound messages dropped for a foreign GroupID.
 	ForeignDropped uint64
+	// ReadsServed counts read-only requests answered on the read fast path —
+	// inline from a replica's optimistic prefix, with zero ordering messages.
+	// ReadFallbacks counts reads a replica pushed onto the ordered path
+	// instead (no Reader on the machine, or the command was not a
+	// well-formed read).
+	ReadsServed   uint64
+	ReadFallbacks uint64
 	// Views counts fixedseq sequencer fail-overs.
 	Views uint64
 	// Batches counts ctab's completed consensus instances.
@@ -174,6 +192,10 @@ type Stats struct {
 	// client (see Measure). Accumulate merges histograms exactly, so
 	// per-shard latencies aggregate into system-wide percentiles.
 	Latency *metrics.Histogram
+	// ReadLatency is the client-observed latency of fast-path reads
+	// (InvokeRead calls), split out from Latency so the read/write latency
+	// gap is observable; attached at aggregation time like Latency.
+	ReadLatency *metrics.Histogram
 }
 
 // Accumulate adds other's counters to s (used to aggregate replicas and
@@ -187,6 +209,8 @@ func (s *Stats) Accumulate(other Stats) {
 	s.Epochs += other.Epochs
 	s.SeqOrdersSent += other.SeqOrdersSent
 	s.ForeignDropped += other.ForeignDropped
+	s.ReadsServed += other.ReadsServed
+	s.ReadFallbacks += other.ReadFallbacks
 	s.Views += other.Views
 	s.Batches += other.Batches
 	s.BatchFrames += other.BatchFrames
@@ -199,6 +223,12 @@ func (s *Stats) Accumulate(other Stats) {
 			s.Latency = metrics.NewHistogram()
 		}
 		s.Latency.Merge(other.Latency)
+	}
+	if other.ReadLatency != nil {
+		if s.ReadLatency == nil {
+			s.ReadLatency = metrics.NewHistogram()
+		}
+		s.ReadLatency.Merge(other.ReadLatency)
 	}
 }
 

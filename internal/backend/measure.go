@@ -10,19 +10,26 @@ import (
 
 // Measure wraps an Invoker so that every successful Invoke records its
 // end-to-end response time — submit to adopted reply, the metric the
-// source paper's optimistic delivery exists to cut — into hist. Failed
-// invocations (context expiry, shutdown) record nothing: an aborted wait is
-// not a response time, and mixing the two corrupts the tail. A nil hist
-// returns inner unchanged.
+// source paper's optimistic delivery exists to cut — into hist, and every
+// successful InvokeRead into readHist (when the inner invoker has a read
+// fast path and readHist is non-nil; a fast-path-less inner invoker keeps
+// reads on Invoke and they land in hist). Failed invocations (context
+// expiry, shutdown) record nothing: an aborted wait is not a response time,
+// and mixing the two corrupts the tail. A nil hist returns inner unchanged.
 //
 // The wrapper preserves the inner invoker's concurrency contract (Record is
 // lock-free) and forwards Stop, so it is transparent to the cluster runtime
-// and the shard fan-out client.
-func Measure(inner Invoker, hist *metrics.Histogram) Invoker {
+// and the shard fan-out client. It exposes ReadInvoker exactly when inner
+// does: wrapping never grants or hides a read fast path.
+func Measure(inner Invoker, hist, readHist *metrics.Histogram) Invoker {
 	if hist == nil {
 		return inner
 	}
-	return &measuredInvoker{inner: inner, hist: hist}
+	m := &measuredInvoker{inner: inner, hist: hist}
+	if ri, ok := inner.(ReadInvoker); ok {
+		return &measuredReadInvoker{measuredInvoker: m, reader: ri, readHist: readHist}
+	}
+	return m
 }
 
 type measuredInvoker struct {
@@ -40,3 +47,20 @@ func (m *measuredInvoker) Invoke(ctx context.Context, cmd []byte) (proto.Reply, 
 }
 
 func (m *measuredInvoker) Stop() { m.inner.Stop() }
+
+// measuredReadInvoker adds the timed InvokeRead forwarding for inner
+// invokers that implement the read fast path.
+type measuredReadInvoker struct {
+	*measuredInvoker
+	reader   ReadInvoker
+	readHist *metrics.Histogram
+}
+
+func (m *measuredReadInvoker) InvokeRead(ctx context.Context, cmd []byte) (proto.Reply, error) {
+	start := time.Now()
+	r, err := m.reader.InvokeRead(ctx, cmd)
+	if err == nil && m.readHist != nil {
+		m.readHist.Record(time.Since(start))
+	}
+	return r, err
+}

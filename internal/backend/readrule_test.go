@@ -1,0 +1,135 @@
+package backend
+
+import (
+	"testing"
+
+	"repro/internal/proto"
+)
+
+func reply(from int, epoch, pos uint64) proto.Reply {
+	return proto.Reply{
+		From:   proto.NodeID(from),
+		Epoch:  epoch,
+		Weight: proto.WeightOf(proto.NodeID(from)),
+		Pos:    pos,
+	}
+}
+
+func TestReadQuorumAdoptsAtMajority(t *testing.T) {
+	q := NewReadQuorum(3)
+	if _, ok := q.Offer(reply(0, 0, 5), 0); ok {
+		t.Fatal("adopted on a single reply")
+	}
+	best, ok := q.Offer(reply(1, 0, 5), 0)
+	if !ok {
+		t.Fatal("majority at the same position not adopted")
+	}
+	if best.Pos != 5 {
+		t.Fatalf("adopted pos %d, want 5", best.Pos)
+	}
+}
+
+func TestReadQuorumFreshestEndorsedPositionWins(t *testing.T) {
+	// A reply at pos p endorses every prefix ≤ p: {pos 7, pos 5} must adopt
+	// pos 5 (both endorse it), not wait for a second reply at 7.
+	q := NewReadQuorum(3)
+	if _, ok := q.Offer(reply(0, 0, 7), 0); ok {
+		t.Fatal("adopted on a single reply")
+	}
+	best, ok := q.Offer(reply(1, 0, 5), 0)
+	if !ok {
+		t.Fatal("mixed positions with a majority ≥ 5 not adopted")
+	}
+	if best.Pos != 5 {
+		t.Fatalf("adopted pos %d, want 5 (the largest majority-endorsed prefix)", best.Pos)
+	}
+	// A third reply at pos 7 upgrades nothing: the call already adopted.
+}
+
+func TestReadQuorumEpochsNeverMix(t *testing.T) {
+	// Positions are only comparable within an epoch: one reply from epoch 0
+	// and one from epoch 1 are two minorities, not a quorum.
+	q := NewReadQuorum(3)
+	if _, ok := q.Offer(reply(0, 0, 5), 0); ok {
+		t.Fatal("adopted on a single reply")
+	}
+	if _, ok := q.Offer(reply(1, 1, 5), 0); ok {
+		t.Fatal("cross-epoch replies formed a quorum")
+	}
+	best, ok := q.Offer(reply(2, 1, 6), 0)
+	if !ok {
+		t.Fatal("same-epoch majority not adopted")
+	}
+	if best.Epoch != 1 || best.Pos != 5 {
+		t.Fatalf("adopted (epoch %d, pos %d), want (1, 5)", best.Epoch, best.Pos)
+	}
+}
+
+func TestReadQuorumFloorBlocksStalePrefix(t *testing.T) {
+	// The client's high-water mark rose to 6 after these replies were
+	// accepted: the majority at pos 5 must not be adopted under floor 6.
+	q := NewReadQuorum(3)
+	q.Offer(reply(0, 0, 5), 0)
+	if _, ok := q.Offer(reply(1, 0, 5), 6); ok {
+		t.Fatal("adopted a prefix below the floor")
+	}
+	// A fresh reply at pos 6 cannot rescue it alone (only one reply ≥ 6)...
+	if _, ok := q.Offer(reply(2, 0, 6), 6); ok {
+		t.Fatal("single reply above the floor adopted")
+	}
+	// ...but the same accumulator adopts at the floor once a majority
+	// answers there (fresh replies during a retry window, same quorum).
+	q2 := NewReadQuorum(3)
+	q2.Offer(reply(0, 0, 5), 6)
+	q2.Offer(reply(1, 0, 6), 6)
+	best, ok := q2.Offer(reply(2, 0, 7), 6)
+	if !ok {
+		t.Fatal("majority at/above the floor not adopted")
+	}
+	if best.Pos != 6 {
+		t.Fatalf("adopted pos %d, want 6", best.Pos)
+	}
+}
+
+func TestReadQuorumWeightsNotReplyCounts(t *testing.T) {
+	// The rule is about weight unions, not reply counts: the same replica
+	// answering twice is still one weight.
+	q := NewReadQuorum(3)
+	q.Offer(reply(0, 0, 5), 0)
+	if _, ok := q.Offer(reply(0, 0, 5), 0); ok {
+		t.Fatal("duplicate replica weight formed a quorum")
+	}
+}
+
+func TestReadQuorumAllAnswered(t *testing.T) {
+	q := NewReadQuorum(3)
+	// Stale replies are counted via Answer without entering adoption.
+	q.Answer(reply(0, 0, 1))
+	if q.AllAnswered() {
+		t.Fatal("one answer of three reported as all")
+	}
+	q.Answer(reply(1, 0, 2))
+	if _, ok := q.Offer(reply(2, 0, 3), 4); ok {
+		t.Fatal("adopted below the floor")
+	}
+	if !q.AllAnswered() {
+		t.Fatal("three answers of three not reported as all")
+	}
+}
+
+func TestReadQuorumLargerGroup(t *testing.T) {
+	// n=5: majority is 3. Replies at pos {9, 8, 7} adopt pos 7; two replies
+	// do not.
+	q := NewReadQuorum(5)
+	q.Offer(reply(0, 2, 9), 0)
+	if _, ok := q.Offer(reply(1, 2, 8), 0); ok {
+		t.Fatal("two of five adopted")
+	}
+	best, ok := q.Offer(reply(2, 2, 7), 0)
+	if !ok {
+		t.Fatal("three of five not adopted")
+	}
+	if best.Pos != 7 {
+		t.Fatalf("adopted pos %d, want 7", best.Pos)
+	}
+}

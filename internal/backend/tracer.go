@@ -28,6 +28,12 @@ type Tracer interface {
 	EpochClose(server proto.NodeID, epoch uint64, input cnsvorder.Input, result cnsvorder.Result)
 	// Adopt records a client adopting a reply (Figure 5, line 5).
 	Adopt(client proto.NodeID, req proto.RequestID, reply proto.Reply)
+	// ReadAdopt records a client adopting a fast-path read reply: a reply
+	// served from a replica's optimistic prefix (reply.Epoch, reply.Pos)
+	// without the request taking a position in the definitive order. Reads
+	// that fall back to the ordered path surface as ordinary Issue/Adopt
+	// pairs instead.
+	ReadAdopt(client proto.NodeID, req proto.RequestID, reply proto.Reply)
 }
 
 // NopTracer returns the tracer that ignores all events.
@@ -86,6 +92,12 @@ func (m multiTracer) Adopt(c proto.NodeID, r proto.RequestID, reply proto.Reply)
 	}
 }
 
+func (m multiTracer) ReadAdopt(c proto.NodeID, r proto.RequestID, reply proto.Reply) {
+	for _, t := range m {
+		t.ReadAdopt(c, r, reply)
+	}
+}
+
 // nopTracer is the default tracer.
 type nopTracer struct{}
 
@@ -97,4 +109,5 @@ func (nopTracer) OptUndeliver(proto.NodeID, uint64, proto.RequestID)            
 func (nopTracer) ADeliver(proto.NodeID, uint64, proto.RequestID, uint64, []byte)   {}
 func (nopTracer) EpochClose(proto.NodeID, uint64, cnsvorder.Input, cnsvorder.Result) {
 }
-func (nopTracer) Adopt(proto.NodeID, proto.RequestID, proto.Reply) {}
+func (nopTracer) Adopt(proto.NodeID, proto.RequestID, proto.Reply)     {}
+func (nopTracer) ReadAdopt(proto.NodeID, proto.RequestID, proto.Reply) {}

@@ -61,6 +61,13 @@ type Client struct {
 	mu      sync.Mutex
 	nextSeq uint64
 	pending map[proto.RequestID]chan proto.Reply
+	// reads tracks outstanding fast-path reads, which — unlike first-reply
+	// writes — accumulate replies under the shared majority-validated
+	// adoption rule. highWater is the largest position this client adopted
+	// at; fast-path read replies from shorter prefixes are discarded, making
+	// reads monotonic and read-your-writes.
+	reads     map[proto.RequestID]*readCall
+	highWater uint64
 
 	// sendCh feeds the coalescing sender loop (nil when cfg.Unbatched).
 	sendCh chan sendJob
@@ -78,6 +85,15 @@ type sendJob struct {
 	payload []byte
 }
 
+// readCall is one outstanding fast-path read.
+type readCall struct {
+	rq      *backend.ReadQuorum
+	result  chan proto.Reply // buffered(1)
+	adopted bool
+	giveUp  chan struct{} // closed once every replica answered without adoption
+	gaveUp  bool
+}
+
 // NewClient validates cfg and creates a client.
 func NewClient(cfg ClientConfig) (*Client, error) {
 	if cfg.Node == nil || len(cfg.Group) == 0 {
@@ -93,6 +109,7 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		cfg:        cfg,
 		tracer:     cfg.Tracer,
 		pending:    make(map[proto.RequestID]chan proto.Reply),
+		reads:      make(map[proto.RequestID]*readCall),
 		done:       make(chan struct{}),
 		senderDone: make(chan struct{}),
 		stopped:    make(chan struct{}),
@@ -216,9 +233,17 @@ func (c *Client) loop(ctx context.Context) {
 
 func (c *Client) onReply(reply proto.Reply) {
 	c.mu.Lock()
+	if rc, isRead := c.reads[reply.Req]; isRead {
+		c.onReadReplyLocked(rc, reply)
+		c.mu.Unlock()
+		return
+	}
 	ch, ok := c.pending[reply.Req]
 	if ok {
 		delete(c.pending, reply.Req) // first reply wins; the rest are dropped
+		if reply.Pos > c.highWater {
+			c.highWater = reply.Pos
+		}
 	}
 	c.mu.Unlock()
 	if ok {
@@ -228,6 +253,39 @@ func (c *Client) onReply(reply proto.Reply) {
 		ch <- reply
 		c.tracer.Adopt(c.cfg.ID, reply.Req, reply)
 	}
+}
+
+// onReadReplyLocked feeds a fast-path read reply through the shared
+// majority-validated adoption rule (backend.ReadQuorum): unlike the
+// first-reply write rule, a read is only adopted once a majority of the
+// group has answered at a compatible prefix. Stale-prefix replies (below
+// the client's high-water mark) are discarded but still counted, so an
+// unadoptable read falls back instead of hanging. Caller holds c.mu.
+func (c *Client) onReadReplyLocked(rc *readCall, reply proto.Reply) {
+	defer func() {
+		if !rc.adopted && !rc.gaveUp && rc.rq.AllAnswered() {
+			rc.gaveUp = true
+			close(rc.giveUp)
+		}
+	}()
+	if rc.adopted {
+		return
+	}
+	if reply.Pos < c.highWater {
+		rc.rq.Answer(reply)
+		return // stale prefix: predates this client's last adopted operation
+	}
+	best, ok := rc.rq.Offer(reply.Clone(), c.highWater)
+	if !ok {
+		return
+	}
+	rc.adopted = true
+	rc.result <- best
+	delete(c.reads, reply.Req)
+	if best.Pos > c.highWater {
+		c.highWater = best.Pos
+	}
+	c.tracer.ReadAdopt(c.cfg.ID, reply.Req, best)
 }
 
 // Invoke sends cmd to all replicas and returns the first reply.
@@ -258,4 +316,68 @@ func (c *Client) Invoke(ctx context.Context, cmd []byte) (proto.Reply, error) {
 		c.mu.Unlock()
 		return proto.Reply{}, fmt.Errorf("baseline: invoke %v: %w", id, ctx.Err())
 	}
+}
+
+// readFallbackTimeout bounds how long a fast-path read waits for an
+// adoptable majority before re-issuing on the ordered path; the
+// all-answered-without-adoption case falls back immediately.
+const readFallbackTimeout = 64 * backend.DefaultTickInterval
+
+// InvokeRead performs a read-only request on the fast path: the command goes
+// directly to every replica as a KindRead frame, bypassing the protocol's
+// ordering machinery, and each replica that can answers inline from its
+// current prefix. The reply is adopted under the shared majority-validated
+// rule — stricter than the baselines' first-reply write rule, because a
+// single replica's unordered snapshot carries no ordering evidence at all.
+// Reads that cannot be adopted fall back to a fresh ordered Invoke (safe:
+// the fast-path attempt had no effect on any replica).
+func (c *Client) InvokeRead(ctx context.Context, cmd []byte) (proto.Reply, error) {
+	c.mu.Lock()
+	id := proto.RequestID{Group: c.cfg.GroupID, Client: c.cfg.ID, Seq: c.nextSeq}
+	c.nextSeq++
+	rc := &readCall{
+		rq:     backend.NewReadQuorum(len(c.cfg.Group)),
+		result: make(chan proto.Reply, 1),
+		giveUp: make(chan struct{}),
+	}
+	c.reads[id] = rc
+	c.mu.Unlock()
+
+	// One owned frame shared across every destination: sent payloads are
+	// immutable, and the batching sender copies on Add anyway.
+	frame := proto.MarshalRead(proto.Request{ID: id, Cmd: cmd, ReadOnly: true})
+	for _, p := range c.cfg.Group {
+		if c.sendCh != nil {
+			c.enqueue(p, frame)
+		} else {
+			_ = c.cfg.Node.Send(p, frame)
+		}
+	}
+
+	timer := time.NewTimer(readFallbackTimeout)
+	defer timer.Stop()
+	select {
+	case reply := <-rc.result:
+		return reply, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.reads, id)
+		c.mu.Unlock()
+		return proto.Reply{}, fmt.Errorf("baseline: read %v: %w", id, ctx.Err())
+	case <-rc.giveUp:
+	case <-timer.C:
+	}
+
+	// Fall back to the ordered path. Retire the fast-path attempt first; an
+	// adoption that slipped in before the lock sits in the buffered result
+	// channel.
+	c.mu.Lock()
+	delete(c.reads, id)
+	c.mu.Unlock()
+	select {
+	case reply := <-rc.result:
+		return reply, nil
+	default:
+	}
+	return c.Invoke(ctx, cmd)
 }

@@ -66,6 +66,8 @@ func (r ctReplica) Stats() backend.Stats {
 	return backend.Stats{
 		Delivered:      s.Delivered,
 		ForeignDropped: s.ForeignDropped,
+		ReadsServed:    s.ReadsServed,
+		ReadFallbacks:  s.ReadFallbacks,
 		Batches:        s.Batches,
 		BatchFrames:    s.BatchFrames,
 		BatchedSends:   s.BatchedMsgs,

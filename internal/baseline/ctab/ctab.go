@@ -70,6 +70,8 @@ type Stats struct {
 	Delivered      uint64
 	Batches        uint64 // completed consensus instances
 	ForeignDropped uint64 // inbound messages dropped for a foreign GroupID
+	ReadsServed    uint64 // reads answered inline (zero consensus instances)
+	ReadFallbacks  uint64 // reads pushed onto the ordered path
 
 	// Send-batcher observability (see core.ServerStats).
 	BatchFrames uint64
@@ -102,6 +104,12 @@ type Server struct {
 	statDelivered atomic.Uint64
 	statBatches   atomic.Uint64
 	statForeign   atomic.Uint64
+	statReads     atomic.Uint64
+	statReadFalls atomic.Uint64
+
+	// reader is the machine's optional read-only surface; with it, KindRead
+	// requests are answered inline without a consensus instance.
+	reader app.Reader
 }
 
 // NewServer validates cfg and creates a replica.
@@ -128,7 +136,7 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.AutoTune {
 		opts.Tuner = tune.New(tune.Config{})
 	}
-	return &Server{
+	s := &Server{
 		cfg:       cfg,
 		n:         len(cfg.Group),
 		payloads:  make(map[proto.RequestID]proto.Request),
@@ -139,7 +147,11 @@ func NewServer(cfg Config) (*Server, error) {
 		encBuf:    make([]byte, 0, 256),
 		hbFrame:   proto.MarshalHeartbeat(cfg.GroupID),
 		tracer:    cfg.Tracer,
-	}, nil
+	}
+	if r, ok := cfg.Machine.(app.Reader); ok {
+		s.reader = r
+	}
+	return s, nil
 }
 
 // Stats returns a snapshot of the counters.
@@ -149,6 +161,8 @@ func (s *Server) Stats() Stats {
 		Delivered:      s.statDelivered.Load(),
 		Batches:        s.statBatches.Load(),
 		ForeignDropped: s.statForeign.Load(),
+		ReadsServed:    s.statReads.Load(),
+		ReadFallbacks:  s.statReadFalls.Load(),
 		BatchFrames:    bs.Frames,
 		BatchedMsgs:    bs.Msgs,
 		BatchWindow:    bs.Window,
@@ -243,6 +257,8 @@ func (s *Server) handleMessage(m transport.Message, now time.Time) {
 		s.payloads[req.ID] = req.Clone()
 		s.buffered = append(s.buffered, req.ID)
 		s.maybeStartBatch()
+	case proto.KindRead:
+		s.handleRead(body)
 	case proto.KindEstimate, proto.KindPropose, proto.KindAck, proto.KindDecide:
 		k, err := consensus.InstanceOf(body)
 		if err != nil || k < s.next {
@@ -258,6 +274,42 @@ func (s *Server) handleMessage(m transport.Message, now time.Time) {
 		// Batch envelopes were already expanded by Run; everything else is
 		// not for this replica.
 	}
+}
+
+// handleRead serves a read-only request inline from the replica's delivered
+// prefix, with no consensus instance. Ctab's prefix is never rolled back and
+// positions are identical across replicas (consensus agreement), so every
+// fast-path read reply is tagged with one constant epoch — grouping by
+// consensus instance would only split the client's quorum — and the
+// majority rule buys freshness: a lagging replica alone cannot serve a
+// stale read. Machines without a Reader, and commands that are not
+// well-formed reads, fall back to the ordered path.
+func (s *Server) handleRead(body []byte) {
+	req, err := proto.UnmarshalRead(body)
+	if err != nil {
+		return
+	}
+	if s.reader != nil {
+		if result, ok := s.reader.Query(req.Cmd); ok {
+			s.statReads.Add(1)
+			s.sendReply(req.ID.Client, proto.Reply{
+				Req:    req.ID,
+				From:   s.cfg.ID,
+				Epoch:  0,
+				Weight: proto.WeightOf(s.cfg.ID),
+				Pos:    s.pos,
+				Result: result,
+			})
+			return
+		}
+	}
+	s.statReadFalls.Add(1)
+	if _, known := s.payloads[req.ID]; known {
+		return
+	}
+	s.payloads[req.ID] = req.Clone()
+	s.buffered = append(s.buffered, req.ID)
+	s.maybeStartBatch()
 }
 
 func (s *Server) pending() []proto.Request {
@@ -345,22 +397,14 @@ func (s *Server) applyDecision(k uint64, d consensus.Decision) {
 		s.pos++
 		s.statDelivered.Add(1)
 		s.tracer.ADeliver(s.cfg.ID, k, req.ID, s.pos, result)
-		reply := proto.Reply{
+		s.sendReply(req.ID.Client, proto.Reply{
 			Req:    req.ID,
 			From:   s.cfg.ID,
 			Epoch:  k,
 			Weight: proto.FullWeight(s.n),
 			Pos:    s.pos,
 			Result: result,
-		}
-		if s.batching() {
-			// Encode into the reusable scratch; the batcher copies it into
-			// the destination's envelope immediately.
-			s.encBuf = proto.AppendReply(s.encBuf[:0], reply)
-			s.out.Add(req.ID.Client, s.encBuf)
-		} else {
-			_ = s.cfg.Node.Send(req.ID.Client, proto.MarshalReply(reply))
-		}
+		})
 	}
 
 	s.statBatches.Add(1)
@@ -374,6 +418,18 @@ func (s *Server) applyDecision(k uint64, d consensus.Decision) {
 		return
 	}
 	s.maybeStartBatch()
+}
+
+// sendReply encodes and ships one reply. On the batching path it is encoded
+// into the reusable scratch; the batcher copies it into the destination's
+// envelope immediately.
+func (s *Server) sendReply(to proto.NodeID, reply proto.Reply) {
+	if s.batching() {
+		s.encBuf = proto.AppendReply(s.encBuf[:0], reply)
+		s.out.Add(to, s.encBuf)
+	} else {
+		_ = s.cfg.Node.Send(to, proto.MarshalReply(reply))
+	}
 }
 
 func (s *Server) tick(now time.Time) {

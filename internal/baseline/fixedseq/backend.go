@@ -68,6 +68,8 @@ func (r fsReplica) Stats() backend.Stats {
 		Delivered:      s.Delivered,
 		SeqOrdersSent:  s.OrdersSent,
 		ForeignDropped: s.ForeignDropped,
+		ReadsServed:    s.ReadsServed,
+		ReadFallbacks:  s.ReadFallbacks,
 		Views:          s.Views,
 		BatchFrames:    s.BatchFrames,
 		BatchedSends:   s.BatchedMsgs,

@@ -73,6 +73,8 @@ type Stats struct {
 	Views          uint64 // fail-overs performed
 	OrdersSent     uint64 // sequencer ordering messages sent
 	ForeignDropped uint64 // inbound messages dropped for a foreign GroupID
+	ReadsServed    uint64 // reads answered inline (zero ordering messages)
+	ReadFallbacks  uint64 // reads pushed onto the ordered path
 
 	// Send-batcher observability (see core.ServerStats).
 	BatchFrames uint64
@@ -107,6 +109,12 @@ type Server struct {
 	statViews     atomic.Uint64
 	statOrders    atomic.Uint64
 	statForeign   atomic.Uint64
+	statReads     atomic.Uint64
+	statReadFalls atomic.Uint64
+
+	// reader is the machine's optional read-only surface; with it, KindRead
+	// requests are answered inline without entering the ordering path.
+	reader app.Reader
 }
 
 // NewServer validates cfg and creates a replica.
@@ -133,7 +141,7 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.AutoTune {
 		opts.Tuner = tune.New(tune.Config{})
 	}
-	return &Server{
+	s := &Server{
 		cfg:       cfg,
 		n:         len(cfg.Group),
 		payloads:  make(map[proto.RequestID]proto.Request),
@@ -142,7 +150,11 @@ func NewServer(cfg Config) (*Server, error) {
 		encBuf:    make([]byte, 0, 256),
 		hbFrame:   proto.MarshalHeartbeat(cfg.GroupID),
 		tracer:    cfg.Tracer,
-	}, nil
+	}
+	if r, ok := cfg.Machine.(app.Reader); ok {
+		s.reader = r
+	}
+	return s, nil
 }
 
 // Stats returns a snapshot of the counters.
@@ -153,6 +165,8 @@ func (s *Server) Stats() Stats {
 		Views:          s.statViews.Load(),
 		OrdersSent:     s.statOrders.Load(),
 		ForeignDropped: s.statForeign.Load(),
+		ReadsServed:    s.statReads.Load(),
+		ReadFallbacks:  s.statReadFalls.Load(),
 		BatchFrames:    bs.Frames,
 		BatchedMsgs:    bs.Msgs,
 		BatchWindow:    bs.Window,
@@ -247,6 +261,8 @@ func (s *Server) handleMessage(m transport.Message, now time.Time) {
 		}
 		s.buffer(req)
 		s.maybeOrder()
+	case proto.KindRead:
+		s.handleRead(body)
 	case proto.KindSeqOrder:
 		// Zero-allocation decode into the scratch order; the commands alias
 		// the inbound frame and are cloned at retention (buffer).
@@ -258,6 +274,36 @@ func (s *Server) handleMessage(m transport.Message, now time.Time) {
 		// Batch envelopes were already expanded by Run; everything else is
 		// not for this replica.
 	}
+}
+
+// handleRead serves a read-only request inline from the replica's delivered
+// prefix, bypassing the sequencer entirely. The reply is tagged with (view,
+// pos, own weight); the client's majority-validated rule does the rest —
+// which is what keeps fast-path reads on this baseline consistent even
+// though its write path is first-reply. Machines without a Reader — and
+// commands that are not well-formed reads — fall back to the ordered path.
+func (s *Server) handleRead(body []byte) {
+	req, err := proto.UnmarshalRead(body)
+	if err != nil {
+		return
+	}
+	if s.reader != nil {
+		if result, ok := s.reader.Query(req.Cmd); ok {
+			s.statReads.Add(1)
+			s.sendReply(req.ID.Client, proto.Reply{
+				Req:    req.ID,
+				From:   s.cfg.ID,
+				Epoch:  s.view,
+				Weight: proto.WeightOf(s.cfg.ID),
+				Pos:    s.pos,
+				Result: result,
+			})
+			return
+		}
+	}
+	s.statReadFalls.Add(1)
+	s.buffer(req)
+	s.maybeOrder()
 }
 
 // buffer retains req past the inbound frame's handling, so the command is
@@ -330,22 +376,26 @@ func (s *Server) deliverBatch(reqs []proto.Request) {
 		s.pos++
 		s.statDelivered.Add(1)
 		s.tracer.ADeliver(s.cfg.ID, s.view, req.ID, s.pos, result)
-		reply := proto.Reply{
+		s.sendReply(req.ID.Client, proto.Reply{
 			Req:    req.ID,
 			From:   s.cfg.ID,
 			Epoch:  s.view,
 			Weight: proto.WeightOf(s.cfg.ID),
 			Pos:    s.pos,
 			Result: result,
-		}
-		if s.batching() {
-			// Encode into the reusable scratch; the batcher copies it into
-			// the destination's envelope immediately.
-			s.encBuf = proto.AppendReply(s.encBuf[:0], reply)
-			s.out.Add(req.ID.Client, s.encBuf)
-		} else {
-			_ = s.cfg.Node.Send(req.ID.Client, proto.MarshalReply(reply))
-		}
+		})
+	}
+}
+
+// sendReply encodes and ships one reply. On the batching path it is encoded
+// into the reusable scratch; the batcher copies it into the destination's
+// envelope immediately.
+func (s *Server) sendReply(to proto.NodeID, reply proto.Reply) {
+	if s.batching() {
+		s.encBuf = proto.AppendReply(s.encBuf[:0], reply)
+		s.out.Add(to, s.encBuf)
+	} else {
+		_ = s.cfg.Node.Send(to, proto.MarshalReply(reply))
 	}
 }
 

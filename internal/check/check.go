@@ -21,6 +21,11 @@
 //	        delivery position/result at every correct server)
 //	§5.4    Cnsv-order spec per closed epoch (via cnsvorder.CheckSpec)
 //	§4      Majority guarantee (follows from Prop 5 + §5.4; checked via both)
+//	Reads   Read consistency: every adopted fast-path read was served from a
+//	        prefix of the definitive order (no adopted read observed an
+//	        optimistic entry that was later Opt-undelivered), and per-client
+//	        read positions are monotonic over the client's prior adoptions
+//	        (monotonic reads + read-your-writes).
 package check
 
 import (
@@ -76,9 +81,25 @@ type Checker struct {
 	crashed    map[proto.NodeID]bool
 	violations []*Violation
 
+	// Read fast path state: adopted reads (kept apart from adoptions — a
+	// fast-path read never appears in any server's definitive log), the
+	// per-client adoption high-water position mirroring the client's
+	// monotonic-prefix guard, and the (epoch, pos) of every Opt-undelivered
+	// entry (an adopted read must never have observed one).
+	readAdoptions map[proto.RequestID]proto.Reply
+	clientHW      map[proto.NodeID]uint64
+	undone        []undoneAt
+
 	undeliveries int
 	optCount     int
 	aCount       int
+}
+
+// undoneAt records where one Opt-undelivered entry sat when it was undone.
+type undoneAt struct {
+	server proto.NodeID
+	epoch  uint64
+	pos    uint64
 }
 
 var _ core.Tracer = (*Checker)(nil)
@@ -86,12 +107,14 @@ var _ core.Tracer = (*Checker)(nil)
 // New creates a checker for a group of n servers.
 func New(n int) *Checker {
 	return &Checker{
-		n:         n,
-		issued:    make(map[proto.RequestID][]byte),
-		servers:   make(map[proto.NodeID]*serverLog),
-		epochs:    make(map[uint64]*epochData),
-		adoptions: make(map[proto.RequestID]proto.Reply),
-		crashed:   make(map[proto.NodeID]bool),
+		n:             n,
+		issued:        make(map[proto.RequestID][]byte),
+		servers:       make(map[proto.NodeID]*serverLog),
+		epochs:        make(map[uint64]*epochData),
+		adoptions:     make(map[proto.RequestID]proto.Reply),
+		crashed:       make(map[proto.NodeID]bool),
+		readAdoptions: make(map[proto.RequestID]proto.Reply),
+		clientHW:      make(map[proto.NodeID]uint64),
 	}
 }
 
@@ -163,10 +186,10 @@ func (c *Checker) OptUndeliver(server proto.NodeID, epoch uint64, req proto.Requ
 	if top.req != req {
 		c.report("undo order", "%v Opt-undelivered %v but last delivery was %v (must undo in reverse order)", server, req, top.req)
 	}
+	c.undone = append(c.undone, undoneAt{server: server, epoch: epoch, pos: top.pos})
 	sl.log = sl.log[:len(sl.log)-1]
 	sl.tentative--
 	delete(sl.optPending, req)
-	_ = epoch
 }
 
 // ADeliver implements core.Tracer.
@@ -218,7 +241,7 @@ func (c *Checker) EpochClose(server proto.NodeID, epoch uint64, input cnsvorder.
 }
 
 // Adopt implements core.Tracer.
-func (c *Checker) Adopt(_ proto.NodeID, req proto.RequestID, reply proto.Reply) {
+func (c *Checker) Adopt(client proto.NodeID, req proto.RequestID, reply proto.Reply) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if prev, dup := c.adoptions[req]; dup {
@@ -226,6 +249,35 @@ func (c *Checker) Adopt(_ proto.NodeID, req proto.RequestID, reply proto.Reply) 
 		return
 	}
 	c.adoptions[req] = reply
+	if reply.Pos > c.clientHW[client] {
+		c.clientHW[client] = reply.Pos
+	}
+}
+
+// ReadAdopt implements core.Tracer. The monotonicity check mirrors the
+// client's guard exactly: per-client adoption events arrive in the order the
+// client performed them (they are emitted under the client's lock), so an
+// adopted read below the client's running high-water position is a broken
+// monotonic-reads / read-your-writes guarantee.
+func (c *Checker) ReadAdopt(client proto.NodeID, req proto.RequestID, reply proto.Reply) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if prev, dup := c.readAdoptions[req]; dup {
+		c.report("client", "read %v adopted twice (%v then %v)", req, prev, reply)
+		return
+	}
+	if _, dup := c.adoptions[req]; dup {
+		c.report("client", "read %v also adopted via the ordered path", req)
+		return
+	}
+	if hw := c.clientHW[client]; reply.Pos < hw {
+		c.report("read monotonicity",
+			"client %v adopted read %v at pos %d below its adoption high-water %d", client, req, reply.Pos, hw)
+	}
+	c.readAdoptions[req] = reply
+	if reply.Pos > c.clientHW[client] {
+		c.clientHW[client] = reply.Pos
+	}
 }
 
 // Undeliveries returns how many Opt-undeliver events were recorded.
@@ -242,11 +294,18 @@ func (c *Checker) Deliveries() (opt, cons int) {
 	return c.optCount, c.aCount
 }
 
-// Adoptions returns the number of adopted replies.
+// Adoptions returns the number of adopted replies (ordered path only).
 func (c *Checker) Adoptions() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.adoptions)
+}
+
+// ReadAdoptions returns the number of adopted fast-path reads.
+func (c *Checker) ReadAdoptions() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.readAdoptions)
 }
 
 // Verify checks all safety properties over the trace recorded so far and
@@ -259,6 +318,7 @@ func (c *Checker) Verify() []*Violation {
 	out = append(out, c.verifyTotalOrderLocked()...)
 	out = append(out, c.verifyExternalConsistencyLocked()...)
 	out = append(out, c.verifyEpochSpecsLocked()...)
+	out = append(out, c.verifyReadConsistencyLocked()...)
 	return out
 }
 
@@ -342,6 +402,36 @@ func (c *Checker) verifyExternalConsistencyLocked() []*Violation {
 							adopted.Pos, adopted.Result, req, id, e.pos, e.result),
 					})
 				}
+			}
+		}
+	}
+	return out
+}
+
+// verifyReadConsistencyLocked checks the read-consistency proposition: every
+// adopted fast-path read equals the state after some prefix of the final
+// definitive order. A read adopted at (epoch k, pos x) observed exactly the
+// definitive prefix through epoch k-1 plus epoch k's optimistic prefix of
+// length x - base; that state is a definitive prefix if and only if no
+// epoch-k optimistic entry at position ≤ x was later Opt-undelivered. The
+// client's majority rule guarantees this (a majority of servers held prefix
+// ≥ x in epoch k when they answered, their Cnsv-order proposals only grow
+// within the epoch, and any Maj-validity decision intersects that majority,
+// so dlvmax extends the prefix); a read observed only pre-rollback can thus
+// never gather an adopting majority — which is exactly what this check
+// enforces on the actual trace.
+func (c *Checker) verifyReadConsistencyLocked() []*Violation {
+	var out []*Violation
+	for req, adopted := range c.readAdoptions {
+		for _, u := range c.undone {
+			if u.epoch == adopted.Epoch && u.pos <= adopted.Pos {
+				out = append(out, &Violation{
+					Property: "read consistency",
+					Detail: fmt.Sprintf(
+						"read %v adopted at epoch %d pos %d observed entry at pos %d that %v later Opt-undelivered",
+						req, adopted.Epoch, adopted.Pos, u.pos, u.server),
+				})
+				break
 			}
 		}
 	}

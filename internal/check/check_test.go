@@ -213,3 +213,83 @@ func TestViolationError(t *testing.T) {
 		t.Errorf("Error() = %q", v.Error())
 	}
 }
+
+// TestReadConsistencyFlagged: a fast-path read adopted at a prefix that a
+// server later rolls back is the read-consistency violation — the failure
+// the majority-validated adoption rule exists to make impossible.
+func TestReadConsistencyFlagged(t *testing.T) {
+	c := New(3)
+	issue(c, 1, 2)
+	c.OptDeliver(0, 0, rid(1), 1, []byte("a"))
+	c.OptDeliver(0, 0, rid(2), 2, []byte("b"))
+	c.ReadAdopt(proto.ClientID(0), rid(7), proto.Reply{Req: rid(7), Epoch: 0, Pos: 2, Result: []byte("b")})
+	c.OptUndeliver(0, 0, rid(2)) // pos 2 — inside the adopted read's prefix
+	if !hasViolation(c.Verify(), "read consistency") {
+		t.Fatal("read over a rolled-back prefix not flagged")
+	}
+}
+
+// TestReadBeforeRollbackPointIsClean: an undo strictly beyond the adopted
+// read's position does not invalidate the read, and an undo in a different
+// epoch is judged against that epoch only.
+func TestReadBeforeRollbackPointIsClean(t *testing.T) {
+	c := New(3)
+	issue(c, 1, 2)
+	c.OptDeliver(0, 0, rid(1), 1, []byte("a"))
+	c.OptDeliver(0, 0, rid(2), 2, []byte("b"))
+	c.ReadAdopt(proto.ClientID(0), rid(7), proto.Reply{Req: rid(7), Epoch: 0, Pos: 1, Result: []byte("a")})
+	c.OptUndeliver(0, 0, rid(2)) // pos 2 > the read's pos 1: the read survives
+	if vs := c.Verify(); hasViolation(vs, "read consistency") {
+		t.Fatalf("read below the rollback point flagged: %v", vs)
+	}
+	// Same shape, but the read was adopted in a later epoch: epoch 1's pos 1
+	// is not epoch 0's pos 1.
+	c2 := New(3)
+	issue(c2, 1, 2)
+	c2.OptDeliver(0, 0, rid(1), 1, []byte("a"))
+	c2.ReadAdopt(proto.ClientID(0), rid(8), proto.Reply{Req: rid(8), Epoch: 1, Pos: 1, Result: []byte("a")})
+	c2.OptUndeliver(0, 0, rid(1))
+	if vs := c2.Verify(); hasViolation(vs, "read consistency") {
+		t.Fatalf("cross-epoch undo flagged against the read: %v", vs)
+	}
+}
+
+// TestReadMonotonicityFlagged: an adopted read below the client's running
+// adoption high-water mark breaks monotonic reads / read-your-writes.
+func TestReadMonotonicityFlagged(t *testing.T) {
+	c := New(3)
+	issue(c, 1)
+	c.Adopt(proto.ClientID(0), rid(1), proto.Reply{Req: rid(1), Pos: 4, Result: []byte("a")})
+	c.ReadAdopt(proto.ClientID(0), rid(2), proto.Reply{Req: rid(2), Pos: 3})
+	if !hasViolation(c.Verify(), "read monotonicity") {
+		t.Fatal("read below the adoption high-water not flagged")
+	}
+	// Another client's high-water does not constrain this one.
+	c2 := New(3)
+	issue(c2, 1)
+	c2.Adopt(proto.ClientID(0), rid(1), proto.Reply{Req: rid(1), Pos: 4, Result: []byte("a")})
+	c2.ReadAdopt(proto.ClientID(1), rid(2), proto.Reply{Req: rid(2), Pos: 3})
+	if vs := c2.Verify(); hasViolation(vs, "read monotonicity") {
+		t.Fatalf("cross-client high-water applied: %v", vs)
+	}
+}
+
+// TestReadDoubleAdoptionFlagged: one read adopted twice, or via both paths.
+func TestReadDoubleAdoptionFlagged(t *testing.T) {
+	c := New(3)
+	c.ReadAdopt(proto.ClientID(0), rid(1), proto.Reply{Req: rid(1), Pos: 1})
+	c.ReadAdopt(proto.ClientID(0), rid(1), proto.Reply{Req: rid(1), Pos: 2})
+	if !hasViolation(c.Verify(), "client") {
+		t.Fatal("double read adoption not flagged")
+	}
+	c2 := New(3)
+	issue(c2, 1)
+	c2.Adopt(proto.ClientID(0), rid(1), proto.Reply{Req: rid(1), Pos: 1})
+	c2.ReadAdopt(proto.ClientID(0), rid(1), proto.Reply{Req: rid(1), Pos: 1})
+	if !hasViolation(c2.Verify(), "client") {
+		t.Fatal("read adopted via both paths not flagged")
+	}
+	if c2.ReadAdoptions() != 0 {
+		t.Errorf("rejected read counted: %d", c2.ReadAdoptions())
+	}
+}

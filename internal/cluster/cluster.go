@@ -160,6 +160,34 @@ func (m *lockedMachine) Fingerprint() string {
 	return m.inner.Fingerprint()
 }
 
+// lockedReaderMachine additionally forwards the read-only Query surface for
+// machines that have one. It is a separate type so that wrapping never
+// grants app.Reader to a machine that does not implement it — the replica's
+// read fast path keys off the type assertion.
+type lockedReaderMachine struct {
+	lockedMachine
+	reader app.Reader
+}
+
+var _ app.Reader = (*lockedReaderMachine)(nil)
+
+func (m *lockedReaderMachine) Query(cmd []byte) ([]byte, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.reader.Query(cmd)
+}
+
+// lockMachine wraps inner for cross-goroutine observation, preserving its
+// app.Reader implementation exactly when present.
+func lockMachine(inner app.Machine) app.Machine {
+	if r, ok := inner.(app.Reader); ok {
+		m := &lockedReaderMachine{reader: r}
+		m.inner = inner
+		return m
+	}
+	return &lockedMachine{inner: inner}
+}
+
 // shardGroup is the runtime of one ordering group: its network, replicas,
 // machines and scripted detectors. Replicas are backend.Replicas — the
 // cluster neither knows nor cares which protocol is behind them.
@@ -173,7 +201,10 @@ type shardGroup struct {
 	// latency collects client-observed response times for this group: every
 	// invoker NewClient hands out is wrapped in backend.Measure recording
 	// here, so per-group and cluster-wide percentiles are always available.
-	latency *metrics.Histogram
+	// readLatency splits out fast-path reads (InvokeRead) so the read/write
+	// latency gap is observable.
+	latency     *metrics.Histogram
+	readLatency *metrics.Histogram
 }
 
 // Cluster is a running set of replica groups of one ordering backend.
@@ -261,10 +292,11 @@ func (c *Cluster) tracerFor(s int) backend.Tracer {
 func (c *Cluster) bootShard(ctx context.Context, s int) (*shardGroup, error) {
 	opts := c.opts
 	sg := &shardGroup{
-		id:      proto.GroupID(s), //nolint:gosec // bounded by Options validation
-		net:     memnet.New(opts.Net),
-		tracer:  c.tracerFor(s),
-		latency: metrics.NewHistogram(),
+		id:          proto.GroupID(s), //nolint:gosec // bounded by Options validation
+		net:         memnet.New(opts.Net),
+		tracer:      c.tracerFor(s),
+		latency:     metrics.NewHistogram(),
+		readLatency: metrics.NewHistogram(),
 	}
 	start := time.Now()
 	for i := 0; i < opts.N; i++ {
@@ -272,7 +304,7 @@ func (c *Cluster) bootShard(ctx context.Context, s int) (*shardGroup, error) {
 		if err != nil {
 			return nil, err
 		}
-		machine := app.Machine(&lockedMachine{inner: inner})
+		machine := lockMachine(inner)
 		sg.mach = append(sg.mach, machine)
 
 		var detector fd.Detector
@@ -457,7 +489,7 @@ func (c *Cluster) newClientAt(idx int) (Invoker, error) {
 		// histogram (successful invokes only); with several groups the
 		// sharded client below then attributes each request to the group
 		// that actually served it.
-		inv = backend.Measure(inv, sg.latency)
+		inv = backend.Measure(inv, sg.latency, sg.readLatency)
 		started = append(started, inv)
 		perGroup[s] = inv
 	}
@@ -506,6 +538,8 @@ func (c *Cluster) ShardStats(s int) backend.Stats {
 	}
 	total.Latency = metrics.NewHistogram()
 	total.Latency.Merge(c.shards[s].latency)
+	total.ReadLatency = metrics.NewHistogram()
+	total.ReadLatency.Merge(c.shards[s].readLatency)
 	return total
 }
 
@@ -526,6 +560,17 @@ func (c *Cluster) Latency() metrics.Snapshot {
 // group s (useful for spotting skew under non-uniform key distributions).
 func (c *Cluster) ShardLatency(s int) metrics.Snapshot {
 	return c.shards[s].latency.Snapshot()
+}
+
+// ReadLatency summarizes the response times of fast-path reads (InvokeRead)
+// across all shards, split out from Latency so the read/write gap — the
+// point of the zero-ordering read path — is directly observable.
+func (c *Cluster) ReadLatency() metrics.Snapshot {
+	merged := metrics.NewHistogram()
+	for _, sg := range c.shards {
+		merged.Merge(sg.readLatency)
+	}
+	return merged.Snapshot()
 }
 
 // WaitUntil polls cond every millisecond until it is true or the timeout

@@ -77,6 +77,8 @@ func (r oarReplica) Stats() backend.Stats {
 		Epochs:         s.Epochs,
 		SeqOrdersSent:  s.SeqOrdersSent,
 		ForeignDropped: s.ForeignDropped,
+		ReadsServed:    s.ReadsServed,
+		ReadFallbacks:  s.ReadFallbacks,
 		BatchFrames:    s.BatchFrames,
 		BatchedSends:   s.BatchedMsgs,
 		BatchWindowNS:  int64(s.BatchWindow),

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/proto"
 	"repro/internal/rmcast"
 	"repro/internal/transport"
@@ -59,6 +60,12 @@ type Client struct {
 	rm      *rmcast.RMcast
 	nextSeq uint64
 	pending map[proto.RequestID]*call
+	// highWater is the largest delivery position this client has adopted a
+	// reply at — write or read. Fast-path read replies from shorter prefixes
+	// are discarded (not counted toward adoption), which makes reads monotonic
+	// and read-your-writes: a read issued after an adopted operation can only
+	// adopt state that includes it.
+	highWater uint64
 
 	// Request batching: Invokes enqueue their outbound frames here and a
 	// sender loop coalesces whatever has accumulated per server into one
@@ -83,6 +90,14 @@ type call struct {
 	byEpoch map[uint64]*epochReplies
 	result  chan proto.Reply // buffered(1); receives the adopted reply
 	adopted bool
+
+	// Read fast path only: rq runs the shared majority-validated adoption
+	// rule and tracks which replicas answered at all, so the invoker can give
+	// up and fall back to the ordered path as soon as the whole group has
+	// answered without an adoptable majority.
+	rq     *backend.ReadQuorum
+	giveUp chan struct{} // closed once every replica answered without adoption
+	gaveUp bool
 }
 
 // epochReplies groups the replies of one epoch, per the "for some k" clause
@@ -271,6 +286,10 @@ func (c *Client) onReplyLocked(reply proto.Reply) {
 	if !ok || call.adopted {
 		return
 	}
+	if call.rq != nil {
+		c.onReadReplyLocked(call, reply)
+		return
+	}
 	acc, ok := call.byEpoch[reply.Epoch]
 	if !ok {
 		acc = &epochReplies{}
@@ -293,7 +312,41 @@ func (c *Client) onReplyLocked(reply proto.Reply) {
 	call.adopted = true
 	call.result <- best
 	delete(c.pending, reply.Req)
+	if best.Pos > c.highWater {
+		c.highWater = best.Pos
+	}
 	c.tracer.Adopt(c.cfg.ID, reply.Req, best)
+}
+
+// onReadReplyLocked feeds a read call's reply through the shared
+// majority-validated adoption rule (backend.ReadQuorum). Replies below the
+// client's high-water mark are discarded before they enter the accumulator
+// (they would break monotonic reads) but still count toward the answered
+// weight, so a read that can never be adopted — e.g. every replica behind
+// the client's last write — falls back instead of hanging. Caller holds
+// c.mu.
+func (c *Client) onReadReplyLocked(rc *call, reply proto.Reply) {
+	defer func() {
+		if !rc.adopted && !rc.gaveUp && rc.rq.AllAnswered() {
+			rc.gaveUp = true
+			close(rc.giveUp)
+		}
+	}()
+	if reply.Pos < c.highWater {
+		rc.rq.Answer(reply)
+		return // stale prefix: predates this client's last adopted operation
+	}
+	best, ok := rc.rq.Offer(reply.Clone(), c.highWater)
+	if !ok {
+		return
+	}
+	rc.adopted = true
+	rc.result <- best
+	delete(c.pending, reply.Req)
+	if best.Pos > c.highWater {
+		c.highWater = best.Pos
+	}
+	c.tracer.ReadAdopt(c.cfg.ID, reply.Req, best)
 }
 
 // Invoke performs OAR-multicast(m, Π) and blocks until a reply is adopted or
@@ -328,4 +381,76 @@ func (c *Client) Invoke(ctx context.Context, cmd []byte) (proto.Reply, error) {
 		c.mu.Unlock()
 		return proto.Reply{}, fmt.Errorf("core: invoke %v: %w", id, ctx.Err())
 	}
+}
+
+// readFallbackTimeout bounds how long a fast-path read waits for an
+// adoptable majority before re-issuing on the ordered path. It only fires
+// when replies were lost or replicas hang — the all-answered-without-adoption
+// case falls back immediately — so it is deliberately generous next to
+// normal round-trip latency.
+const readFallbackTimeout = 64 * DefaultTickInterval
+
+// InvokeRead performs a read-only request on the fast path: the command goes
+// directly to every replica of the group — no reliable multicast, no
+// sequencer, no position in the definitive order — and each replica that
+// implements app.Reader answers inline from its optimistic prefix. The reply
+// is adopted under the majority-validated rule of onReadReplyLocked, which
+// also keeps this client's reads monotonic and read-your-writes.
+//
+// A read that cannot be adopted — the machine has no Reader, the command is
+// not a well-formed read, or no compatible majority forms — falls back to
+// the ordered path via a fresh Invoke (safe: the fast-path attempt had no
+// effect on any replica). Replica-side fallbacks resolve transparently: all
+// replicas then reply from the request's single delivery position, which
+// satisfies the read rule at that position.
+func (c *Client) InvokeRead(ctx context.Context, cmd []byte) (proto.Reply, error) {
+	c.mu.Lock()
+	id := proto.RequestID{Group: c.cfg.GroupID, Client: c.cfg.ID, Seq: c.nextSeq}
+	c.nextSeq++
+	rc := &call{
+		result: make(chan proto.Reply, 1),
+		rq:     backend.NewReadQuorum(c.n),
+		giveUp: make(chan struct{}),
+	}
+	c.pending[id] = rc
+	c.mu.Unlock()
+
+	// One owned frame shared across every destination: sent payloads are
+	// immutable, and the batching sender copies on Add anyway.
+	frame := proto.MarshalRead(proto.Request{ID: id, Cmd: cmd, ReadOnly: true})
+	for _, srv := range c.cfg.Group {
+		if c.sendCh != nil {
+			c.enqueue(srv, frame)
+		} else {
+			_ = c.cfg.Node.Send(srv, frame)
+		}
+	}
+
+	timer := time.NewTimer(readFallbackTimeout)
+	defer timer.Stop()
+	select {
+	case reply := <-rc.result:
+		return reply, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return proto.Reply{}, fmt.Errorf("core: read %v: %w", id, ctx.Err())
+	case <-rc.giveUp:
+	case <-timer.C:
+	}
+
+	// Fall back to the ordered path. Retire the fast-path attempt first;
+	// once it leaves pending no late adoption can race the re-issue, and an
+	// adoption that slipped in before the lock sits in the buffered result
+	// channel.
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+	select {
+	case reply := <-rc.result:
+		return reply, nil
+	default:
+	}
+	return c.Invoke(ctx, cmd)
 }

@@ -120,6 +120,12 @@ type ServerStats struct {
 	SeqOrdersSent  uint64 // Task 1a ordering messages sent
 	ForeignDropped uint64 // inbound messages dropped for a foreign GroupID
 
+	// Read fast path: reads answered inline from the optimistic prefix
+	// (zero ordering messages) and reads that fell back to the ordered path
+	// because the machine has no Reader or refused the command.
+	ReadsServed   uint64
+	ReadFallbacks uint64
+
 	// Send-batcher observability: how many frames the replica shipped, how
 	// many protocol messages they carried, and the effective hold window at
 	// snapshot time (the AutoTune controller's output; the static window
@@ -152,6 +158,8 @@ func (s *ServerStats) Accumulate(other ServerStats) {
 	s.Epochs += other.Epochs
 	s.SeqOrdersSent += other.SeqOrdersSent
 	s.ForeignDropped += other.ForeignDropped
+	s.ReadsServed += other.ReadsServed
+	s.ReadFallbacks += other.ReadFallbacks
 	s.BatchFrames += other.BatchFrames
 	s.BatchedMsgs += other.BatchedMsgs
 	if other.BatchWindow > s.BatchWindow {
@@ -164,6 +172,12 @@ type Server struct {
 	cfg ServerConfig
 	n   int
 	rm  *rmcast.RMcast
+
+	// reader is the machine's optional read-only interface (nil when the
+	// machine does not implement app.Reader); with it, KindRead requests are
+	// answered inline from the event loop without touching the ordering
+	// pipeline.
+	reader app.Reader
 
 	// Figure 6 state. rOrder holds only live requests: entries are pruned
 	// (with rKnown and payloads) once a request is A-delivered, so the
@@ -224,12 +238,14 @@ type Server struct {
 	orderScratch proto.SeqOrder
 	reqScratch   []proto.Request
 
-	statOpt     atomic.Uint64
-	statUndo    atomic.Uint64
-	statA       atomic.Uint64
-	statEpochs  atomic.Uint64
-	statOrders  atomic.Uint64
-	statForeign atomic.Uint64
+	statOpt       atomic.Uint64
+	statUndo      atomic.Uint64
+	statA         atomic.Uint64
+	statEpochs    atomic.Uint64
+	statOrders    atomic.Uint64
+	statForeign   atomic.Uint64
+	statReads     atomic.Uint64
+	statReadFalls atomic.Uint64
 
 	// fp is the footprint snapshot published at the end of every event-loop
 	// round, so Footprint is safe to poll while the server runs.
@@ -298,6 +314,9 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		decisions:     make(map[uint64]consensus.Decision),
 		tracer:        cfg.Tracer,
 	}
+	if r, ok := cfg.Machine.(app.Reader); ok {
+		s.reader = r
+	}
 	s.rm = rmcast.New(rmcast.Config{
 		Self:    cfg.ID,
 		Group:   cfg.Group,
@@ -323,6 +342,8 @@ func (s *Server) Stats() ServerStats {
 		Epochs:         s.statEpochs.Load(),
 		SeqOrdersSent:  s.statOrders.Load(),
 		ForeignDropped: s.statForeign.Load(),
+		ReadsServed:    s.statReads.Load(),
+		ReadFallbacks:  s.statReadFalls.Load(),
 		BatchFrames:    bs.Frames,
 		BatchedMsgs:    bs.Msgs,
 		BatchWindow:    bs.Window,
@@ -476,6 +497,8 @@ func (s *Server) dispatch(from proto.NodeID, kind proto.Kind, body []byte, now t
 			return
 		}
 		s.handleRDelivery(inner)
+	case proto.KindRead:
+		s.handleRead(body)
 	case proto.KindSeqOrder:
 		// Decode into the reusable scratch order: zero allocations, with
 		// the request commands aliasing the inbound frame. handleSeqOrder
@@ -531,6 +554,46 @@ func (s *Server) handleRDelivery(inner []byte) {
 			return
 		}
 		s.handlePhaseII(p2.Epoch)
+	}
+}
+
+// handleRead serves a read-only request without touching the ordering
+// pipeline: the machine's Reader answers from the current optimistic prefix
+// and the reply is tagged with (epoch, pos, own weight). The client adopts
+// such a reply only once a majority of the group has answered at a
+// compatible prefix — by Maj-validity of the epoch-closing consensus, a
+// majority-endorsed prefix can never be rolled back, so the adopted read is
+// consistent with the definitive order. Nothing is buffered or retained:
+// reads cost zero ordering messages and zero payload retention.
+//
+// Machines without a Reader — and well-formed writes or malformed commands
+// mislabelled as reads — fall back to the ordered path: the request is
+// buffered like an R-delivered write and every replica eventually replies
+// from its single delivery position, which satisfies the client's read rule
+// at that position.
+func (s *Server) handleRead(body []byte) {
+	req, err := proto.UnmarshalRead(body)
+	if err != nil {
+		return
+	}
+	if s.reader != nil {
+		if result, ok := s.reader.Query(req.Cmd); ok {
+			s.statReads.Add(1)
+			s.sendReply(req.ID.Client, proto.Reply{
+				Req:    req.ID,
+				From:   s.cfg.ID,
+				Epoch:  s.epoch,
+				Weight: proto.WeightOf(s.cfg.ID),
+				Pos:    s.pos,
+				Result: result,
+			})
+			return
+		}
+	}
+	s.statReadFalls.Add(1)
+	s.bufferRequest(req)
+	if !s.batching() {
+		s.maybeOrder()
 	}
 }
 

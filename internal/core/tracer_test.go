@@ -43,6 +43,9 @@ func (c *countingTracer) EpochClose(proto.NodeID, uint64, cnsvorder.Input, cnsvo
 	c.bump("epoch")
 }
 func (c *countingTracer) Adopt(proto.NodeID, proto.RequestID, proto.Reply) { c.bump("adopt") }
+func (c *countingTracer) ReadAdopt(proto.NodeID, proto.RequestID, proto.Reply) {
+	c.bump("readadopt")
+}
 
 func TestMultiTracerFansOut(t *testing.T) {
 	a, b := newCountingTracer(), newCountingTracer()
@@ -54,9 +57,10 @@ func TestMultiTracerFansOut(t *testing.T) {
 	m.ADeliver(0, 0, proto.RequestID{}, 1, nil)
 	m.EpochClose(0, 0, cnsvorder.Input{}, cnsvorder.Result{})
 	m.Adopt(proto.ClientID(0), proto.RequestID{}, proto.Reply{})
+	m.ReadAdopt(proto.ClientID(0), proto.RequestID{}, proto.Reply{})
 
 	for _, tr := range []*countingTracer{a, b} {
-		for _, k := range []string{"issue", "opt", "undo", "a", "epoch", "adopt"} {
+		for _, k := range []string{"issue", "opt", "undo", "a", "epoch", "adopt", "readadopt"} {
 			if tr.get(k) != 1 {
 				t.Errorf("tracer missed event %q: count=%d", k, tr.get(k))
 			}
@@ -72,6 +76,7 @@ func TestNopTracerIsSafe(t *testing.T) {
 	n.ADeliver(0, 0, proto.RequestID{}, 0, nil)
 	n.EpochClose(0, 0, cnsvorder.Input{}, cnsvorder.Result{})
 	n.Adopt(0, proto.RequestID{}, proto.Reply{})
+	n.ReadAdopt(0, proto.RequestID{}, proto.Reply{})
 }
 
 // TestExtraTracerObservesScenario: the scenario runners accept additional

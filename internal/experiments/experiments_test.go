@@ -324,3 +324,52 @@ func TestE12QualitativeShape(t *testing.T) {
 		}
 	}
 }
+
+// TestE13QualitativeShape: the read-fast-path matrix must produce its full
+// grid with the per-cell invariants holding (the cells self-assert: zero
+// ordered reads, zero fallbacks, read p50 bounded by write p50, checkers
+// clean — any breach is an error, so reaching the shape check means the
+// fast path actually worked in every cell).
+func TestE13QualitativeShape(t *testing.T) {
+	r, err := E13ReadFastPath(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkShape(t, r, 3*2*1*2) // 3 backends x dists {uniform,zipfian} x ratios {0.9} x shards {1,2}
+	if len(r.Latency) != 2*len(r.Rows) {
+		t.Fatalf("%d latency samples for %d rows (want a read and a write sample per cell)", len(r.Latency), len(r.Rows))
+	}
+	for i, row := range r.Rows {
+		if viol := row[len(row)-1]; row[0] == "oar" && viol != "0" {
+			t.Errorf("oar cell saw checker violations: %v", row)
+		} else if row[0] != "oar" && viol != "-" {
+			t.Errorf("baseline cell claims a checker verdict: %v", row)
+		}
+		for _, s := range r.Latency[2*i : 2*i+2] {
+			if s.Count == 0 || s.P50NS <= 0 || s.MaxNS < s.P50NS {
+				t.Errorf("malformed latency sample for row %v: %+v", row, s)
+			}
+			if s.Labels["backend"] == "" || s.Labels["path"] == "" || s.Labels["rw"] == "" {
+				t.Errorf("latency sample missing labels: %+v", s)
+			}
+		}
+	}
+}
+
+// TestE13Selection: the -protocol/-dist/-rw knobs shape the grid.
+func TestE13Selection(t *testing.T) {
+	cfg := quick()
+	cfg.Protocols = []cluster.Protocol{cluster.OAR}
+	cfg.Dist = "uniform"
+	cfg.ReadRatio = 0.99
+	r, err := E13ReadFastPath(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkShape(t, r, 2) // one backend x one dist x one ratio x shards {1,2}
+	for _, row := range r.Rows {
+		if row[0] != "oar" || row[1] != "uniform" || row[2] != "0.99" {
+			t.Errorf("selection ignored: %v", row)
+		}
+	}
+}

@@ -35,8 +35,15 @@ func BenchmarkHotPathAllocs(b *testing.B) {
 	order := SeqOrder{Epoch: 9, Reqs: orderReqs}
 	rmc := RMcastMsg{Origin: ClientID(7), Seq: 42, Inner: MarshalRequest(req)}
 
+	readReq := Request{
+		ID:       RequestID{Group: g, Client: ClientID(7), Seq: 43},
+		Cmd:      []byte("get v17"),
+		ReadOnly: true,
+	}
+
 	// Pre-encoded inputs for the decode benchmarks.
 	reqPayload := MarshalRequest(req)
+	readPayload := MarshalRead(readReq)
 	replyPayload := MarshalReply(reply)
 	orderPayload := MarshalSeqOrder(g, order)
 	rmcPayload := MarshalRMcast(g, rmc)
@@ -50,6 +57,7 @@ func BenchmarkHotPathAllocs(b *testing.B) {
 		op   func()
 	}{
 		{"encode/request", func() { scratch = AppendRequest(scratch[:0], req) }},
+		{"encode/read", func() { scratch = AppendRead(scratch[:0], readReq) }},
 		{"encode/seqorder", func() { scratch = AppendSeqOrder(scratch[:0], g, order) }},
 		{"encode/reply", func() { scratch = AppendReply(scratch[:0], reply) }},
 		{"encode/heartbeat", func() { scratch = AppendHeartbeat(scratch[:0], g) }},
@@ -68,6 +76,19 @@ func BenchmarkHotPathAllocs(b *testing.B) {
 			}
 			if _, err := UnmarshalRequest(body); err != nil {
 				b.Fatal(err)
+			}
+		}},
+		{"decode/read", func() {
+			_, _, body, err := Unmarshal(readPayload)
+			if err != nil {
+				b.Fatal(err)
+			}
+			got, err := UnmarshalRead(body)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !got.ReadOnly {
+				b.Fatal("decoded read request lost its ReadOnly flag")
 			}
 		}},
 		{"decode/seqorder", func() {

@@ -45,6 +45,12 @@ const (
 	// one transport frame (one syscall / one channel hop instead of many).
 	// Batches do not nest.
 	KindBatch
+	// KindRead is a read-only client request sent directly to each replica of
+	// the owning group, bypassing reliable multicast and the sequencer (the
+	// read fast path). The body encoding is identical to KindRequest — the
+	// envelope kind alone carries the read-only flag, so existing frames stay
+	// wire-compatible.
+	KindRead
 )
 
 // String implements fmt.Stringer.
@@ -74,6 +80,8 @@ func (k Kind) String() string {
 		return "baseline"
 	case KindBatch:
 		return "batch"
+	case KindRead:
+		return "read"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -161,6 +169,24 @@ func UnmarshalRequest(body []byte) (Request, error) {
 	if err := r.Err(); err != nil {
 		return Request{}, fmt.Errorf("proto: decode request: %w", err)
 	}
+	return req, nil
+}
+
+// MarshalRead encodes a read-only Request as an owned KindRead payload. The
+// body bytes are identical to MarshalRequest's; only the envelope kind
+// differs.
+func MarshalRead(req Request) []byte {
+	return AppendRead(make([]byte, 0, 24+len(req.Cmd)), req)
+}
+
+// UnmarshalRead decodes the body of a KindRead payload; the decoded request
+// has ReadOnly set.
+func UnmarshalRead(body []byte) (Request, error) {
+	req, err := UnmarshalRequest(body)
+	if err != nil {
+		return Request{}, err
+	}
+	req.ReadOnly = true
 	return req, nil
 }
 

@@ -73,6 +73,14 @@ func AppendRequest(dst []byte, req Request) []byte {
 	return w.Bytes()
 }
 
+// AppendRead appends the kind-tagged encoding of a read-only request to dst.
+// The body encoding matches AppendRequest; only the envelope kind differs.
+func AppendRead(dst []byte, req Request) []byte {
+	w := wire.Wrap(AppendHeader(dst, KindRead, req.ID.Group))
+	req.Encode(&w)
+	return w.Bytes()
+}
+
 // AppendSeqOrder appends the kind-tagged encoding of m (group g) to dst.
 func AppendSeqOrder(dst []byte, g GroupID, m SeqOrder) []byte {
 	w := wire.Wrap(AppendHeader(dst, KindSeqOrder, g))

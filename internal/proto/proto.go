@@ -158,6 +158,14 @@ func (r RequestID) String() string {
 type Request struct {
 	ID  RequestID
 	Cmd []byte
+	// ReadOnly marks a request eligible for the read fast path: answered
+	// from the optimistic prefix without taking a position in the definitive
+	// order. The flag lives in the envelope kind (KindRead vs KindRequest),
+	// not in the body encoding, so request bodies embedded in SeqOrder and
+	// consensus values are unchanged on the wire; Encode/DecodeRequest do not
+	// carry it. A read that falls back to the ordered path is re-submitted
+	// with the flag cleared.
+	ReadOnly bool
 }
 
 // Clone returns a copy of r whose Cmd is owned by the result — the

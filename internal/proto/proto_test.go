@@ -131,6 +131,7 @@ func FuzzUnmarshal(f *testing.F) {
 	f.Add(MarshalHeartbeat(0))
 	f.Add(Marshal(KindReply, 1<<20, []byte("body")))
 	f.Add([]byte{byte(KindRMcast), 0x80})
+	f.Add(MarshalRead(Request{ID: RequestID{Group: 3, Client: ClientIDBase, Seq: 1}, Cmd: []byte("get k"), ReadOnly: true}))
 	f.Fuzz(func(t *testing.T, payload []byte) {
 		k, g, body, err := Unmarshal(payload)
 		if err != nil {
@@ -140,12 +141,34 @@ func FuzzUnmarshal(f *testing.F) {
 		if err != nil || k2 != k || g2 != g || !bytes.Equal(body2, body) {
 			t.Fatalf("envelope round trip: (%v,%v,%x,%v) != (%v,%v,%x)", k2, g2, body2, err, k, g, body)
 		}
+		if k == KindRead {
+			// Whatever UnmarshalRead accepts must round-trip through
+			// MarshalRead with the flag and the decoded fields preserved
+			// (byte equality is too strong: the decoder tolerates
+			// non-minimal varints and trailing bytes).
+			req, err := UnmarshalRead(body)
+			if err != nil {
+				return
+			}
+			if !req.ReadOnly {
+				t.Fatal("UnmarshalRead did not set ReadOnly")
+			}
+			k3, g3, body3, err := Unmarshal(MarshalRead(req))
+			if err != nil || k3 != KindRead || g3 != req.ID.Group {
+				t.Fatalf("read re-encode: kind=%v group=%v err=%v", k3, g3, err)
+			}
+			req2, err := UnmarshalRead(body3)
+			if err != nil || req2.ID != req.ID || !bytes.Equal(req2.Cmd, req.Cmd) || !req2.ReadOnly {
+				t.Fatalf("read round trip: %+v vs %+v (err=%v)", req2, req, err)
+			}
+		}
 	})
 }
 
 func TestKindString(t *testing.T) {
 	kinds := []Kind{KindRMcast, KindRequest, KindPhaseII, KindSeqOrder, KindReply,
-		KindHeartbeat, KindEstimate, KindPropose, KindAck, KindDecide, KindBaseline}
+		KindHeartbeat, KindEstimate, KindPropose, KindAck, KindDecide, KindBaseline,
+		KindBatch, KindRead}
 	seen := map[string]bool{}
 	for _, k := range kinds {
 		s := k.String()
@@ -187,6 +210,36 @@ func TestRequestRoundTrip(t *testing.T) {
 	}
 	if got.ID != req.ID || !bytes.Equal(got.Cmd, req.Cmd) {
 		t.Errorf("round trip mismatch: %+v vs %+v", got, req)
+	}
+}
+
+func TestReadRoundTrip(t *testing.T) {
+	req := Request{ID: RequestID{Group: 2, Client: ClientID(1), Seq: 9}, Cmd: []byte("get k"), ReadOnly: true}
+	payload := MarshalRead(req)
+	k, g, body, err := Unmarshal(payload)
+	if err != nil || k != KindRead || g != req.ID.Group {
+		t.Fatalf("kind=%v group=%v err=%v", k, g, err)
+	}
+	got, err := UnmarshalRead(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != req.ID || !bytes.Equal(got.Cmd, req.Cmd) || !got.ReadOnly {
+		t.Errorf("round trip mismatch: %+v vs %+v", got, req)
+	}
+	// The body bytes are exactly the KindRequest body: the envelope kind alone
+	// carries the flag, so a read body decoded as an ordinary request is
+	// identical but for ReadOnly.
+	_, _, wbody, err := Unmarshal(MarshalRequest(Request{ID: req.ID, Cmd: req.Cmd}))
+	if err != nil || !bytes.Equal(body, wbody) {
+		t.Errorf("read body differs from request body: %x vs %x (err=%v)", body, wbody, err)
+	}
+	asWrite, err := UnmarshalRequest(body)
+	if err != nil || asWrite.ReadOnly {
+		t.Errorf("request decode of read body: %+v err=%v", asWrite, err)
+	}
+	if clone := got.Clone(); !clone.ReadOnly || !bytes.Equal(clone.Cmd, got.Cmd) {
+		t.Errorf("Clone dropped ReadOnly or Cmd: %+v", clone)
 	}
 }
 

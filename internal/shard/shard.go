@@ -169,6 +169,25 @@ func (c *Client) Invoke(ctx context.Context, cmd []byte) (proto.Reply, error) {
 	return c.groups[g].Invoke(ctx, cmd)
 }
 
+// readInvoker mirrors backend.ReadInvoker (redeclared here to keep this
+// package below the backend seam, like Invoker above).
+type readInvoker interface {
+	InvokeRead(ctx context.Context, cmd []byte) (proto.Reply, error)
+}
+
+// InvokeRead submits a read-only cmd to the group owning its key on that
+// group's read fast path. Groups whose client has no fast path serve the
+// read as an ordinary Invoke — per-key consistency is identical either way,
+// only the ordering cost differs.
+func (c *Client) InvokeRead(ctx context.Context, cmd []byte) (proto.Reply, error) {
+	g := c.router.Route(cmd)
+	c.routed[g].Add(1)
+	if ri, ok := c.groups[g].(readInvoker); ok {
+		return ri.InvokeRead(ctx, cmd)
+	}
+	return c.groups[g].Invoke(ctx, cmd)
+}
+
 // Routed returns how many Invokes were routed to each group — the observed
 // load split. Under a uniform key distribution the counts are near-equal;
 // under a skewed one (e.g. a zipfian workload) the imbalance quantifies how

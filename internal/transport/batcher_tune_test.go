@@ -197,6 +197,96 @@ func TestBatcherTunerDrivesWindowAndSeesShips(t *testing.T) {
 	}
 }
 
+// readReplyFrame encodes a reply the way the replica's read fast path does
+// (core.Server.handleRead → sendReply → AppendReply), so these tests exercise
+// the exact frames the batcher holds on the read path.
+func readReplyFrame(pos uint64) []byte {
+	return proto.AppendReply(nil, proto.Reply{
+		Req:    proto.RequestID{Group: 1, Client: -7, Seq: pos},
+		From:   0,
+		Epoch:  0,
+		Weight: proto.WeightOf(0),
+		Pos:    pos,
+		Result: []byte("1"),
+	})
+}
+
+// TestBatcherReadReplyNeverHeldPastMaxWindow pins the read-latency contract
+// of the AutoTune batcher: a read reply may be held by an open window, but
+// never longer than the tuner's ceiling (tune.Config.MaxWindow) measured from
+// the OLDEST buffered message. The regression this guards: re-stamping the
+// hold clock on later Adds would let a trickle of read replies postpone the
+// envelope indefinitely, turning the "bounded hold" into an unbounded one and
+// destroying the read fast path's latency edge (E13's read p50 ≤ write p50).
+func TestBatcherReadReplyNeverHeldPastMaxWindow(t *testing.T) {
+	const window = 25 * time.Millisecond // stands in for the tuner's MaxWindow ceiling
+	n := &captureNode{}
+	tn := &fixedTuner{window: window}
+	b := NewBatcherWith(n, 1, BatcherOptions{Tuner: tn})
+
+	b.Add(2, readReplyFrame(1))
+	b.Flush()
+	if len(n.sent) != 0 {
+		t.Fatal("read reply shipped before the window expired (hold layer inactive)")
+	}
+
+	// A second reply arrives just as the first's hold expires. The window is
+	// measured from the oldest message: the young reply must NOT reset the
+	// clock, so this Flush ships both.
+	time.Sleep(window + window/2)
+	b.Add(2, readReplyFrame(2))
+	b.Flush()
+	if len(n.sent) != 1 {
+		t.Fatalf("sent %d frames, want 1: a fresh Add re-stamped the hold clock and kept the expired reply buffered", len(n.sent))
+	}
+	if b.Pending() != 0 {
+		t.Fatalf("Pending = %d after the expiry flush, want 0", b.Pending())
+	}
+	if s := b.Stats(); s.Msgs != 2 {
+		t.Fatalf("Stats.Msgs = %d, want both replies in the shipped envelope", s.Msgs)
+	}
+}
+
+// TestBatcherReadReplyWindowExtremes drives the tuner to both ends of its
+// control range. At the latency floor (window 0) a read reply ships on the
+// round's own Flush, byte-identical to the unbatched wire; at an effectively
+// infinite window the reply still cannot be held past the envelope cap — a
+// full envelope ships from Add itself — and Close drains whatever remains.
+func TestBatcherReadReplyWindowExtremes(t *testing.T) {
+	// Floor: the tuner decided pure latency mode.
+	n := &captureNode{}
+	tn := &fixedTuner{window: 0}
+	b := NewBatcherWith(n, 1, BatcherOptions{Tuner: tn})
+	frame := readReplyFrame(1)
+	b.Add(2, frame)
+	b.Flush()
+	if len(n.sent) != 1 {
+		t.Fatalf("sent %d at the latency floor, want the reply shipped on its own round's flush", len(n.sent))
+	}
+	if !bytes.Equal(n.sent[0], frame) {
+		t.Fatalf("single read reply shipped as %x, want the bare unbatched frame %x", n.sent[0], frame)
+	}
+
+	// Ceiling stuck open: even a window that never expires cannot hold a
+	// reply once the envelope is full, and Close drains the rest.
+	n2 := &captureNode{}
+	b2 := NewBatcherWith(n2, 1, BatcherOptions{Tuner: &fixedTuner{window: time.Hour}, MaxBatch: 4})
+	for pos := uint64(1); pos <= 5; pos++ {
+		b2.Add(2, readReplyFrame(pos))
+	}
+	if len(n2.sent) != 1 {
+		t.Fatalf("sent %d under an open window, want 1 full envelope shipped from Add at MaxBatch", len(n2.sent))
+	}
+	b2.Flush()
+	if len(n2.sent) != 1 || b2.Pending() != 1 {
+		t.Fatalf("sent=%d pending=%d: the young remainder should still be held", len(n2.sent), b2.Pending())
+	}
+	b2.Close()
+	if len(n2.sent) != 2 || b2.Pending() != 0 {
+		t.Fatalf("sent=%d pending=%d after Close, want everything drained", len(n2.sent), b2.Pending())
+	}
+}
+
 // TestBatcherCloseReleasesEveryQueuedFrame pushes pooled frames through a
 // held batcher and closes it: with the framecheck tag on (make framecheck)
 // an unbalanced GetFrame/Release panics, so simply completing is the assert.

@@ -140,11 +140,13 @@ const valueAlphabet = "abcdefghijklmnopqrstuvwxyz0123456789"
 // workload runs reproducible across processes and repetitions. Not safe for
 // concurrent use; the engine gives each worker its own.
 type Generator struct {
+	w         int
 	rng       *rand.Rand
 	keys      chooser
 	readRatio float64
 	value     []byte
 	buf       []byte
+	versions  map[uint64]uint64 // per-key write version (NextOp only)
 }
 
 // NewGenerator builds worker w's command generator for the spec. The
@@ -161,10 +163,12 @@ func NewGenerator(spec Spec, w int) (*Generator, error) {
 		return nil, err
 	}
 	g := &Generator{
+		w:         w,
 		rng:       rng,
 		keys:      keys,
 		readRatio: spec.ReadRatio,
 		value:     make([]byte, spec.ValueSize),
+		versions:  make(map[uint64]uint64),
 	}
 	return g, nil
 }
@@ -196,3 +200,47 @@ func (g *Generator) Next() []byte {
 func appendKey(buf []byte, key uint64) []byte {
 	return append(buf, fmt.Sprintf("k%08d", key)...)
 }
+
+// Op is one generated operation, with enough shape for the engine to route
+// it (reads onto the fast path) and to verify read-your-writes. Cmd and
+// Value alias the generator's reused buffer — copy what outlives the next
+// NextOp call.
+type Op struct {
+	Cmd  []byte
+	Read bool
+	Key  uint64
+	// Value is the written value (aliasing Cmd; nil for reads). Values are
+	// worker-tagged — "w<worker>v<version>" plus deterministic padding to
+	// the spec's value size — so a read result identifies which worker's
+	// write it observed, making stale reads of one's own writes detectable.
+	Value []byte
+}
+
+// NextOp returns the next operation. Unlike Next, write values carry the
+// worker tag described on Op — the stream is equally deterministic, but not
+// byte-identical to Next's, so a run must use one or the other throughout.
+func (g *Generator) NextOp() Op {
+	key := g.keys.next()
+	read := g.rng.Float64() < g.readRatio
+	g.buf = g.buf[:0]
+	if read {
+		g.buf = append(g.buf, "get "...)
+		g.buf = appendKey(g.buf, key)
+		return Op{Cmd: g.buf, Read: true, Key: key}
+	}
+	g.versions[key]++
+	g.buf = append(g.buf, "set "...)
+	g.buf = appendKey(g.buf, key)
+	g.buf = append(g.buf, ' ')
+	valStart := len(g.buf)
+	g.buf = fmt.Appendf(g.buf, "w%dv%d", g.w, g.versions[key])
+	for len(g.buf)-valStart < len(g.value) {
+		g.buf = append(g.buf, valueAlphabet[g.rng.Intn(len(valueAlphabet))])
+	}
+	return Op{Cmd: g.buf, Key: key, Value: g.buf[valStart:]}
+}
+
+// OwnValuePrefix is the tag every value worker w writes starts with. The
+// trailing 'v' keeps tags prefix-free across workers (w1's tag is never a
+// prefix of w11's).
+func OwnValuePrefix(w int) []byte { return fmt.Appendf(nil, "w%dv", w) }

@@ -27,6 +27,7 @@
 package workload
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -134,6 +135,12 @@ func (s Spec) Mode() string {
 // every client in this repo is.
 type Invoke func(ctx context.Context, cmd []byte) error
 
+// RWInvoke submits one command on its proper path — read=true marks a
+// read-only command the client may answer through the zero-ordering fast
+// path — and returns the adopted result. Implementations must be safe for
+// concurrent use.
+type RWInvoke func(ctx context.Context, cmd []byte, read bool) ([]byte, error)
+
 // Report is the outcome of one workload run.
 type Report struct {
 	// Spec is the (defaults-filled) spec the run executed.
@@ -148,29 +155,87 @@ type Report struct {
 	Throughput float64
 	// Latency summarizes the measured requests' response times. In an
 	// open-loop run each sample is measured from the request's scheduled
-	// arrival time (coordinated-omission corrected).
+	// arrival time (coordinated-omission corrected). In a RunRW run this
+	// covers writes only; reads land in ReadLatency.
 	Latency metrics.Snapshot
+
+	// MeasuredReads counts the reads inside the measured window (RunRW only;
+	// they are included in Measured too).
+	MeasuredReads uint64
+	// ReadLatency summarizes the measured reads' response times (RunRW only).
+	ReadLatency metrics.Snapshot
+	// RYWChecked counts reads whose result the engine could verify against
+	// the issuing worker's own last write of the key (RunRW only) — the
+	// read-your-writes oracle. Zero on a read-heavy run would mean the check
+	// never engaged; E13 asserts it is positive.
+	RYWChecked uint64
 }
 
 // Run executes the workload against the given client endpoints (worker w
 // uses invokers[w % len]) and records measured-window latencies into hist
 // (pass nil to let Run allocate one). It aborts on the first invocation
-// error.
+// error. Every command travels the ordered path; use RunRW to exercise the
+// read fast path.
 func Run(ctx context.Context, spec Spec, invokers []Invoke, hist *metrics.Histogram) (Report, error) {
-	spec = spec.withDefaults()
-	if err := spec.validate(); err != nil {
+	if err := checkInvokers(len(invokers)); err != nil {
 		return Report{}, err
 	}
-	if len(invokers) == 0 {
-		return Report{}, fmt.Errorf("workload: no invokers")
+	rw := make([]RWInvoke, len(invokers))
+	for i, inv := range invokers {
+		if inv == nil {
+			return Report{}, fmt.Errorf("workload: invoker %d is nil", i)
+		}
+		inv := inv
+		rw[i] = func(ctx context.Context, cmd []byte, _ bool) ([]byte, error) {
+			return nil, inv(ctx, cmd)
+		}
+	}
+	return run(ctx, spec, rw, hist, nil, false)
+}
+
+// RunRW executes the workload with the read/write split surfaced: reads are
+// routed with read=true (clients with a fast path serve them without any
+// ordering messages), read and write latencies are recorded into separate
+// histograms (either may be nil), and each worker checks read-your-writes —
+// a read of a key the worker itself wrote must never observe an older value
+// of its own than the last one it adopted a write reply for (write values
+// are worker-tagged, see Op.Value, so foreign and stale-own results are
+// distinguishable). The check is a hard oracle: a violation aborts the run
+// with an error, deterministically for a given spec and seed.
+func RunRW(ctx context.Context, spec Spec, invokers []RWInvoke, hist, readHist *metrics.Histogram) (Report, error) {
+	if err := checkInvokers(len(invokers)); err != nil {
+		return Report{}, err
 	}
 	for i, inv := range invokers {
 		if inv == nil {
 			return Report{}, fmt.Errorf("workload: invoker %d is nil", i)
 		}
 	}
+	return run(ctx, spec, invokers, hist, readHist, true)
+}
+
+func checkInvokers(n int) error {
+	if n == 0 {
+		return fmt.Errorf("workload: no invokers")
+	}
+	return nil
+}
+
+// run is the engine shared by Run and RunRW. split selects the read/write-
+// aware mode: NextOp streams (worker-tagged values), fast-path routing,
+// per-path histograms and the read-your-writes oracle. The legacy mode keeps
+// byte-identical Next streams so measurements stay comparable across
+// revisions.
+func run(ctx context.Context, spec Spec, invokers []RWInvoke, hist, readHist *metrics.Histogram, split bool) (Report, error) {
+	spec = spec.withDefaults()
+	if err := spec.validate(); err != nil {
+		return Report{}, err
+	}
 	if hist == nil {
 		hist = metrics.NewHistogram()
+	}
+	if readHist == nil {
+		readHist = metrics.NewHistogram()
 	}
 	total := spec.Warmup + spec.Requests
 
@@ -178,11 +243,13 @@ func Run(ctx context.Context, spec Spec, invokers []Invoke, hist *metrics.Histog
 	defer cancel()
 
 	var (
-		next      atomic.Int64 // request sequence claim counter
-		executed  atomic.Int64
-		measured  atomic.Uint64
-		measStart atomic.Int64 // UnixNano of the measured window's opening
-		wg        sync.WaitGroup
+		next       atomic.Int64 // request sequence claim counter
+		executed   atomic.Int64
+		measured   atomic.Uint64
+		measReads  atomic.Uint64
+		rywChecked atomic.Uint64
+		measStart  atomic.Int64 // UnixNano of the measured window's opening
+		wg         sync.WaitGroup
 	)
 	var interval time.Duration
 	if spec.Rate > 0 {
@@ -203,13 +270,26 @@ func Run(ctx context.Context, spec Spec, invokers []Invoke, hist *metrics.Histog
 		go func(w int, gen *Generator) {
 			defer wg.Done()
 			invoke := invokers[w%len(invokers)]
+			var (
+				ownPrefix []byte
+				lastWrite map[uint64][]byte // this worker's last adopted write per key
+			)
+			if split {
+				ownPrefix = OwnValuePrefix(w)
+				lastWrite = make(map[uint64][]byte)
+			}
 			for {
 				i := next.Add(1) - 1
 				if i >= int64(total) {
 					errCh <- nil
 					return
 				}
-				cmd := gen.Next()
+				var op Op
+				if split {
+					op = gen.NextOp()
+				} else {
+					op = Op{Cmd: gen.Next()}
+				}
 				start := time.Now()
 				if interval > 0 {
 					// Open loop: this request was due at base + i·interval.
@@ -230,14 +310,27 @@ func Run(ctx context.Context, spec Spec, invokers []Invoke, hist *metrics.Histog
 				if i == int64(spec.Warmup) {
 					measStart.Store(time.Now().UnixNano())
 				}
-				if err := invoke(ctx, cmd); err != nil {
+				result, err := invoke(ctx, op.Cmd, op.Read)
+				if err == nil && split {
+					if op.Read {
+						err = checkReadYourWrites(w, op.Key, result, lastWrite, ownPrefix, &rywChecked)
+					} else {
+						lastWrite[op.Key] = append(lastWrite[op.Key][:0], op.Value...)
+					}
+				}
+				if err != nil {
 					cancel() // first error aborts the run: release the other workers
 					errCh <- fmt.Errorf("workload: worker %d request %d: %w", w, i, err)
 					return
 				}
 				executed.Add(1)
 				if i >= int64(spec.Warmup) {
-					hist.Record(time.Since(start))
+					if split && op.Read {
+						readHist.Record(time.Since(start))
+						measReads.Add(1)
+					} else {
+						hist.Record(time.Since(start))
+					}
 					measured.Add(1)
 				}
 			}
@@ -271,12 +364,45 @@ func Run(ctx context.Context, spec Spec, invokers []Invoke, hist *metrics.Histog
 		elapsed = time.Nanosecond
 	}
 	rep := Report{
-		Spec:     spec,
-		Executed: int(executed.Load()),
-		Measured: measured.Load(),
-		Elapsed:  elapsed,
-		Latency:  hist.Snapshot(),
+		Spec:          spec,
+		Executed:      int(executed.Load()),
+		Measured:      measured.Load(),
+		Elapsed:       elapsed,
+		Latency:       hist.Snapshot(),
+		MeasuredReads: measReads.Load(),
+		ReadLatency:   readHist.Snapshot(),
+		RYWChecked:    rywChecked.Load(),
 	}
 	rep.Throughput = float64(rep.Measured) / elapsed.Seconds()
 	return rep, nil
+}
+
+// checkReadYourWrites is the per-read oracle of a RunRW worker: once the
+// worker has written a key and adopted the write's reply, a later read of
+// that key must observe a state that includes the write. Values are
+// worker-tagged (Op.Value), so two violations are directly visible from the
+// read result alone:
+//
+//   - the key reads as absent ("-") after this worker wrote it — no command
+//     deletes workload keys, so the adopted prefix lost the write;
+//   - the result carries this worker's own tag but is not the worker's
+//     latest write of the key — the read was answered from a prefix older
+//     than one the worker already observed.
+//
+// A foreign worker's value is always legal (a later write by someone else),
+// so the oracle is sound under concurrency, yet engages on every key the
+// worker keeps to itself — deterministically for a given seed.
+func checkReadYourWrites(w int, key uint64, result []byte, lastWrite map[uint64][]byte, ownPrefix []byte, checked *atomic.Uint64) error {
+	last, wrote := lastWrite[key]
+	if !wrote {
+		return nil
+	}
+	checked.Add(1)
+	if string(result) == "-" {
+		return fmt.Errorf("read-your-writes violation: key k%08d read as absent after this worker wrote %q", key, last)
+	}
+	if bytes.HasPrefix(result, ownPrefix) && !bytes.Equal(result, last) {
+		return fmt.Errorf("read-your-writes violation: key k%08d read own stale value %q, last write was %q", key, result, last)
+	}
+	return nil
 }

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math/rand"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -332,5 +333,143 @@ func TestRunReproducible(t *testing.T) {
 	}
 	if fmt.Sprint(*cmdsA) != fmt.Sprint(*cmdsB) {
 		t.Error("same seed produced different command sequences")
+	}
+}
+
+// TestNextOpDeterministicAndTagged: NextOp streams are reproducible per
+// (spec, worker), reads are flagged, and write values carry the worker tag
+// padded to the requested size.
+func TestNextOpDeterministicAndTagged(t *testing.T) {
+	spec := Spec{ReadRatio: 0.5, ValueSize: 12, Keys: 16, Seed: 9}
+	a, err := NewGenerator(spec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewGenerator(spec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix := OwnValuePrefix(2)
+	reads, writes := 0, 0
+	for i := 0; i < 1000; i++ {
+		oa, ob := a.NextOp(), b.NextOp()
+		if string(oa.Cmd) != string(ob.Cmd) || oa.Read != ob.Read || oa.Key != ob.Key {
+			t.Fatalf("op %d diverges: %+v vs %+v", i, oa, ob)
+		}
+		if oa.Read {
+			reads++
+			if !bytes.HasPrefix(oa.Cmd, []byte("get ")) || oa.Value != nil {
+				t.Fatalf("read op malformed: %+v", oa)
+			}
+			continue
+		}
+		writes++
+		if !bytes.HasPrefix(oa.Value, prefix) {
+			t.Fatalf("write value %q missing worker tag %q", oa.Value, prefix)
+		}
+		if len(oa.Value) < spec.ValueSize {
+			t.Fatalf("write value %q shorter than value size %d", oa.Value, spec.ValueSize)
+		}
+	}
+	if reads == 0 || writes == 0 {
+		t.Fatalf("mix degenerate: %d reads, %d writes", reads, writes)
+	}
+}
+
+// fakeKV is a linearizable in-memory kv the RunRW tests drive: the honest
+// stand-in for a replicated service.
+type fakeKV struct {
+	mu   sync.Mutex
+	data map[string][]byte
+}
+
+func (kv *fakeKV) invoke(ctx context.Context, cmd []byte, read bool) ([]byte, error) {
+	f := strings.Fields(string(cmd))
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	switch f[0] {
+	case "set":
+		if kv.data == nil {
+			kv.data = make(map[string][]byte)
+		}
+		kv.data[f[1]] = []byte(f[2])
+		return []byte("ok"), nil
+	case "get":
+		if v, ok := kv.data[f[1]]; ok {
+			return v, nil
+		}
+		return []byte("-"), nil
+	}
+	return nil, fmt.Errorf("bad cmd %q", cmd)
+}
+
+// TestRunRWSplitsAndChecks: reads and writes land in separate histograms,
+// the counters add up, and the read-your-writes oracle engages (and stays
+// silent) against a correct service.
+func TestRunRWSplitsAndChecks(t *testing.T) {
+	kv := &fakeKV{}
+	spec := Spec{Workers: 3, Requests: 600, Warmup: -1, ReadRatio: 0.5, Keys: 8, Seed: 5}
+	rep, err := RunRW(context.Background(), spec, []RWInvoke{kv.invoke}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MeasuredReads == 0 || rep.MeasuredReads >= rep.Measured {
+		t.Fatalf("degenerate split: %d reads of %d measured", rep.MeasuredReads, rep.Measured)
+	}
+	if got := rep.ReadLatency.Count; got != rep.MeasuredReads {
+		t.Errorf("read histogram holds %d samples, want %d", got, rep.MeasuredReads)
+	}
+	if got := rep.Latency.Count; got != rep.Measured-rep.MeasuredReads {
+		t.Errorf("write histogram holds %d samples, want %d", got, rep.Measured-rep.MeasuredReads)
+	}
+	if rep.RYWChecked == 0 {
+		t.Error("read-your-writes oracle never engaged")
+	}
+}
+
+// TestRunRWDetectsStaleOwnRead: a service that answers reads from a frozen
+// first-write snapshot must trip the oracle — the exact failure a read fast
+// path that ignored the client's high-water mark would produce.
+func TestRunRWDetectsStaleOwnRead(t *testing.T) {
+	var mu sync.Mutex
+	first := make(map[string][]byte)
+	stale := func(ctx context.Context, cmd []byte, read bool) ([]byte, error) {
+		f := strings.Fields(string(cmd))
+		mu.Lock()
+		defer mu.Unlock()
+		switch f[0] {
+		case "set":
+			if _, ok := first[f[1]]; !ok {
+				first[f[1]] = []byte(f[2])
+			}
+			return []byte("ok"), nil
+		case "get":
+			if v, ok := first[f[1]]; ok {
+				return v, nil
+			}
+			return []byte("-"), nil
+		}
+		return nil, fmt.Errorf("bad cmd %q", cmd)
+	}
+	spec := Spec{Workers: 1, Requests: 400, Warmup: -1, ReadRatio: 0.5, Keys: 2, Seed: 3}
+	_, err := RunRW(context.Background(), spec, []RWInvoke{stale}, nil, nil)
+	if err == nil || !strings.Contains(err.Error(), "read-your-writes violation") {
+		t.Fatalf("stale reads not detected: err = %v", err)
+	}
+}
+
+// TestRunRWDetectsLostWrite: a read that observes the key as absent after
+// the worker wrote it is a violation even though no stale value is shown.
+func TestRunRWDetectsLostWrite(t *testing.T) {
+	lossy := func(ctx context.Context, cmd []byte, read bool) ([]byte, error) {
+		if read {
+			return []byte("-"), nil
+		}
+		return []byte("ok"), nil
+	}
+	spec := Spec{Workers: 1, Requests: 200, Warmup: -1, ReadRatio: 0.5, Keys: 2, Seed: 3}
+	_, err := RunRW(context.Background(), spec, []RWInvoke{lossy}, nil, nil)
+	if err == nil || !strings.Contains(err.Error(), "read as absent") {
+		t.Fatalf("lost write not detected: err = %v", err)
 	}
 }

@@ -58,6 +58,27 @@ func (c *Client) Invoke(ctx context.Context, cmd []byte) (Reply, error) {
 	return toReply(r), nil
 }
 
+// InvokeRead submits a read-only command on the read fast path: replicas
+// answer inline from their optimistic prefix (zero ordering messages) and
+// the reply is adopted only once a majority of the group has answered at a
+// compatible prefix, so the read is consistent with the definitive order,
+// monotonic, and read-your-writes for this client. Commands that are not
+// well-formed reads of the selected machine — and machines without a
+// read-only surface — transparently fall back to the ordered path.
+func (c *Client) InvokeRead(ctx context.Context, cmd []byte) (Reply, error) {
+	ri, ok := c.inner.(interface {
+		InvokeRead(ctx context.Context, cmd []byte) (proto.Reply, error)
+	})
+	if !ok {
+		return c.Invoke(ctx, cmd)
+	}
+	r, err := ri.InvokeRead(ctx, cmd)
+	if err != nil {
+		return Reply{}, err
+	}
+	return toReply(r), nil
+}
+
 // Close shuts the client down.
 func (c *Client) Close() { c.inner.Stop() }
 
@@ -234,12 +255,21 @@ type Stats struct {
 	// snapshot time: the AutoTune controller's current output (maximum
 	// across replicas), or the static BatchWindow.
 	EffectiveBatchWindow time.Duration
+	// ReadsServed counts read-only requests answered on the read fast path
+	// (inline from a replica's prefix, zero ordering messages);
+	// ReadFallbacks counts reads the replicas pushed onto the ordered path.
+	ReadsServed   uint64
+	ReadFallbacks uint64
 	// Latency summarizes the response times of every invocation made through
 	// the cluster's clients, aggregated over all shards. Every client the
 	// cluster hands out is measured unconditionally (recording is one
 	// lock-free histogram increment), so p50/p99 are always available — no
 	// instrumentation opt-in.
 	Latency LatencyStats
+	// ReadLatency summarizes the response times of fast-path reads
+	// (InvokeRead calls), split out from Latency so the read/write gap is
+	// directly observable.
+	ReadLatency LatencyStats
 }
 
 // Stats returns cluster-wide protocol counters, aggregated over all shards.
@@ -258,7 +288,10 @@ func (c *Cluster) Stats() Stats {
 		BatchFrames:          s.BatchFrames,
 		BatchedSends:         s.BatchedSends,
 		EffectiveBatchWindow: time.Duration(s.BatchWindowNS),
+		ReadsServed:          s.ReadsServed,
+		ReadFallbacks:        s.ReadFallbacks,
 		Latency:              toLatencyStats(c.inner.Latency()),
+		ReadLatency:          toLatencyStats(c.inner.ReadLatency()),
 	}
 }
 
@@ -326,6 +359,10 @@ type ServerReport struct {
 	// at snapshot time (the AutoTune controller's output, or the static
 	// window).
 	BatchWindowNS int64 `json:"batch_window_ns"`
+	// ReadsServed counts reads answered on the fast path (zero ordering
+	// messages); ReadFallbacks counts reads pushed onto the ordered path.
+	ReadsServed   uint64 `json:"reads_served"`
+	ReadFallbacks uint64 `json:"read_fallbacks"`
 	// FramesSent/FramesReceived/BytesSent/BytesReceived are the TCP
 	// endpoint's wire counters.
 	FramesSent     uint64 `json:"frames_sent"`
@@ -409,6 +446,8 @@ func ListenAndServe(ctx context.Context, opts ServerOptions) error {
 				BatchFrames:    s.BatchFrames,
 				BatchedSends:   s.BatchedMsgs,
 				BatchWindowNS:  int64(s.BatchWindow),
+				ReadsServed:    s.ReadsServed,
+				ReadFallbacks:  s.ReadFallbacks,
 				FramesSent:     ns.FramesSent,
 				FramesReceived: ns.FramesReceived,
 				BytesSent:      ns.BytesSent,
@@ -445,9 +484,10 @@ type ClientOptions struct {
 // concurrent use; every successful Invoke's response time is recorded (see
 // Stats).
 type TCPClient struct {
-	node  *tcpnet.Node
-	inner *core.Client
-	hist  *metrics.Histogram
+	node     *tcpnet.Node
+	inner    *core.Client
+	hist     *metrics.Histogram
+	readHist *metrics.Histogram
 }
 
 // NewTCPClient connects a client to a TCP cluster.
@@ -479,7 +519,12 @@ func NewTCPClient(opts ClientOptions) (*TCPClient, error) {
 		return nil, err
 	}
 	inner.Start()
-	return &TCPClient{node: node, inner: inner, hist: metrics.NewHistogram()}, nil
+	return &TCPClient{
+		node:     node,
+		inner:    inner,
+		hist:     metrics.NewHistogram(),
+		readHist: metrics.NewHistogram(),
+	}, nil
 }
 
 // Invoke submits a command and blocks until a consistent reply is adopted.
@@ -495,11 +540,26 @@ func (c *TCPClient) Invoke(ctx context.Context, cmd []byte) (Reply, error) {
 	return toReply(r), nil
 }
 
+// InvokeRead submits a read-only command on the read fast path (see
+// Client.InvokeRead). Successful reads record into the client's read-latency
+// histogram, split out from writes.
+func (c *TCPClient) InvokeRead(ctx context.Context, cmd []byte) (Reply, error) {
+	start := time.Now()
+	r, err := c.inner.InvokeRead(ctx, cmd)
+	if err != nil {
+		return Reply{}, err
+	}
+	c.readHist.Record(time.Since(start))
+	return toReply(r), nil
+}
+
 // TCPStats is the observability surface of one TCP client: response-time
 // percentiles plus the wire traffic its connection endpoints actually moved.
 type TCPStats struct {
-	// Latency summarizes this client's successful invocations.
-	Latency LatencyStats
+	// Latency summarizes this client's successful invocations (writes and
+	// ordered-path reads); ReadLatency its successful fast-path reads.
+	Latency     LatencyStats
+	ReadLatency LatencyStats
 	// FramesSent/FramesReceived count whole transport frames (a frame may be
 	// a batch envelope carrying several protocol messages); BytesSent/
 	// BytesReceived count their payload bytes.
@@ -516,6 +576,7 @@ func (c *TCPClient) Stats() TCPStats {
 	n := c.node.Stats()
 	return TCPStats{
 		Latency:        toLatencyStats(c.hist.Snapshot()),
+		ReadLatency:    toLatencyStats(c.readHist.Snapshot()),
 		FramesSent:     n.FramesSent,
 		FramesReceived: n.FramesReceived,
 		BytesSent:      n.BytesSent,
