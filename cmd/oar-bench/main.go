@@ -1,5 +1,5 @@
 // Command oar-bench runs the reproduction experiment suite of DESIGN.md
-// (E1–E11 and the ablations A1–A2) and prints one table per experiment —
+// (E1–E14 and the ablations A1–A2) and prints one table per experiment —
 // the data recorded in EXPERIMENTS.md.
 //
 // Usage:
@@ -186,6 +186,7 @@ func run() int {
 		{"E11", experiments.E11WorkloadMatrix},
 		{"E12", experiments.E12AdaptiveBatching},
 		{"E13", experiments.E13ReadFastPath},
+		{"E14", experiments.E14Nemesis},
 		{"A1", experiments.A1RelayStrategy},
 		{"A2", experiments.A2UndoThriftiness},
 	}

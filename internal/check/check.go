@@ -308,6 +308,70 @@ func (c *Checker) ReadAdoptions() int {
 	return len(c.readAdoptions)
 }
 
+// Counts is a snapshot of the checker's trace counters, comparable with ==.
+// The nemesis determinism regression compares two same-seed runs by it.
+type Counts struct {
+	Issued        int
+	Adoptions     int
+	ReadAdoptions int
+	Opt           int
+	Cons          int
+	Undeliveries  int
+}
+
+// Counts returns a snapshot of the trace counters.
+func (c *Checker) Counts() Counts {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Counts{
+		Issued:        len(c.issued),
+		Adoptions:     len(c.adoptions),
+		ReadAdoptions: len(c.readAdoptions),
+		Opt:           c.optCount,
+		Cons:          c.aCount,
+		Undeliveries:  c.undeliveries,
+	}
+}
+
+// LivenessSettled reports whether the trace currently satisfies Prop 4's
+// precondition-free reading: every issued request has reached every correct
+// server (definitively delivered, or optimistically delivered and still
+// standing). Unlike VerifyLiveness it reports a boolean instead of
+// violations, so schedule executors can poll it to find the quiescent point
+// between fault windows — liveness is checked when the system has settled,
+// not only at the end of the run.
+func (c *Checker) LivenessSettled() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for id, sl := range c.servers {
+		if c.crashed[id] {
+			continue
+		}
+		for req := range c.issued {
+			if sl.delivered[req] == 0 {
+				if _, pending := sl.optPending[req]; !pending {
+					return false
+				}
+			}
+		}
+	}
+	// A server that never appeared in the trace at all also blocks settling:
+	// with requests issued, n correct servers must each hold them.
+	if len(c.issued) > 0 {
+		correct := 0
+		for id := range c.servers {
+			if !c.crashed[id] {
+				correct++
+			}
+		}
+		crashedKnown := len(c.crashed)
+		if correct+crashedKnown < c.n {
+			return false
+		}
+	}
+	return true
+}
+
 // Verify checks all safety properties over the trace recorded so far and
 // returns the violations (streaming violations recorded during the run
 // included). Call it when the cluster is quiescent.

@@ -1,0 +1,245 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cnsvorder"
+	"repro/internal/proto"
+)
+
+// TestEveryPropositionFiresExclusively injects one minimal violation per
+// checker proposition and asserts the checker reports exactly that property —
+// nothing else co-fires. The older per-property tests only assert presence;
+// this table is the guard against a silently-dead check (a property that
+// never fires would fail its row) and against cascades (a fabricated bad
+// trace tripping unrelated checks would hide which proposition caught it,
+// which matters when the nemesis shrinker labels failures by property).
+//
+// scope selects the verifier the assertion runs against: most rows are
+// judged on Verify()+VerifyLiveness() combined ("both"); rows whose injected
+// corruption necessarily leaves the per-server books inconsistent (a
+// wrong-order undo) are judged on Verify() alone, and the liveness row on
+// VerifyLiveness() alone with Verify() required clean.
+func TestEveryPropositionFiresExclusively(t *testing.T) {
+	const (
+		both = iota
+		safetyOnly
+		livenessOnly
+	)
+	cases := []struct {
+		name  string
+		n     int
+		want  string // exact property, or prefix if prefix==true
+		pfx   bool
+		scope int
+		trace func(c *Checker)
+	}{
+		{
+			name: "prop1 validity", n: 3, want: "prop1 validity",
+			trace: func(c *Checker) {
+				c.OptDeliver(0, 0, rid(9), 1, nil) // never issued
+			},
+		},
+		{
+			name: "prop2 at-most-once", n: 3, want: "prop2 at-most-once",
+			trace: func(c *Checker) {
+				issue(c, 1)
+				c.OptDeliver(0, 0, rid(1), 1, nil)
+				c.OptDeliver(0, 0, rid(1), 2, nil) // no undo in between
+			},
+		},
+		{
+			name: "prop3 at-most-once", n: 3, want: "prop3 at-most-once",
+			trace: func(c *Checker) {
+				issue(c, 1)
+				c.OptDeliver(0, 0, rid(1), 1, nil)
+				c.EpochClose(0, 0, cnsvorder.Input{Dlv: []proto.Request{{ID: rid(1)}}},
+					cnsvorder.Result{Good: []proto.RequestID{rid(1)}})
+				c.OptDeliver(0, 1, rid(1), 2, nil) // already definitive
+			},
+		},
+		{
+			name: "position", n: 3, want: "position",
+			trace: func(c *Checker) {
+				issue(c, 1)
+				c.OptDeliver(0, 0, rid(1), 5, nil) // first delivery must be pos 1
+			},
+		},
+		{
+			name: "undo without delivery", n: 3, want: "undo",
+			trace: func(c *Checker) {
+				c.OptUndeliver(0, 0, rid(1))
+			},
+		},
+		{
+			name: "undo order", n: 3, want: "undo order", scope: safetyOnly,
+			trace: func(c *Checker) {
+				issue(c, 1, 2)
+				c.OptDeliver(0, 0, rid(1), 1, nil)
+				c.OptDeliver(0, 0, rid(2), 2, nil)
+				c.OptUndeliver(0, 0, rid(1)) // rid(2) was last in
+			},
+		},
+		{
+			name: "prop4 at-least-once", n: 2, want: "prop4 at-least-once", scope: livenessOnly,
+			trace: func(c *Checker) {
+				issue(c, 1, 2)
+				c.ADeliver(0, 0, rid(1), 1, nil)
+				c.ADeliver(0, 0, rid(2), 2, nil)
+				c.ADeliver(1, 0, rid(1), 1, nil) // p1 never delivers rid(2)
+			},
+		},
+		{
+			name: "prop5 order divergence", n: 2, want: "prop5 total order",
+			trace: func(c *Checker) {
+				issue(c, 1, 2)
+				c.ADeliver(0, 0, rid(1), 1, nil)
+				c.ADeliver(0, 0, rid(2), 2, nil)
+				c.ADeliver(1, 0, rid(2), 1, nil)
+				c.ADeliver(1, 0, rid(1), 2, nil)
+			},
+		},
+		{
+			name: "prop5 result divergence", n: 2, want: "prop5 total order",
+			trace: func(c *Checker) {
+				issue(c, 1)
+				c.ADeliver(0, 0, rid(1), 1, []byte("x"))
+				c.ADeliver(1, 0, rid(1), 1, []byte("y"))
+			},
+		},
+		{
+			name: "prop7 external consistency", n: 2, want: "prop7 external consistency",
+			trace: func(c *Checker) {
+				issue(c, 1)
+				c.Adopt(proto.ClientID(0), rid(1), proto.Reply{Req: rid(1), Pos: 2, Result: []byte("y")})
+				c.ADeliver(0, 0, rid(1), 1, []byte("x"))
+			},
+		},
+		{
+			name: "cnsvorder spec", n: 2, want: "cnsvorder", pfx: true, scope: safetyOnly,
+			trace: func(c *Checker) {
+				issue(c, 1, 2)
+				c.EpochClose(0, 0, cnsvorder.Input{Dlv: []proto.Request{{ID: rid(1)}}},
+					cnsvorder.Result{Good: []proto.RequestID{rid(1)}})
+				c.EpochClose(1, 0, cnsvorder.Input{Dlv: []proto.Request{{ID: rid(2)}}},
+					cnsvorder.Result{Good: []proto.RequestID{rid(2)}})
+			},
+		},
+		{
+			name: "client double adoption", n: 3, want: "client",
+			trace: func(c *Checker) {
+				issue(c, 1)
+				r := proto.Reply{Req: rid(1), Pos: 1}
+				c.Adopt(proto.ClientID(0), rid(1), r)
+				c.Adopt(proto.ClientID(0), rid(1), r)
+			},
+		},
+		{
+			name: "client read via both paths", n: 3, want: "client",
+			trace: func(c *Checker) {
+				issue(c, 1)
+				c.Adopt(proto.ClientID(0), rid(1), proto.Reply{Req: rid(1), Pos: 1})
+				c.ReadAdopt(proto.ClientID(0), rid(1), proto.Reply{Req: rid(1), Pos: 1})
+			},
+		},
+		{
+			name: "read monotonicity", n: 3, want: "read monotonicity",
+			trace: func(c *Checker) {
+				issue(c, 1)
+				c.Adopt(proto.ClientID(0), rid(1), proto.Reply{Req: rid(1), Pos: 4, Result: []byte("a")})
+				c.ReadAdopt(proto.ClientID(0), rid(2), proto.Reply{Req: rid(2), Pos: 3})
+			},
+		},
+		{
+			name: "read consistency", n: 3, want: "read consistency",
+			trace: func(c *Checker) {
+				issue(c, 1, 2)
+				c.OptDeliver(0, 0, rid(1), 1, []byte("a"))
+				c.OptDeliver(0, 0, rid(2), 2, []byte("b"))
+				c.ReadAdopt(proto.ClientID(0), rid(7), proto.Reply{Req: rid(7), Epoch: 0, Pos: 2, Result: []byte("b")})
+				c.OptUndeliver(0, 0, rid(2)) // rolls back inside the read's prefix
+				c.ADeliver(0, 0, rid(2), 2, []byte("b"))
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := New(tc.n)
+			tc.trace(c)
+			var vs []*Violation
+			switch tc.scope {
+			case safetyOnly:
+				vs = c.Verify()
+			case livenessOnly:
+				if sv := c.Verify(); len(sv) != 0 {
+					t.Fatalf("safety verifier tripped on a liveness-only trace: %v", sv)
+				}
+				vs = c.VerifyLiveness()
+			default:
+				vs = append(c.Verify(), c.VerifyLiveness()...)
+			}
+			if len(vs) == 0 {
+				t.Fatalf("injected %q violation not detected — dead check", tc.want)
+			}
+			for _, v := range vs {
+				match := v.Property == tc.want
+				if tc.pfx {
+					match = strings.HasPrefix(v.Property, tc.want)
+				}
+				if !match {
+					t.Errorf("unrelated property co-fired: got %q (detail: %s), want only %q",
+						v.Property, v.Detail, tc.want)
+				}
+			}
+		})
+	}
+}
+
+// TestLivenessSettled drives the quiescence predicate the nemesis executor
+// polls between fault windows.
+func TestLivenessSettled(t *testing.T) {
+	c := New(2)
+	if !c.LivenessSettled() {
+		t.Fatal("empty trace must count as settled")
+	}
+	issue(c, 1)
+	if c.LivenessSettled() {
+		t.Fatal("issued-but-undelivered must not be settled (no servers seen)")
+	}
+	c.OptDeliver(0, 0, rid(1), 1, nil)
+	if c.LivenessSettled() {
+		t.Fatal("one of two servers delivered: not settled")
+	}
+	c.OptDeliver(1, 0, rid(1), 1, nil)
+	if !c.LivenessSettled() {
+		t.Fatal("standing optimistic deliveries at every correct server settle Prop 4")
+	}
+	issue(c, 2)
+	if c.LivenessSettled() {
+		t.Fatal("fresh issue must unsettle")
+	}
+	c.ADeliver(0, 0, rid(2), 2, nil)
+	c.MarkCrashed(1)
+	if !c.LivenessSettled() {
+		t.Fatal("a crashed server must not block settling")
+	}
+}
+
+// TestCounts pins the snapshot used by the seed-determinism regression.
+func TestCounts(t *testing.T) {
+	c := New(2)
+	issue(c, 1, 2)
+	c.OptDeliver(0, 0, rid(1), 1, nil)
+	c.OptDeliver(0, 0, rid(2), 2, nil)
+	c.OptUndeliver(0, 0, rid(2))
+	c.ADeliver(0, 0, rid(2), 2, nil)
+	c.Adopt(proto.ClientID(0), rid(1), proto.Reply{Req: rid(1), Pos: 1})
+	c.ReadAdopt(proto.ClientID(0), rid(3), proto.Reply{Req: rid(3), Pos: 2})
+	got := c.Counts()
+	want := Counts{Issued: 2, Adoptions: 1, ReadAdoptions: 1, Opt: 2, Cons: 1, Undeliveries: 1}
+	if got != want {
+		t.Fatalf("Counts() = %+v, want %+v", got, want)
+	}
+}

@@ -506,6 +506,21 @@ func (c *Cluster) newClientAt(idx int) (Invoker, error) {
 	return sc, nil
 }
 
+// ClientIDs returns the node IDs of every client the cluster has handed out
+// so far, in creation order. Fault injectors need the full roster: a
+// partition described over replicas must still place every client endpoint
+// on a deliberate side (memnet's SetPartitions isolates any node it is not
+// told about).
+func (c *Cluster) ClientIDs() []proto.NodeID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ids := make([]proto.NodeID, c.nextCli)
+	for i := range ids {
+		ids[i] = proto.ClientID(i)
+	}
+	return ids
+}
+
 // DeliveredTotal sums definitive deliveries across all shards' replicas,
 // regardless of backend (OAR counts optimistic + conservative deliveries,
 // rollbacks deducted).

@@ -98,6 +98,10 @@ type call struct {
 	rq     *backend.ReadQuorum
 	giveUp chan struct{} // closed once every replica answered without adoption
 	gaveUp bool
+	// issueFloor is the client high-water at read-issue time. Only consulted
+	// when StaleReadFloorBug is enabled (fault injection): the correct floor
+	// is the live c.highWater, re-read at every reply.
+	issueFloor uint64
 }
 
 // epochReplies groups the replies of one epoch, per the "for some k" clause
@@ -332,11 +336,15 @@ func (c *Client) onReadReplyLocked(rc *call, reply proto.Reply) {
 			close(rc.giveUp)
 		}
 	}()
-	if reply.Pos < c.highWater {
+	floor := c.highWater
+	if StaleReadFloorBug.Load() {
+		floor = rc.issueFloor // injected bug: floor frozen at issue time
+	}
+	if reply.Pos < floor {
 		rc.rq.Answer(reply)
 		return // stale prefix: predates this client's last adopted operation
 	}
-	best, ok := rc.rq.Offer(reply.Clone(), c.highWater)
+	best, ok := rc.rq.Offer(reply.Clone(), floor)
 	if !ok {
 		return
 	}
@@ -408,9 +416,10 @@ func (c *Client) InvokeRead(ctx context.Context, cmd []byte) (proto.Reply, error
 	id := proto.RequestID{Group: c.cfg.GroupID, Client: c.cfg.ID, Seq: c.nextSeq}
 	c.nextSeq++
 	rc := &call{
-		result: make(chan proto.Reply, 1),
-		rq:     backend.NewReadQuorum(c.n),
-		giveUp: make(chan struct{}),
+		result:     make(chan proto.Reply, 1),
+		rq:         backend.NewReadQuorum(c.n),
+		giveUp:     make(chan struct{}),
+		issueFloor: c.highWater,
 	}
 	c.pending[id] = rc
 	c.mu.Unlock()

@@ -1,0 +1,18 @@
+package core
+
+import "sync/atomic"
+
+// StaleReadFloorBug re-introduces the read-floor bug the read fast path
+// shipped without: when enabled, a fast-path read judges candidate replies
+// against the high-water position captured when the read was ISSUED instead
+// of the client's live high-water at each reply. A write adopted between
+// issue and reply then no longer raises the read's floor, so a replica
+// answering from a prefix that predates the write can gather an adopting
+// majority — a read-monotonicity / read-your-writes violation the trace
+// checker flags.
+//
+// This is a fault-injection hook for the nemesis harness (it proves the
+// search actually finds planted bugs, end to end through search and
+// shrinking); it must never be enabled outside tests. It is process-global
+// and racy-by-design cheap: an atomic load on the read-reply path.
+var StaleReadFloorBug atomic.Bool

@@ -373,3 +373,28 @@ func TestE13Selection(t *testing.T) {
 		}
 	}
 }
+
+// TestE14QualitativeShape: the nemesis search experiment is self-asserting
+// (any checker violation in a positive row is an error, and the control row
+// errors unless the injected bug is found and shrunk), so a returned Result
+// already proves the interesting properties; the shape test pins the table
+// and sample schema.
+func TestE14QualitativeShape(t *testing.T) {
+	r, err := E14Nemesis(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkShape(t, r, 3+1) // three clean shapes + the injected-bug control
+	if len(r.Latency) != len(r.Rows) {
+		t.Fatalf("%d latency samples for %d rows", len(r.Latency), len(r.Rows))
+	}
+	for i, row := range r.Rows {
+		if s := r.Latency[i]; s.Count == 0 || s.P50NS <= 0 || s.P99NS <= 0 {
+			t.Errorf("malformed latency sample for row %v: %+v", row, s)
+		}
+	}
+	control := r.Rows[len(r.Rows)-1]
+	if !strings.HasPrefix(control[6], "seed ") {
+		t.Errorf("control row did not report a found seed: %v", control)
+	}
+}

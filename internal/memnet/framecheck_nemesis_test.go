@@ -1,0 +1,113 @@
+//go:build framecheck
+
+package memnet
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/proto"
+	"repro/internal/transport"
+)
+
+// TestBatcherUnderScheduleMutationFramecheck replays the nemesis executor's
+// steady state — a Batcher flushing pooled frames through memnet while a
+// scheduler goroutine flips partitions, blocks, latency overrides and the
+// send-time filter — with the frame-ownership instrumentation live. The
+// filter path is the dangerous one: applyFilter walks the *borrowed* frame
+// bytes (including the inner messages of a batch envelope) on the sender's
+// goroutine, so a filter installed mid-burst must never extend a frame's
+// lifetime past the Send call. With -race and framecheck any such aliasing
+// panics at the faulty site:
+//
+//	go test -race -tags=framecheck -run ScheduleMutation ./internal/memnet/
+func TestBatcherUnderScheduleMutationFramecheck(t *testing.T) {
+	net := New(Options{})
+	defer net.Close()
+	a, b := net.Node(0), net.Node(1)
+
+	const rounds, perRound = 300, 8
+	done := make(chan int, 1)
+	go func() {
+		got := 0
+		for m := range b.Recv() {
+			msgs, ok := transport.ExpandBatch(m)
+			if ok {
+				got += len(msgs)
+			} else {
+				got++
+			}
+			m.Release()
+			if got >= rounds*perRound {
+				break
+			}
+		}
+		done <- got
+	}()
+
+	stop := make(chan struct{})
+	var mwg sync.WaitGroup
+	mwg.Add(1)
+	go func() {
+		defer mwg.Done()
+		rng := rand.New(rand.NewSource(7))
+		// A filter that inspects every inner message forces applyFilter to
+		// decode the whole borrowed frame each send.
+		inspect := Filter(func(_, _ proto.NodeID, payload []byte) Verdict {
+			if k, _, _, err := proto.Unmarshal(payload); err == nil && k == 0 {
+				return Drop // unreachable: kind 0 is invalid
+			}
+			return Deliver
+		})
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			switch rng.Intn(6) {
+			case 0:
+				net.SetPartitions([]proto.NodeID{0}, []proto.NodeID{1})
+			case 1:
+				net.Heal()
+			case 2:
+				net.BlockDirected(0, 1)
+			case 3:
+				net.SetLinkDelay(0, 1, DelayRange{Min: time.Microsecond, Max: 20 * time.Microsecond})
+			case 4:
+				net.ClearLinkDelays()
+			case 5:
+				if rng.Intn(2) == 0 {
+					net.SetFilter(inspect)
+				} else {
+					net.SetFilter(nil)
+				}
+			}
+		}
+	}()
+
+	batcher := transport.NewBatcher(a, 0)
+	payload := proto.Marshal(proto.KindHeartbeat, 0, nil)
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < perRound; i++ {
+			batcher.Add(1, payload)
+		}
+		batcher.Flush()
+	}
+	close(stop)
+	mwg.Wait()
+	net.Heal()
+	net.SetFilter(nil)
+	net.ClearLinkDelays()
+
+	select {
+	case got := <-done:
+		if got != rounds*perRound {
+			t.Fatalf("received %d inner messages, want %d", got, rounds*perRound)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("timed out waiting for deliveries")
+	}
+}

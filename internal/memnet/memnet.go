@@ -13,6 +13,10 @@
 //     in the crash).
 //   - SetPartitions splits the network into groups; cross-group messages are
 //     held until Heal.
+//   - Block/BlockDirected/BlockGroups hold individual (or one-way) links;
+//     SetLinkDelay overrides a link's latency band (gray links, WAN region
+//     topologies). All of these are safe to flip concurrently with senders —
+//     the nemesis (internal/nemesis) mutates them mid-burst on a schedule.
 //
 // Locking model: the send path is contention-free in steady state. A send
 // touches no network-wide mutex — liveness flags (closed, crashed, filter
@@ -101,6 +105,7 @@ type Network struct {
 	hasParts bool
 	blocked  map[linkKey]bool // pairwise holds, independent of groups
 	crashed  map[proto.NodeID]bool
+	delays   map[linkKey]DelayRange // per-link latency overrides for links not yet created
 	wg       sync.WaitGroup
 
 	// Send-path liveness flags, readable without any lock.
@@ -134,6 +139,7 @@ func New(opts Options) *Network {
 		group:   make(map[proto.NodeID]int),
 		blocked: make(map[linkKey]bool),
 		crashed: make(map[proto.NodeID]bool),
+		delays:  make(map[linkKey]DelayRange),
 	}
 	n.topo = sync.NewCond(&n.topoMu)
 	return n
@@ -225,6 +231,47 @@ func (n *Network) Heal() {
 	n.topo.Broadcast()
 }
 
+// DelayRange is a one-way latency band for one directed link. Min == Max
+// pins the delay exactly (no sampler draw); otherwise delays are drawn
+// uniformly from [Min, Max) by the link's own deterministic sampler.
+type DelayRange struct {
+	Min, Max time.Duration
+}
+
+// SetLinkDelay overrides the one-way latency of the directed link from->to,
+// replacing the network-wide Min/MaxDelay band for that link until
+// ClearLinkDelays. It is the gray-link / WAN-topology scenario hook: a
+// "slow" node is one whose links carry a fat override, a multi-region
+// topology is a pairwise set of overrides. The override applies to messages
+// sent after the call (in-flight messages keep the delay they were stamped
+// with); FIFO per link is preserved — shrinking a delay mid-stream never
+// reorders a link. Safe to call concurrently with senders: the override is
+// an atomic pointer swap observed by the next send.
+func (n *Network) SetLinkDelay(from, to proto.NodeID, d DelayRange) {
+	key := linkKey{from: from, to: to}
+	n.topoMu.Lock()
+	defer n.topoMu.Unlock()
+	n.delays[key] = d
+	if v, ok := n.links.Load(key); ok {
+		dr := d
+		v.(*link).override.Store(&dr)
+	}
+}
+
+// ClearLinkDelays removes every per-link latency override; links fall back
+// to the network-wide Min/MaxDelay band. Connectivity state (partitions,
+// blocks) is untouched — latency quality and reachability are independent
+// axes, and Heal likewise leaves overrides in place.
+func (n *Network) ClearLinkDelays() {
+	n.topoMu.Lock()
+	defer n.topoMu.Unlock()
+	n.delays = make(map[linkKey]DelayRange)
+	n.links.Range(func(_, v any) bool {
+		v.(*link).override.Store(nil)
+		return true
+	})
+}
+
 // Block holds all traffic between a and b, in both directions, until
 // Unblock or Heal. Unlike a partition it affects only this pair. Messages
 // are held, not lost (reliable channels).
@@ -233,6 +280,19 @@ func (n *Network) Block(a, b proto.NodeID) {
 	defer n.topoMu.Unlock()
 	n.blocked[linkKey{from: a, to: b}] = true
 	n.blocked[linkKey{from: b, to: a}] = true
+	n.restricted.Store(true)
+	n.topo.Broadcast()
+}
+
+// BlockDirected holds traffic from a to b only; b can still reach a. This
+// is the asymmetric-partition primitive (a router dropping one direction, a
+// congested uplink): blockedLocked already evaluates the pair directionally,
+// so one-way holds compose with Block/BlockGroups and are cleared by the
+// same Unblock/Heal paths.
+func (n *Network) BlockDirected(a, b proto.NodeID) {
+	n.topoMu.Lock()
+	defer n.topoMu.Unlock()
+	n.blocked[linkKey{from: a, to: b}] = true
 	n.restricted.Store(true)
 	n.topo.Broadcast()
 }
@@ -508,9 +568,10 @@ func applyFilter(filter Filter, from, to proto.NodeID, payload []byte) (out []by
 // link is a FIFO channel from one process to another with latency and
 // hold-on-partition semantics. A single goroutine per link preserves order.
 type link struct {
-	net *Network
-	key linkKey
-	dst atomic.Pointer[Node] // cached destination endpoint
+	net      *Network
+	key      linkKey
+	dst      atomic.Pointer[Node]       // cached destination endpoint
+	override atomic.Pointer[DelayRange] // scenario latency override (SetLinkDelay)
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -526,17 +587,23 @@ type inflight struct {
 	deliverAt time.Time
 }
 
+// newLink builds the from->to channel. Caller holds n.topoMu (so reading the
+// pending delay-override table is race-free). The sampler is created
+// unconditionally — a zero-latency network can still grow a slow link later
+// via SetLinkDelay, and an unused rand.Rand costs nothing.
 func newLink(n *Network, key linkKey) *link {
 	l := &link{net: n, key: key}
 	l.cond = sync.NewCond(&l.mu)
-	if n.opts.MaxDelay > n.opts.MinDelay {
-		// Derive a deterministic per-link seed so concurrent senders never
-		// serialize on a shared generator.
-		const mix = int64(-0x61C8864680B583EB) // 0x9E3779B97F4A7C15 as int64
-		seed := n.opts.Seed
-		seed = seed*mix + int64(key.from)
-		seed = seed*mix + int64(key.to)
-		l.rng = rand.New(rand.NewSource(seed))
+	// Derive a deterministic per-link seed so concurrent senders never
+	// serialize on a shared generator.
+	const mix = int64(-0x61C8864680B583EB) // 0x9E3779B97F4A7C15 as int64
+	seed := n.opts.Seed
+	seed = seed*mix + int64(key.from)
+	seed = seed*mix + int64(key.to)
+	l.rng = rand.New(rand.NewSource(seed))
+	if d, ok := n.delays[key]; ok {
+		dr := d
+		l.override.Store(&dr)
 	}
 	return l
 }
@@ -544,7 +611,10 @@ func newLink(n *Network, key linkKey) *link {
 // sampleDelayLocked draws a one-way latency. Caller must hold l.mu.
 func (l *link) sampleDelayLocked() time.Duration {
 	lo, hi := l.net.opts.MinDelay, l.net.opts.MaxDelay
-	if l.rng == nil || hi <= lo {
+	if ov := l.override.Load(); ov != nil {
+		lo, hi = ov.Min, ov.Max
+	}
+	if hi <= lo {
 		return lo
 	}
 	return lo + time.Duration(l.rng.Int63n(int64(hi-lo)))

@@ -1,0 +1,296 @@
+package memnet
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/proto"
+)
+
+// These tests pin the topology-mutation semantics the nemesis executor
+// (internal/nemesis) builds on. The executor flips partitions, blocks and
+// latency overrides on a schedule while the replicas' batchers are sending,
+// so every interaction here is load-bearing: if a semantic changes, change
+// it here first and knowingly.
+
+// TestHealClearsPairwiseBlocks pins the documented Heal contract: Heal
+// removes partitions AND pairwise blocks (both directions), so a nemesis
+// schedule's final heal restores full connectivity regardless of which
+// block/partition mix produced the outage.
+func TestHealClearsPairwiseBlocks(t *testing.T) {
+	n := New(Options{})
+	defer n.Close()
+	a, b := n.Node(0), n.Node(1)
+
+	n.Block(0, 1)
+	n.BlockDirected(1, 0)
+	n.SetPartitions([]proto.NodeID{0}, []proto.NodeID{1})
+	if err := a.Send(1, []byte("held")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-b.Recv():
+		t.Fatal("message crossed a blocked+partitioned link")
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	n.Heal()
+	select {
+	case m := <-b.Recv():
+		if string(m.Payload) != "held" {
+			t.Fatalf("got %q", m.Payload)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Heal did not clear the pairwise block")
+	}
+}
+
+// TestUnblockDoesNotClearPartitions pins the converse: Unblock removes only
+// the pairwise hold; a partition keeping the pair apart still holds traffic.
+func TestUnblockDoesNotClearPartitions(t *testing.T) {
+	n := New(Options{})
+	defer n.Close()
+	a, b := n.Node(0), n.Node(1)
+
+	n.SetPartitions([]proto.NodeID{0}, []proto.NodeID{1})
+	n.Block(0, 1)
+	n.Unblock(0, 1)
+	if err := a.Send(1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-b.Recv():
+		t.Fatal("Unblock must not pierce an active partition")
+	case <-time.After(20 * time.Millisecond):
+	}
+	n.Heal()
+	select {
+	case <-b.Recv():
+	case <-time.After(2 * time.Second):
+		t.Fatal("message lost")
+	}
+}
+
+// TestBlockDirectedIsOneWay verifies the asymmetric-partition primitive:
+// a->b held, b->a flowing.
+func TestBlockDirectedIsOneWay(t *testing.T) {
+	n := New(Options{})
+	defer n.Close()
+	a, b := n.Node(0), n.Node(1)
+
+	n.BlockDirected(0, 1)
+	if err := b.Send(0, []byte("up")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-a.Recv():
+		if string(m.Payload) != "up" {
+			t.Fatalf("got %q", m.Payload)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("reverse direction must keep flowing")
+	}
+
+	if err := a.Send(1, []byte("down")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-b.Recv():
+		t.Fatal("blocked direction delivered")
+	case <-time.After(20 * time.Millisecond):
+	}
+	n.Unblock(0, 1)
+	select {
+	case <-b.Recv():
+	case <-time.After(2 * time.Second):
+		t.Fatal("Unblock did not release the one-way hold")
+	}
+}
+
+// TestSetLinkDelayOverride checks that a gray-link override slows exactly
+// the targeted direction of the targeted pair, applies to links that do not
+// exist yet (lazy creation), and that ClearLinkDelays restores the base
+// band while Heal does not touch it (latency and connectivity are
+// independent axes).
+func TestSetLinkDelayOverride(t *testing.T) {
+	n := New(Options{}) // instant base network
+	defer n.Close()
+	a, b := n.Node(0), n.Node(1)
+
+	const slow = 40 * time.Millisecond
+	// Installed before the 0->1 link exists: must stick on lazy creation.
+	n.SetLinkDelay(0, 1, DelayRange{Min: slow, Max: slow})
+
+	t0 := time.Now()
+	if err := a.Send(1, []byte("slow")); err != nil {
+		t.Fatal(err)
+	}
+	<-b.Recv()
+	if d := time.Since(t0); d < slow {
+		t.Fatalf("override not applied: delivered in %v, want >= %v", d, slow)
+	}
+
+	// The reverse direction is untouched.
+	t0 = time.Now()
+	if err := b.Send(0, []byte("fast")); err != nil {
+		t.Fatal(err)
+	}
+	<-a.Recv()
+	if d := time.Since(t0); d >= slow {
+		t.Fatalf("reverse direction inherited the override: %v", d)
+	}
+
+	// Heal leaves the override in place...
+	n.Heal()
+	t0 = time.Now()
+	if err := a.Send(1, []byte("still slow")); err != nil {
+		t.Fatal(err)
+	}
+	<-b.Recv()
+	if d := time.Since(t0); d < slow {
+		t.Fatalf("Heal cleared the latency override (delivered in %v)", d)
+	}
+
+	// ...and ClearLinkDelays removes it.
+	n.ClearLinkDelays()
+	t0 = time.Now()
+	if err := a.Send(1, []byte("fast again")); err != nil {
+		t.Fatal(err)
+	}
+	<-b.Recv()
+	if d := time.Since(t0); d >= slow {
+		t.Fatalf("ClearLinkDelays did not restore the base band: %v", d)
+	}
+}
+
+// TestLinkDelayPreservesFIFO: shrinking a link's delay mid-stream must not
+// let a later message overtake an earlier one (the monotonic-delivery clamp
+// is what the FIFO channel model rests on).
+func TestLinkDelayPreservesFIFO(t *testing.T) {
+	n := New(Options{})
+	defer n.Close()
+	a, b := n.Node(0), n.Node(1)
+
+	n.SetLinkDelay(0, 1, DelayRange{Min: 30 * time.Millisecond, Max: 30 * time.Millisecond})
+	if err := a.Send(1, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	n.SetLinkDelay(0, 1, DelayRange{}) // instant from here on
+	if err := a.Send(1, []byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	m1 := <-b.Recv()
+	m2 := <-b.Recv()
+	if string(m1.Payload) != "first" || string(m2.Payload) != "second" {
+		t.Fatalf("FIFO broken: got %q then %q", m1.Payload, m2.Payload)
+	}
+}
+
+// TestConcurrentScheduleMutation is the race audit behind the nemesis
+// executor: many senders blast traffic while a mutator goroutine flips
+// partitions, pairwise and one-way blocks, latency overrides and the
+// send-time filter as fast as it can. Run under -race this pins that the
+// whole scenario-mutation surface is safe mid-burst; the final heal+drain
+// asserts no message was lost (reliable channels: holds delay, never drop).
+func TestConcurrentScheduleMutation(t *testing.T) {
+	n := New(Options{MaxDelay: 100 * time.Microsecond})
+	defer n.Close()
+
+	const nodes = 4
+	const perSender = 300
+	ids := make([]proto.NodeID, nodes)
+	for i := range ids {
+		ids[i] = proto.NodeID(i)
+	}
+	var received atomic.Uint64
+	var rwg sync.WaitGroup
+	for i := 0; i < nodes; i++ {
+		nd := n.Node(ids[i])
+		rwg.Add(1)
+		go func() {
+			defer rwg.Done()
+			for m := range nd.Recv() {
+				received.Add(1)
+				m.Release()
+			}
+		}()
+	}
+
+	stop := make(chan struct{})
+	var mwg sync.WaitGroup
+	mwg.Add(1)
+	go func() {
+		defer mwg.Done()
+		rng := rand.New(rand.NewSource(1))
+		passthrough := Filter(func(_, _ proto.NodeID, _ []byte) Verdict { return Deliver })
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			a := ids[rng.Intn(nodes)]
+			b := ids[rng.Intn(nodes)]
+			switch rng.Intn(8) {
+			case 0:
+				n.SetPartitions(ids[:nodes/2], ids[nodes/2:])
+			case 1:
+				n.Heal()
+			case 2:
+				n.Block(a, b)
+			case 3:
+				n.BlockDirected(a, b)
+			case 4:
+				n.Unblock(a, b)
+			case 5:
+				n.SetLinkDelay(a, b, DelayRange{Min: time.Microsecond, Max: 50 * time.Microsecond})
+			case 6:
+				n.ClearLinkDelays()
+			case 7:
+				if rng.Intn(2) == 0 {
+					n.SetFilter(passthrough)
+				} else {
+					n.SetFilter(nil)
+				}
+			}
+		}
+	}()
+
+	var swg sync.WaitGroup
+	for i := 0; i < nodes; i++ {
+		nd := n.Node(ids[i])
+		swg.Add(1)
+		go func(i int) {
+			defer swg.Done()
+			for j := 0; j < perSender; j++ {
+				to := ids[(i+1+j%(nodes-1))%nodes]
+				if err := nd.Send(to, []byte(fmt.Sprintf("m%d-%d", i, j))); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+			}
+		}(i)
+	}
+	swg.Wait()
+	close(stop)
+	mwg.Wait()
+
+	n.Heal()
+	n.SetFilter(nil)
+	n.ClearLinkDelays()
+	want := uint64(nodes * perSender)
+	deadline := time.Now().Add(10 * time.Second)
+	for received.Load() < want && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	got := received.Load()
+	n.Close()
+	rwg.Wait()
+	if got != want {
+		t.Fatalf("lost messages under concurrent mutation: delivered %d of %d", got, want)
+	}
+}

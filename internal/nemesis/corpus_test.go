@@ -1,0 +1,46 @@
+package nemesis
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestCorpusReplay replays every committed schedule in testdata/corpus as a
+// regression test: each file is a previously-interesting (hand-distilled or
+// shrunk) schedule, and every one must run checker-clean on the current
+// tree. Failing shrunk artifacts from the nightly search get committed here
+// once their bug is fixed.
+func TestCorpusReplay(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "corpus", "*.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("empty corpus: testdata/corpus/*.txt missing")
+	}
+	for _, f := range files {
+		f := f
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			t.Parallel()
+			text, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sched, err := Parse(string(text))
+			if err != nil {
+				t.Fatalf("corpus file does not parse: %v", err)
+			}
+			// Corpus schedules target the default 3-replica single-shard
+			// cluster and the read-heavy shared-client workload that every
+			// shrunk artifact is minimized under.
+			res, err := Run(Config{Requests: 64, Workers: 4, Clients: 1, ReadRatio: 0.6, Seed: 5}, sched)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Failed() {
+				t.Fatalf("violations: %v", res.Violations)
+			}
+		})
+	}
+}

@@ -1,0 +1,205 @@
+package nemesis
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/cluster"
+)
+
+// oarSchedule is a full-contact schedule for the OAR backend: sequencer
+// minority partition with scripted suspicions, a mid-run checkpoint, a
+// wrongful flap, and reply duplication.
+const oarScheduleText = `
+@6ms s0 partition 0 | 1 2 clients=1
+@9ms s0 suspect 1 0
+@9ms s0 suspect 2 0
+@30ms s0 heal
+@33ms s0 trust * 0
+@40ms s0 checkpoint
+@46ms s0 suspect 0 2
+@46ms s0 suspect 1 2
+@60ms s0 trust * 2
+@64ms s0 dup reply *->* x2
+@70ms s0 checkpoint
+`
+
+// mildScheduleText avoids epoch machinery the baselines don't have: slow
+// links, a non-sequencer partition, duplication, and a checkpoint.
+const mildScheduleText = `
+@5ms s0 slow 1->2 1ms 2ms
+@10ms s0 partition 1 | 0 2 clients=1
+@26ms s0 heal
+@30ms s0 dup reply *->* x2
+@36ms s0 fast
+@40ms s0 checkpoint
+`
+
+// TestRunCleanUnderFaults: every backend survives its schedule with zero
+// violations and completes the full workload.
+func TestRunCleanUnderFaults(t *testing.T) {
+	cases := []struct {
+		protocol cluster.Protocol
+		text     string
+	}{
+		{cluster.OAR, oarScheduleText},
+		{cluster.FixedSeq, mildScheduleText},
+		{cluster.CTab, mildScheduleText},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(string(tc.protocol), func(t *testing.T) {
+			t.Parallel()
+			sched, err := Parse(tc.text)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Run(Config{Protocol: tc.protocol, Requests: 48, Seed: 7}, sched)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Failed() {
+				t.Fatalf("violations: %v", res.Violations)
+			}
+			if res.Ops != 48 {
+				t.Fatalf("completed %d/48 ops", res.Ops)
+			}
+		})
+	}
+}
+
+// TestRunShardedOAR: per-shard nemesis attachment — the schedule hits shard 1
+// while shard 0 runs undisturbed; both must stay clean.
+func TestRunShardedOAR(t *testing.T) {
+	sched, err := Parse(`
+@5ms s1 partition 0 | 1 2 clients=1
+@8ms s1 suspect 1 0
+@8ms s1 suspect 2 0
+@24ms s1 heal
+@27ms s1 trust * 0
+@32ms s0 checkpoint
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{Shards: 2, Requests: 48, Workers: 4, Seed: 3}, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed() {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+	if len(res.Counts) != 2 {
+		t.Fatalf("want 2 per-shard count snapshots, got %d", len(res.Counts))
+	}
+}
+
+// TestRunSeedDeterminism is the whole-stack determinism regression: the same
+// seeds must yield a byte-identical schedule encoding AND identical checker
+// trace counts across two in-process runs. The schedule keeps suspicions out
+// (no epoch closes ⇒ conservative-delivery count is exactly 0) and the
+// workload is all-writes, so every Counts field is closed-form.
+func TestRunSeedDeterminism(t *testing.T) {
+	spec := GenSpec{Seed: 11}
+	if a, b := Generate(spec).Encode(), Generate(spec).Encode(); a != b {
+		t.Fatalf("schedule encoding diverged between generations:\n%s\nvs\n%s", a, b)
+	}
+
+	sched, err := Parse(`
+@4ms s0 slow 0->1 1ms 2ms
+@12ms s0 slow 2->c0 1ms 2ms
+@25ms s0 fast
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Requests: 40, ReadRatio: -1, Seed: 5}
+	want := check.Counts{Issued: 40, Adoptions: 40, Opt: 3 * 40}
+	var prev check.Counts
+	for run := 0; run < 2; run++ {
+		res, err := Run(cfg, sched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Failed() {
+			t.Fatalf("run %d violations: %v", run, res.Violations)
+		}
+		if res.Counts[0] != want {
+			t.Fatalf("run %d counts %+v, want %+v", run, res.Counts[0], want)
+		}
+		if run > 0 && res.Counts[0] != prev {
+			t.Fatalf("counts diverged across runs: %+v vs %+v", prev, res.Counts[0])
+		}
+		prev = res.Counts[0]
+	}
+}
+
+// TestSeqOrderDropIsSuffixLoss: regression for a harness-model bug the full
+// E14 run caught. A count-limited seqorder drop used to lose interior
+// ordering messages while the sequencer kept sending until its crash step —
+// forging a gapped optimistic order that panicked applyDecision with a
+// Lemma 2 prefix violation. The rule now severs whole destinations (suffix
+// semantics), so a heavy write burst through the drop→crash window must
+// stay clean, repeatedly.
+func TestSeqOrderDropIsSuffixLoss(t *testing.T) {
+	sched, err := Parse(`
+@6ms s0 drop seqorder 0->1 x2
+@9ms s0 crash 0
+@13ms s0 suspect * 0
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		res, err := Run(Config{Requests: 256, Workers: 8, ReadRatio: -1, Seed: int64(i + 1)}, sched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Failed() {
+			t.Fatalf("iter %d violations: %v", i, res.Violations)
+		}
+	}
+}
+
+// TestRunRejectsInvalidSchedule: executor refuses schedules outside the
+// model instead of silently running them.
+func TestRunRejectsInvalidSchedule(t *testing.T) {
+	sched := &Schedule{Steps: []Step{{Kind: StepCrash, A: Replica(5)}}}
+	if _, err := Run(Config{}, sched); err == nil {
+		t.Fatal("invalid schedule accepted")
+	}
+}
+
+// TestRunReadsExerciseFastPath: a read-heavy run on OAR actually records
+// fast-path read adoptions (guards against the nemesis silently testing
+// nothing on the read side).
+func TestRunReadsExerciseFastPath(t *testing.T) {
+	sched, err := Parse("@5ms s0 slow 1->2 1ms 2ms\n@20ms s0 fast\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{Requests: 64, ReadRatio: 0.6, Seed: 9}, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed() {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+	if res.Reads == 0 {
+		t.Fatal("workload issued no reads")
+	}
+	if res.Counts[0].ReadAdoptions == 0 {
+		t.Fatal("no fast-path read adoptions recorded")
+	}
+}
+
+// violationProperties flattens result violations for assertions.
+func violationProperties(res *Result) string {
+	var b strings.Builder
+	for _, v := range res.Violations {
+		b.WriteString(v.Property)
+		b.WriteString(";")
+	}
+	return b.String()
+}

@@ -1,0 +1,194 @@
+package nemesis
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/proto"
+)
+
+// GenSpec shapes the randomized schedule generator.
+type GenSpec struct {
+	// N, Shards describe the cluster the schedule targets (defaults 3, 1).
+	N, Shards int
+	// Motifs is how many fault motifs to compose (default 3).
+	Motifs int
+	// Seed makes the schedule a pure function of this value.
+	Seed int64
+}
+
+func (g GenSpec) withDefaults() GenSpec {
+	if g.N == 0 {
+		g.N = 3
+	}
+	if g.Shards == 0 {
+		g.Shards = 1
+	}
+	if g.Motifs == 0 {
+		g.Motifs = 3
+	}
+	if g.Seed == 0 {
+		g.Seed = 1
+	}
+	return g
+}
+
+// Generate derives a schedule deterministically from spec.Seed. The
+// generator is biased toward the protocol's hard regions rather than
+// uniform over the verb set:
+//
+//   - minority partitions that trap the sequencer on the small side while
+//     the majority elects around it (the minority-prefix window of Figure 1b);
+//   - crashes paired with scripted suspicions — including the "ordering
+//     messages lost in the crash" pattern when the victim is the sequencer;
+//   - wrongful-suspicion flaps, which force epoch boundaries with no real
+//     failure (rollback/redelivery pressure with every replica alive);
+//   - gray-slow links and asymmetric one-way blocks, which skew reply
+//     arrival so fast-path reads race the write path;
+//   - duplicate and reorder rules on the kinds the model permits.
+//
+// Every motif cleans up after itself (heal / trust / fast), so motifs
+// compose on a timeline without hidden interference, and checkpoints —
+// mid-run quiescent verification windows — are sprinkled between them. The
+// output always passes Validate for the same (N, Shards).
+func Generate(spec GenSpec) *Schedule {
+	spec = spec.withDefaults()
+	rng := rand.New(rand.NewSource(spec.Seed)) //nolint:gosec // deterministic by design
+	n := spec.N
+
+	s := &Schedule{}
+	ms := func(lo, hi int) time.Duration { // quantized: encodings stay byte-stable
+		return time.Duration(lo+rng.Intn(hi-lo+1)) * time.Millisecond
+	}
+	at := func(t time.Duration, shard int, st Step) {
+		st.At, st.Shard = t, shard
+		s.Steps = append(s.Steps, st)
+	}
+	crashed := make([]map[int]bool, spec.Shards)
+	for i := range crashed {
+		crashed[i] = make(map[int]bool)
+	}
+	budget := func(shard int) int { return (n-1)/2 - len(crashed[shard]) }
+	liveVictim := func(shard int) int {
+		for tries := 0; tries < 8; tries++ {
+			if r := rng.Intn(n); !crashed[shard][r] {
+				return r
+			}
+		}
+		return -1
+	}
+
+	t := ms(5, 12)
+	for m := 0; m < spec.Motifs; m++ {
+		shard := rng.Intn(spec.Shards)
+		w := ms(15, 35) // fault window width
+		pick := rng.Intn(100)
+		switch {
+		case pick < 28 && n >= 3: // minority partition around the sequencer
+			minority := map[int]bool{0: true}
+			for len(minority) < (n-1)/2 && rng.Intn(2) == 0 {
+				minority[rng.Intn(n)] = true
+			}
+			var minor, major []int
+			for r := 0; r < n; r++ {
+				if minority[r] {
+					minor = append(minor, r)
+				} else {
+					major = append(major, r)
+				}
+			}
+			clientSide := 1 // usually the majority keeps serving
+			if rng.Intn(100) < 20 {
+				clientSide = 0
+			}
+			at(t, shard, Step{Kind: StepPartition, Groups: [][]int{minor, major}, ClientSide: clientSide})
+			// Only the majority observers suspect the unreachable minority
+			// (the Figure 4 scripting): the minority keeps trusting its old
+			// world and must catch up after the heal.
+			dt := ms(3, 8)
+			for _, r := range minor {
+				for _, o := range major {
+					at(t+dt, shard, Step{Kind: StepSuspect, A: Replica(o), B: Replica(r)})
+				}
+			}
+			at(t+w, shard, Step{Kind: StepHeal})
+			for _, r := range minor {
+				at(t+w+ms(1, 4), shard, Step{Kind: StepTrust, A: Any, B: Replica(r)})
+			}
+		case pick < 48: // crash + suspicion (maybe with orders lost in the crash)
+			if budget(shard) <= 0 {
+				m-- // retry as another motif
+				continue
+			}
+			victim := liveVictim(shard)
+			if victim < 0 {
+				continue
+			}
+			crashed[shard][victim] = true
+			if victim == 0 && rng.Intn(2) == 0 {
+				// Figure 1b: the sequencer's last ordering messages die with
+				// it — legal because the crash follows in this schedule. The
+				// count is destinations severed (suffix semantics), so one to
+				// three replicas lose the tail of the ordering stream.
+				at(t, shard, Step{Kind: StepDrop, MsgKind: proto.KindSeqOrder,
+					A: Replica(0), B: Any, Count: 1 + rng.Intn(3)})
+			}
+			at(t+ms(1, 3), shard, Step{Kind: StepCrash, A: Replica(victim)})
+			at(t+ms(4, 9), shard, Step{Kind: StepSuspect, A: Any, B: Replica(victim)})
+		case pick < 63: // wrongful-suspicion flap: epoch change, nobody dead
+			victim := liveVictim(shard)
+			if victim < 0 {
+				continue
+			}
+			// Everyone else wrongly suspects a live victim (a node does not
+			// suspect itself): an epoch boundary with no failure behind it.
+			for o := 0; o < n; o++ {
+				if o != victim && !crashed[shard][o] {
+					at(t, shard, Step{Kind: StepSuspect, A: Replica(o), B: Replica(victim)})
+				}
+			}
+			at(t+w, shard, Step{Kind: StepTrust, A: Any, B: Replica(victim)})
+		case pick < 73: // gray-slow link
+			a := rng.Intn(n)
+			b := (a + 1 + rng.Intn(n-1)) % n
+			lo := ms(1, 3)
+			at(t, shard, Step{Kind: StepSlow, A: Replica(a), B: Replica(b),
+				Min: lo, Max: lo + ms(1, 4)})
+			at(t+w, shard, Step{Kind: StepFast})
+		case pick < 80 && n >= 3: // asymmetric one-way block
+			a := rng.Intn(n)
+			b := (a + 1 + rng.Intn(n-1)) % n
+			at(t, shard, Step{Kind: StepBlockOneWay, A: Replica(a), B: Replica(b)})
+			at(t+w, shard, Step{Kind: StepUnblock, A: Replica(a), B: Replica(b)})
+		case pick < 85 && n >= 4: // WAN regions
+			cut := 1 + rng.Intn(n-2)
+			var ga, gb []int
+			for r := 0; r < n; r++ {
+				if r < cut {
+					ga = append(ga, r)
+				} else {
+					gb = append(gb, r)
+				}
+			}
+			at(t, shard, Step{Kind: StepRegions, Groups: [][]int{ga, gb},
+				Min: 0, Max: 200 * time.Microsecond,
+				Min2: ms(1, 2), Max2: ms(3, 5)})
+			at(t+w, shard, Step{Kind: StepFast})
+		case pick < 93: // duplicate deliveries (idempotence pressure)
+			kinds := []proto.Kind{proto.KindRMcast, proto.KindSeqOrder, proto.KindReply, proto.KindRead}
+			at(t, shard, Step{Kind: StepDup, MsgKind: kinds[rng.Intn(len(kinds))],
+				A: Any, B: Any, Count: 1 + rng.Intn(3)})
+		default: // reorder replies/reads (the only FIFO-safe kinds)
+			kinds := []proto.Kind{proto.KindReply, proto.KindRead}
+			at(t, shard, Step{Kind: StepReorder, MsgKind: kinds[rng.Intn(len(kinds))],
+				A: Any, B: Any, Count: 1 + rng.Intn(2), Delay: ms(1, 4)})
+		}
+		t += w + ms(4, 10)
+		if rng.Intn(100) < 30 {
+			at(t, rng.Intn(spec.Shards), Step{Kind: StepCheckpoint})
+			t += ms(3, 6)
+		}
+	}
+	s.Normalize()
+	return s
+}

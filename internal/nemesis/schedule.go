@@ -1,0 +1,730 @@
+// Package nemesis is the fault-schedule harness: a declarative,
+// seed-deterministic scenario DSL over memnet's fault surface, an executor
+// that drives any cluster.Cluster through a schedule while a workload runs
+// and then machine-checks the full proposition suite, a randomized generator
+// biased toward the protocol's hard regions, and a delta-debugging shrinker
+// that reduces failing schedules to locally-minimal replayable artifacts.
+//
+// # Schedule model
+//
+// A Schedule is an ordered list of timed Steps. Each step names an offset
+// from the start of the run, a target shard, a verb, and operands. The text
+// encoding is line-based, committable and diffable:
+//
+//	# oar-nemesis schedule v1
+//	@10ms s0 partition 0 1 | 2 3 4 clients=1
+//	@18ms s0 suspect * 0
+//	@48ms s0 heal
+//	@52ms s0 trust * 0
+//	@70ms s0 checkpoint
+//
+// Encode and Parse round-trip exactly: Parse(Encode(s)) == s, and Encode is
+// canonical (a parsed hand-written file re-encodes to the canonical form).
+// Schedules therefore diff cleanly and a shrunk artifact replays bit-for-bit.
+//
+// # Determinism rules
+//
+// Everything downstream of a seed must be a pure function of it: the
+// generator derives every choice from a single rand.Rand, never iterates a
+// map, and quantizes times so encodings are byte-stable; memnet's per-link
+// latency samplers are seeded from (Seed, from, to); the workload streams
+// are functions of (Seed, worker). Wall-clock scheduling of steps makes the
+// *interleaving* nondeterministic (that is the point of searching many
+// seeds), but the schedule itself — and therefore the artifact a failure
+// shrinks to — is fully reproducible.
+//
+// # Fault semantics
+//
+// The verbs map 1:1 onto memnet's scenario hooks, and the schedule layer
+// enforces the model boundaries the protocol is entitled to (see Validate):
+// channels between correct processes are reliable FIFO, so `drop` is only
+// legal for kinds the protocol compensates (rmcast relays re-deliver, read
+// frames and replies fall back) or when the sender is crashed later in the
+// schedule ("the send was lost in the crash" — the Figure 1b scenario);
+// `reorder` is only legal for reply/read kinds because the ordered-path
+// kinds (SeqOrder, PhaseII inside rmcast) rely on per-link FIFO.
+//
+// A `drop seqorder` rule has suffix semantics: an ordering stream carries
+// its positions implicitly (arrival order IS the order), so losing an
+// interior message would forge a gapped optimistic order no real crash can
+// produce (it breaks the Lemma 2 prefix property). The executor therefore
+// severs whole destinations — `x2` means the first two destinations to
+// match lose that ordering message and every later one from the sender,
+// exactly the per-destination suffix a crash cuts off. For other kinds xN
+// counts individual messages.
+//
+// # Adding a fault type
+//
+// Add a StepKind constant, its operands to Step, an arm to Step.String and
+// parseStep (keep them exact inverses), a validation arm, and an arm to the
+// executor's apply. The generator picks motifs independently, so a new verb
+// becomes searchable by adding a motif that emits it.
+package nemesis
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/proto"
+)
+
+// StepKind enumerates the schedule verbs.
+type StepKind int
+
+// The schedule verbs.
+const (
+	// StepCrash kills replica A (its endpoint closes; in-flight sends
+	// survive). Irreversible for the run.
+	StepCrash StepKind = iota + 1
+	// StepSuspect makes observer A's failure detector suspect replica B
+	// (A = Any scripts every replica's oracle).
+	StepSuspect
+	// StepTrust clears observer A's suspicion of replica B.
+	StepTrust
+	// StepPartition installs a full partition: each replica group is an
+	// island, clients ride with group ClientSide. Unlisted replicas are
+	// isolated (memnet semantics), so groups should cover the shard.
+	StepPartition
+	// StepHeal removes all partitions and pairwise blocks.
+	StepHeal
+	// StepBlock holds A<->B traffic both ways (pairwise block).
+	StepBlock
+	// StepBlockOneWay holds A->B only; B->A keeps flowing (asymmetric
+	// partition).
+	StepBlockOneWay
+	// StepUnblock removes the A<->B hold (both directions).
+	StepUnblock
+	// StepSlow overrides the A->B link latency with [Min, Max) — the
+	// gray-slow link. Connectivity is unaffected.
+	StepSlow
+	// StepFast clears every link-latency override in the shard.
+	StepFast
+	// StepRegions installs a WAN topology: replica groups are regions,
+	// intra-region links get [Min, Max), inter-region links [Min2, Max2).
+	StepRegions
+	// StepDrop discards the next Count matching messages at send time.
+	StepDrop
+	// StepDup delivers the next Count matching messages twice.
+	StepDup
+	// StepReorder delays the next Count matching messages by Delay,
+	// letting later traffic overtake them.
+	StepReorder
+	// StepCheckpoint pauses the workload, restores connectivity, waits for
+	// the shard(s) to settle and runs the full safety check mid-schedule —
+	// the schedule-aware liveness window. Fault state installed before the
+	// checkpoint is cleared; later steps re-install theirs.
+	StepCheckpoint
+)
+
+// AnyIndex is the NodeRef index meaning "every replica" (observer wildcards)
+// or "any node" (filter endpoints).
+const AnyIndex = -1
+
+// NodeRef names a node in a schedule: replica i, client i, or the wildcard.
+type NodeRef struct {
+	Client bool
+	Index  int // AnyIndex = wildcard
+}
+
+// Any is the wildcard NodeRef ("*").
+var Any = NodeRef{Index: AnyIndex}
+
+// Replica returns the NodeRef of replica i.
+func Replica(i int) NodeRef { return NodeRef{Index: i} }
+
+// Client returns the NodeRef of client i.
+func Client(i int) NodeRef { return NodeRef{Client: true, Index: i} }
+
+// IsAny reports whether r is the wildcard.
+func (r NodeRef) IsAny() bool { return r.Index == AnyIndex }
+
+// ID returns the proto.NodeID r names. Panics on the wildcard.
+func (r NodeRef) ID() proto.NodeID {
+	if r.IsAny() {
+		panic("nemesis: wildcard NodeRef has no single ID")
+	}
+	if r.Client {
+		return proto.ClientID(r.Index)
+	}
+	return proto.NodeID(r.Index) //nolint:gosec // validated against N
+}
+
+// Matches reports whether r names id.
+func (r NodeRef) Matches(id proto.NodeID) bool {
+	if r.IsAny() {
+		return true
+	}
+	return r.ID() == id
+}
+
+// String encodes r ("3", "c0", "*").
+func (r NodeRef) String() string {
+	if r.IsAny() {
+		return "*"
+	}
+	if r.Client {
+		return "c" + strconv.Itoa(r.Index)
+	}
+	return strconv.Itoa(r.Index)
+}
+
+func parseNodeRef(tok string) (NodeRef, error) {
+	if tok == "*" {
+		return Any, nil
+	}
+	client := false
+	if strings.HasPrefix(tok, "c") {
+		client = true
+		tok = tok[1:]
+	}
+	i, err := strconv.Atoi(tok)
+	if err != nil || i < 0 {
+		return NodeRef{}, fmt.Errorf("nemesis: bad node ref %q", tok)
+	}
+	return NodeRef{Client: client, Index: i}, nil
+}
+
+// kindNames maps the filterable message kinds to their DSL names. Only leaf
+// kinds appear here: memnet expands proto.Batch envelopes before the filter
+// runs, so a rule never has to match "batch".
+var kindNames = map[proto.Kind]string{
+	proto.KindRMcast:    "rmcast",
+	proto.KindSeqOrder:  "seqorder",
+	proto.KindReply:     "reply",
+	proto.KindRead:      "read",
+	proto.KindHeartbeat: "heartbeat",
+}
+
+func kindByName(name string) (proto.Kind, error) {
+	if name == "*" {
+		return 0, nil
+	}
+	for k, n := range kindNames {
+		if n == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("nemesis: unknown message kind %q", name)
+}
+
+func kindName(k proto.Kind) string {
+	if k == 0 {
+		return "*"
+	}
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("kind%d", k)
+}
+
+// Step is one timed fault action.
+type Step struct {
+	// At is the offset from run start.
+	At time.Duration
+	// Shard is the ordering group the step targets.
+	Shard int
+	// Kind is the verb.
+	Kind StepKind
+
+	// A, B are the node operands: crash/suspect/trust use A (and B as the
+	// suspicion target); block/slow use A->B; filter rules match A->B.
+	A, B NodeRef
+	// Groups are replica-index groups (partition islands / WAN regions).
+	Groups [][]int
+	// ClientSide is the Groups index clients join in a partition.
+	ClientSide int
+	// Min, Max are the latency band of slow / the intra-region band of
+	// regions; Min2, Max2 the inter-region band.
+	Min, Max, Min2, Max2 time.Duration
+	// MsgKind restricts a filter rule (0 = any kind).
+	MsgKind proto.Kind
+	// Count is how many matching messages a filter rule consumes.
+	Count int
+	// Delay is the reorder hold.
+	Delay time.Duration
+}
+
+func groupsString(groups [][]int) string {
+	parts := make([]string, len(groups))
+	for i, g := range groups {
+		toks := make([]string, len(g))
+		for j, r := range g {
+			toks[j] = strconv.Itoa(r)
+		}
+		parts[i] = strings.Join(toks, " ")
+	}
+	return strings.Join(parts, " | ")
+}
+
+func parseGroups(toks []string) ([][]int, error) {
+	groups := [][]int{{}}
+	for _, tok := range toks {
+		if tok == "|" {
+			groups = append(groups, []int{})
+			continue
+		}
+		i, err := strconv.Atoi(tok)
+		if err != nil || i < 0 {
+			return nil, fmt.Errorf("nemesis: bad replica index %q in groups", tok)
+		}
+		last := len(groups) - 1
+		groups[last] = append(groups[last], i)
+	}
+	for _, g := range groups {
+		if len(g) == 0 {
+			return nil, fmt.Errorf("nemesis: empty group")
+		}
+	}
+	return groups, nil
+}
+
+// String encodes the step in the canonical one-line form.
+func (st Step) String() string {
+	head := fmt.Sprintf("@%s s%d", st.At, st.Shard)
+	switch st.Kind {
+	case StepCrash:
+		return fmt.Sprintf("%s crash %s", head, st.A)
+	case StepSuspect:
+		return fmt.Sprintf("%s suspect %s %s", head, st.A, st.B)
+	case StepTrust:
+		return fmt.Sprintf("%s trust %s %s", head, st.A, st.B)
+	case StepPartition:
+		return fmt.Sprintf("%s partition %s clients=%d", head, groupsString(st.Groups), st.ClientSide)
+	case StepHeal:
+		return head + " heal"
+	case StepBlock:
+		return fmt.Sprintf("%s block %s %s", head, st.A, st.B)
+	case StepBlockOneWay:
+		return fmt.Sprintf("%s block1 %s %s", head, st.A, st.B)
+	case StepUnblock:
+		return fmt.Sprintf("%s unblock %s %s", head, st.A, st.B)
+	case StepSlow:
+		return fmt.Sprintf("%s slow %s->%s %s %s", head, st.A, st.B, st.Min, st.Max)
+	case StepFast:
+		return head + " fast"
+	case StepRegions:
+		return fmt.Sprintf("%s regions %s intra %s %s inter %s %s",
+			head, groupsString(st.Groups), st.Min, st.Max, st.Min2, st.Max2)
+	case StepDrop:
+		return fmt.Sprintf("%s drop %s %s->%s x%d", head, kindName(st.MsgKind), st.A, st.B, st.Count)
+	case StepDup:
+		return fmt.Sprintf("%s dup %s %s->%s x%d", head, kindName(st.MsgKind), st.A, st.B, st.Count)
+	case StepReorder:
+		return fmt.Sprintf("%s reorder %s %s->%s x%d by %s",
+			head, kindName(st.MsgKind), st.A, st.B, st.Count, st.Delay)
+	case StepCheckpoint:
+		return head + " checkpoint"
+	default:
+		return fmt.Sprintf("%s ?kind%d", head, st.Kind)
+	}
+}
+
+// header is the first line of every encoded schedule.
+const header = "# oar-nemesis schedule v1"
+
+// Schedule is an ordered fault plan.
+type Schedule struct {
+	Steps []Step
+}
+
+// Clone returns a deep copy (Groups included).
+func (s *Schedule) Clone() *Schedule {
+	out := &Schedule{Steps: make([]Step, len(s.Steps))}
+	copy(out.Steps, s.Steps)
+	for i := range out.Steps {
+		if g := out.Steps[i].Groups; g != nil {
+			ng := make([][]int, len(g))
+			for j := range g {
+				ng[j] = append([]int(nil), g[j]...)
+			}
+			out.Steps[i].Groups = ng
+		}
+	}
+	return out
+}
+
+// Horizon is the offset of the last step (the executor keeps the run alive
+// at least this long).
+func (s *Schedule) Horizon() time.Duration {
+	var h time.Duration
+	for _, st := range s.Steps {
+		if st.At > h {
+			h = st.At
+		}
+	}
+	return h
+}
+
+// Normalize sorts the steps by time (stably: same-time steps keep their
+// relative order). Encode and the executor both rely on sorted order.
+func (s *Schedule) Normalize() {
+	sort.SliceStable(s.Steps, func(i, j int) bool { return s.Steps[i].At < s.Steps[j].At })
+}
+
+// Encode renders the canonical text form.
+func (s *Schedule) Encode() string {
+	var b strings.Builder
+	b.WriteString(header)
+	b.WriteByte('\n')
+	for _, st := range s.Steps {
+		b.WriteString(st.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// String implements fmt.Stringer (== Encode).
+func (s *Schedule) String() string { return s.Encode() }
+
+// Parse decodes the text form. Comments (#...) and blank lines are skipped;
+// the result is normalized, so Encode(Parse(x)) is canonical.
+func Parse(text string) (*Schedule, error) {
+	s := &Schedule{}
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		st, err := parseStep(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", ln+1, err)
+		}
+		s.Steps = append(s.Steps, st)
+	}
+	s.Normalize()
+	return s, nil
+}
+
+func parseStep(line string) (Step, error) {
+	toks := strings.Fields(line)
+	if len(toks) < 3 {
+		return Step{}, fmt.Errorf("nemesis: short step %q", line)
+	}
+	var st Step
+	if !strings.HasPrefix(toks[0], "@") {
+		return Step{}, fmt.Errorf("nemesis: step must start with @offset, got %q", toks[0])
+	}
+	at, err := time.ParseDuration(toks[0][1:])
+	if err != nil || at < 0 {
+		return Step{}, fmt.Errorf("nemesis: bad offset %q", toks[0])
+	}
+	st.At = at
+	if !strings.HasPrefix(toks[1], "s") {
+		return Step{}, fmt.Errorf("nemesis: expected shard sN, got %q", toks[1])
+	}
+	st.Shard, err = strconv.Atoi(toks[1][1:])
+	if err != nil || st.Shard < 0 {
+		return Step{}, fmt.Errorf("nemesis: bad shard %q", toks[1])
+	}
+	verb, args := toks[2], toks[3:]
+
+	needNodes := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("nemesis: %s wants %d operands, got %d", verb, n, len(args))
+		}
+		return nil
+	}
+	parseArrow := func(tok string) (NodeRef, NodeRef, error) {
+		from, to, ok := strings.Cut(tok, "->")
+		if !ok {
+			return NodeRef{}, NodeRef{}, fmt.Errorf("nemesis: expected from->to, got %q", tok)
+		}
+		a, err := parseNodeRef(from)
+		if err != nil {
+			return NodeRef{}, NodeRef{}, err
+		}
+		b, err := parseNodeRef(to)
+		return a, b, err
+	}
+	parseCount := func(tok string) (int, error) {
+		if !strings.HasPrefix(tok, "x") {
+			return 0, fmt.Errorf("nemesis: expected xN count, got %q", tok)
+		}
+		n, err := strconv.Atoi(tok[1:])
+		if err != nil || n <= 0 {
+			return 0, fmt.Errorf("nemesis: bad count %q", tok)
+		}
+		return n, nil
+	}
+
+	switch verb {
+	case "crash":
+		if err := needNodes(1); err != nil {
+			return Step{}, err
+		}
+		st.Kind = StepCrash
+		st.A, err = parseNodeRef(args[0])
+	case "suspect", "trust":
+		if err := needNodes(2); err != nil {
+			return Step{}, err
+		}
+		st.Kind = StepSuspect
+		if verb == "trust" {
+			st.Kind = StepTrust
+		}
+		if st.A, err = parseNodeRef(args[0]); err != nil {
+			return Step{}, err
+		}
+		st.B, err = parseNodeRef(args[1])
+	case "partition":
+		if len(args) < 2 {
+			return Step{}, fmt.Errorf("nemesis: partition wants groups and clients=")
+		}
+		last := args[len(args)-1]
+		if !strings.HasPrefix(last, "clients=") {
+			return Step{}, fmt.Errorf("nemesis: partition must end with clients=<group>, got %q", last)
+		}
+		st.Kind = StepPartition
+		st.ClientSide, err = strconv.Atoi(strings.TrimPrefix(last, "clients="))
+		if err != nil || st.ClientSide < 0 {
+			return Step{}, fmt.Errorf("nemesis: bad clients= %q", last)
+		}
+		st.Groups, err = parseGroups(args[:len(args)-1])
+	case "heal":
+		st.Kind = StepHeal
+		err = needNodes(0)
+	case "block", "block1", "unblock":
+		if err := needNodes(2); err != nil {
+			return Step{}, err
+		}
+		switch verb {
+		case "block":
+			st.Kind = StepBlock
+		case "block1":
+			st.Kind = StepBlockOneWay
+		default:
+			st.Kind = StepUnblock
+		}
+		if st.A, err = parseNodeRef(args[0]); err != nil {
+			return Step{}, err
+		}
+		st.B, err = parseNodeRef(args[1])
+	case "slow":
+		if err := needNodes(3); err != nil {
+			return Step{}, err
+		}
+		st.Kind = StepSlow
+		if st.A, st.B, err = parseArrow(args[0]); err != nil {
+			return Step{}, err
+		}
+		if st.Min, err = time.ParseDuration(args[1]); err != nil {
+			return Step{}, err
+		}
+		st.Max, err = time.ParseDuration(args[2])
+	case "fast":
+		st.Kind = StepFast
+		err = needNodes(0)
+	case "regions":
+		st.Kind = StepRegions
+		intra := -1
+		for i, a := range args {
+			if a == "intra" {
+				intra = i
+				break
+			}
+		}
+		if intra < 0 || len(args) != intra+6 || args[intra+3] != "inter" {
+			return Step{}, fmt.Errorf("nemesis: regions wants GROUPS intra MIN MAX inter MIN MAX")
+		}
+		if st.Groups, err = parseGroups(args[:intra]); err != nil {
+			return Step{}, err
+		}
+		if st.Min, err = time.ParseDuration(args[intra+1]); err != nil {
+			return Step{}, err
+		}
+		if st.Max, err = time.ParseDuration(args[intra+2]); err != nil {
+			return Step{}, err
+		}
+		if st.Min2, err = time.ParseDuration(args[intra+4]); err != nil {
+			return Step{}, err
+		}
+		st.Max2, err = time.ParseDuration(args[intra+5])
+	case "drop", "dup", "reorder":
+		want := 3
+		if verb == "reorder" {
+			want = 5
+		}
+		if err := needNodes(want); err != nil {
+			return Step{}, err
+		}
+		switch verb {
+		case "drop":
+			st.Kind = StepDrop
+		case "dup":
+			st.Kind = StepDup
+		default:
+			st.Kind = StepReorder
+		}
+		if st.MsgKind, err = kindByName(args[0]); err != nil {
+			return Step{}, err
+		}
+		if st.A, st.B, err = parseArrow(args[1]); err != nil {
+			return Step{}, err
+		}
+		if st.Count, err = parseCount(args[2]); err != nil {
+			return Step{}, err
+		}
+		if verb == "reorder" {
+			if args[3] != "by" {
+				return Step{}, fmt.Errorf("nemesis: reorder wants ... by DELAY")
+			}
+			st.Delay, err = time.ParseDuration(args[4])
+		}
+	case "checkpoint":
+		st.Kind = StepCheckpoint
+		err = needNodes(0)
+	default:
+		return Step{}, fmt.Errorf("nemesis: unknown verb %q", verb)
+	}
+	if err != nil {
+		return Step{}, err
+	}
+	return st, nil
+}
+
+// Validate checks the schedule against a cluster shape and the protocol's
+// model boundaries. It returns the first problem found.
+func (s *Schedule) Validate(n, shards int) error {
+	if n <= 0 || shards <= 0 {
+		return fmt.Errorf("nemesis: invalid shape n=%d shards=%d", n, shards)
+	}
+	crashed := make(map[[2]int]bool)            // (shard, replica) crashed anywhere in the schedule
+	crashedBy := make(map[[2]int]time.Duration) // earliest crash time
+	perShardCrashes := make(map[int]int)
+	for _, st := range s.Steps {
+		if st.Kind == StepCrash {
+			if st.A.IsAny() || st.A.Client || st.A.Index >= n {
+				return fmt.Errorf("nemesis: crash target %s invalid", st.A)
+			}
+			key := [2]int{st.Shard, st.A.Index}
+			if !crashed[key] {
+				crashed[key] = true
+				crashedBy[key] = st.At
+				perShardCrashes[st.Shard]++
+			}
+		}
+	}
+	for shard, k := range perShardCrashes {
+		if k > (n-1)/2 {
+			return fmt.Errorf("nemesis: shard %d crashes %d replicas, majority of %d lost", shard, k, n)
+		}
+	}
+	checkReplica := func(r NodeRef, what string) error {
+		if r.IsAny() || r.Client {
+			return nil
+		}
+		if r.Index >= n {
+			return fmt.Errorf("nemesis: %s replica %d out of range (n=%d)", what, r.Index, n)
+		}
+		return nil
+	}
+	for i, st := range s.Steps {
+		if st.Shard >= shards {
+			return fmt.Errorf("nemesis: step %d targets shard %d of %d", i, st.Shard, shards)
+		}
+		switch st.Kind {
+		case StepCrash:
+			// shape checked above
+		case StepSuspect, StepTrust:
+			if st.A.Client || st.B.Client || st.B.IsAny() {
+				return fmt.Errorf("nemesis: step %d: suspect/trust wants replica operands with a concrete target", i)
+			}
+			if err := checkReplica(st.A, "observer"); err != nil {
+				return err
+			}
+			if err := checkReplica(st.B, "target"); err != nil {
+				return err
+			}
+		case StepPartition, StepRegions:
+			seen := make(map[int]bool)
+			for _, g := range st.Groups {
+				for _, r := range g {
+					if r >= n {
+						return fmt.Errorf("nemesis: step %d: replica %d out of range", i, r)
+					}
+					if seen[r] {
+						return fmt.Errorf("nemesis: step %d: replica %d in two groups", i, r)
+					}
+					seen[r] = true
+				}
+			}
+			if st.Kind == StepPartition {
+				if len(seen) != n {
+					return fmt.Errorf("nemesis: step %d: partition must place every replica (got %d of %d)", i, len(seen), n)
+				}
+				if st.ClientSide >= len(st.Groups) {
+					return fmt.Errorf("nemesis: step %d: clients=%d but only %d groups", i, st.ClientSide, len(st.Groups))
+				}
+			}
+		case StepBlock, StepBlockOneWay, StepUnblock:
+			if st.A.IsAny() || st.B.IsAny() {
+				return fmt.Errorf("nemesis: step %d: block operands must be concrete", i)
+			}
+			if err := checkReplica(st.A, "block"); err != nil {
+				return err
+			}
+			if err := checkReplica(st.B, "block"); err != nil {
+				return err
+			}
+		case StepSlow:
+			if st.A.IsAny() || st.B.IsAny() {
+				return fmt.Errorf("nemesis: step %d: slow operands must be concrete", i)
+			}
+			if st.Max < st.Min || st.Min < 0 {
+				return fmt.Errorf("nemesis: step %d: bad latency band [%v, %v)", i, st.Min, st.Max)
+			}
+		case StepDrop:
+			// Dropping must not break the reliable-channel model the
+			// protocol assumes. Compensated kinds are always legal: rmcast
+			// copies are re-relayed by every receiver, read frames and
+			// replies fall back or are quorum-redundant. Anything else
+			// (SeqOrder, wildcard) is only legal when the sender is a
+			// concrete replica that crashes later — "lost in the crash".
+			switch st.MsgKind {
+			case proto.KindRMcast, proto.KindRead, proto.KindReply:
+			default:
+				if st.A.IsAny() || st.A.Client {
+					return fmt.Errorf("nemesis: step %d: drop of %s needs a concrete replica sender", i, kindName(st.MsgKind))
+				}
+				key := [2]int{st.Shard, st.A.Index}
+				if !crashed[key] || crashedBy[key] < st.At {
+					return fmt.Errorf("nemesis: step %d: drop of %s from %s requires crashing %s later in the schedule",
+						i, kindName(st.MsgKind), st.A, st.A)
+				}
+			}
+			if err := checkReplica(st.A, "drop"); err != nil {
+				return err
+			}
+			if err := checkReplica(st.B, "drop"); err != nil {
+				return err
+			}
+		case StepDup:
+			if err := checkReplica(st.A, "dup"); err != nil {
+				return err
+			}
+			if err := checkReplica(st.B, "dup"); err != nil {
+				return err
+			}
+		case StepReorder:
+			// FIFO-dependent kinds (SeqOrder carries no position field;
+			// PhaseII rides rmcast) must never be reordered — only the
+			// kinds the client side tolerates out of order.
+			switch st.MsgKind {
+			case proto.KindReply, proto.KindRead:
+			default:
+				return fmt.Errorf("nemesis: step %d: reorder of %s breaks the FIFO channel model (reply/read only)",
+					i, kindName(st.MsgKind))
+			}
+			if st.Delay <= 0 {
+				return fmt.Errorf("nemesis: step %d: reorder needs a positive delay", i)
+			}
+		case StepHeal, StepFast, StepCheckpoint:
+		default:
+			return fmt.Errorf("nemesis: step %d: unknown kind %d", i, st.Kind)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,210 @@
+package nemesis
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/proto"
+)
+
+// sampleSchedule exercises every verb and operand form once.
+func sampleSchedule() *Schedule {
+	return &Schedule{Steps: []Step{
+		{At: 5 * time.Millisecond, Shard: 0, Kind: StepSlow, A: Replica(0), B: Client(1),
+			Min: time.Millisecond, Max: 3 * time.Millisecond},
+		{At: 8 * time.Millisecond, Shard: 1, Kind: StepPartition,
+			Groups: [][]int{{0, 1}, {2, 3, 4}}, ClientSide: 1},
+		{At: 10 * time.Millisecond, Shard: 1, Kind: StepSuspect, A: Replica(2), B: Replica(0)},
+		{At: 12 * time.Millisecond, Shard: 0, Kind: StepDrop, MsgKind: proto.KindSeqOrder,
+			A: Replica(0), B: Any, Count: 2},
+		{At: 13 * time.Millisecond, Shard: 0, Kind: StepCrash, A: Replica(0)},
+		{At: 14 * time.Millisecond, Shard: 0, Kind: StepSuspect, A: Any, B: Replica(0)},
+		{At: 20 * time.Millisecond, Shard: 1, Kind: StepHeal},
+		{At: 21 * time.Millisecond, Shard: 1, Kind: StepTrust, A: Any, B: Replica(0)},
+		{At: 24 * time.Millisecond, Shard: 0, Kind: StepBlock, A: Replica(1), B: Replica(2)},
+		{At: 25 * time.Millisecond, Shard: 0, Kind: StepBlockOneWay, A: Replica(2), B: Replica(1)},
+		{At: 26 * time.Millisecond, Shard: 0, Kind: StepUnblock, A: Replica(1), B: Replica(2)},
+		{At: 30 * time.Millisecond, Shard: 0, Kind: StepRegions,
+			Groups: [][]int{{0, 1}, {2}}, Min: 0, Max: 200 * time.Microsecond,
+			Min2: time.Millisecond, Max2: 4 * time.Millisecond},
+		{At: 33 * time.Millisecond, Shard: 0, Kind: StepFast},
+		{At: 35 * time.Millisecond, Shard: 0, Kind: StepDup, MsgKind: proto.KindReply,
+			A: Any, B: Client(0), Count: 3},
+		{At: 36 * time.Millisecond, Shard: 0, Kind: StepReorder, MsgKind: proto.KindRead,
+			A: Client(0), B: Replica(1), Count: 1, Delay: 2 * time.Millisecond},
+		{At: 40 * time.Millisecond, Shard: 0, Kind: StepCheckpoint},
+	}}
+}
+
+func TestEncodeParseRoundTrip(t *testing.T) {
+	s := sampleSchedule()
+	text := s.Encode()
+	parsed, err := Parse(text)
+	if err != nil {
+		t.Fatalf("Parse(Encode): %v\n%s", err, text)
+	}
+	if got := parsed.Encode(); got != text {
+		t.Fatalf("round trip not byte-identical:\n--- encoded ---\n%s--- reparsed ---\n%s", text, got)
+	}
+	if len(parsed.Steps) != len(s.Steps) {
+		t.Fatalf("lost steps: %d != %d", len(parsed.Steps), len(s.Steps))
+	}
+}
+
+func TestParseSkipsCommentsAndCanonicalizes(t *testing.T) {
+	text := `
+# a hand-written schedule, with sloppy whitespace
+  @10ms   s0   heal
+
+@5ms s0 crash 1
+# trailing comment
+`
+	s, err := Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := header + "\n@5ms s0 crash 1\n@10ms s0 heal\n"
+	if got := s.Encode(); got != want {
+		t.Fatalf("canonical form:\n%q\nwant\n%q", got, want)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"@5ms s0 explode 1",             // unknown verb
+		"5ms s0 heal",                   // missing @
+		"@5ms x0 heal",                  // bad shard
+		"@5ms s0 crash",                 // missing operand
+		"@5ms s0 slow 0->1 1ms",         // short slow
+		"@5ms s0 drop nonsense 0->1 x1", // unknown kind
+		"@5ms s0 reorder reply 0->1 x1", // missing by
+		"@5ms s0 partition 0 1 | 2",     // missing clients=
+		"@5ms s0 dup reply 0->1 y3",     // bad count
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+func TestValidateEnforcesModelBoundaries(t *testing.T) {
+	ok := func(s *Schedule) error { return s.Validate(5, 2) }
+	// The sample (built for n=5, shards=2) is legal.
+	if err := ok(sampleSchedule()); err != nil {
+		t.Fatalf("sample rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		s    Schedule
+	}{
+		{"seqorder drop without crash", Schedule{Steps: []Step{
+			{Kind: StepDrop, MsgKind: proto.KindSeqOrder, A: Replica(0), B: Any, Count: 1},
+		}}},
+		{"seqorder drop after the crash", Schedule{Steps: []Step{
+			{At: 1 * time.Millisecond, Kind: StepCrash, A: Replica(0)},
+			{At: 5 * time.Millisecond, Kind: StepDrop, MsgKind: proto.KindSeqOrder, A: Replica(0), B: Any, Count: 1},
+		}}},
+		{"wildcard drop", Schedule{Steps: []Step{
+			{Kind: StepDrop, MsgKind: 0, A: Any, B: Any, Count: 1},
+		}}},
+		{"reorder of seqorder", Schedule{Steps: []Step{
+			{Kind: StepReorder, MsgKind: proto.KindSeqOrder, A: Any, B: Any, Count: 1, Delay: time.Millisecond},
+		}}},
+		{"crash majority", Schedule{Steps: []Step{
+			{Kind: StepCrash, A: Replica(0)},
+			{At: time.Millisecond, Kind: StepCrash, A: Replica(1)},
+			{At: 2 * time.Millisecond, Kind: StepCrash, A: Replica(2)},
+		}}},
+		{"partition missing a replica", Schedule{Steps: []Step{
+			{Kind: StepPartition, Groups: [][]int{{0, 1}, {2, 3}}, ClientSide: 0},
+		}}},
+		{"partition duplicate replica", Schedule{Steps: []Step{
+			{Kind: StepPartition, Groups: [][]int{{0, 1, 2}, {2, 3, 4}}, ClientSide: 0},
+		}}},
+		{"replica out of range", Schedule{Steps: []Step{
+			{Kind: StepCrash, A: Replica(7)},
+		}}},
+		{"shard out of range", Schedule{Steps: []Step{
+			{Shard: 5, Kind: StepHeal},
+		}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := ok(&tc.s); err == nil {
+				t.Fatal("accepted")
+			}
+		})
+	}
+}
+
+// TestGenerateDeterministic: same seed ⇒ byte-identical encoding (the first
+// half of the whole-stack determinism regression); different seeds diverge.
+func TestGenerateDeterministic(t *testing.T) {
+	spec := GenSpec{N: 5, Shards: 2, Motifs: 4, Seed: 42}
+	a := Generate(spec).Encode()
+	b := Generate(spec).Encode()
+	if a != b {
+		t.Fatalf("same seed diverged:\n%s\nvs\n%s", a, b)
+	}
+	spec.Seed = 43
+	if Generate(spec).Encode() == a {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// TestGenerateAlwaysValid: the generator must never emit a schedule its own
+// validator rejects, across shapes and many seeds.
+func TestGenerateAlwaysValid(t *testing.T) {
+	shapes := []GenSpec{
+		{N: 3, Shards: 1},
+		{N: 5, Shards: 1, Motifs: 5},
+		{N: 4, Shards: 2, Motifs: 4},
+		{N: 7, Shards: 3, Motifs: 6},
+	}
+	for _, shape := range shapes {
+		for seed := int64(1); seed <= 200; seed++ {
+			shape.Seed = seed
+			s := Generate(shape)
+			if err := s.Validate(shape.N, shape.Shards); err != nil {
+				t.Fatalf("shape %+v seed %d: %v\n%s", shape, seed, err, s.Encode())
+			}
+			if len(s.Steps) == 0 {
+				t.Fatalf("shape %+v seed %d: empty schedule", shape, seed)
+			}
+			// Generated schedules must round-trip like hand-written ones.
+			back, err := Parse(s.Encode())
+			if err != nil {
+				t.Fatalf("seed %d: reparse: %v", seed, err)
+			}
+			if back.Encode() != s.Encode() {
+				t.Fatalf("seed %d: encode not canonical", seed)
+			}
+		}
+	}
+}
+
+// TestGenerateCoversHardRegions: over a window of seeds the generator must
+// actually emit its bias targets (partition windows, crash+suspect pairs,
+// flaps, checkpoints) — a silently dead motif would hollow out the search.
+func TestGenerateCoversHardRegions(t *testing.T) {
+	found := map[StepKind]bool{}
+	for seed := int64(1); seed <= 300; seed++ {
+		s := Generate(GenSpec{N: 5, Shards: 1, Motifs: 4, Seed: seed})
+		for _, st := range s.Steps {
+			found[st.Kind] = true
+		}
+	}
+	for _, want := range []StepKind{
+		StepCrash, StepSuspect, StepTrust, StepPartition, StepHeal,
+		StepBlockOneWay, StepUnblock, StepSlow, StepFast, StepRegions,
+		StepDrop, StepDup, StepReorder, StepCheckpoint,
+	} {
+		if !found[want] {
+			t.Errorf("no generated schedule used step kind %d", want)
+		}
+	}
+	if strings.Contains(Generate(GenSpec{N: 3, Seed: 7}).Encode(), "kind") {
+		t.Error("generator emitted an unnamed message kind")
+	}
+}

@@ -1,0 +1,87 @@
+package nemesis
+
+import "fmt"
+
+// SearchConfig shapes a randomized fault-schedule search.
+type SearchConfig struct {
+	// Run is the executor config every candidate schedule runs under.
+	Run Config
+	// Gen shapes the generated schedules; N/Shards are forced to match Run.
+	Gen GenSpec
+	// Budget is how many seeds to try (default 50).
+	Budget int
+	// BaseSeed is the first schedule seed; seed i is BaseSeed+i (default 1).
+	BaseSeed int64
+	// Progress, when non-nil, is called after every run.
+	Progress func(seed int64, res *Result)
+}
+
+// Found is a failing schedule discovered by Search.
+type Found struct {
+	// Seed generated Schedule.
+	Seed int64
+	// Schedule is the generated (unshrunk) failing schedule.
+	Schedule *Schedule
+	// Result is the failing run's outcome.
+	Result *Result
+}
+
+// Search runs Budget seeded random schedules and returns the first failure,
+// or (nil, ran, nil) if every schedule was checker-clean. ran counts the
+// schedules executed. A harness error (cluster boot failure, invalid
+// config) aborts the search; a checker violation is a finding, not an
+// error.
+func Search(cfg SearchConfig) (*Found, int, error) {
+	if cfg.Budget == 0 {
+		cfg.Budget = 50
+	}
+	if cfg.BaseSeed == 0 {
+		cfg.BaseSeed = 1
+	}
+	run := cfg.Run.withDefaults()
+	gen := cfg.Gen
+	gen.N, gen.Shards = run.N, run.Shards
+	for i := 0; i < cfg.Budget; i++ {
+		seed := cfg.BaseSeed + int64(i)
+		gen.Seed = seed
+		sched := Generate(gen)
+		res, err := Run(run, sched)
+		if err != nil {
+			return nil, i, fmt.Errorf("nemesis: seed %d: %w", seed, err)
+		}
+		if cfg.Progress != nil {
+			cfg.Progress(seed, res)
+		}
+		if res.Failed() {
+			return &Found{Seed: seed, Schedule: sched, Result: res}, i + 1, nil
+		}
+	}
+	return nil, cfg.Budget, nil
+}
+
+// FailOracle wraps an executor config into a Shrink predicate: a candidate
+// fails when it validates and a run under cfg reports violations. Running
+// the schedule `repeats` times (default 1) and requiring ANY failing run
+// makes shrinking robust for timing-dependent failures at the cost of
+// re-runs.
+func FailOracle(cfg Config, repeats int) func(*Schedule) bool {
+	if repeats <= 0 {
+		repeats = 1
+	}
+	run := cfg.withDefaults()
+	return func(s *Schedule) bool {
+		if err := s.Validate(run.N, run.Shards); err != nil {
+			return false
+		}
+		for i := 0; i < repeats; i++ {
+			res, err := Run(run, s)
+			if err != nil {
+				return false
+			}
+			if res.Failed() {
+				return true
+			}
+		}
+		return false
+	}
+}

@@ -1,0 +1,63 @@
+package nemesis
+
+// Shrink reduces a failing schedule to a locally-minimal one with the ddmin
+// delta-debugging algorithm: starting at granularity 2 it tries removing
+// each chunk of steps (and keeping each chunk alone), recursing to finer
+// granularity until no single chunk can be removed — so the result is
+// 1-minimal: removing ANY single remaining step makes the failure disappear.
+//
+// fails must report whether a candidate schedule still reproduces the
+// failure; it is the caller's oracle (typically: run the schedule and check
+// Result.Failed(), treating an invalid candidate as not-failing). Shrinking
+// is fully deterministic for a deterministic oracle: candidates are
+// enumerated in a fixed order and steps keep their times, shards and
+// relative order throughout. Shrink assumes fails(s) is true on entry; it
+// returns s unchanged (as a copy) when s is already minimal or empty.
+func Shrink(s *Schedule, fails func(*Schedule) bool) *Schedule {
+	steps := append([]Step(nil), s.Steps...)
+	n := 2
+	for len(steps) >= 2 {
+		chunk := (len(steps) + n - 1) / n // ceil: n chunks cover every step
+		reduced := false
+		// Pass 1: try each complement (remove one chunk).
+		for i := 0; i < len(steps); i += chunk {
+			cand := make([]Step, 0, len(steps)-chunk)
+			cand = append(cand, steps[:i]...)
+			if i+chunk < len(steps) {
+				cand = append(cand, steps[i+chunk:]...)
+			}
+			if len(cand) < len(steps) && fails(&Schedule{Steps: cand}) {
+				steps = cand
+				n = max(n-1, 2)
+				reduced = true
+				break
+			}
+		}
+		if reduced {
+			continue
+		}
+		// Pass 2: try each chunk alone (fast path to tiny causes).
+		if n < len(steps) {
+			for i := 0; i < len(steps); i += chunk {
+				end := min(i+chunk, len(steps))
+				cand := append([]Step(nil), steps[i:end]...)
+				if len(cand) < len(steps) && fails(&Schedule{Steps: cand}) {
+					steps = cand
+					n = 2
+					reduced = true
+					break
+				}
+			}
+		}
+		if reduced {
+			continue
+		}
+		if n >= len(steps) {
+			break // singleton granularity and nothing removable: 1-minimal
+		}
+		n = min(n*2, len(steps))
+	}
+	out := (&Schedule{Steps: steps}).Clone()
+	out.Normalize()
+	return out
+}

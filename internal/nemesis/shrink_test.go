@@ -1,0 +1,108 @@
+package nemesis
+
+import (
+	"testing"
+	"time"
+)
+
+// mkSteps builds a schedule of n distinguishable heal steps (the kind is
+// irrelevant to the synthetic oracles; At keeps them distinguishable).
+func mkSteps(n int) *Schedule {
+	s := &Schedule{}
+	for i := 0; i < n; i++ {
+		s.Steps = append(s.Steps, Step{At: time.Duration(i+1) * time.Millisecond, Kind: StepHeal})
+	}
+	return s
+}
+
+// hasAt reports whether the schedule retains the step stamped t ms.
+func hasAt(s *Schedule, t int) bool {
+	for _, st := range s.Steps {
+		if st.At == time.Duration(t)*time.Millisecond {
+			return true
+		}
+	}
+	return false
+}
+
+// TestShrinkTwoStepCause: the failure needs steps 3 AND 7 together; ddmin
+// must land on exactly those two steps, in order.
+func TestShrinkTwoStepCause(t *testing.T) {
+	fails := func(s *Schedule) bool { return hasAt(s, 3) && hasAt(s, 7) }
+	got := Shrink(mkSteps(12), fails)
+	if len(got.Steps) != 2 || !hasAt(got, 3) || !hasAt(got, 7) {
+		t.Fatalf("want exactly steps @3ms and @7ms, got:\n%s", got.Encode())
+	}
+	if got.Steps[0].At > got.Steps[1].At {
+		t.Fatal("shrunk schedule lost step order")
+	}
+}
+
+// TestShrinkSingleCause: one causal step out of many shrinks to length 1.
+func TestShrinkSingleCause(t *testing.T) {
+	fails := func(s *Schedule) bool { return hasAt(s, 5) }
+	got := Shrink(mkSteps(9), fails)
+	if len(got.Steps) != 1 || !hasAt(got, 5) {
+		t.Fatalf("want only step @5ms, got:\n%s", got.Encode())
+	}
+}
+
+// TestShrinkDeterministic: same input and oracle ⇒ byte-identical output.
+func TestShrinkDeterministic(t *testing.T) {
+	fails := func(s *Schedule) bool { return hasAt(s, 2) && hasAt(s, 9) && hasAt(s, 10) }
+	a := Shrink(mkSteps(14), fails).Encode()
+	b := Shrink(mkSteps(14), fails).Encode()
+	if a != b {
+		t.Fatalf("nondeterministic shrink:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestShrinkAlreadyMinimal: a minimal schedule terminates unchanged, and
+// the oracle is consulted a bounded number of times (no infinite loop).
+func TestShrinkAlreadyMinimal(t *testing.T) {
+	calls := 0
+	fails := func(s *Schedule) bool { calls++; return hasAt(s, 1) && hasAt(s, 2) }
+	got := Shrink(mkSteps(2), fails)
+	if len(got.Steps) != 2 {
+		t.Fatalf("minimal schedule changed: %s", got.Encode())
+	}
+	if calls == 0 || calls > 16 {
+		t.Fatalf("oracle consulted %d times", calls)
+	}
+}
+
+// TestShrinkOneMinimal: ddmin's guarantee is 1-minimality — removing any
+// single step from the result makes the failure disappear.
+func TestShrinkOneMinimal(t *testing.T) {
+	// Failure: at least 3 of the even steps present.
+	fails := func(s *Schedule) bool {
+		n := 0
+		for _, st := range s.Steps {
+			if (st.At/time.Millisecond)%2 == 0 {
+				n++
+			}
+		}
+		return n >= 3
+	}
+	got := Shrink(mkSteps(16), fails)
+	if !fails(got) {
+		t.Fatalf("shrunk schedule no longer fails:\n%s", got.Encode())
+	}
+	for i := range got.Steps {
+		cand := &Schedule{Steps: append(append([]Step(nil), got.Steps[:i]...), got.Steps[i+1:]...)}
+		if fails(cand) {
+			t.Fatalf("not 1-minimal: still fails without step %d:\n%s", i, got.Encode())
+		}
+	}
+}
+
+// TestShrinkEmptyAndSingleton: degenerate inputs pass through untouched.
+func TestShrinkEmptyAndSingleton(t *testing.T) {
+	always := func(*Schedule) bool { return true }
+	if got := Shrink(&Schedule{}, always); len(got.Steps) != 0 {
+		t.Fatalf("empty schedule grew: %s", got.Encode())
+	}
+	if got := Shrink(mkSteps(1), always); len(got.Steps) != 1 {
+		t.Fatalf("singleton changed: %s", got.Encode())
+	}
+}
