@@ -1,5 +1,5 @@
 // Command oar-bench runs the reproduction experiment suite of DESIGN.md
-// (E1–E14 and the ablations A1–A2) and prints one table per experiment —
+// (E1–E15 and the ablations A1–A2) and prints one table per experiment —
 // the data recorded in EXPERIMENTS.md.
 //
 // Usage:
@@ -187,6 +187,7 @@ func run() int {
 		{"E12", experiments.E12AdaptiveBatching},
 		{"E13", experiments.E13ReadFastPath},
 		{"E14", experiments.E14Nemesis},
+		{"E15", experiments.E15Recovery},
 		{"A1", experiments.A1RelayStrategy},
 		{"A2", experiments.A2UndoThriftiness},
 	}

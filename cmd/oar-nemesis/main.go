@@ -55,6 +55,7 @@ func runFlags(fs *flag.FlagSet) (*nemesis.Config, func() error) {
 	fs.IntVar(&cfg.Workers, "workers", 4, "closed-loop workload concurrency")
 	fs.IntVar(&cfg.Clients, "clients", 1, "client endpoints the workers share")
 	fs.Float64Var(&cfg.ReadRatio, "rw", 0.65, "read fraction (0 = the 0.5 default, negative = all writes)")
+	fs.BoolVar(&cfg.WAL, "wal", false, "give every replica a write-ahead log (fresh temp dir per run); restarted replicas then recover from disk before peer catch-up")
 	fs.Int64Var(&cfg.Seed, "workload-seed", 5, "workload stream seed")
 	fs.DurationVar(&cfg.OpTimeout, "op-timeout", 30*time.Second, "per-operation liveness bound")
 	fs.DurationVar(&cfg.SettleTimeout, "settle-timeout", 10*time.Second, "quiescence bound per verification window")

@@ -14,10 +14,22 @@
 // by key hash; traffic that reaches the wrong group is dropped at the
 // door, never misordered.
 //
+// A replica started with -wal-dir is durable: definitive deliveries are
+// journaled (fsynced per closed epoch) and snapshots taken at epoch
+// boundaries. Restarting the same command line after a crash recovers the
+// replica automatically — it replays its snapshot and log tail, catches the
+// remainder up from its peers, and re-enters ordering:
+//
+//	oar-server -rank 1 -peers ... -wal-dir /var/lib/oar/r1   # boot
+//	<kill -9>
+//	oar-server -rank 1 -peers ... -wal-dir /var/lib/oar/r1   # recovers
+//
 // Flags: -rank, -peers, -listen, -machine, -group, -suspicion-timeout
 // (◊S detection; lower = faster fail-over, more false suspicions — safe
 // but slower), -epoch-limit (force a conservative phase every N requests
-// to bound optimistic bookkeeping; 0 = never), -autotune (self-tune the
+// to bound optimistic bookkeeping; 0 = never), -wal-dir (persist the
+// replica's state there and crash-recover from it; each replica needs its
+// own directory), -autotune (self-tune the
 // send batch window between a latency floor and a throughput ceiling),
 // -pipeline (run the replica loop as decode/order/send stages on separate
 // cores), -stats-addr (serve replica counters as JSON at /stats — what
@@ -50,6 +62,7 @@ func run() int {
 		machine  = flag.String("machine", "kv", "replicated state machine: "+strings.Join(app.Names(), ", "))
 		fdTO     = flag.Duration("suspicion-timeout", 100*time.Millisecond, "failure-detector (◊S) timeout")
 		gcLimit  = flag.Int("epoch-limit", 1024, "force a conservative phase every N requests (0 = never)")
+		walDir   = flag.String("wal-dir", "", "durable state directory (write-ahead log + snapshots); empty = in-memory only")
 		group    = flag.Int("group", 0, "ordering group (shard) this replica serves; peers and clients must match")
 		autoTune = flag.Bool("autotune", false, "self-tune the send batch window (closed-loop controller)")
 		pipeline = flag.Bool("pipeline", false, "run the replica loop as decode/order/send stages on separate cores")
@@ -76,6 +89,7 @@ func run() int {
 		GroupID:           *group,
 		SuspicionTimeout:  *fdTO,
 		EpochRequestLimit: *gcLimit,
+		WALDir:            *walDir,
 		AutoTune:          *autoTune,
 		Pipeline:          *pipeline,
 		StatsAddr:         *stats,

@@ -26,6 +26,7 @@ import (
 	"repro/internal/proto"
 	"repro/internal/rmcast"
 	"repro/internal/transport"
+	"repro/internal/wal"
 )
 
 // Defaults for replica event loops, shared by every backend (core re-exports
@@ -84,6 +85,26 @@ type ReplicaConfig struct {
 	// (protocol default when zero).
 	Pipeline      bool
 	PipelineDepth int
+	// WALDir enables the write-ahead log: definitive deliveries and epoch
+	// markers are persisted there and replayed on the next boot. Empty
+	// disables durability (the replica still serves peer catch-up from its
+	// in-memory history). WALSync selects the fsync policy.
+	WALDir  string
+	WALSync wal.SyncPolicy
+	// SnapshotEvery takes a state snapshot every that many closed epochs
+	// (0 = protocol default, negative = never). Snapshots bound both the WAL
+	// on disk and the in-memory catch-up tail, and require the Machine to
+	// implement app.Durable.
+	SnapshotEvery int
+	// Recovering marks a replica booting after a crash: it must replay its
+	// local snapshot+WAL, catch up from peers, and refuse reads until caught
+	// up, instead of joining the protocol at epoch 0.
+	Recovering bool
+	// Incarnation counts this replica's boots (0 for the first). Restarted
+	// replicas need it to claim a fresh reliable-multicast sequence range:
+	// peers deduplicate multicasts by (origin, seq) forever, so reusing the
+	// previous incarnation's numbers would get the new ones dropped.
+	Incarnation uint64
 	// Tracer observes protocol events (nil disables tracing).
 	Tracer Tracer
 }
@@ -174,6 +195,14 @@ type Stats struct {
 	ReadFallbacks uint64
 	// Views counts fixedseq sequencer fail-overs.
 	Views uint64
+	// Recoveries counts completed crash-recoveries (local replay + peer
+	// catch-up, ending with the replica back in full standing).
+	// CatchupServed counts catch-up probes this replica answered with state;
+	// RecoveryRefusedReads counts fast-path reads refused (dropped) because
+	// the replica had not caught up yet.
+	Recoveries           uint64
+	CatchupServed        uint64
+	RecoveryRefusedReads uint64
 	// Batches counts ctab's completed consensus instances.
 	Batches uint64
 	// BatchFrames counts frames the replica's send batcher shipped and
@@ -212,6 +241,9 @@ func (s *Stats) Accumulate(other Stats) {
 	s.ReadsServed += other.ReadsServed
 	s.ReadFallbacks += other.ReadFallbacks
 	s.Views += other.Views
+	s.Recoveries += other.Recoveries
+	s.CatchupServed += other.CatchupServed
+	s.RecoveryRefusedReads += other.RecoveryRefusedReads
 	s.Batches += other.Batches
 	s.BatchFrames += other.BatchFrames
 	s.BatchedSends += other.BatchedSends

@@ -1,0 +1,142 @@
+package backend
+
+import (
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/proto"
+	"repro/internal/wire"
+)
+
+// Durable replica state: the protocol-agnostic bookkeeping every backend
+// keeps so a crashed peer can catch up.
+//
+// A replica's definitive history is a snapshot (covering positions 1..SnapPos)
+// plus the tail of commands delivered since (SnapPos+1..Pos). DurableState is
+// the in-memory copy of exactly that, maintained at every definitive delivery
+// whether or not a WAL is configured — peer catch-up must work on pure
+// in-memory clusters too, because a restarted replica with an empty disk still
+// has peers with the full history. When a WAL is configured the same events
+// additionally go to disk, and the snapshot lets the WAL truncate its prefix.
+
+// DurableState is a replica's boundary state for serving peer catch-up. It is
+// owned by the replica event loop (no locking).
+type DurableState struct {
+	// SnapBlob is the encoded SnapshotBlob covering positions 1..SnapPos
+	// (nil when no snapshot has been taken — then SnapPos is 0 and Tail is
+	// the full history).
+	SnapBlob []byte
+	SnapPos  uint64
+	// Tail holds the definitive commands at positions SnapPos+1..Pos, in
+	// delivery order, each an owned clone.
+	Tail []proto.Request
+	// Pos is the definitive boundary position; Epoch the current epoch
+	// (last closed + 1).
+	Pos   uint64
+	Epoch uint64
+}
+
+// Append records one definitively delivered command (cloning it) and
+// advances Pos.
+func (ds *DurableState) Append(req proto.Request) {
+	ds.Tail = append(ds.Tail, req.Clone())
+	ds.Pos++
+}
+
+// SetSnapshot installs a snapshot covering the whole current history
+// (snapshots are taken at epoch boundaries, so they always cover Pos) and
+// drops the tail it covers.
+func (ds *DurableState) SetSnapshot(blob []byte) {
+	ds.SnapBlob = blob
+	ds.SnapPos = ds.Pos
+	ds.Tail = ds.Tail[:0]
+}
+
+// Respond assembles the state a prober at havePos is missing: a snapshot to
+// restore from (nil if the prober's own prefix suffices) and the commands
+// from firstPos+1 through ds.Pos. Entries alias ds.Tail; the caller encodes
+// them before the event loop mutates the state again.
+func (ds *DurableState) Respond(havePos uint64) (snap []byte, firstPos uint64, entries []proto.Request) {
+	if havePos >= ds.Pos {
+		return nil, ds.Pos, nil
+	}
+	if havePos >= ds.SnapPos {
+		return nil, havePos, ds.Tail[havePos-ds.SnapPos:]
+	}
+	return ds.SnapBlob, ds.SnapPos, ds.Tail
+}
+
+// SnapshotBlob is the replica-level snapshot image: the application machine's
+// own Durable image plus the protocol metadata recovery needs — the boundary
+// position and epoch the image corresponds to and the full set of delivered
+// request IDs (the at-most-once guard must survive a restart, or a retried
+// request could execute twice against the restored state).
+type SnapshotBlob struct {
+	Epoch     uint64
+	Pos       uint64
+	Delivered []proto.RequestID
+	Image     []byte
+}
+
+const snapBlobMagic = 0x4f534e50 // "OSNP"
+
+var snapBlobCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// EncodeSnapshotBlob encodes b with a magic header and a trailing CRC.
+func EncodeSnapshotBlob(b SnapshotBlob) []byte {
+	w := wire.NewWriter(64 + 24*len(b.Delivered) + len(b.Image))
+	w.Uint32(snapBlobMagic)
+	w.Uint64(b.Epoch)
+	w.Uint64(b.Pos)
+	w.Uint64(uint64(len(b.Delivered)))
+	for _, id := range b.Delivered {
+		w.Uint32(uint32(id.Group))
+		w.Int64(int64(id.Client))
+		w.Uint64(id.Seq)
+	}
+	w.BytesField(b.Image)
+	out := w.Bytes()
+	var crc [4]byte
+	c := crc32.Checksum(out, snapBlobCRC)
+	crc[0], crc[1], crc[2], crc[3] = byte(c), byte(c>>8), byte(c>>16), byte(c>>24)
+	return append(out, crc[:]...)
+}
+
+// DecodeSnapshotBlob validates and decodes an encoded snapshot blob. The
+// Image aliases data.
+func DecodeSnapshotBlob(data []byte) (SnapshotBlob, error) {
+	if len(data) < 4 {
+		return SnapshotBlob{}, fmt.Errorf("backend: snapshot blob too short")
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	want := uint32(tail[0]) | uint32(tail[1])<<8 | uint32(tail[2])<<16 | uint32(tail[3])<<24
+	if got := crc32.Checksum(body, snapBlobCRC); got != want {
+		return SnapshotBlob{}, fmt.Errorf("backend: snapshot blob checksum mismatch (want %08x, got %08x)", want, got)
+	}
+	r := wire.NewReader(body)
+	if magic := r.Uint32(); magic != snapBlobMagic {
+		return SnapshotBlob{}, fmt.Errorf("backend: bad snapshot blob magic %08x", magic)
+	}
+	var b SnapshotBlob
+	b.Epoch = r.Uint64()
+	b.Pos = r.Uint64()
+	n := r.Uint64()
+	if err := r.Err(); err != nil {
+		return SnapshotBlob{}, fmt.Errorf("backend: decode snapshot blob: %w", err)
+	}
+	if n > uint64(r.Remaining()) { // each ID takes >= 1 byte
+		return SnapshotBlob{}, fmt.Errorf("backend: decode snapshot blob: %w", wire.ErrOverflow)
+	}
+	for i := uint64(0); i < n; i++ {
+		var id proto.RequestID
+		id.Group = proto.GroupID(r.Uint32())
+		id.Client = proto.NodeID(r.Int64())
+		id.Seq = r.Uint64()
+		b.Delivered = append(b.Delivered, id)
+	}
+	b.Image = r.BytesFieldRef()
+	if err := r.Err(); err != nil {
+		return SnapshotBlob{}, fmt.Errorf("backend: decode snapshot blob: %w", err)
+	}
+	return b, nil
+}

@@ -36,6 +36,20 @@ type Tracer interface {
 	ReadAdopt(client proto.NodeID, req proto.RequestID, reply proto.Reply)
 }
 
+// RecoveryTracer is the optional recovery extension of Tracer: tracers that
+// implement it additionally observe a replica's restart/recovery lifecycle.
+// Emitters type-assert (MultiTracer forwards to the members that implement
+// it), so existing tracers need no changes.
+type RecoveryTracer interface {
+	// Restarted records a replica booting after a crash, before it emits any
+	// other event: until the matching Recovered, the replica is catching up
+	// and must not deliver commands or serve fast-path reads.
+	Restarted(server proto.NodeID)
+	// Recovered records the replica completing catch-up: its definitive
+	// prefix has length pos and it rejoins the protocol at epoch.
+	Recovered(server proto.NodeID, epoch uint64, pos uint64)
+}
+
 // NopTracer returns the tracer that ignores all events.
 func NopTracer() Tracer { return nopTracer{} }
 
@@ -95,6 +109,26 @@ func (m multiTracer) Adopt(c proto.NodeID, r proto.RequestID, reply proto.Reply)
 func (m multiTracer) ReadAdopt(c proto.NodeID, r proto.RequestID, reply proto.Reply) {
 	for _, t := range m {
 		t.ReadAdopt(c, r, reply)
+	}
+}
+
+// Restarted implements RecoveryTracer, forwarding to the members that
+// observe recovery events. multiTracer always implements the extension so
+// that wrapping never hides a member's implementation.
+func (m multiTracer) Restarted(s proto.NodeID) {
+	for _, t := range m {
+		if rt, ok := t.(RecoveryTracer); ok {
+			rt.Restarted(s)
+		}
+	}
+}
+
+// Recovered implements RecoveryTracer; see Restarted.
+func (m multiTracer) Recovered(s proto.NodeID, epoch, pos uint64) {
+	for _, t := range m {
+		if rt, ok := t.(RecoveryTracer); ok {
+			rt.Recovered(s, epoch, pos)
+		}
 	}
 }
 

@@ -32,6 +32,10 @@ func (ctBackend) NewReplica(cfg backend.ReplicaConfig) (backend.Replica, error) 
 		BatchWindow:       cfg.BatchWindow,
 		AutoTune:          cfg.AutoTune,
 		Tracer:            cfg.Tracer,
+		// The baseline keeps no WAL (see recovery.go): WALDir/WALSync/
+		// SnapshotEvery/Incarnation are OAR knobs and are ignored here;
+		// restart recovery is the in-memory peer catch-up alone.
+		Recovering: cfg.Recovering,
 	})
 	if err != nil {
 		return nil, err
@@ -72,5 +76,9 @@ func (r ctReplica) Stats() backend.Stats {
 		BatchFrames:    s.BatchFrames,
 		BatchedSends:   s.BatchedMsgs,
 		BatchWindowNS:  int64(s.BatchWindow),
+
+		Recoveries:           s.Recoveries,
+		CatchupServed:        s.CatchupServed,
+		RecoveryRefusedReads: s.RecoveryRefusedReads,
 	}
 }

@@ -63,6 +63,10 @@ type Config struct {
 	AutoTune bool
 	// Tracer records deliveries as ADeliver events.
 	Tracer backend.Tracer
+	// Recovering boots the replica into catch-up mode: it defers consensus
+	// traffic and refuses reads until it has adopted a peer's state (see
+	// recovery.go). Set by cluster.Restart.
+	Recovering bool
 }
 
 // Stats are protocol counters.
@@ -72,6 +76,11 @@ type Stats struct {
 	ForeignDropped uint64 // inbound messages dropped for a foreign GroupID
 	ReadsServed    uint64 // reads answered inline (zero consensus instances)
 	ReadFallbacks  uint64 // reads pushed onto the ordered path
+
+	// Recovery observability (see core.ServerStats).
+	Recoveries           uint64 // completed restart recoveries
+	CatchupServed        uint64 // catch-up responses served with state
+	RecoveryRefusedReads uint64 // reads refused while catching up
 
 	// Send-batcher observability (see core.ServerStats).
 	BatchFrames uint64
@@ -101,11 +110,22 @@ type Server struct {
 	lastHeartbeat time.Time
 	tracer        backend.Tracer
 
-	statDelivered atomic.Uint64
-	statBatches   atomic.Uint64
-	statForeign   atomic.Uint64
-	statReads     atomic.Uint64
-	statReadFalls atomic.Uint64
+	// Recovery state (see recovery.go). ds is the in-memory catch-up base
+	// every replica maintains so it can serve a restarted peer.
+	ds          backend.DurableState
+	durable     app.Durable // machine's durable surface; nil without one
+	recovering  bool
+	catchupTick int
+	recoveryBuf []deferredFrame
+
+	statDelivered   atomic.Uint64
+	statBatches     atomic.Uint64
+	statForeign     atomic.Uint64
+	statReads       atomic.Uint64
+	statReadFalls   atomic.Uint64
+	statRecoveries  atomic.Uint64
+	statCatchup     atomic.Uint64
+	statReadRefused atomic.Uint64
 
 	// reader is the machine's optional read-only surface; with it, KindRead
 	// requests are answered inline without a consensus instance.
@@ -151,6 +171,7 @@ func NewServer(cfg Config) (*Server, error) {
 	if r, ok := cfg.Machine.(app.Reader); ok {
 		s.reader = r
 	}
+	s.initRecovery()
 	return s, nil
 }
 
@@ -158,14 +179,17 @@ func NewServer(cfg Config) (*Server, error) {
 func (s *Server) Stats() Stats {
 	bs := s.out.Stats()
 	return Stats{
-		Delivered:      s.statDelivered.Load(),
-		Batches:        s.statBatches.Load(),
-		ForeignDropped: s.statForeign.Load(),
-		ReadsServed:    s.statReads.Load(),
-		ReadFallbacks:  s.statReadFalls.Load(),
-		BatchFrames:    bs.Frames,
-		BatchedMsgs:    bs.Msgs,
-		BatchWindow:    bs.Window,
+		Delivered:            s.statDelivered.Load(),
+		Batches:              s.statBatches.Load(),
+		ForeignDropped:       s.statForeign.Load(),
+		ReadsServed:          s.statReads.Load(),
+		ReadFallbacks:        s.statReadFalls.Load(),
+		Recoveries:           s.statRecoveries.Load(),
+		CatchupServed:        s.statCatchup.Load(),
+		RecoveryRefusedReads: s.statReadRefused.Load(),
+		BatchFrames:          bs.Frames,
+		BatchedMsgs:          bs.Msgs,
+		BatchWindow:          bs.Window,
 	}
 }
 
@@ -241,6 +265,10 @@ func (s *Server) handleMessage(m transport.Message, now time.Time) {
 		s.statForeign.Add(1)
 		return
 	}
+	if s.recovering {
+		s.handleRecovering(m.From, kind, body, now)
+		return
+	}
 	switch kind {
 	case proto.KindHeartbeat:
 		s.cfg.Detector.Observe(m.From, now)
@@ -270,6 +298,10 @@ func (s *Server) handleMessage(m transport.Message, now time.Time) {
 		if k == s.next && !s.running {
 			s.startBatch()
 		}
+	case proto.KindCatchupReq:
+		s.handleCatchupReq(m.From, body)
+	case proto.KindCatchupResp:
+		// A response to a recovery that already completed; drop.
 	default:
 		// Batch envelopes were already expanded by Run; everything else is
 		// not for this replica.
@@ -395,6 +427,7 @@ func (s *Server) applyDecision(k uint64, d consensus.Decision) {
 		req := s.payloads[id]
 		result, _ := s.cfg.Machine.Apply(req.Cmd)
 		s.pos++
+		s.ds.Append(req)
 		s.statDelivered.Add(1)
 		s.tracer.ADeliver(s.cfg.ID, k, req.ID, s.pos, result)
 		s.sendReply(req.ID.Client, proto.Reply{
@@ -412,6 +445,8 @@ func (s *Server) applyDecision(k uint64, d consensus.Decision) {
 	delete(s.decisions, k)
 	s.running = false
 	s.next = k + 1
+	s.ds.Epoch = s.next
+	s.maybeSnapshot()
 	// A decision for the next instance may already be waiting.
 	if _, ok := s.decisions[s.next]; ok {
 		s.startBatch()
@@ -441,6 +476,10 @@ func (s *Server) tick(now time.Time) {
 				s.send(p, s.hbFrame)
 			}
 		}
+	}
+	if s.recovering {
+		s.probeCatchup()
+		return
 	}
 	if s.running {
 		if inst, ok := s.instances[s.next]; ok {

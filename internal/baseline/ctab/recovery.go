@@ -1,0 +1,215 @@
+// Crash-recovery for the conservative baseline: a restarted replica refuses
+// reads and defers consensus traffic while it adopts a catch-up
+// snapshot+suffix from a peer that is between batches. The gate matters:
+// a peer mid-instance may have received that instance's deciding broadcasts
+// before the prober's new endpoint came up, and decided instances are
+// garbage-collected — nobody would retransmit. A peer that has not started
+// its next instance, by contrast, has not decided it either, and every
+// replica relays a Decision once on first receipt (reliable-broadcast
+// style), so the responder's own relay of any instance >= its reported one
+// is in the prober's future.
+//
+// The baseline keeps no WAL: its recovery is purely the in-memory peer
+// catch-up (see the fixedseq twin of this file).
+package ctab
+
+import (
+	"time"
+
+	"repro/internal/app"
+	"repro/internal/backend"
+	"repro/internal/consensus"
+	"repro/internal/proto"
+)
+
+const (
+	// recoveryProbeTicks is how many ticks a recovering replica waits
+	// between catch-up probes.
+	recoveryProbeTicks = 4
+	// maxRecoveryBuffer bounds the deferred-frame buffer while recovering.
+	maxRecoveryBuffer = 1 << 14
+	// snapshotEveryDeliveries is how often the catch-up base state is
+	// compacted into a machine snapshot (when the machine supports it).
+	snapshotEveryDeliveries = 256
+)
+
+// deferredFrame is one consensus frame a recovering replica set aside.
+type deferredFrame struct {
+	from proto.NodeID
+	kind proto.Kind
+	body []byte // owned copy
+}
+
+// initRecovery wires the durable surface and, for a restarted replica,
+// enters catch-up mode. Called from NewServer.
+func (s *Server) initRecovery() {
+	if d, ok := s.cfg.Machine.(app.Durable); ok {
+		s.durable = d
+	}
+	if !s.cfg.Recovering {
+		return
+	}
+	if rt, ok := s.tracer.(backend.RecoveryTracer); ok {
+		rt.Restarted(s.cfg.ID)
+	}
+	if s.n > 1 {
+		s.recovering = true
+		s.catchupTick = recoveryProbeTicks // first tick probes immediately
+		return
+	}
+	s.statRecoveries.Add(1)
+	if rt, ok := s.tracer.(backend.RecoveryTracer); ok {
+		rt.Recovered(s.cfg.ID, s.next, s.pos)
+	}
+}
+
+// handleRecovering is handleMessage while catching up.
+func (s *Server) handleRecovering(from proto.NodeID, kind proto.Kind, body []byte, now time.Time) {
+	switch kind {
+	case proto.KindHeartbeat:
+		s.cfg.Detector.Observe(from, now)
+	case proto.KindCatchupResp:
+		s.handleCatchupResp(from, body)
+	case proto.KindRead:
+		s.statReadRefused.Add(1)
+	case proto.KindEstimate, proto.KindPropose, proto.KindAck, proto.KindDecide:
+		// The body aliases a pooled inbound frame; keep an owned copy.
+		if len(s.recoveryBuf) < maxRecoveryBuffer {
+			s.recoveryBuf = append(s.recoveryBuf, deferredFrame{
+				from: from,
+				kind: kind,
+				body: append([]byte(nil), body...),
+			})
+		}
+	default:
+		// Raw requests re-arrive inside decided batches (decisions carry
+		// full payloads); everything else is droppable while catching up.
+	}
+}
+
+// handleCatchupReq answers a recovering peer's probe — only between batches
+// (see the package comment for why).
+func (s *Server) handleCatchupReq(from proto.NodeID, body []byte) {
+	req, err := proto.UnmarshalCatchupReq(body)
+	if err != nil {
+		return
+	}
+	resp := proto.CatchupResp{CurEpoch: s.next, InPhase2: s.running, Pos: s.ds.Pos, FirstPos: s.ds.Pos}
+	if !s.running {
+		snap, firstPos, entries := s.ds.Respond(req.HavePos)
+		resp.Snap, resp.FirstPos, resp.Entries = snap, firstPos, entries
+		if len(snap) > 0 || len(entries) > 0 {
+			s.statCatchup.Add(1)
+		}
+	}
+	s.send(from, proto.MarshalCatchupResp(s.cfg.GroupID, resp))
+}
+
+// handleCatchupResp adopts a between-batches peer's state, then replays the
+// deferred consensus frames.
+func (s *Server) handleCatchupResp(from proto.NodeID, body []byte) {
+	_ = from
+	if !s.recovering {
+		return
+	}
+	resp, err := proto.UnmarshalCatchupResp(body)
+	if err != nil || resp.InPhase2 {
+		return
+	}
+	// Validate the response's shape before mutating anything.
+	useSnap := len(resp.Snap) > 0
+	var blob backend.SnapshotBlob
+	if useSnap {
+		if blob, err = backend.DecodeSnapshotBlob(resp.Snap); err != nil || blob.Pos != resp.FirstPos || s.durable == nil {
+			return
+		}
+	} else if resp.FirstPos != s.pos {
+		return
+	}
+	if resp.Pos != resp.FirstPos+uint64(len(resp.Entries)) {
+		return
+	}
+
+	if useSnap {
+		if s.durable.Restore(blob.Image) != nil {
+			return
+		}
+		s.pos = blob.Pos
+		s.delivered = make(map[proto.RequestID]struct{}, len(blob.Delivered))
+		for _, id := range blob.Delivered {
+			s.delivered[id] = struct{}{}
+		}
+		s.ds.SnapBlob = append([]byte(nil), resp.Snap...)
+		s.ds.SnapPos = blob.Pos
+		s.ds.Tail = s.ds.Tail[:0]
+		s.ds.Pos = blob.Pos
+	}
+	for _, e := range resp.Entries {
+		s.delivered[e.ID] = struct{}{}
+		s.cfg.Machine.Apply(e.Cmd)
+		s.pos++
+		s.ds.Append(e)
+	}
+	s.next = resp.CurEpoch
+	s.ds.Epoch = resp.CurEpoch
+	s.recovering = false
+	s.statRecoveries.Add(1)
+	if rt, ok := s.tracer.(backend.RecoveryTracer); ok {
+		rt.Recovered(s.cfg.ID, s.next, s.pos)
+	}
+
+	// Replay the deferred consensus frames exactly as handleMessage would
+	// route them: instances below the adopted one are stale and drop out.
+	buf := s.recoveryBuf
+	s.recoveryBuf = nil
+	for _, f := range buf {
+		k, err := consensus.InstanceOf(f.body)
+		if err != nil || k < s.next {
+			continue
+		}
+		_ = s.instance(k).OnMessage(f.from, f.kind, f.body)
+		if k == s.next && !s.running {
+			s.startBatch()
+		}
+	}
+	s.maybeStartBatch()
+}
+
+// probeCatchup broadcasts a catch-up probe every few ticks while recovering.
+func (s *Server) probeCatchup() {
+	s.catchupTick++
+	if s.catchupTick < recoveryProbeTicks {
+		return
+	}
+	s.catchupTick = 0
+	probe := proto.MarshalCatchupReq(s.cfg.GroupID, proto.CatchupReq{HavePos: s.pos})
+	for _, p := range s.cfg.Group {
+		if p != s.cfg.ID {
+			s.send(p, probe)
+		}
+	}
+}
+
+// maybeSnapshot compacts the catch-up tail into a machine snapshot once it
+// has grown past the cadence. Called at batch boundaries — the delivered
+// prefix is never rolled back, so any such boundary is a valid snapshot
+// point.
+func (s *Server) maybeSnapshot() {
+	if s.durable == nil || s.pos-s.ds.SnapPos < snapshotEveryDeliveries {
+		return
+	}
+	img, err := s.durable.Snapshot()
+	if err != nil {
+		return
+	}
+	ids := make([]proto.RequestID, 0, len(s.delivered))
+	for id := range s.delivered {
+		ids = append(ids, id)
+	}
+	s.ds.SetSnapshot(backend.EncodeSnapshotBlob(backend.SnapshotBlob{
+		Epoch:     s.next,
+		Pos:       s.pos,
+		Delivered: ids,
+		Image:     img,
+	}))
+}

@@ -65,6 +65,10 @@ type Config struct {
 	AutoTune bool
 	// Tracer records deliveries as ADeliver events (they are irrevocable).
 	Tracer backend.Tracer
+	// Recovering boots the replica into catch-up mode: it defers ordering
+	// traffic and refuses reads until it has adopted the sequencer's state
+	// (see recovery.go). Set by cluster.Restart.
+	Recovering bool
 }
 
 // Stats are protocol counters.
@@ -75,6 +79,11 @@ type Stats struct {
 	ForeignDropped uint64 // inbound messages dropped for a foreign GroupID
 	ReadsServed    uint64 // reads answered inline (zero ordering messages)
 	ReadFallbacks  uint64 // reads pushed onto the ordered path
+
+	// Recovery observability (see core.ServerStats).
+	Recoveries           uint64 // completed restart recoveries
+	CatchupServed        uint64 // catch-up responses served with state
+	RecoveryRefusedReads uint64 // reads refused while catching up
 
 	// Send-batcher observability (see core.ServerStats).
 	BatchFrames uint64
@@ -105,12 +114,23 @@ type Server struct {
 	lastHeartbeat time.Time
 	tracer        backend.Tracer
 
-	statDelivered atomic.Uint64
-	statViews     atomic.Uint64
-	statOrders    atomic.Uint64
-	statForeign   atomic.Uint64
-	statReads     atomic.Uint64
-	statReadFalls atomic.Uint64
+	// Recovery state (see recovery.go). ds is the in-memory catch-up base
+	// every replica maintains so it can serve a restarted peer.
+	ds          backend.DurableState
+	durable     app.Durable // machine's durable surface; nil without one
+	recovering  bool
+	catchupTick int
+	recoveryBuf [][]byte // deferred SeqOrder bodies (owned copies)
+
+	statDelivered   atomic.Uint64
+	statViews       atomic.Uint64
+	statOrders      atomic.Uint64
+	statForeign     atomic.Uint64
+	statReads       atomic.Uint64
+	statReadFalls   atomic.Uint64
+	statRecoveries  atomic.Uint64
+	statCatchup     atomic.Uint64
+	statReadRefused atomic.Uint64
 
 	// reader is the machine's optional read-only surface; with it, KindRead
 	// requests are answered inline without entering the ordering path.
@@ -154,6 +174,7 @@ func NewServer(cfg Config) (*Server, error) {
 	if r, ok := cfg.Machine.(app.Reader); ok {
 		s.reader = r
 	}
+	s.initRecovery()
 	return s, nil
 }
 
@@ -161,15 +182,18 @@ func NewServer(cfg Config) (*Server, error) {
 func (s *Server) Stats() Stats {
 	bs := s.out.Stats()
 	return Stats{
-		Delivered:      s.statDelivered.Load(),
-		Views:          s.statViews.Load(),
-		OrdersSent:     s.statOrders.Load(),
-		ForeignDropped: s.statForeign.Load(),
-		ReadsServed:    s.statReads.Load(),
-		ReadFallbacks:  s.statReadFalls.Load(),
-		BatchFrames:    bs.Frames,
-		BatchedMsgs:    bs.Msgs,
-		BatchWindow:    bs.Window,
+		Delivered:            s.statDelivered.Load(),
+		Views:                s.statViews.Load(),
+		OrdersSent:           s.statOrders.Load(),
+		ForeignDropped:       s.statForeign.Load(),
+		ReadsServed:          s.statReads.Load(),
+		ReadFallbacks:        s.statReadFalls.Load(),
+		Recoveries:           s.statRecoveries.Load(),
+		CatchupServed:        s.statCatchup.Load(),
+		RecoveryRefusedReads: s.statReadRefused.Load(),
+		BatchFrames:          bs.Frames,
+		BatchedMsgs:          bs.Msgs,
+		BatchWindow:          bs.Window,
 	}
 }
 
@@ -251,6 +275,10 @@ func (s *Server) handleMessage(m transport.Message, now time.Time) {
 		s.statForeign.Add(1)
 		return
 	}
+	if s.recovering {
+		s.handleRecovering(m.From, kind, body, now)
+		return
+	}
 	switch kind {
 	case proto.KindHeartbeat:
 		s.cfg.Detector.Observe(m.From, now)
@@ -270,6 +298,10 @@ func (s *Server) handleMessage(m transport.Message, now time.Time) {
 			return
 		}
 		s.handleOrder(s.orderScratch)
+	case proto.KindCatchupReq:
+		s.handleCatchupReq(m.From, body)
+	case proto.KindCatchupResp:
+		// A response to a recovery that already completed; drop.
 	default:
 		// Batch envelopes were already expanded by Run; everything else is
 		// not for this replica.
@@ -374,6 +406,7 @@ func (s *Server) deliverBatch(reqs []proto.Request) {
 		s.delivered[req.ID] = struct{}{}
 		result, _ := s.cfg.Machine.Apply(req.Cmd)
 		s.pos++
+		s.ds.Append(req)
 		s.statDelivered.Add(1)
 		s.tracer.ADeliver(s.cfg.ID, s.view, req.ID, s.pos, result)
 		s.sendReply(req.ID.Client, proto.Reply{
@@ -385,6 +418,8 @@ func (s *Server) deliverBatch(reqs []proto.Request) {
 			Result: result,
 		})
 	}
+	s.ds.Epoch = s.view
+	s.maybeSnapshot()
 }
 
 // sendReply encodes and ships one reply. On the batching path it is encoded
@@ -408,6 +443,10 @@ func (s *Server) tick(now time.Time) {
 				s.send(p, s.hbFrame)
 			}
 		}
+	}
+	if s.recovering {
+		s.probeCatchup()
+		return
 	}
 	// Naive fail-over: bump the view past every suspected sequencer; if that
 	// makes us the sequencer, re-order everything we have not delivered.

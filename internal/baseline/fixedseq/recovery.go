@@ -1,0 +1,202 @@
+// Crash-recovery for the fixed-sequencer baseline: a restarted replica
+// refuses reads and defers ordering traffic while it adopts a catch-up
+// snapshot+suffix — but only from the current sequencer. The sequencer is
+// the single origin of ordering messages, and its link to the prober's new
+// endpoint incarnation is FIFO: every order it ships after answering the
+// probe arrives after the response, so the adopted prefix plus the deferred
+// order stream is gapless. A non-sequencer's prefix carries no such
+// guarantee (orders it has seen may have been addressed to the prober's
+// previous, dead incarnation), so non-sequencers stay silent.
+//
+// The baseline keeps no WAL: its recovery is purely the in-memory peer
+// catch-up. Durability proper (replay-from-disk) is the OAR backend's
+// territory — this arm exists so restart-under-load scenarios compare all
+// backends on the same schedule.
+package fixedseq
+
+import (
+	"time"
+
+	"repro/internal/app"
+	"repro/internal/backend"
+	"repro/internal/proto"
+)
+
+const (
+	// recoveryProbeTicks is how many ticks a recovering replica waits
+	// between catch-up probes.
+	recoveryProbeTicks = 4
+	// maxRecoveryBuffer bounds the deferred-order buffer while recovering.
+	maxRecoveryBuffer = 1 << 14
+	// snapshotEveryDeliveries is how often the catch-up base state is
+	// compacted into a machine snapshot (when the machine supports it).
+	snapshotEveryDeliveries = 256
+)
+
+// initRecovery wires the durable surface and, for a restarted replica,
+// enters catch-up mode. Called from NewServer.
+func (s *Server) initRecovery() {
+	if d, ok := s.cfg.Machine.(app.Durable); ok {
+		s.durable = d
+	}
+	if !s.cfg.Recovering {
+		return
+	}
+	if rt, ok := s.tracer.(backend.RecoveryTracer); ok {
+		rt.Restarted(s.cfg.ID)
+	}
+	if s.n > 1 {
+		s.recovering = true
+		s.catchupTick = recoveryProbeTicks // first tick probes immediately
+		return
+	}
+	// A single-replica group has no peers and no history it could have
+	// missed; recovery is trivially complete.
+	s.statRecoveries.Add(1)
+	if rt, ok := s.tracer.(backend.RecoveryTracer); ok {
+		rt.Recovered(s.cfg.ID, s.view, s.pos)
+	}
+}
+
+// handleRecovering is handleMessage while catching up: heartbeats keep the
+// detector warm, catch-up responses drive adoption, reads are refused, and
+// sequencer orders are deferred for replay after adoption. Raw requests are
+// dropped — they re-arrive inside the sequencer's orders.
+func (s *Server) handleRecovering(from proto.NodeID, kind proto.Kind, body []byte, now time.Time) {
+	switch kind {
+	case proto.KindHeartbeat:
+		s.cfg.Detector.Observe(from, now)
+	case proto.KindCatchupResp:
+		s.handleCatchupResp(from, body)
+	case proto.KindRead:
+		s.statReadRefused.Add(1)
+	case proto.KindSeqOrder:
+		// The body aliases a pooled inbound frame; keep an owned copy.
+		if len(s.recoveryBuf) < maxRecoveryBuffer {
+			s.recoveryBuf = append(s.recoveryBuf, append([]byte(nil), body...))
+		}
+	default:
+	}
+}
+
+// handleCatchupReq answers a recovering peer's probe — sequencer only (see
+// the package comment for why).
+func (s *Server) handleCatchupReq(from proto.NodeID, body []byte) {
+	if s.sequencer() != s.cfg.ID {
+		return
+	}
+	req, err := proto.UnmarshalCatchupReq(body)
+	if err != nil {
+		return
+	}
+	resp := proto.CatchupResp{CurEpoch: s.view, Pos: s.ds.Pos, FirstPos: s.ds.Pos}
+	snap, firstPos, entries := s.ds.Respond(req.HavePos)
+	resp.Snap, resp.FirstPos, resp.Entries = snap, firstPos, entries
+	if len(snap) > 0 || len(entries) > 0 {
+		s.statCatchup.Add(1)
+	}
+	s.send(from, proto.MarshalCatchupResp(s.cfg.GroupID, resp))
+}
+
+// handleCatchupResp adopts the sequencer's boundary state, then replays the
+// deferred order stream.
+func (s *Server) handleCatchupResp(from proto.NodeID, body []byte) {
+	if !s.recovering {
+		return
+	}
+	resp, err := proto.UnmarshalCatchupResp(body)
+	if err != nil || resp.InPhase2 {
+		return
+	}
+	if s.cfg.Group[int(resp.CurEpoch%uint64(s.n))] != from { //nolint:gosec // n ≤ 64
+		return // not the sequencer of its own view; see handleCatchupReq
+	}
+	// Validate the response's shape before mutating anything.
+	useSnap := len(resp.Snap) > 0
+	var blob backend.SnapshotBlob
+	if useSnap {
+		if blob, err = backend.DecodeSnapshotBlob(resp.Snap); err != nil || blob.Pos != resp.FirstPos || s.durable == nil {
+			return
+		}
+	} else if resp.FirstPos != s.pos {
+		return
+	}
+	if resp.Pos != resp.FirstPos+uint64(len(resp.Entries)) {
+		return
+	}
+
+	if useSnap {
+		if s.durable.Restore(blob.Image) != nil {
+			return
+		}
+		s.pos = blob.Pos
+		s.delivered = make(map[proto.RequestID]struct{}, len(blob.Delivered))
+		for _, id := range blob.Delivered {
+			s.delivered[id] = struct{}{}
+		}
+		s.ds.SnapBlob = append([]byte(nil), resp.Snap...)
+		s.ds.SnapPos = blob.Pos
+		s.ds.Tail = s.ds.Tail[:0]
+		s.ds.Pos = blob.Pos
+	}
+	for _, e := range resp.Entries {
+		s.delivered[e.ID] = struct{}{}
+		s.cfg.Machine.Apply(e.Cmd)
+		s.pos++
+		s.ds.Append(e)
+	}
+	s.view = resp.CurEpoch
+	s.ds.Epoch = resp.CurEpoch
+	s.recovering = false
+	s.statRecoveries.Add(1)
+	if rt, ok := s.tracer.(backend.RecoveryTracer); ok {
+		rt.Recovered(s.cfg.ID, s.view, s.pos)
+	}
+
+	buf := s.recoveryBuf
+	s.recoveryBuf = nil
+	for _, b := range buf {
+		if err := s.orderScratch.UnmarshalBody(b); err == nil {
+			s.handleOrder(s.orderScratch)
+		}
+	}
+	s.maybeOrder()
+}
+
+// probeCatchup broadcasts a catch-up probe every few ticks while recovering.
+func (s *Server) probeCatchup() {
+	s.catchupTick++
+	if s.catchupTick < recoveryProbeTicks {
+		return
+	}
+	s.catchupTick = 0
+	probe := proto.MarshalCatchupReq(s.cfg.GroupID, proto.CatchupReq{HavePos: s.pos})
+	for _, p := range s.cfg.Group {
+		if p != s.cfg.ID {
+			s.send(p, probe)
+		}
+	}
+}
+
+// maybeSnapshot compacts the catch-up tail into a machine snapshot once it
+// has grown past the cadence. The delivered prefix is never rolled back in
+// this protocol, so any delivery boundary is a valid snapshot point.
+func (s *Server) maybeSnapshot() {
+	if s.durable == nil || s.pos-s.ds.SnapPos < snapshotEveryDeliveries {
+		return
+	}
+	img, err := s.durable.Snapshot()
+	if err != nil {
+		return
+	}
+	ids := make([]proto.RequestID, 0, len(s.delivered))
+	for id := range s.delivered {
+		ids = append(ids, id)
+	}
+	s.ds.SetSnapshot(backend.EncodeSnapshotBlob(backend.SnapshotBlob{
+		Epoch:     s.view,
+		Pos:       s.pos,
+		Delivered: ids,
+		Image:     img,
+	}))
+}

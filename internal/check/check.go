@@ -26,6 +26,10 @@
 //	        optimistic entry that was later Opt-undelivered), and per-client
 //	        read positions are monotonic over the client's prior adoptions
 //	        (monotonic reads + read-your-writes).
+//	Recovery A restarted replica delivers nothing between Restarted and
+//	        Recovered, and the prefix it reports recovering to is a prefix of
+//	        the group's observed definitive history — crash-recovery may
+//	        never invent, reorder, or run ahead of the canonical order.
 package check
 
 import (
@@ -33,6 +37,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/backend"
 	"repro/internal/cnsvorder"
 	"repro/internal/core"
 	"repro/internal/proto"
@@ -79,6 +84,8 @@ type Checker struct {
 	epochs     map[uint64]*epochData
 	adoptions  map[proto.RequestID]proto.Reply
 	crashed    map[proto.NodeID]bool
+	recovering map[proto.NodeID]bool
+	recoveries int
 	violations []*Violation
 
 	// Read fast path state: adopted reads (kept apart from adoptions — a
@@ -103,6 +110,7 @@ type undoneAt struct {
 }
 
 var _ core.Tracer = (*Checker)(nil)
+var _ backend.RecoveryTracer = (*Checker)(nil)
 
 // New creates a checker for a group of n servers.
 func New(n int) *Checker {
@@ -113,6 +121,7 @@ func New(n int) *Checker {
 		epochs:        make(map[uint64]*epochData),
 		adoptions:     make(map[proto.RequestID]proto.Reply),
 		crashed:       make(map[proto.NodeID]bool),
+		recovering:    make(map[proto.NodeID]bool),
 		readAdoptions: make(map[proto.RequestID]proto.Reply),
 		clientHW:      make(map[proto.NodeID]uint64),
 	}
@@ -142,6 +151,70 @@ func (c *Checker) MarkCrashed(id proto.NodeID) {
 	c.crashed[id] = true
 }
 
+// Restarted implements backend.RecoveryTracer: the replica is booting after a
+// crash and must stay silent — no deliveries, no epoch closes — until the
+// matching Recovered. Its pre-crash log is retained as a canonical-history
+// source (a replica recovering from its own WAL with no live peers rebuilds
+// exactly that prefix), but the replica stays excluded from liveness and
+// cross-server checks until it recovers.
+func (c *Checker) Restarted(server proto.NodeID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.crashed[server] = true
+	c.recovering[server] = true
+}
+
+// Recovered implements backend.RecoveryTracer: the replica rejoined with a
+// definitive prefix of length pos. That prefix must be a prefix of the
+// group's observed history — recovery may replay and catch up, never invent.
+// The checker rebuilds the replica's log as the canonical prefix[:pos] (from
+// the longest committed log it has observed, the replica's own pre-crash log
+// included); every later delivery is then checked against the group exactly
+// as if the replica had never crashed.
+func (c *Checker) Recovered(server proto.NodeID, epoch uint64, pos uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_ = epoch
+	if !c.recovering[server] {
+		c.report("recovery", "%v Recovered without a preceding Restarted", server)
+	}
+	delete(c.recovering, server)
+	delete(c.crashed, server)
+	c.recoveries++
+
+	// The canonical history: the longest committed (non-tentative) prefix any
+	// server has shown. The responder that served the catch-up had committed
+	// through pos before it answered, and its trace events precede the
+	// prober's Recovered, so a valid recovery always finds pos covered here.
+	var canonical []entry
+	for _, sl := range c.servers {
+		if committed := len(sl.log) - sl.tentative; committed > len(canonical) {
+			canonical = sl.log[:committed]
+		}
+	}
+	if uint64(len(canonical)) < pos {
+		c.report("recovery", "%v recovered to pos %d beyond the observed definitive history (%d)",
+			server, pos, len(canonical))
+		pos = uint64(len(canonical))
+	}
+	sl := c.server(server)
+	sl.log = append([]entry(nil), canonical[:pos]...)
+	sl.tentative = 0
+	sl.delivered = make(map[proto.RequestID]int, pos)
+	sl.optPending = make(map[proto.RequestID]struct{})
+	for i := range sl.log {
+		sl.log[i].opt = false
+		sl.delivered[sl.log[i].req]++
+	}
+}
+
+// Recoveries returns how many Recovered events were recorded.
+func (c *Checker) Recoveries() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.recoveries
+}
+
 // Issue implements core.Tracer.
 func (c *Checker) Issue(_ proto.NodeID, req proto.RequestID, cmd []byte) {
 	c.mu.Lock()
@@ -155,6 +228,9 @@ func (c *Checker) OptDeliver(server proto.NodeID, epoch uint64, req proto.Reques
 	defer c.mu.Unlock()
 	c.optCount++
 	sl := c.server(server)
+	if c.recovering[server] {
+		c.report("recovery", "%v Opt-delivered %v while recovering (before Recovered)", server, req)
+	}
 	if _, ok := c.issued[req]; !ok {
 		c.report("prop1 validity", "%v Opt-delivered %v which was never issued", server, req)
 	}
@@ -198,6 +274,9 @@ func (c *Checker) ADeliver(server proto.NodeID, epoch uint64, req proto.RequestI
 	defer c.mu.Unlock()
 	c.aCount++
 	sl := c.server(server)
+	if c.recovering[server] {
+		c.report("recovery", "%v A-delivered %v while recovering (before Recovered)", server, req)
+	}
 	if _, ok := c.issued[req]; !ok {
 		c.report("prop1 validity", "%v A-delivered %v which was never issued", server, req)
 	}
@@ -317,6 +396,7 @@ type Counts struct {
 	Opt           int
 	Cons          int
 	Undeliveries  int
+	Recoveries    int
 }
 
 // Counts returns a snapshot of the trace counters.
@@ -330,6 +410,7 @@ func (c *Checker) Counts() Counts {
 		Opt:           c.optCount,
 		Cons:          c.aCount,
 		Undeliveries:  c.undeliveries,
+		Recoveries:    c.recoveries,
 	}
 }
 

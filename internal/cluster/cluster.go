@@ -23,6 +23,7 @@ package cluster
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -34,6 +35,7 @@ import (
 	"repro/internal/proto"
 	"repro/internal/rmcast"
 	"repro/internal/shard"
+	"repro/internal/wal"
 
 	// The built-in backends register themselves at init time.
 	_ "repro/internal/baseline/ctab"
@@ -132,6 +134,18 @@ type Options struct {
 	// TracerFor, when non-nil, supplies the tracer for each shard and
 	// overrides Tracer.
 	TracerFor func(s int) backend.Tracer
+	// WALRoot, when non-empty, gives every replica a write-ahead log under
+	// <WALRoot>/s<shard>/r<i>; a replica restarted via Restart then replays
+	// its own log before catching up from peers. Empty (the default) keeps
+	// replicas in-memory — Restart still works, recovering purely over the
+	// catch-up protocol.
+	WALRoot string
+	// WALSync selects the fsync policy of replica logs (default
+	// wal.SyncAlways: sync once per closed epoch).
+	WALSync wal.SyncPolicy
+	// SnapshotEvery is the replica snapshot cadence in closed epochs
+	// (0 = backend default, negative disables).
+	SnapshotEvery int
 }
 
 // lockedMachine makes an app.Machine safe for the cluster's cross-goroutine
@@ -177,27 +191,91 @@ func (m *lockedReaderMachine) Query(cmd []byte) ([]byte, bool) {
 	return m.reader.Query(cmd)
 }
 
+// lockedDurable forwards the app.Durable surface under the owning wrapper's
+// lock. Like app.Reader above, durability is only granted when the inner
+// machine has it — the replica's snapshot/recovery path keys off the type
+// assertion.
+type lockedDurable struct {
+	mu      *sync.Mutex
+	durable app.Durable
+}
+
+func (m *lockedDurable) Snapshot() ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.durable.Snapshot()
+}
+
+func (m *lockedDurable) Restore(data []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.durable.Restore(data)
+}
+
+type lockedDurableMachine struct {
+	lockedMachine
+	lockedDurable
+}
+
+var _ app.Durable = (*lockedDurableMachine)(nil)
+
+type lockedReaderDurableMachine struct {
+	lockedReaderMachine
+	lockedDurable
+}
+
+var (
+	_ app.Reader  = (*lockedReaderDurableMachine)(nil)
+	_ app.Durable = (*lockedReaderDurableMachine)(nil)
+)
+
 // lockMachine wraps inner for cross-goroutine observation, preserving its
-// app.Reader implementation exactly when present.
+// app.Reader and app.Durable implementations exactly when present.
 func lockMachine(inner app.Machine) app.Machine {
-	if r, ok := inner.(app.Reader); ok {
+	r, isReader := inner.(app.Reader)
+	d, isDurable := inner.(app.Durable)
+	switch {
+	case isReader && isDurable:
+		m := &lockedReaderDurableMachine{}
+		m.inner = inner
+		m.reader = r
+		m.durable = d
+		m.lockedDurable.mu = &m.lockedMachine.mu
+		return m
+	case isDurable:
+		m := &lockedDurableMachine{}
+		m.inner = inner
+		m.durable = d
+		m.lockedDurable.mu = &m.lockedMachine.mu
+		return m
+	case isReader:
 		m := &lockedReaderMachine{reader: r}
 		m.inner = inner
 		return m
+	default:
+		return &lockedMachine{inner: inner}
 	}
-	return &lockedMachine{inner: inner}
 }
 
 // shardGroup is the runtime of one ordering group: its network, replicas,
 // machines and scripted detectors. Replicas are backend.Replicas — the
 // cluster neither knows nor cares which protocol is behind them.
 type shardGroup struct {
-	id       proto.GroupID
-	net      *memnet.Network
+	id     proto.GroupID
+	net    *memnet.Network
+	tracer backend.Tracer
+	// mu guards the per-replica slots below: Restart replaces a slot's
+	// replica, machine and oracle while observers (stats pollers, fault
+	// injectors) read them concurrently.
+	mu       sync.RWMutex
 	replicas []backend.Replica
 	oracles  []*fd.Oracle // non-nil in FDOracle mode
 	mach     []app.Machine
-	tracer   backend.Tracer
+	// done[i] closes when replica i's event loop has exited. Restart waits
+	// on it: the old loop may still drain queued frames (and append to the
+	// WAL) after the crash, and the new incarnation must not share the WAL
+	// directory with it.
+	done []chan struct{}
 	// latency collects client-observed response times for this group: every
 	// invoker NewClient hands out is wrapped in backend.Measure recording
 	// here, so per-group and cluster-wide percentiles are always available.
@@ -215,6 +293,7 @@ type Cluster struct {
 	shards []*shardGroup
 	router *shard.Router
 
+	ctx     context.Context // run context; Restart boots new replicas into it
 	cancel  context.CancelFunc
 	wg      sync.WaitGroup
 	clients []Invoker
@@ -264,6 +343,7 @@ func New(opts Options) (*Cluster, error) {
 		router: router,
 	}
 	ctx, cancel := context.WithCancel(context.Background())
+	c.ctx = ctx
 	c.cancel = cancel
 
 	for s := 0; s < opts.Shards; s++ {
@@ -307,53 +387,81 @@ func (c *Cluster) bootShard(ctx context.Context, s int) (*shardGroup, error) {
 		machine := lockMachine(inner)
 		sg.mach = append(sg.mach, machine)
 
-		var detector fd.Detector
-		hbInterval := opts.HeartbeatInterval
-		switch opts.FD {
-		case FDHeartbeat:
-			detector = fd.NewTimeout(opts.FDTimeout, c.group, start)
-		case FDOracle:
-			o := fd.NewOracle()
-			sg.oracles = append(sg.oracles, o)
-			detector = o
-			hbInterval = -1 // oracles ignore heartbeats; skip the traffic
-		case FDNever:
-			detector = fd.Never{}
-			hbInterval = -1
-		default:
-			return nil, fmt.Errorf("cluster: unknown FD mode %d", opts.FD)
-		}
-
-		rep, err := c.be.NewReplica(backend.ReplicaConfig{
-			ID:                c.group[i],
-			Group:             c.group,
-			GroupID:           sg.id,
-			Node:              sg.net.Node(c.group[i]),
-			Machine:           machine,
-			Detector:          detector,
-			RelayMode:         opts.RelayMode,
-			TickInterval:      opts.TickInterval,
-			HeartbeatInterval: hbInterval,
-			EpochRequestLimit: opts.EpochRequestLimit,
-			BatchWindow:       opts.BatchWindow,
-			MaxBatch:          opts.MaxBatch,
-			AutoTune:          opts.AutoTune,
-			Pipeline:          opts.Pipeline,
-			PipelineDepth:     opts.PipelineDepth,
-			Tracer:            sg.tracer,
-		})
+		rep, oracle, done, err := c.buildReplica(ctx, sg, i, machine, false, 0, start)
 		if err != nil {
 			return nil, err
 		}
+		if opts.FD == FDOracle {
+			sg.oracles = append(sg.oracles, oracle)
+		}
 		sg.replicas = append(sg.replicas, rep)
-
-		c.wg.Add(1)
-		go func() {
-			defer c.wg.Done()
-			_ = rep.Run(ctx)
-		}()
+		sg.done = append(sg.done, done)
 	}
 	return sg, nil
+}
+
+// buildReplica constructs and starts one replica of shard sg on the current
+// incarnation of its network endpoint. Shared between the initial boot and
+// Restart (which passes recovering=true and the new incarnation number).
+func (c *Cluster) buildReplica(ctx context.Context, sg *shardGroup, i int, machine app.Machine, recovering bool, incarnation uint64, start time.Time) (backend.Replica, *fd.Oracle, chan struct{}, error) {
+	opts := c.opts
+	var detector fd.Detector
+	var oracle *fd.Oracle
+	hbInterval := opts.HeartbeatInterval
+	switch opts.FD {
+	case FDHeartbeat:
+		detector = fd.NewTimeout(opts.FDTimeout, c.group, start)
+	case FDOracle:
+		oracle = fd.NewOracle()
+		detector = oracle
+		hbInterval = -1 // oracles ignore heartbeats; skip the traffic
+	case FDNever:
+		detector = fd.Never{}
+		hbInterval = -1
+	default:
+		return nil, nil, nil, fmt.Errorf("cluster: unknown FD mode %d", opts.FD)
+	}
+
+	walDir := ""
+	if opts.WALRoot != "" {
+		walDir = filepath.Join(opts.WALRoot, fmt.Sprintf("s%d", int(sg.id)), fmt.Sprintf("r%d", i))
+	}
+
+	rep, err := c.be.NewReplica(backend.ReplicaConfig{
+		ID:                c.group[i],
+		Group:             c.group,
+		GroupID:           sg.id,
+		Node:              sg.net.Node(c.group[i]),
+		Machine:           machine,
+		Detector:          detector,
+		RelayMode:         opts.RelayMode,
+		TickInterval:      opts.TickInterval,
+		HeartbeatInterval: hbInterval,
+		EpochRequestLimit: opts.EpochRequestLimit,
+		BatchWindow:       opts.BatchWindow,
+		MaxBatch:          opts.MaxBatch,
+		AutoTune:          opts.AutoTune,
+		Pipeline:          opts.Pipeline,
+		PipelineDepth:     opts.PipelineDepth,
+		Tracer:            sg.tracer,
+		WALDir:            walDir,
+		WALSync:           opts.WALSync,
+		SnapshotEvery:     opts.SnapshotEvery,
+		Recovering:        recovering,
+		Incarnation:       incarnation,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	done := make(chan struct{})
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		defer close(done)
+		_ = rep.Run(ctx)
+	}()
+	return rep, oracle, done, nil
 }
 
 // Protocol returns the name of the ordering backend the cluster runs.
@@ -387,52 +495,78 @@ func (c *Cluster) ResetNetStats() {
 // Group returns Π (identical in every shard).
 func (c *Cluster) Group() []proto.NodeID { return c.group }
 
-// Replica returns shard s's replica i. Protocol-specific surfaces (e.g. the
-// OAR server's Footprint) are reachable by asserting the returned value to
-// the interface that declares them.
-func (c *Cluster) Replica(s, i int) backend.Replica { return c.shards[s].replicas[i] }
+// Replica returns shard s's replica i (the current incarnation, if it has
+// been restarted). Protocol-specific surfaces (e.g. the OAR server's
+// Footprint) are reachable by asserting the returned value to the interface
+// that declares them.
+func (c *Cluster) Replica(s, i int) backend.Replica {
+	sg := c.shards[s]
+	sg.mu.RLock()
+	defer sg.mu.RUnlock()
+	return sg.replicas[i]
+}
 
 // ReplicaStats returns the protocol counters of shard s's replica i.
-func (c *Cluster) ReplicaStats(s, i int) backend.Stats { return c.shards[s].replicas[i].Stats() }
+func (c *Cluster) ReplicaStats(s, i int) backend.Stats { return c.Replica(s, i).Stats() }
 
-// Machine returns shard s's replica-i state machine. Only read it
-// (Fingerprint) when the group is quiescent.
-func (c *Cluster) Machine(s, i int) app.Machine { return c.shards[s].mach[i] }
+// Machine returns shard s's replica-i state machine (the current
+// incarnation's). Only read it (Fingerprint) when the group is quiescent.
+func (c *Cluster) Machine(s, i int) app.Machine {
+	sg := c.shards[s]
+	sg.mu.RLock()
+	defer sg.mu.RUnlock()
+	return sg.mach[i]
+}
 
 // Oracle returns shard s's replica-i scriptable failure detector (FDOracle
 // mode).
-func (c *Cluster) Oracle(s, i int) *fd.Oracle { return c.shards[s].oracles[i] }
+func (c *Cluster) Oracle(s, i int) *fd.Oracle {
+	sg := c.shards[s]
+	sg.mu.RLock()
+	defer sg.mu.RUnlock()
+	return sg.oracles[i]
+}
 
 // SuspectEverywhere makes every live replica's oracle (in every shard)
 // suspect id.
 func (c *Cluster) SuspectEverywhere(id proto.NodeID) {
 	for _, sg := range c.shards {
+		sg.mu.RLock()
 		for _, o := range sg.oracles {
 			o.Suspect(id)
 		}
+		sg.mu.RUnlock()
 	}
 }
 
 // TrustEverywhere clears suspicion of id at every replica's oracle.
 func (c *Cluster) TrustEverywhere(id proto.NodeID) {
 	for _, sg := range c.shards {
+		sg.mu.RLock()
 		for _, o := range sg.oracles {
 			o.Trust(id)
 		}
+		sg.mu.RUnlock()
 	}
 }
 
 // Suspect makes shard s's oracles suspect id, leaving other shards'
 // detectors untouched (per-shard fault scripting).
 func (c *Cluster) Suspect(s int, id proto.NodeID) {
-	for _, o := range c.shards[s].oracles {
+	sg := c.shards[s]
+	sg.mu.RLock()
+	defer sg.mu.RUnlock()
+	for _, o := range sg.oracles {
 		o.Suspect(id)
 	}
 }
 
 // Trust clears suspicion of id at shard s's oracles.
 func (c *Cluster) Trust(s int, id proto.NodeID) {
-	for _, o := range c.shards[s].oracles {
+	sg := c.shards[s]
+	sg.mu.RLock()
+	defer sg.mu.RUnlock()
+	for _, o := range sg.oracles {
 		o.Trust(id)
 	}
 }
@@ -442,6 +576,47 @@ func (c *Cluster) Trust(s int, id proto.NodeID) {
 // depend on the crashed replica.
 func (c *Cluster) Crash(s, i int) {
 	c.shards[s].net.Crash(c.group[i])
+}
+
+// Restart re-boots shard s's crashed replica i as a fresh process: a new
+// incarnation of its endpoint on the shard's network, a fresh state machine,
+// and a new replica instance. The replica recovers — replaying its WAL when
+// the cluster has one (Options.WALRoot), then running the backend's peer
+// catch-up protocol — before it re-enters ordering; until then it defers
+// protocol traffic and refuses fast-path reads. It is an error to restart a
+// replica that is not crashed.
+func (c *Cluster) Restart(s, i int) error {
+	sg := c.shards[s]
+	id := c.group[i]
+	if !sg.net.Crashed(id) {
+		return fmt.Errorf("cluster: restart s%d/r%d: replica is not crashed", s, i)
+	}
+	// The crashed loop may still be draining frames that were queued before
+	// the crash — and appending them to the WAL. Wait for it to exit before
+	// the new incarnation opens the same WAL directory.
+	sg.mu.RLock()
+	oldDone := sg.done[i]
+	sg.mu.RUnlock()
+	<-oldDone
+	incarnation := sg.net.Revive(id)
+	inner, err := app.New(c.opts.Machine)
+	if err != nil {
+		return err
+	}
+	machine := lockMachine(inner)
+	rep, oracle, done, err := c.buildReplica(c.ctx, sg, i, machine, true, incarnation, time.Now())
+	if err != nil {
+		return fmt.Errorf("cluster: restart s%d/r%d: %w", s, i, err)
+	}
+	sg.mu.Lock()
+	sg.mach[i] = machine
+	sg.replicas[i] = rep
+	sg.done[i] = done
+	if c.opts.FD == FDOracle {
+		sg.oracles[i] = oracle
+	}
+	sg.mu.Unlock()
+	return nil
 }
 
 // NewClient creates and starts a client. With one shard it is the backend's
@@ -527,9 +702,11 @@ func (c *Cluster) ClientIDs() []proto.NodeID {
 func (c *Cluster) DeliveredTotal() uint64 {
 	var total uint64
 	for _, sg := range c.shards {
+		sg.mu.RLock()
 		for _, rep := range sg.replicas {
 			total += rep.Stats().Delivered
 		}
+		sg.mu.RUnlock()
 	}
 	return total
 }
@@ -548,9 +725,11 @@ func (c *Cluster) TotalStats() backend.Stats {
 // merge it freely).
 func (c *Cluster) ShardStats(s int) backend.Stats {
 	var total backend.Stats
+	c.shards[s].mu.RLock()
 	for _, rep := range c.shards[s].replicas {
 		total.Accumulate(rep.Stats())
 	}
+	c.shards[s].mu.RUnlock()
 	total.Latency = metrics.NewHistogram()
 	total.Latency.Merge(c.shards[s].latency)
 	total.ReadLatency = metrics.NewHistogram()

@@ -36,6 +36,11 @@ func (oarBackend) NewReplica(cfg backend.ReplicaConfig) (backend.Replica, error)
 		Pipeline:          cfg.Pipeline,
 		PipelineDepth:     cfg.PipelineDepth,
 		Tracer:            cfg.Tracer,
+		WALDir:            cfg.WALDir,
+		WALSync:           cfg.WALSync,
+		SnapshotEvery:     cfg.SnapshotEvery,
+		Recovering:        cfg.Recovering,
+		Incarnation:       cfg.Incarnation,
 	})
 	if err != nil {
 		return nil, err
@@ -82,5 +87,9 @@ func (r oarReplica) Stats() backend.Stats {
 		BatchFrames:    s.BatchFrames,
 		BatchedSends:   s.BatchedMsgs,
 		BatchWindowNS:  int64(s.BatchWindow),
+
+		Recoveries:           s.Recoveries,
+		CatchupServed:        s.CatchupServed,
+		RecoveryRefusedReads: s.RecoveryRefusedReads,
 	}
 }

@@ -1,0 +1,437 @@
+// Durability and crash-recovery for the OAR replica: WAL persistence of the
+// definitive order, snapshot-at-epoch-boundary, and the peer catch-up
+// protocol a restarted replica runs before re-entering ordering.
+//
+// The durability contract is scoped to A-delivery: optimistic deliveries are
+// revocable by design (their replies carry minority weight until the epoch
+// closes), so only the conservative order is logged. With SyncAlways the WAL
+// is synced once per closed epoch, before the full-weight replies ship —
+// every reply a client could have adopted as definitive is backed by disk.
+//
+// Recovery has three phases:
+//
+//  1. Local replay (initDurability, at boot): restore the newest valid
+//     snapshot, then replay the WAL suffix. This rebuilds machine state, the
+//     definitive position, the epoch, and the at-most-once filter without
+//     any network traffic.
+//  2. Peer catch-up (recovering): the replica defers all protocol traffic,
+//     drops fast-path reads, and probes peers each few ticks with its local
+//     position. A peer that is between epochs answers with its boundary
+//     state; the first answer at or beyond our position is adopted (snapshot
+//     restore and/or log-suffix replay), the deferred frames are replayed,
+//     and the replica force-broadcasts PhaseII for the adopted epoch.
+//     Mid-phase-2 peers answer without state: their epoch's closing
+//     broadcasts may predate our restart, so adopting their epoch could
+//     strand us waiting for messages that were already sent.
+//  3. Observe mode (observing): during the adopted join epoch the replica
+//     participates in phase 2 (its O_delivered proposal is empty) but never
+//     orders or Opt-delivers — orderings sent before its restart are lost,
+//     so Opt-delivering a later one would assign wrong positions and claim
+//     the sequencer's endorsement weight for them; a single such {p,s}
+//     reply would look like a majority to a client of a 3-replica group.
+//     The epoch-closing decision carries the epoch's full request payloads,
+//     so the replica A-delivers the whole epoch at close and leaves observe
+//     mode in lockstep with its peers.
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"repro/internal/app"
+	"repro/internal/backend"
+	"repro/internal/proto"
+	"repro/internal/wal"
+	"repro/internal/wire"
+)
+
+// DefaultSnapshotEvery is the snapshot cadence (in closed epochs) when
+// ServerConfig.SnapshotEvery is zero.
+const DefaultSnapshotEvery = 8
+
+// recoveryProbeTicks is how many ticks a recovering replica waits between
+// catch-up probes.
+const recoveryProbeTicks = 4
+
+// maxRecoveryBuffer bounds the deferred-frame buffer of a recovering
+// replica; beyond it, further protocol frames are dropped (the closing
+// consensus re-delivers what matters).
+const maxRecoveryBuffer = 1 << 14
+
+// deferredFrame is one protocol frame a recovering replica set aside, to be
+// replayed through dispatch after adoption.
+type deferredFrame struct {
+	from proto.NodeID
+	kind proto.Kind
+	body []byte // owned copy
+}
+
+// initDurability opens the WAL (when configured), replays the local
+// snapshot+WAL into the machine, and decides whether the replica boots into
+// recovery mode. Called from NewServer, before the event loop starts.
+func (s *Server) initDurability() error {
+	s.snapEvery = s.cfg.SnapshotEvery
+	if s.snapEvery == 0 {
+		s.snapEvery = DefaultSnapshotEvery
+	}
+	if s.cfg.WALDir != "" {
+		// The log is opened SyncNever: the replica syncs explicitly, once
+		// per closed epoch, when the policy is SyncAlways.
+		log, err := wal.Open(wal.Options{Dir: s.cfg.WALDir, Sync: wal.SyncNever})
+		if err != nil {
+			return fmt.Errorf("core: open wal: %w", err)
+		}
+		s.log = log
+		snap, ok, err := wal.LoadSnapshot(s.cfg.WALDir)
+		if err != nil {
+			return fmt.Errorf("core: load snapshot: %w", err)
+		}
+		from := log.Start()
+		if ok {
+			blob, err := backend.DecodeSnapshotBlob(snap.Data)
+			if err != nil {
+				return fmt.Errorf("core: snapshot %d: %w", snap.Pos, err)
+			}
+			if err := s.restoreBlob(blob, snap.Data); err != nil {
+				return fmt.Errorf("core: snapshot %d: %w", snap.Pos, err)
+			}
+			from = snap.Pos
+		}
+		err = log.Replay(from, func(_ uint64, typ wal.RecordType, payload []byte) error {
+			switch typ {
+			case wal.RecordCommand:
+				req, err := decodeWALCommand(payload)
+				if err != nil {
+					return err
+				}
+				s.applyDefinitive(req)
+			case wal.RecordEpoch:
+				if len(payload) != 8 {
+					return fmt.Errorf("bad epoch marker length %d", len(payload))
+				}
+				s.epoch = binary.LittleEndian.Uint64(payload) + 1
+				s.ds.Epoch = s.epoch
+			}
+			return nil // RecordConfig markers are forward-compat; skip
+		})
+		if err != nil {
+			return fmt.Errorf("core: wal replay: %w", err)
+		}
+	}
+	// Any non-empty local history — and any explicit restart — must go
+	// through peer catch-up before rejoining: the group has moved on, and a
+	// replica that rejoins at a stale epoch would stall waiting for closing
+	// messages that were sent before its boot. A single-replica group has no
+	// peers (and no concurrent history to miss): its local replay alone is
+	// the recovery.
+	recovering := s.cfg.Recovering || s.pos > 0 || s.epoch > 0
+	if recovering {
+		if rt, ok := s.tracer.(backend.RecoveryTracer); ok {
+			rt.Restarted(s.cfg.ID)
+		}
+	}
+	if recovering && s.n > 1 {
+		s.recovering = true
+		s.catchupTick = recoveryProbeTicks // first tick probes immediately
+	} else if recovering {
+		s.statRecoveries.Add(1)
+		if rt, ok := s.tracer.(backend.RecoveryTracer); ok {
+			rt.Recovered(s.cfg.ID, s.epoch, s.pos)
+		}
+	}
+	return nil
+}
+
+// restoreBlob installs a decoded snapshot: machine image, definitive
+// position, epoch, the at-most-once filter, and the catch-up base state.
+// encoded is the blob's wire form, retained (owned) for serving catch-up.
+func (s *Server) restoreBlob(blob backend.SnapshotBlob, encoded []byte) error {
+	d, ok := s.cfg.Machine.(app.Durable)
+	if !ok {
+		return fmt.Errorf("machine %T does not implement app.Durable", s.cfg.Machine)
+	}
+	if err := d.Restore(blob.Image); err != nil {
+		return err
+	}
+	s.pos = blob.Pos
+	s.epoch = blob.Epoch
+	s.aDelivered = make(map[proto.RequestID]struct{}, len(blob.Delivered))
+	for _, id := range blob.Delivered {
+		s.aDelivered[id] = struct{}{}
+	}
+	s.ds.SnapBlob = append([]byte(nil), encoded...)
+	s.ds.SnapPos = blob.Pos
+	s.ds.Tail = s.ds.Tail[:0]
+	s.ds.Pos = blob.Pos
+	s.ds.Epoch = blob.Epoch
+	return nil
+}
+
+// applyDefinitive applies one already-definitive command without the
+// optimistic bookkeeping: machine, position, at-most-once filter, catch-up
+// tail. Used by WAL replay and catch-up adoption — never on the live path,
+// where applyDecision owns delivery.
+func (s *Server) applyDefinitive(req proto.Request) {
+	s.cfg.Machine.Apply(req.Cmd)
+	s.pos++
+	s.aDelivered[req.ID] = struct{}{}
+	s.ds.Append(req)
+}
+
+// encodeWALCommand / decodeWALCommand frame a request as a RecordCommand
+// payload (the canonical request body encoding).
+func encodeWALCommand(dst []byte, req proto.Request) []byte {
+	w := wire.Wrap(dst)
+	req.Encode(&w)
+	return w.Bytes()
+}
+
+func decodeWALCommand(payload []byte) (proto.Request, error) {
+	r := wire.NewReader(payload)
+	req := proto.DecodeRequest(r)
+	if err := r.Err(); err != nil {
+		return proto.Request{}, fmt.Errorf("decode command record: %w", err)
+	}
+	return req, nil
+}
+
+// walAppend appends one definitive command to the WAL (no-op without one).
+// WAL write errors are unrecoverable — the replica's durability contract is
+// broken — so they halt the replica like a protocol invariant violation.
+func (s *Server) walAppend(req proto.Request) {
+	if s.log == nil {
+		return
+	}
+	s.walBuf = encodeWALCommand(s.walBuf[:0], req)
+	if _, err := s.log.Append(wal.RecordCommand, s.walBuf); err != nil {
+		panic(fmt.Sprintf("oar server %v: wal append: %v", s.cfg.ID, err))
+	}
+}
+
+// persistEpoch records epoch k's definitive batch — the kept optimistic
+// prefix (O_delivered ⊖ Bad, already pruned of Bad) followed by New — in the
+// in-memory catch-up tail and the WAL, closes with an epoch marker, and
+// syncs when the policy demands it. Runs inside applyDecision, before the
+// payload GC and before the round's replies flush, so a synced epoch is on
+// disk before any full-weight reply ships.
+func (s *Server) persistEpoch(k uint64, newReqs []proto.Request) {
+	for _, id := range s.oDelivered {
+		req := s.payloads[id]
+		s.ds.Append(req)
+		s.walAppend(req)
+	}
+	for _, req := range newReqs {
+		s.ds.Append(req)
+		s.walAppend(req)
+	}
+	s.ds.Epoch = k + 1
+	if s.log != nil {
+		var marker [8]byte
+		binary.LittleEndian.PutUint64(marker[:], k)
+		if _, err := s.log.Append(wal.RecordEpoch, marker[:]); err != nil {
+			panic(fmt.Sprintf("oar server %v: wal append: %v", s.cfg.ID, err))
+		}
+		if s.cfg.WALSync == wal.SyncAlways {
+			if err := s.log.Sync(); err != nil {
+				panic(fmt.Sprintf("oar server %v: wal sync: %v", s.cfg.ID, err))
+			}
+		}
+	}
+}
+
+// maybeSnapshot takes a machine snapshot every snapEvery closed epochs.
+// Called at the end of applyDecision: the undo-stack is empty there, so the
+// machine state is exactly the A-delivered prefix of length s.pos. The
+// snapshot resets the in-memory catch-up tail and lets the WAL drop sealed
+// segments the snapshot covers.
+func (s *Server) maybeSnapshot() {
+	if s.snapEvery < 0 {
+		return
+	}
+	s.sinceSnap++
+	if s.sinceSnap < s.snapEvery {
+		return
+	}
+	d, ok := s.cfg.Machine.(app.Durable)
+	if !ok {
+		return
+	}
+	img, err := d.Snapshot()
+	if err != nil {
+		return // keep the full tail; snapshotting is an optimization
+	}
+	s.sinceSnap = 0
+	ids := make([]proto.RequestID, 0, len(s.aDelivered))
+	for id := range s.aDelivered {
+		ids = append(ids, id)
+	}
+	blob := backend.EncodeSnapshotBlob(backend.SnapshotBlob{
+		Epoch:     s.epoch,
+		Pos:       s.pos,
+		Delivered: ids,
+		Image:     img,
+	})
+	s.ds.SetSnapshot(blob)
+	s.persistSnapshot(blob, s.epoch)
+}
+
+// persistSnapshot writes an encoded snapshot blob next to the WAL and
+// truncates the log prefix it covers. Failures are tolerated: the full log
+// remains authoritative.
+func (s *Server) persistSnapshot(blob []byte, epoch uint64) {
+	if s.log == nil {
+		return
+	}
+	next := s.log.Next()
+	if err := wal.SaveSnapshot(s.cfg.WALDir, wal.Snapshot{Pos: next, Epoch: epoch, Data: blob}); err != nil {
+		return
+	}
+	if next > 0 {
+		_ = s.log.TruncateThrough(next - 1)
+	}
+}
+
+// dispatchRecovering is dispatch while catching up: heartbeats keep the
+// detector warm, catch-up responses drive adoption, fast-path reads are
+// refused (dropped — the live majority answers the client), and protocol
+// traffic is deferred for replay after adoption.
+func (s *Server) dispatchRecovering(from proto.NodeID, kind proto.Kind, body []byte, now time.Time) {
+	switch kind {
+	case proto.KindHeartbeat:
+		s.cfg.Detector.Observe(from, now)
+	case proto.KindCatchupResp:
+		s.handleCatchupResp(from, body, now)
+	case proto.KindCatchupReq:
+		// Nothing authoritative to serve; the prober retries elsewhere.
+	case proto.KindRead:
+		s.statReadRefused.Add(1)
+	case proto.KindBatch:
+		batch, err := proto.UnmarshalBatch(body)
+		if err != nil {
+			return
+		}
+		for _, inner := range batch.Msgs {
+			k, g, b, err := proto.Unmarshal(inner)
+			if err != nil || g != s.cfg.GroupID {
+				continue
+			}
+			s.dispatchRecovering(from, k, b, now)
+		}
+	case proto.KindRMcast, proto.KindSeqOrder,
+		proto.KindEstimate, proto.KindPropose, proto.KindAck, proto.KindDecide:
+		// Defer: the body aliases a pooled frame, so keep an owned copy.
+		if len(s.recoveryBuf) < maxRecoveryBuffer {
+			s.recoveryBuf = append(s.recoveryBuf, deferredFrame{
+				from: from,
+				kind: kind,
+				body: append([]byte(nil), body...),
+			})
+		}
+	default:
+		// Replies and baseline traffic are not for servers; drop.
+	}
+}
+
+// handleCatchupReq answers a recovering peer's probe. Only a replica between
+// epochs answers with state: its DurableState is exactly the definitive
+// boundary, and — crucially — every closing broadcast of its current epoch
+// is still in the future, so the prober cannot adopt an epoch whose PhaseII
+// or Decide it has already missed.
+func (s *Server) handleCatchupReq(from proto.NodeID, body []byte) {
+	req, err := proto.UnmarshalCatchupReq(body)
+	if err != nil {
+		return
+	}
+	resp := proto.CatchupResp{CurEpoch: s.epoch, InPhase2: s.inPhase2, Pos: s.ds.Pos, FirstPos: s.ds.Pos}
+	if !s.inPhase2 {
+		snap, firstPos, entries := s.ds.Respond(req.HavePos)
+		resp.Snap, resp.FirstPos, resp.Entries = snap, firstPos, entries
+		if len(entries) > 0 || len(snap) > 0 {
+			s.statCatchup.Add(1)
+		}
+	}
+	s.send(from, proto.MarshalCatchupResp(s.cfg.GroupID, resp))
+}
+
+// handleCatchupResp adopts a peer's boundary state: validate, restore the
+// snapshot (if any), replay the log suffix, persist what was adopted, then
+// replay the deferred frames and force an epoch boundary for the join epoch.
+func (s *Server) handleCatchupResp(_ proto.NodeID, body []byte, now time.Time) {
+	if !s.recovering {
+		return
+	}
+	resp, err := proto.UnmarshalCatchupResp(body)
+	if err != nil || resp.InPhase2 {
+		return
+	}
+	if resp.Pos < s.pos {
+		return // responder is behind our local replay; keep probing
+	}
+	// Validate the response's shape before mutating anything.
+	useSnap := len(resp.Snap) > 0
+	var blob backend.SnapshotBlob
+	if useSnap {
+		if blob, err = backend.DecodeSnapshotBlob(resp.Snap); err != nil || blob.Pos != resp.FirstPos {
+			return
+		}
+		if blob.Pos <= s.pos {
+			return // would rewind our prefix; a suffix-only answer will come
+		}
+	} else if resp.FirstPos != s.pos {
+		return // suffix does not extend our prefix
+	}
+	if resp.Pos != resp.FirstPos+uint64(len(resp.Entries)) {
+		return
+	}
+
+	if useSnap {
+		if err := s.restoreBlob(blob, resp.Snap); err != nil {
+			return
+		}
+		// Persist the adopted snapshot: a crash from here on re-boots from
+		// it instead of from our (shorter) pre-crash history.
+		s.persistSnapshot(s.ds.SnapBlob, blob.Epoch)
+	}
+	for _, e := range resp.Entries {
+		s.applyDefinitive(e)
+		s.walAppend(e)
+	}
+	s.epoch = resp.CurEpoch
+	s.ds.Epoch = resp.CurEpoch
+	if s.log != nil {
+		if resp.CurEpoch > 0 {
+			var marker [8]byte
+			binary.LittleEndian.PutUint64(marker[:], resp.CurEpoch-1)
+			if _, err := s.log.Append(wal.RecordEpoch, marker[:]); err != nil {
+				panic(fmt.Sprintf("oar server %v: wal append: %v", s.cfg.ID, err))
+			}
+		}
+		if s.cfg.WALSync == wal.SyncAlways {
+			if err := s.log.Sync(); err != nil {
+				panic(fmt.Sprintf("oar server %v: wal sync: %v", s.cfg.ID, err))
+			}
+		}
+	}
+
+	s.recovering = false
+	s.observing = true
+	s.observeEpoch = s.epoch
+	s.statRecoveries.Add(1)
+	if rt, ok := s.tracer.(backend.RecoveryTracer); ok {
+		rt.Recovered(s.cfg.ID, s.epoch, s.pos)
+	}
+
+	// Replay the deferred protocol frames through the normal dispatch: stale
+	// epochs drop out, the join epoch's traffic lands in observe mode, and a
+	// deferred Decide for the join epoch is stashed until phase 2 starts.
+	buf := s.recoveryBuf
+	s.recoveryBuf = nil
+	for _, f := range buf {
+		s.dispatch(f.from, f.kind, f.body, now)
+	}
+
+	// Force an epoch boundary: observe mode ends when the join epoch closes,
+	// and this guarantees it closes even on an otherwise idle group.
+	s.broadcastPhaseII()
+}

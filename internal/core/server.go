@@ -16,6 +16,7 @@ import (
 	"repro/internal/rmcast"
 	"repro/internal/transport"
 	"repro/internal/tune"
+	"repro/internal/wal"
 )
 
 // Defaults for ServerConfig. The loop intervals live in backend (they are
@@ -106,6 +107,30 @@ type ServerConfig struct {
 	// PipelineDepth is the capacity of each pipeline ring (default
 	// DefaultPipelineDepth).
 	PipelineDepth int
+	// WALDir enables the write-ahead log: A-delivered commands and epoch
+	// markers are persisted there and replayed on the next boot (empty
+	// disables durability). WALSync selects the fsync policy: SyncAlways
+	// syncs once per closed epoch, before the conservative replies ship, so
+	// every fully-acked command is on disk; SyncNever leaves flushing to the
+	// OS (crash-recovery then leans on peer catch-up for the tail).
+	WALDir  string
+	WALSync wal.SyncPolicy
+	// SnapshotEvery takes a machine snapshot every that many closed epochs
+	// (0 = DefaultSnapshotEvery, negative = never). Snapshots are taken at
+	// epoch boundaries — the undo-set is empty there, so the image is a pure
+	// A-delivered prefix — and bound both the on-disk WAL and the in-memory
+	// catch-up tail. Requires the Machine to implement app.Durable.
+	SnapshotEvery int
+	// Recovering marks a replica booting after a crash: after replaying its
+	// local snapshot+WAL it defers all protocol traffic, refuses fast-path
+	// reads, and probes its peers (KindCatchupReq) until it has adopted a
+	// peer's definitive boundary state; only then does it re-enter ordering.
+	Recovering bool
+	// Incarnation counts this replica's boots (0 for the first); restarted
+	// replicas claim the reliable-multicast sequence range
+	// [Incarnation<<32, ...) so peers' dedup state from the previous
+	// incarnation cannot swallow their multicasts.
+	Incarnation uint64
 	// Tracer observes protocol events (nil disables tracing).
 	Tracer Tracer
 }
@@ -125,6 +150,13 @@ type ServerStats struct {
 	// because the machine has no Reader or refused the command.
 	ReadsServed   uint64
 	ReadFallbacks uint64
+
+	// Recovery counters: completed crash-recoveries, catch-up probes this
+	// replica answered with state, and fast-path reads refused (dropped)
+	// because the replica had not caught up yet.
+	Recoveries           uint64
+	CatchupServed        uint64
+	RecoveryRefusedReads uint64
 
 	// Send-batcher observability: how many frames the replica shipped, how
 	// many protocol messages they carried, and the effective hold window at
@@ -160,6 +192,9 @@ func (s *ServerStats) Accumulate(other ServerStats) {
 	s.ForeignDropped += other.ForeignDropped
 	s.ReadsServed += other.ReadsServed
 	s.ReadFallbacks += other.ReadFallbacks
+	s.Recoveries += other.Recoveries
+	s.CatchupServed += other.CatchupServed
+	s.RecoveryRefusedReads += other.RecoveryRefusedReads
 	s.BatchFrames += other.BatchFrames
 	s.BatchedMsgs += other.BatchedMsgs
 	if other.BatchWindow > s.BatchWindow {
@@ -238,14 +273,35 @@ type Server struct {
 	orderScratch proto.SeqOrder
 	reqScratch   []proto.Request
 
-	statOpt       atomic.Uint64
-	statUndo      atomic.Uint64
-	statA         atomic.Uint64
-	statEpochs    atomic.Uint64
-	statOrders    atomic.Uint64
-	statForeign   atomic.Uint64
-	statReads     atomic.Uint64
-	statReadFalls atomic.Uint64
+	// Durability & recovery state (recovery.go). log is the open WAL (nil
+	// without WALDir); ds is the in-memory boundary state every replica
+	// maintains for peer catch-up. recovering defers all protocol traffic to
+	// recoveryBuf until a peer's boundary state is adopted; observing spans
+	// the join epoch after adoption — the replica participates in phase 2
+	// but neither orders nor Opt-delivers until the epoch closes, because
+	// mid-epoch opt positions assigned before its restart are unknowable.
+	log          *wal.Log
+	ds           backend.DurableState
+	snapEvery    int
+	sinceSnap    int
+	walBuf       []byte // reusable WAL-record encode scratch
+	recovering   bool
+	observing    bool
+	observeEpoch uint64
+	catchupTick  int
+	recoveryBuf  []deferredFrame
+
+	statOpt         atomic.Uint64
+	statUndo        atomic.Uint64
+	statA           atomic.Uint64
+	statEpochs      atomic.Uint64
+	statOrders      atomic.Uint64
+	statForeign     atomic.Uint64
+	statReads       atomic.Uint64
+	statReadFalls   atomic.Uint64
+	statRecoveries  atomic.Uint64
+	statCatchup     atomic.Uint64
+	statReadRefused atomic.Uint64
 
 	// fp is the footprint snapshot published at the end of every event-loop
 	// round, so Footprint is safe to poll while the server runs.
@@ -327,7 +383,14 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		// envelope buffers immediately, so the relay hot path may encode
 		// into a reusable scratch buffer.
 		SendCopies: s.batching(),
+		// Each incarnation multicasts from a disjoint sequence range, so
+		// peers' (origin, seq) dedup state from before a crash cannot
+		// swallow the restarted replica's multicasts.
+		FirstSeq: cfg.Incarnation << 32,
 	})
+	if err := s.initDurability(); err != nil {
+		return nil, err
+	}
 	return s, nil
 }
 
@@ -342,9 +405,12 @@ func (s *Server) Stats() ServerStats {
 		Epochs:         s.statEpochs.Load(),
 		SeqOrdersSent:  s.statOrders.Load(),
 		ForeignDropped: s.statForeign.Load(),
-		ReadsServed:    s.statReads.Load(),
-		ReadFallbacks:  s.statReadFalls.Load(),
-		BatchFrames:    bs.Frames,
+		ReadsServed:          s.statReads.Load(),
+		ReadFallbacks:        s.statReadFalls.Load(),
+		Recoveries:           s.statRecoveries.Load(),
+		CatchupServed:        s.statCatchup.Load(),
+		RecoveryRefusedReads: s.statReadRefused.Load(),
+		BatchFrames:          bs.Frames,
 		BatchedMsgs:    bs.Msgs,
 		BatchWindow:    bs.Window,
 	}
@@ -488,6 +554,10 @@ func (s *Server) handleMessage(m transport.Message, now time.Time) {
 // pipelined loop's decode stage performs the envelope parse (and the
 // garbage/foreign drops) off the protocol goroutine and enters here.
 func (s *Server) dispatch(from proto.NodeID, kind proto.Kind, body []byte, now time.Time) {
+	if s.recovering {
+		s.dispatchRecovering(from, kind, body, now)
+		return
+	}
 	switch kind {
 	case proto.KindHeartbeat:
 		s.cfg.Detector.Observe(from, now)
@@ -509,6 +579,10 @@ func (s *Server) dispatch(from proto.NodeID, kind proto.Kind, body []byte, now t
 		s.handleSeqOrder(s.orderScratch)
 	case proto.KindEstimate, proto.KindPropose, proto.KindAck, proto.KindDecide:
 		s.handleConsensus(from, kind, body)
+	case proto.KindCatchupReq:
+		s.handleCatchupReq(from, body)
+	case proto.KindCatchupResp:
+		// A response to a recovery that already completed; drop.
 	case proto.KindBatch:
 		batch, err := proto.UnmarshalBatch(body)
 		if err != nil {
@@ -664,6 +738,9 @@ func (s *Server) flushOrder(now time.Time) {
 // this message"). Delivering each batch before emitting the next keeps that
 // assumption intact when a delivery triggers the epoch-limit PhaseII.
 func (s *Server) maybeOrder() {
+	if s.observing {
+		return // no ordering in the join epoch; see handleSeqOrder
+	}
 	for !s.inPhase2 && s.sequencer() == s.cfg.ID && !s.pending.IsEmpty() {
 		chunk := s.pending
 		if limit := s.maxBatch(); len(chunk) > limit {
@@ -716,6 +793,15 @@ func (s *Server) handleSeqOrder(order proto.SeqOrder) {
 		// Orderings of the current epoch arriving after PhaseII are not
 		// Opt-delivered; their messages stay in R_delivered and will be
 		// re-ordered (by the next sequencer or the consensus merge).
+		for _, req := range order.Reqs {
+			s.bufferRequest(req)
+		}
+		return
+	case s.observing:
+		// Join epoch after recovery: orderings sent before our restart are
+		// lost, so Opt-delivering this one would assign positions (and claim
+		// the sequencer's reply weight) for a prefix we never saw. Keep the
+		// payloads; the epoch-closing consensus delivers them definitively.
 		for _, req := range order.Reqs {
 			s.bufferRequest(req)
 		}
@@ -921,6 +1007,10 @@ func (s *Server) applyDecision(k uint64, d consensus.Decision) {
 	for _, req := range res.New {
 		s.aDelivered[req.ID] = struct{}{}
 	}
+	// Persist the epoch's definitive batch (in-memory catch-up tail, and the
+	// WAL when configured) while the payloads of the kept optimistic prefix
+	// are still in the bookkeeping — the GC below prunes them.
+	s.persistEpoch(k, res.New)
 	s.tracer.EpochClose(s.cfg.ID, k, s.ownInput, res)
 
 	// Garbage-collect the per-request bookkeeping of everything that just
@@ -949,6 +1039,10 @@ func (s *Server) applyDecision(k uint64, d consensus.Decision) {
 	s.inPhase2 = false
 	s.epoch = k + 1
 	s.statEpochs.Add(1)
+	if s.observing && s.epoch > s.observeEpoch {
+		s.observing = false // the join epoch closed; back in full standing
+	}
+	s.maybeSnapshot()
 
 	// Drop per-epoch bookkeeping we no longer need.
 	delete(s.cons, k)
@@ -983,6 +1077,17 @@ func (s *Server) tick(now time.Time) {
 		// start-up, resent every tick (it is immutable, so sharing it with
 		// the transport across ticks and peers is safe).
 		s.sendToPeers(s.hbFrame)
+	}
+
+	if s.recovering {
+		// Re-probe peers for catch-up state until one answers from an epoch
+		// boundary; everything else (ordering, suspicion, consensus) waits.
+		s.catchupTick++
+		if s.catchupTick >= recoveryProbeTicks {
+			s.catchupTick = 0
+			s.sendToPeers(proto.MarshalCatchupReq(s.cfg.GroupID, proto.CatchupReq{HavePos: s.pos}))
+		}
+		return
 	}
 
 	if !s.inPhase2 {

@@ -398,3 +398,30 @@ func TestE14QualitativeShape(t *testing.T) {
 		t.Errorf("control row did not report a found seed: %v", control)
 	}
 }
+
+// TestE15QualitativeShape: the recovery experiment is self-asserting (any
+// checker violation, missing recovery, or fingerprint divergence is an error,
+// not a table cell), so a returned Result already proves crash-recovery held
+// up; the shape test pins the table and sample schema.
+func TestE15QualitativeShape(t *testing.T) {
+	r, err := E15Recovery(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkShape(t, r, 3*2+1) // 3 backends x shards {1,2} + the durability row
+	if len(r.Latency) != len(r.Rows) {
+		t.Fatalf("%d latency samples for %d rows", len(r.Latency), len(r.Rows))
+	}
+	for i, row := range r.Rows {
+		if row[6] != "0" {
+			t.Errorf("row reports violations: %v", row)
+		}
+		if s := r.Latency[i]; s.Count == 0 || s.P50NS <= 0 || s.P99NS <= 0 {
+			t.Errorf("malformed latency sample for row %v: %+v", row, s)
+		}
+	}
+	durability := r.Rows[len(r.Rows)-1]
+	if durability[5] != "3" {
+		t.Errorf("durability row saw %s recoveries, want 3: %v", durability[5], durability)
+	}
+}

@@ -105,7 +105,8 @@ type Network struct {
 	hasParts bool
 	blocked  map[linkKey]bool // pairwise holds, independent of groups
 	crashed  map[proto.NodeID]bool
-	delays   map[linkKey]DelayRange // per-link latency overrides for links not yet created
+	incs     map[proto.NodeID]uint64 // endpoint incarnation, bumped by Revive
+	delays   map[linkKey]DelayRange  // per-link latency overrides for links not yet created
 	wg       sync.WaitGroup
 
 	// Send-path liveness flags, readable without any lock.
@@ -139,6 +140,7 @@ func New(opts Options) *Network {
 		group:   make(map[proto.NodeID]int),
 		blocked: make(map[linkKey]bool),
 		crashed: make(map[proto.NodeID]bool),
+		incs:    make(map[proto.NodeID]uint64),
 		delays:  make(map[linkKey]DelayRange),
 	}
 	n.topo = sync.NewCond(&n.topoMu)
@@ -155,7 +157,7 @@ func (n *Network) Node(id proto.NodeID) *Node {
 	if v, ok := n.nodes.Load(id); ok {
 		return v.(*Node)
 	}
-	nd := &Node{net: n, id: id, inbox: transport.NewQueue()}
+	nd := &Node{net: n, id: id, inc: n.incs[id], inbox: transport.NewQueue()}
 	if n.crashed[id] {
 		nd.crashed.Store(true)
 	}
@@ -193,6 +195,39 @@ func (n *Network) Crash(id proto.NodeID) {
 	if nd != nil {
 		nd.inbox.Close()
 	}
+}
+
+// Revive re-registers a crashed endpoint as a fresh incarnation and returns
+// its incarnation number. The previous incarnation's endpoint is superseded:
+// messages that were addressed to it — stamped with its incarnation at send
+// time — are dropped at delivery even if they are still in flight when the
+// new incarnation comes up, exactly as a real rebooted process never
+// receives packets accepted by its predecessor's sockets. The caller owns
+// booting a new process (replica) on the returned endpoint via Node(id).
+func (n *Network) Revive(id proto.NodeID) uint64 {
+	n.topoMu.Lock()
+	defer n.topoMu.Unlock()
+	if !n.crashed[id] {
+		return n.incs[id]
+	}
+	delete(n.crashed, id)
+	n.incs[id]++
+	inc := n.incs[id]
+	nd := &Node{net: n, id: id, inc: inc, inbox: transport.NewQueue()}
+	n.nodes.Store(id, nd)
+	// Re-stamp every link into id: new sends address the new incarnation.
+	// (The nodes.Store above is ordered before the dstInc stores; a sender
+	// observing the new incarnation therefore resolves the new endpoint.)
+	n.links.Range(func(k, v any) bool {
+		if k.(linkKey).to == id {
+			l := v.(*link)
+			l.dst.Store(nd)
+			l.dstInc.Store(inc)
+		}
+		return true
+	})
+	n.topo.Broadcast()
+	return inc
 }
 
 // Crashed reports whether id has crashed.
@@ -413,10 +448,12 @@ func (n *Network) blockedLocked(from, to proto.NodeID) bool {
 	return !okf || !okt || gf != gt
 }
 
-// Node is one process's endpoint on a Network.
+// Node is one process's endpoint on a Network. Each incarnation of a
+// process (initial boot, then one per Revive) is a distinct Node.
 type Node struct {
 	net     *Network
 	id      proto.NodeID
+	inc     uint64 // incarnation this endpoint belongs to
 	inbox   *transport.Queue
 	crashed atomic.Bool
 }
@@ -571,6 +608,7 @@ type link struct {
 	net      *Network
 	key      linkKey
 	dst      atomic.Pointer[Node]       // cached destination endpoint
+	dstInc   atomic.Uint64              // destination incarnation new sends address
 	override atomic.Pointer[DelayRange] // scenario latency override (SetLinkDelay)
 
 	mu      sync.Mutex
@@ -585,6 +623,7 @@ type inflight struct {
 	payload   []byte
 	frame     *transport.Frame // pooled backing buffer; nil for borrowed payloads
 	deliverAt time.Time
+	inc       uint64 // destination incarnation the message is addressed to
 }
 
 // newLink builds the from->to channel. Caller holds n.topoMu (so reading the
@@ -593,6 +632,7 @@ type inflight struct {
 // via SetLinkDelay, and an unused rand.Rand costs nothing.
 func newLink(n *Network, key linkKey) *link {
 	l := &link{net: n, key: key}
+	l.dstInc.Store(n.incs[key.to])
 	l.cond = sync.NewCond(&l.mu)
 	// Derive a deterministic per-link seed so concurrent senders never
 	// serialize on a shared generator.
@@ -635,7 +675,7 @@ func (l *link) push(payload []byte, frame *transport.Frame) {
 	}
 	l.lastAt = at
 	//oar:frame-handoff released by the delivery goroutine after OwnedMessage hand-off, or by close()'s drain
-	l.queue = append(l.queue, inflight{payload: payload, frame: frame, deliverAt: at})
+	l.queue = append(l.queue, inflight{payload: payload, frame: frame, deliverAt: at, inc: l.dstInc.Load()})
 	l.cond.Signal()
 	l.mu.Unlock()
 }
@@ -654,15 +694,21 @@ func (l *link) close() {
 	}
 }
 
-// dest resolves (and caches) the destination endpoint.
-func (l *link) dest() *Node {
-	if nd := l.dst.Load(); nd != nil {
+// dest resolves (and caches) the destination endpoint of incarnation inc.
+// A cached endpoint of a different incarnation is re-validated against the
+// registry; nil means the endpoint does not exist or the message was
+// addressed to a superseded incarnation (→ drop, the process it was sent to
+// is gone).
+func (l *link) dest(inc uint64) *Node {
+	if nd := l.dst.Load(); nd != nil && nd.inc == inc {
 		return nd
 	}
 	if v, ok := l.net.nodes.Load(l.key.to); ok {
 		nd := v.(*Node)
 		l.dst.Store(nd)
-		return nd
+		if nd.inc == inc {
+			return nd
+		}
 	}
 	return nil
 }
@@ -698,7 +744,7 @@ func (l *link) run() {
 			n.topoMu.Unlock()
 		}
 
-		dest := l.dest()
+		dest := l.dest(item.inc)
 		if n.closed.Load() || dest == nil || dest.crashed.Load() {
 			n.dropped.Add(1)
 			if item.frame != nil {

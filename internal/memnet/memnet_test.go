@@ -288,3 +288,84 @@ func TestConcurrentSendersManyNodes(t *testing.T) {
 	wg.Wait()
 	recvWG.Wait()
 }
+
+func TestReviveRegistersFreshIncarnation(t *testing.T) {
+	net := New(Options{})
+	defer net.Close()
+	a := net.Node(0)
+	old := net.Node(1)
+
+	// Warm the a->1 link's destination cache, then crash 1.
+	if err := a.Send(1, []byte("warm")); err != nil {
+		t.Fatal(err)
+	}
+	recvOne(t, old, time.Second)
+	net.Crash(1)
+
+	// A message sent while 1 is down is addressed to the dead incarnation:
+	// it must never surface at the revived endpoint.
+	if err := a.Send(1, []byte("stale")); err != nil {
+		t.Fatal(err)
+	}
+
+	if inc := net.Revive(1); inc != 1 {
+		t.Fatalf("Revive(1) = %d, want incarnation 1", inc)
+	}
+	if net.Crashed(1) {
+		t.Fatal("Crashed(1) = true after Revive")
+	}
+	fresh := net.Node(1)
+	if fresh == old {
+		t.Fatal("Revive did not re-register the endpoint: Node(1) is the crashed instance")
+	}
+
+	// The revived endpoint receives messages sent after the revive — the
+	// crashed instance's closed inbox must not shadow it (the dst cache of
+	// the a->1 link still pointed at the old incarnation).
+	if err := a.Send(1, []byte("post")); err != nil {
+		t.Fatal(err)
+	}
+	m := recvOne(t, fresh, time.Second)
+	if string(m.Payload) != "post" {
+		t.Fatalf("revived node got %q, want %q (stale pre-revive message leaked in?)", m.Payload, "post")
+	}
+
+	// And the revived incarnation can send.
+	if err := fresh.Send(0, []byte("back")); err != nil {
+		t.Fatal(err)
+	}
+	if m := recvOne(t, a, time.Second); string(m.Payload) != "back" {
+		t.Fatalf("got %q, want %q", m.Payload, "back")
+	}
+}
+
+func TestReviveInFlightToOldIncarnationDropped(t *testing.T) {
+	// A message in flight (delayed) when its destination crashes and revives
+	// was addressed to the previous incarnation and must be dropped, not
+	// delivered to the new process.
+	net := New(Options{MinDelay: 50 * time.Millisecond, MaxDelay: 51 * time.Millisecond})
+	defer net.Close()
+	a := net.Node(0)
+	net.Node(1)
+	if err := a.Send(1, []byte("in-flight")); err != nil {
+		t.Fatal(err)
+	}
+	net.Crash(1)
+	net.Revive(1)
+	fresh := net.Node(1)
+	select {
+	case m, ok := <-fresh.Recv():
+		if ok {
+			t.Fatalf("new incarnation received %q addressed to the old one", m.Payload)
+		}
+		t.Fatal("revived inbox closed")
+	case <-time.After(150 * time.Millisecond):
+		// Dropped, as required.
+	}
+	if err := a.Send(1, []byte("post")); err != nil {
+		t.Fatal(err)
+	}
+	if m := recvOne(t, fresh, time.Second); string(m.Payload) != "post" {
+		t.Fatalf("got %q, want %q", m.Payload, "post")
+	}
+}

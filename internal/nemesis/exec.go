@@ -3,6 +3,7 @@ package nemesis
 import (
 	"context"
 	"fmt"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -41,6 +42,17 @@ type Config struct {
 	Seed int64
 	// Net configures each shard's network (zero = instant links).
 	Net memnet.Options
+	// WALRoot, when non-empty, gives every replica a write-ahead log there
+	// (see cluster.Options.WALRoot): restarted replicas then recover from
+	// disk before catching up from peers. Backends without WAL support
+	// ignore it and recover from peers alone.
+	WALRoot string
+	// WAL gives every replica a write-ahead log in a fresh temporary
+	// directory, removed when the run ends. This is the right knob for
+	// Search, which replays many schedules with one Config: a shared
+	// WALRoot would leak one schedule's durable state into the next run.
+	// Ignored when WALRoot is set.
+	WAL bool
 	// OpTimeout bounds one operation (default 30s — it must comfortably
 	// exceed any fault window, since invokes stall under partitions).
 	OpTimeout time.Duration
@@ -148,6 +160,23 @@ func (s *ruleSet) add(r *rule) {
 func (s *ruleSet) clear() {
 	s.mu.Lock()
 	s.rs = nil
+	s.mu.Unlock()
+}
+
+// dropSenderRules disarms every drop rule whose sender is from. A drop of
+// ordering traffic is justified by the sender's upcoming crash ("lost in the
+// crash"); when that sender restarts, the justification is spent — the new
+// incarnation's sends are live traffic and must flow.
+func (s *ruleSet) dropSenderRules(from NodeRef) {
+	s.mu.Lock()
+	kept := s.rs[:0]
+	for _, r := range s.rs {
+		if r.action == StepDrop && r.from == from {
+			continue
+		}
+		kept = append(kept, r)
+	}
+	s.rs = kept
 	s.mu.Unlock()
 }
 
@@ -270,8 +299,9 @@ type executor struct {
 	cl       *cluster.Cluster
 	checkers []*check.Checker
 	rules    []*ruleSet
-	gate     *gate
-	crashed  []map[int]bool // per shard: replica index -> crashed
+	gate      *gate
+	crashed   []map[int]bool // per shard: replica index -> currently crashed
+	restarted []map[int]bool // per shard: replica index -> restarted at least once
 
 	vmu  sync.Mutex
 	seen map[string]bool
@@ -304,18 +334,28 @@ func Run(cfg Config, sched *Schedule) (*Result, error) {
 	if err := sched.Validate(cfg.N, cfg.Shards); err != nil {
 		return nil, err
 	}
+	if cfg.WAL && cfg.WALRoot == "" {
+		dir, err := os.MkdirTemp("", "oar-nemesis-wal-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		cfg.WALRoot = dir
+	}
 
 	e := &executor{
-		cfg:      cfg,
-		checkers: make([]*check.Checker, cfg.Shards),
-		rules:    make([]*ruleSet, cfg.Shards),
-		gate:     newGate(),
-		crashed:  make([]map[int]bool, cfg.Shards),
-		seen:     make(map[string]bool),
+		cfg:       cfg,
+		checkers:  make([]*check.Checker, cfg.Shards),
+		rules:     make([]*ruleSet, cfg.Shards),
+		gate:      newGate(),
+		crashed:   make([]map[int]bool, cfg.Shards),
+		restarted: make([]map[int]bool, cfg.Shards),
+		seen:      make(map[string]bool),
 	}
 	for s := range e.checkers {
 		e.checkers[s] = check.New(cfg.N)
 		e.crashed[s] = make(map[int]bool)
+		e.restarted[s] = make(map[int]bool)
 	}
 
 	cl, err := cluster.New(cluster.Options{
@@ -325,6 +365,7 @@ func Run(cfg Config, sched *Schedule) (*Result, error) {
 		Machine:   cfg.Machine,
 		Net:       cfg.Net,
 		FD:        cluster.FDOracle,
+		WALRoot:   cfg.WALRoot,
 		TracerFor: func(s int) backend.Tracer { return e.checkers[s] },
 	})
 	if err != nil {
@@ -463,6 +504,18 @@ func (e *executor) apply(st Step) {
 		net.Crash(id)
 		e.checkers[st.Shard].MarkCrashed(id)
 		e.crashed[st.Shard][st.A.Index] = true
+	case StepRestart:
+		// The replica re-boots recovering; the checker learns of the rebirth
+		// through the replica's own Restarted/Recovered trace events. Drop
+		// rules justified by this replica's crash are spent now — the new
+		// incarnation's sends must flow.
+		e.rules[st.Shard].dropSenderRules(st.A)
+		if err := e.cl.Restart(st.Shard, st.A.Index); err != nil {
+			e.record(st.Shard, "harness", fmt.Sprintf("restart %s failed: %v", st.A, err))
+			return
+		}
+		e.crashed[st.Shard][st.A.Index] = false
+		e.restarted[st.Shard][st.A.Index] = true
 	case StepSuspect:
 		if st.A.IsAny() {
 			e.cl.Suspect(st.Shard, st.B.ID())
@@ -561,6 +614,24 @@ func (e *executor) stabilizeFaults() {
 // runs the safety suite; with final it adds the liveness verdict and the
 // structural assertion that all live replicas' machines converged.
 func (e *executor) settleAndVerify(final bool) {
+	// Recovery liveness first: a restarted replica that is still up must
+	// complete catch-up. The checker cannot see a stalled recovery — the
+	// replica stays in its crashed set until Recovered — so this is checked
+	// against the replica's own counters.
+	for s := 0; s < e.cfg.Shards; s++ {
+		for i, restarted := range e.restarted[s] {
+			if !restarted || e.crashed[s][i] {
+				continue
+			}
+			i := i
+			if !cluster.WaitUntil(e.cfg.SettleTimeout, func() bool {
+				return e.cl.ReplicaStats(s, i).Recoveries >= 1
+			}) {
+				e.record(s, "recovery liveness",
+					fmt.Sprintf("restarted replica %d never finished catch-up within %v", i, e.cfg.SettleTimeout))
+			}
+		}
+	}
 	for s := 0; s < e.cfg.Shards; s++ {
 		if !cluster.WaitUntil(e.cfg.SettleTimeout, e.checkers[s].LivenessSettled) {
 			e.record(s, "liveness", fmt.Sprintf("shard did not settle within %v", e.cfg.SettleTimeout))

@@ -40,7 +40,10 @@ func (g GenSpec) withDefaults() GenSpec {
 //   - minority partitions that trap the sequencer on the small side while
 //     the majority elects around it (the minority-prefix window of Figure 1b);
 //   - crashes paired with scripted suspicions — including the "ordering
-//     messages lost in the crash" pattern when the victim is the sequencer;
+//     messages lost in the crash" pattern when the victim is the sequencer —
+//     and, half the time, a crash-recovery chain: the victim restarts
+//     mid-run so its catch-up races live traffic, and is sometimes crashed
+//     again as soon as it rejoins;
 //   - wrongful-suspicion flaps, which force epoch boundaries with no real
 //     failure (rollback/redelivery pressure with every replica alive);
 //   - gray-slow links and asymmetric one-way blocks, which skew reply
@@ -135,6 +138,21 @@ func Generate(spec GenSpec) *Schedule {
 			}
 			at(t+ms(1, 3), shard, Step{Kind: StepCrash, A: Replica(victim)})
 			at(t+ms(4, 9), shard, Step{Kind: StepSuspect, A: Any, B: Replica(victim)})
+			if rng.Intn(2) == 0 {
+				// Crash-recovery chain: bring the victim back mid-run — its
+				// catch-up races the live traffic — and sometimes kill it
+				// again while (or right after) it rejoins. The restart
+				// returns the crash budget, so the re-crash is legal even at
+				// (n-1)/2 concurrent failures.
+				at(t+w, shard, Step{Kind: StepRestart, A: Replica(victim)})
+				at(t+w+ms(2, 6), shard, Step{Kind: StepTrust, A: Any, B: Replica(victim)})
+				delete(crashed[shard], victim)
+				if rng.Intn(100) < 35 {
+					crashed[shard][victim] = true
+					at(t+w+ms(8, 14), shard, Step{Kind: StepCrash, A: Replica(victim)})
+					at(t+w+ms(16, 20), shard, Step{Kind: StepSuspect, A: Any, B: Replica(victim)})
+				}
+			}
 		case pick < 63: // wrongful-suspicion flap: epoch change, nobody dead
 			victim := liveVictim(shard)
 			if victim < 0 {

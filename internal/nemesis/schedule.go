@@ -117,6 +117,12 @@ const (
 	// the schedule-aware liveness window. Fault state installed before the
 	// checkpoint is cleared; later steps re-install theirs.
 	StepCheckpoint
+	// StepRestart re-boots crashed replica A as a fresh incarnation
+	// (cluster.Restart): the replica replays its WAL (when the run has one),
+	// catches up from peers, and re-enters ordering. Restarting returns the
+	// replica to the crash budget, so crash -> restart -> crash chains are
+	// legal as long as a majority is up at every instant.
+	StepRestart
 )
 
 // AnyIndex is the NodeRef index meaning "every replica" (observer wildcards)
@@ -317,6 +323,8 @@ func (st Step) String() string {
 			head, kindName(st.MsgKind), st.A, st.B, st.Count, st.Delay)
 	case StepCheckpoint:
 		return head + " checkpoint"
+	case StepRestart:
+		return fmt.Sprintf("%s restart %s", head, st.A)
 	default:
 		return fmt.Sprintf("%s ?kind%d", head, st.Kind)
 	}
@@ -451,11 +459,14 @@ func parseStep(line string) (Step, error) {
 	}
 
 	switch verb {
-	case "crash":
+	case "crash", "restart":
 		if err := needNodes(1); err != nil {
 			return Step{}, err
 		}
 		st.Kind = StepCrash
+		if verb == "restart" {
+			st.Kind = StepRestart
+		}
 		st.A, err = parseNodeRef(args[0])
 	case "suspect", "trust":
 		if err := needNodes(2); err != nil {
@@ -592,24 +603,63 @@ func (s *Schedule) Validate(n, shards int) error {
 		return fmt.Errorf("nemesis: invalid shape n=%d shards=%d", n, shards)
 	}
 	crashed := make(map[[2]int]bool)            // (shard, replica) crashed anywhere in the schedule
-	crashedBy := make(map[[2]int]time.Duration) // earliest crash time
-	perShardCrashes := make(map[int]int)
+	lastCrash := make(map[[2]int]time.Duration) // latest crash time (restart chains crash twice)
 	for _, st := range s.Steps {
 		if st.Kind == StepCrash {
 			if st.A.IsAny() || st.A.Client || st.A.Index >= n {
 				return fmt.Errorf("nemesis: crash target %s invalid", st.A)
 			}
 			key := [2]int{st.Shard, st.A.Index}
-			if !crashed[key] {
-				crashed[key] = true
-				crashedBy[key] = st.At
-				perShardCrashes[st.Shard]++
+			crashed[key] = true
+			if st.At > lastCrash[key] {
+				lastCrash[key] = st.At
 			}
 		}
 	}
-	for shard, k := range perShardCrashes {
-		if k > (n-1)/2 {
-			return fmt.Errorf("nemesis: shard %d crashes %d replicas, majority of %d lost", shard, k, n)
+	// Crash budget, time-ordered: a restart returns its replica to the pool,
+	// so the invariant is not "at most (n-1)/2 crashes total" but "at most
+	// (n-1)/2 replicas down at any instant". Same-time steps keep their slice
+	// order, matching the executor.
+	type lifeEvent struct {
+		at      time.Duration
+		shard   int
+		idx     int
+		restart bool
+	}
+	var life []lifeEvent
+	for _, st := range s.Steps {
+		switch st.Kind {
+		case StepCrash:
+			life = append(life, lifeEvent{at: st.At, shard: st.Shard, idx: st.A.Index})
+		case StepRestart:
+			if st.A.IsAny() || st.A.Client || st.A.Index >= n {
+				return fmt.Errorf("nemesis: restart target %s invalid", st.A)
+			}
+			life = append(life, lifeEvent{at: st.At, shard: st.Shard, idx: st.A.Index, restart: true})
+		}
+	}
+	sort.SliceStable(life, func(i, j int) bool { return life[i].at < life[j].at })
+	down := make(map[[2]int]bool)
+	perShardDown := make(map[int]int)
+	for _, ev := range life {
+		key := [2]int{ev.shard, ev.idx}
+		if ev.restart {
+			if !down[key] {
+				return fmt.Errorf("nemesis: restart of replica %d on shard %d, which is not down at %v",
+					ev.idx, ev.shard, ev.at)
+			}
+			delete(down, key)
+			perShardDown[ev.shard]--
+			continue
+		}
+		if down[key] {
+			continue // repeated crash of a down replica is a no-op
+		}
+		down[key] = true
+		perShardDown[ev.shard]++
+		if perShardDown[ev.shard] > (n-1)/2 {
+			return fmt.Errorf("nemesis: shard %d has %d replicas down at %v, majority of %d lost",
+				ev.shard, perShardDown[ev.shard], ev.at, n)
 		}
 	}
 	checkReplica := func(r NodeRef, what string) error {
@@ -626,7 +676,7 @@ func (s *Schedule) Validate(n, shards int) error {
 			return fmt.Errorf("nemesis: step %d targets shard %d of %d", i, st.Shard, shards)
 		}
 		switch st.Kind {
-		case StepCrash:
+		case StepCrash, StepRestart:
 			// shape checked above
 		case StepSuspect, StepTrust:
 			if st.A.Client || st.B.Client || st.B.IsAny() {
@@ -690,7 +740,7 @@ func (s *Schedule) Validate(n, shards int) error {
 					return fmt.Errorf("nemesis: step %d: drop of %s needs a concrete replica sender", i, kindName(st.MsgKind))
 				}
 				key := [2]int{st.Shard, st.A.Index}
-				if !crashed[key] || crashedBy[key] < st.At {
+				if !crashed[key] || lastCrash[key] < st.At {
 					return fmt.Errorf("nemesis: step %d: drop of %s from %s requires crashing %s later in the schedule",
 						i, kindName(st.MsgKind), st.A, st.A)
 				}

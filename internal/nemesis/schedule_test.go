@@ -22,6 +22,7 @@ func sampleSchedule() *Schedule {
 		{At: 14 * time.Millisecond, Shard: 0, Kind: StepSuspect, A: Any, B: Replica(0)},
 		{At: 20 * time.Millisecond, Shard: 1, Kind: StepHeal},
 		{At: 21 * time.Millisecond, Shard: 1, Kind: StepTrust, A: Any, B: Replica(0)},
+		{At: 22 * time.Millisecond, Shard: 0, Kind: StepRestart, A: Replica(0)},
 		{At: 24 * time.Millisecond, Shard: 0, Kind: StepBlock, A: Replica(1), B: Replica(2)},
 		{At: 25 * time.Millisecond, Shard: 0, Kind: StepBlockOneWay, A: Replica(2), B: Replica(1)},
 		{At: 26 * time.Millisecond, Shard: 0, Kind: StepUnblock, A: Replica(1), B: Replica(2)},
@@ -94,6 +95,16 @@ func TestValidateEnforcesModelBoundaries(t *testing.T) {
 	if err := ok(sampleSchedule()); err != nil {
 		t.Fatalf("sample rejected: %v", err)
 	}
+	// A restart refills the crash budget: two down, one back, one more down.
+	refill := Schedule{Steps: []Step{
+		{Kind: StepCrash, A: Replica(0)},
+		{At: 1 * time.Millisecond, Kind: StepCrash, A: Replica(1)},
+		{At: 2 * time.Millisecond, Kind: StepRestart, A: Replica(0)},
+		{At: 3 * time.Millisecond, Kind: StepCrash, A: Replica(2)},
+	}}
+	if err := ok(&refill); err != nil {
+		t.Fatalf("restart did not refill the crash budget: %v", err)
+	}
 	cases := []struct {
 		name string
 		s    Schedule
@@ -124,6 +135,20 @@ func TestValidateEnforcesModelBoundaries(t *testing.T) {
 		}}},
 		{"replica out of range", Schedule{Steps: []Step{
 			{Kind: StepCrash, A: Replica(7)},
+		}}},
+		{"restart of a live replica", Schedule{Steps: []Step{
+			{Kind: StepRestart, A: Replica(0)},
+		}}},
+		{"restart before the crash", Schedule{Steps: []Step{
+			{At: 2 * time.Millisecond, Kind: StepRestart, A: Replica(0)},
+			{At: 5 * time.Millisecond, Kind: StepCrash, A: Replica(0)},
+		}}},
+		{"majority down despite restarts", Schedule{Steps: []Step{
+			{Kind: StepCrash, A: Replica(0)},
+			{At: 1 * time.Millisecond, Kind: StepCrash, A: Replica(1)},
+			{At: 2 * time.Millisecond, Kind: StepRestart, A: Replica(0)},
+			{At: 3 * time.Millisecond, Kind: StepCrash, A: Replica(2)},
+			{At: 4 * time.Millisecond, Kind: StepCrash, A: Replica(3)},
 		}}},
 		{"shard out of range", Schedule{Steps: []Step{
 			{Shard: 5, Kind: StepHeal},

@@ -1,0 +1,113 @@
+package proto
+
+import (
+	"fmt"
+
+	"repro/internal/wire"
+)
+
+// Catch-up messages: the recovery protocol a restarted replica runs before
+// re-entering ordering for its group.
+//
+// After replaying its local snapshot+WAL, a recovering replica knows a
+// definitive prefix of length HavePos. It probes every peer with a
+// CatchupReq; a peer that is between epochs (not in phase 2, so its state is
+// a pure A-delivered boundary) answers with its current epoch, its boundary
+// position, and — when the prober is behind — a state snapshot and/or the
+// missing suffix of the definitive command log. The prober adopts the first
+// sufficient answer, joins the responder's epoch in observe mode, and forces
+// an epoch boundary (PhaseII) to regain full standing.
+
+// CatchupReq is a recovering replica's probe: "my definitive prefix has
+// length HavePos; send me what I am missing."
+type CatchupReq struct {
+	HavePos uint64
+}
+
+// MarshalCatchupReq encodes m as an owned kind-tagged payload of group g.
+func MarshalCatchupReq(g GroupID, m CatchupReq) []byte {
+	w := wire.NewWriter(16)
+	EncodeHeader(w, KindCatchupReq, g)
+	w.Uint64(m.HavePos)
+	return w.Bytes()
+}
+
+// UnmarshalCatchupReq decodes the body of a KindCatchupReq payload.
+func UnmarshalCatchupReq(body []byte) (CatchupReq, error) {
+	r := wire.NewReader(body)
+	m := CatchupReq{HavePos: r.Uint64()}
+	if err := r.Err(); err != nil {
+		return CatchupReq{}, fmt.Errorf("proto: decode catchup-req: %w", err)
+	}
+	return m, nil
+}
+
+// CatchupResp answers a catch-up probe.
+//
+// Pos is the responder's definitive boundary position (number of A-delivered
+// commands at its last closed epoch). When the prober is behind, Snap
+// optionally carries an encoded state snapshot (empty means "replay from
+// your own position") and Entries carries the definitive commands from
+// FirstPos+1 through Pos in delivery order, each a full Request so the
+// prober can both apply the command and record the ID for deduplication.
+//
+// InPhase2 responses carry no state: mid-phase-2 a responder's definitive
+// prefix is about to move, and more importantly the epoch's PhaseII and
+// Decide broadcasts may predate the prober's restart — adopting now could
+// strand the prober in an epoch whose closing messages it will never see.
+// The prober simply re-probes.
+type CatchupResp struct {
+	CurEpoch uint64
+	InPhase2 bool
+	Pos      uint64
+	Snap     []byte
+	FirstPos uint64
+	Entries  []Request
+}
+
+// MarshalCatchupResp encodes m as an owned kind-tagged payload of group g.
+func MarshalCatchupResp(g GroupID, m CatchupResp) []byte {
+	size := 64 + len(m.Snap)
+	for _, e := range m.Entries {
+		size += 32 + len(e.Cmd)
+	}
+	w := wire.NewWriter(size)
+	EncodeHeader(w, KindCatchupResp, g)
+	w.Uint64(m.CurEpoch)
+	w.Bool(m.InPhase2)
+	w.Uint64(m.Pos)
+	w.BytesField(m.Snap)
+	w.Uint64(m.FirstPos)
+	w.Uint64(uint64(len(m.Entries)))
+	for _, e := range m.Entries {
+		e.Encode(w)
+	}
+	return w.Bytes()
+}
+
+// UnmarshalCatchupResp decodes the body of a KindCatchupResp payload. Snap
+// and the entry commands alias body: the receiver applies them (machine
+// restore / Apply copy what they keep) before releasing the frame.
+func UnmarshalCatchupResp(body []byte) (CatchupResp, error) {
+	r := wire.NewReader(body)
+	var m CatchupResp
+	m.CurEpoch = r.Uint64()
+	m.InPhase2 = r.Bool()
+	m.Pos = r.Uint64()
+	m.Snap = r.BytesFieldRef()
+	m.FirstPos = r.Uint64()
+	n := r.Uint64()
+	if err := r.Err(); err != nil {
+		return CatchupResp{}, fmt.Errorf("proto: decode catchup-resp: %w", err)
+	}
+	if n > uint64(r.Remaining()) { // each request takes >= 1 byte
+		return CatchupResp{}, fmt.Errorf("proto: decode catchup-resp: %w", wire.ErrOverflow)
+	}
+	for i := uint64(0); i < n; i++ {
+		m.Entries = append(m.Entries, DecodeRequest(r))
+	}
+	if err := r.Err(); err != nil {
+		return CatchupResp{}, fmt.Errorf("proto: decode catchup-resp: %w", err)
+	}
+	return m, nil
+}

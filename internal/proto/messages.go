@@ -51,6 +51,14 @@ const (
 	// envelope kind alone carries the read-only flag, so existing frames stay
 	// wire-compatible.
 	KindRead
+	// KindCatchupReq is a recovering replica's probe to its peers: "I have
+	// replayed my local snapshot+WAL up to definitive position HavePos; send
+	// me what I am missing."
+	KindCatchupReq
+	// KindCatchupResp answers a catch-up probe with the responder's current
+	// epoch, its definitive boundary position, and — when the prober is
+	// behind — a state snapshot and/or the missing log suffix.
+	KindCatchupResp
 )
 
 // String implements fmt.Stringer.
@@ -82,6 +90,10 @@ func (k Kind) String() string {
 		return "batch"
 	case KindRead:
 		return "read"
+	case KindCatchupReq:
+		return "catchup-req"
+	case KindCatchupResp:
+		return "catchup-resp"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

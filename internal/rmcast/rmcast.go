@@ -74,6 +74,12 @@ type Config struct {
 	// Send queues the slice it is given (a raw transport.Node.Send, a
 	// channel to a sender goroutine).
 	SendCopies bool
+	// FirstSeq is the first multicast sequence number this endpoint uses.
+	// Receivers deduplicate by (Origin, Seq) forever, so a process that
+	// restarts must not reuse its previous incarnation's sequence numbers —
+	// a recovered replica passes a disjoint per-incarnation range here
+	// (incarnation << 32) and its multicasts stay deliverable.
+	FirstSeq uint64
 }
 
 // RMcast is one process's reliable-multicast endpoint.
@@ -101,6 +107,7 @@ func New(cfg Config) *RMcast {
 	}
 	r := &RMcast{
 		cfg:       cfg,
+		nextSeq:   cfg.FirstSeq,
 		delivered: make(map[Key]struct{}),
 	}
 	for _, p := range cfg.Group {

@@ -3,9 +3,14 @@ package oar
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/app"
@@ -134,6 +139,17 @@ type ClusterOptions struct {
 	// stages on separate goroutines connected by lock-free rings, so a
 	// replica can use several cores. Protocol semantics are unchanged.
 	Pipeline bool
+	// WALRoot, when non-empty, gives every replica a write-ahead log under
+	// that directory (one subdirectory per shard and replica): definitive
+	// deliveries and epoch boundaries are fsynced per closed epoch and
+	// replayed — snapshot first, then the log tail — when a crashed replica
+	// is restarted, before it catches up from peers and re-enters ordering.
+	// Empty disables durability (crashed replicas stay down).
+	WALRoot string
+	// SnapshotEvery takes a state-machine snapshot every that many closed
+	// epochs (0 = a protocol default, negative = never). Snapshots bound
+	// both the on-disk log and the catch-up tail.
+	SnapshotEvery int
 }
 
 // Cluster is an in-process replica group, for embedding a replicated
@@ -161,6 +177,8 @@ func NewCluster(opts ClusterOptions) (*Cluster, error) {
 		MaxBatch:          opts.MaxBatch,
 		AutoTune:          opts.AutoTune,
 		Pipeline:          opts.Pipeline,
+		WALRoot:           opts.WALRoot,
+		SnapshotEvery:     opts.SnapshotEvery,
 		Net: memnet.Options{
 			MinDelay: opts.NetworkDelay,
 			MaxDelay: opts.NetworkDelay,
@@ -331,6 +349,16 @@ type ServerOptions struct {
 	// AutoTune and Pipeline as in ClusterOptions.
 	AutoTune bool
 	Pipeline bool
+	// WALDir, when non-empty, makes the replica durable: definitive
+	// deliveries and epoch boundaries are written to a segmented,
+	// CRC-checked write-ahead log there, fsynced once per closed epoch. A
+	// boot counter persisted in the same directory detects restarts: a
+	// rebooted replica replays its latest snapshot plus the log tail,
+	// catches the remainder up from its peers, and only then re-enters
+	// ordering. Empty disables durability.
+	WALDir string
+	// SnapshotEvery as in ClusterOptions (only meaningful with WALDir).
+	SnapshotEvery int
 	// StatsAddr, when non-empty, serves this replica's counters as JSON
 	// over HTTP at GET /stats on that address (see ServerReport) — the hook
 	// load generators use to report server-observed coalescing.
@@ -409,6 +437,12 @@ func ListenAndServe(ctx context.Context, opts ServerOptions) error {
 	if err != nil {
 		return err
 	}
+	var incarnation uint64
+	if opts.WALDir != "" {
+		if incarnation, err = nextIncarnation(opts.WALDir); err != nil {
+			return fmt.Errorf("oar: wal dir: %w", err)
+		}
+	}
 	srv, err := core.NewServer(core.ServerConfig{
 		ID:                group[opts.Rank],
 		Group:             group,
@@ -422,6 +456,10 @@ func ListenAndServe(ctx context.Context, opts ServerOptions) error {
 		MaxBatch:          opts.MaxBatch,
 		AutoTune:          opts.AutoTune,
 		Pipeline:          opts.Pipeline,
+		WALDir:            opts.WALDir,
+		SnapshotEvery:     opts.SnapshotEvery,
+		Incarnation:       incarnation,
+		Recovering:        incarnation > 0,
 	})
 	if err != nil {
 		return err
@@ -463,6 +501,40 @@ func ListenAndServe(ctx context.Context, opts ServerOptions) error {
 		return nil
 	}
 	return err
+}
+
+// nextIncarnation reads, bumps and persists the boot counter of a WAL
+// directory (the BOOT file). The first boot of a fresh directory is
+// incarnation 0 — a normal cold start; every later boot is a restart, which
+// makes the server recover (local replay, then peer catch-up) before it
+// re-enters ordering. The write is atomic (tmp + rename), so a crash during
+// boot cannot leave a torn counter.
+func nextIncarnation(dir string) (uint64, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, err
+	}
+	path := filepath.Join(dir, "BOOT")
+	var inc uint64
+	switch b, err := os.ReadFile(path); {
+	case err == nil:
+		prev, perr := strconv.ParseUint(strings.TrimSpace(string(b)), 10, 64)
+		if perr != nil {
+			return 0, fmt.Errorf("corrupt boot counter %q: %w", path, perr)
+		}
+		inc = prev + 1
+	case errors.Is(err, os.ErrNotExist):
+		inc = 0
+	default:
+		return 0, err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(strconv.FormatUint(inc, 10)+"\n"), 0o644); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return 0, err
+	}
+	return inc, nil
 }
 
 // ClientOptions configures a TCP client.
